@@ -1,0 +1,30 @@
+# Convenience targets for the eMPTCP reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-verbose report report-paper examples clean
+
+install:
+	$(PY) -m pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:  ## print every figure's rows
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+report:  ## full evaluation at default scale -> REPORT.md
+	$(PY) -m repro.cli report --scale default --output REPORT.md
+
+report-paper:  ## paper-scale evaluation (256 MB x 10 runs)
+	$(PY) -m repro.cli report --scale paper --output REPORT.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

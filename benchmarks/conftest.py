@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the corresponding experiment once (``benchmark.pedantic`` with one
+round — these are macro-benchmarks, not micro-timings), prints the same
+rows/series the paper reports (run pytest with ``-s`` to see them), and
+asserts the headline shape.
+
+Sizes and repetition counts are scaled down where the paper used 256 MB
+x 5-10 runs; the CLI (``emptcp-repro``) accepts paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    """Print a figure banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,41 @@
+"""Extension bench: the Figure 5/6 headline shapes regenerated on the
+segment-level transport engine — the eMPTCP control plane (predictor,
+EIB, controller, delayed establishment) is engine-agnostic."""
+
+import pytest
+from conftest import banner, once
+
+from repro.packet.emptcp import run_packet_protocol
+from repro.units import mib
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def test_ext_packet_level_fig5(benchmark):
+    results = once(
+        benchmark,
+        lambda: {p: run_packet_protocol(p, 12.0, 10.0, mib(16)) for p in PROTOCOLS},
+    )
+    banner("Packet-level Figure 5: static good WiFi (16 MiB)")
+    for protocol, (t, e) in results.items():
+        print(f"  {protocol:9s} t={t:6.2f} s  E={e:6.2f} J")
+    energy = {p: e for p, (_t, e) in results.items()}
+    times = {p: t for p, (t, _e) in results.items()}
+    assert energy["emptcp"] == pytest.approx(energy["tcp-wifi"], rel=0.05)
+    assert energy["mptcp"] > 1.3 * energy["emptcp"]
+    assert times["mptcp"] < times["emptcp"]
+
+
+def test_ext_packet_level_fig6(benchmark):
+    results = once(
+        benchmark,
+        lambda: {p: run_packet_protocol(p, 0.8, 10.0, mib(8)) for p in PROTOCOLS},
+    )
+    banner("Packet-level Figure 6: static bad WiFi (8 MiB)")
+    for protocol, (t, e) in results.items():
+        print(f"  {protocol:9s} t={t:6.2f} s  E={e:6.2f} J")
+    energy = {p: e for p, (_t, e) in results.items()}
+    times = {p: t for p, (t, _e) in results.items()}
+    assert energy["emptcp"] == pytest.approx(energy["mptcp"], rel=0.25)
+    assert times["emptcp"] < 2.0 * times["mptcp"]
+    assert times["tcp-wifi"] > 4 * times["mptcp"]

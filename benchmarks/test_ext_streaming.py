@@ -1,0 +1,39 @@
+"""Extension bench (§7 future work): video streaming.
+
+A 2.5 Mbps, 120 s stream over on/off WiFi.  The buffer-driven fetch
+pattern is bursty, so always-on MPTCP keeps refreshing the LTE tail for
+chunks WiFi could have carried; eMPTCP uses LTE only when WiFi cannot
+sustain the bitrate.  TCP over WiFi saves the most energy but rebuffers.
+"""
+
+from conftest import banner, once
+
+from repro.analysis.stats import mean
+from repro.experiments.streaming import run_streaming_comparison
+
+
+def test_ext_streaming(benchmark):
+    results = once(benchmark, lambda: run_streaming_comparison(runs=3))
+    banner("Extension: 2.5 Mbps video stream, on/off WiFi (3 runs)")
+    print(f"{'protocol':10s} {'energy':>9} {'stalls':>7} {'stall time':>11} "
+          f"{'startup':>8}")
+    stats = {}
+    for protocol, runs in results.items():
+        stats[protocol] = {
+            "energy": mean([r.energy_j for r in runs]),
+            "stalls": mean([float(r.rebuffer_events) for r in runs]),
+            "stall_time": mean([r.rebuffer_time for r in runs]),
+            "startup": mean([r.startup_delay for r in runs]),
+        }
+        s = stats[protocol]
+        print(f"{protocol:10s} {s['energy']:8.1f}J {s['stalls']:7.1f} "
+              f"{s['stall_time']:10.1f}s {s['startup']:7.2f}s")
+
+    # Quality: eMPTCP streams as smoothly as MPTCP; WiFi-only stalls.
+    assert stats["emptcp"]["stall_time"] <= stats["mptcp"]["stall_time"] + 1.0
+    assert stats["tcp-wifi"]["stall_time"] > stats["emptcp"]["stall_time"]
+    # Energy: eMPTCP undercuts always-on MPTCP.
+    assert stats["emptcp"]["energy"] < stats["mptcp"]["energy"]
+    # Every protocol finishes the video within the window.
+    for runs in results.values():
+        assert all(r.finished for r in runs)

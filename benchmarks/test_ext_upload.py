@@ -1,0 +1,56 @@
+"""Extension bench (§7 future work): bulk uploads.
+
+Uploads invert the marginal-energy balance — radios transmit at several
+times their receive power — so the EIB's WiFi-only region widens and
+eMPTCP avoids LTE even harder than for downloads.
+"""
+
+import pytest
+from conftest import banner, once
+
+from repro.analysis.stats import mean
+from repro.experiments.regions import table2_rows
+from repro.experiments.upload import run_upload, upload_eib_rows
+from repro.units import mib
+
+
+def test_ext_upload_eib_shift(benchmark):
+    rows = once(benchmark, upload_eib_rows)
+    down_rows = table2_rows()
+    banner("Extension: EIB thresholds, upload vs download direction")
+    print(f"{'LTE Mbps':>9} {'WiFi-only >= (down)':>20} {'(up)':>8}")
+    for d, u in zip(down_rows, rows):
+        print(f"{d.cell_mbps:9.1f} {d.wifi_only_above:20.3f} {u.wifi_only_above:8.3f}")
+    for d, u in zip(down_rows, rows):
+        # LTE transmit power is expensive: WiFi-only wins earlier.
+        assert u.wifi_only_above < d.wifi_only_above
+
+
+def test_ext_upload_comparison(benchmark):
+    def run():
+        return {
+            "good": run_upload(True, runs=3, upload_bytes=mib(32)),
+            "bad": run_upload(False, runs=3, upload_bytes=mib(32)),
+        }
+
+    results = once(benchmark, run)
+    banner("Extension: 32 MiB uploads (photo/video sync)")
+    for label, by_protocol in results.items():
+        print(f"-- {label} WiFi")
+        for protocol, runs in by_protocol.items():
+            print(f"   {protocol:9s} E={mean([r.energy_j for r in runs]):7.1f} J "
+                  f"t={mean([r.download_time for r in runs]):7.1f} s")
+
+    good = {p: mean([r.energy_j for r in rs]) for p, rs in results["good"].items()}
+    bad = {p: mean([r.energy_j for r in rs]) for p, rs in results["bad"].items()}
+    # Good WiFi: eMPTCP == TCP/WiFi, far below MPTCP (the LTE transmit
+    # slope makes always-on MPTCP even worse than for downloads).
+    assert good["emptcp"] == pytest.approx(good["tcp-wifi"], rel=0.05)
+    assert good["mptcp"] > 1.3 * good["emptcp"]
+    # Bad WiFi: eMPTCP still brings LTE up because finishing sooner
+    # beats crawling on WiFi, paying transmit power for longer.
+    bad_t = {
+        p: mean([r.download_time for r in rs]) for p, rs in results["bad"].items()
+    }
+    assert bad_t["emptcp"] < 0.5 * bad_t["tcp-wifi"]
+    assert bad["emptcp"] < bad["tcp-wifi"]

@@ -1,0 +1,89 @@
+"""Extension bench: cross-model validation (fluid vs packet engines).
+
+Runs matched scenarios through both transport engines and prints the
+agreement table — the evidence that the fluid model underlying every
+reproduced figure tracks a segment-level implementation.
+"""
+
+from conftest import banner, once
+
+from repro.net.interface import InterfaceKind
+from repro.packet.validate import (
+    PathSpec,
+    compare_onoff_single_path,
+    compare_single_path,
+    fluid_mptcp_time,
+    hol_goodput_collapse,
+    packet_mptcp_time,
+)
+from repro.units import mib
+
+
+def test_ext_validation_single_path(benchmark):
+    specs = [
+        ("wifi-good 12Mbps/40ms", PathSpec(12.0, 0.04)),
+        ("wifi-bad 0.8Mbps/50ms", PathSpec(0.8, 0.05)),
+        ("lte 10Mbps/70ms", PathSpec(10.0, 0.07, kind=InterfaceKind.LTE)),
+        ("high-rtt 6Mbps/200ms", PathSpec(6.0, 0.20)),
+        ("lossy 12Mbps/40ms/0.5%", PathSpec(12.0, 0.04, loss=0.005)),
+    ]
+    results = once(
+        benchmark, lambda: compare_single_path(specs, size_bytes=mib(4))
+    )
+    banner("Validation: single-path completion time, fluid vs packet (4 MiB)")
+    print(f"{'path':26s} {'fluid':>8} {'packet':>8} {'ratio':>7}")
+    for c in results:
+        print(f"{c.label:26s} {c.fluid_time:7.2f}s {c.packet_time:7.2f}s "
+              f"{c.ratio:7.2f}")
+    for c in results:
+        if c.label.startswith("lossy"):
+            # Known divergence: the fluid engine is optimistic on short
+            # lossy transfers (slow-start transient; steady state agrees
+            # with the Reno formula — see docs/MODEL.md).
+            assert 0.35 < c.ratio <= 1.1, c.label
+        else:
+            assert 0.85 < c.ratio < 1.15, c.label
+
+
+def test_ext_validation_onoff_modulation(benchmark):
+    """The §4.3 on/off WiFi condition, paired sample paths."""
+    results = once(
+        benchmark, lambda: compare_onoff_single_path(size_bytes=mib(32))
+    )
+    banner("Validation: on/off WiFi modulation (32 MiB), fluid vs packet")
+    for c in results:
+        print(f"  {c.label:16s} fluid={c.fluid_time:7.1f}s "
+              f"packet={c.packet_time:7.1f}s ratio={c.ratio:.2f}")
+    for c in results:
+        assert 0.9 < c.ratio < 1.1, c.label
+
+
+def test_ext_validation_mptcp_and_hol(benchmark):
+    specs = [
+        PathSpec(8.0, 0.04),
+        PathSpec(6.0, 0.07, kind=InterfaceKind.LTE),
+    ]
+
+    def run():
+        fluid = fluid_mptcp_time(specs, mib(8))
+        by_buffer = {
+            buf: packet_mptcp_time(specs, mib(8), rcv_buffer=buf)[0]
+            for buf in (128_000.0, 256_000.0, 512_000.0, 2_000_000.0)
+        }
+        hol = hol_goodput_collapse()
+        return fluid, by_buffer, hol
+
+    fluid, by_buffer, (alone, together) = once(benchmark, run)
+    banner("Validation: MPTCP aggregation and head-of-line blocking")
+    print(f"fluid MPTCP (8 MiB over 8+6 Mbps): {fluid:6.2f} s")
+    for buf, t in sorted(by_buffer.items()):
+        print(f"packet MPTCP, rcv_buffer={buf / 1000:6.0f} KB:  {t:6.2f} s")
+    print(f"HoL pathology: fast path alone {alone:.2f} s vs MPTCP with a "
+          f"slow laggy path + 64 KB buffer {together:.2f} s")
+
+    # The fluid model's scheduler-utilization corresponds to the
+    # constrained-receive-buffer regime of the packet engine.
+    assert by_buffer[512_000.0] < fluid < by_buffer[128_000.0]
+    # The Bad/Bad mechanism exists at packet level: adding a bad path
+    # can make MPTCP slower than the good path alone.
+    assert together > alone

@@ -1,0 +1,42 @@
+"""Figure 1 — fixed energy cost of WiFi and cellular interfaces."""
+
+import pytest
+from conftest import banner, once
+
+from repro.energy.device import DEVICES
+from repro.experiments.overheads import (
+    FIGURE1_PAPER,
+    fixed_overheads,
+    measured_fixed_overhead,
+)
+from repro.net.interface import InterfaceKind
+
+
+def test_fig01_fixed_overhead(benchmark):
+    rows = once(benchmark, fixed_overheads)
+    banner("Figure 1: Fixed Energy Overhead (J)")
+    print(f"{'device':22s} {'iface':6s} {'ours':>7} {'paper':>7}")
+    for device, iface, joules in rows:
+        paper = FIGURE1_PAPER.get((device, iface), float("nan"))
+        print(f"{device:22s} {iface:6s} {joules:7.2f} {paper:7.2f}")
+    for device, iface, joules in rows:
+        assert joules == pytest.approx(FIGURE1_PAPER[(device, iface)], rel=0.10)
+
+
+def test_fig01_rrc_machine_agrees_with_closed_form(benchmark):
+    """Driving the event-driven RRC machine through one cycle must give
+    the same joules as the profile's closed form."""
+
+    def run():
+        out = {}
+        for profile in DEVICES.values():
+            for kind in (InterfaceKind.THREEG, InterfaceKind.LTE):
+                out[(profile.name, kind)] = (
+                    measured_fixed_overhead(profile, kind),
+                    profile.fixed_overhead(kind),
+                )
+        return out
+
+    results = once(benchmark, run)
+    for (_name, _kind), (measured, closed_form) in results.items():
+        assert measured == pytest.approx(closed_form, rel=0.01)

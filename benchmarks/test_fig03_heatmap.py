@@ -1,0 +1,29 @@
+"""Figure 3 — per-byte energy efficiency heat map (MPTCP / best single)."""
+
+from conftest import banner, once
+
+from repro.experiments.regions import figure3_heatmap
+
+
+def test_fig03_heatmap(benchmark):
+    wifi, lte, grid = once(benchmark, lambda: figure3_heatmap(step=0.5))
+    banner("Figure 3: per-byte energy of MPTCP / best single path "
+           "(< 1 means the dark 'V'; 2 Mbps grid shown)")
+    shown = [i for i, w in enumerate(wifi) if abs(w % 2.0) < 1e-9]
+    print("LTE\\WiFi " + " ".join(f"{wifi[i]:5.0f}" for i in shown))
+    for row_idx in shown:
+        cells = " ".join(f"{grid[row_idx][i]:5.2f}" for i in shown)
+        print(f"{lte[row_idx]:8.0f} {cells}")
+
+    flat = [v for row in grid for v in row]
+    # The "V" exists and both single-path regions exist.
+    assert min(flat) < 1.0
+    assert max(flat) > 1.0
+    # Right side (fast WiFi, modest LTE): WiFi-only wins -> ratio > 1.
+    i_wifi_10 = wifi.index(10.0)
+    i_lte_2 = lte.index(2.0)
+    assert grid[i_lte_2][i_wifi_10] > 1.0
+    # Inside the V (Table 2's BOTH region): ratio < 1.
+    i_wifi_half = wifi.index(0.5)
+    i_lte_1 = lte.index(1.0)
+    assert grid[i_lte_1][i_wifi_half] < 1.0

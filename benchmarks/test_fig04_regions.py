@@ -1,0 +1,30 @@
+"""Figure 4 — operating region where MPTCP is the most energy-efficient
+way to complete an entire transfer (1, 4, 16 MB)."""
+
+from conftest import banner, once
+
+from repro.experiments.regions import figure4_regions
+
+
+def test_fig04_regions(benchmark):
+    regions = once(benchmark, figure4_regions)
+    banner("Figure 4: MPTCP-best operating regions by download size")
+    for label, bounds in regions.items():
+        area = sum(hi - lo for lo, hi in bounds.values())
+        print(f"  {label}: rows with a region = {len(bounds)}, "
+              f"total WiFi-span = {area:.2f} Mbps")
+        for lte_rate in sorted(bounds)[:6]:
+            lo, hi = bounds[lte_rate]
+            print(f"    LTE {lte_rate:5.2f} -> WiFi [{lo:.2f}, {hi:.2f}]")
+
+    def row_count(label):
+        return len(regions[label])
+
+    def span(label):
+        return sum(hi - lo for lo, hi in regions[label].values())
+
+    # The paper's nesting: larger downloads amortise the cellular fixed
+    # overhead, so the region grows with size.
+    assert span("1MB") <= span("4MB") <= span("16MB")
+    assert row_count("16MB") >= row_count("4MB") >= row_count("1MB")
+    assert row_count("16MB") > 0

@@ -1,0 +1,27 @@
+"""Figure 5 — static good WiFi (>10 Mbps)."""
+
+import pytest
+from conftest import banner, once
+
+from repro.analysis.report import print_protocol_summary
+from repro.analysis.stats import mean
+from repro.experiments.static_bw import run_static
+from repro.units import mib
+
+
+def test_fig05_static_good_wifi(benchmark):
+    results = once(
+        benchmark, lambda: run_static(True, runs=3, download_bytes=mib(64))
+    )
+    banner("Figure 5: Static Good WiFi (64 MiB x 3 runs)")
+    print(print_protocol_summary("", results))
+
+    energy = {p: mean([r.energy_j for r in rs]) for p, rs in results.items()}
+    time = {p: mean([r.download_time for r in rs]) for p, rs in results.items()}
+    # eMPTCP chooses WiFi-only and matches single-path TCP.
+    assert energy["emptcp"] == pytest.approx(energy["tcp-wifi"], rel=0.05)
+    assert time["emptcp"] == pytest.approx(time["tcp-wifi"], rel=0.05)
+    # MPTCP burns clearly more energy (paper: ~60% more).
+    assert energy["mptcp"] > 1.3 * energy["emptcp"]
+    # ... for a modest time win.
+    assert time["mptcp"] < time["emptcp"]

@@ -1,0 +1,28 @@
+"""Figure 6 — static bad WiFi (<1 Mbps)."""
+
+import pytest
+from conftest import banner, once
+
+from repro.analysis.report import print_protocol_summary
+from repro.analysis.stats import mean
+from repro.experiments.static_bw import run_static
+from repro.units import mib
+
+
+def test_fig06_static_bad_wifi(benchmark):
+    results = once(
+        benchmark, lambda: run_static(False, runs=3, download_bytes=mib(64))
+    )
+    banner("Figure 6: Static Bad WiFi (64 MiB x 3 runs)")
+    print(print_protocol_summary("", results))
+
+    energy = {p: mean([r.energy_j for r in rs]) for p, rs in results.items()}
+    time = {p: mean([r.download_time for r in rs]) for p, rs in results.items()}
+    # eMPTCP behaves like MPTCP (after the kappa/tau LTE startup delay).
+    assert energy["emptcp"] == pytest.approx(energy["mptcp"], rel=0.25)
+    assert time["emptcp"] == pytest.approx(time["mptcp"], rel=0.35)
+    # TCP over WiFi is an order of magnitude slower.
+    assert time["tcp-wifi"] > 5 * time["mptcp"]
+    # And the LTE subflow was indeed delayed by ~tau.
+    delay = results["emptcp"][0].diagnostics["cell_established_at"]
+    assert delay == pytest.approx(3.0, abs=1.0)

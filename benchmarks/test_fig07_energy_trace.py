@@ -1,0 +1,38 @@
+"""Figure 7 — accumulated energy consumption under random WiFi
+bandwidth changes (one example run, identical bandwidth sample path for
+all three protocols)."""
+
+from conftest import banner, once
+
+from repro.experiments.random_bw import example_trace
+from repro.units import mib
+
+
+def test_fig07_energy_trace(benchmark):
+    traces = once(benchmark, lambda: example_trace(download_bytes=mib(128)))
+    banner("Figure 7: accumulated energy, random WiFi bandwidth (128 MiB)")
+    # Print the cumulative-energy series resampled on a 20 s grid.
+    horizon = max(r.download_time for r in traces.values())
+    grid = [t for t in range(0, int(horizon) + 20, 20)]
+    print("time(s)  " + "  ".join(f"{p:>9s}" for p in traces))
+    for t in grid:
+        row = []
+        for result in traces.values():
+            series = result.energy_series
+            value = series.value_at(min(t, series.times[-1]))
+            row.append(f"{value:9.1f}")
+        print(f"{t:7d}  " + "  ".join(row))
+    for protocol, result in traces.items():
+        print(f"{protocol:9s} completes at t={result.download_time:7.1f}s "
+              f"with {result.energy_j:7.1f} J")
+
+    # Energy accumulates monotonically and eMPTCP suspends/resumes LTE.
+    for result in traces.values():
+        assert result.energy_series.values == sorted(result.energy_series.values)
+    assert traces["emptcp"].diagnostics["mp_prio_events"] >= 1
+    # Completion order: MPTCP < eMPTCP < TCP over WiFi.
+    assert (
+        traces["mptcp"].download_time
+        < traces["emptcp"].download_time
+        < traces["tcp-wifi"].download_time
+    )

@@ -1,0 +1,50 @@
+"""Figures 11 & 12 — the mobility route and the accumulated-energy
+traces of one walk."""
+
+from conftest import banner, once
+
+from repro.experiments.mobility import example_traces, mobility_capacity_trace
+from repro.units import bytes_per_sec_to_mbps
+from repro.workloads.mobility import (
+    DEFAULT_AP_POSITION,
+    DEFAULT_USABLE_RANGE,
+    default_route,
+)
+
+
+def test_fig11_route_definition(benchmark):
+    trace = once(benchmark, mobility_capacity_trace)
+    route = default_route()
+    banner("Figure 11: mobility route (UMass CS building analogue)")
+    print(f"AP at {DEFAULT_AP_POSITION}, usable range {DEFAULT_USABLE_RANGE} m, "
+          f"route duration {route.duration:.0f} s")
+    rates = [bytes_per_sec_to_mbps(r) for _t, r in trace]
+    in_range = sum(1 for r in rates if r > 4.0) / len(rates)
+    print(f"WiFi rate: min {min(rates):.2f}, max {max(rates):.2f} Mbps; "
+          f"{in_range:.0%} of samples above 4 Mbps")
+    # The route is mostly in range with clear out-of-range excursions.
+    assert 0.5 < in_range < 0.95
+    assert max(rates) > 15.0
+    assert min(rates) < 0.5
+
+
+def test_fig12_mobility_energy_traces(benchmark):
+    traces = once(benchmark, example_traces)
+    banner("Figure 12: accumulated energy over the 250 s walk")
+    print("time(s)  " + "  ".join(f"{p:>9s}" for p in traces))
+    for t in range(0, 251, 25):
+        row = []
+        for result in traces.values():
+            series = result.energy_series
+            row.append(f"{series.value_at(min(t, series.times[-1])):9.1f}")
+        print(f"{t:7d}  " + "  ".join(row))
+
+    energy = {p: r.energy_j for p, r in traces.items()}
+    # Figure 12's slopes: TCP/WiFi < eMPTCP < MPTCP.
+    assert energy["tcp-wifi"] < energy["emptcp"] < energy["mptcp"]
+    # eMPTCP used LTE only during the out-of-range excursions: its LTE
+    # bytes are a fraction of MPTCP's.
+    assert (
+        traces["emptcp"].diagnostics["lte_bytes"]
+        < traces["mptcp"].diagnostics["lte_bytes"]
+    )

@@ -1,0 +1,31 @@
+"""Figure 13 — mobility: per-byte energy and download amount."""
+
+from conftest import banner, once
+
+from repro.analysis.stats import mean, sem
+from repro.experiments.mobility import run_mobility
+
+
+def test_fig13_mobility_comparison(benchmark):
+    results = once(benchmark, lambda: run_mobility(runs=5))
+    banner("Figure 13: mobility — J/bit and downloaded bytes (250 s x 5)")
+    print(f"{'protocol':10s} {'uJ/bit':>14} {'downloaded MB':>16}")
+    for protocol, runs in results.items():
+        jpb = [r.joules_per_bit * 1e6 for r in runs]
+        data = [r.bytes_received / 1e6 for r in runs]
+        print(
+            f"{protocol:10s} {mean(jpb):8.3f}±{sem(jpb):4.3f} "
+            f"{mean(data):10.1f}±{sem(data):5.1f}"
+        )
+
+    jpb = {p: mean([r.joules_per_bit for r in rs]) for p, rs in results.items()}
+    data = {p: mean([r.bytes_received for r in rs]) for p, rs in results.items()}
+    # Paper: eMPTCP's per-byte energy ~22% below MPTCP's and ~8-15%
+    # above TCP over WiFi's.
+    assert jpb["tcp-wifi"] < jpb["emptcp"] < jpb["mptcp"]
+    assert jpb["emptcp"] < 0.95 * jpb["mptcp"]
+    assert jpb["emptcp"] < 1.35 * jpb["tcp-wifi"]
+    # Paper: MPTCP downloads ~33% more than eMPTCP, which downloads
+    # ~28% more than TCP over WiFi.
+    assert data["tcp-wifi"] < data["emptcp"] < data["mptcp"]
+    assert data["emptcp"] > 1.1 * data["tcp-wifi"]

@@ -1,0 +1,35 @@
+"""Figure 14 — categorisation of in-the-wild traces at the 8 Mbps
+good/bad boundary."""
+
+from conftest import banner, once
+
+from repro.analysis.categorize import Category
+from repro.experiments.wild import LARGE_BYTES, collect_traces, scatter_points
+
+
+def test_fig14_trace_categories(benchmark):
+    traces = once(
+        benchmark,
+        lambda: collect_traces(
+            LARGE_BYTES, n_environments=24, protocols=("mptcp",)
+        ),
+    )
+    points = scatter_points(traces)
+    banner("Figure 14: wild trace categories (16 MiB downloads, 24 envs)")
+    counts = {}
+    for point in points:
+        counts[point["category"]] = counts.get(point["category"], 0) + 1
+    for category, count in sorted(counts.items()):
+        print(f"  {category:22s} {count:3d} traces")
+    print("  sample points (WiFi, LTE Mbps):")
+    for point in points[:8]:
+        print(f"    ({point['wifi_mbps']:5.2f}, {point['lte_mbps']:5.2f}) "
+              f"-> {point['category']}")
+
+    # All four quadrants are populated (the paper's scatter spans both
+    # axes from ~0 to ~25 Mbps).
+    assert set(counts) == {c.value for c in Category}
+    wifi_vals = [p["wifi_mbps"] for p in points]
+    lte_vals = [p["lte_mbps"] for p in points]
+    assert max(wifi_vals) > 10 and min(wifi_vals) < 6
+    assert max(lte_vals) > 10 and min(lte_vals) < 6

@@ -1,0 +1,41 @@
+"""Figure 15 — small file transfers in the wild (256 KB)."""
+
+from conftest import banner, once
+
+from repro.experiments.wild import SMALL_BYTES, collect_traces, whiskers_by_category
+
+
+def _print_whiskers(summaries, unit):
+    for category, by_protocol in summaries.items():
+        print(f"  {category.value}")
+        for protocol, w in by_protocol.items():
+            print(
+                f"    {protocol:10s} Q1={w.q1:8.2f} med={w.median:8.2f} "
+                f"Q3={w.q3:8.2f} {unit}  outliers={len(w.outliers)}"
+            )
+
+
+def test_fig15_small_transfers(benchmark):
+    traces = once(
+        benchmark, lambda: collect_traces(SMALL_BYTES, n_environments=24)
+    )
+    banner("Figure 15: small file transfers (256 KB, 24 wild envs)")
+    energy = whiskers_by_category(traces, "energy_j")
+    print("-- energy (J)")
+    _print_whiskers(energy, "J")
+    times = whiskers_by_category(traces, "download_time")
+    print("-- download time (s)")
+    _print_whiskers(times, "s")
+
+    # In every populated category eMPTCP's median energy sits with TCP
+    # over WiFi, far below MPTCP (paper: 75-90% less).
+    for category, by_protocol in energy.items():
+        emptcp = by_protocol["emptcp"].median
+        mptcp = by_protocol["mptcp"].median
+        wifi = by_protocol["tcp-wifi"].median
+        assert emptcp < 0.35 * mptcp, category
+        assert abs(emptcp - wifi) < 0.3 * wifi + 0.5, category
+    # Download times are statistically similar to MPTCP's (the Bad-WiFi
+    # categories show the widest spread, as in the paper's whiskers).
+    for category, by_protocol in times.items():
+        assert by_protocol["emptcp"].median <= by_protocol["mptcp"].median * 1.8

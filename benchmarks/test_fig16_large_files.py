@@ -1,0 +1,51 @@
+"""Figure 16 — large file transfers in the wild (16 MB)."""
+
+from conftest import banner, once
+
+from repro.analysis.categorize import Category
+from repro.experiments.wild import LARGE_BYTES, collect_traces, whiskers_by_category
+
+
+def test_fig16_large_transfers(benchmark):
+    traces = once(
+        benchmark, lambda: collect_traces(LARGE_BYTES, n_environments=24)
+    )
+    banner("Figure 16: large file transfers (16 MiB, 24 wild envs)")
+    energy = whiskers_by_category(traces, "energy_j")
+    times = whiskers_by_category(traces, "download_time")
+    for category in energy:
+        print(f"  {category.value}")
+        for protocol in energy[category]:
+            e = energy[category][protocol]
+            t = times[category][protocol]
+            print(
+                f"    {protocol:10s} energy med={e.median:8.2f} J "
+                f"[{e.q1:7.2f},{e.q3:7.2f}]  time med={t.median:7.2f} s"
+            )
+
+    # Good WiFi categories: eMPTCP uses far less energy than MPTCP
+    # (paper: ~50%) and tracks TCP over WiFi.
+    for category in (Category.GOOD_BAD, Category.GOOD_GOOD):
+        if category not in energy:
+            continue
+        e = energy[category]
+        assert e["emptcp"].median < 0.85 * e["mptcp"].median, category
+        assert abs(e["emptcp"].median - e["tcp-wifi"].median) < (
+            0.3 * e["tcp-wifi"].median
+        ), category
+    # Bad WiFi & good LTE: eMPTCP tracks MPTCP, and TCP over WiFi is the
+    # clear loser in download time.
+    if Category.BAD_GOOD in energy:
+        e = energy[Category.BAD_GOOD]
+        t = times[Category.BAD_GOOD]
+        assert e["emptcp"].median < 1.35 * e["mptcp"].median
+        assert t["tcp-wifi"].median > 1.5 * t["mptcp"].median
+    # Bad/Bad: the paper reports eMPTCP as the most efficient (~33%
+    # below MPTCP); our model reproduces this as close-to-MPTCP rather
+    # than a clear win (EXPERIMENTS.md records the deviation), with TCP
+    # over WiFi again paying in download time.
+    if Category.BAD_BAD in energy:
+        e = energy[Category.BAD_BAD]
+        t = times[Category.BAD_BAD]
+        assert e["emptcp"].median <= 1.25 * e["mptcp"].median
+        assert t["tcp-wifi"].median > 1.5 * t["mptcp"].median

@@ -1,0 +1,31 @@
+"""Figure 17 — web browsing case study (CNN-like page, 107 objects,
+6 parallel persistent connections)."""
+
+from conftest import banner, once
+
+from repro.analysis.stats import mean, sem
+from repro.experiments.web import run_web_comparison
+
+
+def test_fig17_web_browsing(benchmark):
+    results = once(benchmark, lambda: run_web_comparison(runs=5))
+    banner("Figure 17: Web browsing (107 objects, 6 connections, 5 loads)")
+    print(f"{'protocol':10s} {'energy (J)':>16} {'latency (s)':>16} {'LTE KB':>8}")
+    for protocol, runs in results.items():
+        energy = [r.energy_j for r in runs]
+        latency = [r.latency for r in runs]
+        lte = mean([r.lte_bytes for r in runs]) / 1e3
+        print(
+            f"{protocol:10s} {mean(energy):9.2f}±{sem(energy):4.2f} "
+            f"{mean(latency):10.2f}±{sem(latency):4.2f} {lte:8.1f}"
+        )
+
+    energy = {p: mean([r.energy_j for r in rs]) for p, rs in results.items()}
+    latency = {p: mean([r.latency for r in rs]) for p, rs in results.items()}
+    # Paper: MPTCP consumes ~60% more energy than eMPTCP / TCP over
+    # WiFi; eMPTCP's latency is statistically the same as MPTCP's.
+    assert energy["mptcp"] > 1.4 * energy["emptcp"]
+    assert abs(energy["emptcp"] - energy["tcp-wifi"]) < 0.25 * energy["tcp-wifi"]
+    assert latency["emptcp"] <= 1.35 * latency["mptcp"]
+    # eMPTCP never opens the LTE subflow for sub-256 KB objects.
+    assert all(r.lte_bytes == 0.0 for r in results["emptcp"])

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the simulation engines themselves.
+
+Unlike the figure benches (macro, single-shot), these measure wall-time
+throughput of the substrate — useful to catch performance regressions
+when extending the simulator.
+"""
+
+import random
+
+from repro.net.bandwidth import ConstantCapacity
+from repro.packet.link import PacketLink
+from repro.packet.mptcp import single_path_connection
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource, TcpConnection
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+def test_perf_event_loop(benchmark):
+    """Raw event scheduling/dispatch throughput (50k events)."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_perf_fluid_download(benchmark):
+    """One 64 MiB fluid download (thousands of TCP rounds)."""
+
+    def run():
+        sim = Simulator()
+        from repro.net.interface import InterfaceKind, NetworkInterface
+        from repro.net.path import NetworkPath
+
+        path = NetworkPath(
+            NetworkInterface(InterfaceKind.WIFI),
+            ConstantCapacity(mbps_to_bytes_per_sec(10.0)),
+            base_rtt=0.02,
+        )
+        path.attach(sim)
+        source = FiniteSource(mib(64))
+        conn = TcpConnection(sim, path, source, rng=random.Random(0))
+        conn.connect()
+        sim.run(until=200.0)
+        return source.exhausted
+
+    assert benchmark(run)
+
+
+def test_perf_packet_download(benchmark):
+    """One 4 MiB packet-level download (~3k segments + ACK events)."""
+
+    def run():
+        sim = Simulator()
+        link = PacketLink(
+            sim,
+            ConstantCapacity(mbps_to_bytes_per_sec(10.0)),
+            one_way_delay=0.02,
+            rng=random.Random(0),
+        )
+        conn = single_path_connection(sim, link, FiniteSource(mib(4)))
+        conn.open()
+        sim.run(until=60.0, max_events=20_000_000)
+        return conn.completed_at is not None
+
+    assert benchmark(run)

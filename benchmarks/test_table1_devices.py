@@ -1,0 +1,16 @@
+"""Table 1 — mobile device specifications."""
+
+from conftest import banner, once
+
+from repro.experiments.overheads import table1_rows
+
+
+def test_table1_devices(benchmark):
+    rows = once(benchmark, table1_rows)
+    banner("Table 1: Mobile Devices")
+    for row in rows:
+        for key, value in row.items():
+            print(f"  {key:16s} {value}")
+        print()
+    assert {r["Name"] for r in rows} == {"Samsung Galaxy S3", "LG Nexus 5"}
+    assert all(r["WiFi chipset"].startswith("Broadcom") for r in rows)

@@ -1,0 +1,28 @@
+"""Table 2 — Energy Information Base transition thresholds."""
+
+import pytest
+from conftest import banner, once
+
+from repro.experiments.regions import TABLE2_PAPER, table2_rows
+
+
+def test_table2_eib(benchmark):
+    rows = once(benchmark, table2_rows)
+    banner("Table 2: Energy Information Base (Galaxy S3, LTE)")
+    print(f"{'LTE Mbps':>9} {'LTE-only <':>11} {'WiFi-only >=':>13}"
+          f" {'paper <':>9} {'paper >=':>9}")
+    for entry in rows:
+        paper_cell, paper_wifi = TABLE2_PAPER[entry.cell_mbps]
+        print(
+            f"{entry.cell_mbps:9.1f} {entry.cellular_only_below:11.3f} "
+            f"{entry.wifi_only_above:13.3f} {paper_cell:9.3f} {paper_wifi:9.3f}"
+        )
+    # Shape: thresholds within 30% of the published rows (abs slack for
+    # the tiny 0.5-row cellular threshold) and correctly ordered.
+    for entry in rows:
+        paper_cell, paper_wifi = TABLE2_PAPER[entry.cell_mbps]
+        assert entry.wifi_only_above == pytest.approx(paper_wifi, rel=0.30)
+        assert entry.cellular_only_below == pytest.approx(
+            paper_cell, rel=0.30, abs=0.03
+        )
+        assert entry.cellular_only_below < entry.wifi_only_above

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Downloading a large file on flaky café WiFi (the §4.3 scenario).
+
+The AP's bandwidth flips between great (12 Mbps) and terrible
+(0.8 Mbps) with ~40 s dwell times while you pull a 128 MiB update.
+Watch the three strategies make their trade-offs in real numbers, and
+inspect eMPTCP's MP_PRIO trail to see exactly when it suspended and
+resumed the LTE subflow.
+
+Run:  python examples/flaky_cafe_wifi.py
+"""
+
+from repro.experiments.random_bw import example_trace
+from repro.units import mib
+
+
+def main():
+    print("downloading 128 MiB over on/off WiFi (12 <-> 0.8 Mbps, "
+          "mean dwell 40 s), LTE 10 Mbps available...\n")
+    traces = example_trace(download_bytes=mib(128), seed=11)
+
+    print(f"{'strategy':10s} {'finish':>9} {'energy':>9} {'mean rate':>10}")
+    for protocol, result in traces.items():
+        print(
+            f"{protocol:10s} {result.download_time:8.1f}s "
+            f"{result.energy_j:8.1f}J {result.mean_goodput_mbps:8.1f} Mbps"
+        )
+
+    emptcp = traces["emptcp"]
+    print()
+    print("accumulated energy at 30 s checkpoints (J):")
+    horizon = int(max(r.download_time for r in traces.values()))
+    header = "  t(s)   " + "  ".join(f"{p:>9s}" for p in traces)
+    print(header)
+    for t in range(0, horizon + 1, 30):
+        row = []
+        for result in traces.values():
+            series = result.energy_series
+            row.append(f"{series.value_at(min(t, series.times[-1])):9.1f}")
+        print(f"  {t:5d}  " + "  ".join(row))
+    print()
+    print(f"eMPTCP path-usage switches: "
+          f"{emptcp.diagnostics['decision_switches']:.0f}, "
+          f"LTE suspensions: {emptcp.diagnostics.get('lte_suspends', 0):.0f}")
+    print("eMPTCP finishes far sooner than WiFi-only and burns less than "
+          "always-on MPTCP — the middle of the paper's Figure 8.")
+
+
+if __name__ == "__main__":
+    main()

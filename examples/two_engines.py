@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Same scenario, two transport engines.
+
+The reproduction runs on a fluid, round-based TCP model; a segment-level
+engine (SACK, fast retransmit, RTOs, a real receive buffer) lives in
+`repro.packet` as its validation substrate.  This example runs one
+download through both and prints the agreement — then shows the one
+phenomenon only the packet engine can produce natively: MPTCP made
+*slower* than a single path by head-of-line blocking.
+
+Run:  python examples/two_engines.py
+"""
+
+from repro.net.interface import InterfaceKind
+from repro.packet.validate import (
+    PathSpec,
+    compare_single_path,
+    fluid_mptcp_time,
+    hol_goodput_collapse,
+    packet_mptcp_time,
+)
+from repro.units import mib
+
+
+def main():
+    print("single-path downloads (4 MiB), fluid vs packet engine:")
+    specs = [
+        ("good WiFi, 12 Mbps / 40 ms", PathSpec(12.0, 0.04)),
+        ("bad WiFi, 0.8 Mbps / 50 ms", PathSpec(0.8, 0.05)),
+        ("LTE, 10 Mbps / 70 ms", PathSpec(10.0, 0.07, kind=InterfaceKind.LTE)),
+    ]
+    for c in compare_single_path(specs, size_bytes=mib(4)):
+        print(f"  {c.label:28s} fluid {c.fluid_time:6.2f} s   "
+              f"packet {c.packet_time:6.2f} s   ratio {c.ratio:.2f}")
+
+    print()
+    mptcp_specs = [
+        PathSpec(8.0, 0.04),
+        PathSpec(6.0, 0.07, kind=InterfaceKind.LTE),
+    ]
+    fluid = fluid_mptcp_time(mptcp_specs, mib(8))
+    print("MPTCP (8 MiB over 8 + 6 Mbps):")
+    print(f"  fluid engine:                    {fluid:6.2f} s")
+    for buf in (128_000.0, 256_000.0, 2_000_000.0):
+        t, _split = packet_mptcp_time(mptcp_specs, mib(8), rcv_buffer=buf)
+        print(f"  packet engine, {buf / 1000:5.0f} KB buffer:  {t:6.2f} s")
+    print("  -> the fluid model's scheduler-utilization formula matches the")
+    print("     constrained-buffer regime of a real receive window.")
+
+    print()
+    alone, together = hol_goodput_collapse()
+    print("head-of-line pathology (64 KB receive buffer, slow+laggy 2nd path):")
+    print(f"  fast path alone: {alone:5.2f} s    MPTCP with both: {together:5.2f} s")
+    print("  adding a path made things worse — the mechanism behind the")
+    print("  paper's Bad-WiFi/Bad-LTE observations, and the reason adaptive")
+    print("  path suspension (eMPTCP) has something to win.")
+
+
+if __name__ == "__main__":
+    main()

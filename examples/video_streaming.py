@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Streaming a video on a train (a §7 future-work scenario).
+
+A 2.5 Mbps video plays for two minutes while the WiFi swings between
+comfortable and below-bitrate.  The streaming client is buffer-driven
+(DASH-style): bursts of chunk fetches separated by idle gaps — a very
+different traffic pattern from the paper's backlogged downloads.
+
+What to look for:
+
+* TCP over WiFi is the cheapest but the video stalls whenever WiFi
+  drops below the bitrate;
+* MPTCP never stalls but keeps the LTE radio's tail warm for every
+  burst, even when WiFi alone would have been enough;
+* eMPTCP streams as smoothly as MPTCP while bringing LTE up only when
+  WiFi cannot sustain the bitrate.
+
+Run:  python examples/video_streaming.py
+"""
+
+from repro.experiments.streaming import PROTOCOLS, run_streaming
+
+
+def main():
+    print("streaming 120 s of 2.5 Mbps video over on/off WiFi "
+          "(10 <-> 1.2 Mbps)...\n")
+    print(f"{'strategy':10s} {'startup':>8} {'stalls':>7} {'stall time':>11} "
+          f"{'energy':>9}")
+    results = {}
+    for protocol in PROTOCOLS:
+        result = run_streaming(protocol, media_seconds=120.0, seed=3)
+        results[protocol] = result
+        print(
+            f"{protocol:10s} {result.startup_delay:7.2f}s "
+            f"{result.rebuffer_events:7d} {result.rebuffer_time:10.1f}s "
+            f"{result.energy_j:8.1f}J"
+        )
+    print()
+    emptcp, mptcp, tcp = results["emptcp"], results["mptcp"], results["tcp-wifi"]
+    saved = mptcp.energy_j - emptcp.energy_j
+    print(f"eMPTCP matches MPTCP's playback quality while saving {saved:.0f} J "
+          f"({saved / mptcp.energy_j:.0%});")
+    if tcp.rebuffer_time > 0:
+        print(f"WiFi-only saves more joules but freezes the video for "
+              f"{tcp.rebuffer_time:.0f} s — the trade-off eMPTCP navigates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — a reproduction of *Design, Implementation, and Evaluation of
+Energy-Aware Multi-Path TCP* (Lim et al., CoNEXT 2015).
+
+The public API re-exports the pieces a downstream user needs:
+
+* the eMPTCP connection and its configuration (:mod:`repro.core`);
+* the MPTCP/TCP substrate (:mod:`repro.mptcp`, :mod:`repro.tcp`);
+* the network substrate (:mod:`repro.net`);
+* the energy model and device profiles (:mod:`repro.energy`);
+* the evaluation harness (:mod:`repro.experiments`) and baselines
+  (:mod:`repro.baselines`).
+
+Quick start::
+
+    from repro import (EMPTCPConfig, EMPTCPConnection, EnergyMeter,
+                       GALAXY_S3, Simulator)
+    # see examples/quickstart.py for a complete runnable setup
+
+or, one level higher, run a packaged experiment::
+
+    from repro.experiments import run_scenario
+    from repro.experiments.static_bw import static_scenario
+    result = run_scenario("emptcp", static_scenario(good_wifi=True))
+"""
+
+from repro.core import EMPTCPConfig, EMPTCPConnection, EnergyInformationBase
+from repro.energy import DEVICES, GALAXY_S3, NEXUS_5, DeviceProfile, EnergyMeter
+from repro.errors import (
+    ConfigurationError,
+    EnergyModelError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.mptcp import MptcpMode, MPTCPConnection
+from repro.net import (
+    ConstantCapacity,
+    InterfaceKind,
+    NetworkInterface,
+    NetworkPath,
+    PiecewiseTraceCapacity,
+    TwoStateMarkovCapacity,
+    WiFiChannel,
+)
+from repro.sim import Simulator
+from repro.tcp import FiniteSource, InfiniteSource, TcpConnection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ConstantCapacity",
+    "DEVICES",
+    "DeviceProfile",
+    "EMPTCPConfig",
+    "EMPTCPConnection",
+    "EnergyInformationBase",
+    "EnergyMeter",
+    "EnergyModelError",
+    "FiniteSource",
+    "GALAXY_S3",
+    "InfiniteSource",
+    "InterfaceKind",
+    "MPTCPConnection",
+    "MptcpMode",
+    "NEXUS_5",
+    "NetworkInterface",
+    "NetworkPath",
+    "PiecewiseTraceCapacity",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "Simulator",
+    "TcpConnection",
+    "TwoStateMarkovCapacity",
+    "WiFiChannel",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Statistics and reporting helpers used by the evaluation harness."""
+
+from repro.analysis.categorize import Category, categorize, categorize_run
+from repro.analysis.stats import (
+    WhiskerSummary,
+    mean,
+    quartiles,
+    sample_std,
+    sem,
+    whisker_summary,
+)
+
+__all__ = [
+    "Category",
+    "WhiskerSummary",
+    "categorize",
+    "categorize_run",
+    "mean",
+    "quartiles",
+    "sample_std",
+    "sem",
+    "whisker_summary",
+]

@@ -1,0 +1,47 @@
+"""Good/Bad trace categorisation for the in-the-wild study (§5.1).
+
+The paper groups collected traces into four categories based on the
+measured WiFi and LTE throughput qualities, with 8 Mbps as the
+good/bad boundary (Figure 14).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The paper's good/bad throughput boundary, Mbps.
+GOOD_THRESHOLD_MBPS = 8.0
+
+
+class Category(enum.Enum):
+    """The four quadrants of Figure 14 (WiFi quality, LTE quality)."""
+
+    BAD_BAD = "Bad WiFi & Bad LTE"
+    BAD_GOOD = "Bad WiFi & Good LTE"
+    GOOD_BAD = "Good WiFi & Bad LTE"
+    GOOD_GOOD = "Good WiFi & Good LTE"
+
+
+def categorize(
+    wifi_mbps: float,
+    lte_mbps: float,
+    threshold_mbps: float = GOOD_THRESHOLD_MBPS,
+) -> Category:
+    """Classify one trace by its measured throughputs."""
+    wifi_good = wifi_mbps >= threshold_mbps
+    lte_good = lte_mbps >= threshold_mbps
+    if wifi_good and lte_good:
+        return Category.GOOD_GOOD
+    if wifi_good:
+        return Category.GOOD_BAD
+    if lte_good:
+        return Category.BAD_GOOD
+    return Category.BAD_BAD
+
+
+def categorize_run(result, threshold_mbps: float = GOOD_THRESHOLD_MBPS) -> Category:
+    """Classify a :class:`~repro.experiments.scenario.RunResult` by the
+    path throughputs measured during the run."""
+    return categorize(
+        result.measured_wifi_mbps, result.measured_cell_mbps, threshold_mbps
+    )

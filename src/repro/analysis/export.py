@@ -1,0 +1,87 @@
+"""Result export: CSV/JSON serialisation for plotting outside Python.
+
+The harness's :class:`~repro.experiments.scenario.RunResult` carries
+time series (accumulated energy, per-interface rates) that a downstream
+user will want in their plotting tool of choice; these helpers write
+them in boring, stable formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import RunResult
+from repro.sim.trace import TimeSeries
+
+
+def timeseries_to_csv(series: Sequence[TimeSeries], time_label: str = "time_s") -> str:
+    """Merge time series into one CSV (step-resampled on the union of
+    sample times).  Columns are named after each series' ``name``."""
+    if not series:
+        raise ConfigurationError("no series to export")
+    times = sorted({t for s in series for t in s.times})
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow([time_label] + [s.name or f"series{i}" for i, s in enumerate(series)])
+    for t in times:
+        row: List[object] = [t]
+        for s in series:
+            try:
+                row.append(s.value_at(t))
+            except Exception:
+                row.append("")
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def run_result_to_dict(result: RunResult, include_series: bool = False) -> Dict:
+    """A JSON-ready summary of one run."""
+    out: Dict = {
+        "protocol": result.protocol,
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "download_time_s": result.download_time,
+        "bytes_received": result.bytes_received,
+        "energy_j": result.energy_j,
+        "energy_at_completion_j": result.energy_at_completion_j,
+        "joules_per_byte": result.joules_per_byte,
+        "measured_wifi_mbps": result.measured_wifi_mbps,
+        "measured_cell_mbps": result.measured_cell_mbps,
+        "diagnostics": dict(result.diagnostics),
+    }
+    if include_series:
+        out["energy_series"] = _series_points(result.energy_series)
+        out["wifi_rate_series"] = _series_points(result.wifi_rate_series)
+        out["cell_rate_series"] = _series_points(result.cell_rate_series)
+    return out
+
+
+def _series_points(series: TimeSeries) -> List[List[float]]:
+    return [[t, v] for t, v in series]
+
+
+def results_to_json(
+    results: Iterable[RunResult], include_series: bool = False, indent: int = 2
+) -> str:
+    """Serialise many runs as a JSON array."""
+    return json.dumps(
+        [run_result_to_dict(r, include_series) for r in results], indent=indent
+    )
+
+
+def results_to_csv(results: Iterable[RunResult]) -> str:
+    """One CSV row per run (summary fields only)."""
+    rows = [run_result_to_dict(r) for r in results]
+    if not rows:
+        raise ConfigurationError("no results to export")
+    fields = [k for k in rows[0] if k != "diagnostics"]
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=fields, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

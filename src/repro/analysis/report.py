@@ -1,0 +1,74 @@
+"""Plain-text tables for benchmark output and EXPERIMENTS.md.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import mean, sem
+from repro.experiments.scenario import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width text table."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def protocol_summary_rows(
+    results: Dict[str, List[RunResult]],
+) -> List[List[str]]:
+    """Rows of (protocol, energy ± sem, time ± sem, GB downloaded)."""
+    rows: List[List[str]] = []
+    for protocol, runs in results.items():
+        energies = [r.energy_j for r in runs]
+        times = [r.download_time for r in runs if r.download_time is not None]
+        data = [r.bytes_received for r in runs]
+        row = [
+            protocol,
+            f"{mean(energies):8.1f} ± {sem(energies):5.1f} J",
+            (
+                f"{mean(times):8.1f} ± {sem(times):5.1f} s"
+                if times
+                else "   (fixed window)"
+            ),
+            f"{mean(data) / 1e6:8.1f} MB",
+        ]
+        rows.append(row)
+    return rows
+
+
+def print_protocol_summary(title: str, results: Dict[str, List[RunResult]]) -> str:
+    """Format one figure's protocol comparison as text."""
+    table = format_table(
+        ["protocol", "energy", "download time", "downloaded"],
+        protocol_summary_rows(results),
+    )
+    return f"{title}\n{table}"
+
+
+def relative_to(
+    results: Dict[str, List[RunResult]], baseline: str, metric: str
+) -> Dict[str, float]:
+    """Per-protocol mean of ``metric`` relative to a baseline protocol
+    (1.0 == parity), e.g. ``relative_to(res, 'mptcp', 'energy_j')``."""
+    base_runs = results[baseline]
+    base = mean([getattr(r, metric) for r in base_runs])
+    return {
+        protocol: mean([getattr(r, metric) for r in runs]) / base
+        for protocol, runs in results.items()
+    }

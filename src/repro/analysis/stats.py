@@ -1,0 +1,109 @@
+"""Statistics used by the paper's figures.
+
+* Figures 8, 10, 13 report sample means with horizontal bars of twice
+  the standard error of the mean (SEM).  The paper's equation (2)
+  contains a typo — it omits the square on ``(x_i - x̄)`` — and we
+  implement the standard (squared) definition.
+* Figures 15 and 16 are whisker plots: Q1 / median / Q3, with outliers
+  defined as points outside ``[Q1 - 1.5 IQR, Q3 + 1.5 IQR]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def mean(xs: Sequence[float]) -> float:
+    """Sample mean; raises on an empty sample."""
+    if not xs:
+        raise ConfigurationError("mean of empty sample")
+    return sum(xs) / len(xs)
+
+
+def sample_std(xs: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0 for n == 1."""
+    n = len(xs)
+    if n == 0:
+        raise ConfigurationError("std of empty sample")
+    if n == 1:
+        return 0.0
+    x_bar = mean(xs)
+    return math.sqrt(sum((x - x_bar) ** 2 for x in xs) / (n - 1))
+
+
+def sem(xs: Sequence[float]) -> float:
+    """Standard error of the mean: s / sqrt(n)."""
+    return sample_std(xs) / math.sqrt(len(xs))
+
+
+def _percentile(sorted_xs: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (same convention as numpy)."""
+    n = len(sorted_xs)
+    if n == 1:
+        return sorted_xs[0]
+    pos = q * (n - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    if sorted_xs[lo] == sorted_xs[hi]:
+        # Skip the interpolation arithmetic: with subnormal values the
+        # weighted sum can round below both endpoints.
+        return sorted_xs[lo]
+    return sorted_xs[lo] * (1 - frac) + sorted_xs[hi] * frac
+
+
+def quartiles(xs: Sequence[float]) -> Tuple[float, float, float]:
+    """(Q1, median, Q3) of a sample."""
+    if not xs:
+        raise ConfigurationError("quartiles of empty sample")
+    s = sorted(xs)
+    return _percentile(s, 0.25), _percentile(s, 0.5), _percentile(s, 0.75)
+
+
+@dataclass(frozen=True)
+class WhiskerSummary:
+    """Everything a Figure 15/16-style whisker plot shows."""
+
+    n: int
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: Tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range, Q3 - Q1."""
+        return self.q3 - self.q1
+
+
+def whisker_summary(xs: Sequence[float]) -> WhiskerSummary:
+    """Compute the paper's whisker-plot summary of a sample.
+
+    Whiskers extend to the most extreme data points within
+    ``[Q1 - 1.5 IQR, Q3 + 1.5 IQR]``; anything outside is an outlier.
+    """
+    if not xs:
+        raise ConfigurationError("whisker summary of empty sample")
+    q1, med, q3 = quartiles(xs)
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside: List[float] = [x for x in xs if lo_fence <= x <= hi_fence]
+    outliers = tuple(sorted(x for x in xs if x < lo_fence or x > hi_fence))
+    # With a non-degenerate sample the quartiles themselves are always
+    # inside the fences, so ``inside`` is non-empty.
+    return WhiskerSummary(
+        n=len(xs),
+        q1=q1,
+        median=med,
+        q3=q3,
+        whisker_low=min(inside),
+        whisker_high=max(inside),
+        outliers=outliers,
+    )

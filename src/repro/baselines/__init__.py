@@ -1,0 +1,21 @@
+"""Comparison strategies evaluated against eMPTCP (§4.6, §6).
+
+* :mod:`repro.baselines.single_path` — plain TCP over WiFi.
+* :mod:`repro.baselines.wifi_first` — "MPTCP with WiFi First" (Raiciu
+  et al. [28]): cellular in backup mode, used only when WiFi breaks.
+* :mod:`repro.baselines.mdp` — the Markov-decision-process scheduler of
+  Pluntke et al. [24], computed offline by value iteration and applied
+  in one-second epochs.
+"""
+
+from repro.baselines.mdp import MdpAction, MdpPolicy, MdpScheduledConnection
+from repro.baselines.single_path import SinglePathTcp
+from repro.baselines.wifi_first import WiFiFirstConnection
+
+__all__ = [
+    "MdpAction",
+    "MdpPolicy",
+    "MdpScheduledConnection",
+    "SinglePathTcp",
+    "WiFiFirstConnection",
+]

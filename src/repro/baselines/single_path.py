@@ -1,0 +1,61 @@
+"""Single-path TCP over WiFi — the paper's constant comparison point.
+
+A thin adapter giving a plain :class:`~repro.tcp.connection.TcpConnection`
+the same open/complete surface as the multipath connection classes so
+the experiment runner can treat every protocol uniformly.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, List, Optional
+
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.tcp.connection import ByteSource, TcpConnection
+
+
+class SinglePathTcp:
+    """TCP over a single (WiFi) path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: NetworkPath,
+        source: ByteSource,
+        rng: Optional[_random.Random] = None,
+        name: str = "tcp-wifi",
+    ):
+        self.sim = sim
+        self.path = path
+        self.source = source
+        self.name = name
+        self.connection = TcpConnection(sim, path, source, rng=rng, name=name)
+        self.completed_at: Optional[float] = None
+        self._complete_listeners: List[Callable[["SinglePathTcp"], None]] = []
+        self.connection.on_delivery(self._check_complete)
+
+    def open(self) -> None:
+        """Start the connection."""
+        self.connection.connect()
+
+    def close(self) -> None:
+        """Tear the connection down."""
+        self.connection.close()
+
+    def on_complete(self, listener: Callable[["SinglePathTcp"], None]) -> None:
+        """Subscribe to transfer completion."""
+        self._complete_listeners.append(listener)
+
+    def _check_complete(self, _conn: TcpConnection, _delivered: float) -> None:
+        if not getattr(self.source, "final", True):
+            return
+        if self.completed_at is None and self.source.exhausted:
+            self.completed_at = self.sim.now
+            for listener in list(self._complete_listeners):
+                listener(self)
+
+    @property
+    def bytes_received(self) -> float:
+        """Bytes delivered so far."""
+        return self.connection.bytes_delivered

@@ -1,0 +1,108 @@
+""""MPTCP with WiFi First" (Raiciu et al. [28], discussed in §4.6).
+
+Strategy: put the cellular subflow in backup mode and activate it only
+when WiFi is *not available* — i.e. the WiFi subflow explicitly breaks,
+such as an AP disassociation.  Crucially (and this is the paper's
+criticism), a WiFi path that is still associated but delivers almost no
+bandwidth does NOT trigger the fallback, so in the mobility scenario
+this strategy degenerates into TCP over WiFi.  It also activates the
+cellular interface at connection establishment (the backup handshake),
+needlessly paying promotion and tail.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, List, Optional
+
+from repro.mptcp.connection import MptcpMode, MPTCPConnection
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.tcp.connection import ByteSource
+
+
+class WiFiFirstConnection:
+    """MPTCP in backup mode: WiFi preferred, cellular on WiFi breakage."""
+
+    #: How often WiFi association is checked, seconds.
+    CHECK_INTERVAL = 0.5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        wifi_path: NetworkPath,
+        cellular_path: NetworkPath,
+        source: ByteSource,
+        rng: Optional[_random.Random] = None,
+        name: str = "wifi-first",
+    ):
+        self.sim = sim
+        self.wifi_path = wifi_path
+        self.cellular_path = cellular_path
+        self.name = name
+        self.mptcp = MPTCPConnection(
+            sim,
+            primary_path=wifi_path,
+            source=source,
+            secondary_paths=[cellular_path],
+            mode=MptcpMode.BACKUP,
+            rng=rng,
+            auto_join=True,
+            name=name,
+        )
+        self.failovers = 0
+        self._wifi_broken = False
+        self._monitor = PeriodicProcess(sim, self.CHECK_INTERVAL, self._check_wifi)
+        self._complete_listeners: List[Callable[["WiFiFirstConnection"], None]] = []
+        self.mptcp.on_complete(self._on_complete)
+
+    def open(self) -> None:
+        """Open both subflows (cellular as backup) and watch WiFi."""
+        self.mptcp.open()
+        self._monitor.start()
+
+    def close(self) -> None:
+        """Close all subflows."""
+        self._monitor.stop()
+        self.mptcp.close()
+
+    def on_complete(self, listener: Callable[["WiFiFirstConnection"], None]) -> None:
+        """Subscribe to transfer completion."""
+        self._complete_listeners.append(listener)
+
+    def _on_complete(self, _conn: MPTCPConnection) -> None:
+        self._monitor.stop()
+        for listener in list(self._complete_listeners):
+            listener(self)
+
+    def _check_wifi(self) -> None:
+        # "Not available" means the association is gone — administrative
+        # interface state — not merely poor throughput.
+        broken = not self.wifi_path.interface.up
+        if broken == self._wifi_broken:
+            return
+        self._wifi_broken = broken
+        wifi_sf = self.mptcp.subflow_for(self.wifi_path.interface.kind)
+        cell_sf = self.mptcp.subflow_for(self.cellular_path.interface.kind)
+        if cell_sf is None or not cell_sf.established:
+            return
+        if broken:
+            self.failovers += 1
+            self.mptcp.set_low_priority(cell_sf, low=False)
+            if wifi_sf is not None and wifi_sf.established and not wifi_sf.suspended:
+                self.mptcp.set_low_priority(wifi_sf, low=True)
+        else:
+            if wifi_sf is not None and wifi_sf.established and wifi_sf.suspended:
+                self.mptcp.set_low_priority(wifi_sf, low=False)
+            self.mptcp.set_low_priority(cell_sf, low=True)
+
+    @property
+    def completed_at(self) -> Optional[float]:
+        """Transfer completion time."""
+        return self.mptcp.completed_at
+
+    @property
+    def bytes_received(self) -> float:
+        """Bytes delivered so far."""
+        return self.mptcp.bytes_received

@@ -1,0 +1,387 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    emptcp-repro list
+    emptcp-repro table2
+    emptcp-repro fig5 --runs 3 --size-mb 64
+    emptcp-repro fig17 --runs 3
+
+Every command prints the same rows/series the corresponding figure or
+table in the paper reports.  Sizes and run counts default to scaled-down
+values so the CLI stays interactive; pass paper-scale values to match
+§4/§5 exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_table, print_protocol_summary, relative_to
+from repro.analysis.stats import mean
+from repro.experiments import background as bg
+from repro.experiments import comparisons, mobility, random_bw, regions, static_bw
+from repro.experiments import overheads as ovh
+from repro.experiments import handover as handover_exp
+from repro.packet import validate as pv
+from repro.experiments import streaming as stream_exp
+from repro.experiments import upload as upload_exp
+from repro.experiments import web as web_exp
+from repro.experiments import wild as wild_exp
+from repro.units import mib
+
+
+def _cmd_list(_args) -> int:
+    for name, doc in sorted(_COMMANDS.items()):
+        print(f"{name:10s} {doc[1]}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    rows = ovh.table1_rows()
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[r[h] for h in headers] for r in rows]))
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    rows = regions.table2_rows()
+    print(
+        format_table(
+            ["LTE Mbps", "LTE-only below (ours)", "WiFi-only above (ours)",
+             "LTE-only (paper)", "WiFi-only (paper)"],
+            [
+                [
+                    f"{e.cell_mbps:.1f}",
+                    f"{e.cellular_only_below:.3f}",
+                    f"{e.wifi_only_above:.3f}",
+                    f"{regions.TABLE2_PAPER[e.cell_mbps][0]:.3f}",
+                    f"{regions.TABLE2_PAPER[e.cell_mbps][1]:.3f}",
+                ]
+                for e in rows
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_fig1(_args) -> int:
+    print(
+        format_table(
+            ["device", "interface", "fixed overhead (J)", "paper (J)"],
+            [
+                [dev, iface, f"{joules:.2f}",
+                 f"{ovh.FIGURE1_PAPER.get((dev, iface), float('nan')):.2f}"]
+                for dev, iface, joules in ovh.fixed_overheads()
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_fig3(_args) -> int:
+    wifi, lte, grid = regions.figure3_heatmap(step=1.0)
+    header = ["LTE\\WiFi"] + [f"{w:.0f}" for w in wifi]
+    rows = [
+        [f"{lte[i]:.0f}"] + [f"{grid[i][j]:.2f}" for j in range(len(wifi))]
+        for i in range(len(lte))
+    ]
+    print("Per-byte energy of MPTCP / best single path (values < 1: MPTCP wins)")
+    print(format_table(header, rows))
+    return 0
+
+
+def _cmd_fig4(_args) -> int:
+    for label, bounds in regions.figure4_regions().items():
+        print(f"-- {label}: LTE Mbps -> [WiFi lo, WiFi hi] where MPTCP wins")
+        for lte_rate, (lo, hi) in sorted(bounds.items()):
+            print(f"   {lte_rate:5.2f} -> [{lo:.2f}, {hi:.2f}]")
+    return 0
+
+
+def _run_static(args, good: bool, fig: str) -> int:
+    results = static_bw.run_static(
+        good, runs=args.runs, download_bytes=mib(args.size_mb)
+    )
+    print(print_protocol_summary(f"Figure {fig} ({'good' if good else 'bad'} WiFi, "
+                                 f"{args.size_mb} MiB x {args.runs} runs)", results))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    return _run_static(args, good=True, fig="5")
+
+
+def _cmd_fig6(args) -> int:
+    return _run_static(args, good=False, fig="6")
+
+
+def _cmd_fig7(args) -> int:
+    traces = random_bw.example_trace(download_bytes=mib(args.size_mb))
+    for protocol, result in traces.items():
+        last = result.energy_series.last
+        print(
+            f"{protocol:10s} completed t={result.download_time:7.1f}s  "
+            f"energy={result.energy_j:7.1f}J  final series point={last}"
+        )
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    results = random_bw.run_random_bw(runs=args.runs, download_bytes=mib(args.size_mb))
+    print(print_protocol_summary(
+        f"Figure 8 (random WiFi bandwidth, {args.size_mb} MiB x {args.runs})", results))
+    rel_e = relative_to(results, "mptcp", "energy_j")
+    print("relative energy vs MPTCP: "
+          + ", ".join(f"{p}={v:.2f}" for p, v in rel_e.items()))
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    traces = bg.example_traces(download_bytes=mib(args.size_mb))
+    for protocol, result in traces.items():
+        wifi_mb = result.diagnostics.get("wifi_bytes", 0.0) / 1e6
+        lte_mb = result.diagnostics.get("lte_bytes", 0.0) / 1e6
+        print(f"{protocol:8s} wifi={wifi_mb:7.1f}MB lte={lte_mb:7.1f}MB "
+              f"time={result.download_time:6.1f}s energy={result.energy_j:6.1f}J")
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    results = bg.run_background(runs=args.runs, download_bytes=mib(args.size_mb))
+    rows = bg.normalize_to_mptcp(results)
+    print(format_table(
+        ["lambda_off", "n", "protocol", "energy %MPTCP", "time %MPTCP"],
+        [[r.lambda_off, r.n, r.protocol, f"{r.energy_pct:6.1f}%", f"{r.time_pct:6.1f}%"]
+         for r in rows],
+    ))
+    return 0
+
+
+def _cmd_fig12(_args) -> int:
+    traces = mobility.example_traces()
+    for protocol, result in traces.items():
+        print(f"{protocol:10s} energy={result.energy_j:7.1f}J "
+              f"downloaded={result.bytes_received / 1e6:7.1f}MB in 250s")
+    return 0
+
+
+def _cmd_fig13(args) -> int:
+    results = mobility.run_mobility(runs=args.runs)
+    rows = []
+    for protocol, runs in results.items():
+        jpb = mean([r.joules_per_bit for r in runs]) * 1e6
+        data = mean([r.bytes_received for r in runs]) / 1e6
+        rows.append([protocol, f"{jpb:8.3f} uJ/bit", f"{data:8.1f} MB"])
+    print(format_table(["protocol", "energy per bit", "downloaded (250s)"], rows))
+    return 0
+
+
+def _cmd_fig14(args) -> int:
+    traces = wild_exp.collect_traces(
+        wild_exp.LARGE_BYTES, n_environments=args.envs
+    )
+    counts: dict = {}
+    for point in wild_exp.scatter_points(traces):
+        counts[point["category"]] = counts.get(point["category"], 0) + 1
+    print(format_table(["category", "traces"], sorted(counts.items())))
+    return 0
+
+
+def _run_wild(args, size: float, fig: str) -> int:
+    traces = wild_exp.collect_traces(size, n_environments=args.envs)
+    for metric, unit in (("energy_j", "J"), ("download_time", "s")):
+        print(f"Figure {fig} — {metric}")
+        summaries = wild_exp.whiskers_by_category(traces, metric)
+        rows = []
+        for category, by_proto in summaries.items():
+            for protocol, w in by_proto.items():
+                rows.append([
+                    category.value, protocol,
+                    f"{w.q1:8.2f}", f"{w.median:8.2f}", f"{w.q3:8.2f}",
+                    len(w.outliers),
+                ])
+        print(format_table(
+            ["category", "protocol", f"Q1 ({unit})", f"median ({unit})",
+             f"Q3 ({unit})", "outliers"], rows))
+    return 0
+
+
+def _cmd_fig15(args) -> int:
+    return _run_wild(args, wild_exp.SMALL_BYTES, "15")
+
+
+def _cmd_fig16(args) -> int:
+    return _run_wild(args, wild_exp.LARGE_BYTES, "16")
+
+
+def _cmd_fig17(args) -> int:
+    results = web_exp.run_web_comparison(runs=args.runs)
+    rows = []
+    for protocol, web_runs in results.items():
+        rows.append([
+            protocol,
+            f"{mean([r.energy_j for r in web_runs]):7.2f} J",
+            f"{mean([r.latency for r in web_runs]):7.2f} s",
+            f"{mean([r.lte_bytes for r in web_runs]) / 1e3:8.1f} KB over LTE",
+        ])
+    print(format_table(["protocol", "energy", "latency", "LTE usage"], rows))
+    return 0
+
+
+def _cmd_sec46(args) -> int:
+    print("MDP policy actions chosen:",
+          [a.value for a in comparisons.mdp_policy_actions()])
+    results = comparisons.run_mobility_comparison(runs=args.runs)
+    rows = []
+    for protocol, runs in results.items():
+        rows.append([
+            protocol,
+            f"{mean([r.energy_j for r in runs]):7.1f} J",
+            f"{mean([r.bytes_received for r in runs]) / 1e6:7.1f} MB",
+        ])
+    print(format_table(["protocol", "energy (250s walk)", "downloaded"], rows))
+    return 0
+
+
+def _cmd_upload(args) -> int:
+    rows = upload_exp.upload_eib_rows()
+    print("Upload-direction EIB thresholds (Galaxy S3, LTE):")
+    for entry in rows:
+        print(f"  LTE {entry.cell_mbps:4.1f}: LTE-only < {entry.cellular_only_below:.3f}, "
+              f"WiFi-only >= {entry.wifi_only_above:.3f} Mbps")
+    for good, label in ((True, "good"), (False, "bad")):
+        results = upload_exp.run_upload(
+            good, runs=args.runs, upload_bytes=mib(args.size_mb)
+        )
+        print(print_protocol_summary(
+            f"Upload, {label} WiFi ({args.size_mb} MiB x {args.runs})", results))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report_all import generate_report
+
+    text = generate_report(args.scale)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    specs = [
+        ("wifi-good 12Mbps/40ms", pv.PathSpec(12.0, 0.04)),
+        ("wifi-bad 0.8Mbps/50ms", pv.PathSpec(0.8, 0.05)),
+        ("high-rtt 6Mbps/200ms", pv.PathSpec(6.0, 0.20)),
+    ]
+    rows = []
+    for c in pv.compare_single_path(specs, size_bytes=mib(args.size_mb)):
+        rows.append([c.label, f"{c.fluid_time:7.2f} s", f"{c.packet_time:7.2f} s",
+                     f"{c.ratio:5.2f}"])
+    print(format_table(["path", "fluid", "packet", "ratio"], rows))
+    alone, together = pv.hol_goodput_collapse()
+    print(f"HoL pathology: fast alone {alone:.2f} s vs MPTCP+slow path "
+          f"{together:.2f} s (64 KB receive buffer)")
+    return 0
+
+
+def _cmd_handover(args) -> int:
+    results = handover_exp.run_handover_comparison(
+        download_bytes=mib(args.size_mb)
+    )
+    rows = []
+    for protocol, r in results.items():
+        rows.append([
+            protocol,
+            f"{r.download_time:7.1f} s",
+            f"{r.energy_j:7.1f} J",
+            f"{r.lte_bytes / 1e6:6.1f} MB",
+            r.subflows,
+        ])
+    print(format_table(
+        ["protocol", "time", "energy", "LTE traffic", "subflows"], rows))
+    return 0
+
+
+def _cmd_streaming(args) -> int:
+    results = stream_exp.run_streaming_comparison(runs=args.runs)
+    rows = []
+    for protocol, runs in results.items():
+        rows.append([
+            protocol,
+            f"{mean([r.energy_j for r in runs]):7.1f} J",
+            f"{mean([float(r.rebuffer_events) for r in runs]):5.1f}",
+            f"{mean([r.rebuffer_time for r in runs]):6.1f} s",
+            f"{mean([r.startup_delay for r in runs]):5.2f} s",
+        ])
+    print(format_table(
+        ["protocol", "energy", "stalls", "stall time", "startup"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "list": (_cmd_list, "list available experiments"),
+    "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
+    "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
+    "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
+    "validate": (_cmd_validate, "Extension: fluid-vs-packet model validation"),
+    "report": (_cmd_report, "run the full evaluation; render a markdown report"),
+    "table1": (_cmd_table1, "Table 1: device specifications"),
+    "table2": (_cmd_table2, "Table 2: EIB thresholds vs paper"),
+    "fig1": (_cmd_fig1, "Figure 1: fixed energy overheads"),
+    "fig3": (_cmd_fig3, "Figure 3: per-byte efficiency heat map"),
+    "fig4": (_cmd_fig4, "Figure 4: MPTCP-best operating regions"),
+    "fig5": (_cmd_fig5, "Figure 5: static good WiFi"),
+    "fig6": (_cmd_fig6, "Figure 6: static bad WiFi"),
+    "fig7": (_cmd_fig7, "Figure 7: random-bandwidth energy trace"),
+    "fig8": (_cmd_fig8, "Figure 8: random WiFi bandwidth changes"),
+    "fig9": (_cmd_fig9, "Figure 9: background-traffic throughput trace"),
+    "fig10": (_cmd_fig10, "Figure 10: background-traffic sweep"),
+    "fig12": (_cmd_fig12, "Figure 12: mobility energy traces"),
+    "fig13": (_cmd_fig13, "Figure 13: mobility per-byte energy"),
+    "fig14": (_cmd_fig14, "Figure 14: wild trace categorisation"),
+    "fig15": (_cmd_fig15, "Figure 15: wild small transfers"),
+    "fig16": (_cmd_fig16, "Figure 16: wild large transfers"),
+    "fig17": (_cmd_fig17, "Figure 17: web browsing"),
+    "sec46": (_cmd_sec46, "§4.6: WiFi-First and MDP comparisons"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="emptcp-repro",
+        description="Regenerate tables/figures of the eMPTCP paper (CoNEXT'15).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment id")
+    parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
+    parser.add_argument(
+        "--size-mb", type=float, default=32.0, help="download size in MiB"
+    )
+    parser.add_argument(
+        "--envs", type=int, default=24, help="wild environments to sample"
+    )
+    parser.add_argument(
+        "--scale", choices=("smoke", "default", "paper"), default="default",
+        help="report scale (report command)",
+    )
+    parser.add_argument(
+        "--output", default="", help="write the report to a file (report command)"
+    )
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command][0]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # piped into `head` etc.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

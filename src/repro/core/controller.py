@@ -1,0 +1,135 @@
+"""The path usage controller (§3.4).
+
+Periodically retrieves current per-interface throughput estimates from
+the bandwidth predictor, queries the EIB, and decides which interfaces
+to use.  A 10% "safety factor" widens every transition so the system
+does not oscillate: continuing the paper's example, when both
+interfaces are in use eMPTCP requires a predicted WiFi throughput of
+0.552 Mbps — not the raw 0.502 threshold — to move to WiFi-only, and
+when on WiFi-only it requires 0.452 Mbps to move back to both.
+
+By default the controller never picks cellular-only (the paper notes
+eMPTCP "does not typically switch to using a cellular interface only,
+since the expected gain is not much more than using both"); the
+``allow_cellular_only`` config flag restores the raw EIB verdict for
+ablation studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.core.config import EMPTCPConfig
+from repro.core.eib import EnergyInformationBase
+from repro.core.predictor import BandwidthPredictor
+from repro.energy.efficiency import Strategy
+from repro.net.interface import InterfaceKind
+from repro.sim.trace import TimeSeries
+
+
+class PathDecision(enum.Enum):
+    """Which interfaces the controller wants in use."""
+
+    WIFI_ONLY = "wifi-only"
+    BOTH = "both"
+    CELLULAR_ONLY = "cellular-only"
+
+
+_STRATEGY_TO_DECISION = {
+    Strategy.WIFI_ONLY: PathDecision.WIFI_ONLY,
+    Strategy.BOTH: PathDecision.BOTH,
+    Strategy.CELLULAR_ONLY: PathDecision.CELLULAR_ONLY,
+}
+
+
+class PathUsageController:
+    """Hysteresis-wrapped EIB decisions from live predictions."""
+
+    def __init__(
+        self,
+        config: EMPTCPConfig,
+        eib: EnergyInformationBase,
+        predictor: BandwidthPredictor,
+        cell_kind: InterfaceKind = InterfaceKind.LTE,
+        initial: PathDecision = PathDecision.BOTH,
+    ):
+        self.config = config
+        self.eib = eib
+        self.predictor = predictor
+        self.cell_kind = cell_kind
+        self.current = initial
+        self.switches = 0
+        #: Decision history for traces/tests: (time, decision) pairs are
+        #: appended by :meth:`decide` when a time is provided.
+        self.decision_log: List[Tuple[float, PathDecision]] = []
+        self.wifi_prediction_series = TimeSeries("predicted-wifi-mbps")
+
+    # ------------------------------------------------------------------
+
+    def raw_decision(self, wifi_mbps: float, cell_mbps: float) -> PathDecision:
+        """The EIB verdict without hysteresis (and without the
+        cellular-only veto)."""
+        return _STRATEGY_TO_DECISION[self.eib.decide(wifi_mbps, cell_mbps)]
+
+    def decide(self, now: Optional[float] = None) -> PathDecision:
+        """Update and return the controller's decision.
+
+        Pulls fresh predictions, applies the EIB thresholds with the
+        safety factor relative to the *current* state, applies the
+        cellular-only veto, and records the outcome.
+        """
+        wifi = self.predictor.predict_mbps(InterfaceKind.WIFI)
+        cell = self.predictor.predict_mbps(self.cell_kind)
+        decision = self._decide_with_hysteresis(wifi, cell)
+        if not self.config.allow_cellular_only and decision is PathDecision.CELLULAR_ONLY:
+            decision = PathDecision.BOTH
+        # Equation (1)'s φ: estimates are only trusted once enough
+        # samples exist.  Excluding an interface on fewer than φ
+        # samples would act on slow-start noise (and then freeze the
+        # untrusted estimate while the subflow is suspended).
+        decision = self._require_samples(decision)
+        if decision is not self.current:
+            self.switches += 1
+            self.current = decision
+        if now is not None:
+            self.decision_log.append((now, decision))
+            self.wifi_prediction_series.record(now, wifi)
+        return decision
+
+    def _require_samples(self, decision: PathDecision) -> PathDecision:
+        phi = self.config.required_samples
+        if (
+            decision is PathDecision.WIFI_ONLY
+            and self.predictor.has_history(self.cell_kind)
+            and self.predictor.sample_count(self.cell_kind) < phi
+        ):
+            return PathDecision.BOTH
+        if (
+            decision is PathDecision.CELLULAR_ONLY
+            and self.predictor.sample_count(InterfaceKind.WIFI) < phi
+        ):
+            return PathDecision.BOTH
+        return decision
+
+    def _decide_with_hysteresis(self, wifi: float, cell: float) -> PathDecision:
+        cell_only_thr, wifi_only_thr = self.eib.thresholds(cell)
+        sf = self.config.safety_factor
+        if self.current is PathDecision.BOTH:
+            if wifi >= wifi_only_thr * (1 + sf):
+                return PathDecision.WIFI_ONLY
+            if wifi < cell_only_thr * (1 - sf):
+                return PathDecision.CELLULAR_ONLY
+            return PathDecision.BOTH
+        if self.current is PathDecision.WIFI_ONLY:
+            if wifi < cell_only_thr * (1 - sf):
+                return PathDecision.CELLULAR_ONLY
+            if wifi < wifi_only_thr * (1 - sf):
+                return PathDecision.BOTH
+            return PathDecision.WIFI_ONLY
+        # CELLULAR_ONLY
+        if wifi >= wifi_only_thr * (1 + sf):
+            return PathDecision.WIFI_ONLY
+        if wifi >= cell_only_thr * (1 + sf):
+            return PathDecision.BOTH
+        return PathDecision.CELLULAR_ONLY

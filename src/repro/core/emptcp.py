@@ -1,0 +1,210 @@
+"""The eMPTCP connection: the paper's architecture (Figure 2) wired up.
+
+:class:`EMPTCPConnection` composes a standard
+:class:`~repro.mptcp.connection.MPTCPConnection` (WiFi primary,
+auto-join disabled) with the four eMPTCP components:
+
+* the **bandwidth predictor** starts sampling each subflow as soon as
+  it establishes;
+* the **delayed-subflow module** owns the decision of when the cellular
+  subflow is joined (κ bytes / τ timer / efficiency + idle vetoes);
+* once the cellular subflow is up, the **path usage controller** runs
+  periodically, consulting predictor + **EIB**, and applies its
+  decisions through MP_PRIO suspension/resumption with the §3.6 re-use
+  tweaks (no RFC 2861 window reset, zeroed RTT).
+
+No application involvement is required: the connection exposes the same
+open/complete surface as plain MPTCP.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, List, Optional
+
+from repro.core.config import EMPTCPConfig
+from repro.core.controller import PathDecision, PathUsageController
+from repro.core.delay import DelayedSubflowEstablishment
+from repro.core.eib import EnergyInformationBase, cached_eib
+from repro.core.predictor import BandwidthPredictor
+from repro.energy.device import DeviceProfile
+from repro.errors import ConfigurationError
+from repro.mptcp.connection import MptcpMode, MPTCPConnection
+from repro.mptcp.subflow import Subflow
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.tcp.connection import ByteSource
+
+
+class EMPTCPConnection:
+    """An energy-aware MPTCP connection (the public API of this repro)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        wifi_path: NetworkPath,
+        cellular_path: NetworkPath,
+        source: ByteSource,
+        profile: DeviceProfile,
+        config: Optional[EMPTCPConfig] = None,
+        rng: Optional[_random.Random] = None,
+        eib: Optional[EnergyInformationBase] = None,
+        name: str = "emptcp",
+    ):
+        if not wifi_path.interface.kind.is_wifi:
+            raise ConfigurationError("wifi_path must run over a WiFi interface")
+        if not cellular_path.interface.kind.is_cellular:
+            raise ConfigurationError(
+                "cellular_path must run over a cellular interface"
+            )
+        self.sim = sim
+        self.wifi_path = wifi_path
+        self.cellular_path = cellular_path
+        self.profile = profile
+        self.config = config or EMPTCPConfig()
+        self.cell_kind = cellular_path.interface.kind
+        self.name = name
+
+        self.mptcp = MPTCPConnection(
+            sim,
+            primary_path=wifi_path,
+            source=source,
+            secondary_paths=[cellular_path],
+            mode=MptcpMode.FULL,
+            rng=rng,
+            auto_join=False,
+            rfc2861_idle_reset=not self.config.disable_rfc2861_reset,
+            reuse_reset_rtt=self.config.reuse_reset_rtt,
+            name=name,
+        )
+        self.predictor = BandwidthPredictor(sim, self.config)
+        self.eib = eib or cached_eib(profile, self.cell_kind)
+        self.controller = PathUsageController(
+            self.config,
+            self.eib,
+            self.predictor,
+            cell_kind=self.cell_kind,
+            initial=PathDecision.WIFI_ONLY,
+        )
+        self.delayed = DelayedSubflowEstablishment(
+            sim,
+            self.mptcp,
+            self.config,
+            self.predictor,
+            self.controller,
+            establish=self._join_cellular,
+            cell_kind=self.cell_kind,
+        )
+        self._decision_loop = PeriodicProcess(
+            sim, self.config.decision_interval, self._control_tick
+        )
+        self._complete_listeners: List[Callable[["EMPTCPConnection"], None]] = []
+        self.mptcp.on_subflow_established(self._subflow_up)
+        self.mptcp.on_complete(self._on_mptcp_complete)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def open(self) -> None:
+        """Open the connection: WiFi subflow first, τ timer armed."""
+        self.mptcp.open()
+        self.delayed.start()
+
+    def close(self) -> None:
+        """Close all subflows and stop the control plane."""
+        self._stop_control_plane()
+        self.mptcp.close()
+
+    def on_complete(self, listener: Callable[["EMPTCPConnection"], None]) -> None:
+        """Subscribe to transfer completion."""
+        self._complete_listeners.append(listener)
+
+    def _on_mptcp_complete(self, _conn: MPTCPConnection) -> None:
+        self._stop_control_plane()
+        for listener in list(self._complete_listeners):
+            listener(self)
+
+    def _stop_control_plane(self) -> None:
+        self._decision_loop.stop()
+        self.predictor.stop()
+        self.delayed.stop()
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def _subflow_up(self, subflow: Subflow) -> None:
+        self.predictor.attach_subflow(subflow)
+        if subflow.interface_kind.is_cellular:
+            # Both interfaces are in play from here on; start the
+            # periodic path-usage decisions.
+            self.controller.current = PathDecision.BOTH
+            self._decision_loop.start()
+
+    def _join_cellular(self) -> Subflow:
+        return self.mptcp.add_subflow(self.cellular_path)
+
+    def _control_tick(self) -> None:
+        if (
+            self.predictor.sample_count(self.cell_kind)
+            < self.config.required_samples
+        ):
+            # The cellular subflow was just established: keep probing
+            # it until φ samples exist (equation (1)'s requirement)
+            # instead of suspending it on the initial-bandwidth guess.
+            decision = PathDecision.BOTH
+            self.controller.current = decision
+        else:
+            decision = self.controller.decide(now=self.sim.now)
+        self._apply(decision)
+
+    def _apply(self, decision: PathDecision) -> None:
+        wifi_sf = self.mptcp.subflow_for(self.wifi_path.interface.kind)
+        cell_sf = self.mptcp.subflow_for(self.cell_kind)
+        if wifi_sf is None or cell_sf is None:
+            return
+        if not (wifi_sf.established and cell_sf.established):
+            return
+        want_wifi = decision in (PathDecision.WIFI_ONLY, PathDecision.BOTH)
+        want_cell = decision in (PathDecision.CELLULAR_ONLY, PathDecision.BOTH)
+        self._set_usage(wifi_sf, want_wifi)
+        self._set_usage(cell_sf, want_cell)
+
+    def _set_usage(self, subflow: Subflow, in_use: bool) -> None:
+        if in_use and subflow.suspended:
+            self.mptcp.set_low_priority(subflow, low=False)
+        elif not in_use and not subflow.suspended:
+            self.mptcp.set_low_priority(subflow, low=True)
+
+    # ------------------------------------------------------------------
+    # views (delegating to the underlying MPTCP connection)
+
+    @property
+    def completed_at(self) -> Optional[float]:
+        """Transfer completion time (None while running)."""
+        return self.mptcp.completed_at
+
+    @property
+    def bytes_received(self) -> float:
+        """Total bytes delivered across subflows."""
+        return self.mptcp.bytes_received
+
+    @property
+    def subflows(self) -> List[Subflow]:
+        """All subflows created so far."""
+        return self.mptcp.subflows
+
+    @property
+    def option_log(self):
+        """MP_CAPABLE / MP_JOIN / MP_PRIO event log."""
+        return self.mptcp.option_log
+
+    @property
+    def decision(self) -> PathDecision:
+        """The controller's current decision."""
+        return self.controller.current
+
+    def notify_data(self) -> None:
+        """Wake idle subflows after new application data was queued
+        (persistent connections fetching another object)."""
+        self.mptcp.notify_data()

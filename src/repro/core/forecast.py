@@ -1,0 +1,75 @@
+"""Holt-Winters time-series forecasting (§3.2).
+
+The bandwidth predictor forecasts per-interface throughput with
+Holt-Winters [30], which He et al. [13] found more accurate than
+formula-based TCP throughput predictors.  Network throughput has no
+meaningful seasonality at sub-second sampling, so we implement Holt's
+linear-trend method (the non-seasonal member of the Holt-Winters
+family) with damping-free level/trend smoothing:
+
+    level_t = alpha * x_t + (1 - alpha) * (level_{t-1} + trend_{t-1})
+    trend_t = beta * (level_t - level_{t-1}) + (1 - beta) * trend_{t-1}
+    forecast(h) = level_t + h * trend_t
+
+Forecasts are floored at zero — a negative throughput prediction is
+meaningless and would confuse the EIB lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class HoltWintersForecaster:
+    """Holt linear-trend forecaster over a scalar series."""
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.3):
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0 <= beta <= 1:
+            raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+        self.alpha = alpha
+        self.beta = beta
+        self.level: Optional[float] = None
+        self.trend: float = 0.0
+        self.n_samples = 0
+        self.last_value: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Absorb one sample."""
+        if value < 0:
+            raise ConfigurationError(f"sample must be non-negative, got {value}")
+        self.last_value = value
+        self.n_samples += 1
+        if self.level is None:
+            self.level = value
+            self.trend = 0.0
+            return
+        prev_level = self.level
+        self.level = self.alpha * value + (1 - self.alpha) * (self.level + self.trend)
+        self.trend = self.beta * (self.level - prev_level) + (1 - self.beta) * self.trend
+
+    def forecast(self, horizon: int = 1) -> Optional[float]:
+        """``horizon``-step-ahead forecast, floored at zero.
+
+        Returns None before any sample has been observed.
+        """
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        if self.level is None:
+            return None
+        return max(0.0, self.level + horizon * self.trend)
+
+    @property
+    def initialized(self) -> bool:
+        """True once at least one sample has been absorbed."""
+        return self.level is not None
+
+    def reset(self) -> None:
+        """Forget all state (tests and ablations)."""
+        self.level = None
+        self.trend = 0.0
+        self.n_samples = 0
+        self.last_value = None

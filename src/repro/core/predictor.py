@@ -1,0 +1,112 @@
+"""The bandwidth predictor (§3.2).
+
+Aggregates per-subflow throughput samples into per-*interface*
+forecasts.  Three cases, exactly as the paper describes:
+
+* **Active interface** — samples flow in at interval δ and Holt-Winters
+  produces the forecast.
+* **Deactivated interface** (was active, currently suspended) — no new
+  samples arrive; the forecaster keeps its old state, so predictions
+  are made from old observed samples until new ones mix in after
+  reactivation.
+* **Never-activated interface** — the predictor assumes a non-zero
+  initial bandwidth (default 5 Mbps) so eMPTCP will probe the path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import EMPTCPConfig
+from repro.core.forecast import HoltWintersForecaster
+from repro.core.sampler import ThroughputSampler
+from repro.mptcp.subflow import Subflow
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+
+class BandwidthPredictor:
+    """Per-interface throughput prediction from runtime measurements."""
+
+    def __init__(self, sim: Simulator, config: Optional[EMPTCPConfig] = None):
+        self.sim = sim
+        self.config = config or EMPTCPConfig()
+        self._forecasters: Dict[InterfaceKind, HoltWintersForecaster] = {}
+        self._samplers: List[ThroughputSampler] = []
+        self.samples_by_kind: Dict[InterfaceKind, int] = {}
+        self._last_sample_time: Dict[InterfaceKind, float] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def attach_subflow(self, subflow: Subflow) -> ThroughputSampler:
+        """Start sampling an established subflow.
+
+        The sample stream is categorised per interface by querying the
+        subflow's path binding (the simulator's stand-in for the
+        routing-table lookup of §3.6).
+        """
+        sampler = ThroughputSampler(self.sim, subflow, self.config, self.observe)
+        sampler.start()
+        self._samplers.append(sampler)
+        return sampler
+
+    def observe(self, kind: InterfaceKind, rate_bytes_per_sec: float) -> None:
+        """Feed one throughput sample for an interface (bytes/s)."""
+        forecaster = self._forecasters.get(kind)
+        if forecaster is None:
+            forecaster = HoltWintersForecaster(
+                alpha=self.config.hw_alpha, beta=self.config.hw_beta
+            )
+            self._forecasters[kind] = forecaster
+        forecaster.observe(bytes_per_sec_to_mbps(rate_bytes_per_sec))
+        self.samples_by_kind[kind] = self.samples_by_kind.get(kind, 0) + 1
+        self._last_sample_time[kind] = self.sim.now
+
+    def stop(self) -> None:
+        """Stop all samplers (connection closed)."""
+        for sampler in self._samplers:
+            sampler.stop()
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def has_history(self, kind: InterfaceKind) -> bool:
+        """True once the interface has ever produced a sample."""
+        forecaster = self._forecasters.get(kind)
+        return forecaster is not None and forecaster.initialized
+
+    def predict_mbps(self, kind: InterfaceKind) -> float:
+        """Forecast throughput for an interface, Mbps.
+
+        Never-activated interfaces get the configured initial
+        bandwidth.  A deactivated interface keeps predicting from its
+        old samples (§3.2); once those are older than
+        ``prediction_stale_after`` the prediction is floored at the
+        initial bandwidth so a long-suspended path is eventually
+        re-probed rather than written off on a stale low estimate.
+        """
+        forecaster = self._forecasters.get(kind)
+        if forecaster is None or not forecaster.initialized:
+            return self.config.initial_bandwidth_mbps
+        forecast = forecaster.forecast(1)
+        assert forecast is not None
+        age = self.sim.now - self._last_sample_time.get(kind, self.sim.now)
+        if age > self.config.prediction_stale_after:
+            return max(forecast, self.config.initial_bandwidth_mbps)
+        return forecast
+
+    def sample_age(self, kind: InterfaceKind) -> Optional[float]:
+        """Seconds since the interface last produced a sample."""
+        if kind not in self._last_sample_time:
+            return None
+        return self.sim.now - self._last_sample_time[kind]
+
+    def predict_bytes_per_sec(self, kind: InterfaceKind) -> float:
+        """Forecast throughput for an interface, bytes/s."""
+        return mbps_to_bytes_per_sec(self.predict_mbps(kind))
+
+    def sample_count(self, kind: InterfaceKind) -> int:
+        """Samples absorbed for an interface so far."""
+        return self.samples_by_kind.get(kind, 0)

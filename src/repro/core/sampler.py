@@ -1,0 +1,81 @@
+"""Per-subflow throughput sampling (§3.2).
+
+The bandwidth predictor "samples all active subflow throughputs"; the
+per-subflow sampling interval δ is derived from the RTT measured during
+subflow establishment (the three-way-handshake time).  Each tick, the
+sampler divides the bytes delivered since the previous tick by δ and
+hands the sample — tagged with the subflow's interface, obtained from
+the routing information — to the predictor.
+
+Samples are *not* taken while the subflow is suspended: a deactivated
+interface keeps its old observations (the paper's predictor "uses old
+observed samples together with new sampled throughputs" once the
+interface comes back).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import EMPTCPConfig
+from repro.errors import ProtocolError
+from repro.mptcp.subflow import Subflow
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+SampleSink = Callable[[InterfaceKind, float], None]  # (interface, bytes/s)
+
+
+class ThroughputSampler:
+    """Samples one subflow's delivery rate every δ seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        subflow: Subflow,
+        config: EMPTCPConfig,
+        sink: SampleSink,
+    ):
+        if subflow.handshake_rtt is None:
+            raise ProtocolError(
+                f"subflow {subflow.name} must be established before sampling"
+            )
+        self.sim = sim
+        self.subflow = subflow
+        self.sink = sink
+        self.delta = config.sampling_interval(subflow.handshake_rtt)
+        self.samples_taken = 0
+        self._last_bytes = subflow.bytes_delivered
+        self._process = PeriodicProcess(sim, self.delta, self._tick)
+
+    def start(self) -> None:
+        """Begin sampling (first sample one δ from now)."""
+        self._process.start()
+
+    def stop(self) -> None:
+        """Stop sampling permanently (subflow closed)."""
+        self._process.stop()
+
+    @property
+    def running(self) -> bool:
+        """True while ticks are scheduled."""
+        return self._process.running
+
+    def _tick(self) -> None:
+        delivered = self.subflow.bytes_delivered
+        if self.subflow.suspended:
+            # Keep the byte cursor fresh so the first sample after
+            # resumption does not smear the idle gap into a rate.
+            self._last_bytes = delivered
+            return
+        rate = (delivered - self._last_bytes) / self.delta
+        if rate <= 0 and not self.subflow.sending:
+            # Application-limited idle window (nothing to send): this is
+            # not a bandwidth measurement.  A zero while *trying* to
+            # send (stall) is real and is kept.
+            self._last_bytes = delivered
+            return
+        self._last_bytes = delivered
+        self.samples_taken += 1
+        self.sink(self.subflow.interface_kind, rate)

@@ -1,0 +1,132 @@
+"""The integrating energy meter.
+
+Between simulator events every interface's rate and RRC state — and
+therefore the whole-device power — is constant, so energy is an exact
+piecewise-constant integral.  The meter accumulates it lazily: every
+state update first charges ``power x elapsed`` since the previous
+update.
+
+The meter also keeps a cumulative-energy time series, which is exactly
+the accumulated-energy traces of Figures 7 and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.energy.device import DeviceProfile
+from repro.energy.power import Direction
+from repro.energy.rrc import RrcState
+from repro.errors import EnergyModelError
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.sim.trace import TimeSeries
+
+
+class EnergyMeter:
+    """Tracks whole-device network energy over a simulation run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: DeviceProfile,
+        direction: Direction = Direction.DOWN,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.direction = direction
+        self._rates: Dict[InterfaceKind, float] = {}
+        self._rrc_states: Dict[InterfaceKind, RrcState] = {}
+        self._energy = 0.0
+        self._one_shot = 0.0
+        self._last_time = sim.now
+        self._power = profile.baseline_w + profile.total_power(
+            self._rates, self._rrc_states, direction
+        )
+        #: Cumulative energy sampled at every state change (Figs 7, 12).
+        self.energy_series = TimeSeries("cumulative-energy-J")
+        self.energy_series.record(sim.now, 0.0)
+
+    # ------------------------------------------------------------------
+    # state updates
+
+    def set_rate(self, kind: InterfaceKind, rate_bytes_per_sec: float) -> None:
+        """Update one interface's transfer rate (bytes/s)."""
+        if rate_bytes_per_sec < 0:
+            raise EnergyModelError("rate must be >= 0")
+        self._integrate()
+        if rate_bytes_per_sec == 0:
+            self._rates.pop(kind, None)
+        else:
+            self._rates[kind] = rate_bytes_per_sec
+        self._recompute()
+
+    def add_rate(self, kind: InterfaceKind, delta: float) -> None:
+        """Adjust one interface's rate by ``delta`` bytes/s.
+
+        Used when several flows share an interface: each flow adds its
+        own rate change, and the meter sums them.
+        """
+        self._integrate()
+        new = self._rates.get(kind, 0.0) + delta
+        if new < -1e-6:
+            raise EnergyModelError(f"aggregate rate on {kind} went negative: {new}")
+        if new <= 1e-9:
+            self._rates.pop(kind, None)
+        else:
+            self._rates[kind] = new
+        self._recompute()
+
+    def set_rrc_state(self, kind: InterfaceKind, state: RrcState) -> None:
+        """Update one cellular interface's RRC state."""
+        self._integrate()
+        self._rrc_states[kind] = state
+        self._recompute()
+
+    def add_one_shot(self, joules: float) -> None:
+        """Charge a one-shot energy cost (e.g. WiFi activation burst)."""
+        if joules < 0:
+            raise EnergyModelError("one-shot energy must be >= 0")
+        self._integrate()
+        self._one_shot += joules
+        self.energy_series.record(self.sim.now, self.total_energy)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _integrate(self) -> None:
+        now = self.sim.now
+        if now > self._last_time:
+            self._energy += self._power * (now - self._last_time)
+            self._last_time = now
+
+    def _recompute(self) -> None:
+        self._power = self.profile.baseline_w + self.profile.total_power(
+            self._rates, self._rrc_states, self.direction
+        )
+        self.energy_series.record(self.sim.now, self.total_energy)
+
+    @property
+    def power(self) -> float:
+        """Current whole-device network power, watts."""
+        return self._power
+
+    @property
+    def total_energy(self) -> float:
+        """Energy accumulated so far, joules (includes one-shot costs)."""
+        pending = self._power * (self.sim.now - self._last_time)
+        return self._energy + self._one_shot + pending
+
+    def checkpoint(self) -> float:
+        """Integrate up to now and return total energy (joules)."""
+        self._integrate()
+        self.energy_series.record(self.sim.now, self.total_energy)
+        return self.total_energy
+
+    def rate(self, kind: InterfaceKind) -> float:
+        """Current aggregate transfer rate on an interface, bytes/s."""
+        return self._rates.get(kind, 0.0)
+
+    def rrc_state(self, kind: InterfaceKind) -> Optional[RrcState]:
+        """Last reported RRC state for an interface."""
+        return self._rrc_states.get(kind)

@@ -1,0 +1,91 @@
+"""Per-interface power models.
+
+Each interface consumes ``base + slope * throughput`` watts while
+transferring (the standard linear model of Huang et al. [14], which the
+paper's own model [17] extends), a technology-specific state power when
+promoted-but-idle (handled by the RRC machine for cellular), and a
+small idle power otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EnergyModelError
+from repro.units import bytes_per_sec_to_mbps
+
+
+import enum
+
+
+class Direction(enum.Enum):
+    """Transfer direction, from the device's point of view."""
+
+    DOWN = "down"
+    UP = "up"
+
+
+@dataclass(frozen=True)
+class InterfacePower:
+    """Linear power model for one interface.
+
+    Attributes
+    ----------
+    base_w:
+        Power while actively transferring at (extrapolated) zero
+        throughput — the radio-active platform cost, watts.
+    per_mbps_w:
+        Marginal power per megabit/s of download throughput, watts.
+    per_mbps_up_w:
+        Marginal power per megabit/s of *upload* throughput, watts.
+        Radios transmit at much higher power than they receive (Huang
+        et al. measured LTE upload at ~8x the download slope); when
+        None, the download slope is reused.
+    idle_w:
+        Power while the interface is associated/registered but not in
+        any active or tail state, watts.
+    """
+
+    base_w: float
+    per_mbps_w: float
+    idle_w: float = 0.0
+    per_mbps_up_w: float = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.per_mbps_up_w is None:
+            object.__setattr__(self, "per_mbps_up_w", self.per_mbps_w)
+        if (
+            self.base_w < 0
+            or self.per_mbps_w < 0
+            or self.idle_w < 0
+            or self.per_mbps_up_w < 0
+        ):
+            raise EnergyModelError("power parameters must be non-negative")
+        if self.idle_w > self.base_w:
+            raise EnergyModelError("idle power cannot exceed active base power")
+
+    def slope(self, direction: Direction = Direction.DOWN) -> float:
+        """Marginal watts per Mbps in the given direction."""
+        return (
+            self.per_mbps_w if direction is Direction.DOWN else self.per_mbps_up_w
+        )
+
+    def active_power(
+        self, rate_bytes_per_sec: float, direction: Direction = Direction.DOWN
+    ) -> float:
+        """Power while transferring at the given rate, watts."""
+        if rate_bytes_per_sec < 0:
+            raise EnergyModelError(
+                f"rate must be non-negative, got {rate_bytes_per_sec}"
+            )
+        return self.base_w + self.slope(direction) * bytes_per_sec_to_mbps(
+            rate_bytes_per_sec
+        )
+
+    def active_power_mbps(
+        self, mbps: float, direction: Direction = Direction.DOWN
+    ) -> float:
+        """Power while transferring at ``mbps`` megabits/s, watts."""
+        if mbps < 0:
+            raise EnergyModelError(f"mbps must be non-negative, got {mbps}")
+        return self.base_w + self.slope(direction) * mbps

@@ -1,0 +1,147 @@
+"""The 3GPP radio-resource-control (RRC) state machine (§2.3).
+
+Cellular interfaces cannot transmit from their low-power idle state:
+they first *promote* to a high-power state (taking promotion_time and
+burning promotion_power), and after the last transmission they linger
+in the high-power *tail* for tail_time before demoting.  Promotion and
+tail together are the "fixed energy overheads" of Figure 1 — the very
+thing eMPTCP's delayed subflow establishment exists to avoid.
+
+States::
+
+    IDLE --activity--> PROMOTING --(promotion_time)--> ACTIVE
+    ACTIVE --(active_hold without activity)--> TAIL
+    TAIL --activity--> ACTIVE
+    TAIL --(tail_time)--> IDLE
+
+``on_activity`` returns the extra latency before data can actually flow
+(the remaining promotion time), which the TCP layer adds to handshake
+and round scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import EnergyModelError
+from repro.sim.engine import EventHandle, Simulator
+
+
+class RrcState(enum.Enum):
+    """RRC machine states."""
+
+    IDLE = "idle"
+    PROMOTING = "promoting"
+    ACTIVE = "active"
+    TAIL = "tail"
+
+    @property
+    def is_powered(self) -> bool:
+        """True when the radio is drawing more than idle power."""
+        return self is not RrcState.IDLE
+
+
+@dataclass(frozen=True)
+class RrcParams:
+    """Promotion/tail parameters for one cellular technology.
+
+    ``active_hold`` is the inactivity window after which the machine
+    considers the transmission over and enters the tail; it models the
+    gap between the last data and the start of the 3GPP inactivity
+    timer.
+    """
+
+    promotion_time: float
+    promotion_power_w: float
+    tail_time: float
+    tail_power_w: float
+    active_hold: float = 0.2
+
+    def __post_init__(self) -> None:
+        if min(self.promotion_time, self.tail_time, self.active_hold) < 0:
+            raise EnergyModelError("RRC durations must be non-negative")
+        if min(self.promotion_power_w, self.tail_power_w) < 0:
+            raise EnergyModelError("RRC powers must be non-negative")
+
+    @property
+    def fixed_overhead_joules(self) -> float:
+        """Energy of one full promotion + tail cycle (Figure 1)."""
+        return (
+            self.promotion_time * self.promotion_power_w
+            + self.tail_time * self.tail_power_w
+        )
+
+
+StateListener = Callable[[float, RrcState], None]
+
+
+class RrcMachine:
+    """One cellular interface's RRC state machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: RrcParams,
+    ):
+        self.sim = sim
+        self.params = params
+        self.state = RrcState.IDLE
+        self.promotions = 0
+        self._listeners: List[StateListener] = []
+        self._timer: Optional[EventHandle] = None
+        self._promotion_ends: float = 0.0
+
+    def on_state_change(self, listener: StateListener) -> None:
+        """Subscribe to state transitions (drives the energy meter)."""
+        self._listeners.append(listener)
+
+    def _transition(self, state: RrcState) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        for listener in list(self._listeners):
+            listener(self.sim.now, state)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def on_activity(self, now: float) -> float:
+        """Record network activity; return extra latency before data
+        can flow (remaining promotion time, 0 if already active)."""
+        if self.state is RrcState.IDLE:
+            self.promotions += 1
+            self._transition(RrcState.PROMOTING)
+            self._promotion_ends = now + self.params.promotion_time
+            self._cancel_timer()
+            self._timer = self.sim.schedule(self.params.promotion_time, self._promoted)
+            return self.params.promotion_time
+        if self.state is RrcState.PROMOTING:
+            return max(0.0, self._promotion_ends - now)
+        # ACTIVE or TAIL: (re)enter ACTIVE and re-arm the hold timer.
+        self._transition(RrcState.ACTIVE)
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.params.active_hold, self._hold_expired)
+        return 0.0
+
+    def _promoted(self) -> None:
+        self._timer = None
+        self._transition(RrcState.ACTIVE)
+        self._timer = self.sim.schedule(self.params.active_hold, self._hold_expired)
+
+    def _hold_expired(self) -> None:
+        self._timer = None
+        self._transition(RrcState.TAIL)
+        self._timer = self.sim.schedule(self.params.tail_time, self._tail_done)
+
+    def _tail_done(self) -> None:
+        self._timer = None
+        self._transition(RrcState.IDLE)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when fully demoted (no residual tail energy pending)."""
+        return self.state is RrcState.IDLE

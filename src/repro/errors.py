@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine is misused.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, or cancelling a handle twice.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a TCP/MPTCP state machine is driven illegally.
+
+    Examples: sending on a closed connection, joining a subflow twice,
+    or changing the priority of an unknown subflow.
+    """
+
+
+class EnergyModelError(ReproError):
+    """Raised for invalid energy-model inputs (negative rates, unknown
+    interfaces, non-monotonic EIB tables...)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload description is invalid (empty web page,
+    non-positive file size, malformed mobility route...)."""

@@ -1,0 +1,14 @@
+"""The evaluation harness: scenario definitions, the protocol factory,
+the runner that produces :class:`RunResult`s, and one module per paper
+figure/table (see DESIGN.md's experiment index)."""
+
+from repro.experiments.protocols import PROTOCOLS, build_protocol
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+
+# Per-figure modules (static_bw, random_bw, background, mobility, wild,
+# web, regions, overheads, comparisons) and the extensions (upload,
+# streaming, handover, sensitivity, report_all) are imported by path;
+# see docs/API.md for the task-oriented index.
+
+__all__ = ["PROTOCOLS", "RunResult", "Scenario", "build_protocol", "run_scenario"]

@@ -1,0 +1,134 @@
+"""§4.4 — random WiFi background traffic (Figures 9 and 10).
+
+n ∈ {2, 3} interfering nodes share the WiFi channel, each driving UDP
+through a Markov on-off process with λ_on = 0.05 and
+λ_off ∈ {0.025, 0.05}, while the device downloads a 256 MB file.
+
+Expected shapes (paper, Figure 10, values relative to MPTCP): eMPTCP
+uses 9-11% less energy at 20-40% larger download time; TCP over WiFi's
+download time blows up with contention (up to ~5x) while eMPTCP stays
+within ~1.2-1.4x.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.experiments.static_bw import LAB_LTE_MBPS
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.contention import WiFiChannel
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec, mib
+from repro.workloads.background import make_interferers
+
+#: AP capacity with no contention, Mbps.
+AP_CAPACITY_MBPS = 12.0
+
+#: The paper's fixed on-rate (per second).
+LAMBDA_ON = 0.05
+
+#: The (λ_off, n) rows of Figure 10, in the paper's order.
+FIGURE10_CONFIGS: Tuple[Tuple[float, int], ...] = ((0.025, 2), (0.025, 3), (0.05, 3))
+
+DEFAULT_DOWNLOAD = mib(256)
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def background_scenario(
+    n_interferers: int,
+    lambda_off: float,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    lambda_on: float = LAMBDA_ON,
+) -> Scenario:
+    """One §4.4 configuration."""
+
+    def interferers(sim: Simulator, channel: WiFiChannel, rng: _random.Random):
+        return make_interferers(
+            sim, channel, n_interferers, lambda_on, lambda_off, rng
+        )
+
+    return Scenario(
+        name=f"background-n{n_interferers}-loff{lambda_off}",
+        wifi_capacity=lambda _rng: ConstantCapacity(
+            mbps_to_bytes_per_sec(AP_CAPACITY_MBPS)
+        ),
+        cell_capacity=lambda _rng: ConstantCapacity(
+            mbps_to_bytes_per_sec(LAB_LTE_MBPS)
+        ),
+        download_bytes=download_bytes,
+        interferers=interferers,
+    )
+
+
+@dataclass(frozen=True)
+class NormalizedRow:
+    """One Figure 10 row: a protocol's metrics relative to MPTCP."""
+
+    lambda_off: float
+    n: int
+    protocol: str
+    energy_pct: float
+    time_pct: float
+
+
+def run_background(
+    configs: Sequence[Tuple[float, int]] = FIGURE10_CONFIGS,
+    runs: int = 5,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[Tuple[float, int], Dict[str, List[RunResult]]]:
+    """All Figure 10 configurations, ``runs`` repetitions each."""
+    out: Dict[Tuple[float, int], Dict[str, List[RunResult]]] = {}
+    for lambda_off, n in configs:
+        scenario = background_scenario(n, lambda_off, download_bytes)
+        out[(lambda_off, n)] = {
+            protocol: [
+                run_scenario(protocol, scenario, seed=seed) for seed in range(runs)
+            ]
+            for protocol in protocols
+        }
+    return out
+
+
+def normalize_to_mptcp(
+    results: Dict[Tuple[float, int], Dict[str, List[RunResult]]],
+) -> List[NormalizedRow]:
+    """Figure 10's presentation: percentages relative to MPTCP, where
+    below 100% beats standard MPTCP."""
+    rows: List[NormalizedRow] = []
+    for (lambda_off, n), by_protocol in results.items():
+        base = by_protocol["mptcp"]
+        base_energy = sum(r.energy_j for r in base) / len(base)
+        base_time = sum(r.download_time for r in base) / len(base)
+        for protocol, runs_list in by_protocol.items():
+            if protocol == "mptcp":
+                continue
+            energy = sum(r.energy_j for r in runs_list) / len(runs_list)
+            time = sum(r.download_time for r in runs_list) / len(runs_list)
+            rows.append(
+                NormalizedRow(
+                    lambda_off=lambda_off,
+                    n=n,
+                    protocol=protocol,
+                    energy_pct=100.0 * energy / base_energy,
+                    time_pct=100.0 * time / base_time,
+                )
+            )
+    return rows
+
+
+def example_traces(
+    download_bytes: float = DEFAULT_DOWNLOAD, seed: int = 3
+) -> Dict[str, RunResult]:
+    """Figure 9: per-interface throughput traces of MPTCP and eMPTCP
+    under (n=2, λ_on=0.05, λ_off=0.025)."""
+    scenario = background_scenario(2, 0.025, download_bytes)
+    return {
+        protocol: run_scenario(protocol, scenario, seed=seed)
+        for protocol in ("mptcp", "emptcp")
+    }

@@ -1,0 +1,55 @@
+"""§4.6 — comparisons with existing approaches.
+
+* **MPTCP with WiFi First** (Raiciu et al.): run on the mobility
+  scenario, where the WiFi association never breaks; the strategy never
+  activates its LTE backup and degenerates into TCP over WiFi — while
+  still paying the backup subflow's promotion/tail at establishment.
+* **MDP scheduler** (Pluntke et al.): the offline policy is inspected
+  (it chooses WiFi-only in every state under our energy model, as the
+  paper observes) and executed on the same scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.mdp import MdpAction
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.experiments.mobility import mobility_scenario
+from repro.experiments.protocols import mdp_policy_for
+from repro.experiments.random_bw import random_bw_scenario
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult
+from repro.net.interface import InterfaceKind
+from repro.units import mib
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp")
+
+
+def mdp_policy_actions(profile: DeviceProfile = GALAXY_S3) -> List[MdpAction]:
+    """The set of actions the generated MDP policy ever chooses."""
+    return mdp_policy_for(profile, InterfaceKind.LTE).chosen_actions()
+
+
+def run_mobility_comparison(
+    runs: int = 3, protocols: Sequence[str] = PROTOCOLS
+) -> Dict[str, List[RunResult]]:
+    """All five strategies on the §4.5 mobility walk."""
+    scenario = mobility_scenario()
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }
+
+
+def run_random_bw_comparison(
+    runs: int = 3,
+    download_bytes: float = mib(64),
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, List[RunResult]]:
+    """All five strategies under random WiFi bandwidth changes."""
+    scenario = random_bw_scenario(download_bytes=download_bytes)
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }

@@ -1,0 +1,129 @@
+"""WiFi-handover scenarios — exercising the MPTCP modes of §2.1.
+
+Paasch et al. [21] (discussed in §6) studied mobile/WiFi handover with
+MPTCP's modes; the paper's WiFi-First baseline [28] is built on Backup
+mode.  This experiment scripts hard AP disassociations (the interface
+goes *down*, unlike the mobility walk where the association survives)
+and compares:
+
+* ``mptcp`` (Full mode) — both subflows up, nothing to hand over;
+* ``single-path-mode`` — one subflow at a time, new one only after the
+  interface dies;
+* ``wifi-first`` (Backup mode) — LTE backup activates on dissociation;
+* ``emptcp`` — the energy-aware controller handles the outage through
+  path suspension like any other WiFi degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.protocols import build_protocol
+from repro.experiments.runner import setup_energy
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.errors import SimulationError
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.tcp.connection import FiniteSource
+from repro.units import mbps_to_bytes_per_sec, mib
+
+PROTOCOLS = ("mptcp", "emptcp", "wifi-first", "single-path-mode")
+
+#: Default outage script: (down_at, up_at) seconds.
+DEFAULT_OUTAGES: Tuple[Tuple[float, float], ...] = ((8.0, 20.0), (32.0, 44.0))
+
+
+@dataclass
+class HandoverResult:
+    """What one handover run reports."""
+
+    protocol: str
+    download_time: float
+    energy_j: float
+    bytes_received: float
+    lte_bytes: float
+    subflows: int
+
+
+def run_handover(
+    protocol: str,
+    download_bytes: float = mib(48),
+    outages: Sequence[Tuple[float, float]] = DEFAULT_OUTAGES,
+    wifi_mbps: float = 10.0,
+    lte_mbps: float = 8.0,
+    profile: DeviceProfile = GALAXY_S3,
+    seed: int = 0,
+    max_sim_time: float = 2_000.0,
+) -> HandoverResult:
+    """Download through scripted WiFi dissociations."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    wifi = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI),
+        ConstantCapacity(mbps_to_bytes_per_sec(wifi_mbps)),
+        base_rtt=0.04,
+        name="wifi",
+    )
+    lte = NetworkPath(
+        NetworkInterface(InterfaceKind.LTE),
+        ConstantCapacity(mbps_to_bytes_per_sec(lte_mbps)),
+        base_rtt=0.065,
+        name="lte",
+    )
+    wifi.attach(sim)
+    lte.attach(sim)
+    meter, _rrc = setup_energy(sim, profile, InterfaceKind.LTE, wifi, lte)
+
+    def set_wifi(up: bool) -> None:
+        wifi.interface.up = up
+
+    for down_at, up_at in outages:
+        if up_at <= down_at:
+            raise SimulationError("outage must end after it starts")
+        sim.schedule_at(down_at, set_wifi, False)
+        sim.schedule_at(up_at, set_wifi, True)
+
+    source = FiniteSource(download_bytes)
+    conn = build_protocol(
+        protocol, sim, wifi, lte, source, profile=profile,
+        rng=streams.stream("protocol"),
+    )
+    conn.on_complete(lambda _c: sim.stop())
+    conn.open()
+    sim.run(until=max_sim_time)
+    if conn.completed_at is None:
+        raise SimulationError(f"{protocol} handover run did not complete")
+    download_time = conn.completed_at
+    conn.close()
+    params = profile.rrc[InterfaceKind.LTE]
+    sim.run(until=sim.now + params.tail_time + params.active_hold + 1.5)
+
+    mptcp = getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
+    lte_bytes = 0.0
+    n_subflows = 1
+    if mptcp is not None and hasattr(mptcp, "subflows"):
+        n_subflows = len(mptcp.subflows)
+        lte_bytes = sum(
+            sf.bytes_delivered
+            for sf in mptcp.subflows
+            if sf.interface_kind.is_cellular
+        )
+    return HandoverResult(
+        protocol=protocol,
+        download_time=download_time,
+        energy_j=meter.checkpoint(),
+        bytes_received=conn.bytes_received,
+        lte_bytes=lte_bytes,
+        subflows=n_subflows,
+    )
+
+
+def run_handover_comparison(
+    protocols: Sequence[str] = PROTOCOLS, **kwargs
+) -> Dict[str, HandoverResult]:
+    """All strategies through the same outage script."""
+    return {protocol: run_handover(protocol, **kwargs) for protocol in protocols}

@@ -1,0 +1,91 @@
+"""§4.5 — mobility (Figures 11, 12, 13).
+
+The device walks the fixed 250-second route of Figure 11 while
+downloading continuously; WiFi throughput follows the device-AP
+distance, dropping to almost nothing during the out-of-range
+excursions while the association survives.  All protocols traverse the
+identical route (the paper keeps the route fixed for fairness; we keep
+the capacity trace fixed).
+
+Expected shapes (paper, Figure 13): eMPTCP's per-byte energy ~22%
+below MPTCP's and ~8-15% above TCP-over-WiFi's; it downloads ~25% less
+than MPTCP but ~28% more than TCP over WiFi in the same 250 s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.net.bandwidth import ConstantCapacity, PiecewiseTraceCapacity
+from repro.units import mbps_to_bytes_per_sec
+from repro.workloads.mobility import (
+    DEFAULT_AP_POSITION,
+    DEFAULT_USABLE_RANGE,
+    default_route,
+    route_capacity_trace,
+)
+
+#: Peak WiFi rate next to the AP, Mbps (Figure 12's traces peak ~15-18).
+PEAK_WIFI_MBPS = 18.0
+
+#: Indoor LTE rate during the walk, Mbps (deep inside the building the
+#: cellular link is noticeably slower than in the §4.2 lab spot).
+MOBILITY_LTE_MBPS = 6.0
+
+#: Residual rate while out of range but still associated, Mbps.  Small
+#: but non-zero: the paper stresses the device never disassociates.
+FLOOR_WIFI_MBPS = 0.05
+
+#: Measurement window, seconds.
+DURATION = 250.0
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def mobility_capacity_trace():
+    """The WiFi capacity trace induced by walking the default route."""
+    return route_capacity_trace(
+        default_route(),
+        DEFAULT_AP_POSITION,
+        max_rate=mbps_to_bytes_per_sec(PEAK_WIFI_MBPS),
+        usable_range=DEFAULT_USABLE_RANGE,
+        step=1.0,
+        floor_rate=mbps_to_bytes_per_sec(FLOOR_WIFI_MBPS),
+    )
+
+
+def mobility_scenario(duration: float = DURATION) -> Scenario:
+    """The Figure 12/13 scenario: fixed window, backlogged download."""
+    trace = mobility_capacity_trace()
+    return Scenario(
+        name="mobility",
+        wifi_capacity=lambda _rng: PiecewiseTraceCapacity(trace),
+        cell_capacity=lambda _rng: ConstantCapacity(
+            mbps_to_bytes_per_sec(MOBILITY_LTE_MBPS)
+        ),
+        duration=duration,
+    )
+
+
+def run_mobility(
+    runs: int = 5,
+    duration: float = DURATION,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, List[RunResult]]:
+    """Figure 13: ``runs`` repetitions per protocol over the same route."""
+    scenario = mobility_scenario(duration)
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }
+
+
+def example_traces(duration: float = DURATION, seed: int = 2) -> Dict[str, RunResult]:
+    """Figure 12: accumulated-energy traces over one walk."""
+    scenario = mobility_scenario(duration)
+    return {
+        protocol: run_scenario(protocol, scenario, seed=seed)
+        for protocol in PROTOCOLS
+    }

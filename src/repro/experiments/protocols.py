@@ -1,0 +1,105 @@
+"""Protocol factory: one uniform constructor for every strategy the
+paper compares.
+
+Every returned object exposes ``open()``, ``close()``,
+``on_complete(cb)``, ``completed_at`` and ``bytes_received``; energy
+flows through the paths' aggregate-rate listeners, so the runner does
+not need to know which protocol it is driving.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Optional
+
+from repro.baselines.mdp import MdpPolicy, MdpScheduledConnection
+from repro.baselines.single_path import SinglePathTcp
+from repro.baselines.wifi_first import WiFiFirstConnection
+from repro.core.config import EMPTCPConfig
+from repro.core.eib import cached_eib
+from repro.core.emptcp import EMPTCPConnection
+from repro.energy.device import DeviceProfile
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError
+from repro.mptcp.connection import MptcpMode, MPTCPConnection
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.tcp.connection import ByteSource
+
+#: Every strategy the harness can run.
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp", "single-path-mode")
+
+#: Default throughput levels (Mbps) for the MDP scheduler's state space.
+MDP_LEVELS = (0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
+
+_POLICY_CACHE = {}
+
+
+def mdp_policy_for(profile: DeviceProfile, cell_kind) -> MdpPolicy:
+    """Build (and cache) the offline MDP policy for a device profile —
+    the stand-in for Pluntke et al.'s cloud-computed schedule."""
+    key = (profile.name, cell_kind)
+    if key not in _POLICY_CACHE:
+        _POLICY_CACHE[key] = MdpPolicy(
+            profile, MDP_LEVELS, MDP_LEVELS, cell_kind=cell_kind
+        )
+    return _POLICY_CACHE[key]
+
+
+def build_protocol(
+    protocol: str,
+    sim: Simulator,
+    wifi_path: NetworkPath,
+    cellular_path: NetworkPath,
+    source: ByteSource,
+    profile: DeviceProfile,
+    config: Optional[EMPTCPConfig] = None,
+    rng: Optional[_random.Random] = None,
+    direction: Direction = Direction.DOWN,
+):
+    """Construct a connection object for the named protocol."""
+    rng = rng or _random.Random(0)
+    if protocol == "tcp-wifi":
+        return SinglePathTcp(sim, wifi_path, source, rng=rng)
+    if protocol == "mptcp":
+        return MPTCPConnection(
+            sim,
+            primary_path=wifi_path,
+            source=source,
+            secondary_paths=[cellular_path],
+            mode=MptcpMode.FULL,
+            rng=rng,
+            auto_join=True,
+            name="mptcp",
+        )
+    if protocol == "single-path-mode":
+        return MPTCPConnection(
+            sim,
+            primary_path=wifi_path,
+            source=source,
+            secondary_paths=[cellular_path],
+            mode=MptcpMode.SINGLE_PATH,
+            rng=rng,
+            name="single-path",
+        )
+    if protocol == "emptcp":
+        return EMPTCPConnection(
+            sim,
+            wifi_path,
+            cellular_path,
+            source,
+            profile=profile,
+            config=config,
+            rng=rng,
+            eib=cached_eib(profile, cellular_path.interface.kind, direction),
+        )
+    if protocol == "wifi-first":
+        return WiFiFirstConnection(sim, wifi_path, cellular_path, source, rng=rng)
+    if protocol == "mdp":
+        policy = mdp_policy_for(profile, cellular_path.interface.kind)
+        return MdpScheduledConnection(
+            sim, wifi_path, cellular_path, source, policy, rng=rng
+        )
+    raise ConfigurationError(
+        f"unknown protocol {protocol!r}; choose one of {PROTOCOLS}"
+    )

@@ -1,0 +1,83 @@
+"""§4.3 — random WiFi bandwidth changes (Figures 7 and 8).
+
+The AP's bandwidth is modulated by a two-state on-off process with
+exponentially distributed dwell times of mean 40 s, alternating between
+≤1 Mbps and ≥10 Mbps, while the device downloads a 256 MB file.
+
+Expected shapes (paper): eMPTCP consumes ~8% / ~6% less energy than
+MPTCP / TCP-over-WiFi; it is ~22% slower than MPTCP but roughly twice
+as fast as TCP over WiFi.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.experiments.static_bw import LAB_LTE_MBPS
+from repro.net.bandwidth import ConstantCapacity, TwoStateMarkovCapacity
+from repro.units import mbps_to_bytes_per_sec, mib
+
+#: On/off AP rates, Mbps (paper: >= 10 and <= 1).
+HIGH_WIFI_MBPS = 12.0
+LOW_WIFI_MBPS = 0.8
+
+#: Mean dwell time in each state, seconds.
+MEAN_DWELL = 40.0
+
+DEFAULT_DOWNLOAD = mib(256)
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def random_bw_scenario(
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    mean_dwell: float = MEAN_DWELL,
+    lte_mbps: float = LAB_LTE_MBPS,
+) -> Scenario:
+    """The Figure 7/8 scenario."""
+
+    def wifi_capacity(rng: _random.Random) -> TwoStateMarkovCapacity:
+        return TwoStateMarkovCapacity(
+            high_rate=mbps_to_bytes_per_sec(HIGH_WIFI_MBPS),
+            low_rate=mbps_to_bytes_per_sec(LOW_WIFI_MBPS),
+            mean_high=mean_dwell,
+            mean_low=mean_dwell,
+            rng=rng,
+            start_high=False,
+        )
+
+    return Scenario(
+        name="random-wifi-bw",
+        wifi_capacity=wifi_capacity,
+        cell_capacity=lambda _rng: ConstantCapacity(mbps_to_bytes_per_sec(lte_mbps)),
+        download_bytes=download_bytes,
+    )
+
+
+def run_random_bw(
+    runs: int = 10,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, List[RunResult]]:
+    """Figure 8: ``runs`` repetitions per protocol, paired seeds so
+    every protocol experiences the same bandwidth sample paths."""
+    scenario = random_bw_scenario(download_bytes=download_bytes)
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }
+
+
+def example_trace(
+    download_bytes: float = DEFAULT_DOWNLOAD, seed: int = 7
+) -> Dict[str, RunResult]:
+    """Figure 7: one run per protocol over the same bandwidth sample
+    path; each result carries its accumulated-energy time series."""
+    scenario = random_bw_scenario(download_bytes=download_bytes)
+    return {
+        protocol: run_scenario(protocol, scenario, seed=seed)
+        for protocol in PROTOCOLS
+    }

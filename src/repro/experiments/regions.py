@@ -1,0 +1,71 @@
+"""Offline energy-model figures: Figure 3 (efficiency heat map),
+Figure 4 (operating regions by download size), and Table 2 (EIB rows).
+
+These come straight from the parameterised energy model — no simulation
+involved — exactly as in the paper, where they are computed offline to
+populate the EIB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.eib import EibEntry, cached_eib
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.energy.efficiency import efficiency_heatmap, region_boundaries
+from repro.net.interface import InterfaceKind
+from repro.units import mib
+
+#: Table 2's published LTE throughput rows, Mbps.
+TABLE2_LTE_ROWS = (0.5, 1.0, 1.5, 2.0)
+
+#: The paper's published Table 2 thresholds, for EXPERIMENTS.md
+#: comparison: lte_mbps -> (lte_only_below, wifi_only_above).
+TABLE2_PAPER = {
+    0.5: (0.043, 0.234),
+    1.0: (0.134, 0.502),
+    1.5: (0.209, 0.803),
+    2.0: (0.304, 1.070),
+}
+
+#: Figure 4's download sizes.
+FIGURE4_SIZES = {"1MB": mib(1), "4MB": mib(4), "16MB": mib(16)}
+
+
+def table2_rows(
+    profile: DeviceProfile = GALAXY_S3,
+    lte_rows: Sequence[float] = TABLE2_LTE_ROWS,
+) -> List[EibEntry]:
+    """Table 2: EIB thresholds for the requested LTE throughputs."""
+    eib = cached_eib(profile, InterfaceKind.LTE)
+    return eib.table_rows(lte_rows)
+
+
+def figure3_heatmap(
+    profile: DeviceProfile = GALAXY_S3,
+    step: float = 0.25,
+    max_mbps: float = 10.0,
+) -> Tuple[List[float], List[float], List[List[float]]]:
+    """Figure 3: (wifi grid, lte grid, normalised per-byte energy of
+    MPTCP over the best single path).  Values < 1 form the dark "V"."""
+    grid = [step * i for i in range(1, int(max_mbps / step) + 1)]
+    return grid, grid, efficiency_heatmap(profile, grid, grid)
+
+
+def figure4_regions(
+    profile: DeviceProfile = GALAXY_S3,
+    sizes: Dict[str, float] = None,
+    step: float = 0.25,
+    max_wifi: float = 6.0,
+    max_lte: float = 12.0,
+) -> Dict[str, Dict[float, Tuple[float, float]]]:
+    """Figure 4: per download size, the WiFi-throughput interval (per
+    LTE throughput row) where completing the whole transfer with both
+    interfaces beats either single path, fixed overheads included."""
+    sizes = sizes or FIGURE4_SIZES
+    wifi_grid = [step * i for i in range(1, int(max_wifi / step) + 1)]
+    lte_grid = [step * i for i in range(1, int(max_lte / step) + 1)]
+    return {
+        label: region_boundaries(profile, size, wifi_grid, lte_grid)
+        for label, size in sizes.items()
+    }

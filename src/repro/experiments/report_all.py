@@ -1,0 +1,154 @@
+"""One-shot reproduction report.
+
+``generate_report()`` runs every experiment at a chosen scale and
+renders a markdown report in the structure of EXPERIMENTS.md — the
+numbers in that file were produced this way.  Scales:
+
+* ``smoke`` — seconds; CI-sized sanity pass;
+* ``default`` — a couple of minutes of simulated downloads;
+* ``paper`` — the paper's 256 MB / 10-run / 40-environment settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.stats import mean
+from repro.errors import ConfigurationError
+from repro.experiments import background as bg
+from repro.experiments import comparisons, mobility, random_bw, regions, static_bw
+from repro.experiments import overheads as ovh
+from repro.experiments import web as web_exp
+from repro.experiments import wild as wild_exp
+from repro.units import mib
+
+
+@dataclass(frozen=True)
+class ReportScale:
+    """Knobs for one report run."""
+
+    name: str
+    download_mib: float
+    runs: int
+    wild_envs: int
+    web_runs: int
+
+
+SCALES: Dict[str, ReportScale] = {
+    "smoke": ReportScale("smoke", download_mib=8, runs=1, wild_envs=6, web_runs=1),
+    "default": ReportScale(
+        "default", download_mib=64, runs=3, wild_envs=24, web_runs=3
+    ),
+    "paper": ReportScale(
+        "paper", download_mib=256, runs=10, wild_envs=40, web_runs=10
+    ),
+}
+
+
+def _protocol_block(results) -> List[str]:
+    lines = ["| protocol | energy (J) | time (s) |", "|---|---|---|"]
+    for protocol, runs in results.items():
+        energy = mean([r.energy_j for r in runs])
+        times = [r.download_time for r in runs if r.download_time is not None]
+        time_txt = f"{mean(times):.1f}" if times else "(window)"
+        lines.append(f"| {protocol} | {energy:.1f} | {time_txt} |")
+    return lines
+
+
+def generate_report(scale: str = "smoke") -> str:
+    """Run the full evaluation at the given scale; return markdown."""
+    if scale not in SCALES:
+        raise ConfigurationError(f"unknown scale {scale!r}; choose {sorted(SCALES)}")
+    s = SCALES[scale]
+    size = mib(s.download_mib)
+    out: List[str] = [
+        f"# Reproduction report (scale: {s.name})",
+        "",
+        f"Downloads {s.download_mib} MiB x {s.runs} runs; "
+        f"{s.wild_envs} wild environments; {s.web_runs} page loads.",
+        "",
+    ]
+
+    out += ["## Table 2 — EIB thresholds", ""]
+    out += ["| LTE Mbps | LTE-only < | WiFi-only >= |", "|---|---|---|"]
+    for entry in regions.table2_rows():
+        out.append(
+            f"| {entry.cell_mbps:.1f} | {entry.cellular_only_below:.3f} "
+            f"| {entry.wifi_only_above:.3f} |"
+        )
+    out.append("")
+
+    out += ["## Figure 1 — fixed overheads", ""]
+    out += ["| device | interface | joules |", "|---|---|---|"]
+    for device, iface, joules in ovh.fixed_overheads():
+        out.append(f"| {device} | {iface} | {joules:.2f} |")
+    out.append("")
+
+    for good, fig in ((True, "Figure 5 — static good WiFi"),
+                      (False, "Figure 6 — static bad WiFi")):
+        out += [f"## {fig}", ""]
+        out += _protocol_block(
+            static_bw.run_static(good, runs=s.runs, download_bytes=size)
+        )
+        out.append("")
+
+    out += ["## Figure 8 — random WiFi bandwidth", ""]
+    out += _protocol_block(
+        random_bw.run_random_bw(runs=s.runs, download_bytes=size)
+    )
+    out.append("")
+
+    out += ["## Figure 10 — background traffic (relative to MPTCP)", ""]
+    rows = bg.normalize_to_mptcp(
+        bg.run_background(runs=max(1, s.runs // 2), download_bytes=size)
+    )
+    out += ["| lambda_off | n | protocol | energy % | time % |", "|---|---|---|---|---|"]
+    for row in rows:
+        out.append(
+            f"| {row.lambda_off} | {row.n} | {row.protocol} "
+            f"| {row.energy_pct:.0f}% | {row.time_pct:.0f}% |"
+        )
+    out.append("")
+
+    out += ["## Figure 13 — mobility (250 s)", ""]
+    out += ["| protocol | uJ/bit | downloaded (MB) |", "|---|---|---|"]
+    for protocol, runs in mobility.run_mobility(runs=s.runs).items():
+        out.append(
+            f"| {protocol} | {mean([r.joules_per_bit for r in runs]) * 1e6:.3f} "
+            f"| {mean([r.bytes_received for r in runs]) / 1e6:.1f} |"
+        )
+    out.append("")
+
+    for size_label, nbytes, fig in (
+        ("256 KB", wild_exp.SMALL_BYTES, "Figure 15 — small transfers"),
+        ("16 MB", wild_exp.LARGE_BYTES, "Figure 16 — large transfers"),
+    ):
+        out += [f"## {fig} ({size_label}, medians by category)", ""]
+        traces = wild_exp.collect_traces(nbytes, n_environments=s.wild_envs)
+        summaries = wild_exp.whiskers_by_category(traces, "energy_j")
+        out += ["| category | protocol | median energy (J) |", "|---|---|---|"]
+        for category, by_protocol in summaries.items():
+            for protocol, whisker in by_protocol.items():
+                out.append(
+                    f"| {category.value} | {protocol} | {whisker.median:.2f} |"
+                )
+        out.append("")
+
+    out += ["## Figure 17 — web browsing", ""]
+    out += ["| protocol | energy (J) | latency (s) |", "|---|---|---|"]
+    for protocol, web_runs in web_exp.run_web_comparison(runs=s.web_runs).items():
+        out.append(
+            f"| {protocol} | {mean([r.energy_j for r in web_runs]):.2f} "
+            f"| {mean([r.latency for r in web_runs]):.2f} |"
+        )
+    out.append("")
+
+    out += ["## §4.6 — comparisons", ""]
+    actions = [a.value for a in comparisons.mdp_policy_actions()]
+    out.append(f"MDP policy actions: {actions}")
+    out += _protocol_block(
+        comparisons.run_mobility_comparison(runs=max(1, s.runs // 2))
+    )
+    out.append("")
+    return "\n".join(out)

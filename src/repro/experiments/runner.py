@@ -1,0 +1,212 @@
+"""Run one protocol on one scenario and measure what the paper measures.
+
+Responsibilities:
+
+* build fresh paths/capacity processes/interferers from the scenario's
+  factories, with per-component seeded random streams;
+* wire the energy side: meter, cellular RRC machine, WiFi activation
+  burst, per-path aggregate-rate listeners;
+* drive the simulation to transfer completion (or for the fixed
+  measurement window), then drain the residual cellular tail;
+* return a :class:`~repro.experiments.scenario.RunResult` with energy,
+  time, bytes, time series, and per-protocol diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.energy.meter import EnergyMeter
+from repro.energy.power import Direction
+from repro.energy.rrc import RrcMachine
+from repro.errors import SimulationError
+from repro.experiments.protocols import build_protocol
+from repro.experiments.scenario import RunResult, Scenario
+from repro.net.contention import WiFiChannel
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TimeSeries
+from repro.tcp.connection import FiniteSource, InfiniteSource
+from repro.units import bytes_per_sec_to_mbps
+
+#: Sampling interval for the result's rate/capacity traces, seconds.
+TRACE_INTERVAL = 1.0
+
+
+def build_paths(
+    sim: Simulator, scenario: Scenario, streams: RandomStreams
+) -> Tuple[NetworkPath, NetworkPath, Optional[WiFiChannel]]:
+    """Instantiate the WiFi and cellular paths for one run."""
+    wifi_cap = scenario.wifi_capacity(streams.stream("wifi-capacity"))
+    cell_cap = scenario.cell_capacity(streams.stream("cell-capacity"))
+    channel = WiFiChannel(wifi_cap) if scenario.interferers is not None else None
+    wifi_path = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI),
+        wifi_cap,
+        base_rtt=scenario.wifi_rtt,
+        loss_rate=scenario.wifi_loss,
+        channel=channel,
+        name="wifi",
+    )
+    cell_path = NetworkPath(
+        NetworkInterface(scenario.cell_kind),
+        cell_cap,
+        base_rtt=scenario.cell_rtt,
+        loss_rate=scenario.cell_loss,
+        name=scenario.cell_kind.value,
+    )
+    wifi_path.attach(sim)
+    cell_path.attach(sim)
+    if channel is not None and scenario.interferers is not None:
+        scenario.interferers(sim, channel, streams.stream("interferers"))
+    return wifi_path, cell_path, channel
+
+
+def setup_energy(
+    sim: Simulator,
+    profile,
+    cell_kind: InterfaceKind,
+    wifi_path: NetworkPath,
+    cell_path: NetworkPath,
+    direction: Direction = Direction.DOWN,
+) -> Tuple[EnergyMeter, RrcMachine]:
+    """Wire the energy side of a run: meter, cellular RRC machine on the
+    cellular path, per-path aggregate-rate listeners, and the WiFi
+    activation burst (paid once per run on every strategy)."""
+    meter = EnergyMeter(sim, profile, direction=direction)
+    rrc = RrcMachine(sim, profile.rrc[cell_kind])
+    cell_path.rrc = rrc
+    rrc.on_state_change(lambda _t, state: meter.set_rrc_state(cell_kind, state))
+    wifi_path.on_aggregate_rate(
+        lambda _t, rate: meter.set_rate(InterfaceKind.WIFI, rate)
+    )
+    cell_path.on_aggregate_rate(lambda _t, rate: meter.set_rate(cell_kind, rate))
+    meter.add_one_shot(profile.wifi_activation_j)
+    return meter, rrc
+
+
+def run_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
+    """Execute one (protocol, scenario, seed) run."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    wifi_path, cell_path, _channel = build_paths(sim, scenario, streams)
+    profile = scenario.profile
+    meter, _rrc = setup_energy(
+        sim, profile, scenario.cell_kind, wifi_path, cell_path, scenario.direction
+    )
+
+    # --- workload and protocol ------------------------------------------
+    if scenario.download_bytes is not None:
+        source = FiniteSource(scenario.download_bytes)
+    else:
+        source = InfiniteSource()
+    conn = build_protocol(
+        protocol,
+        sim,
+        wifi_path,
+        cell_path,
+        source,
+        profile=profile,
+        config=scenario.emptcp_config,
+        rng=streams.stream("protocol"),
+        direction=scenario.direction,
+    )
+
+    # --- tracing ---------------------------------------------------------
+    wifi_rates = TimeSeries("wifi-rate-Bps")
+    cell_rates = TimeSeries("cell-rate-Bps")
+    wifi_avail = TimeSeries("wifi-available-Bps")
+    cell_avail = TimeSeries("cell-available-Bps")
+
+    def trace_tick() -> None:
+        now = sim.now
+        wifi_rates.record(now, wifi_path.aggregate_rate)
+        cell_rates.record(now, cell_path.aggregate_rate)
+        wifi_avail.record(now, wifi_path.total_available_rate())
+        cell_avail.record(now, cell_path.total_available_rate())
+
+    tracer = PeriodicProcess(sim, TRACE_INTERVAL, trace_tick)
+    tracer.start(immediate=True)
+
+    # --- run ---------------------------------------------------------------
+    conn.open()
+    if scenario.download_bytes is not None:
+        conn.on_complete(lambda _c: sim.stop())
+        sim.run(until=scenario.max_sim_time)
+        if conn.completed_at is None:
+            raise SimulationError(
+                f"{protocol} on {scenario.name}: transfer did not complete "
+                f"within {scenario.max_sim_time}s"
+            )
+        download_time = conn.completed_at
+    else:
+        sim.run(until=scenario.duration)
+        download_time = None
+
+    bytes_received = conn.bytes_received
+    energy_at_completion = meter.checkpoint()
+
+    # --- drain the residual cellular tail --------------------------------
+    tracer.stop()
+    conn.close()
+    rrc_params = profile.rrc[scenario.cell_kind]
+    drain = (
+        rrc_params.promotion_time + rrc_params.active_hold + rrc_params.tail_time + 1.0
+    )
+    sim.run(until=sim.now + drain)
+    energy_total = meter.checkpoint()
+
+    return RunResult(
+        protocol=protocol,
+        scenario=scenario.name,
+        seed=seed,
+        download_time=download_time,
+        bytes_received=bytes_received,
+        energy_j=energy_total,
+        energy_at_completion_j=energy_at_completion,
+        energy_series=meter.energy_series,
+        wifi_rate_series=wifi_rates,
+        cell_rate_series=cell_rates,
+        measured_wifi_mbps=_mean_mbps(wifi_avail),
+        measured_cell_mbps=_mean_mbps(cell_avail),
+        diagnostics=_diagnostics(conn),
+    )
+
+
+def _mean_mbps(series: TimeSeries) -> float:
+    if len(series) == 0:
+        return 0.0
+    return bytes_per_sec_to_mbps(sum(series.values) / len(series))
+
+
+def _diagnostics(conn) -> dict:
+    """Pull per-protocol counters off whatever connection type ran."""
+    diag: dict = {}
+    mptcp = getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
+    if mptcp is not None and hasattr(mptcp, "subflows"):
+        diag["subflows"] = float(len(mptcp.subflows))
+        diag["mp_prio_events"] = float(
+            sum(1 for opt in mptcp.option_log if type(opt).__name__ == "MpPrio")
+        )
+        for sf in mptcp.subflows:
+            key = sf.interface_kind.value
+            diag[f"{key}_bytes"] = diag.get(f"{key}_bytes", 0.0) + sf.bytes_delivered
+            diag[f"{key}_suspends"] = (
+                diag.get(f"{key}_suspends", 0.0) + sf.suspend_count
+            )
+    controller = getattr(conn, "controller", None)
+    if controller is not None:
+        diag["decision_switches"] = float(controller.switches)
+    delayed = getattr(conn, "delayed", None)
+    if delayed is not None:
+        diag["cell_established"] = 1.0 if delayed.done else 0.0
+        if delayed.established_at is not None:
+            diag["cell_established_at"] = delayed.established_at
+    if hasattr(conn, "failovers"):
+        diag["failovers"] = float(conn.failovers)
+    if hasattr(conn, "epochs"):
+        diag["mdp_epochs"] = float(conn.epochs)
+    return diag

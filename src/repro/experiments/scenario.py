@@ -1,0 +1,131 @@
+"""Scenario and result types shared by all experiments.
+
+A :class:`Scenario` is a *recipe*: capacity-process factories (so each
+run gets fresh, independently seeded processes), path parameters, the
+workload size or measurement duration, and the device profile.  The
+runner instantiates it once per (protocol, seed) pair.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import EMPTCPConfig
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import CapacityProcess
+from repro.net.contention import WiFiChannel
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.sim.trace import TimeSeries
+from repro.units import bytes_per_sec_to_mbps
+
+CapacityFactory = Callable[[_random.Random], CapacityProcess]
+InterfererFactory = Callable[[Simulator, WiFiChannel, _random.Random], list]
+
+
+@dataclass
+class Scenario:
+    """One experimental configuration (lab §4 or wild §5 flavour)."""
+
+    name: str
+    wifi_capacity: CapacityFactory
+    cell_capacity: CapacityFactory
+    #: Transfer size in bytes (finite-download experiments)...
+    download_bytes: Optional[float] = None
+    #: ...or a fixed measurement window in seconds (mobility §4.5).
+    duration: Optional[float] = None
+    profile: DeviceProfile = GALAXY_S3
+    cell_kind: InterfaceKind = InterfaceKind.LTE
+    wifi_rtt: float = 0.050
+    cell_rtt: float = 0.070
+    wifi_loss: float = 0.0
+    cell_loss: float = 0.0
+    #: Attach Markov on-off interferers to the WiFi channel (§4.4).
+    interferers: Optional[InterfererFactory] = None
+    #: Transfer direction; uploads burn the radios' (steeper) transmit
+    #: slopes and use a direction-specific EIB (a §7 future-work item).
+    direction: Direction = Direction.DOWN
+    emptcp_config: EMPTCPConfig = field(default_factory=EMPTCPConfig)
+    #: Hard wall for finite downloads; exceeding it raises.
+    max_sim_time: float = 40_000.0
+
+    def __post_init__(self) -> None:
+        if (self.download_bytes is None) == (self.duration is None):
+            raise ConfigurationError(
+                "exactly one of download_bytes / duration must be set"
+            )
+        if self.download_bytes is not None and self.download_bytes <= 0:
+            raise ConfigurationError("download_bytes must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not self.cell_kind.is_cellular:
+            raise ConfigurationError("cell_kind must be cellular")
+
+
+@dataclass
+class RunResult:
+    """Everything one run produces.
+
+    ``energy_j`` includes the residual cellular tail drained after the
+    transfer finishes (the paper's measured totals attribute the tail
+    to the download); ``energy_at_completion_j`` is the meter reading
+    at the instant the last byte arrived.
+    """
+
+    protocol: str
+    scenario: str
+    seed: int
+    download_time: Optional[float]
+    bytes_received: float
+    energy_j: float
+    energy_at_completion_j: float
+    #: Cumulative energy over time (Figures 7 and 12).
+    energy_series: TimeSeries
+    #: Per-interface aggregate delivery rate, sampled every second
+    #: (Figure 9's throughput traces).
+    wifi_rate_series: TimeSeries
+    cell_rate_series: TimeSeries
+    #: Mean *available* path rate over the run, Mbps (Figure 14's axes).
+    measured_wifi_mbps: float
+    measured_cell_mbps: float
+    #: Per-protocol diagnostics (suspend counts, decisions, failovers…).
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def joules_per_byte(self) -> float:
+        """Per-byte energy (Figure 13's y-axis is J/bit = this / 8)."""
+        if self.bytes_received <= 0:
+            return float("inf")
+        return self.energy_j / self.bytes_received
+
+    @property
+    def joules_per_bit(self) -> float:
+        """Per-bit energy, as plotted in Figure 13."""
+        return self.joules_per_byte / 8.0
+
+    @property
+    def mean_goodput_mbps(self) -> float:
+        """Mean delivery rate over the download, Mbps."""
+        if not self.download_time:
+            return 0.0
+        return bytes_per_sec_to_mbps(self.bytes_received / self.download_time)
+
+
+def summarize_runs(results: List[RunResult]) -> Dict[str, float]:
+    """Mean energy/time/bytes over repeated runs of one configuration."""
+    if not results:
+        raise ConfigurationError("no results to summarise")
+    n = len(results)
+    mean_energy = sum(r.energy_j for r in results) / n
+    times = [r.download_time for r in results if r.download_time is not None]
+    return {
+        "n": n,
+        "energy_j": mean_energy,
+        "download_time": sum(times) / len(times) if times else float("nan"),
+        "bytes": sum(r.bytes_received for r in results) / n,
+        "joules_per_byte": sum(r.joules_per_byte for r in results) / n,
+    }

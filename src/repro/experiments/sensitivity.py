@@ -1,0 +1,123 @@
+"""Parameter-sensitivity sweeps for eMPTCP's tuning knobs.
+
+§4.1 sets κ = 1 MB and τ = 3 s and notes that "refining them to improve
+performance remains a subject for future work"; §3.4 fixes the safety
+factor at 10%.  This module sweeps each knob over a scenario and
+reports the energy/time/stability trade-off, quantifying how sensitive
+the published defaults are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.analysis.stats import mean
+from repro.core.config import EMPTCPConfig
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated outcome of one parameter value."""
+
+    parameter: str
+    value: float
+    energy_j: float
+    download_time: float
+    decision_switches: float
+    lte_suspends: float
+    cell_established_frac: float
+
+
+def sweep_config(
+    parameter: str,
+    values: Sequence[float],
+    scenario: Scenario,
+    runs: int = 3,
+    protocol: str = "emptcp",
+) -> List[SweepPoint]:
+    """Run ``protocol`` on ``scenario`` once per EMPTCPConfig value.
+
+    ``parameter`` must be a field of :class:`EMPTCPConfig`; the
+    scenario's config is replaced field-wise for each sweep value.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    field_names = {f.name for f in dataclasses.fields(EMPTCPConfig)}
+    if parameter not in field_names:
+        raise ConfigurationError(
+            f"{parameter!r} is not an EMPTCPConfig field; choose from "
+            f"{sorted(field_names)}"
+        )
+    points: List[SweepPoint] = []
+    for value in values:
+        config = dataclasses.replace(scenario.emptcp_config, **{parameter: value})
+        swept = dataclasses.replace(scenario, emptcp_config=config)
+        results = [run_scenario(protocol, swept, seed=seed) for seed in range(runs)]
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=value,
+                energy_j=mean([r.energy_j for r in results]),
+                download_time=mean(
+                    [r.download_time for r in results if r.download_time is not None]
+                    or [float("nan")]
+                ),
+                decision_switches=mean(
+                    [r.diagnostics.get("decision_switches", 0.0) for r in results]
+                ),
+                lte_suspends=mean(
+                    [r.diagnostics.get("lte_suspends", 0.0) for r in results]
+                ),
+                cell_established_frac=mean(
+                    [r.diagnostics.get("cell_established", 0.0) for r in results]
+                ),
+            )
+        )
+    return points
+
+
+def sweep_kappa(
+    scenario: Scenario, values: Sequence[float] = (64e3, 256e3, 1e6, 4e6, 16e6),
+    runs: int = 3,
+) -> List[SweepPoint]:
+    """Sweep the κ byte threshold (§3.5; paper default 1 MB)."""
+    return sweep_config("kappa_bytes", values, scenario, runs=runs)
+
+
+def sweep_tau(
+    scenario: Scenario, values: Sequence[float] = (1.0, 3.0, 6.0, 12.0),
+    runs: int = 3,
+) -> List[SweepPoint]:
+    """Sweep the τ timer (§3.5; paper default 3 s)."""
+    return sweep_config("tau_seconds", values, scenario, runs=runs)
+
+
+def sweep_safety_factor(
+    scenario: Scenario, values: Sequence[float] = (0.0, 0.05, 0.10, 0.20, 0.40),
+    runs: int = 3,
+) -> List[SweepPoint]:
+    """Sweep the hysteresis safety factor (§3.4; paper default 10%)."""
+    return sweep_config("safety_factor", values, scenario, runs=runs)
+
+
+PointFormatter = Callable[[SweepPoint], str]
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """A text table of sweep results."""
+    lines = [
+        f"{'value':>12} {'energy (J)':>11} {'time (s)':>9} "
+        f"{'switches':>9} {'suspends':>9} {'LTE used':>9}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.value:12g} {p.energy_j:11.1f} {p.download_time:9.1f} "
+            f"{p.decision_switches:9.1f} {p.lte_suspends:9.1f} "
+            f"{p.cell_established_frac:9.0%}"
+        )
+    return "\n".join(lines)

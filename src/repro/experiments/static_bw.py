@@ -1,0 +1,65 @@
+"""§4.2 — static configurations (Figures 5 and 6).
+
+Persistent high (>10 Mbps) or low (<1 Mbps) WiFi bandwidth while the
+device downloads a 256 MB file at a fixed location, against a good LTE
+network.  Expected shapes:
+
+* good WiFi (Fig 5): eMPTCP chooses WiFi-only and behaves like
+  single-path TCP over WiFi; MPTCP burns noticeably more energy for a
+  modest time win.
+* bad WiFi (Fig 6): eMPTCP behaves like MPTCP (after the LTE startup
+  delay set by κ and τ); TCP over WiFi takes an order of magnitude
+  longer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.net.bandwidth import ConstantCapacity
+from repro.units import mbps_to_bytes_per_sec, mib
+
+#: The paper's static WiFi operating points, Mbps.
+GOOD_WIFI_MBPS = 12.0
+BAD_WIFI_MBPS = 0.8
+
+#: LTE bandwidth in the lab, Mbps.
+LAB_LTE_MBPS = 10.0
+
+#: The paper downloads 256 MB; benchmarks may scale this down.
+DEFAULT_DOWNLOAD = mib(256)
+
+#: Protocols compared in Figures 5/6.
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def static_scenario(
+    good_wifi: bool,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    lte_mbps: float = LAB_LTE_MBPS,
+) -> Scenario:
+    """The Figure 5 (good) / Figure 6 (bad) scenario."""
+    wifi_mbps = GOOD_WIFI_MBPS if good_wifi else BAD_WIFI_MBPS
+    label = "good" if good_wifi else "bad"
+    return Scenario(
+        name=f"static-{label}-wifi",
+        wifi_capacity=lambda _rng: ConstantCapacity(mbps_to_bytes_per_sec(wifi_mbps)),
+        cell_capacity=lambda _rng: ConstantCapacity(mbps_to_bytes_per_sec(lte_mbps)),
+        download_bytes=download_bytes,
+    )
+
+
+def run_static(
+    good_wifi: bool,
+    runs: int = 5,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, List[RunResult]]:
+    """Figures 5/6: ``runs`` repetitions per protocol."""
+    scenario = static_scenario(good_wifi, download_bytes=download_bytes)
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }

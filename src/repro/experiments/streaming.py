@@ -1,0 +1,171 @@
+"""Video streaming comparison — §7 future work, built on
+:mod:`repro.workloads.streaming`.
+
+A 2.5 Mbps stream over on/off WiFi: the buffer-driven fetch pattern is
+bursty, so the cellular radio's tail dominates MPTCP's cost while
+eMPTCP (whose per-connection byte counter stays below κ per burst and
+whose idle veto blocks τ between chunks... until WiFi genuinely cannot
+sustain the bitrate) keeps LTE down unless it is needed.  Metrics are
+the streaming trio: startup delay, rebuffering, energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.experiments.protocols import build_protocol
+from repro.experiments.runner import setup_energy
+from repro.net.bandwidth import TwoStateMarkovCapacity, ConstantCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.units import mbps_to_bytes_per_sec
+from repro.workloads.streaming import VideoSession
+from repro.workloads.web import ObjectQueueSource
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+#: Media bitrate, 2.5 Mbps.
+BITRATE = mbps_to_bytes_per_sec(2.5)
+
+#: WiFi alternates between comfortable and below-bitrate.
+WIFI_HIGH_MBPS = 10.0
+WIFI_LOW_MBPS = 1.2
+WIFI_DWELL = 25.0
+LTE_MBPS = 8.0
+
+
+@dataclass
+class StreamResult:
+    """What a streaming run reports."""
+
+    protocol: str
+    startup_delay: float
+    rebuffer_events: int
+    rebuffer_time: float
+    media_played: float
+    energy_j: float
+    bytes_received: float
+    finished: bool
+
+    @property
+    def rebuffer_ratio(self) -> float:
+        """Stall time per second of media played."""
+        if self.media_played <= 0:
+            return float("inf")
+        return self.rebuffer_time / self.media_played
+
+
+def run_streaming(
+    protocol: str,
+    media_seconds: float = 120.0,
+    seed: int = 0,
+    profile: DeviceProfile = GALAXY_S3,
+    steady_wifi: Optional[float] = None,
+    max_sim_time: float = 1200.0,
+) -> StreamResult:
+    """Stream one video under the given protocol.
+
+    ``steady_wifi`` (Mbps) pins WiFi to a constant rate instead of the
+    on/off default — useful for tests.
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    if steady_wifi is not None:
+        wifi_cap = ConstantCapacity(mbps_to_bytes_per_sec(steady_wifi))
+    else:
+        wifi_cap = TwoStateMarkovCapacity(
+            high_rate=mbps_to_bytes_per_sec(WIFI_HIGH_MBPS),
+            low_rate=mbps_to_bytes_per_sec(WIFI_LOW_MBPS),
+            mean_high=WIFI_DWELL,
+            mean_low=WIFI_DWELL,
+            rng=streams.stream("wifi-capacity"),
+            start_high=True,
+        )
+    wifi = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI), wifi_cap, base_rtt=0.04, name="wifi"
+    )
+    lte = NetworkPath(
+        NetworkInterface(InterfaceKind.LTE),
+        ConstantCapacity(mbps_to_bytes_per_sec(LTE_MBPS)),
+        base_rtt=0.065,
+        name="lte",
+    )
+    wifi.attach(sim)
+    lte.attach(sim)
+    meter, _rrc = setup_energy(sim, profile, InterfaceKind.LTE, wifi, lte)
+
+    source = ObjectQueueSource()
+    conn = build_protocol(
+        protocol, sim, wifi, lte, source, profile=profile,
+        rng=streams.stream("protocol"),
+    )
+    session = VideoSession(
+        sim,
+        source,
+        notify_data=lambda: _notify(conn),
+        media_seconds=media_seconds,
+        bitrate_bytes_per_sec=BITRATE,
+    )
+    _subscribe(conn, session)
+    conn.open()
+    session.start()
+    sim.schedule(0.0, lambda: None)  # ensure the queue is never empty at start
+    while sim.now < max_sim_time and not session.done:
+        if not sim.step():
+            break
+    session.stop()
+    conn.close()
+    bytes_received = conn.bytes_received
+    # Drain the residual cellular tail.
+    params = profile.rrc[InterfaceKind.LTE]
+    sim.run(until=sim.now + params.tail_time + params.active_hold + 1.5)
+    startup = (
+        session.started_at if session.started_at is not None else float("inf")
+    )
+    return StreamResult(
+        protocol=protocol,
+        startup_delay=startup,
+        rebuffer_events=session.rebuffer_events,
+        rebuffer_time=session.rebuffer_time,
+        media_played=session.media_played,
+        energy_j=meter.checkpoint(),
+        bytes_received=bytes_received,
+        finished=session.done,
+    )
+
+
+def run_streaming_comparison(
+    runs: int = 3,
+    media_seconds: float = 120.0,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, list]:
+    """Stream the same video under each protocol, ``runs`` times."""
+    return {
+        protocol: [
+            run_streaming(protocol, media_seconds=media_seconds, seed=seed)
+            for seed in range(runs)
+        ]
+        for protocol in protocols
+    }
+
+
+def _notify(conn) -> None:
+    notify = getattr(conn, "notify_data", None)
+    if notify is not None:
+        notify()
+    else:
+        conn.connection.notify_data()
+
+
+def _subscribe(conn, session: VideoSession) -> None:
+    mptcp = getattr(conn, "mptcp", None)
+    if mptcp is not None:
+        mptcp.on_delivery(lambda _sf, d: session.on_delivery(d))
+    elif hasattr(conn, "on_delivery"):
+        conn.on_delivery(lambda _sf, d: session.on_delivery(d))
+    else:
+        conn.connection.on_delivery(lambda _c, d: session.on_delivery(d))

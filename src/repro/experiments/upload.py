@@ -1,0 +1,72 @@
+"""Upload scenarios — §7's first future-work item.
+
+Uploads flip the energy calculus: radios transmit at far higher power
+than they receive (the Galaxy S3 profile's LTE upload slope is 5.5x its
+download slope), so the EIB's WiFi-only region widens and eMPTCP should
+lean on WiFi even harder than for downloads.  This module builds
+upload-direction scenarios (the fluid TCP substrate is symmetric; the
+direction only changes which power slope the meter and the EIB use) and
+a comparison harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.eib import EibEntry, cached_eib
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.energy.power import Direction
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind
+from repro.units import mbps_to_bytes_per_sec, mib
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+#: Typical uplink rates are below downlink rates on both technologies.
+GOOD_WIFI_UP_MBPS = 8.0
+BAD_WIFI_UP_MBPS = 0.6
+LAB_LTE_UP_MBPS = 5.0
+
+DEFAULT_UPLOAD = mib(64)
+
+
+def upload_scenario(
+    good_wifi: bool,
+    upload_bytes: float = DEFAULT_UPLOAD,
+    lte_mbps: float = LAB_LTE_UP_MBPS,
+) -> Scenario:
+    """A bulk upload (photo/video sync) over static links."""
+    wifi_mbps = GOOD_WIFI_UP_MBPS if good_wifi else BAD_WIFI_UP_MBPS
+    label = "good" if good_wifi else "bad"
+    return Scenario(
+        name=f"upload-{label}-wifi",
+        wifi_capacity=lambda _rng: ConstantCapacity(mbps_to_bytes_per_sec(wifi_mbps)),
+        cell_capacity=lambda _rng: ConstantCapacity(mbps_to_bytes_per_sec(lte_mbps)),
+        download_bytes=upload_bytes,
+        direction=Direction.UP,
+    )
+
+
+def run_upload(
+    good_wifi: bool,
+    runs: int = 3,
+    upload_bytes: float = DEFAULT_UPLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> Dict[str, List[RunResult]]:
+    """Compare strategies on a bulk upload."""
+    scenario = upload_scenario(good_wifi, upload_bytes=upload_bytes)
+    return {
+        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
+        for protocol in protocols
+    }
+
+
+def upload_eib_rows(
+    profile: DeviceProfile = GALAXY_S3,
+    lte_rows: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+) -> List[EibEntry]:
+    """Table-2-style EIB rows for the upload direction."""
+    eib = cached_eib(profile, InterfaceKind.LTE, Direction.UP)
+    return eib.table_rows(lte_rows)

@@ -1,0 +1,243 @@
+"""§5.4 — the web-browsing case study (Figure 17).
+
+A CNN-like page of 107 objects is fetched the way the Android browser
+does it: six parallel persistent connections (12 subflows under
+MPTCP).  A dispatcher hands each connection its next object one request
+round-trip after the previous one completed; the page is done when
+every object has been delivered.
+
+Expected shape (paper): in a good-WiFi/good-LTE environment, MPTCP
+consumes ~60% more energy (~10 J more) than eMPTCP and TCP over WiFi at
+statistically indistinguishable latency — eMPTCP never opens LTE
+because every object is smaller than κ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.errors import SimulationError, WorkloadError
+from repro.experiments.protocols import build_protocol
+from repro.experiments.runner import setup_energy
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.units import mbps_to_bytes_per_sec
+from repro.workloads.web import BROWSER_CONNECTIONS, ObjectQueueSource, WebPage, cnn_like_page
+
+#: The §5.4 environment is good WiFi & good LTE.
+WEB_WIFI_MBPS = 14.0
+WEB_LTE_MBPS = 12.0
+WEB_WIFI_RTT = 0.035
+WEB_LTE_RTT = 0.065
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+def _subscribe_delivery(conn, callback: Callable[[float], None]) -> None:
+    """Uniform per-round delivered-bytes subscription across protocol
+    connection types."""
+    mptcp = getattr(conn, "mptcp", None)
+    if mptcp is not None:
+        mptcp.on_delivery(lambda _sf, delivered: callback(delivered))
+        return
+    if hasattr(conn, "on_delivery"):  # MPTCPConnection
+        conn.on_delivery(lambda _sf, delivered: callback(delivered))
+        return
+    # SinglePathTcp
+    conn.connection.on_delivery(lambda _c, delivered: callback(delivered))
+
+
+class _FetchWorker:
+    """One browser connection: drains its assigned objects in order."""
+
+    def __init__(self, sim: Simulator, conn, source: ObjectQueueSource):
+        self.sim = sim
+        self.conn = conn
+        self.source = source
+        self.assigned = 0.0
+        self.delivered = 0.0
+        self.objects_done = 0
+        self._on_object_done: Optional[Callable[["_FetchWorker"], None]] = None
+        _subscribe_delivery(conn, self._delivered)
+
+    def set_object_done_callback(self, cb: Callable[["_FetchWorker"], None]) -> None:
+        self._on_object_done = cb
+
+    def assign(self, nbytes: float) -> None:
+        """Queue the next object on this connection."""
+        self.assigned += nbytes
+        self.source.push(nbytes)
+        notify = getattr(self.conn, "notify_data", None)
+        if notify is not None:
+            notify()
+        else:
+            self.conn.connection.notify_data()
+
+    def _delivered(self, nbytes: float) -> None:
+        self.delivered += nbytes
+        if self.delivered >= self.assigned - 1e-6 and self.assigned > 0:
+            self.objects_done += 1
+            if self._on_object_done is not None:
+                self._on_object_done(self)
+
+
+@dataclass
+class WebResult:
+    """What Figure 17 reports for one protocol."""
+
+    protocol: str
+    latency: float
+    energy_j: float
+    energy_at_completion_j: float
+    total_bytes: float
+    objects: int
+    connections: int
+    lte_bytes: float
+
+
+class WebPageFetch:
+    """Dispatches a page's objects over N parallel connections."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        page: WebPage,
+        make_connection: Callable[[ObjectQueueSource, int], object],
+        n_connections: int = BROWSER_CONNECTIONS,
+        request_rtt: float = WEB_WIFI_RTT,
+    ):
+        if n_connections < 1:
+            raise WorkloadError("need at least one connection")
+        self.sim = sim
+        self.page = page
+        self.request_rtt = request_rtt
+        self.pending = deque(page.object_sizes)
+        self.objects_done = 0
+        self.completed_at: Optional[float] = None
+        self.workers: List[_FetchWorker] = []
+        for i in range(n_connections):
+            source = ObjectQueueSource()
+            conn = make_connection(source, i)
+            worker = _FetchWorker(sim, conn, source)
+            worker.set_object_done_callback(self._object_done)
+            self.workers.append(worker)
+
+    def start(self) -> None:
+        """Open all connections and assign each its first object."""
+        for worker in self.workers:
+            if self.pending:
+                worker.assign(self.pending.popleft())
+            worker.conn.open()
+
+    def _object_done(self, worker: _FetchWorker) -> None:
+        self.objects_done += 1
+        if self.objects_done >= len(self.page):
+            self.completed_at = self.sim.now
+            self.sim.stop()
+            return
+        if self.pending:
+            size = self.pending.popleft()
+            # The next request leaves after the browser parses the
+            # response: one request round-trip of think time.
+            self.sim.schedule(self.request_rtt, worker.assign, size)
+
+    @property
+    def done(self) -> bool:
+        """True once every object has been delivered."""
+        return self.completed_at is not None
+
+
+def run_web(
+    protocol: str,
+    page: Optional[WebPage] = None,
+    profile: DeviceProfile = GALAXY_S3,
+    seed: int = 0,
+    wifi_mbps: float = WEB_WIFI_MBPS,
+    lte_mbps: float = WEB_LTE_MBPS,
+    n_connections: int = BROWSER_CONNECTIONS,
+    max_sim_time: float = 600.0,
+) -> WebResult:
+    """Fetch the page under one protocol and measure Figure 17's bars."""
+    page = page or cnn_like_page()
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    wifi_path = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI),
+        ConstantCapacity(mbps_to_bytes_per_sec(wifi_mbps)),
+        base_rtt=WEB_WIFI_RTT,
+        name="wifi",
+    )
+    cell_path = NetworkPath(
+        NetworkInterface(InterfaceKind.LTE),
+        ConstantCapacity(mbps_to_bytes_per_sec(lte_mbps)),
+        base_rtt=WEB_LTE_RTT,
+        name="lte",
+    )
+    wifi_path.attach(sim)
+    cell_path.attach(sim)
+    meter, _rrc = setup_energy(sim, profile, InterfaceKind.LTE, wifi_path, cell_path)
+
+    def make_connection(source: ObjectQueueSource, index: int):
+        return build_protocol(
+            protocol,
+            sim,
+            wifi_path,
+            cell_path,
+            source,
+            profile=profile,
+            rng=streams.stream(f"conn-{index}"),
+        )
+
+    fetch = WebPageFetch(sim, page, make_connection, n_connections=n_connections)
+    fetch.start()
+    sim.run(until=max_sim_time)
+    if not fetch.done:
+        raise SimulationError(
+            f"web fetch under {protocol} did not finish within {max_sim_time}s"
+        )
+    latency = fetch.completed_at
+    energy_at_completion = meter.checkpoint()
+    lte_bytes = 0.0
+    for worker in fetch.workers:
+        conn = worker.conn
+        mptcp = getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
+        if mptcp is not None and hasattr(mptcp, "subflows"):
+            lte_bytes += sum(
+                sf.bytes_delivered
+                for sf in mptcp.subflows
+                if sf.interface_kind.is_cellular
+            )
+        close = getattr(conn, "close", None)
+        if close is not None:
+            close()
+    # Drain the residual cellular tail, as the paper's measurements do.
+    rrc_params = profile.rrc[InterfaceKind.LTE]
+    sim.run(until=sim.now + rrc_params.tail_time + rrc_params.active_hold + 1.5)
+    return WebResult(
+        protocol=protocol,
+        latency=latency,
+        energy_j=meter.checkpoint(),
+        energy_at_completion_j=energy_at_completion,
+        total_bytes=page.total_bytes,
+        objects=len(page),
+        connections=n_connections,
+        lte_bytes=lte_bytes,
+    )
+
+
+def run_web_comparison(
+    protocols: Sequence[str] = PROTOCOLS,
+    runs: int = 10,
+    **kwargs,
+) -> Dict[str, List[WebResult]]:
+    """Figure 17: averaged over ``runs`` page loads per protocol."""
+    return {
+        protocol: [run_web(protocol, seed=seed, **kwargs) for seed in range(runs)]
+        for protocol in protocols
+    }

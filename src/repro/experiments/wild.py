@@ -1,0 +1,204 @@
+"""§5 — evaluation in the wild (Figures 14, 15, 16).
+
+Environments are sampled from the three client sites x three servers
+(WDC/AMS/SNG); each sampled environment fixes per-path bandwidth and
+RTT.  For every environment we run one *set* — one run each of eMPTCP,
+MPTCP and TCP over WiFi — for each file size (256 KB small, 16 MB
+large), then group the results into the four Good/Bad categories at the
+8 Mbps threshold and summarise with whisker statistics.
+
+Expected shapes (paper):
+
+* small transfers (Fig 15): eMPTCP ≈ TCP over WiFi everywhere, 75-90%
+  less energy than MPTCP, with a few LTE-using outliers where WiFi was
+  exceptionally slow;
+* large transfers (Fig 16): BB — eMPTCP most efficient (~33% below
+  MPTCP) and ~20% faster; BG — eMPTCP ≈ MPTCP with slightly larger
+  times; GB/GG — eMPTCP ≈ TCP over WiFi at ~50% of MPTCP's energy,
+  ~20% slower than MPTCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.categorize import Category, categorize
+from repro.analysis.stats import WhiskerSummary, whisker_summary
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.net.bandwidth import ConstantCapacity, TwoStateMarkovCapacity
+from repro.units import kib, mbps_to_bytes_per_sec, mib
+from repro.workloads.wild import WildEnvironment, WildSampler
+
+SMALL_BYTES = kib(256)
+LARGE_BYTES = mib(16)
+
+PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
+
+
+#: Short-term fluctuation of wild links around their mean, expressed as
+#: (high multiplier, low multiplier).  CSMA WiFi swings hard with cross
+#: traffic; scheduled cellular links are much smoother.  The WiFi-side
+#: variability is what exercises eMPTCP's *adaptive* control in the
+#: wild categories (§5.3).
+WIFI_FLUCTUATION = (1.5, 0.3)
+LTE_FLUCTUATION = (1.15, 0.7)
+FLUCTUATION_DWELL = 12.0
+
+
+def _fluctuating(mean_mbps: float, multipliers):
+    high, low = multipliers
+
+    def factory(rng):
+        return TwoStateMarkovCapacity(
+            high_rate=mbps_to_bytes_per_sec(mean_mbps * high),
+            low_rate=mbps_to_bytes_per_sec(mean_mbps * low),
+            mean_high=FLUCTUATION_DWELL,
+            mean_low=FLUCTUATION_DWELL,
+            rng=rng,
+            start_high=rng.random() < 0.5,
+        )
+
+    return factory
+
+
+def environment_scenario(
+    env: WildEnvironment, download_bytes: float, fluctuating: bool = True
+) -> Scenario:
+    """Build the scenario one wild environment induces.
+
+    ``fluctuating=False`` freezes both links at their sampled means —
+    useful for controlled unit tests of single operating points.
+    """
+    if fluctuating:
+        wifi_factory = _fluctuating(env.wifi_mbps, WIFI_FLUCTUATION)
+        cell_factory = _fluctuating(env.lte_mbps, LTE_FLUCTUATION)
+    else:
+        wifi_factory = lambda _rng: ConstantCapacity(  # noqa: E731
+            mbps_to_bytes_per_sec(env.wifi_mbps)
+        )
+        cell_factory = lambda _rng: ConstantCapacity(  # noqa: E731
+            mbps_to_bytes_per_sec(env.lte_mbps)
+        )
+    return Scenario(
+        name=f"wild-{env.name}",
+        wifi_capacity=wifi_factory,
+        cell_capacity=cell_factory,
+        download_bytes=download_bytes,
+        wifi_rtt=env.wifi_rtt,
+        cell_rtt=env.lte_rtt,
+    )
+
+
+@dataclass
+class WildTrace:
+    """One environment's results across the protocol set."""
+
+    environment: WildEnvironment
+    category: Category
+    results: Dict[str, RunResult] = field(default_factory=dict)
+
+
+def collect_traces(
+    download_bytes: float,
+    n_environments: int = 40,
+    seed: int = 185,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[WildTrace]:
+    """Run one protocol set per sampled environment."""
+    sampler = WildSampler(seed=seed)
+    traces: List[WildTrace] = []
+    for i, env in enumerate(sampler.environments(n_environments)):
+        scenario = environment_scenario(env, download_bytes)
+        trace = WildTrace(
+            environment=env,
+            category=categorize(env.wifi_mbps, env.lte_mbps),
+        )
+        for protocol in protocols:
+            trace.results[protocol] = run_scenario(protocol, scenario, seed=seed + i)
+        traces.append(trace)
+    return traces
+
+
+def collect_traces_grid(
+    download_bytes: float,
+    iterations: int = 10,
+    seed: int = 185,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[WildTrace]:
+    """§5's exact methodology: every client-site x server combination,
+    ``iterations`` sets each ("we collect ten traces for each
+    combination of file size, device and server locations").
+
+    Each iteration draws fresh link qualities for that combination (the
+    paper notes network conditions vary over time), and every protocol
+    in a set sees the same sampled environment — the paper randomises
+    in-set ordering to decorrelate from drift, which a simulator gets
+    for free.
+    """
+    import random as _random
+
+    from repro.net.host import WILD_SERVERS
+    from repro.workloads.wild import CLIENT_SITES, LTE_MU, LTE_SIGMA, clamp_mbps
+
+    rng = _random.Random(seed)
+    traces: List[WildTrace] = []
+    run_index = 0
+    for site in CLIENT_SITES.values():
+        for server in WILD_SERVERS.values():
+            for _ in range(iterations):
+                wifi = clamp_mbps(
+                    rng.lognormvariate(site.wifi_mu, site.wifi_sigma)
+                )
+                lte = clamp_mbps(rng.lognormvariate(LTE_MU, LTE_SIGMA))
+                env = WildEnvironment(
+                    site=site, server=server, wifi_mbps=wifi, lte_mbps=lte
+                )
+                scenario = environment_scenario(env, download_bytes)
+                trace = WildTrace(
+                    environment=env,
+                    category=categorize(env.wifi_mbps, env.lte_mbps),
+                )
+                for protocol in protocols:
+                    trace.results[protocol] = run_scenario(
+                        protocol, scenario, seed=seed + run_index
+                    )
+                run_index += 1
+                traces.append(trace)
+    return traces
+
+
+def scatter_points(traces: Sequence[WildTrace]) -> List[Dict[str, float]]:
+    """Figure 14: the (WiFi, LTE) throughput scatter with categories."""
+    return [
+        {
+            "wifi_mbps": t.environment.wifi_mbps,
+            "lte_mbps": t.environment.lte_mbps,
+            "category": t.category.value,
+        }
+        for t in traces
+    ]
+
+
+def whiskers_by_category(
+    traces: Sequence[WildTrace],
+    metric: str = "energy_j",
+) -> Dict[Category, Dict[str, WhiskerSummary]]:
+    """Figures 15/16: per-category, per-protocol whisker summaries.
+
+    ``metric`` is a RunResult attribute name: ``energy_j`` or
+    ``download_time``.  Categories with no traces are omitted.
+    """
+    grouped: Dict[Category, Dict[str, List[float]]] = {}
+    for trace in traces:
+        per_protocol = grouped.setdefault(trace.category, {})
+        for protocol, result in trace.results.items():
+            per_protocol.setdefault(protocol, []).append(getattr(result, metric))
+    return {
+        category: {
+            protocol: whisker_summary(values)
+            for protocol, values in per_protocol.items()
+        }
+        for category, per_protocol in grouped.items()
+    }

@@ -1,0 +1,27 @@
+"""Multi-Path TCP substrate.
+
+Implements the MPTCP machinery the paper builds on (§2.1): subflows
+over interface pairs exposed as one logical connection, the three modes
+of operation (Full-MPTCP / Single-Path / Backup), the default min-RTT
+scheduler, Linked-Increases coupled congestion control (RFC 6356), and
+the MP_PRIO option eMPTCP uses to suspend and resume subflows.
+"""
+
+from repro.mptcp.connection import MptcpMode, MPTCPConnection
+from repro.mptcp.coupled import LiaCoupling
+from repro.mptcp.options import MpCapable, MpJoin, MpPrio
+from repro.mptcp.scheduler import MinRttScheduler, RoundRobinScheduler
+from repro.mptcp.subflow import Subflow, SubflowPriority
+
+__all__ = [
+    "LiaCoupling",
+    "MPTCPConnection",
+    "MinRttScheduler",
+    "MpCapable",
+    "MpJoin",
+    "MpPrio",
+    "MptcpMode",
+    "RoundRobinScheduler",
+    "Subflow",
+    "SubflowPriority",
+]

@@ -1,0 +1,341 @@
+"""The MPTCP connection: one logical TCP stream over many subflows.
+
+Implements the protocol surface the paper relies on:
+
+* **Modes** (§2.1): Full-MPTCP (all interfaces), Single-Path (one
+  subflow at a time, a new one only after the active interface goes
+  down), and Backup (subflows established everywhere but a subset kept
+  idle until activated).
+* **MP_PRIO** (§3.6): the priority change eMPTCP uses to suspend and
+  resume subflows at run time; every option event is logged.
+* **Coupled congestion control** (RFC 6356) via
+  :class:`~repro.mptcp.coupled.LiaCoupling`.
+* **Deferred joins**: eMPTCP needs full control over *when* the
+  cellular subflow is established (§3.5), so automatic joining of
+  secondary paths can be disabled and driven externally.
+"""
+
+from __future__ import annotations
+
+import enum
+import random as _random
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import ProtocolError
+from repro.mptcp.coupled import LiaCoupling
+from repro.mptcp.olia import OliaCoupling
+from repro.mptcp.options import MpCapable, MpJoin, MpPrio
+from repro.mptcp.scheduler import MinRttScheduler
+from repro.mptcp.subflow import Subflow, SubflowPriority
+from repro.net.interface import InterfaceKind
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.tcp.connection import ByteSource
+
+OptionRecord = Union[MpCapable, MpJoin, MpPrio]
+
+
+class MptcpMode(enum.Enum):
+    """Subflow-usage modes (§2.1)."""
+
+    FULL = "full"
+    SINGLE_PATH = "single-path"
+    BACKUP = "backup"
+
+
+class MPTCPConnection:
+    """A multipath connection over a primary path plus secondaries.
+
+    Parameters
+    ----------
+    primary_path:
+        The default interface's path; the paper (and eMPTCP) use WiFi
+        as the primary because its fixed costs are negligible (§3.6).
+    secondary_paths:
+        Remaining paths (cellular).  When/whether subflows are joined
+        over them depends on ``mode`` and ``auto_join``.
+    auto_join:
+        In FULL/BACKUP mode, join secondaries automatically one RTT
+        after the first subflow establishes (standard MPTCP).  eMPTCP
+        passes ``False`` and drives joins itself.
+    reuse_reset_rtt / rfc2861_idle_reset:
+        eMPTCP's §3.6 subflow re-use tweaks; standard MPTCP keeps the
+        defaults (no RTT reset, RFC 2861 reset enabled).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        primary_path: NetworkPath,
+        source: ByteSource,
+        secondary_paths: Sequence[NetworkPath] = (),
+        mode: MptcpMode = MptcpMode.FULL,
+        rng: Optional[_random.Random] = None,
+        coupled: bool = True,
+        coupling_algorithm: str = "lia",
+        auto_join: bool = True,
+        rfc2861_idle_reset: bool = True,
+        reuse_reset_rtt: bool = False,
+        scheduler_hol_penalty: bool = True,
+        name: str = "mptcp",
+    ):
+        self.sim = sim
+        self.primary_path = primary_path
+        self.secondary_paths = list(secondary_paths)
+        self.source = source
+        self.mode = mode
+        self.rng = rng or _random.Random(0)
+        self.coupled = coupled
+        self.auto_join = auto_join
+        self.rfc2861_idle_reset = rfc2861_idle_reset
+        self.reuse_reset_rtt = reuse_reset_rtt
+        self.scheduler_hol_penalty = scheduler_hol_penalty
+        self.name = name
+
+        self.scheduler = MinRttScheduler()
+        self.subflows: List[Subflow] = []
+        self.option_log: List[OptionRecord] = []
+        self.opened = False
+        self.completed_at: Optional[float] = None
+        if coupling_algorithm == "lia":
+            self._coupling = LiaCoupling(self._active_subflows)
+        elif coupling_algorithm == "olia":
+            self._coupling = OliaCoupling(self._active_subflows)
+        else:
+            raise ProtocolError(
+                f"unknown coupling algorithm {coupling_algorithm!r}; "
+                "choose 'lia' or 'olia'"
+            )
+        self.coupling_algorithm = coupling_algorithm
+        self._complete_listeners: List[Callable[["MPTCPConnection"], None]] = []
+        self._delivery_listeners: List[Callable[[Subflow, float], None]] = []
+        self._established_listeners: List[Callable[[Subflow], None]] = []
+        self._single_path_monitor: Optional[PeriodicProcess] = None
+        self._single_path_cursor = 0
+
+    # ------------------------------------------------------------------
+    # listeners
+
+    def on_complete(self, listener: Callable[["MPTCPConnection"], None]) -> None:
+        """Subscribe to transfer completion (finite sources only)."""
+        self._complete_listeners.append(listener)
+
+    def on_delivery(self, listener: Callable[[Subflow, float], None]) -> None:
+        """Subscribe to per-round deliveries on any subflow."""
+        self._delivery_listeners.append(listener)
+
+    def on_subflow_established(self, listener: Callable[[Subflow], None]) -> None:
+        """Subscribe to subflow handshake completions."""
+        self._established_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def open(self) -> Subflow:
+        """Establish the connection over the primary path."""
+        if self.opened:
+            raise ProtocolError("connection already opened")
+        self.opened = True
+        primary = self._make_subflow(self.primary_path, initial=True)
+        self.option_log.append(MpCapable(self.sim.now, primary.name))
+        primary.connection.on_established(lambda _c: self._primary_up(primary))
+        primary.establish()
+        if self.mode is MptcpMode.SINGLE_PATH:
+            self._single_path_monitor = PeriodicProcess(
+                self.sim, 1.0, self._check_single_path
+            )
+            self._single_path_monitor.start()
+        return primary
+
+    def _primary_up(self, primary: Subflow) -> None:
+        self._notify_established(primary)
+        if self.auto_join and self.mode in (MptcpMode.FULL, MptcpMode.BACKUP):
+            backup = self.mode is MptcpMode.BACKUP
+            for path in self.secondary_paths:
+                self.add_subflow(path, backup=backup)
+
+    def add_subflow(
+        self, path: NetworkPath, backup: bool = False, extra_delay: float = 0.0
+    ) -> Subflow:
+        """Join an additional subflow over ``path`` (MP_JOIN)."""
+        if not self.opened:
+            raise ProtocolError("open() the connection before joining subflows")
+        if any(sf.path is path and not sf.closed for sf in self.subflows):
+            raise ProtocolError(f"path {path.name} already carries a subflow")
+        subflow = self._make_subflow(path)
+        if backup:
+            subflow.priority = SubflowPriority.BACKUP
+        self.option_log.append(MpJoin(self.sim.now, subflow.name, backup=backup))
+        subflow.connection.on_established(
+            lambda _c: self._notify_established(subflow)
+        )
+        subflow.establish(extra_delay=extra_delay)
+        return subflow
+
+    def _make_subflow(self, path: NetworkPath, initial: bool = False) -> Subflow:
+        index = len(self.subflows)
+        subflow = Subflow(
+            self.sim,
+            path,
+            self.source,
+            rng=_random.Random(self.rng.getrandbits(64)),
+            rfc2861_idle_reset=self.rfc2861_idle_reset,
+            coupling=None,
+            name=f"{self.name}/sf{index}-{path.interface.kind.value}",
+        )
+        if self.coupled:
+            subflow.connection.coupling = (
+                lambda sf=subflow: self._coupling.factor_for(sf)
+            )
+        if self.scheduler_hol_penalty:
+            subflow.connection.rate_shaper = (
+                lambda cap, sf=subflow: cap * self._scheduler_utilization(sf, cap)
+            )
+        subflow.on_delivery(self._on_delivery)
+        self.subflows.append(subflow)
+        return subflow
+
+    def _scheduler_utilization(self, subflow: Subflow, cap: float) -> float:
+        """Utilization the min-RTT scheduler grants a subflow.
+
+        The preferred (lowest-RTT) subflow is filled first; a
+        higher-RTT subflow only carries what receive-window space and
+        head-of-line blocking allow, which shrinks as the preferred
+        subflow's rate covers more of the demand (the paper observes
+        exactly this: "standard MPTCP avoids aggressive use of the LTE
+        subflow when the WiFi subflow provides high bandwidth", §4.4).
+
+        Modelled as ``cap / (cap + preferred_rate)``: with WiFi at
+        12 Mbps an LTE subflow capable of 10 Mbps gets ~45% of it; with
+        WiFi collapsed to 0.5 Mbps it gets ~95%.
+
+        Preference uses the paths' base RTTs: ranking by the live
+        smoothed RTT creates a starvation trap (a queue-inflated RTT
+        demotes the subflow, whose shaped-down capacity keeps its RTT
+        inflated), which real TCP escapes because losses drain the
+        queue.
+        """
+        active = self._active_subflows()
+        if not active:
+            return 1.0
+        preferred = min(active, key=lambda sf: (sf.path.base_rtt, sf.name))
+        if preferred is subflow:
+            return 1.0
+        preferred_rate = preferred.current_rate
+        if preferred_rate <= 0 or cap <= 0:
+            return 1.0
+        return max(0.05, cap / (cap + preferred_rate))
+
+    def close(self) -> None:
+        """Close every subflow."""
+        if self._single_path_monitor is not None:
+            self._single_path_monitor.stop()
+        for subflow in self.subflows:
+            subflow.close()
+
+    # ------------------------------------------------------------------
+    # MP_PRIO control (used by the eMPTCP path controller)
+
+    def set_low_priority(self, subflow: Subflow, low: bool) -> None:
+        """Suspend (``low=True``) or resume a subflow via MP_PRIO."""
+        if subflow not in self.subflows:
+            raise ProtocolError(f"unknown subflow {subflow.name}")
+        self.option_log.append(MpPrio(self.sim.now, subflow.name, low=low))
+        if low:
+            subflow.suspend()
+        else:
+            subflow.resume(reset_rtt=self.reuse_reset_rtt)
+            subflow.connection.notify_data()
+
+    # ------------------------------------------------------------------
+    # single-path mode
+
+    def _check_single_path(self) -> None:
+        """Single-Path mode (§2.1): open a new subflow only after the
+        interface of the current one goes down."""
+        active = [sf for sf in self.subflows if sf.established and sf.path.is_up]
+        if active or self.source.exhausted:
+            return
+        remaining = [
+            p
+            for p in self.secondary_paths[self._single_path_cursor :]
+            if p.is_up
+        ]
+        if not remaining:
+            return
+        self._single_path_cursor = self.secondary_paths.index(remaining[0]) + 1
+        self.add_subflow(remaining[0])
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _on_delivery(self, subflow: Subflow, delivered: float) -> None:
+        for listener in list(self._delivery_listeners):
+            listener(subflow, delivered)
+        self._maybe_complete()
+
+    def _notify_established(self, subflow: Subflow) -> None:
+        for listener in list(self._established_listeners):
+            listener(subflow)
+
+    def _maybe_complete(self) -> None:
+        if self.completed_at is not None:
+            return
+        # Queue-style sources (web objects) drain and refill; only a
+        # final source's exhaustion ends the transfer.
+        if not getattr(self.source, "final", True):
+            return
+        if not self.source.exhausted:
+            return
+        if any(sf.in_flight for sf in self.subflows):
+            return
+        self.completed_at = self.sim.now
+        for listener in list(self._complete_listeners):
+            listener(self)
+
+    def _active_subflows(self) -> List[Subflow]:
+        return [sf for sf in self.subflows if sf.usable]
+
+    # ------------------------------------------------------------------
+    # views
+
+    @property
+    def bytes_received(self) -> float:
+        """Total bytes delivered across all subflows."""
+        return sum(sf.bytes_delivered for sf in self.subflows)
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Instantaneous aggregate delivery rate, bytes/s."""
+        return sum(sf.current_rate for sf in self.subflows)
+
+    def subflow_for(self, kind: InterfaceKind) -> Optional[Subflow]:
+        """The (non-closed) subflow over the given interface kind."""
+        for sf in self.subflows:
+            if sf.interface_kind is kind and not sf.closed:
+                return sf
+        return None
+
+    def notify_data(self) -> None:
+        """Wake idle subflows after new application data was queued."""
+        for sf in self.subflows:
+            if sf.usable:
+                sf.connection.notify_data()
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no subflow has transferred anything for at least
+        one smoothed RTT — the paper's idle-connection criterion used
+        to veto delayed cellular establishment (§3.5)."""
+        now = self.sim.now
+        for sf in self.subflows:
+            if sf.sending:
+                return False
+            conn = sf.connection
+            if conn.last_activity is None:
+                continue
+            rtt = conn.rtt_estimator.srtt or sf.path.base_rtt
+            if now - conn.last_activity <= max(rtt, 1e-3):
+                return False
+        return True

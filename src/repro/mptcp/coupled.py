@@ -1,0 +1,68 @@
+"""Linked-Increases coupled congestion control (RFC 6356).
+
+MPTCP couples the congestion-avoidance growth of its subflows so the
+aggregate is no more aggressive than a single TCP on the best path.
+The per-connection aggressiveness factor is::
+
+    alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i / rtt_i)^2
+
+and each subflow's window grows per acked byte by
+``min(alpha * mss / cwnd_total, mss / cwnd_i)`` instead of
+``mss / cwnd_i``.  The fluid congestion controller
+(:class:`repro.tcp.congestion.RenoCongestionControl`) accepts exactly
+that ratio as its ``coupling`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.subflow import Subflow
+
+
+class LiaCoupling:
+    """Computes the LIA coupling factor for one subflow per round."""
+
+    def __init__(self, subflows_provider):
+        """``subflows_provider`` is a zero-argument callable returning
+        the connection's currently *sending* subflows."""
+        self._subflows = subflows_provider
+
+    @staticmethod
+    def alpha(subflows: Iterable["Subflow"]) -> float:
+        """The RFC 6356 alpha over the given subflows."""
+        flows = [sf for sf in subflows if sf.established]
+        if not flows:
+            return 1.0
+        total_cwnd = sum(sf.cwnd for sf in flows)
+        if total_cwnd <= 0:
+            return 1.0
+        best = 0.0
+        denom = 0.0
+        for sf in flows:
+            rtt = sf.effective_rtt
+            if rtt <= 0:
+                # A zeroed-RTT (freshly re-probed) subflow is treated as
+                # the best path; fall back to its base RTT for the sums.
+                rtt = sf.path.base_rtt
+            best = max(best, sf.cwnd / (rtt * rtt))
+            denom += sf.cwnd / rtt
+        if denom <= 0:
+            return 1.0
+        return total_cwnd * best / (denom * denom)
+
+    def factor_for(self, subflow: "Subflow") -> float:
+        """Coupling factor passed to the subflow's Reno controller.
+
+        Equals ``min(alpha * cwnd_i / cwnd_total, 1)`` so the resulting
+        growth is ``min(alpha * mss / cwnd_total, mss / cwnd_i)``.
+        """
+        flows = [sf for sf in self._subflows() if sf.established]
+        if len(flows) <= 1:
+            return 1.0
+        total_cwnd = sum(sf.cwnd for sf in flows)
+        if total_cwnd <= 0 or subflow.cwnd <= 0:
+            return 1.0
+        a = self.alpha(flows)
+        return min(a * subflow.cwnd / total_cwnd, 1.0)

@@ -1,0 +1,76 @@
+"""OLIA — the Opportunistic Linked-Increases Algorithm.
+
+Khalili et al. ("MPTCP is not Pareto-optimal", CoNEXT 2012) showed that
+LIA can be simultaneously unfriendly and suboptimal, and proposed OLIA.
+Per ACK, the window of path ``r`` grows by
+
+    ( w_r/rtt_r^2 / (sum_p w_p/rtt_p)^2  +  alpha_r / w_r ) x MSS x acked
+
+The first term caps the aggregate at roughly one TCP on the best path;
+the ``alpha_r`` term *re-forwards* traffic: paths that currently offer
+the best quality but hold small windows get a positive boost, paid for
+by the maximum-window paths.
+
+This implementation uses the current delivery rate (``cwnd/rtt``) as
+the path-quality proxy in place of OLIA's inter-loss byte counts — a
+documented simplification; the re-forwarding property it exists for is
+preserved (see the unit tests).  It plugs into the same
+congestion-controller coupling hook as LIA: the factor returned here
+multiplies the Reno increase ``MSS x acked / cwnd``, so it equals
+``w_r^2/rtt_r^2 / (sum_p w_p/rtt_p)^2 + alpha_r``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.subflow import Subflow
+
+
+class OliaCoupling:
+    """Computes the OLIA coupling factor for one subflow per round."""
+
+    def __init__(self, subflows_provider):
+        """``subflows_provider`` is a zero-argument callable returning
+        the connection's currently usable subflows."""
+        self._subflows = subflows_provider
+
+    @staticmethod
+    def _rtt(subflow: "Subflow") -> float:
+        rtt = subflow.effective_rtt
+        return rtt if rtt > 0 else subflow.path.base_rtt
+
+    def _alpha(self, flows: List["Subflow"], subflow: "Subflow") -> float:
+        n = len(flows)
+        rates = {sf: sf.cwnd / self._rtt(sf) for sf in flows}
+        best_rate = max(rates.values())
+        max_cwnd = max(sf.cwnd for sf in flows)
+        # Best-quality paths whose window is not already maximal get the
+        # boost ("collected" paths); maximum-window paths pay for it.
+        collected = [
+            sf
+            for sf in flows
+            if rates[sf] >= 0.99 * best_rate and sf.cwnd < 0.99 * max_cwnd
+        ]
+        max_paths = [sf for sf in flows if sf.cwnd >= 0.99 * max_cwnd]
+        if not collected:
+            return 0.0
+        if subflow in collected:
+            return 1.0 / (n * len(collected))
+        if subflow in max_paths:
+            return -1.0 / (n * len(max_paths))
+        return 0.0
+
+    def factor_for(self, subflow: "Subflow") -> float:
+        """Coupling factor for the subflow's Reno controller."""
+        flows = [sf for sf in self._subflows() if sf.established]
+        if len(flows) <= 1 or subflow not in flows:
+            return 1.0
+        denom = sum(sf.cwnd / self._rtt(sf) for sf in flows)
+        if denom <= 0 or subflow.cwnd <= 0:
+            return 1.0
+        rtt = self._rtt(subflow)
+        basis = (subflow.cwnd / rtt) ** 2 / denom**2
+        factor = basis + self._alpha(flows, subflow)
+        return max(0.0, min(factor, 1.0))

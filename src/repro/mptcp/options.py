@@ -1,0 +1,45 @@
+"""MPTCP option records (RFC 6824).
+
+The simulator does not serialise real TCP options, but the *control
+events* they represent matter to the reproduction: eMPTCP suspends a
+subflow by adding an MP_PRIO option to the next transmitted packet
+(§3.6).  Connections keep a log of these records so tests and
+experiments can assert on the exact control sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MpCapable:
+    """MP_CAPABLE: initial handshake of the first subflow."""
+
+    time: float
+    subflow: str
+
+
+@dataclass(frozen=True)
+class MpJoin:
+    """MP_JOIN: an additional subflow joining the connection.
+
+    ``backup`` mirrors the B-flag: the subflow starts in backup mode.
+    """
+
+    time: float
+    subflow: str
+    backup: bool = False
+
+
+@dataclass(frozen=True)
+class MpPrio:
+    """MP_PRIO: a priority change for an existing subflow.
+
+    ``low=True`` asks the peer to stop using the subflow (how eMPTCP
+    suspends LTE); ``low=False`` restores it.
+    """
+
+    time: float
+    subflow: str
+    low: bool

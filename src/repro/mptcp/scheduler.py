@@ -1,0 +1,60 @@
+"""MPTCP packet schedulers.
+
+The Linux MPTCP scheduler the paper runs on [29] selects, among
+subflows with window space, the one with the lowest smoothed RTT.  In
+the fluid model every unsuspended subflow transfers at its achievable
+rate concurrently (which is what min-RTT scheduling converges to for a
+backlogged transfer), so the scheduler's observable role here is the
+*preference order*: which subflow gets new data first when the stream
+is nearly drained, and which one is reported as primary.
+
+eMPTCP's trick of zeroing a re-used subflow's RTT (§3.6) works through
+exactly this ranking: a zero RTT sorts first, so the renewed subflow is
+probed immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.subflow import Subflow
+
+
+class MinRttScheduler:
+    """Prefer the lowest-srtt established, unsuspended subflow."""
+
+    name = "min-rtt"
+
+    def rank(self, subflows: Sequence["Subflow"]) -> List["Subflow"]:
+        """Usable subflows, most preferred first."""
+        usable = [sf for sf in subflows if sf.usable]
+        return sorted(usable, key=lambda sf: (sf.effective_rtt, sf.name))
+
+    def select(self, subflows: Sequence["Subflow"]):
+        """The subflow that would receive the next packet, or None."""
+        ranked = self.rank(subflows)
+        return ranked[0] if ranked else None
+
+
+class RoundRobinScheduler:
+    """Cycle through usable subflows; kept for tests and ablations."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def rank(self, subflows: Sequence["Subflow"]) -> List["Subflow"]:
+        usable = [sf for sf in subflows if sf.usable]
+        if not usable:
+            return []
+        pivot = self._next % len(usable)
+        return usable[pivot:] + usable[:pivot]
+
+    def select(self, subflows: Sequence["Subflow"]):
+        ranked = self.rank(subflows)
+        if not ranked:
+            return None
+        self._next += 1
+        return ranked[0]

@@ -1,0 +1,196 @@
+"""An MPTCP subflow: one TCP connection bound to a path/interface.
+
+Subflows add to the plain TCP connection the concepts MPTCP (and
+eMPTCP) manipulate: a priority (normal / low / backup, driven by the
+MP_PRIO option), suspension and resumption with eMPTCP's re-use tweaks,
+and per-subflow delivery accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+import random as _random
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.net.interface import InterfaceKind
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.sim.trace import TimeSeries
+from repro.tcp.connection import ByteSource, TcpConnection, TcpState
+
+
+class SubflowPriority(enum.Enum):
+    """MP_PRIO-controllable priority."""
+
+    NORMAL = "normal"
+    #: Suspended by the path-usage controller (MP_PRIO low).
+    LOW = "low"
+    #: Backup-mode subflow (established but unused until activated).
+    BACKUP = "backup"
+
+
+class Subflow:
+    """One subflow of an MPTCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: NetworkPath,
+        source: ByteSource,
+        rng: Optional[_random.Random] = None,
+        rfc2861_idle_reset: bool = True,
+        coupling: Optional[Callable[[], float]] = None,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.path = path
+        self.name = name or f"subflow-{path.interface.kind.value}"
+        self.priority = SubflowPriority.NORMAL
+        self.bytes_delivered = 0.0
+        #: Per-round delivery log: (time, delivered bytes).  Feeds the
+        #: throughput traces of Figure 9 and the bandwidth sampler.
+        self.delivery_series = TimeSeries(f"{self.name}-bytes")
+        self._conn = TcpConnection(
+            sim,
+            path,
+            source,
+            rng=rng,
+            rfc2861_idle_reset=rfc2861_idle_reset,
+            coupling=coupling,
+            name=self.name,
+        )
+        self._conn.on_delivery(self._on_delivery)
+        self._delivery_listeners: list = []
+        self.suspend_count = 0
+        self.resume_count = 0
+
+    def on_delivery(self, listener: Callable[["Subflow", float], None]) -> None:
+        """Subscribe to per-round delivered bytes on this subflow."""
+        self._delivery_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def establish(self, extra_delay: float = 0.0) -> None:
+        """Start the subflow handshake (MP_CAPABLE / MP_JOIN)."""
+        self._conn.connect(extra_delay)
+        if self.priority is SubflowPriority.BACKUP:
+            # Backup subflows complete the handshake but do not send.
+            self._conn.on_established(lambda conn: conn.pause())
+
+    def close(self) -> None:
+        """Tear the subflow down."""
+        self._conn.close()
+
+    def suspend(self) -> None:
+        """Stop using the subflow (eMPTCP path controller via MP_PRIO)."""
+        if not self.established:
+            raise ProtocolError(f"cannot suspend unestablished {self.name}")
+        if self.priority is SubflowPriority.LOW:
+            return
+        self.priority = SubflowPriority.LOW
+        self.suspend_count += 1
+        self._conn.pause()
+
+    def resume(self, reset_rtt: bool = False) -> None:
+        """Re-use a suspended/backup subflow.
+
+        ``reset_rtt=True`` applies eMPTCP's §3.6 tweak: the RTT
+        estimate is zeroed so the min-RTT scheduler probes the renewed
+        subflow immediately.  Whether the congestion window collapsed
+        during the idle period is governed by the connection's RFC 2861
+        flag (eMPTCP disables the reset, standard TCP keeps it).
+        """
+        if not self.established:
+            raise ProtocolError(f"cannot resume unestablished {self.name}")
+        if self.priority is SubflowPriority.NORMAL and not self._conn.paused:
+            return
+        self.priority = SubflowPriority.NORMAL
+        self.resume_count += 1
+        self._conn.resume(reset_rtt=reset_rtt)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _on_delivery(self, conn: TcpConnection, delivered: float) -> None:
+        self.bytes_delivered += delivered
+        self.delivery_series.record(self.sim.now, delivered)
+        for listener in list(self._delivery_listeners):
+            listener(self, delivered)
+
+    # ------------------------------------------------------------------
+    # views
+
+    @property
+    def interface_kind(self) -> InterfaceKind:
+        """The device interface this subflow runs over."""
+        return self.path.interface.kind
+
+    @property
+    def established(self) -> bool:
+        """True once the handshake completed (even if suspended)."""
+        return self._conn.established
+
+    @property
+    def pending(self) -> bool:
+        """True while the handshake is in flight."""
+        return self._conn.state is TcpState.CONNECTING
+
+    @property
+    def closed(self) -> bool:
+        """True after close()."""
+        return self._conn.state is TcpState.CLOSED
+
+    @property
+    def suspended(self) -> bool:
+        """True while the path controller has the subflow paused."""
+        return self.priority in (SubflowPriority.LOW, SubflowPriority.BACKUP)
+
+    @property
+    def usable(self) -> bool:
+        """True when the scheduler may place data on the subflow."""
+        return self.established and not self.suspended and self.path.is_up
+
+    @property
+    def sending(self) -> bool:
+        """True while transferring or stalled-with-retry."""
+        return self._conn.sending
+
+    @property
+    def in_flight(self) -> bool:
+        """True while data is actually in flight (stall retries do not
+        count — used for completion detection)."""
+        return self._conn.in_flight
+
+    @property
+    def current_rate(self) -> float:
+        """Instantaneous delivery rate, bytes/s."""
+        return self._conn.current_rate
+
+    @property
+    def cwnd(self) -> float:
+        """Congestion window, bytes."""
+        return self._conn.cc.cwnd
+
+    @property
+    def effective_rtt(self) -> float:
+        """Smoothed RTT used by the min-RTT scheduler (0 right after an
+        eMPTCP re-use reset)."""
+        return self._conn.rtt_estimator.srtt
+
+    @property
+    def handshake_rtt(self) -> Optional[float]:
+        """RTT measured during establishment (sets the sampler's δ)."""
+        return self._conn.handshake_rtt
+
+    @property
+    def connection(self) -> TcpConnection:
+        """The underlying fluid TCP connection (for wiring/energy)."""
+        return self._conn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Subflow {self.name} prio={self.priority.value} "
+            f"delivered={self.bytes_delivered:.0f}B>"
+        )

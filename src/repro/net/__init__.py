@@ -1,0 +1,34 @@
+"""Network substrate: interfaces, links with time-varying capacity,
+WiFi contention, and end-to-end paths.
+
+The experiments in the paper manipulate *available bandwidth over time*
+(a modulated AP, interfering WiFi nodes, walking in and out of AP
+range).  This package models exactly that: a :class:`NetworkPath` has a
+capacity process, a base RTT, a loss model, and optionally a contended
+WiFi channel; TCP flows attach to paths and ask them for their current
+fair share.
+"""
+
+from repro.net.bandwidth import (
+    CapacityProcess,
+    ConstantCapacity,
+    PiecewiseTraceCapacity,
+    TwoStateMarkovCapacity,
+)
+from repro.net.contention import WiFiChannel
+from repro.net.host import MobileDevice, Server
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+
+__all__ = [
+    "CapacityProcess",
+    "ConstantCapacity",
+    "InterfaceKind",
+    "MobileDevice",
+    "NetworkInterface",
+    "NetworkPath",
+    "PiecewiseTraceCapacity",
+    "Server",
+    "TwoStateMarkovCapacity",
+    "WiFiChannel",
+]

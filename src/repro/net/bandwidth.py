@@ -1,0 +1,160 @@
+"""Time-varying link capacity processes.
+
+Each experiment section of the paper modulates capacity differently:
+
+* §4.2 static: constant high (>10 Mbps) or low (<1 Mbps) WiFi.
+* §4.3 random: a two-state Markov on-off process, exponentially
+  distributed dwell times with mean 40 s, switching the AP between
+  ≤1 Mbps and ≥10 Mbps.
+* §4.5 mobility: capacity derived from device-to-AP distance along a
+  route (generated as a piecewise trace by :mod:`repro.workloads.mobility`).
+
+A capacity process is attached to a simulator once; it then schedules
+its own transition events and notifies listeners, so flows, channels and
+predictors can react at the exact switch times.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+
+ChangeListener = Callable[[float, float], None]  # (time, new_rate)
+
+
+class CapacityProcess:
+    """Base class: a link capacity (bytes/s) evolving over time."""
+
+    def __init__(self, initial_rate: float):
+        if initial_rate < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {initial_rate}")
+        self._rate = initial_rate
+        self._sim: Optional[Simulator] = None
+        self._listeners: List[ChangeListener] = []
+
+    @property
+    def rate(self) -> float:
+        """Current capacity in bytes per second."""
+        return self._rate
+
+    @property
+    def attached(self) -> bool:
+        """True once :meth:`attach` has been called."""
+        return self._sim is not None
+
+    def attach(self, sim: Simulator) -> None:
+        """Bind to a simulator and begin scheduling transitions."""
+        if self._sim is not None:
+            raise SimulationError("capacity process already attached")
+        self._sim = sim
+        self._start()
+
+    def on_change(self, listener: ChangeListener) -> None:
+        """Register a callback invoked as ``listener(time, new_rate)``."""
+        self._listeners.append(listener)
+
+    def _set_rate(self, rate: float) -> None:
+        assert self._sim is not None
+        self._rate = rate
+        for listener in list(self._listeners):
+            listener(self._sim.now, rate)
+
+    def _start(self) -> None:
+        """Hook for subclasses to schedule their first transition."""
+
+
+class ConstantCapacity(CapacityProcess):
+    """A link whose capacity never changes (§4.2 static experiments)."""
+
+    def __init__(self, rate: float):
+        super().__init__(rate)
+
+
+class TwoStateMarkovCapacity(CapacityProcess):
+    """Two-state on-off capacity modulation (§4.3).
+
+    Dwell times in each state are exponentially distributed.  The paper
+    uses mean 40 s in both states with rates ≤1 Mbps (off/low) and
+    ≥10 Mbps (on/high).
+    """
+
+    def __init__(
+        self,
+        high_rate: float,
+        low_rate: float,
+        mean_high: float,
+        mean_low: float,
+        rng: _random.Random,
+        start_high: bool = True,
+    ):
+        if high_rate < low_rate:
+            raise ConfigurationError("high_rate must be >= low_rate")
+        if mean_high <= 0 or mean_low <= 0:
+            raise ConfigurationError("mean dwell times must be positive")
+        super().__init__(high_rate if start_high else low_rate)
+        self.high_rate = high_rate
+        self.low_rate = low_rate
+        self.mean_high = mean_high
+        self.mean_low = mean_low
+        self._rng = rng
+        self._high = start_high
+
+    def _start(self) -> None:
+        self._schedule_flip()
+
+    def _schedule_flip(self) -> None:
+        assert self._sim is not None
+        mean = self.mean_high if self._high else self.mean_low
+        dwell = self._rng.expovariate(1.0 / mean)
+        self._sim.schedule(dwell, self._flip)
+
+    def _flip(self) -> None:
+        self._high = not self._high
+        self._set_rate(self.high_rate if self._high else self.low_rate)
+        self._schedule_flip()
+
+
+class PiecewiseTraceCapacity(CapacityProcess):
+    """Capacity following a fixed ``(time, rate)`` trace.
+
+    Used for mobility (the route of Figure 11 is converted into a rate
+    trace by :func:`repro.workloads.mobility.route_capacity_trace`) and
+    for replaying recorded conditions.  Breakpoint times must be
+    strictly increasing and start at a time >= 0; the rate before the
+    first breakpoint is the first breakpoint's rate.
+    """
+
+    def __init__(self, trace: Sequence[Tuple[float, float]]):
+        if not trace:
+            raise ConfigurationError("trace must not be empty")
+        times = [t for t, _ in trace]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("trace times must be strictly increasing")
+        if times[0] < 0:
+            raise ConfigurationError("trace must not start before t=0")
+        if any(r < 0 for _, r in trace):
+            raise ConfigurationError("trace rates must be >= 0")
+        super().__init__(trace[0][1])
+        self._trace = list(trace)
+        self._next_idx = 1
+
+    def _start(self) -> None:
+        assert self._sim is not None
+        if self._sim.now > self._trace[0][0]:
+            raise SimulationError("trace starts in the past")
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        assert self._sim is not None
+        if self._next_idx >= len(self._trace):
+            return
+        t, rate = self._trace[self._next_idx]
+        self._next_idx += 1
+        self._sim.schedule_at(t, self._apply, rate)
+
+    def _apply(self, rate: float) -> None:
+        self._set_rate(rate)
+        self._schedule_next()

@@ -1,0 +1,109 @@
+"""A contended WiFi channel shared with interfering nodes (§4.4).
+
+The paper places n ∈ {2, 3} interfering nodes on the same WiFi channel,
+each blasting UDP according to a two-state Markov on-off process.  The
+effects on the foreground TCP flow are (a) less air time, so lower
+available bandwidth, and (b) collisions, so packet loss and the CWND
+back-off the paper observes.
+
+This module models both with a simple but well-behaved abstraction: the
+channel subtracts the offered load of active interferers from the AP
+capacity, applies a per-active-node airtime (CSMA overhead) penalty, and
+raises the per-packet loss probability linearly in the number of active
+interferers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import CapacityProcess
+
+
+class InterferingNode(Protocol):
+    """Anything that can occupy the channel.
+
+    Concrete implementation: :class:`repro.workloads.background.OnOffUdpNode`.
+    """
+
+    @property
+    def active(self) -> bool:
+        """True while the node is transmitting."""
+        ...
+
+    @property
+    def rate(self) -> float:
+        """Offered UDP load in bytes/s while active."""
+        ...
+
+
+class WiFiChannel:
+    """An 802.11 channel shared between the device and interferers.
+
+    Parameters
+    ----------
+    capacity:
+        The AP's capacity process (what the channel can deliver with no
+        contention).
+    airtime_overhead:
+        Fractional efficiency loss per *active* contending station;
+        models CSMA backoff and collision retries.  With overhead 0.08
+        and two active interferers the foreground flow sees
+        ``(1 - 0.16)`` of the residual capacity.
+    loss_per_active_node:
+        Additional per-packet loss probability contributed by each
+        active interferer.  Kept small by default: 802.11 MAC-layer
+        retransmissions hide most collision losses from TCP, so
+        contention is felt mainly as lost airtime.
+    """
+
+    def __init__(
+        self,
+        capacity: CapacityProcess,
+        airtime_overhead: float = 0.10,
+        loss_per_active_node: float = 0.0005,
+    ):
+        if not 0 <= airtime_overhead < 1:
+            raise ConfigurationError("airtime_overhead must be in [0, 1)")
+        if not 0 <= loss_per_active_node < 1:
+            raise ConfigurationError("loss_per_active_node must be in [0, 1)")
+        self.capacity = capacity
+        self.airtime_overhead = airtime_overhead
+        self.loss_per_active_node = loss_per_active_node
+        self._nodes: List[InterferingNode] = []
+
+    def add_interferer(self, node: InterferingNode) -> None:
+        """Attach an interfering node to the channel."""
+        self._nodes.append(node)
+
+    @property
+    def interferers(self) -> List[InterferingNode]:
+        """All attached interfering nodes (active or not)."""
+        return list(self._nodes)
+
+    @property
+    def active_interferers(self) -> int:
+        """Number of currently transmitting interferers."""
+        return sum(1 for n in self._nodes if n.active)
+
+    def background_load(self) -> float:
+        """Total offered UDP load of active interferers, bytes/s."""
+        return sum(n.rate for n in self._nodes if n.active)
+
+    def available_rate(self) -> float:
+        """Capacity left for the foreground flow, bytes/s.
+
+        Residual capacity after background traffic, degraded by the
+        airtime penalty of each active contender; never negative.
+        """
+        residual = max(0.0, self.capacity.rate - self.background_load())
+        efficiency = max(0.0, 1.0 - self.airtime_overhead * self.active_interferers)
+        return residual * efficiency
+
+    def extra_loss(self) -> float:
+        """Additional per-packet loss probability from contention."""
+        return min(0.5, self.loss_per_active_node * self.active_interferers)
+
+
+ChannelFactory = Callable[[CapacityProcess], WiFiChannel]

@@ -1,0 +1,73 @@
+"""Hosts: the mobile device under test and the remote servers.
+
+The device groups the interfaces of Table 1; the energy side (profile,
+meter, RRC machines) is wired up by :mod:`repro.experiments.runner`, so
+this module stays free of energy-model imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.interface import InterfaceKind, NetworkInterface
+
+
+class MobileDevice:
+    """A multi-homed mobile client (e.g. Galaxy S3, Nexus 5)."""
+
+    def __init__(self, name: str, interfaces: Iterable[NetworkInterface]):
+        self.name = name
+        self.interfaces: Dict[InterfaceKind, NetworkInterface] = {}
+        for iface in interfaces:
+            if iface.kind in self.interfaces:
+                raise ConfigurationError(f"duplicate interface kind {iface.kind}")
+            self.interfaces[iface.kind] = iface
+        if InterfaceKind.WIFI not in self.interfaces:
+            raise ConfigurationError("device must have a WiFi interface")
+
+    @property
+    def wifi(self) -> NetworkInterface:
+        """The WiFi interface (eMPTCP's default primary interface)."""
+        return self.interfaces[InterfaceKind.WIFI]
+
+    def cellular(self) -> Optional[NetworkInterface]:
+        """The cellular interface if present (LTE preferred over 3G)."""
+        for kind in (InterfaceKind.LTE, InterfaceKind.THREEG):
+            if kind in self.interfaces:
+                return self.interfaces[kind]
+        return None
+
+    @classmethod
+    def dual_homed(cls, name: str = "device", cellular: InterfaceKind = InterfaceKind.LTE) -> "MobileDevice":
+        """Convenience constructor: WiFi + one cellular interface."""
+        if not cellular.is_cellular:
+            raise ConfigurationError(f"{cellular} is not a cellular kind")
+        return cls(name, [NetworkInterface(InterfaceKind.WIFI), NetworkInterface(cellular)])
+
+
+@dataclass
+class Server:
+    """A download server; §5 deploys them in SNG, AMS and WDC.
+
+    ``internet_rtt`` is the wide-area component of the round-trip time,
+    added to the access-link latency when building paths.
+    """
+
+    name: str
+    internet_rtt: float
+    location: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.internet_rtt < 0:
+            raise ConfigurationError("internet_rtt must be >= 0")
+
+
+#: The three in-the-wild servers of §5 with representative WAN RTTs
+#: from the US East Coast.
+WILD_SERVERS = {
+    "WDC": Server("WDC", internet_rtt=0.025, location="Washington D.C., USA"),
+    "AMS": Server("AMS", internet_rtt=0.095, location="Amsterdam, NL"),
+    "SNG": Server("SNG", internet_rtt=0.240, location="Singapore"),
+}

@@ -1,0 +1,56 @@
+"""Network interface kinds and per-device interface objects.
+
+The paper's devices expose a WiFi interface and a cellular (3G or LTE)
+interface.  eMPTCP identifies which interface a subflow runs over by
+inspecting kernel routing structures (§3.6, ``ieee80211_ptr``); here the
+binding is explicit: every :class:`~repro.net.path.NetworkPath` carries
+the interface it traverses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class InterfaceKind(enum.Enum):
+    """The radio technology behind an interface."""
+
+    WIFI = "wifi"
+    LTE = "lte"
+    THREEG = "3g"
+
+    @property
+    def is_cellular(self) -> bool:
+        """True for 3G/LTE — the interfaces with promotion/tail costs."""
+        return self in (InterfaceKind.LTE, InterfaceKind.THREEG)
+
+    @property
+    def is_wifi(self) -> bool:
+        """True for WiFi (the paper's default/primary interface)."""
+        return self is InterfaceKind.WIFI
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class NetworkInterface:
+    """One network interface on a device.
+
+    ``up`` models administrative/link state: an interface that is down
+    (e.g. WiFi after walking out of AP association range) carries no
+    subflows and triggers break-handling in MPTCP.
+    """
+
+    kind: InterfaceKind
+    name: str = ""
+    up: bool = True
+    #: Free-form notes (chipset etc.; Table 1 flavour, not used by logic).
+    description: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = {"wifi": "wlan0", "lte": "rmnet0", "3g": "rmnet0"}[
+                self.kind.value
+            ]

@@ -1,0 +1,188 @@
+"""End-to-end network paths.
+
+A :class:`NetworkPath` is what an MPTCP subflow runs over: one device
+interface, through (possibly) a contended WiFi channel, across the
+Internet to the server.  It aggregates everything TCP needs to know:
+
+* the current capacity available to a given flow (fair share of the
+  residual channel capacity),
+* the base round-trip time (AP/cell latency + Internet RTT to the
+  server region),
+* the per-packet loss probability (base path loss + contention loss),
+* the bottleneck buffer (which bounds queueing delay and triggers
+  congestion loss when overrun).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import CapacityProcess
+from repro.net.contention import WiFiChannel
+from repro.net.interface import NetworkInterface
+from repro.sim.engine import Simulator
+
+#: Default bottleneck buffer, bytes.  Roughly 87 full-size segments —
+#: a typical AP/eNodeB per-UE queue; enough for full utilisation at the
+#: paper's rates without absurd bufferbloat.
+DEFAULT_BUFFER_BYTES = 126_000.0
+
+
+class AttachedFlow(Protocol):
+    """The slice of a TCP flow the path needs to see."""
+
+    @property
+    def sending(self) -> bool:
+        """True while the flow is actively transferring."""
+        ...
+
+
+class NetworkPath:
+    """One end-to-end path between the mobile device and a server."""
+
+    def __init__(
+        self,
+        interface: NetworkInterface,
+        capacity: CapacityProcess,
+        base_rtt: float,
+        loss_rate: float = 0.0,
+        channel: Optional[WiFiChannel] = None,
+        buffer_bytes: float = DEFAULT_BUFFER_BYTES,
+        max_queue_delay: float = 1.0,
+        name: str = "",
+    ):
+        if base_rtt <= 0:
+            raise ConfigurationError(f"base_rtt must be positive, got {base_rtt}")
+        if not 0 <= loss_rate < 1:
+            raise ConfigurationError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        if max_queue_delay <= 0:
+            raise ConfigurationError("max_queue_delay must be positive")
+        if channel is not None and channel.capacity is not capacity:
+            raise ConfigurationError(
+                "channel must wrap the same capacity process as the path"
+            )
+        self.interface = interface
+        self.capacity = capacity
+        self.base_rtt = base_rtt
+        self.loss_rate = loss_rate
+        self.channel = channel
+        self.buffer_bytes = buffer_bytes
+        self.max_queue_delay = max_queue_delay
+        self.name = name or f"path-{interface.kind.value}"
+        self._flows: List[AttachedFlow] = []
+        self._sim: Optional[Simulator] = None
+        self._flow_rates: Dict[int, float] = {}
+        self._rate_listeners: List[Callable[[float, float], None]] = []
+        #: Optional RRC machine for cellular paths; assigned by the
+        #: experiment runner.  TCP consults it for promotion latency.
+        self.rrc = None
+
+    def attach(self, sim: Simulator) -> None:
+        """Bind the path (and its capacity process) to a simulator."""
+        self._sim = sim
+        if not self.capacity.attached:
+            self.capacity.attach(sim)
+
+    # -- flow registry -------------------------------------------------
+
+    def register_flow(self, flow: AttachedFlow) -> None:
+        """Attach a flow; it will share the path capacity."""
+        if flow not in self._flows:
+            self._flows.append(flow)
+
+    def unregister_flow(self, flow: AttachedFlow) -> None:
+        """Detach a flow (closing a connection)."""
+        if flow in self._flows:
+            self._flows.remove(flow)
+        if id(flow) in self._flow_rates:
+            del self._flow_rates[id(flow)]
+            self._notify_rate()
+
+    # -- aggregate rate (drives the energy meter) ------------------------
+
+    def notify_rate(self, flow: AttachedFlow, rate: float) -> None:
+        """Report one flow's current send rate (bytes/s)."""
+        if rate <= 0:
+            self._flow_rates.pop(id(flow), None)
+        else:
+            self._flow_rates[id(flow)] = rate
+        self._notify_rate()
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Sum of all flows' current rates on this path, bytes/s."""
+        return sum(self._flow_rates.values())
+
+    def on_aggregate_rate(self, listener: Callable[[float, float], None]) -> None:
+        """Subscribe to aggregate-rate changes as ``(time, bytes/s)``."""
+        self._rate_listeners.append(listener)
+
+    def _notify_rate(self) -> None:
+        if not self._rate_listeners:
+            return
+        now = self._sim.now if self._sim is not None else 0.0
+        rate = self.aggregate_rate
+        for listener in list(self._rate_listeners):
+            listener(now, rate)
+
+    def active_senders(self) -> int:
+        """Number of currently sending flows on the path."""
+        return sum(1 for f in self._flows if f.sending)
+
+    # -- what TCP asks for ----------------------------------------------
+
+    def total_available_rate(self) -> float:
+        """Capacity available to foreground flows, bytes/s."""
+        if not self.is_up:
+            return 0.0
+        if self.channel is not None:
+            return self.channel.available_rate()
+        return self.capacity.rate
+
+    def available_rate(self, flow: AttachedFlow) -> float:
+        """Fair share of the path capacity for ``flow``, bytes/s.
+
+        The share divides the available capacity among *sending* flows;
+        ``flow`` counts as a sender even if it is only about to start.
+        """
+        senders = self.active_senders()
+        if flow not in self._flows or not flow.sending:
+            senders += 1
+        return self.total_available_rate() / max(1, senders)
+
+    def effective_buffer(self, rate: float) -> float:
+        """Usable bottleneck buffer at the given service rate, bytes.
+
+        Real access-link queues are bounded in *time* as much as in
+        bytes: a queue draining at 6 kB/s never holds 20 seconds of
+        data — drop-tail (and the sender's RTO) bounds sojourn time.
+        The queueing delay is therefore capped at ``max_queue_delay``.
+        """
+        if rate <= 0:
+            return self.buffer_bytes
+        return min(self.buffer_bytes, rate * self.max_queue_delay)
+
+    def packet_loss_rate(self) -> float:
+        """Current per-packet random-loss probability."""
+        loss = self.loss_rate
+        if self.channel is not None:
+            loss = min(0.9, loss + self.channel.extra_loss())
+        return loss
+
+    @property
+    def is_up(self) -> bool:
+        """False when the interface is down or capacity is zero."""
+        return self.interface.up and self.capacity.rate > 0
+
+    def on_capacity_change(self, listener: Callable[[float, float], None]) -> None:
+        """Subscribe to capacity transitions (time, new rate in bytes/s)."""
+        self.capacity.on_change(listener)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkPath {self.name} if={self.interface.kind.value} "
+            f"rtt={self.base_rtt * 1e3:.0f}ms rate={self.capacity.rate:.0f}B/s>"
+        )

@@ -1,0 +1,114 @@
+"""A packet link: drop-tail queue, serialisation, propagation, loss.
+
+One direction carries data segments; the reverse direction (ACKs) is
+modelled as pure propagation delay — the standard simplification for
+asymmetric bulk transfer, where ACKs are small enough not to queue.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import CapacityProcess
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One TCP segment on the wire.
+
+    ``seq``/``size`` are subflow-level byte coordinates; ``dsn`` is the
+    MPTCP data-sequence-number of the payload (equal to ``seq`` for
+    single-path TCP).  ``sent_at`` timestamps the (re)transmission for
+    RTT sampling; ``retransmit`` marks it per Karn's algorithm.
+    """
+
+    seq: float
+    size: float
+    dsn: float
+    sent_at: float
+    retransmit: bool = False
+
+
+class PacketLink:
+    """One-way data link with a byte-bounded drop-tail queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: CapacityProcess,
+        one_way_delay: float,
+        buffer_bytes: float = 126_000.0,
+        loss_rate: float = 0.0,
+        rng: Optional[_random.Random] = None,
+        name: str = "link",
+    ):
+        if one_way_delay < 0:
+            raise ConfigurationError("one_way_delay must be >= 0")
+        if buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+        if not 0 <= loss_rate < 1:
+            raise ConfigurationError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.capacity = capacity
+        self.one_way_delay = one_way_delay
+        self.buffer_bytes = buffer_bytes
+        self.loss_rate = loss_rate
+        self.rng = rng or _random.Random(0)
+        self.name = name
+        self._busy_until = 0.0
+        self._queued_bytes = 0.0
+        self.delivered = 0
+        self.dropped_overflow = 0
+        self.dropped_random = 0
+
+    def attach(self, sim: Simulator) -> None:
+        """Attach the capacity process if not already attached."""
+        if not self.capacity.attached:
+            self.capacity.attach(sim)
+
+    @property
+    def queued_bytes(self) -> float:
+        """Bytes currently waiting or in service."""
+        return self._queued_bytes
+
+    def send(
+        self,
+        segment: Segment,
+        deliver: Callable[[Segment], None],
+    ) -> bool:
+        """Enqueue a segment; returns False if it was dropped.
+
+        ``deliver`` fires when the segment reaches the far end
+        (after queueing + serialisation + propagation).
+        """
+        now = self.sim.now
+        rate = self.capacity.rate
+        if rate <= 0:
+            # A dead link drops everything (the sender's RTO handles it).
+            self.dropped_overflow += 1
+            return False
+        if self._queued_bytes + segment.size > self.buffer_bytes:
+            self.dropped_overflow += 1
+            return False
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.dropped_random += 1
+            return False
+        service = segment.size / rate
+        start = max(now, self._busy_until)
+        done = start + service
+        self._busy_until = done
+        self._queued_bytes += segment.size
+        self.sim.schedule_at(done, self._serviced, segment, deliver)
+        return True
+
+    def _serviced(self, segment: Segment, deliver: Callable[[Segment], None]) -> None:
+        self._queued_bytes -= segment.size
+        self.sim.schedule(self.one_way_delay, self._delivered, segment, deliver)
+
+    def _delivered(self, segment: Segment, deliver: Callable[[Segment], None]) -> None:
+        self.delivered += 1
+        deliver(segment)

@@ -1,0 +1,191 @@
+"""Segment-level MPTCP: a data-sequence layer over packet subflows.
+
+The connection owns the byte source and a finite connection-level
+receive buffer.  Subflows pull DSN chunks through ``assign`` as their
+congestion windows open (ack-clocked pulling approximates the min-RTT
+scheduler: the faster subflow simply asks more often), but no chunk is
+assigned beyond ``rcv_buffer`` bytes past the highest in-order DSN the
+receiver has delivered — so a slow subflow holding the lowest
+outstanding DSN genuinely *blocks* the fast one.  This is the
+head-of-line mechanism the fluid model approximates with its
+utilization formula, reproduced here for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.packet.link import PacketLink
+from repro.packet.tcp import PacketTcpConnection
+from repro.sim.engine import Simulator
+from repro.tcp.connection import ByteSource
+
+
+class DsnReassembly:
+    """Connection-level in-order delivery over the data sequence space."""
+
+    def __init__(self) -> None:
+        self.dsn_next = 0.0
+        self._ooo: Dict[float, float] = {}  # start -> size
+        self.buffered_bytes = 0.0
+
+    def on_data(self, dsn: float, size: float) -> float:
+        """Absorb one delivered chunk; return bytes newly in order."""
+        if dsn + size <= self.dsn_next:
+            return 0.0  # duplicate
+        before = self.dsn_next
+        if dsn > self.dsn_next:
+            if dsn not in self._ooo:
+                self._ooo[dsn] = size
+                self.buffered_bytes += size
+            return 0.0
+        self.dsn_next = max(self.dsn_next, dsn + size)
+        while self.dsn_next in self._ooo:
+            chunk = self._ooo.pop(self.dsn_next)
+            self.buffered_bytes -= chunk
+            self.dsn_next += chunk
+        return self.dsn_next - before
+
+
+class PacketMptcpConnection:
+    """An MPTCP connection at segment granularity."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        links: List[PacketLink],
+        source: ByteSource,
+        rcv_buffer: float = 2_000_000.0,
+        name: str = "pmptcp",
+    ):
+        if not links:
+            raise ConfigurationError("need at least one link")
+        if rcv_buffer <= 0:
+            raise ConfigurationError("rcv_buffer must be positive")
+        self.sim = sim
+        self.source = source
+        self.rcv_buffer = rcv_buffer
+        self.name = name
+        self._dsn_next_assign = 0.0
+        self._reassembly = DsnReassembly()
+        self.bytes_delivered = 0.0
+        self.completed_at: Optional[float] = None
+        #: Outstanding chunks: dsn -> (size, owner index, assigned at).
+        self._outstanding: Dict[float, Tuple[float, int, float]] = {}
+        self._reinjected: set = set()
+        self.reinjections = 0
+        self.subflows: List[PacketTcpConnection] = []
+        self._opened = False
+        for link in links:
+            self.add_subflow(link)
+
+    # ------------------------------------------------------------------
+
+    def add_subflow(self, link: PacketLink) -> PacketTcpConnection:
+        """Join a new subflow over ``link``; started immediately if the
+        connection is already open (delayed establishment support)."""
+        index = len(self.subflows)
+        subflow = PacketTcpConnection(
+            self.sim,
+            link,
+            assigner=lambda max_bytes, idx=index: self._assign(max_bytes, idx),
+            deliver=self._on_subflow_delivery,
+            name=f"{self.name}/sf{index}",
+        )
+        self.subflows.append(subflow)
+        if self._opened:
+            subflow.start()
+        return subflow
+
+    def open(self) -> None:
+        """Start all subflows."""
+        self._opened = True
+        for subflow in self.subflows:
+            subflow.start()
+
+    def close(self) -> None:
+        """Stop all subflows."""
+        for subflow in self.subflows:
+            subflow.close()
+
+    def _assign(
+        self, max_bytes: float, subflow_idx: int = 0
+    ) -> Optional[Tuple[float, float]]:
+        """Hand a DSN chunk to a subflow, bounded by the receive window.
+
+        When neither new data nor window space is available, the caller
+        may instead *reinject* the chunk blocking the receive window if
+        another subflow owns it (opportunistic retransmission, Raiciu
+        et al. NSDI'12) — the duplicate is harmless and whichever copy
+        arrives first unblocks the connection.
+        """
+        window_left = self.rcv_buffer - (
+            self._dsn_next_assign - self._reassembly.dsn_next
+        )
+        grant_cap = min(max_bytes, window_left)
+        if grant_cap > 0:
+            granted = self.source.take(grant_cap)
+            if granted > 0:
+                chunk = (self._dsn_next_assign, granted)
+                self._outstanding[chunk[0]] = (granted, subflow_idx, self.sim.now)
+                self._dsn_next_assign += granted
+                return chunk
+        return self._maybe_reinject(subflow_idx)
+
+    def _maybe_reinject(self, subflow_idx: int) -> Optional[Tuple[float, float]]:
+        head = self._reassembly.dsn_next
+        entry = self._outstanding.get(head)
+        if entry is None:
+            return None
+        size, owner, assigned_at = entry
+        if owner == subflow_idx or head in self._reinjected:
+            return None
+        # Only reinject a chunk that is demonstrably stalling: it has
+        # been outstanding for well over the requester's own RTT.
+        requester = self.subflows[subflow_idx]
+        stall_threshold = max(0.05, 2.0 * requester.rtt.srtt)
+        if self.sim.now - assigned_at <= stall_threshold:
+            return None
+        self._reinjected.add(head)
+        self.reinjections += 1
+        return (head, size)
+
+    def _on_subflow_delivery(self, dsn: float, size: float) -> None:
+        self._outstanding.pop(dsn, None)
+        self._reinjected.discard(dsn)
+        in_order = self._reassembly.on_data(dsn, size)
+        if in_order > 0:
+            self.bytes_delivered += in_order
+            # The advancing receive window may unblock other subflows.
+            for subflow in self.subflows:
+                subflow.notify_data()
+        if (
+            self.completed_at is None
+            and self.source.exhausted
+            and getattr(self.source, "final", True)
+            and self._reassembly.dsn_next >= self._dsn_next_assign - 1e-6
+        ):
+            self.completed_at = self.sim.now
+
+    # ------------------------------------------------------------------
+
+    @property
+    def reassembly_buffered(self) -> float:
+        """Bytes held out-of-order at the connection level."""
+        return self._reassembly.buffered_bytes
+
+    @property
+    def bytes_received(self) -> float:
+        """In-order bytes delivered to the application."""
+        return self.bytes_delivered
+
+
+def single_path_connection(
+    sim: Simulator,
+    link: PacketLink,
+    source: ByteSource,
+    name: str = "ptcp",
+) -> PacketMptcpConnection:
+    """Plain TCP as a one-subflow MPTCP connection (DSN == seq)."""
+    return PacketMptcpConnection(sim, [link], source, name=name)

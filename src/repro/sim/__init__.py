@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate.
+
+The whole reproduction runs on a small, deterministic discrete-event
+engine.  The engine knows nothing about networking or energy; it only
+orders callbacks in virtual time.  Higher layers (TCP rounds, RRC state
+machines, bandwidth modulation, energy metering) are all expressed as
+events on a shared :class:`~repro.sim.engine.Simulator`.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.process import PeriodicProcess, Timer
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import StepTrace, TimeSeries
+
+__all__ = [
+    "EventHandle",
+    "PeriodicProcess",
+    "RandomStreams",
+    "Simulator",
+    "StepTrace",
+    "TimeSeries",
+    "Timer",
+]

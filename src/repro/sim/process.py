@@ -1,0 +1,104 @@
+"""Timer and periodic-process helpers on top of the event engine.
+
+These wrap the raw :class:`~repro.sim.engine.Simulator` API with the two
+idioms every protocol component needs: a restartable one-shot timer
+(retransmission timers, the eMPTCP tau timer) and a periodic tick with a
+mutable interval (throughput samplers, control loops).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; ``cancel`` disarms it.  The callback
+    fires at most once per arm.  Mirrors how kernel timers behave, which
+    keeps the eMPTCP delayed-subflow logic close to the paper's
+    description.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is pending."""
+        return self._handle is not None and self._handle.pending
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Invoke a callback every ``interval`` seconds.
+
+    The interval may be changed between ticks (the bandwidth sampler
+    derives its interval from the measured RTT, which changes over the
+    life of a subflow).  The first tick fires one interval after
+    :meth:`start` unless ``immediate=True``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+    ):
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def interval(self) -> float:
+        """Current tick interval in seconds."""
+        return self._interval
+
+    @interval.setter
+    def interval(self, value: float) -> None:
+        if value <= 0:
+            raise ConfigurationError(f"interval must be positive, got {value}")
+        self._interval = value
+
+    @property
+    def running(self) -> bool:
+        """True while ticks are scheduled."""
+        return self._handle is not None and self._handle.pending
+
+    def start(self, immediate: bool = False) -> None:
+        """Begin ticking.  Restarting while running re-phases the ticks."""
+        self.stop()
+        delay = 0.0 if immediate else self._interval
+        self._handle = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        self._handle = self._sim.schedule(self._interval, self._tick)
+        self._callback()

@@ -1,0 +1,131 @@
+"""Time-series recording utilities.
+
+Two flavours are used throughout the reproduction:
+
+* :class:`TimeSeries` — plain ``(t, value)`` samples, e.g. throughput
+  samples plotted in Figure 9 or the accumulated-energy curves of
+  Figures 7 and 12.
+* :class:`StepTrace` — a piecewise-constant signal (link capacity,
+  interface power) that knows how to integrate itself over time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class TimeSeries:
+    """An append-only series of timestamped samples."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample.  Times must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise SimulationError(
+                f"TimeSeries {self.name!r}: non-monotonic time {time} < {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> Optional[Tuple[float, float]]:
+        """The most recent ``(time, value)`` sample, or None when empty."""
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Most recent sample value at or before ``time`` (step semantics).
+
+        Raises :class:`SimulationError` when asked before the first sample.
+        """
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            raise SimulationError(
+                f"TimeSeries {self.name!r}: no sample at or before t={time}"
+            )
+        return self.values[idx]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t <= end`` as a new series."""
+        out = TimeSeries(self.name)
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        out.times = self.times[lo:hi]
+        out.values = self.values[lo:hi]
+        return out
+
+    def resample(self, times: Iterable[float]) -> "TimeSeries":
+        """Step-resample the series at the given times."""
+        out = TimeSeries(self.name)
+        for t in times:
+            out.record(t, self.value_at(t))
+        return out
+
+
+class StepTrace:
+    """A piecewise-constant signal with exact integration.
+
+    ``set(t, v)`` declares that the signal holds value ``v`` from ``t``
+    onward; :meth:`integral` integrates the step function.  This is the
+    backbone of the energy meter: power is constant between events, so
+    energy is an exact sum of ``power * dt`` terms.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0):
+        self.name = name
+        self._series = TimeSeries(name)
+        self._series.record(0.0, initial)
+
+    def set(self, time: float, value: float) -> None:
+        """Set the signal value from ``time`` onward."""
+        last = self._series.last
+        assert last is not None
+        if last[0] == time:
+            # Overwrite a same-time update rather than stacking duplicates.
+            self._series.values[-1] = value
+            return
+        self._series.record(time, value)
+
+    def value_at(self, time: float) -> float:
+        """Signal value at ``time``."""
+        return self._series.value_at(time)
+
+    def integral(self, start: float, end: float) -> float:
+        """Exact integral of the step function over ``[start, end]``."""
+        if end < start:
+            raise SimulationError(f"integral over reversed interval [{start}, {end}]")
+        if end == start:
+            return 0.0
+        times, values = self._series.times, self._series.values
+        total = 0.0
+        cursor = start
+        idx = bisect.bisect_right(times, start) - 1
+        if idx < 0:
+            raise SimulationError(
+                f"StepTrace {self.name!r}: integral starts before first sample"
+            )
+        while cursor < end:
+            nxt = times[idx + 1] if idx + 1 < len(times) else end
+            seg_end = min(nxt, end)
+            total += values[idx] * (seg_end - cursor)
+            cursor = seg_end
+            idx += 1
+        return total
+
+    def breakpoints(self) -> List[Tuple[float, float]]:
+        """The underlying ``(time, value)`` breakpoints."""
+        return list(self._series)

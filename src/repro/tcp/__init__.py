@@ -1,0 +1,23 @@
+"""Single-path TCP substrate.
+
+TCP is modelled at the fluid / round level: every round-trip time the
+connection delivers ``min(cwnd, capacity x RTT)`` bytes, grows or
+shrinks its window exactly as slow start / congestion avoidance would,
+and suffers losses both randomly (wireless, contention) and
+deterministically (bottleneck buffer overrun).  This is the level of
+detail that drives everything the paper measures — per-path throughput
+over time, ramp-up after idle, back-off under interference — without
+simulating individual segments.
+"""
+
+from repro.tcp.congestion import RenoCongestionControl
+from repro.tcp.connection import FiniteSource, InfiniteSource, TcpConnection
+from repro.tcp.rtt import RttEstimator
+
+__all__ = [
+    "FiniteSource",
+    "InfiniteSource",
+    "RenoCongestionControl",
+    "RttEstimator",
+    "TcpConnection",
+]

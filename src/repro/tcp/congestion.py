@@ -1,0 +1,93 @@
+"""Reno-style congestion control for the fluid TCP model.
+
+The window is kept in bytes.  Growth follows slow start (double per
+RTT, i.e. +1 byte per acked byte) until ``ssthresh``, then congestion
+avoidance (+MSS per RTT).  Loss halves the window.  The increase step
+accepts an optional *coupling factor* so MPTCP's Linked-Increases
+Algorithm (RFC 6356) can scale congestion-avoidance growth across
+subflows — see :mod:`repro.mptcp.coupled`.
+
+RFC 2861 congestion-window validation is modelled by
+:meth:`RenoCongestionControl.reset_after_idle`: standard TCP collapses
+the window back to the initial window after an idle period longer than
+one RTO.  eMPTCP explicitly disables this for re-used subflows (§3.6),
+which is one of the knobs the ablation benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Default maximum segment size, bytes (1500 MTU - 40 IP/TCP - 12 options).
+DEFAULT_MSS = 1448.0
+
+#: Default initial window, segments (RFC 6928).
+DEFAULT_INIT_CWND_SEGMENTS = 10
+
+
+class RenoCongestionControl:
+    """NewReno-flavoured AIMD state machine on a fluid window."""
+
+    def __init__(
+        self,
+        mss: float = DEFAULT_MSS,
+        init_cwnd_segments: int = DEFAULT_INIT_CWND_SEGMENTS,
+        max_cwnd: float = 64 * 1024 * 1024,
+    ):
+        if mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if init_cwnd_segments < 1:
+            raise ConfigurationError("init_cwnd_segments must be >= 1")
+        self.mss = mss
+        self.init_cwnd = init_cwnd_segments * mss
+        self.max_cwnd = max_cwnd
+        self.cwnd = self.init_cwnd
+        self.ssthresh = math.inf
+        self.losses = 0
+        self.timeouts = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while below ``ssthresh``."""
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_bytes: float, coupling: float = 1.0) -> None:
+        """Grow the window for ``acked_bytes`` newly acknowledged bytes.
+
+        ``coupling`` scales the congestion-avoidance increase; 1.0 is
+        uncoupled Reno, MPTCP-LIA passes ``min(alpha * cwnd_i /
+        cwnd_total, 1)``-style factors.  Slow start is never coupled
+        (RFC 6356 couples only the linear-increase phase).
+        """
+        if acked_bytes < 0:
+            raise ConfigurationError("acked_bytes must be >= 0")
+        if acked_bytes == 0:
+            return
+        if self.in_slow_start:
+            grow = acked_bytes
+            # Do not overshoot ssthresh within a single burst.
+            if math.isfinite(self.ssthresh):
+                grow = min(grow, max(0.0, self.ssthresh - self.cwnd))
+            self.cwnd += grow
+        else:
+            self.cwnd += max(0.0, coupling) * self.mss * (acked_bytes / self.cwnd)
+        self.cwnd = min(self.cwnd, self.max_cwnd)
+
+    def on_loss(self) -> None:
+        """Fast-retransmit style multiplicative decrease."""
+        self.losses += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2 * self.mss)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        """RTO: collapse to one initial window and re-enter slow start."""
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2 * self.mss)
+        self.cwnd = self.init_cwnd
+
+    def reset_after_idle(self) -> None:
+        """RFC 2861 window validation after an idle period > RTO."""
+        self.ssthresh = max(self.ssthresh, 3 * self.cwnd / 4.0)
+        self.cwnd = self.init_cwnd

@@ -1,0 +1,431 @@
+"""A fluid, round-driven TCP connection.
+
+Model
+-----
+Time is divided into *rounds* of one RTT.  At the start of a round the
+connection asks its path for the currently available rate, computes the
+effective RTT (base RTT plus queueing delay when the window exceeds the
+bandwidth-delay product), and "sends" up to one congestion window of
+data taken from its byte source.  One RTT later the round completes:
+the bytes count as delivered/acknowledged, the congestion window grows
+(or shrinks, on buffer overrun or random loss), and the next round
+begins.
+
+This reproduces the throughput dynamics that matter to the paper —
+slow-start ramp, AIMD sawtooth under loss, bandwidth tracking when the
+AP is modulated, stalling when capacity vanishes — at a cost of O(1)
+events per RTT instead of per packet.
+
+Byte sources
+------------
+A connection drains a :class:`ByteSource`.  Sources can be shared: an
+MPTCP connection hands the *same* source to all of its subflows, which
+is exactly how a multipath transfer splits a single data stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random as _random
+from typing import Callable, List, Optional, Protocol
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.path import NetworkPath
+from repro.sim.engine import EventHandle, Simulator
+from repro.tcp.congestion import DEFAULT_MSS, RenoCongestionControl
+from repro.tcp.rtt import RttEstimator
+
+
+class ByteSource(Protocol):
+    """A stream of application bytes to transfer."""
+
+    def take(self, max_bytes: float) -> float:
+        """Consume and return up to ``max_bytes`` from the stream."""
+        ...
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left (``math.inf`` for unbounded sources)."""
+        ...
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no bytes remain."""
+        ...
+
+
+class FiniteSource:
+    """A fixed-size transfer (file download of ``total`` bytes)."""
+
+    def __init__(self, total: float):
+        if total <= 0:
+            raise ConfigurationError(f"transfer size must be positive, got {total}")
+        self.total = total
+        self.taken = 0.0
+
+    def take(self, max_bytes: float) -> float:
+        grant = min(max_bytes, self.total - self.taken)
+        grant = max(0.0, grant)
+        self.taken += grant
+        return grant
+
+    @property
+    def remaining(self) -> float:
+        return self.total - self.taken
+
+    @property
+    def exhausted(self) -> bool:
+        return self.taken >= self.total
+
+
+class InfiniteSource:
+    """An unbounded transfer (backlogged sender, §4.5-style measurement
+    windows where we count bytes downloaded in a fixed time)."""
+
+    def __init__(self) -> None:
+        self.taken = 0.0
+
+    def take(self, max_bytes: float) -> float:
+        self.taken += max_bytes
+        return max_bytes
+
+    @property
+    def remaining(self) -> float:
+        return math.inf
+
+    @property
+    def exhausted(self) -> bool:
+        return False
+
+
+class TcpState(enum.Enum):
+    """Connection lifecycle states."""
+
+    CREATED = "created"
+    CONNECTING = "connecting"
+    ESTABLISHED = "established"
+    CLOSED = "closed"
+
+
+RateListener = Callable[[float, float], None]  # (time, bytes_per_sec)
+DeliveryListener = Callable[["TcpConnection", float], None]  # (conn, bytes)
+
+
+class TcpConnection:
+    """One fluid TCP connection over a single :class:`NetworkPath`.
+
+    Parameters
+    ----------
+    sim, path, source:
+        The simulator, the path to run over, and the byte stream to
+        drain (possibly shared with other connections).
+    rng:
+        Random stream for loss draws.
+    rfc2861_idle_reset:
+        When True (standard TCP), the congestion window collapses after
+        an idle period longer than the RTO.  eMPTCP disables this on
+        re-used subflows (§3.6).
+    coupling:
+        Optional callable returning the congestion-avoidance coupling
+        factor for the current round; MPTCP-LIA plugs in here.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: NetworkPath,
+        source: ByteSource,
+        rng: Optional[_random.Random] = None,
+        mss: float = DEFAULT_MSS,
+        rfc2861_idle_reset: bool = True,
+        coupling: Optional[Callable[[], float]] = None,
+        name: str = "tcp",
+    ):
+        self.sim = sim
+        self.path = path
+        self.source = source
+        self.rng = rng or _random.Random(0)
+        self.mss = mss
+        self.rfc2861_idle_reset = rfc2861_idle_reset
+        self.coupling = coupling
+        self.name = name
+
+        self.cc = RenoCongestionControl(mss=mss)
+        self.rtt_estimator = RttEstimator()
+        #: Optional hook limiting the usable rate below the path's fair
+        #: share.  MPTCP installs its scheduler-utilization model here
+        #: (higher-RTT subflows are starved by min-RTT scheduling and
+        #: receive-window head-of-line blocking when the preferred
+        #: subflow is fast).  Called with the achievable rate; returns
+        #: the allowed rate.
+        self.rate_shaper: Optional[Callable[[float], float]] = None
+        self.state = TcpState.CREATED
+        self.paused = False
+        self.handshake_rtt: Optional[float] = None
+        self.bytes_delivered = 0.0
+        self.established_at: Optional[float] = None
+        self.last_activity: Optional[float] = None
+
+        self._round_pending: Optional[EventHandle] = None
+        self._round_in_flight = False
+        self._current_rate = 0.0
+        self._rate_listeners: List[RateListener] = []
+        self._delivery_listeners: List[DeliveryListener] = []
+        self._established_listeners: List[Callable[["TcpConnection"], None]] = []
+        self._stall_retry: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    # listeners
+
+    def on_rate_change(self, listener: RateListener) -> None:
+        """Subscribe to send-rate changes (drives energy accounting)."""
+        self._rate_listeners.append(listener)
+
+    def on_delivery(self, listener: DeliveryListener) -> None:
+        """Subscribe to per-round delivered-byte notifications."""
+        self._delivery_listeners.append(listener)
+
+    def on_established(self, listener: Callable[["TcpConnection"], None]) -> None:
+        """Subscribe to handshake completion."""
+        self._established_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def connect(self, extra_delay: float = 0.0) -> None:
+        """Begin the three-way handshake.
+
+        ``extra_delay`` models anything that must happen before the SYN
+        can leave (e.g. a cellular promotion from RRC idle).
+        """
+        if self.state is not TcpState.CREATED:
+            raise ProtocolError(f"connect() in state {self.state}")
+        self.state = TcpState.CONNECTING
+        self.path.register_flow(self)
+        rrc = getattr(self.path, "rrc", None)
+        if rrc is not None:
+            extra_delay += rrc.on_activity(self.sim.now)
+        self.sim.schedule(extra_delay + self.path.base_rtt, self._handshake_done)
+
+    def _handshake_done(self) -> None:
+        if self.state is not TcpState.CONNECTING:
+            return
+        self.state = TcpState.ESTABLISHED
+        self.established_at = self.sim.now
+        self.handshake_rtt = self.path.base_rtt
+        self.rtt_estimator.observe(self.handshake_rtt)
+        self.last_activity = self.sim.now
+        for listener in list(self._established_listeners):
+            listener(self)
+        self._start_round()
+
+    def close(self) -> None:
+        """Tear the connection down and release path resources."""
+        if self.state is TcpState.CLOSED:
+            return
+        self.state = TcpState.CLOSED
+        self._cancel_pending()
+        self._set_rate(0.0)
+        self.path.unregister_flow(self)
+
+    def pause(self) -> None:
+        """Stop sending (MP_PRIO low / backup).  The connection stays
+        established; in-flight data still completes its round."""
+        self.paused = True
+        # A pending round that has not started sending yet is cancelled.
+        if self._round_pending is not None and not self._round_in_flight:
+            self._cancel_pending()
+        if not self._round_in_flight:
+            self._set_rate(0.0)
+
+    def resume(self, reset_rtt: bool = False) -> None:
+        """Resume sending after :meth:`pause`.
+
+        ``reset_rtt=True`` applies eMPTCP's re-use tweak (§3.6): zero
+        the RTT estimate so the MPTCP scheduler re-probes the subflow.
+        When ``rfc2861_idle_reset`` is set and the idle period exceeded
+        the RTO, the window collapses first (standard TCP behaviour
+        that eMPTCP disables).
+        """
+        if self.state is not TcpState.ESTABLISHED:
+            raise ProtocolError(f"resume() in state {self.state}")
+        if not self.paused:
+            return
+        self.paused = False
+        self._apply_idle_rules(reset_rtt)
+        self._start_round()
+
+    def notify_data(self) -> None:
+        """Tell an idle connection that its source has bytes again
+        (persistent HTTP connections fetching the next object)."""
+        if self.state is not TcpState.ESTABLISHED or self.paused:
+            return
+        if self._round_pending is None and not self._round_in_flight:
+            self._apply_idle_rules(reset_rtt=False)
+            self._start_round()
+
+    def _apply_idle_rules(self, reset_rtt: bool) -> None:
+        idle = (
+            self.sim.now - self.last_activity
+            if self.last_activity is not None
+            else 0.0
+        )
+        if self.rfc2861_idle_reset and idle > self.rtt_estimator.rto:
+            self.cc.reset_after_idle()
+        if reset_rtt:
+            self.rtt_estimator.reset_to_zero()
+
+    # ------------------------------------------------------------------
+    # state inspection
+
+    @property
+    def sending(self) -> bool:
+        """True while actively transferring — including while stalled on
+        a zero-capacity path with a retry pending (the flow is *trying*
+        to send; eMPTCP's idle detection must not mistake an outage for
+        an idle connection)."""
+        return (
+            self.state is TcpState.ESTABLISHED
+            and not self.paused
+            and (
+                self._round_in_flight
+                or self._round_pending is not None
+                or self._stall_retry is not None
+            )
+        )
+
+    @property
+    def in_flight(self) -> bool:
+        """True while a round is actually in flight or scheduled —
+        unlike :attr:`sending`, a stall retry does not count (it
+        carries no data, so it must not block transfer completion)."""
+        return (
+            self.state is TcpState.ESTABLISHED
+            and not self.paused
+            and (self._round_in_flight or self._round_pending is not None)
+        )
+
+    @property
+    def established(self) -> bool:
+        """True while the connection is up."""
+        return self.state is TcpState.ESTABLISHED
+
+    @property
+    def current_rate(self) -> float:
+        """Instantaneous send rate, bytes/s (0 when idle/paused)."""
+        return self._current_rate
+
+    @property
+    def srtt(self) -> float:
+        """Smoothed RTT estimate (0 after an eMPTCP reset)."""
+        return self.rtt_estimator.srtt
+
+    # ------------------------------------------------------------------
+    # the round engine
+
+    def _cancel_pending(self) -> None:
+        if self._round_pending is not None:
+            self._round_pending.cancel()
+            self._round_pending = None
+        if self._stall_retry is not None:
+            self._stall_retry.cancel()
+            self._stall_retry = None
+
+    def _start_round(self) -> None:
+        """Kick off a round immediately (idempotent)."""
+        if self.state is not TcpState.ESTABLISHED or self.paused:
+            return
+        if self._round_in_flight or self._round_pending is not None:
+            return
+        self._round_pending = self.sim.schedule(0.0, self._round)
+
+    def _round(self) -> None:
+        self._round_pending = None
+        if self.state is not TcpState.ESTABLISHED or self.paused:
+            return
+        if self.source.exhausted:
+            self._go_idle()
+            return
+        rrc = getattr(self.path, "rrc", None)
+        if rrc is not None:
+            # An idle cellular radio must promote before data can flow.
+            wait = rrc.on_activity(self.sim.now)
+            if wait > 0:
+                self._round_pending = self.sim.schedule(wait, self._round)
+                return
+        cap = self.path.available_rate(self)
+        if self.rate_shaper is not None and cap > 0:
+            cap = max(0.0, min(cap, self.rate_shaper(cap)))
+        if cap <= 0:
+            self._stall()
+            return
+        base = self.path.base_rtt
+        bdp = cap * base
+        buffer_bytes = self.path.effective_buffer(cap)
+        queue = min(buffer_bytes, max(0.0, self.cc.cwnd - bdp))
+        rtt = base + queue / cap
+        deliverable = min(self.cc.cwnd, bdp + buffer_bytes)
+        granted = self.source.take(deliverable)
+        if granted <= 0:
+            self._go_idle()
+            return
+        overflow = self.cc.cwnd > bdp + buffer_bytes * 1.0001
+        self._round_in_flight = True
+        self._set_rate(granted / rtt)
+        self.sim.schedule(rtt, self._round_end, granted, rtt, overflow)
+
+    def _round_end(self, granted: float, rtt: float, overflow: bool) -> None:
+        self._round_in_flight = False
+        if self.state is not TcpState.ESTABLISHED:
+            return
+        self.bytes_delivered += granted
+        self.last_activity = self.sim.now
+        self.rtt_estimator.observe(rtt)
+        rrc = getattr(self.path, "rrc", None)
+        if rrc is not None:
+            rrc.on_activity(self.sim.now)
+        if overflow or self._random_loss(granted):
+            self.cc.on_loss()
+        else:
+            factor = self.coupling() if self.coupling is not None else 1.0
+            self.cc.on_ack(granted, coupling=factor)
+        for listener in list(self._delivery_listeners):
+            listener(self, granted)
+        if self.state is not TcpState.ESTABLISHED or self.paused:
+            self._set_rate(0.0)
+            return
+        if self.source.exhausted:
+            self._go_idle()
+        else:
+            self._round_pending = self.sim.schedule(0.0, self._round)
+
+    def _random_loss(self, granted: float) -> bool:
+        p_pkt = self.path.packet_loss_rate()
+        if p_pkt <= 0 or granted <= 0:
+            return False
+        n_packets = max(1.0, granted / self.mss)
+        p_round = 1.0 - (1.0 - p_pkt) ** n_packets
+        return self.rng.random() < p_round
+
+    def _go_idle(self) -> None:
+        self._set_rate(0.0)
+
+    def _stall(self) -> None:
+        """No capacity (interface down / zero rate): back off one RTO."""
+        self._set_rate(0.0)
+        self.cc.on_timeout()
+        retry = max(self.rtt_estimator.rto, 0.5)
+        self._stall_retry = self.sim.schedule(retry, self._retry_after_stall)
+
+    def _retry_after_stall(self) -> None:
+        self._stall_retry = None
+        self._start_round()
+
+    def _set_rate(self, rate: float) -> None:
+        if rate == self._current_rate:
+            return
+        self._current_rate = rate
+        self.path.notify_rate(self, rate)
+        for listener in list(self._rate_listeners):
+            listener(self.sim.now, rate)

@@ -1,0 +1,67 @@
+"""Round-trip-time estimation (RFC 6298 style).
+
+The estimator matters for two reasons in this reproduction:
+
+* the MPTCP default scheduler prefers the subflow with the smallest
+  smoothed RTT, and eMPTCP *zeroes* the measured RTT of a re-used
+  subflow so it is re-probed quickly (§3.6);
+* the eMPTCP bandwidth sampler derives its sampling interval δ from the
+  RTT measured during subflow establishment (§3.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RttEstimator:
+    """Exponentially smoothed RTT with variance (RFC 6298).
+
+    ``srtt`` and ``rttvar`` follow the standard update; ``rto`` is
+    clamped to ``[min_rto, max_rto]``.
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def __init__(self, min_rto: float = 0.2, max_rto: float = 60.0):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ConfigurationError("invalid RTO bounds")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self._initialized = False
+
+    @property
+    def initialized(self) -> bool:
+        """True once at least one sample has been absorbed."""
+        return self._initialized
+
+    def observe(self, sample: float) -> None:
+        """Feed one RTT measurement (seconds, must be positive)."""
+        if sample <= 0:
+            raise ConfigurationError(f"RTT sample must be positive, got {sample}")
+        if not self._initialized:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+            self._initialized = True
+            return
+        err = abs(self.srtt - sample)
+        self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * err
+        self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
+
+    def reset_to_zero(self) -> None:
+        """eMPTCP §3.6: zero the RTT of a re-used subflow so the min-RTT
+        scheduler probes it immediately.  The next ``observe`` call
+        re-initializes the estimator from scratch."""
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self._initialized = False
+
+    @property
+    def rto(self) -> float:
+        """Retransmission timeout, clamped to the configured bounds."""
+        if not self._initialized:
+            return 1.0  # RFC 6298 initial RTO
+        return min(self.max_rto, max(self.min_rto, self.srtt + 4 * self.rttvar))

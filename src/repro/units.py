@@ -1,0 +1,68 @@
+"""Unit conventions and conversion helpers.
+
+Internally the simulator uses SI-ish base units everywhere:
+
+* time        — seconds (float)
+* data        — bytes (float; fluid model, fractional bytes are fine)
+* data rate   — bytes per second
+* power       — watts
+* energy      — joules
+
+The paper's tables and figures, however, speak in megabits per second
+(Mbps), kilobytes/megabytes, and milliwatts.  All conversions between
+the two worlds go through this module so that a stray factor of 8 or
+1e6 cannot hide anywhere else in the code base.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in a kilobyte / megabyte (decimal, as used for rates).
+KILOBYTE = 1_000.0
+MEGABYTE = 1_000_000.0
+
+#: Binary sizes, used for file sizes quoted by the paper (256 KB, 16 MB...).
+KIB = 1024.0
+MIB = 1024.0 * 1024.0
+
+#: Bits per byte.
+BITS_PER_BYTE = 8.0
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return mbps * 1e6 / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_mbps(rate: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return rate * BITS_PER_BYTE / 1e6
+
+
+def kbps_to_bytes_per_sec(kbps: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return kbps * 1e3 / BITS_PER_BYTE
+
+
+def milliwatts_to_watts(mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return mw / 1e3
+
+
+def watts_to_milliwatts(w: float) -> float:
+    """Convert watts to milliwatts."""
+    return w * 1e3
+
+
+def joules_per_byte_to_joules_per_bit(jpb: float) -> float:
+    """Convert joules/byte to joules/bit (Figure 13 reports J/b)."""
+    return jpb / BITS_PER_BYTE
+
+
+def mib(n: float) -> float:
+    """``n`` mebibytes expressed in bytes (paper file sizes: 1/4/16/256 MB)."""
+    return n * MIB
+
+
+def kib(n: float) -> float:
+    """``n`` kibibytes expressed in bytes (paper small transfers: 256 KB)."""
+    return n * KIB

@@ -1,0 +1,29 @@
+"""Workload generators: file downloads, Markov on-off background
+traffic, the mobility route, the multi-object web page, and the
+in-the-wild environment sampler."""
+
+from repro.workloads.background import OnOffUdpNode, make_interferers
+from repro.workloads.mobility import (
+    MobilityRoute,
+    default_route,
+    route_capacity_trace,
+    wifi_rate_at_distance,
+)
+from repro.workloads.streaming import VideoSession
+from repro.workloads.web import ObjectQueueSource, WebPage, cnn_like_page
+from repro.workloads.wild import WildEnvironment, WildSampler
+
+__all__ = [
+    "MobilityRoute",
+    "ObjectQueueSource",
+    "OnOffUdpNode",
+    "VideoSession",
+    "WebPage",
+    "WildEnvironment",
+    "WildSampler",
+    "cnn_like_page",
+    "default_route",
+    "make_interferers",
+    "route_capacity_trace",
+    "wifi_rate_at_distance",
+]

@@ -1,0 +1,96 @@
+"""Markov on-off UDP interferers (§4.4).
+
+Each interfering node shares the WiFi channel with the device and
+alternates between silent and transmitting states: a silent node turns
+on with rate λ_on per second (exponential dwell with mean 1/λ_on) and a
+transmitting node turns off with rate λ_off.  The paper fixes
+λ_on = 0.05 and sweeps λ_off ∈ {0.025, 0.05} with n ∈ {2, 3} nodes.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.contention import WiFiChannel
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec
+
+#: Default per-node UDP offered load while transmitting, bytes/s.
+DEFAULT_UDP_RATE = mbps_to_bytes_per_sec(3.0)
+
+
+class OnOffUdpNode:
+    """One interfering WiFi node with Markov on-off UDP traffic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lambda_on: float,
+        lambda_off: float,
+        rng: _random.Random,
+        rate_bytes_per_sec: float = DEFAULT_UDP_RATE,
+        start_on: bool = False,
+        name: str = "interferer",
+    ):
+        if lambda_on <= 0 or lambda_off <= 0:
+            raise ConfigurationError("lambda_on and lambda_off must be positive")
+        if rate_bytes_per_sec <= 0:
+            raise ConfigurationError("UDP rate must be positive")
+        self.sim = sim
+        self.lambda_on = lambda_on
+        self.lambda_off = lambda_off
+        self.rng = rng
+        self.name = name
+        self._rate = rate_bytes_per_sec
+        self._on = start_on
+        self.transitions = 0
+        self._schedule_flip()
+
+    @property
+    def active(self) -> bool:
+        """True while transmitting (occupying the channel)."""
+        return self._on
+
+    @property
+    def rate(self) -> float:
+        """Offered UDP load, bytes/s (0 while silent)."""
+        return self._rate if self._on else 0.0
+
+    def _schedule_flip(self) -> None:
+        rate = self.lambda_off if self._on else self.lambda_on
+        dwell = self.rng.expovariate(rate)
+        self.sim.schedule(dwell, self._flip)
+
+    def _flip(self) -> None:
+        self._on = not self._on
+        self.transitions += 1
+        self._schedule_flip()
+
+
+def make_interferers(
+    sim: Simulator,
+    channel: WiFiChannel,
+    n: int,
+    lambda_on: float,
+    lambda_off: float,
+    rng: _random.Random,
+    rate_bytes_per_sec: Optional[float] = None,
+) -> List[OnOffUdpNode]:
+    """Create ``n`` interferers and attach them to the channel."""
+    if n < 0:
+        raise ConfigurationError("n must be >= 0")
+    nodes: List[OnOffUdpNode] = []
+    for i in range(n):
+        node = OnOffUdpNode(
+            sim,
+            lambda_on,
+            lambda_off,
+            _random.Random(rng.getrandbits(64)),
+            rate_bytes_per_sec=rate_bytes_per_sec or DEFAULT_UDP_RATE,
+            name=f"interferer-{i}",
+        )
+        channel.add_interferer(node)
+        nodes.append(node)
+    return nodes

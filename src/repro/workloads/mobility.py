@@ -1,0 +1,143 @@
+"""The mobility scenario (§4.5, Figure 11).
+
+The paper walks a fixed indoor route for 250 seconds: the device starts
+near the AP, leaves its usable range, and returns, so WiFi throughput
+swings between full rate and (nearly) nothing while the association is
+kept.  We model the route as timed waypoints in a 2-D floor plan,
+derive the device-AP distance over time, map distance to WiFi rate with
+a smooth indoor path-loss-flavoured falloff, and emit a piecewise
+capacity trace for :class:`~repro.net.bandwidth.PiecewiseTraceCapacity`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A timed position along the walking route (seconds, metres)."""
+
+    time: float
+    x: float
+    y: float
+
+
+class MobilityRoute:
+    """Piecewise-linear movement through timed waypoints."""
+
+    def __init__(self, waypoints: Sequence[Waypoint]):
+        if len(waypoints) < 2:
+            raise WorkloadError("route needs at least two waypoints")
+        times = [w.time for w in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise WorkloadError("waypoint times must be strictly increasing")
+        self.waypoints = list(waypoints)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last waypoint."""
+        return self.waypoints[-1].time
+
+    def position(self, t: float) -> Tuple[float, float]:
+        """Interpolated position at time ``t`` (clamped to the route)."""
+        pts = self.waypoints
+        if t <= pts[0].time:
+            return pts[0].x, pts[0].y
+        if t >= pts[-1].time:
+            return pts[-1].x, pts[-1].y
+        for a, b in zip(pts, pts[1:]):
+            if a.time <= t <= b.time:
+                frac = (t - a.time) / (b.time - a.time)
+                return a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)
+        raise WorkloadError(f"time {t} not covered by route")  # pragma: no cover
+
+    def distance_to(self, t: float, point: Tuple[float, float]) -> float:
+        """Distance from the device to ``point`` at time ``t``."""
+        x, y = self.position(t)
+        return math.hypot(x - point[0], y - point[1])
+
+
+def wifi_rate_at_distance(
+    distance: float,
+    max_rate: float,
+    usable_range: float,
+    floor_rate: float = 0.0,
+) -> float:
+    """Map device-AP distance to deliverable WiFi rate.
+
+    Near the AP the rate is ~max; it rolls off smoothly and is
+    essentially gone past the usable range (the red dashed circle of
+    Figure 11) while the device may *stay associated* — which is
+    exactly why "MPTCP with WiFi-First" fails in this scenario (§4.6).
+
+        rate(d) = max_rate / (1 + (d / (0.8 range))^6) , floored.
+    """
+    if max_rate < 0 or usable_range <= 0:
+        raise WorkloadError("max_rate must be >= 0 and usable_range positive")
+    if distance < 0:
+        raise WorkloadError("distance must be >= 0")
+    knee = 0.8 * usable_range
+    rate = max_rate / (1.0 + (distance / knee) ** 6)
+    return max(floor_rate, rate)
+
+
+def route_capacity_trace(
+    route: MobilityRoute,
+    ap_position: Tuple[float, float],
+    max_rate: float,
+    usable_range: float,
+    step: float = 1.0,
+    floor_rate: float = 0.0,
+) -> List[Tuple[float, float]]:
+    """Sample the route into a ``(time, rate)`` trace at ``step``
+    seconds, suitable for :class:`PiecewiseTraceCapacity`."""
+    if step <= 0:
+        raise WorkloadError("step must be positive")
+    trace: List[Tuple[float, float]] = []
+    t = 0.0
+    while t <= route.duration + 1e-9:
+        d = route.distance_to(t, ap_position)
+        trace.append((t, wifi_rate_at_distance(d, max_rate, usable_range, floor_rate)))
+        t += step
+    return trace
+
+
+#: AP position for the default route (metres), mirroring Figure 11's
+#: red square near one end of the corridor loop.
+DEFAULT_AP_POSITION: Tuple[float, float] = (5.0, 5.0)
+
+#: Estimated usable AP range, metres (the red dashed circle).
+DEFAULT_USABLE_RANGE = 30.0
+
+
+def default_route() -> MobilityRoute:
+    """A 250-second corridor loop like Figure 11's.
+
+    Starts near the AP (blue point), makes an early excursion out of
+    usable range around t ≈ 25-40 s (as in Figure 12's trace), returns,
+    wanders the in-range part of the floor, makes one more excursion,
+    and ends back near the start.  The device is inside range *most of
+    the time* — the property §4.5 leans on when explaining why TCP over
+    WiFi has the best per-byte efficiency here.
+    """
+    return MobilityRoute(
+        [
+            Waypoint(0.0, 8.0, 5.0),
+            Waypoint(20.0, 20.0, 8.0),
+            Waypoint(35.0, 45.0, 12.0),  # first out-of-range excursion
+            Waypoint(55.0, 55.0, 25.0),
+            Waypoint(75.0, 30.0, 20.0),  # walking back toward range
+            Waypoint(100.0, 12.0, 12.0),
+            Waypoint(130.0, 8.0, 18.0),
+            Waypoint(155.0, 22.0, 10.0),
+            Waypoint(180.0, 48.0, 15.0),  # second excursion
+            Waypoint(200.0, 56.0, 30.0),
+            Waypoint(225.0, 25.0, 18.0),
+            Waypoint(250.0, 8.0, 6.0),
+        ]
+    )

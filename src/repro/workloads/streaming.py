@@ -1,0 +1,168 @@
+"""Chunked video streaming — §7's "more statistically varied
+application traffic" future-work item.
+
+A :class:`VideoSession` mimics a DASH-style player: it fetches
+fixed-duration media chunks into a playback buffer, starts playing once
+a startup threshold is buffered, drains the buffer in real time, and
+rebuffers (stalls) when it runs dry.  The fetch discipline is
+buffer-driven: a new chunk is requested whenever the buffer is below
+its target and no chunk is in flight — so unlike the paper's backlogged
+downloads, the connection alternates between bursts and idleness,
+exercising eMPTCP's idle detection and the cellular tail in a new way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.workloads.web import ObjectQueueSource
+
+#: Playback clock granularity, seconds.
+PLAYBACK_TICK = 0.25
+
+
+class VideoSession:
+    """A buffer-driven streaming client on top of one connection.
+
+    Parameters
+    ----------
+    source:
+        The connection's byte source; the session pushes chunk bytes
+        into it and the connection drains them.
+    notify_data:
+        Callback waking the connection when a chunk is queued.
+    media_seconds:
+        Total length of the video.
+    bitrate_bytes_per_sec:
+        Media bitrate (a 2.5 Mbps stream is ~312 kB/s).
+    chunk_seconds:
+        Media duration per chunk (DASH segments are typically 2-10 s).
+    startup_buffer / target_buffer:
+        Playback starts at ``startup_buffer`` seconds of media;
+        fetching pauses above ``target_buffer``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: ObjectQueueSource,
+        notify_data: Callable[[], None],
+        media_seconds: float = 120.0,
+        bitrate_bytes_per_sec: float = 312_500.0,
+        chunk_seconds: float = 4.0,
+        startup_buffer: float = 4.0,
+        target_buffer: float = 16.0,
+        request_rtt: float = 0.05,
+    ):
+        if media_seconds <= 0 or bitrate_bytes_per_sec <= 0 or chunk_seconds <= 0:
+            raise WorkloadError("media parameters must be positive")
+        if not 0 < startup_buffer <= target_buffer:
+            raise WorkloadError("need 0 < startup_buffer <= target_buffer")
+        self.sim = sim
+        self.source = source
+        self.notify_data = notify_data
+        self.bitrate = bitrate_bytes_per_sec
+        self.chunk_seconds = chunk_seconds
+        self.chunk_bytes = bitrate_bytes_per_sec * chunk_seconds
+        self.total_chunks = max(1, round(media_seconds / chunk_seconds))
+        self.startup_buffer = startup_buffer
+        self.target_buffer = target_buffer
+        self.request_rtt = request_rtt
+
+        self.buffer_seconds = 0.0
+        self.playing = False
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.chunks_fetched = 0
+        self.chunks_played = 0.0
+        self.rebuffer_events = 0
+        self.rebuffer_time = 0.0
+        self.stall_log: List[float] = []
+        self._chunk_in_flight = False
+        self._delivered_for_chunk = 0.0
+        self._stalled_since: Optional[float] = None
+        self._clock = PeriodicProcess(sim, PLAYBACK_TICK, self._tick)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin fetching and start the playback clock."""
+        self._clock.start()
+        self._request_next()
+
+    def stop(self) -> None:
+        """Stop the session (end of measurement window)."""
+        self._clock.stop()
+        self._note_stall_end()
+
+    @property
+    def done(self) -> bool:
+        """True once the whole video has been played out."""
+        return self.finished_at is not None
+
+    @property
+    def media_played(self) -> float:
+        """Seconds of media played so far."""
+        return self.chunks_played * self.chunk_seconds
+
+    # ------------------------------------------------------------------
+    # fetch side
+
+    def _request_next(self) -> None:
+        if self._chunk_in_flight or self.chunks_fetched >= self.total_chunks:
+            return
+        if self.buffer_seconds >= self.target_buffer:
+            return
+        self._chunk_in_flight = True
+        self._delivered_for_chunk = 0.0
+        self.sim.schedule(self.request_rtt, self._push_chunk)
+
+    def _push_chunk(self) -> None:
+        self.source.push(self.chunk_bytes)
+        self.notify_data()
+
+    def on_delivery(self, delivered: float) -> None:
+        """Feed per-round delivered bytes from the connection."""
+        if not self._chunk_in_flight:
+            return
+        self._delivered_for_chunk += delivered
+        if self._delivered_for_chunk + 1e-6 >= self.chunk_bytes:
+            self._chunk_in_flight = False
+            self.chunks_fetched += 1
+            self.buffer_seconds += self.chunk_seconds
+            if not self.playing and self.buffer_seconds >= self.startup_buffer:
+                self._start_playback()
+            self._request_next()
+
+    # ------------------------------------------------------------------
+    # playback side
+
+    def _start_playback(self) -> None:
+        self.playing = True
+        if self.started_at is None:
+            self.started_at = self.sim.now
+        self._note_stall_end()
+
+    def _tick(self) -> None:
+        if self.playing:
+            play = min(PLAYBACK_TICK, self.buffer_seconds)
+            self.buffer_seconds -= play
+            self.chunks_played += play / self.chunk_seconds
+            if self.media_played >= self.total_chunks * self.chunk_seconds - 1e-6:
+                self.finished_at = self.sim.now
+                self.stop()
+                return
+            if self.buffer_seconds <= 1e-9 and self.chunks_fetched < self.total_chunks:
+                # Ran dry: stall until the startup threshold refills.
+                self.playing = False
+                self.rebuffer_events += 1
+                self._stalled_since = self.sim.now
+        self._request_next()
+
+    def _note_stall_end(self) -> None:
+        if self._stalled_since is not None:
+            self.rebuffer_time += self.sim.now - self._stalled_since
+            self._stalled_since = None

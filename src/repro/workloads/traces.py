@@ -1,0 +1,74 @@
+"""Trace-driven capacity from CSV files.
+
+Lets a user replay *their own* recorded link conditions: a two-column
+CSV of ``time_s, mbps`` becomes a
+:class:`~repro.net.bandwidth.PiecewiseTraceCapacity`.  This closes the
+loop for anyone reproducing the paper against real measurements (e.g. a
+`tc`-shaped testbed log or iperf samples).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import WorkloadError
+from repro.net.bandwidth import PiecewiseTraceCapacity
+from repro.units import bytes_per_sec_to_mbps, mbps_to_bytes_per_sec
+
+TraceRows = List[Tuple[float, float]]
+
+
+def parse_bandwidth_csv(text: str) -> TraceRows:
+    """Parse ``time_s, mbps`` rows into a ``(time, bytes/s)`` trace.
+
+    A header row is detected and skipped; blank lines and ``#``
+    comments are ignored.  Times must be strictly increasing and rates
+    non-negative.
+    """
+    rows: TraceRows = []
+    reader = csv.reader(io.StringIO(text))
+    for line_no, row in enumerate(reader, start=1):
+        if not row or row[0].lstrip().startswith("#"):
+            continue
+        if len(row) < 2:
+            raise WorkloadError(f"line {line_no}: expected 'time_s,mbps'")
+        try:
+            t = float(row[0])
+            mbps = float(row[1])
+        except ValueError:
+            if line_no == 1:
+                continue  # header
+            raise WorkloadError(f"line {line_no}: non-numeric row {row!r}")
+        if mbps < 0:
+            raise WorkloadError(f"line {line_no}: negative rate {mbps}")
+        rows.append((t, mbps_to_bytes_per_sec(mbps)))
+    if not rows:
+        raise WorkloadError("trace file contains no samples")
+    times = [t for t, _ in rows]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise WorkloadError("trace times must be strictly increasing")
+    return rows
+
+
+def load_bandwidth_trace(path: Union[str, Path]) -> TraceRows:
+    """Read and parse a bandwidth CSV file."""
+    return parse_bandwidth_csv(Path(path).read_text())
+
+
+def capacity_from_csv(path: Union[str, Path]) -> PiecewiseTraceCapacity:
+    """A capacity process replaying the CSV file's trace."""
+    return PiecewiseTraceCapacity(load_bandwidth_trace(path))
+
+
+def dump_bandwidth_csv(trace: Sequence[Tuple[float, float]]) -> str:
+    """Serialise a ``(time, bytes/s)`` trace back to CSV (Mbps column),
+    e.g. to export a generated mobility trace for external tools."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time_s", "mbps"])
+    for t, rate in trace:
+        writer.writerow([f"{t:.3f}", f"{bytes_per_sec_to_mbps(rate):.4f}"])
+    return out.getvalue()

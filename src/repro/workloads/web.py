@@ -1,0 +1,108 @@
+"""The web-browsing workload (§5.4).
+
+The paper deploys a copy of CNN's home page — 107 web objects — and
+fetches it the way the Android browser does: six parallel persistent
+(MP)TCP connections.  We reproduce the object-count and the dispatch
+discipline; object sizes are drawn from a seeded heavy-tailed
+distribution with almost all objects under 256 KB (the property §5.4
+leans on: small objects mean eMPTCP never opens the LTE subflow).
+
+:class:`ObjectQueueSource` is a byte source with *object boundaries*:
+a connection drains the current object, then goes idle until the
+dispatcher (in :mod:`repro.experiments.web`) assigns the next one after
+a request round-trip.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.units import kib
+
+#: Number of objects on the paper's snapshot of the CNN home page.
+CNN_OBJECT_COUNT = 107
+
+#: Parallel connections the Android browser opens (§5.4).
+BROWSER_CONNECTIONS = 6
+
+
+@dataclass
+class WebPage:
+    """A page to download: a list of object sizes in bytes."""
+
+    object_sizes: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.object_sizes:
+            raise WorkloadError("page must have at least one object")
+        if any(s <= 0 for s in self.object_sizes):
+            raise WorkloadError("object sizes must be positive")
+
+    @property
+    def total_bytes(self) -> float:
+        """Total page weight."""
+        return sum(self.object_sizes)
+
+    def __len__(self) -> int:
+        return len(self.object_sizes)
+
+
+def cnn_like_page(seed: int = 2014, n_objects: int = CNN_OBJECT_COUNT) -> WebPage:
+    """A synthetic page shaped like the paper's CNN snapshot.
+
+    Sizes follow a lognormal body (median ≈ 8 KB) with a few larger
+    images, capped at 256 KB so that "almost all objects are small
+    (<256 KB)" holds exactly as §5.4 states.
+    """
+    if n_objects < 1:
+        raise WorkloadError("n_objects must be >= 1")
+    rng = _random.Random(seed)
+    sizes: List[float] = []
+    for _ in range(n_objects):
+        size = rng.lognormvariate(9.0, 1.3)  # median ~ e^9 ≈ 8.1 KB
+        sizes.append(min(max(size, 200.0), kib(256) - 1))
+    return WebPage(sizes)
+
+
+class ObjectQueueSource:
+    """A byte source fed one web object at a time.
+
+    Unlike :class:`~repro.tcp.connection.FiniteSource`, exhaustion here
+    is temporary: the dispatcher pushes the next object (after the
+    request RTT) and wakes the connection with ``notify_data``.
+    """
+
+    #: Exhaustion is temporary — connection classes must not treat an
+    #: empty queue as end-of-transfer (see MPTCPConnection._maybe_complete).
+    final = False
+
+    def __init__(self) -> None:
+        self._current = 0.0
+        self.total_taken = 0.0
+        self.objects_pushed = 0
+
+    def push(self, nbytes: float) -> None:
+        """Queue the next object's bytes for transfer."""
+        if nbytes <= 0:
+            raise WorkloadError("object size must be positive")
+        self._current += nbytes
+        self.objects_pushed += 1
+
+    def take(self, max_bytes: float) -> float:
+        grant = max(0.0, min(max_bytes, self._current))
+        self._current -= grant
+        self.total_taken += grant
+        return grant
+
+    @property
+    def remaining(self) -> float:
+        """Bytes of the currently queued object(s) left to send."""
+        return self._current
+
+    @property
+    def exhausted(self) -> bool:
+        """True while waiting for the dispatcher's next object."""
+        return self._current <= 0

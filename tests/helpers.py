@@ -1,0 +1,36 @@
+"""Shared fixtures/builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec
+
+
+def make_path(
+    sim: Simulator,
+    kind: InterfaceKind = InterfaceKind.WIFI,
+    mbps: float = 10.0,
+    rtt: float = 0.05,
+    loss: float = 0.0,
+    buffer_bytes: float = 126_000.0,
+) -> NetworkPath:
+    """A constant-capacity path attached to ``sim``."""
+    path = NetworkPath(
+        NetworkInterface(kind),
+        ConstantCapacity(mbps_to_bytes_per_sec(mbps)),
+        base_rtt=rtt,
+        loss_rate=loss,
+        buffer_bytes=buffer_bytes,
+    )
+    path.attach(sim)
+    return path
+
+
+def rng(seed: int = 0) -> random.Random:
+    """A seeded random stream."""
+    return random.Random(seed)

@@ -1,0 +1,130 @@
+"""Tests for statistics, categorisation, and report formatting."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.categorize import GOOD_THRESHOLD_MBPS, Category, categorize
+from repro.analysis.report import format_table, relative_to
+from repro.analysis.stats import (
+    mean,
+    quartiles,
+    sample_std,
+    sem,
+    whisker_summary,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBasicStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_std_matches_numpy_ddof1(self):
+        xs = [3.1, 4.1, 5.9, 2.6, 5.3]
+        assert sample_std(xs) == pytest.approx(np.std(xs, ddof=1))
+
+    def test_std_of_single_sample_is_zero(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_sem_definition(self):
+        """Paper eq. (2): SEM = s / sqrt(n) — with the squared deviation
+        the published formula accidentally omits."""
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert sem(xs) == pytest.approx(sample_std(xs) / 2.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    def test_property_std_matches_numpy(self, xs):
+        assert sample_std(xs) == pytest.approx(
+            float(np.std(xs, ddof=1)), rel=1e-9, abs=1e-9
+        )
+
+
+class TestQuartiles:
+    def test_matches_numpy_linear(self):
+        xs = [1.0, 3.0, 7.0, 9.0, 12.0, 13.0, 47.0]
+        q1, med, q3 = quartiles(xs)
+        assert q1 == pytest.approx(np.percentile(xs, 25))
+        assert med == pytest.approx(np.percentile(xs, 50))
+        assert q3 == pytest.approx(np.percentile(xs, 75))
+
+    def test_single_value(self):
+        assert quartiles([5.0]) == (5.0, 5.0, 5.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60))
+    def test_property_ordering(self, xs):
+        q1, med, q3 = quartiles(xs)
+        assert q1 <= med <= q3
+
+
+class TestWhiskers:
+    def test_outliers_identified(self):
+        xs = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 100.0]
+        w = whisker_summary(xs)
+        assert w.outliers == (100.0,)
+        assert w.whisker_high == 4.0
+
+    def test_no_outliers_in_tight_sample(self):
+        w = whisker_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert w.outliers == ()
+        assert w.whisker_low == 1.0
+        assert w.whisker_high == 5.0
+
+    def test_fences_at_1_5_iqr(self):
+        xs = list(map(float, range(1, 12)))  # Q1=3.5, Q3=8.5, IQR=5
+        w = whisker_summary(xs + [16.01])  # just outside Q3 + 1.5*5.125...
+        # Recompute with the added point to assert consistency instead
+        # of hand-derived constants:
+        assert all(x <= w.q3 + 1.5 * w.iqr for x in xs)
+
+    @given(st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=1, max_size=80))
+    def test_property_outliers_plus_inliers_is_sample(self, xs):
+        w = whisker_summary(xs)
+        assert w.n == len(xs)
+        inside = [x for x in xs if w.whisker_low <= x <= w.whisker_high]
+        assert len(inside) + len(w.outliers) == len(xs)
+
+
+class TestCategorize:
+    def test_four_quadrants(self):
+        t = GOOD_THRESHOLD_MBPS
+        assert categorize(t + 1, t + 1) is Category.GOOD_GOOD
+        assert categorize(t + 1, t - 1) is Category.GOOD_BAD
+        assert categorize(t - 1, t + 1) is Category.BAD_GOOD
+        assert categorize(t - 1, t - 1) is Category.BAD_BAD
+
+    def test_threshold_is_8mbps(self):
+        assert GOOD_THRESHOLD_MBPS == 8.0
+
+    def test_boundary_counts_as_good(self):
+        assert categorize(8.0, 8.0) is Category.GOOD_GOOD
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_relative_to(self):
+        class R:
+            def __init__(self, e):
+                self.energy_j = e
+
+        results = {"mptcp": [R(10.0), R(10.0)], "emptcp": [R(5.0), R(5.0)]}
+        rel = relative_to(results, "mptcp", "energy_j")
+        assert rel["mptcp"] == pytest.approx(1.0)
+        assert rel["emptcp"] == pytest.approx(0.5)

@@ -1,0 +1,142 @@
+"""Tests for the §4.6 comparison strategies."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.baselines.mdp import (
+    EPOCH,
+    MdpAction,
+    MdpPolicy,
+    MdpScheduledConnection,
+    uniform_level_transitions,
+)
+from repro.baselines.single_path import SinglePathTcp
+from repro.baselines.wifi_first import WiFiFirstConnection
+from repro.energy.device import GALAXY_S3
+from repro.errors import ConfigurationError
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+from repro.units import mib
+
+
+class TestSinglePathTcp:
+    def test_download_completes(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0)
+        conn = SinglePathTcp(sim, path, FiniteSource(mib(1)), rng=rng())
+        seen = []
+        conn.on_complete(lambda c: seen.append(sim.now))
+        conn.open()
+        sim.run(until=60.0)
+        assert conn.completed_at is not None
+        assert seen == [conn.completed_at]
+        assert conn.bytes_received == pytest.approx(mib(1))
+
+
+class TestWiFiFirst:
+    def _build(self, sim, size=mib(8)):
+        wifi = make_path(sim, InterfaceKind.WIFI, mbps=4.0)
+        lte = make_path(sim, InterfaceKind.LTE, mbps=10.0)
+        conn = WiFiFirstConnection(sim, wifi, lte, FiniteSource(size), rng=rng())
+        return conn, wifi, lte
+
+    def test_lte_backup_established_but_unused(self):
+        """The paper's criticism: the backup activates the cellular
+        radio at establishment but carries nothing while WiFi lives."""
+        sim = Simulator()
+        conn, _wifi, _lte = self._build(sim)
+        conn.open()
+        sim.run(until=60.0)
+        assert conn.completed_at is not None
+        lte_sf = conn.mptcp.subflow_for(InterfaceKind.LTE)
+        assert lte_sf is not None and lte_sf.established
+        assert lte_sf.bytes_delivered == 0.0
+        assert conn.failovers == 0
+
+    def test_low_wifi_bandwidth_does_not_trigger_failover(self):
+        """Bandwidth collapse without disassociation is ignored — the
+        strategy degenerates into TCP over WiFi (§4.6)."""
+        sim = Simulator()
+        from repro.net.bandwidth import PiecewiseTraceCapacity
+        from repro.net.interface import NetworkInterface
+        from repro.net.path import NetworkPath
+
+        cap = PiecewiseTraceCapacity([(0.0, 500_000.0), (5.0, 5_000.0)])
+        wifi = NetworkPath(NetworkInterface(InterfaceKind.WIFI), cap, base_rtt=0.05)
+        wifi.attach(sim)
+        lte = make_path(sim, InterfaceKind.LTE, mbps=10.0)
+        conn = WiFiFirstConnection(sim, wifi, lte, FiniteSource(mib(4)), rng=rng())
+        conn.open()
+        sim.run(until=60.0)
+        assert conn.failovers == 0
+        lte_sf = conn.mptcp.subflow_for(InterfaceKind.LTE)
+        assert lte_sf.bytes_delivered == 0.0
+
+    def test_disassociation_triggers_failover_and_recovery(self):
+        sim = Simulator()
+        conn, wifi, _lte = self._build(sim, size=mib(16))
+        conn.open()
+        sim.run(until=5.0)
+        wifi.interface.up = False
+        sim.run(until=15.0)
+        assert conn.failovers == 1
+        lte_sf = conn.mptcp.subflow_for(InterfaceKind.LTE)
+        assert lte_sf.bytes_delivered > 0
+        wifi.interface.up = True
+        sim.run(until=16.0)
+        assert lte_sf.suspended  # back on WiFi
+
+
+class TestMdpPolicy:
+    def test_policy_chooses_wifi_only_under_our_energy_model(self):
+        """§4.6's observation: LTE per-second power never dips below
+        WiFi's, so the MDP collapses to WiFi-only in every state."""
+        policy = MdpPolicy(GALAXY_S3, [1.0, 4.0, 8.0], [1.0, 4.0, 8.0])
+        assert policy.chosen_actions() == [MdpAction.WIFI]
+
+    def test_zero_wifi_state_forces_cellular(self):
+        """If WiFi offers nothing the stall penalty forces cellular."""
+        policy = MdpPolicy(GALAXY_S3, [0.0], [8.0])
+        action = policy.action_for(0.0, 8.0)
+        assert action in (MdpAction.CELLULAR, MdpAction.BOTH)
+
+    def test_state_discretisation_nearest(self):
+        policy = MdpPolicy(GALAXY_S3, [1.0, 8.0], [1.0, 8.0])
+        assert policy.state_for(2.0, 7.0) == (0, 1)
+
+    def test_transitions_are_probabilities(self):
+        trans = uniform_level_transitions(3, 3, stay_prob=0.8)
+        for wi in range(3):
+            for ci in range(3):
+                total = sum(p for _s, p in trans((wi, ci)))
+                assert total == pytest.approx(1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MdpPolicy(GALAXY_S3, [], [1.0])
+        with pytest.raises(ConfigurationError):
+            MdpPolicy(GALAXY_S3, [1.0], [1.0], discount=1.0)
+        with pytest.raises(ConfigurationError):
+            uniform_level_transitions(2, 2, stay_prob=0.0)
+
+
+class TestMdpScheduledConnection:
+    def test_behaves_like_tcp_over_wifi(self):
+        """With a WiFi-only policy, the cellular subflow is never even
+        established."""
+        sim = Simulator()
+        wifi = make_path(sim, InterfaceKind.WIFI, mbps=8.0)
+        lte = make_path(sim, InterfaceKind.LTE, mbps=10.0)
+        policy = MdpPolicy(GALAXY_S3, [1.0, 8.0], [1.0, 8.0])
+        conn = MdpScheduledConnection(
+            sim, wifi, lte, FiniteSource(mib(4)), policy, rng=rng()
+        )
+        conn.open()
+        sim.run(until=60.0)
+        assert conn.completed_at is not None
+        assert conn.mptcp.subflow_for(InterfaceKind.LTE) is None
+        assert conn.epochs >= 1
+
+    def test_epoch_cadence_is_one_second(self):
+        assert EPOCH == 1.0

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list_names_all_experiments(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("table2", "fig1", "fig5", "fig8", "fig17", "sec46"):
+        assert name in out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "Samsung Galaxy S3" in out
+    assert "Broadcom BCM4339" in out
+
+
+def test_table2(capsys):
+    code, out = run_cli(capsys, "table2")
+    assert code == 0
+    assert "0.502" in out  # the paper column is shown for comparison
+
+
+def test_fig1(capsys):
+    code, out = run_cli(capsys, "fig1")
+    assert code == 0
+    assert "lte" in out and "wifi" in out
+
+
+def test_fig3(capsys):
+    code, out = run_cli(capsys, "fig3")
+    assert code == 0
+    assert "LTE\\WiFi" in out
+
+
+def test_fig4(capsys):
+    code, out = run_cli(capsys, "fig4")
+    assert code == 0
+    assert "16MB" in out
+
+
+def test_fig5_scaled_down(capsys):
+    code, out = run_cli(capsys, "fig5", "--runs", "1", "--size-mb", "4")
+    assert code == 0
+    assert "emptcp" in out and "tcp-wifi" in out
+
+
+def test_fig13_scaled_down(capsys):
+    code, out = run_cli(capsys, "fig13", "--runs", "1")
+    assert code == 0
+    assert "uJ/bit" in out
+
+
+def test_fig17_scaled_down(capsys):
+    code, out = run_cli(capsys, "fig17", "--runs", "1")
+    assert code == 0
+    assert "latency" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["figNaN"])
+
+
+SMALL = ["--runs", "1", "--size-mb", "4", "--envs", "6"]
+
+
+@pytest.mark.parametrize(
+    "command",
+    [
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig12",
+        "fig14",
+        "sec46",
+        "handover",
+        "upload",
+        "streaming",
+        "validate",
+    ],
+)
+def test_every_simulation_command_runs_at_small_scale(capsys, command):
+    code, out = run_cli(capsys, command, *SMALL)
+    assert code == 0
+    assert out.strip()
+
+
+def test_fig15_small_scale(capsys):
+    code, out = run_cli(capsys, "fig15", "--envs", "6")
+    assert code == 0
+    assert "median" in out
+
+
+def test_report_smoke_to_stdout(capsys):
+    code, out = run_cli(capsys, "report", "--scale", "smoke")
+    assert code == 0
+    assert "# Reproduction report" in out

@@ -1,0 +1,121 @@
+"""Validation and error-path tests across configuration surfaces."""
+
+import pytest
+
+from repro.core.config import EMPTCPConfig
+from repro.errors import (
+    ConfigurationError,
+    EnergyModelError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestEMPTCPConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kappa_bytes": 0.0},
+            {"kappa_bytes": -1.0},
+            {"tau_seconds": 0.0},
+            {"safety_factor": -0.1},
+            {"safety_factor": 1.0},
+            {"initial_bandwidth_mbps": 0.0},
+            {"required_samples": 0},
+            {"hw_alpha": 0.0},
+            {"hw_alpha": 1.5},
+            {"hw_beta": -0.1},
+            {"delta_min": 0.0},
+            {"delta_min": 2.0, "delta_max": 1.0},
+            {"decision_interval": 0.0},
+            {"prediction_stale_after": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EMPTCPConfig(**kwargs)
+
+    def test_defaults_match_paper(self):
+        config = EMPTCPConfig()
+        assert config.kappa_bytes == 1_000_000.0  # κ = 1 MB (§4.1)
+        assert config.tau_seconds == 3.0  # τ = 3 s (§4.1)
+        assert config.safety_factor == 0.10  # 10% (§3.4)
+        assert config.initial_bandwidth_mbps == 5.0  # §3.2
+        assert config.required_samples == 10  # φ (§4.1)
+        assert config.reuse_reset_rtt  # §3.6
+        assert config.disable_rfc2861_reset  # §3.6
+
+    def test_sampling_interval_clamps(self):
+        config = EMPTCPConfig()
+        assert config.sampling_interval(1e-6) == config.delta_min
+        assert config.sampling_interval(100.0) == config.delta_max
+        with pytest.raises(ConfigurationError):
+            config.sampling_interval(0.0)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            ConfigurationError,
+            SimulationError,
+            EnergyModelError,
+            WorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            EMPTCPConfig(kappa_bytes=-1.0)
+
+
+class TestEmptcpCellularOnlyPath:
+    def test_cellular_only_suspends_wifi_end_to_end(self):
+        """With the §3.4 veto disabled and WiFi deep inside the
+        LTE-only region, the controller suspends the *WiFi* subflow."""
+        from tests.helpers import make_path, rng
+        from repro.core.emptcp import EMPTCPConnection
+        from repro.energy.device import GALAXY_S3
+        from repro.net.interface import InterfaceKind
+        from repro.sim.engine import Simulator
+        from repro.tcp.connection import FiniteSource
+        from repro.units import mib
+
+        sim = Simulator()
+        wifi = make_path(sim, InterfaceKind.WIFI, mbps=0.1, rtt=0.05)
+        lte = make_path(sim, InterfaceKind.LTE, mbps=10.0, rtt=0.07)
+        config = EMPTCPConfig(allow_cellular_only=True)
+        conn = EMPTCPConnection(
+            sim, wifi, lte, FiniteSource(mib(16)), profile=GALAXY_S3,
+            config=config, rng=rng(),
+        )
+        conn.open()
+        sim.run(until=120.0)
+        assert conn.completed_at is not None
+        wifi_sf = conn.mptcp.subflow_for(InterfaceKind.WIFI)
+        from repro.core.controller import PathDecision
+
+        assert PathDecision.CELLULAR_ONLY in [
+            d for _t, d in conn.controller.decision_log
+        ]
+        assert wifi_sf.suspend_count >= 1
+
+
+class TestEquationOneHelper:
+    def test_tau_check_matches_paper_setting(self):
+        """§4.1: with their setting the bound was ~2.67 s, so τ = 3 s
+        satisfies equation (1)."""
+        from repro.units import mbps_to_bytes_per_sec
+
+        config = EMPTCPConfig()
+        assert config.tau_satisfies_equation_one(
+            mbps_to_bytes_per_sec(10.0), 0.2
+        )
+
+    def test_tau_check_fails_for_huge_rtt(self):
+        from repro.units import mbps_to_bytes_per_sec
+
+        config = EMPTCPConfig(tau_seconds=1.0)
+        assert not config.tau_satisfies_equation_one(
+            mbps_to_bytes_per_sec(10.0), 0.5
+        )

@@ -1,0 +1,136 @@
+"""Tests for the path usage controller and its 10% safety factor."""
+
+import pytest
+
+from repro.core.config import EMPTCPConfig
+from repro.core.controller import PathDecision, PathUsageController
+from repro.core.eib import cached_eib
+from repro.core.predictor import BandwidthPredictor
+from repro.energy.device import GALAXY_S3
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec
+
+WIFI = InterfaceKind.WIFI
+LTE = InterfaceKind.LTE
+
+
+def make_controller(initial=PathDecision.BOTH, **config_kwargs):
+    sim = Simulator()
+    config = EMPTCPConfig(**config_kwargs)
+    predictor = BandwidthPredictor(sim, config)
+    eib = cached_eib(GALAXY_S3, LTE)
+    controller = PathUsageController(config, eib, predictor, LTE, initial=initial)
+    return controller, predictor, eib
+
+
+def feed(predictor, wifi_mbps, lte_mbps, n=20):
+    for _ in range(n):
+        predictor.observe(WIFI, mbps_to_bytes_per_sec(wifi_mbps))
+        predictor.observe(LTE, mbps_to_bytes_per_sec(lte_mbps))
+
+
+class TestBasicDecisions:
+    def test_fast_wifi_switches_to_wifi_only(self):
+        controller, predictor, _ = make_controller()
+        feed(predictor, 10.0, 8.0)
+        assert controller.decide() is PathDecision.WIFI_ONLY
+
+    def test_slow_wifi_keeps_both(self):
+        controller, predictor, _ = make_controller()
+        feed(predictor, 1.0, 8.0)
+        assert controller.decide() is PathDecision.BOTH
+
+    def test_cellular_only_vetoed_by_default(self):
+        controller, predictor, _ = make_controller()
+        feed(predictor, 0.05, 8.0)  # deep in the LTE-only region
+        assert controller.decide() is PathDecision.BOTH
+
+    def test_cellular_only_allowed_when_configured(self):
+        controller, predictor, _ = make_controller(allow_cellular_only=True)
+        feed(predictor, 0.05, 8.0)
+        assert controller.decide() is PathDecision.CELLULAR_ONLY
+
+    def test_switch_counter_and_log(self):
+        controller, predictor, _ = make_controller()
+        feed(predictor, 10.0, 8.0)
+        controller.decide(now=1.0)
+        assert controller.switches == 1
+        assert controller.decision_log == [(1.0, PathDecision.WIFI_ONLY)]
+        controller.decide(now=2.0)
+        assert controller.switches == 1  # no change, no extra switch
+
+
+class TestHysteresis:
+    """The paper's worked example (§3.4): at LTE 1 Mbps the raw
+    WiFi-only threshold is ~0.5 Mbps.  From BOTH, switching to
+    WiFi-only requires threshold x 1.1; from WiFi-only, switching back
+    requires threshold x 0.9."""
+
+    def _thresholds(self, controller, lte=1.0):
+        return controller.eib.thresholds(lte)
+
+    def test_from_both_needs_margin_above_threshold(self):
+        controller, predictor, _ = make_controller(initial=PathDecision.BOTH)
+        _, wifi_thr = self._thresholds(controller)
+        feed(predictor, wifi_thr * 1.05, 1.0)  # above raw, below +10%
+        assert controller.decide() is PathDecision.BOTH
+        feed(predictor, wifi_thr * 1.15, 1.0)
+        assert controller.decide() is PathDecision.WIFI_ONLY
+
+    def test_from_wifi_only_needs_margin_below_threshold(self):
+        controller, predictor, _ = make_controller(initial=PathDecision.WIFI_ONLY)
+        _, wifi_thr = self._thresholds(controller)
+        feed(predictor, wifi_thr * 0.95, 1.0)  # below raw, above -10%
+        assert controller.decide() is PathDecision.WIFI_ONLY
+        feed(predictor, wifi_thr * 0.85, 1.0)
+        assert controller.decide() is PathDecision.BOTH
+
+    def test_no_oscillation_at_the_boundary(self):
+        """Throughput hovering exactly at the raw threshold must not
+        flip the decision back and forth."""
+        controller, predictor, _ = make_controller(initial=PathDecision.BOTH)
+        _, wifi_thr = self._thresholds(controller)
+        for i in range(50):
+            wobble = wifi_thr * (1.0 + 0.03 * (-1) ** i)  # ±3% noise
+            feed(predictor, wobble, 1.0, n=1)
+            controller.decide()
+        assert controller.switches <= 1
+
+    def test_zero_safety_factor_flips_at_threshold(self):
+        controller, predictor, _ = make_controller(
+            initial=PathDecision.BOTH, safety_factor=0.0
+        )
+        _, wifi_thr = self._thresholds(controller)
+        feed(predictor, wifi_thr * 1.01, 1.0)
+        assert controller.decide() is PathDecision.WIFI_ONLY
+
+    def test_cellular_only_exits_with_hysteresis(self):
+        controller, predictor, _ = make_controller(
+            initial=PathDecision.CELLULAR_ONLY, allow_cellular_only=True
+        )
+        cell_thr, _ = self._thresholds(controller, lte=8.0)
+        feed(predictor, cell_thr * 1.05, 8.0)
+        assert controller.decide() is PathDecision.CELLULAR_ONLY
+        feed(predictor, cell_thr * 1.2, 8.0)
+        assert controller.decide() is PathDecision.BOTH
+
+
+class TestRawDecision:
+    def test_raw_matches_eib(self):
+        controller, _, eib = make_controller()
+        assert controller.raw_decision(10.0, 1.0) is PathDecision.WIFI_ONLY
+        assert controller.raw_decision(0.05, 8.0) is PathDecision.CELLULAR_ONLY
+        cell_thr, wifi_thr = eib.thresholds(2.0)
+        assert (
+            controller.raw_decision((cell_thr + wifi_thr) / 2, 2.0)
+            is PathDecision.BOTH
+        )
+
+    def test_never_activated_cellular_uses_initial_bandwidth(self):
+        """Before LTE is ever used the predictor assumes 5 Mbps, so a
+        fast WiFi still yields WIFI_ONLY."""
+        controller, predictor, _ = make_controller(initial=PathDecision.WIFI_ONLY)
+        for _ in range(10):
+            predictor.observe(WIFI, mbps_to_bytes_per_sec(12.0))
+        assert controller.decide() is PathDecision.WIFI_ONLY

@@ -1,0 +1,102 @@
+"""Tests for the Holt-Winters forecaster."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.forecast import HoltWintersForecaster
+from repro.errors import ConfigurationError
+
+
+def test_no_forecast_before_samples():
+    assert HoltWintersForecaster().forecast() is None
+    assert not HoltWintersForecaster().initialized
+
+
+def test_first_sample_sets_level():
+    f = HoltWintersForecaster()
+    f.observe(5.0)
+    assert f.forecast() == pytest.approx(5.0)
+    assert f.trend == 0.0
+
+
+def test_constant_series_forecasts_constant():
+    f = HoltWintersForecaster()
+    for _ in range(50):
+        f.observe(7.0)
+    assert f.forecast() == pytest.approx(7.0)
+    assert f.trend == pytest.approx(0.0, abs=1e-9)
+
+
+def test_linear_trend_is_learned():
+    f = HoltWintersForecaster(alpha=0.5, beta=0.3)
+    for i in range(100):
+        f.observe(float(i))
+    # One-step-ahead forecast of a perfect ramp is the next value.
+    assert f.forecast(1) == pytest.approx(100.0, rel=0.05)
+
+
+def test_multi_horizon_extrapolates_trend():
+    f = HoltWintersForecaster()
+    for i in range(100):
+        f.observe(float(i))
+    one = f.forecast(1)
+    five = f.forecast(5)
+    assert five > one
+    assert five - one == pytest.approx(4 * f.trend)
+
+
+def test_forecast_floored_at_zero():
+    f = HoltWintersForecaster()
+    # Steeply decreasing series drives level + trend negative.
+    for v in [100.0, 50.0, 10.0, 1.0, 0.0, 0.0]:
+        f.observe(v)
+    assert f.forecast(10) == 0.0
+
+
+def test_step_change_tracked():
+    f = HoltWintersForecaster(alpha=0.5, beta=0.3)
+    for _ in range(20):
+        f.observe(1.0)
+    for _ in range(20):
+        f.observe(10.0)
+    assert f.forecast() == pytest.approx(10.0, rel=0.1)
+
+
+def test_reset():
+    f = HoltWintersForecaster()
+    f.observe(3.0)
+    f.reset()
+    assert not f.initialized
+    assert f.n_samples == 0
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ConfigurationError):
+        HoltWintersForecaster().observe(-1.0)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ConfigurationError):
+        HoltWintersForecaster(alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        HoltWintersForecaster(beta=1.5)
+    with pytest.raises(ConfigurationError):
+        HoltWintersForecaster().forecast(0)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=200))
+def test_property_forecast_never_negative(samples):
+    f = HoltWintersForecaster()
+    for s in samples:
+        f.observe(s)
+        assert f.forecast(1) >= 0.0
+        assert f.forecast(3) >= 0.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e3), st.integers(min_value=1, max_value=100))
+def test_property_constant_input_is_fixed_point(value, n):
+    f = HoltWintersForecaster()
+    for _ in range(n):
+        f.observe(value)
+    assert f.forecast() == pytest.approx(value, abs=1e-6 + value * 1e-9)

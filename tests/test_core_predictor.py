@@ -1,0 +1,168 @@
+"""Tests for the throughput sampler and the bandwidth predictor."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.core.config import EMPTCPConfig
+from repro.core.predictor import BandwidthPredictor
+from repro.core.sampler import ThroughputSampler
+from repro.errors import ProtocolError
+from repro.mptcp.subflow import Subflow
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+from repro.units import mbps_to_bytes_per_sec
+
+
+def established_subflow(sim, kind=InterfaceKind.WIFI, mbps=8.0, size=1e8):
+    path = make_path(sim, kind=kind, mbps=mbps, rtt=0.05)
+    sf = Subflow(sim, path, FiniteSource(size), rng=rng())
+    sf.establish()
+    sim.run(until=0.1)
+    assert sf.established
+    return sf
+
+
+class TestSampler:
+    def test_delta_derived_from_handshake_rtt(self):
+        sim = Simulator()
+        sf = established_subflow(sim)
+        config = EMPTCPConfig(delta_rtt_multiplier=2.0, delta_min=0.01, delta_max=1.0)
+        sampler = ThroughputSampler(sim, sf, config, lambda k, r: None)
+        assert sampler.delta == pytest.approx(2.0 * 0.05)
+
+    def test_delta_clamped(self):
+        sim = Simulator()
+        sf = established_subflow(sim)
+        config = EMPTCPConfig(delta_min=0.5, delta_max=1.0)
+        sampler = ThroughputSampler(sim, sf, config, lambda k, r: None)
+        assert sampler.delta == 0.5
+
+    def test_unestablished_subflow_rejected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        sf = Subflow(sim, path, FiniteSource(1e6), rng=rng())
+        with pytest.raises(ProtocolError):
+            ThroughputSampler(sim, sf, EMPTCPConfig(), lambda k, r: None)
+
+    def test_samples_reflect_transfer_rate(self):
+        sim = Simulator()
+        sf = established_subflow(sim, mbps=8.0)
+        samples = []
+        sampler = ThroughputSampler(
+            sim, sf, EMPTCPConfig(), lambda _k, r: samples.append(r)
+        )
+        sampler.start()
+        sim.run(until=10.0)
+        assert samples
+        # Steady-state samples approach 8 Mbps.
+        steady = samples[len(samples) // 2 :]
+        mean_rate = sum(steady) / len(steady)
+        assert mean_rate == pytest.approx(mbps_to_bytes_per_sec(8.0), rel=0.2)
+
+    def test_suspended_subflow_not_sampled(self):
+        sim = Simulator()
+        sf = established_subflow(sim)
+        samples = []
+        sampler = ThroughputSampler(
+            sim, sf, EMPTCPConfig(), lambda _k, r: samples.append(r)
+        )
+        sampler.start()
+        sim.run(until=2.0)
+        n_before = len(samples)
+        sf.suspend()
+        sim.run(until=4.0)
+        assert len(samples) == n_before
+
+    def test_no_zero_smear_after_resume(self):
+        """The first sample after resumption must not average the idle
+        gap into the rate."""
+        sim = Simulator()
+        sf = established_subflow(sim, mbps=8.0)
+        samples = []
+        sampler = ThroughputSampler(
+            sim, sf, EMPTCPConfig(), lambda _k, r: samples.append(r)
+        )
+        sampler.start()
+        sim.run(until=2.0)
+        sf.suspend()
+        sim.run(until=10.0)
+        sf.resume()
+        samples.clear()
+        sim.run(until=12.0)
+        assert samples
+        assert max(samples) < mbps_to_bytes_per_sec(8.0) * 1.5
+
+    def test_stop(self):
+        sim = Simulator()
+        sf = established_subflow(sim)
+        samples = []
+        sampler = ThroughputSampler(
+            sim, sf, EMPTCPConfig(), lambda _k, r: samples.append(r)
+        )
+        sampler.start()
+        sim.run(until=1.0)
+        sampler.stop()
+        n = len(samples)
+        sim.run(until=5.0)
+        assert len(samples) == n
+
+
+class TestPredictor:
+    def test_never_activated_interface_uses_initial_bandwidth(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim, EMPTCPConfig(initial_bandwidth_mbps=5.0))
+        assert predictor.predict_mbps(InterfaceKind.LTE) == 5.0
+        assert not predictor.has_history(InterfaceKind.LTE)
+
+    def test_observation_overrides_initial(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        predictor.observe(InterfaceKind.WIFI, mbps_to_bytes_per_sec(2.0))
+        assert predictor.predict_mbps(InterfaceKind.WIFI) == pytest.approx(2.0)
+        assert predictor.has_history(InterfaceKind.WIFI)
+
+    def test_interfaces_tracked_independently(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        predictor.observe(InterfaceKind.WIFI, mbps_to_bytes_per_sec(2.0))
+        predictor.observe(InterfaceKind.LTE, mbps_to_bytes_per_sec(9.0))
+        assert predictor.predict_mbps(InterfaceKind.WIFI) == pytest.approx(2.0)
+        assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(9.0)
+
+    def test_deactivated_interface_keeps_old_prediction(self):
+        """§3.2: a deactivated interface is predicted from old samples."""
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        for _ in range(10):
+            predictor.observe(InterfaceKind.LTE, mbps_to_bytes_per_sec(9.0))
+        # No further samples (suspended); prediction should persist.
+        assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(9.0)
+
+    def test_attach_subflow_feeds_predictions(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        sf = established_subflow(sim, mbps=8.0)
+        predictor.attach_subflow(sf)
+        sim.run(until=10.0)
+        assert predictor.sample_count(InterfaceKind.WIFI) > 5
+        assert predictor.predict_mbps(InterfaceKind.WIFI) == pytest.approx(8.0, rel=0.3)
+
+    def test_predict_bytes_per_sec(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        predictor.observe(InterfaceKind.WIFI, 1000.0)
+        assert predictor.predict_bytes_per_sec(InterfaceKind.WIFI) == pytest.approx(
+            1000.0
+        )
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        predictor = BandwidthPredictor(sim)
+        sf = established_subflow(sim, mbps=8.0)
+        predictor.attach_subflow(sf)
+        sim.run(until=2.0)
+        predictor.stop()
+        n = predictor.sample_count(InterfaceKind.WIFI)
+        sim.run(until=5.0)
+        assert predictor.sample_count(InterfaceKind.WIFI) == n

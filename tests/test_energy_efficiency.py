@@ -1,0 +1,148 @@
+"""Tests for per-byte efficiency math (Figures 3 and 4 inputs)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.device import GALAXY_S3
+from repro.energy.efficiency import (
+    Strategy,
+    best_strategy,
+    download_energy,
+    efficiency_heatmap,
+    operating_region,
+    per_byte_energy,
+    region_boundaries,
+    strategy_power,
+)
+from repro.errors import EnergyModelError
+from repro.net.interface import InterfaceKind
+from repro.units import mib
+
+
+class TestStrategyPower:
+    def test_single_path_ignores_other_interface(self):
+        p1 = strategy_power(GALAXY_S3, Strategy.WIFI_ONLY, 5.0, 0.0)
+        p2 = strategy_power(GALAXY_S3, Strategy.WIFI_ONLY, 5.0, 100.0)
+        assert p1 == p2
+
+    def test_both_subtracts_overlap(self):
+        both = strategy_power(GALAXY_S3, Strategy.BOTH, 5.0, 5.0)
+        wifi = strategy_power(GALAXY_S3, Strategy.WIFI_ONLY, 5.0, 5.0)
+        lte = strategy_power(GALAXY_S3, Strategy.CELLULAR_ONLY, 5.0, 5.0)
+        assert both == pytest.approx(wifi + lte - GALAXY_S3.overlap_saving_w)
+
+    def test_threeg_supported(self):
+        p = strategy_power(
+            GALAXY_S3, Strategy.CELLULAR_ONLY, 0.0, 4.0, InterfaceKind.THREEG
+        )
+        assert p == pytest.approx(0.8 + 4 * 0.12)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(EnergyModelError):
+            strategy_power(GALAXY_S3, Strategy.BOTH, -1.0, 5.0)
+
+
+class TestPerByteEnergy:
+    def test_zero_rate_is_infinite(self):
+        assert per_byte_energy(GALAXY_S3, Strategy.WIFI_ONLY, 0.0, 5.0) == math.inf
+
+    def test_faster_wifi_is_cheaper_per_byte(self):
+        slow = per_byte_energy(GALAXY_S3, Strategy.WIFI_ONLY, 1.0, 0.0)
+        fast = per_byte_energy(GALAXY_S3, Strategy.WIFI_ONLY, 10.0, 0.0)
+        assert fast < slow
+
+    def test_best_strategy_fast_wifi_slowish_lte(self):
+        # WiFi 10 Mbps vs LTE 2: right of the "V" -> WiFi only.
+        assert best_strategy(GALAXY_S3, 10.0, 2.0) is Strategy.WIFI_ONLY
+
+    def test_best_strategy_tiny_wifi(self):
+        # WiFi 0.05 vs LTE 8: left of the "V" -> cellular only.
+        assert best_strategy(GALAXY_S3, 0.05, 8.0) is Strategy.CELLULAR_ONLY
+
+    def test_best_strategy_inside_v(self):
+        # Table 2 row: LTE 1.0, WiFi between 0.134 and 0.502 -> both.
+        assert best_strategy(GALAXY_S3, 0.3, 1.0) is Strategy.BOTH
+
+    @given(
+        st.floats(min_value=0.1, max_value=25.0),
+        st.floats(min_value=0.1, max_value=25.0),
+    )
+    def test_property_best_strategy_is_minimal(self, wifi, lte):
+        best = best_strategy(GALAXY_S3, wifi, lte)
+        best_cost = per_byte_energy(GALAXY_S3, best, wifi, lte)
+        for strategy in Strategy:
+            assert best_cost <= per_byte_energy(GALAXY_S3, strategy, wifi, lte) + 1e-15
+
+
+class TestDownloadEnergy:
+    def test_fixed_overheads_charged(self):
+        with_fixed = download_energy(
+            GALAXY_S3, Strategy.CELLULAR_ONLY, mib(1), 0.0, 8.0
+        )
+        without = download_energy(
+            GALAXY_S3, Strategy.CELLULAR_ONLY, mib(1), 0.0, 8.0, include_fixed=False
+        )
+        assert with_fixed - without == pytest.approx(
+            GALAXY_S3.fixed_overhead(InterfaceKind.LTE)
+        )
+
+    def test_small_download_prefers_wifi_only(self):
+        """The κ = 1 MB design point: at 1 MB, paying LTE's 12.6 J fixed
+        cost is rarely worth it."""
+        wifi, lte = 4.0, 8.0
+        e_wifi = download_energy(GALAXY_S3, Strategy.WIFI_ONLY, mib(1), wifi, lte)
+        e_both = download_energy(GALAXY_S3, Strategy.BOTH, mib(1), wifi, lte)
+        assert e_wifi < e_both
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(EnergyModelError):
+            download_energy(GALAXY_S3, Strategy.BOTH, 0.0, 1.0, 1.0)
+
+    def test_energy_scales_roughly_linearly_with_size(self):
+        e1 = download_energy(
+            GALAXY_S3, Strategy.WIFI_ONLY, mib(4), 8.0, 8.0, include_fixed=False
+        )
+        e2 = download_energy(
+            GALAXY_S3, Strategy.WIFI_ONLY, mib(8), 8.0, 8.0, include_fixed=False
+        )
+        assert e2 == pytest.approx(2 * e1)
+
+
+class TestRegions:
+    def test_heatmap_shape_and_v_region(self):
+        wifi_grid = [0.25 * i for i in range(1, 41)]
+        lte_grid = [0.25 * i for i in range(1, 41)]
+        grid = efficiency_heatmap(GALAXY_S3, wifi_grid, lte_grid)
+        assert len(grid) == len(lte_grid)
+        assert len(grid[0]) == len(wifi_grid)
+        flat = [v for row in grid for v in row]
+        # The dark V exists: somewhere MPTCP beats the best single path.
+        assert min(flat) < 1.0
+        # And somewhere (fast WiFi, slow LTE) it clearly loses.
+        assert max(flat) > 1.0
+
+    def test_heatmap_wifi_only_wins_on_right_side(self):
+        grid = efficiency_heatmap(GALAXY_S3, [10.0], [1.0])
+        assert grid[0][0] > 1.0
+
+    def test_operating_region_grows_with_download_size(self):
+        """Figure 4: the MPTCP-best region is nested by size."""
+        wifi_grid = [0.2 * i for i in range(1, 31)]
+        lte_grid = [0.5 * i for i in range(1, 25)]
+        small = set(operating_region(GALAXY_S3, mib(1), wifi_grid, lte_grid))
+        medium = set(operating_region(GALAXY_S3, mib(4), wifi_grid, lte_grid))
+        large = set(operating_region(GALAXY_S3, mib(16), wifi_grid, lte_grid))
+        assert small <= medium <= large
+        assert len(large) > len(small)
+
+    def test_region_boundaries_match_region(self):
+        wifi_grid = [0.2 * i for i in range(1, 31)]
+        lte_grid = [1.0, 4.0, 8.0]
+        bounds = region_boundaries(GALAXY_S3, mib(16), wifi_grid, lte_grid)
+        region = operating_region(GALAXY_S3, mib(16), wifi_grid, lte_grid)
+        for wifi, lte in region:
+            lo, hi = bounds[lte]
+            assert lo <= wifi <= hi

@@ -1,0 +1,133 @@
+"""Tests for the integrating energy meter."""
+
+import pytest
+
+from repro.energy.device import GALAXY_S3
+from repro.energy.meter import EnergyMeter
+from repro.energy.rrc import RrcState
+from repro.errors import EnergyModelError
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec
+
+WIFI = InterfaceKind.WIFI
+LTE = InterfaceKind.LTE
+
+
+def make_meter():
+    sim = Simulator()
+    return sim, EnergyMeter(sim, GALAXY_S3)
+
+
+def device_power(rates, rrc_states=None):
+    """Whole-device power as the meter computes it: platform baseline
+    plus the network model."""
+    return GALAXY_S3.baseline_w + GALAXY_S3.total_power(rates, rrc_states or {})
+
+
+def advance(sim, dt):
+    sim.run(until=sim.now + dt)
+
+
+def test_idle_device_consumes_idle_power_only():
+    sim, meter = make_meter()
+    advance(sim, 10.0)
+    idle_power = device_power({})
+    assert meter.checkpoint() == pytest.approx(10.0 * idle_power)
+
+
+def test_transfer_energy_is_power_times_time():
+    sim, meter = make_meter()
+    rate = mbps_to_bytes_per_sec(10.0)
+    meter.set_rate(WIFI, rate)
+    advance(sim, 5.0)
+    meter.set_rate(WIFI, 0.0)
+    expected = 5.0 * device_power({WIFI: rate})
+    assert meter.checkpoint() == pytest.approx(expected)
+
+
+def test_piecewise_integration_across_changes():
+    sim, meter = make_meter()
+    r1 = mbps_to_bytes_per_sec(2.0)
+    r2 = mbps_to_bytes_per_sec(8.0)
+    meter.set_rate(WIFI, r1)
+    advance(sim, 2.0)
+    meter.set_rate(WIFI, r2)
+    advance(sim, 3.0)
+    meter.set_rate(WIFI, 0.0)
+    expected = 2.0 * device_power({WIFI: r1}) + 3.0 * device_power({WIFI: r2})
+    assert meter.checkpoint() == pytest.approx(expected)
+
+
+def test_rrc_state_power_integrated():
+    sim, meter = make_meter()
+    meter.set_rrc_state(LTE, RrcState.TAIL)
+    advance(sim, 4.0)
+    meter.set_rrc_state(LTE, RrcState.IDLE)
+    tail_power = device_power({}, {LTE: RrcState.TAIL})
+    idle_power = device_power({})
+    assert tail_power > idle_power
+    assert meter.checkpoint() == pytest.approx(4.0 * tail_power)
+
+
+def test_add_rate_accumulates_flows():
+    sim, meter = make_meter()
+    meter.add_rate(WIFI, 100.0)
+    meter.add_rate(WIFI, 50.0)
+    assert meter.rate(WIFI) == pytest.approx(150.0)
+    meter.add_rate(WIFI, -150.0)
+    assert meter.rate(WIFI) == 0.0
+
+
+def test_add_rate_negative_aggregate_rejected():
+    _sim, meter = make_meter()
+    with pytest.raises(EnergyModelError):
+        meter.add_rate(WIFI, -10.0)
+
+
+def test_one_shot_energy():
+    sim, meter = make_meter()
+    meter.add_one_shot(2.5)
+    assert meter.total_energy == pytest.approx(2.5)
+    with pytest.raises(EnergyModelError):
+        meter.add_one_shot(-1.0)
+
+
+def test_total_energy_includes_pending_interval():
+    sim, meter = make_meter()
+    rate = mbps_to_bytes_per_sec(10.0)
+    meter.set_rate(WIFI, rate)
+    advance(sim, 5.0)
+    # No checkpoint: total_energy must still reflect elapsed time.
+    expected = 5.0 * device_power({WIFI: rate})
+    assert meter.total_energy == pytest.approx(expected)
+
+
+def test_energy_series_is_monotone():
+    sim, meter = make_meter()
+    meter.set_rate(WIFI, 100.0)
+    advance(sim, 1.0)
+    meter.set_rate(WIFI, 200.0)
+    advance(sim, 1.0)
+    meter.checkpoint()
+    values = meter.energy_series.values
+    assert values == sorted(values)
+
+
+def test_overlap_saving_visible_in_meter():
+    sim, meter = make_meter()
+    r = mbps_to_bytes_per_sec(5.0)
+    meter.set_rate(WIFI, r)
+    p_single = meter.power
+    meter.set_rate(LTE, r)
+    p_both = meter.power
+    wifi_alone = GALAXY_S3.interface_power(WIFI, r)
+    lte_alone = GALAXY_S3.interface_power(LTE, r)
+    idle_3g = GALAXY_S3.interfaces[InterfaceKind.THREEG].idle_w
+    base = GALAXY_S3.baseline_w
+    assert p_single == pytest.approx(
+        base + wifi_alone + GALAXY_S3.interfaces[LTE].idle_w + idle_3g
+    )
+    assert p_both == pytest.approx(
+        base + wifi_alone + lte_alone + idle_3g - GALAXY_S3.overlap_saving_w
+    )

@@ -1,0 +1,127 @@
+"""Tests for interface power models and device profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.device import DEVICES, GALAXY_S3, NEXUS_5
+from repro.energy.power import InterfacePower
+from repro.energy.rrc import RrcState
+from repro.errors import EnergyModelError
+from repro.net.interface import InterfaceKind
+from repro.units import mbps_to_bytes_per_sec
+
+
+class TestInterfacePower:
+    def test_linear_in_throughput(self):
+        p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
+        assert p.active_power_mbps(0.0) == pytest.approx(0.5)
+        assert p.active_power_mbps(10.0) == pytest.approx(1.5)
+
+    def test_bytes_per_sec_matches_mbps(self):
+        p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
+        assert p.active_power(mbps_to_bytes_per_sec(4.0)) == pytest.approx(
+            p.active_power_mbps(4.0)
+        )
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(EnergyModelError):
+            InterfacePower(base_w=-1.0, per_mbps_w=0.1)
+
+    def test_idle_above_base_rejected(self):
+        with pytest.raises(EnergyModelError):
+            InterfacePower(base_w=0.1, per_mbps_w=0.0, idle_w=0.2)
+
+    def test_negative_rate_rejected(self):
+        p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
+        with pytest.raises(EnergyModelError):
+            p.active_power(-1.0)
+
+
+class TestDeviceProfile:
+    def test_registry_has_both_devices(self):
+        assert set(DEVICES) == {"galaxy-s3", "nexus-5"}
+
+    def test_transfer_power_uses_linear_model(self):
+        p = GALAXY_S3.interface_power(
+            InterfaceKind.WIFI, mbps_to_bytes_per_sec(10.0)
+        )
+        assert p == pytest.approx(0.500 + 10 * 0.100)
+
+    def test_idle_cellular_power_by_rrc_state(self):
+        lte = InterfaceKind.LTE
+        promo = GALAXY_S3.interface_power(lte, 0.0, RrcState.PROMOTING)
+        tail = GALAXY_S3.interface_power(lte, 0.0, RrcState.TAIL)
+        idle = GALAXY_S3.interface_power(lte, 0.0, RrcState.IDLE)
+        assert promo == pytest.approx(1.21)
+        assert tail == pytest.approx(1.06)
+        assert idle == pytest.approx(GALAXY_S3.interfaces[lte].idle_w)
+
+    def test_overlap_saving_applies_only_with_two_radios(self):
+        rate = mbps_to_bytes_per_sec(5.0)
+        idle_3g = GALAXY_S3.interfaces[InterfaceKind.THREEG].idle_w
+        idle_lte = GALAXY_S3.interfaces[InterfaceKind.LTE].idle_w
+        wifi_active = GALAXY_S3.interface_power(InterfaceKind.WIFI, rate)
+        lte_active = GALAXY_S3.interface_power(InterfaceKind.LTE, rate)
+        p_one = GALAXY_S3.total_power({InterfaceKind.WIFI: rate})
+        assert p_one == pytest.approx(wifi_active + idle_lte + idle_3g)
+        p_two = GALAXY_S3.total_power(
+            {InterfaceKind.WIFI: rate, InterfaceKind.LTE: rate}
+        )
+        assert p_two == pytest.approx(
+            wifi_active + lte_active + idle_3g - GALAXY_S3.overlap_saving_w
+        )
+
+    def test_total_power_never_negative(self):
+        assert GALAXY_S3.total_power({}) >= 0.0
+
+    def test_fixed_overheads_match_figure1(self):
+        """Figure 1's bar heights, within 10%."""
+        targets = [
+            (GALAXY_S3, InterfaceKind.WIFI, 0.15),
+            (GALAXY_S3, InterfaceKind.THREEG, 6.4),
+            (GALAXY_S3, InterfaceKind.LTE, 12.0),
+            (NEXUS_5, InterfaceKind.WIFI, 0.06),
+            (NEXUS_5, InterfaceKind.THREEG, 7.5),
+            (NEXUS_5, InterfaceKind.LTE, 12.5),
+        ]
+        for profile, kind, expected in targets:
+            assert profile.fixed_overhead(kind) == pytest.approx(expected, rel=0.10)
+
+    def test_lte_base_power_exceeds_wifi(self):
+        """The premise of the whole paper: the cellular radio is the
+        expensive one."""
+        for profile in DEVICES.values():
+            assert (
+                profile.interfaces[InterfaceKind.LTE].base_w
+                > profile.interfaces[InterfaceKind.WIFI].base_w
+            )
+
+    def test_unknown_interface_rejected(self):
+        from repro.energy.device import DeviceProfile
+        from repro.energy.power import InterfacePower
+
+        profile = DeviceProfile(
+            name="t",
+            interfaces={InterfaceKind.WIFI: InterfacePower(0.5, 0.1)},
+            rrc={},
+            overlap_saving_w=0.0,
+            wifi_activation_j=0.0,
+        )
+        with pytest.raises(EnergyModelError):
+            profile.interface_power(InterfaceKind.LTE, 0.0)
+
+    def test_table1_metadata_present(self):
+        assert GALAXY_S3.spec.wifi_chipset == "Broadcom BCM4334"
+        assert NEXUS_5.spec.android_version == "4.4.4 (KitKat)"
+
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_property_total_power_monotone_in_rates(self, w1, w2):
+        """More throughput never costs less power."""
+        lo, hi = sorted([w1, w2])
+        rates_lo = {InterfaceKind.WIFI: mbps_to_bytes_per_sec(lo)}
+        rates_hi = {InterfaceKind.WIFI: mbps_to_bytes_per_sec(hi)}
+        assert GALAXY_S3.total_power(rates_hi) >= GALAXY_S3.total_power(rates_lo)

@@ -1,0 +1,123 @@
+"""Tests for the cellular RRC state machine."""
+
+import pytest
+
+from repro.energy.device import GALAXY_S3
+from repro.energy.rrc import RrcMachine, RrcParams, RrcState
+from repro.errors import EnergyModelError
+from repro.sim.engine import Simulator
+
+PARAMS = RrcParams(
+    promotion_time=0.5,
+    promotion_power_w=1.2,
+    tail_time=10.0,
+    tail_power_w=1.0,
+    active_hold=0.2,
+)
+
+
+def make_machine():
+    sim = Simulator()
+    return sim, RrcMachine(sim, PARAMS)
+
+
+def test_starts_idle():
+    _sim, machine = make_machine()
+    assert machine.state is RrcState.IDLE
+    assert machine.is_idle
+
+
+def test_activity_from_idle_promotes_with_latency():
+    sim, machine = make_machine()
+    latency = machine.on_activity(sim.now)
+    assert latency == pytest.approx(0.5)
+    assert machine.state is RrcState.PROMOTING
+    assert machine.promotions == 1
+
+
+def test_promotion_completes_into_active():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=0.5)
+    assert machine.state is RrcState.ACTIVE
+
+
+def test_activity_during_promotion_returns_remaining_time():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=0.2)
+    assert machine.on_activity(sim.now) == pytest.approx(0.3)
+    assert machine.promotions == 1  # no double promotion
+
+
+def test_inactivity_enters_tail_then_idle():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=0.5)  # promoted
+    sim.run(until=0.5 + 0.2 + 0.01)  # hold expires
+    assert machine.state is RrcState.TAIL
+    sim.run(until=0.5 + 0.2 + 10.0 + 0.01)
+    assert machine.state is RrcState.IDLE
+
+
+def test_activity_during_tail_reactivates_without_promotion():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=2.0)  # in tail by now
+    assert machine.state is RrcState.TAIL
+    assert machine.on_activity(sim.now) == 0.0
+    assert machine.state is RrcState.ACTIVE
+    assert machine.promotions == 1
+
+
+def test_continuous_activity_stays_active():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=0.5)
+    for i in range(50):
+        sim.run(until=0.5 + 0.1 * (i + 1))
+        machine.on_activity(sim.now)
+    assert machine.state is RrcState.ACTIVE
+
+
+def test_state_listeners_see_full_cycle():
+    sim, machine = make_machine()
+    states = []
+    machine.on_state_change(lambda _t, s: states.append(s))
+    machine.on_activity(sim.now)
+    sim.run(until=30.0)
+    assert states == [
+        RrcState.PROMOTING,
+        RrcState.ACTIVE,
+        RrcState.TAIL,
+        RrcState.IDLE,
+    ]
+
+
+def test_fixed_overhead_joules():
+    assert PARAMS.fixed_overhead_joules == pytest.approx(0.5 * 1.2 + 10.0 * 1.0)
+
+
+def test_second_cycle_promotes_again():
+    sim, machine = make_machine()
+    machine.on_activity(sim.now)
+    sim.run(until=30.0)
+    assert machine.is_idle
+    latency = machine.on_activity(sim.now)
+    assert latency == pytest.approx(0.5)
+    assert machine.promotions == 2
+
+
+def test_galaxy_s3_lte_fixed_overhead_matches_figure1():
+    """The S3's LTE promotion + tail cycle costs ~12.6 J."""
+    from repro.net.interface import InterfaceKind
+
+    params = GALAXY_S3.rrc[InterfaceKind.LTE]
+    assert params.fixed_overhead_joules == pytest.approx(12.59, rel=0.01)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(EnergyModelError):
+        RrcParams(-1.0, 1.0, 1.0, 1.0)
+    with pytest.raises(EnergyModelError):
+        RrcParams(1.0, -1.0, 1.0, 1.0)

@@ -1,0 +1,38 @@
+"""Every example script must run clean — they are the documentation's
+executable half."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_the_expected_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "flaky_cafe_wifi.py",
+        "commuter_walk.py",
+        "web_browsing.py",
+        "video_streaming.py",
+        "custom_device.py",
+        "two_engines.py",
+        "measure_and_fit.py",
+    } <= names

@@ -1,0 +1,210 @@
+"""Tests for the per-figure experiment modules (construction, helpers,
+normalisation) — the heavy end-to-end shapes live in
+test_paper_shapes.py."""
+
+import math
+
+import pytest
+
+from repro.experiments import background as bg
+from repro.experiments import comparisons, mobility, overheads, random_bw, regions
+from repro.experiments import static_bw, wild
+from repro.experiments.runner import run_scenario
+from repro.units import bytes_per_sec_to_mbps, mib
+from repro.workloads.wild import WildSampler
+
+
+class TestStaticBw:
+    def test_scenario_rates(self):
+        good = static_bw.static_scenario(True)
+        bad = static_bw.static_scenario(False)
+        assert good.name == "static-good-wifi"
+        assert bad.name == "static-bad-wifi"
+        import random
+
+        assert bytes_per_sec_to_mbps(
+            good.wifi_capacity(random.Random(0)).rate
+        ) == pytest.approx(static_bw.GOOD_WIFI_MBPS)
+        assert bytes_per_sec_to_mbps(
+            bad.wifi_capacity(random.Random(0)).rate
+        ) == pytest.approx(static_bw.BAD_WIFI_MBPS)
+
+    def test_run_static_shape(self):
+        results = static_bw.run_static(
+            True, runs=2, download_bytes=mib(2), protocols=("tcp-wifi",)
+        )
+        assert set(results) == {"tcp-wifi"}
+        assert len(results["tcp-wifi"]) == 2
+
+
+class TestRandomBw:
+    def test_paired_seeds_share_bandwidth_path(self):
+        """Two instantiations with the same seed see the same on/off
+        sample path (the bandwidth stream is keyed independently of the
+        protocol), so protocol comparisons are paired."""
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+
+        scenario = random_bw.random_bw_scenario(download_bytes=mib(4))
+
+        def flips():
+            sim = Simulator()
+            cap = scenario.wifi_capacity(RandomStreams(5).stream("wifi-capacity"))
+            events = []
+            cap.attach(sim)
+            cap.on_change(lambda t, r: events.append((t, r)))
+            sim.run(until=500.0)
+            return events
+
+        assert flips() == flips()
+
+    def test_example_trace_covers_protocols(self):
+        traces = random_bw.example_trace(download_bytes=mib(4))
+        assert set(traces) == set(random_bw.PROTOCOLS)
+
+
+class TestBackground:
+    def test_normalize_to_mptcp(self):
+        results = bg.run_background(
+            configs=((0.05, 2),), runs=1, download_bytes=mib(4)
+        )
+        rows = bg.normalize_to_mptcp(results)
+        protocols = {r.protocol for r in rows}
+        assert "mptcp" not in protocols  # baseline omitted
+        assert all(r.energy_pct > 0 for r in rows)
+
+    def test_interferers_attached(self):
+        scenario = bg.background_scenario(3, 0.025, download_bytes=mib(2))
+        result = run_scenario("tcp-wifi", scenario, seed=0)
+        # Contention must slow things down vs a clean channel.
+        clean = run_scenario(
+            "tcp-wifi",
+            bg.background_scenario(0, 0.025, download_bytes=mib(2)),
+            seed=0,
+        )
+        assert result.download_time >= clean.download_time
+
+
+class TestMobility:
+    def test_capacity_trace_shape(self):
+        trace = mobility.mobility_capacity_trace()
+        assert trace[0][0] == 0.0
+        rates = [r for _t, r in trace]
+        assert max(rates) > 0
+        assert min(rates) >= 0
+
+    def test_fixed_duration_run(self):
+        scenario = mobility.mobility_scenario(duration=30.0)
+        result = run_scenario("tcp-wifi", scenario, seed=0)
+        assert result.download_time is None
+        assert result.bytes_received > 0
+
+
+class TestWild:
+    def test_collect_traces_categorises(self):
+        traces = wild.collect_traces(
+            wild.SMALL_BYTES, n_environments=4, protocols=("tcp-wifi",)
+        )
+        assert len(traces) == 4
+        for trace in traces:
+            assert trace.category is not None
+            assert "tcp-wifi" in trace.results
+
+    def test_whiskers_by_category_structure(self):
+        traces = wild.collect_traces(
+            wild.SMALL_BYTES, n_environments=6, protocols=("tcp-wifi",)
+        )
+        summaries = wild.whiskers_by_category(traces, "energy_j")
+        for by_protocol in summaries.values():
+            assert set(by_protocol) == {"tcp-wifi"}
+
+    def test_environment_scenario_non_fluctuating_is_constant(self):
+        env = WildSampler(seed=9).sample()
+        scenario = wild.environment_scenario(env, mib(1), fluctuating=False)
+        import random
+
+        cap = scenario.wifi_capacity(random.Random(0))
+        assert bytes_per_sec_to_mbps(cap.rate) == pytest.approx(env.wifi_mbps)
+
+    def test_scatter_points_fields(self):
+        traces = wild.collect_traces(
+            wild.SMALL_BYTES, n_environments=3, protocols=("tcp-wifi",)
+        )
+        for point in wild.scatter_points(traces):
+            assert {"wifi_mbps", "lte_mbps", "category"} <= set(point)
+
+
+class TestRegions:
+    def test_table2_rows_order(self):
+        rows = regions.table2_rows()
+        assert [r.cell_mbps for r in rows] == list(regions.TABLE2_LTE_ROWS)
+
+    def test_figure3_heatmap_dimensions(self):
+        wifi, lte, grid = regions.figure3_heatmap(step=1.0, max_mbps=5.0)
+        assert len(wifi) == 5
+        assert len(grid) == 5 and len(grid[0]) == 5
+        assert all(all(v > 0 or math.isinf(v) for v in row) for row in grid)
+
+    def test_figure4_regions_keys(self):
+        out = regions.figure4_regions(step=0.5, max_wifi=4.0, max_lte=8.0)
+        assert set(out) == {"1MB", "4MB", "16MB"}
+
+
+class TestOverheads:
+    def test_fixed_overheads_cover_both_devices(self):
+        rows = overheads.fixed_overheads()
+        devices = {d for d, _i, _j in rows}
+        assert devices == {"Samsung Galaxy S3", "LG Nexus 5"}
+        # wifi + 3g + lte per device
+        assert len(rows) == 6
+
+    def test_measured_matches_closed_form(self):
+        from repro.energy.device import GALAXY_S3
+        from repro.net.interface import InterfaceKind
+
+        measured = overheads.measured_fixed_overhead(GALAXY_S3, InterfaceKind.LTE)
+        assert measured == pytest.approx(
+            GALAXY_S3.fixed_overhead(InterfaceKind.LTE), rel=0.01
+        )
+
+
+class TestComparisons:
+    def test_mdp_policy_actions_wifi_only(self):
+        from repro.baselines.mdp import MdpAction
+
+        assert comparisons.mdp_policy_actions() == [MdpAction.WIFI]
+
+
+class TestWildGrid:
+    def test_grid_covers_all_site_server_combinations(self):
+        from repro.experiments import wild
+        from repro.net.host import WILD_SERVERS
+        from repro.workloads.wild import CLIENT_SITES
+
+        traces = wild.collect_traces_grid(
+            wild.SMALL_BYTES, iterations=1, protocols=("tcp-wifi",)
+        )
+        combos = {(t.environment.site.name, t.environment.server.name) for t in traces}
+        assert len(traces) == len(CLIENT_SITES) * len(WILD_SERVERS)
+        assert len(combos) == len(traces)
+
+    def test_grid_iterations_multiply(self):
+        from repro.experiments import wild
+
+        traces = wild.collect_traces_grid(
+            wild.SMALL_BYTES, iterations=2, protocols=("tcp-wifi",)
+        )
+        assert len(traces) == 9 * 2
+
+    def test_grid_deterministic(self):
+        from repro.experiments import wild
+
+        a = wild.collect_traces_grid(
+            wild.SMALL_BYTES, iterations=1, protocols=("tcp-wifi",)
+        )
+        b = wild.collect_traces_grid(
+            wild.SMALL_BYTES, iterations=1, protocols=("tcp-wifi",)
+        )
+        assert [t.environment.wifi_mbps for t in a] == [
+            t.environment.wifi_mbps for t in b
+        ]

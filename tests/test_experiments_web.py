@@ -1,0 +1,98 @@
+"""Tests for the web-browsing experiment (§5.4)."""
+
+import pytest
+
+from repro.experiments.web import (
+    PROTOCOLS,
+    WebPageFetch,
+    run_web,
+)
+from repro.workloads.web import WebPage, cnn_like_page
+
+
+@pytest.fixture(scope="module")
+def small_page():
+    # 20 objects keeps per-test wall time low while exercising the
+    # dispatcher fully.
+    full = cnn_like_page()
+    return WebPage(full.object_sizes[:20])
+
+
+class TestRunWeb:
+    def test_all_protocols_fetch_the_page(self, small_page):
+        for protocol in PROTOCOLS:
+            result = run_web(protocol, page=small_page, seed=1)
+            assert result.latency > 0
+            assert result.energy_j > 0
+            assert result.objects == 20
+
+    def test_emptcp_never_uses_lte_for_small_objects(self, small_page):
+        """§5.4: all objects < 256 KB -> eMPTCP stays on WiFi."""
+        result = run_web("emptcp", page=small_page, seed=1)
+        assert result.lte_bytes == 0.0
+
+    def test_mptcp_pays_lte_energy(self, small_page):
+        """MPTCP opens 2 subflows per connection; even with little LTE
+        payload the promotion/tail cost shows up (Figure 17)."""
+        mptcp = run_web("mptcp", page=small_page, seed=1)
+        emptcp = run_web("emptcp", page=small_page, seed=1)
+        assert mptcp.energy_j > emptcp.energy_j * 1.3
+
+    def test_emptcp_latency_close_to_mptcp(self, small_page):
+        """Figure 17(b): similar latency despite far less energy."""
+        mptcp = run_web("mptcp", page=small_page, seed=1)
+        emptcp = run_web("emptcp", page=small_page, seed=1)
+        assert emptcp.latency <= mptcp.latency * 1.4
+
+    def test_tcp_wifi_similar_to_emptcp(self, small_page):
+        tcp = run_web("tcp-wifi", page=small_page, seed=1)
+        emptcp = run_web("emptcp", page=small_page, seed=1)
+        assert emptcp.energy_j == pytest.approx(tcp.energy_j, rel=0.3)
+
+    def test_connection_count_respected(self, small_page):
+        result = run_web("tcp-wifi", page=small_page, seed=1, n_connections=3)
+        assert result.connections == 3
+
+
+class TestDispatcher:
+    def test_all_objects_dispatched_across_connections(self, small_page):
+        """More objects than connections: every connection pulls from
+        the shared queue until the page drains."""
+        from repro.sim.engine import Simulator
+        from repro.experiments.web import WebPageFetch
+        from tests.helpers import make_path, rng
+        from repro.baselines.single_path import SinglePathTcp
+        from repro.net.interface import InterfaceKind
+
+        sim = Simulator()
+        path = make_path(sim, InterfaceKind.WIFI, mbps=20.0)
+
+        def make_connection(source, _i):
+            return SinglePathTcp(sim, path, source, rng=rng())
+
+        fetch = WebPageFetch(sim, small_page, make_connection, n_connections=4)
+        fetch.start()
+        sim.run(until=120.0)
+        assert fetch.done
+        assert fetch.objects_done == len(small_page)
+        per_conn = [w.objects_done for w in fetch.workers]
+        assert sum(per_conn) == len(small_page)
+        assert all(n > 0 for n in per_conn)
+
+    def test_fewer_objects_than_connections(self):
+        from repro.sim.engine import Simulator
+        from tests.helpers import make_path, rng
+        from repro.baselines.single_path import SinglePathTcp
+        from repro.net.interface import InterfaceKind
+
+        page = WebPage([10_000.0, 20_000.0])
+        sim = Simulator()
+        path = make_path(sim, InterfaceKind.WIFI, mbps=20.0)
+
+        def make_connection(source, _i):
+            return SinglePathTcp(sim, path, source, rng=rng())
+
+        fetch = WebPageFetch(sim, page, make_connection, n_connections=6)
+        fetch.start()
+        sim.run(until=60.0)
+        assert fetch.done

@@ -1,0 +1,71 @@
+"""Tests for result export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    results_to_csv,
+    results_to_json,
+    run_result_to_dict,
+    timeseries_to_csv,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.static_bw import static_scenario
+from repro.sim.trace import TimeSeries
+from repro.units import mib
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario("emptcp", static_scenario(True, download_bytes=mib(2)))
+
+
+class TestTimeseriesCsv:
+    def test_merges_on_union_of_times(self):
+        a = TimeSeries("a")
+        a.record(0.0, 1.0)
+        a.record(2.0, 2.0)
+        b = TimeSeries("b")
+        b.record(1.0, 10.0)
+        out = timeseries_to_csv([a, b])
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows[0] == ["time_s", "a", "b"]
+        assert len(rows) == 4  # header + t=0,1,2
+        # b has no sample at t=0 -> empty cell.
+        assert rows[1][2] == ""
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            timeseries_to_csv([])
+
+
+class TestRunResultExport:
+    def test_dict_summary_fields(self, result):
+        d = run_result_to_dict(result)
+        assert d["protocol"] == "emptcp"
+        assert d["energy_j"] == pytest.approx(result.energy_j)
+        assert "energy_series" not in d
+
+    def test_dict_with_series(self, result):
+        d = run_result_to_dict(result, include_series=True)
+        assert len(d["energy_series"]) == len(result.energy_series)
+
+    def test_json_round_trip(self, result):
+        text = results_to_json([result, result])
+        parsed = json.loads(text)
+        assert len(parsed) == 2
+        assert parsed[0]["scenario"] == "static-good-wifi"
+
+    def test_csv_has_one_row_per_result(self, result):
+        out = results_to_csv([result, result, result])
+        rows = list(csv.reader(io.StringIO(out)))
+        assert len(rows) == 4
+        assert "energy_j" in rows[0]
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            results_to_csv([])

@@ -1,0 +1,65 @@
+"""Tests for the handover experiment and stall/idle semantics."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.experiments.handover import (
+    DEFAULT_OUTAGES,
+    run_handover,
+    run_handover_comparison,
+)
+from repro.errors import SimulationError
+from repro.net.bandwidth import PiecewiseTraceCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource, TcpConnection
+from repro.units import mib
+
+
+class TestStallSemantics:
+    def test_stalled_connection_still_counts_as_sending(self):
+        """A flow waiting out a zero-capacity path is *trying* to send;
+        eMPTCP's idle check must not classify it as idle."""
+        sim = Simulator()
+        cap = PiecewiseTraceCapacity([(0.0, 500_000.0), (2.0, 0.0)])
+        path = NetworkPath(NetworkInterface(InterfaceKind.WIFI), cap, base_rtt=0.05)
+        path.attach(sim)
+        conn = TcpConnection(sim, path, FiniteSource(mib(8)), rng=rng())
+        conn.connect()
+        sim.run(until=3.0)
+        assert path.total_available_rate() == 0.0
+        assert conn.sending  # stalled with a retry pending
+
+
+class TestHandover:
+    def test_all_protocols_survive_outages(self):
+        results = run_handover_comparison(download_bytes=mib(16))
+        for protocol, result in results.items():
+            assert result.download_time is not None, protocol
+            assert result.bytes_received == pytest.approx(mib(16))
+
+    def test_emptcp_activates_lte_during_outage(self):
+        result = run_handover("emptcp", download_bytes=mib(16))
+        assert result.subflows == 2
+        assert result.lte_bytes > 0
+
+    def test_wifi_first_fails_over_on_dissociation(self):
+        result = run_handover("wifi-first", download_bytes=mib(16))
+        assert result.lte_bytes > 0
+
+    def test_single_path_mode_opens_second_subflow(self):
+        result = run_handover("single-path-mode", download_bytes=mib(16))
+        assert result.subflows == 2
+        assert result.lte_bytes > 0
+
+    def test_no_outage_means_no_lte_for_wifi_first(self):
+        result = run_handover("wifi-first", download_bytes=mib(8), outages=())
+        assert result.lte_bytes == 0.0
+
+    def test_invalid_outage_rejected(self):
+        with pytest.raises(SimulationError):
+            run_handover("mptcp", outages=((5.0, 5.0),))
+
+    def test_default_outage_script_shape(self):
+        assert all(up > down for down, up in DEFAULT_OUTAGES)

@@ -1,0 +1,211 @@
+"""Tests for the MPTCP connection: modes, joins, MP_PRIO, completion."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.errors import ProtocolError
+from repro.mptcp.connection import MptcpMode, MPTCPConnection
+from repro.mptcp.options import MpCapable, MpJoin, MpPrio
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+
+
+def make_mptcp(sim, size=4_000_000.0, wifi_mbps=8.0, lte_mbps=8.0, **kwargs):
+    wifi = make_path(sim, InterfaceKind.WIFI, mbps=wifi_mbps, rtt=0.04)
+    lte = make_path(sim, InterfaceKind.LTE, mbps=lte_mbps, rtt=0.07)
+    source = FiniteSource(size)
+    conn = MPTCPConnection(
+        sim, wifi, source, secondary_paths=[lte], rng=rng(), **kwargs
+    )
+    return conn, source, wifi, lte
+
+
+class TestFullMode:
+    def test_uses_both_subflows(self):
+        sim = Simulator()
+        conn, source, _w, _l = make_mptcp(sim)
+        conn.open()
+        sim.run(until=30.0)
+        assert source.exhausted
+        assert len(conn.subflows) == 2
+        assert all(sf.bytes_delivered > 0 for sf in conn.subflows)
+
+    def test_aggregate_faster_than_single_path(self):
+        size = 8_000_000.0
+        sim1 = Simulator()
+        conn1, _, _, _ = make_mptcp(sim1, size=size)
+        conn1.open()
+        sim1.run(until=60.0)
+
+        sim2 = Simulator()
+        wifi = make_path(sim2, InterfaceKind.WIFI, mbps=8.0, rtt=0.04)
+        from repro.baselines.single_path import SinglePathTcp
+
+        single = SinglePathTcp(sim2, wifi, FiniteSource(size), rng=rng())
+        single.open()
+        sim2.run(until=60.0)
+        assert conn1.completed_at < single.completed_at
+
+    def test_option_log_records_capable_and_join(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim)
+        conn.open()
+        sim.run(until=5.0)
+        kinds = [type(o) for o in conn.option_log]
+        assert kinds[0] is MpCapable
+        assert MpJoin in kinds
+
+    def test_completion_fires_once_with_time(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=500_000.0)
+        seen = []
+        conn.on_complete(lambda c: seen.append(sim.now))
+        conn.open()
+        sim.run(until=30.0)
+        assert len(seen) == 1
+        assert conn.completed_at == seen[0]
+
+    def test_bytes_received_matches_size(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=1_000_000.0)
+        conn.open()
+        sim.run(until=30.0)
+        assert conn.bytes_received == pytest.approx(1_000_000.0)
+
+    def test_double_open_rejected(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim)
+        conn.open()
+        with pytest.raises(ProtocolError):
+            conn.open()
+
+    def test_duplicate_path_join_rejected(self):
+        sim = Simulator()
+        conn, _, _w, lte = make_mptcp(sim, auto_join=False)
+        conn.open()
+        sim.run(until=1.0)
+        conn.add_subflow(lte)
+        with pytest.raises(ProtocolError):
+            conn.add_subflow(lte)
+
+    def test_subflow_for_lookup(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim)
+        conn.open()
+        sim.run(until=1.0)
+        assert conn.subflow_for(InterfaceKind.WIFI).interface_kind.is_wifi
+        assert conn.subflow_for(InterfaceKind.LTE).interface_kind.is_cellular
+        assert conn.subflow_for(InterfaceKind.THREEG) is None
+
+
+class TestDeferredJoin:
+    def test_no_auto_join(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, auto_join=False)
+        conn.open()
+        sim.run(until=2.0)
+        assert len(conn.subflows) == 1
+
+    def test_manual_join_later(self):
+        sim = Simulator()
+        conn, source, _w, lte = make_mptcp(sim, auto_join=False, size=20_000_000.0)
+        conn.open()
+        sim.run(until=2.0)
+        conn.add_subflow(lte)
+        sim.run(until=60.0)
+        assert source.exhausted
+        assert conn.subflow_for(InterfaceKind.LTE).bytes_delivered > 0
+
+
+class TestMpPrio:
+    def test_suspend_and_resume_via_mp_prio(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=50_000_000.0)
+        conn.open()
+        sim.run(until=2.0)
+        lte_sf = conn.subflow_for(InterfaceKind.LTE)
+        conn.set_low_priority(lte_sf, low=True)
+        assert lte_sf.suspended
+        prio_events = [o for o in conn.option_log if isinstance(o, MpPrio)]
+        assert prio_events[-1].low is True
+        conn.set_low_priority(lte_sf, low=False)
+        assert not lte_sf.suspended
+        prio_events = [o for o in conn.option_log if isinstance(o, MpPrio)]
+        assert prio_events[-1].low is False
+
+    def test_unknown_subflow_rejected(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim)
+        conn.open()
+        sim.run(until=1.0)
+        other_sim = Simulator()
+        other, _, _, _ = make_mptcp(other_sim)
+        other.open()
+        other_sim.run(until=1.0)
+        with pytest.raises(ProtocolError):
+            conn.set_low_priority(other.subflows[0], low=True)
+
+    def test_reuse_reset_rtt_flag(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=50_000_000.0, reuse_reset_rtt=True)
+        conn.open()
+        sim.run(until=2.0)
+        lte_sf = conn.subflow_for(InterfaceKind.LTE)
+        conn.set_low_priority(lte_sf, low=True)
+        sim.run(until=3.0)
+        conn.set_low_priority(lte_sf, low=False)
+        assert lte_sf.effective_rtt == 0.0
+
+
+class TestBackupMode:
+    def test_backup_subflow_idle_until_activated(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, mode=MptcpMode.BACKUP, size=20_000_000.0)
+        conn.open()
+        sim.run(until=5.0)
+        lte_sf = conn.subflow_for(InterfaceKind.LTE)
+        assert lte_sf.established
+        assert lte_sf.suspended
+        assert lte_sf.bytes_delivered == 0.0
+        conn.set_low_priority(lte_sf, low=False)
+        sim.run(until=10.0)
+        assert lte_sf.bytes_delivered > 0
+
+
+class TestSinglePathMode:
+    def test_only_primary_initially(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, mode=MptcpMode.SINGLE_PATH, size=2e7)
+        conn.open()
+        sim.run(until=3.0)
+        assert len(conn.subflows) == 1
+
+    def test_failover_when_wifi_goes_down(self):
+        sim = Simulator()
+        conn, source, wifi, _lte = make_mptcp(
+            sim, mode=MptcpMode.SINGLE_PATH, size=20_000_000.0
+        )
+        conn.open()
+        sim.run(until=3.0)
+        wifi.interface.up = False  # AP disassociation
+        sim.run(until=40.0)
+        assert len(conn.subflows) == 2
+        assert source.exhausted
+        assert conn.subflow_for(InterfaceKind.LTE).bytes_delivered > 0
+
+
+class TestIdleDetection:
+    def test_idle_after_transfer_completes(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=300_000.0)
+        conn.open()
+        sim.run(until=30.0)
+        assert conn.is_idle
+
+    def test_not_idle_mid_transfer(self):
+        sim = Simulator()
+        conn, _, _, _ = make_mptcp(sim, size=50_000_000.0)
+        conn.open()
+        sim.run(until=5.0)
+        assert not conn.is_idle

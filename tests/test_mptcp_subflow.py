@@ -1,0 +1,205 @@
+"""Tests for subflows, schedulers, and LIA coupling."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.errors import ProtocolError
+from repro.mptcp.coupled import LiaCoupling
+from repro.mptcp.scheduler import MinRttScheduler, RoundRobinScheduler
+from repro.mptcp.subflow import Subflow, SubflowPriority
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+
+
+def make_subflow(sim, kind=InterfaceKind.WIFI, mbps=8.0, size=5_000_000.0, **kwargs):
+    path = make_path(sim, kind=kind, mbps=mbps)
+    source = FiniteSource(size)
+    return Subflow(sim, path, source, rng=rng(), **kwargs), source
+
+
+class TestSubflowLifecycle:
+    def test_establish_and_transfer(self):
+        sim = Simulator()
+        subflow, source = make_subflow(sim, size=500_000.0)
+        subflow.establish()
+        sim.run(until=10.0)
+        assert subflow.established
+        assert source.exhausted
+        assert subflow.bytes_delivered == pytest.approx(500_000.0)
+
+    def test_interface_kind_exposed(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim, kind=InterfaceKind.LTE)
+        assert subflow.interface_kind is InterfaceKind.LTE
+
+    def test_suspend_before_establish_rejected(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        with pytest.raises(ProtocolError):
+            subflow.suspend()
+
+    def test_suspend_stops_transfer(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        subflow.establish()
+        sim.run(until=1.0)
+        subflow.suspend()
+        assert subflow.suspended
+        assert subflow.priority is SubflowPriority.LOW
+        sim.run(until=1.5)
+        delivered = subflow.bytes_delivered
+        sim.run(until=3.0)
+        assert subflow.bytes_delivered == delivered
+
+    def test_resume_restores_transfer(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        subflow.establish()
+        sim.run(until=1.0)
+        subflow.suspend()
+        sim.run(until=2.0)
+        subflow.resume()
+        sim.run(until=3.0)
+        assert not subflow.suspended
+        assert subflow.sending or subflow.bytes_delivered > 0
+
+    def test_resume_with_rtt_reset(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        subflow.establish()
+        sim.run(until=1.0)
+        subflow.suspend()
+        subflow.resume(reset_rtt=True)
+        assert subflow.effective_rtt == 0.0
+
+    def test_suspend_resume_counters(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        subflow.establish()
+        sim.run(until=1.0)
+        subflow.suspend()
+        subflow.suspend()  # idempotent
+        subflow.resume()
+        assert subflow.suspend_count == 1
+        assert subflow.resume_count == 1
+
+    def test_backup_subflow_establishes_paused(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        subflow.priority = SubflowPriority.BACKUP
+        subflow.establish()
+        sim.run(until=2.0)
+        assert subflow.established
+        assert subflow.suspended
+        assert subflow.bytes_delivered == 0.0
+
+    def test_usable_requires_established_unsuspended_up(self):
+        sim = Simulator()
+        subflow, _ = make_subflow(sim)
+        assert not subflow.usable
+        subflow.establish()
+        sim.run(until=1.0)
+        assert subflow.usable
+        subflow.path.interface.up = False
+        assert not subflow.usable
+
+
+class TestMinRttScheduler:
+    def _established(self, sim, kind, mbps, rtt):
+        path = make_path(sim, kind=kind, mbps=mbps, rtt=rtt)
+        sf = Subflow(sim, path, FiniteSource(1e7), rng=rng())
+        sf.establish()
+        return sf
+
+    def test_prefers_lowest_rtt(self):
+        sim = Simulator()
+        fast = self._established(sim, InterfaceKind.WIFI, 8.0, 0.02)
+        slow = self._established(sim, InterfaceKind.LTE, 8.0, 0.2)
+        sim.run(until=1.0)
+        sched = MinRttScheduler()
+        assert sched.select([slow, fast]) is fast
+
+    def test_zeroed_rtt_sorts_first(self):
+        sim = Simulator()
+        a = self._established(sim, InterfaceKind.WIFI, 8.0, 0.02)
+        b = self._established(sim, InterfaceKind.LTE, 8.0, 0.2)
+        sim.run(until=1.0)
+        b.suspend()
+        b.resume(reset_rtt=True)
+        sched = MinRttScheduler()
+        assert sched.select([a, b]) is b
+
+    def test_skips_suspended(self):
+        sim = Simulator()
+        a = self._established(sim, InterfaceKind.WIFI, 8.0, 0.02)
+        b = self._established(sim, InterfaceKind.LTE, 8.0, 0.2)
+        sim.run(until=1.0)
+        a.suspend()
+        sched = MinRttScheduler()
+        assert sched.select([a, b]) is b
+
+    def test_empty_when_nothing_usable(self):
+        assert MinRttScheduler().select([]) is None
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        sim = Simulator()
+        path1 = make_path(sim, kind=InterfaceKind.WIFI)
+        path2 = make_path(sim, kind=InterfaceKind.LTE)
+        a = Subflow(sim, path1, FiniteSource(1e7), rng=rng())
+        b = Subflow(sim, path2, FiniteSource(1e7), rng=rng())
+        a.establish()
+        b.establish()
+        sim.run(until=1.0)
+        sched = RoundRobinScheduler()
+        first = sched.select([a, b])
+        second = sched.select([a, b])
+        assert {first, second} == {a, b}
+
+
+class TestLiaCoupling:
+    def _pair(self, sim):
+        a = self._established(sim, InterfaceKind.WIFI, 8.0, 0.05)
+        b = self._established(sim, InterfaceKind.LTE, 8.0, 0.05)
+        return a, b
+
+    def _established(self, sim, kind, mbps, rtt):
+        path = make_path(sim, kind=kind, mbps=mbps, rtt=rtt)
+        sf = Subflow(sim, path, FiniteSource(1e8), rng=rng())
+        sf.establish()
+        return sf
+
+    def test_single_subflow_uncoupled(self):
+        sim = Simulator()
+        a = self._established(sim, InterfaceKind.WIFI, 8.0, 0.05)
+        sim.run(until=1.0)
+        coupling = LiaCoupling(lambda: [a])
+        assert coupling.factor_for(a) == 1.0
+
+    def test_two_subflows_factor_below_one(self):
+        sim = Simulator()
+        a, b = self._pair(sim)
+        sim.run(until=2.0)
+        coupling = LiaCoupling(lambda: [a, b])
+        fa = coupling.factor_for(a)
+        fb = coupling.factor_for(b)
+        assert 0.0 < fa <= 1.0
+        assert 0.0 < fb <= 1.0
+        # Symmetric paths -> total coupled growth no faster than one TCP.
+        assert fa * a.cwnd / (a.cwnd + b.cwnd) + fb * b.cwnd / (
+            a.cwnd + b.cwnd
+        ) <= 1.0 + 1e-9
+
+    def test_alpha_equal_paths_is_about_one_over_n(self):
+        """For n identical subflows, RFC 6356 alpha -> 1/n x n = ...
+        alpha = total * (w/r^2) / (n w / r)^2 = 1/n."""
+        sim = Simulator()
+        a, b = self._pair(sim)
+        sim.run(until=0.2)  # same cwnd, same rtt early on
+        alpha = LiaCoupling.alpha([a, b])
+        assert alpha == pytest.approx(0.5, rel=0.2)
+
+    def test_alpha_empty_is_one(self):
+        assert LiaCoupling.alpha([]) == 1.0

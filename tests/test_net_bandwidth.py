@@ -1,0 +1,124 @@
+"""Tests for capacity processes."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.bandwidth import (
+    ConstantCapacity,
+    PiecewiseTraceCapacity,
+    TwoStateMarkovCapacity,
+)
+from repro.sim.engine import Simulator
+
+
+class TestConstantCapacity:
+    def test_rate_is_constant(self):
+        sim = Simulator()
+        cap = ConstantCapacity(1000.0)
+        cap.attach(sim)
+        sim.run(until=100.0)
+        assert cap.rate == 1000.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantCapacity(-1.0)
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        cap = ConstantCapacity(1.0)
+        cap.attach(sim)
+        with pytest.raises(SimulationError):
+            cap.attach(sim)
+
+
+class TestTwoStateMarkov:
+    def _make(self, start_high=True, seed=1):
+        sim = Simulator()
+        cap = TwoStateMarkovCapacity(
+            high_rate=10.0,
+            low_rate=1.0,
+            mean_high=40.0,
+            mean_low=40.0,
+            rng=random.Random(seed),
+            start_high=start_high,
+        )
+        cap.attach(sim)
+        return sim, cap
+
+    def test_initial_state(self):
+        _sim, cap = self._make(start_high=True)
+        assert cap.rate == 10.0
+        _sim, cap = self._make(start_high=False)
+        assert cap.rate == 1.0
+
+    def test_alternates_between_two_rates(self):
+        sim, cap = self._make()
+        seen = set()
+        cap.on_change(lambda _t, rate: seen.add(rate))
+        sim.run(until=1000.0)
+        assert seen == {1.0, 10.0}
+
+    def test_mean_dwell_roughly_matches(self):
+        sim, cap = self._make(seed=7)
+        changes = []
+        cap.on_change(lambda t, _r: changes.append(t))
+        sim.run(until=100_000.0)
+        dwells = [b - a for a, b in zip(changes, changes[1:])]
+        mean_dwell = sum(dwells) / len(dwells)
+        assert 30.0 < mean_dwell < 50.0  # exponential mean 40
+
+    def test_deterministic_given_seed(self):
+        sim1, cap1 = self._make(seed=5)
+        changes1 = []
+        cap1.on_change(lambda t, r: changes1.append((t, r)))
+        sim1.run(until=500.0)
+        sim2, cap2 = self._make(seed=5)
+        changes2 = []
+        cap2.on_change(lambda t, r: changes2.append((t, r)))
+        sim2.run(until=500.0)
+        assert changes1 == changes2
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoStateMarkovCapacity(1.0, 10.0, 40.0, 40.0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            TwoStateMarkovCapacity(10.0, 1.0, 0.0, 40.0, random.Random(0))
+
+
+class TestPiecewiseTrace:
+    def test_follows_trace(self):
+        sim = Simulator()
+        cap = PiecewiseTraceCapacity([(0.0, 5.0), (10.0, 2.0), (20.0, 8.0)])
+        cap.attach(sim)
+        assert cap.rate == 5.0
+        sim.run(until=10.0)
+        assert cap.rate == 2.0
+        sim.run(until=25.0)
+        assert cap.rate == 8.0
+
+    def test_change_notifications(self):
+        sim = Simulator()
+        cap = PiecewiseTraceCapacity([(0.0, 5.0), (1.0, 2.0)])
+        cap.attach(sim)
+        events = []
+        cap.on_change(lambda t, r: events.append((t, r)))
+        sim.run()
+        assert events == [(1.0, 2.0)]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTraceCapacity([])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTraceCapacity([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTraceCapacity([(0.0, -1.0)])
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseTraceCapacity([(-1.0, 1.0)])

@@ -1,0 +1,192 @@
+"""Tests for network paths, interfaces, hosts, and the WiFi channel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.contention import WiFiChannel
+from repro.net.host import WILD_SERVERS, MobileDevice, Server
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+
+
+class FakeFlow:
+    def __init__(self, sending=True):
+        self.sending = sending
+
+
+class FakeNode:
+    def __init__(self, active=False, rate=0.0):
+        self.active = active
+        self.rate = rate
+
+
+def make_path(sim=None, mbps_rate=1000.0, channel=None, cap=None, **kwargs):
+    cap = cap or ConstantCapacity(mbps_rate)
+    path = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI),
+        cap,
+        base_rtt=kwargs.pop("base_rtt", 0.05),
+        channel=channel,
+        **kwargs,
+    )
+    if sim is not None:
+        path.attach(sim)
+    return path
+
+
+class TestInterfaceKind:
+    def test_cellular_flags(self):
+        assert InterfaceKind.LTE.is_cellular
+        assert InterfaceKind.THREEG.is_cellular
+        assert not InterfaceKind.WIFI.is_cellular
+        assert InterfaceKind.WIFI.is_wifi
+
+    def test_default_names(self):
+        assert NetworkInterface(InterfaceKind.WIFI).name == "wlan0"
+        assert NetworkInterface(InterfaceKind.LTE).name == "rmnet0"
+
+
+class TestNetworkPath:
+    def test_fair_share_among_senders(self):
+        path = make_path(mbps_rate=900.0)
+        f1, f2 = FakeFlow(), FakeFlow()
+        path.register_flow(f1)
+        path.register_flow(f2)
+        assert path.available_rate(f1) == pytest.approx(450.0)
+
+    def test_idle_flows_do_not_consume_share(self):
+        path = make_path(mbps_rate=900.0)
+        f1, f2 = FakeFlow(), FakeFlow(sending=False)
+        path.register_flow(f1)
+        path.register_flow(f2)
+        assert path.available_rate(f1) == pytest.approx(900.0)
+
+    def test_unregistered_flow_counts_as_extra_sender(self):
+        path = make_path(mbps_rate=900.0)
+        f1 = FakeFlow()
+        path.register_flow(f1)
+        outsider = FakeFlow()
+        assert path.available_rate(outsider) == pytest.approx(450.0)
+
+    def test_down_interface_gives_zero_rate(self):
+        path = make_path()
+        path.interface.up = False
+        assert not path.is_up
+        assert path.available_rate(FakeFlow()) == 0.0
+
+    def test_invalid_params_rejected(self):
+        cap = ConstantCapacity(1.0)
+        iface = NetworkInterface(InterfaceKind.WIFI)
+        with pytest.raises(ConfigurationError):
+            NetworkPath(iface, cap, base_rtt=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkPath(iface, cap, base_rtt=0.05, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkPath(iface, cap, base_rtt=0.05, buffer_bytes=0.0)
+
+    def test_channel_must_wrap_same_capacity(self):
+        cap = ConstantCapacity(1.0)
+        other = ConstantCapacity(2.0)
+        channel = WiFiChannel(other)
+        with pytest.raises(ConfigurationError):
+            make_path(cap=cap, channel=channel)
+
+    def test_aggregate_rate_tracks_flows(self):
+        sim = Simulator()
+        path = make_path(sim)
+        events = []
+        path.on_aggregate_rate(lambda t, r: events.append((t, r)))
+        f1, f2 = FakeFlow(), FakeFlow()
+        path.notify_rate(f1, 100.0)
+        path.notify_rate(f2, 50.0)
+        assert path.aggregate_rate == pytest.approx(150.0)
+        path.notify_rate(f1, 0.0)
+        assert path.aggregate_rate == pytest.approx(50.0)
+        assert events[-1] == (0.0, 50.0)
+
+    def test_unregister_clears_rate(self):
+        sim = Simulator()
+        path = make_path(sim)
+        f1 = FakeFlow()
+        path.register_flow(f1)
+        path.notify_rate(f1, 100.0)
+        path.unregister_flow(f1)
+        assert path.aggregate_rate == 0.0
+
+
+class TestWiFiChannel:
+    def test_no_interferers_full_capacity(self):
+        cap = ConstantCapacity(1000.0)
+        channel = WiFiChannel(cap)
+        assert channel.available_rate() == pytest.approx(1000.0)
+        assert channel.extra_loss() == 0.0
+
+    def test_active_interferers_reduce_capacity(self):
+        cap = ConstantCapacity(1000.0)
+        channel = WiFiChannel(cap, airtime_overhead=0.1)
+        channel.add_interferer(FakeNode(active=True, rate=200.0))
+        # residual 800 * (1 - 0.1)
+        assert channel.available_rate() == pytest.approx(720.0)
+
+    def test_inactive_interferers_cost_nothing(self):
+        cap = ConstantCapacity(1000.0)
+        channel = WiFiChannel(cap)
+        channel.add_interferer(FakeNode(active=False, rate=500.0))
+        assert channel.available_rate() == pytest.approx(1000.0)
+
+    def test_capacity_never_negative(self):
+        cap = ConstantCapacity(100.0)
+        channel = WiFiChannel(cap)
+        channel.add_interferer(FakeNode(active=True, rate=500.0))
+        assert channel.available_rate() == 0.0
+
+    def test_loss_scales_with_active_nodes(self):
+        cap = ConstantCapacity(1000.0)
+        channel = WiFiChannel(cap, loss_per_active_node=0.01)
+        channel.add_interferer(FakeNode(active=True, rate=1.0))
+        channel.add_interferer(FakeNode(active=True, rate=1.0))
+        channel.add_interferer(FakeNode(active=False, rate=1.0))
+        assert channel.extra_loss() == pytest.approx(0.02)
+        assert channel.active_interferers == 2
+
+    def test_invalid_params_rejected(self):
+        cap = ConstantCapacity(1.0)
+        with pytest.raises(ConfigurationError):
+            WiFiChannel(cap, airtime_overhead=1.0)
+        with pytest.raises(ConfigurationError):
+            WiFiChannel(cap, loss_per_active_node=-0.1)
+
+
+class TestHosts:
+    def test_dual_homed_device(self):
+        device = MobileDevice.dual_homed()
+        assert device.wifi.kind is InterfaceKind.WIFI
+        assert device.cellular().kind is InterfaceKind.LTE
+
+    def test_wifi_required(self):
+        with pytest.raises(ConfigurationError):
+            MobileDevice("x", [NetworkInterface(InterfaceKind.LTE)])
+
+    def test_duplicate_interface_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobileDevice(
+                "x",
+                [
+                    NetworkInterface(InterfaceKind.WIFI),
+                    NetworkInterface(InterfaceKind.WIFI),
+                ],
+            )
+
+    def test_dual_homed_rejects_wifi_as_cellular(self):
+        with pytest.raises(ConfigurationError):
+            MobileDevice.dual_homed(cellular=InterfaceKind.WIFI)
+
+    def test_wild_servers(self):
+        assert set(WILD_SERVERS) == {"WDC", "AMS", "SNG"}
+        assert WILD_SERVERS["SNG"].internet_rtt > WILD_SERVERS["WDC"].internet_rtt
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Server("x", internet_rtt=-1.0)

@@ -1,0 +1,92 @@
+"""Tests for the OLIA coupled congestion controller."""
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.errors import ProtocolError
+from repro.mptcp.connection import MPTCPConnection
+from repro.mptcp.olia import OliaCoupling
+from repro.mptcp.subflow import Subflow
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+from repro.units import mib
+
+
+def established(sim, kind, mbps, rtt):
+    path = make_path(sim, kind=kind, mbps=mbps, rtt=rtt)
+    sf = Subflow(sim, path, FiniteSource(1e8), rng=rng())
+    sf.establish()
+    return sf
+
+
+class TestOliaCoupling:
+    def test_single_subflow_uncoupled(self):
+        sim = Simulator()
+        a = established(sim, InterfaceKind.WIFI, 8.0, 0.05)
+        sim.run(until=1.0)
+        assert OliaCoupling(lambda: [a]).factor_for(a) == 1.0
+
+    def test_factor_bounded(self):
+        sim = Simulator()
+        a = established(sim, InterfaceKind.WIFI, 8.0, 0.05)
+        b = established(sim, InterfaceKind.LTE, 8.0, 0.05)
+        sim.run(until=2.0)
+        coupling = OliaCoupling(lambda: [a, b])
+        for sf in (a, b):
+            assert 0.0 <= coupling.factor_for(sf) <= 1.0
+
+    def test_equal_paths_split_evenly(self):
+        """Symmetric paths: the basis term alone, ~1/4 each for n=2
+        equal windows (w/rtt)^2/(2w/rtt)^2 = 1/4."""
+        sim = Simulator()
+        a = established(sim, InterfaceKind.WIFI, 8.0, 0.05)
+        b = established(sim, InterfaceKind.LTE, 8.0, 0.05)
+        sim.run(until=0.2)  # near-identical windows early on
+        coupling = OliaCoupling(lambda: [a, b])
+        fa, fb = coupling.factor_for(a), coupling.factor_for(b)
+        assert fa == pytest.approx(fb, rel=0.3)
+        assert fa == pytest.approx(0.25, abs=0.15)
+
+    def test_reforwarding_boosts_good_small_window_path(self):
+        """OLIA's defining property: the best-quality path with the
+        smaller window gets a larger growth factor than the
+        maximum-window path."""
+        sim = Simulator()
+        fast = established(sim, InterfaceKind.WIFI, 12.0, 0.02)  # low rtt
+        slow = established(sim, InterfaceKind.LTE, 12.0, 0.12)
+        sim.run(until=3.0)
+        # Make the slow path hold the bigger window artificially.
+        slow.connection.cc.cwnd = 3 * fast.connection.cc.cwnd
+        coupling = OliaCoupling(lambda: [fast, slow])
+        rates = {
+            sf: sf.cwnd / max(sf.effective_rtt, 1e-9) for sf in (fast, slow)
+        }
+        if rates[fast] > rates[slow]:  # fast path is best-quality
+            assert coupling.factor_for(fast) > coupling.factor_for(slow)
+
+    def test_mptcp_connection_accepts_olia(self):
+        sim = Simulator()
+        wifi = make_path(sim, InterfaceKind.WIFI, mbps=8.0, rtt=0.04)
+        lte = make_path(sim, InterfaceKind.LTE, mbps=6.0, rtt=0.07)
+        source = FiniteSource(mib(4))
+        conn = MPTCPConnection(
+            sim,
+            wifi,
+            source,
+            secondary_paths=[lte],
+            rng=rng(),
+            coupling_algorithm="olia",
+        )
+        conn.open()
+        sim.run(until=60.0)
+        assert conn.completed_at is not None
+        assert conn.coupling_algorithm == "olia"
+
+    def test_unknown_algorithm_rejected(self):
+        sim = Simulator()
+        wifi = make_path(sim, InterfaceKind.WIFI)
+        with pytest.raises(ProtocolError):
+            MPTCPConnection(
+                sim, wifi, FiniteSource(1e6), coupling_algorithm="cubic"
+            )

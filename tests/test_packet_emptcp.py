@@ -1,0 +1,119 @@
+"""Tests for eMPTCP over the packet engine."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind
+from repro.packet.emptcp import PacketEmptcp, run_packet_protocol
+from repro.packet.link import PacketLink
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+def make_emptcp(sim, wifi_mbps=12.0, cell_mbps=10.0, size=mib(8)):
+    wifi = PacketLink(
+        sim,
+        ConstantCapacity(mbps_to_bytes_per_sec(wifi_mbps)),
+        one_way_delay=0.02,
+        rng=random.Random(1),
+        name="wifi",
+    )
+    lte = PacketLink(
+        sim,
+        ConstantCapacity(mbps_to_bytes_per_sec(cell_mbps)),
+        one_way_delay=0.035,
+        rng=random.Random(2),
+        name="lte",
+    )
+    return PacketEmptcp(sim, wifi, lte, FiniteSource(size))
+
+
+class TestPacketEmptcp:
+    def test_good_wifi_never_establishes_lte(self):
+        sim = Simulator()
+        conn = make_emptcp(sim, wifi_mbps=12.0)
+        conn.open()
+        sim.run(until=120.0, max_events=30_000_000)
+        assert conn.completed_at is not None
+        assert conn.cell_subflow is None
+        assert conn.bytes_received == pytest.approx(mib(8))
+
+    def test_bad_wifi_establishes_and_uses_lte(self):
+        sim = Simulator()
+        conn = make_emptcp(sim, wifi_mbps=0.8, size=mib(8))
+        conn.open()
+        sim.run(until=300.0, max_events=30_000_000)
+        assert conn.completed_at is not None
+        assert conn.cell_subflow is not None
+        assert conn.cell_subflow.bytes_acked_total > mib(4)
+        # Far faster than WiFi alone would have been (~84 s).
+        assert conn.completed_at < 30.0
+
+    def test_energy_metered(self):
+        sim = Simulator()
+        conn = make_emptcp(sim, wifi_mbps=8.0, size=mib(2))
+        conn.open()
+        sim.run(until=60.0, max_events=30_000_000)
+        assert conn.meter.checkpoint() > 0
+
+    def test_pause_resume_on_packet_subflow(self):
+        sim = Simulator()
+        wifi = PacketLink(
+            sim,
+            ConstantCapacity(mbps_to_bytes_per_sec(8.0)),
+            one_way_delay=0.02,
+            rng=random.Random(1),
+        )
+        from repro.packet.mptcp import single_path_connection
+
+        conn = single_path_connection(sim, wifi, FiniteSource(mib(8)))
+        conn.open()
+        sim.run(until=2.0)
+        sf = conn.subflows[0]
+        sf.pause()
+        sim.run(until=2.5)  # in-flight drains
+        delivered = sf.bytes_acked_total
+        sim.run(until=4.0)
+        assert sf.bytes_acked_total == pytest.approx(delivered, rel=0.01)
+        sf.resume()
+        sim.run(until=6.0)
+        assert sf.bytes_acked_total > delivered
+
+    def test_non_cellular_kind_rejected(self):
+        sim = Simulator()
+        wifi = PacketLink(
+            sim, ConstantCapacity(1.0), one_way_delay=0.01, rng=random.Random(0)
+        )
+        with pytest.raises(ConfigurationError):
+            PacketEmptcp(
+                sim, wifi, wifi, FiniteSource(1.0), cell_kind=InterfaceKind.WIFI
+            )
+
+
+class TestRunPacketProtocol:
+    def test_figure5_shape_at_packet_level(self):
+        results = {
+            p: run_packet_protocol(p, 12.0, 10.0, mib(8))
+            for p in ("mptcp", "emptcp", "tcp-wifi")
+        }
+        energy = {p: e for p, (_t, e) in results.items()}
+        assert energy["emptcp"] == pytest.approx(energy["tcp-wifi"], rel=0.05)
+        assert energy["mptcp"] > 1.25 * energy["emptcp"]
+
+    def test_figure6_shape_at_packet_level(self):
+        results = {
+            p: run_packet_protocol(p, 0.8, 10.0, mib(8))
+            for p in ("mptcp", "emptcp", "tcp-wifi")
+        }
+        times = {p: t for p, (t, _e) in results.items()}
+        energy = {p: e for p, (_t, e) in results.items()}
+        assert energy["emptcp"] == pytest.approx(energy["mptcp"], rel=0.25)
+        assert times["tcp-wifi"] > 4 * times["mptcp"]
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_packet_protocol("bogus", 8.0, 8.0, mib(1))

@@ -1,0 +1,247 @@
+"""End-to-end assertions of the paper's headline result *shapes*.
+
+Absolute joules/seconds differ from the testbed, but who wins, roughly
+by how much, and where the crossovers fall must match the paper (see
+DESIGN.md §4).  Sizes are scaled down to keep the suite fast; the
+benchmarks regenerate the full-scale numbers.
+"""
+
+import pytest
+
+from repro.analysis.stats import mean
+from repro.experiments.mobility import run_mobility
+from repro.experiments.random_bw import run_random_bw
+from repro.experiments.runner import run_scenario
+from repro.experiments.static_bw import static_scenario
+from repro.experiments.web import run_web
+from repro.experiments.wild import (
+    LARGE_BYTES,
+    SMALL_BYTES,
+    collect_traces,
+    environment_scenario,
+)
+from repro.units import mib
+from repro.workloads.web import WebPage, cnn_like_page
+from repro.workloads.wild import WildEnvironment, WildSampler
+from repro.workloads.wild import CLIENT_SITES
+from repro.net.host import WILD_SERVERS
+
+
+def run_set(scenario, seeds=(0,), protocols=("mptcp", "emptcp", "tcp-wifi")):
+    return {
+        p: [run_scenario(p, scenario, seed=s) for s in seeds] for p in protocols
+    }
+
+
+def mean_energy(results, protocol):
+    return mean([r.energy_j for r in results[protocol]])
+
+
+def mean_time(results, protocol):
+    return mean([r.download_time for r in results[protocol]])
+
+
+class TestFigure5GoodWiFi:
+    """eMPTCP == TCP/WiFi; both clearly below MPTCP's energy."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_set(static_scenario(good_wifi=True, download_bytes=mib(32)))
+
+    def test_emptcp_matches_tcp_wifi(self, results):
+        assert mean_energy(results, "emptcp") == pytest.approx(
+            mean_energy(results, "tcp-wifi"), rel=0.05
+        )
+        assert mean_time(results, "emptcp") == pytest.approx(
+            mean_time(results, "tcp-wifi"), rel=0.05
+        )
+
+    def test_mptcp_burns_more_energy(self, results):
+        assert mean_energy(results, "mptcp") > 1.2 * mean_energy(results, "emptcp")
+
+    def test_mptcp_is_faster(self, results):
+        assert mean_time(results, "mptcp") < mean_time(results, "emptcp")
+
+
+class TestFigure6BadWiFi:
+    """eMPTCP ~= MPTCP (energy and time); TCP/WiFi ~an order of
+    magnitude slower."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_set(static_scenario(good_wifi=False, download_bytes=mib(32)))
+
+    def test_emptcp_tracks_mptcp(self, results):
+        assert mean_energy(results, "emptcp") == pytest.approx(
+            mean_energy(results, "mptcp"), rel=0.25
+        )
+        assert mean_time(results, "emptcp") == pytest.approx(
+            mean_time(results, "mptcp"), rel=0.35
+        )
+
+    def test_tcp_wifi_is_many_times_slower(self, results):
+        assert mean_time(results, "tcp-wifi") > 5 * mean_time(results, "mptcp")
+
+    def test_lte_startup_delay_visible(self, results):
+        emptcp_run = results["emptcp"][0]
+        assert emptcp_run.diagnostics["cell_established_at"] >= 2.5  # τ = 3 s
+
+
+class TestFigure8RandomBandwidth:
+    """eMPTCP saves energy vs both; slower than MPTCP, much faster than
+    TCP/WiFi."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Paper scale (256 MB): the energy relationships only emerge
+        # once per-switch fixed costs amortise over a long transfer.
+        return run_random_bw(runs=4, download_bytes=mib(256))
+
+    def test_emptcp_saves_energy_vs_mptcp(self, results):
+        assert mean_energy(results, "emptcp") < mean_energy(results, "mptcp")
+
+    def test_emptcp_energy_at_or_below_tcp_wifi(self, results):
+        # Paper reports ~6% savings vs TCP over WiFi; our model lands
+        # at parity (within a few percent) — see EXPERIMENTS.md.
+        assert mean_energy(results, "emptcp") <= 1.05 * mean_energy(
+            results, "tcp-wifi"
+        )
+
+    def test_emptcp_slower_than_mptcp_but_faster_than_wifi(self, results):
+        t_mptcp = mean_time(results, "mptcp")
+        t_emptcp = mean_time(results, "emptcp")
+        t_wifi = mean_time(results, "tcp-wifi")
+        assert t_mptcp < t_emptcp < t_wifi
+        # Paper: ~22% slower than MPTCP, ~2x faster than TCP over WiFi.
+        assert t_emptcp < 2.0 * t_mptcp
+        assert t_wifi > 1.3 * t_emptcp
+
+    def test_emptcp_actually_switches(self, results):
+        diag = results["emptcp"][0].diagnostics
+        assert diag["mp_prio_events"] >= 1
+
+
+class TestFigure13Mobility:
+    """Per-byte: TCP/WiFi < eMPTCP < MPTCP; download amount:
+    TCP/WiFi < eMPTCP < MPTCP."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_mobility(runs=2)
+
+    def test_per_byte_ordering(self, results):
+        jpb = {
+            p: mean([r.joules_per_byte for r in runs])
+            for p, runs in results.items()
+        }
+        assert jpb["tcp-wifi"] < jpb["emptcp"] < jpb["mptcp"]
+
+    def test_download_amount_ordering(self, results):
+        data = {
+            p: mean([r.bytes_received for r in runs]) for p, runs in results.items()
+        }
+        assert data["tcp-wifi"] < data["emptcp"] < data["mptcp"]
+
+    def test_emptcp_downloads_at_least_15pct_more_than_wifi(self, results):
+        data = {
+            p: mean([r.bytes_received for r in runs]) for p, runs in results.items()
+        }
+        assert data["emptcp"] > 1.15 * data["tcp-wifi"]
+
+
+class TestFigure15SmallTransfers:
+    """256 KB: eMPTCP == TCP/WiFi, 75-90% below MPTCP."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        env = WildEnvironment(
+            site=CLIENT_SITES["campus"],
+            server=WILD_SERVERS["WDC"],
+            wifi_mbps=12.0,
+            lte_mbps=12.0,
+        )
+        return run_set(environment_scenario(env, SMALL_BYTES))
+
+    def test_massive_energy_savings(self, results):
+        saving = 1 - mean_energy(results, "emptcp") / mean_energy(results, "mptcp")
+        assert saving > 0.70
+
+    def test_no_lte_subflow(self, results):
+        diag = results["emptcp"][0].diagnostics
+        assert diag["cell_established"] == 0.0
+
+    def test_download_time_not_hurt(self, results):
+        assert mean_time(results, "emptcp") <= mean_time(results, "mptcp") * 1.1
+
+
+class TestFigure16LargeTransfers:
+    """16 MB across the four categories."""
+
+    def _env(self, wifi, lte):
+        return WildEnvironment(
+            site=CLIENT_SITES["campus"],
+            server=WILD_SERVERS["WDC"],
+            wifi_mbps=wifi,
+            lte_mbps=lte,
+        )
+
+    def test_good_wifi_bad_lte_half_the_energy(self):
+        results = run_set(environment_scenario(self._env(14.0, 3.0), LARGE_BYTES))
+        assert mean_energy(results, "emptcp") < 0.7 * mean_energy(results, "mptcp")
+        assert mean_energy(results, "emptcp") == pytest.approx(
+            mean_energy(results, "tcp-wifi"), rel=0.05
+        )
+
+    def test_bad_wifi_good_lte_tracks_mptcp(self):
+        results = run_set(environment_scenario(self._env(2.0, 16.0), LARGE_BYTES))
+        assert mean_energy(results, "emptcp") == pytest.approx(
+            mean_energy(results, "mptcp"), rel=0.35
+        )
+        # Delayed establishment -> slightly larger download times.
+        assert mean_time(results, "emptcp") >= mean_time(results, "mptcp")
+        assert mean_time(results, "tcp-wifi") > 2 * mean_time(results, "mptcp")
+
+    def test_bad_bad_emptcp_tracks_the_best(self):
+        # Paper: eMPTCP is the most efficient in Bad/Bad (~33% below
+        # MPTCP).  Our linear whole-device power model reproduces this
+        # as parity-with-the-best rather than a clear win (the win
+        # requires path pathologies the fluid model smooths over) —
+        # recorded as a deviation in EXPERIMENTS.md.
+        results = run_set(
+            environment_scenario(self._env(2.0, 5.0), LARGE_BYTES),
+            seeds=(0, 1, 2),
+        )
+        assert mean_energy(results, "emptcp") <= mean_energy(results, "mptcp") * 1.10
+        assert mean_energy(results, "emptcp") <= mean_energy(results, "tcp-wifi") * 1.15
+        # TCP over WiFi pays with far larger download times (paper: ~6x).
+        assert mean_time(results, "tcp-wifi") > 2.0 * mean_time(results, "mptcp")
+
+
+class TestFigure17Web:
+    """Web page: MPTCP pays substantially more energy at similar
+    latency; eMPTCP never touches LTE."""
+
+    @pytest.fixture(scope="class")
+    def page(self):
+        return WebPage(cnn_like_page().object_sizes[:30])
+
+    def test_energy_and_latency(self, page):
+        mptcp = run_web("mptcp", page=page, seed=0)
+        emptcp = run_web("emptcp", page=page, seed=0)
+        tcp = run_web("tcp-wifi", page=page, seed=0)
+        assert mptcp.energy_j > 1.4 * emptcp.energy_j
+        assert emptcp.energy_j == pytest.approx(tcp.energy_j, rel=0.25)
+        assert emptcp.latency <= mptcp.latency * 1.35
+        assert emptcp.lte_bytes == 0.0
+
+
+class TestFigure14Categories:
+    def test_wild_sampling_covers_all_categories(self):
+        from repro.analysis.categorize import Category
+
+        traces = collect_traces(
+            SMALL_BYTES, n_environments=12, protocols=("tcp-wifi",)
+        )
+        assert len(traces) == 12
+        cats = {t.category for t in traces}
+        assert len(cats) >= 2  # small sample still spreads out

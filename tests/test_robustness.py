@@ -1,0 +1,156 @@
+"""Robustness / failure-injection properties of the fluid engine.
+
+These hypothesis tests throw adversarial link conditions at the
+transport and control plane and assert liveness invariants: transfers
+make progress whenever capacity exists, nothing deadlocks, energy
+accounting stays consistent.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import rng
+from repro.energy.device import GALAXY_S3
+from repro.energy.meter import EnergyMeter
+from repro.energy.rrc import RrcState
+from repro.net.bandwidth import PiecewiseTraceCapacity
+from repro.net.interface import InterfaceKind, NetworkInterface
+from repro.net.path import NetworkPath
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource, TcpConnection
+from repro.units import mbps_to_bytes_per_sec
+
+
+@st.composite
+def capacity_traces(draw):
+    """Random piecewise traces: segments of 1-10 s at 0-10 Mbps, with a
+    guaranteed non-zero final segment so completion is possible."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    trace = []
+    t = 0.0
+    for _ in range(n):
+        rate = draw(st.sampled_from([0.0, 0.3, 1.0, 4.0, 10.0]))
+        trace.append((t, mbps_to_bytes_per_sec(rate)))
+        t += draw(st.floats(min_value=1.0, max_value=10.0))
+    trace.append((t, mbps_to_bytes_per_sec(4.0)))  # recovery at the end
+    return trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=capacity_traces(), seed=st.integers(min_value=0, max_value=99))
+def test_property_fluid_tcp_survives_any_capacity_trace(trace, seed):
+    """Outages, collapses, recoveries in any order: the transfer always
+    completes once capacity returns, and delivers exactly its size."""
+    sim = Simulator()
+    path = NetworkPath(
+        NetworkInterface(InterfaceKind.WIFI),
+        PiecewiseTraceCapacity(trace),
+        base_rtt=0.05,
+    )
+    path.attach(sim)
+    size = 500_000.0
+    source = FiniteSource(size)
+    conn = TcpConnection(sim, path, source, rng=random.Random(seed))
+    conn.connect()
+    sim.run(until=trace[-1][0] + 600.0, max_events=10_000_000)
+    assert source.exhausted
+    assert conn.bytes_delivered == pytest.approx(size)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    events=st.lists(
+        st.sampled_from(["pause", "resume", "run"]),
+        min_size=1,
+        max_size=20,
+    ),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_property_pause_resume_storms_never_corrupt_state(events, seed):
+    """Arbitrary MP_PRIO storms: delivered bytes never exceed the
+    transfer size and the connection remains usable throughout."""
+    from tests.helpers import make_path
+    from repro.mptcp.subflow import Subflow
+
+    sim = Simulator()
+    path = make_path(sim, mbps=8.0)
+    size = 2_000_000.0
+    source = FiniteSource(size)
+    subflow = Subflow(sim, path, source, rng=random.Random(seed))
+    subflow.establish()
+    sim.run(until=0.5)
+    for event in events:
+        if event == "pause":
+            subflow.suspend()
+        elif event == "resume":
+            subflow.resume()
+        else:
+            sim.run(until=sim.now + 0.5)
+        assert subflow.bytes_delivered <= size + 1e-6
+    subflow.resume()
+    sim.run(until=sim.now + 60.0)
+    assert source.exhausted
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=5.0),  # dt
+            st.sampled_from(list(RrcState)),
+            st.floats(min_value=0.0, max_value=2e6),  # rate
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_meter_energy_monotone_under_any_updates(updates):
+    """Energy never decreases, whatever sequence of rate/RRC updates
+    the meter sees."""
+    sim = Simulator()
+    meter = EnergyMeter(sim, GALAXY_S3)
+    last = 0.0
+    for dt, state, rate in updates:
+        sim.run(until=sim.now + dt)
+        meter.set_rrc_state(InterfaceKind.LTE, state)
+        meter.set_rate(InterfaceKind.WIFI, rate)
+        energy = meter.total_energy
+        assert energy >= last - 1e-9
+        last = energy
+    values = meter.energy_series.values
+    assert values == sorted(values)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_property_emptcp_always_terminates_cleanly(seed):
+    """Random on/off WiFi: eMPTCP completes and leaves no immortal
+    events behind."""
+    from repro.core.emptcp import EMPTCPConnection
+    from tests.helpers import make_path
+    from repro.net.bandwidth import TwoStateMarkovCapacity
+
+    sim = Simulator()
+    cap = TwoStateMarkovCapacity(
+        high_rate=mbps_to_bytes_per_sec(10.0),
+        low_rate=mbps_to_bytes_per_sec(0.5),
+        mean_high=8.0,
+        mean_low=8.0,
+        rng=random.Random(seed),
+        start_high=bool(seed % 2),
+    )
+    wifi = NetworkPath(NetworkInterface(InterfaceKind.WIFI), cap, base_rtt=0.05)
+    wifi.attach(sim)
+    lte = make_path(sim, InterfaceKind.LTE, mbps=8.0, rtt=0.07)
+    source = FiniteSource(4_000_000.0)
+    conn = EMPTCPConnection(
+        sim, wifi, lte, source, profile=GALAXY_S3, rng=rng(seed)
+    )
+    conn.on_complete(lambda _c: sim.stop())
+    conn.open()
+    sim.run(until=600.0)
+    assert conn.completed_at is not None
+    conn.close()

@@ -1,0 +1,62 @@
+"""Seed-robustness of the headline orderings.
+
+The shape assertions elsewhere run at fixed seeds; these tests verify
+the *orderings* are not a seed lottery: across many seeds, the claimed
+relationships hold in (nearly) every draw.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.random_bw import random_bw_scenario
+from repro.experiments.static_bw import static_scenario
+from repro.units import mib
+
+SEEDS = range(8)
+
+
+class TestSeedStability:
+    def test_fig5_ordering_holds_for_every_seed(self):
+        """Good WiFi: MPTCP burns more energy than eMPTCP, always."""
+        scenario = static_scenario(True, download_bytes=mib(8))
+        for seed in SEEDS:
+            mptcp = run_scenario("mptcp", scenario, seed=seed)
+            emptcp = run_scenario("emptcp", scenario, seed=seed)
+            assert mptcp.energy_j > emptcp.energy_j, seed
+            assert mptcp.download_time < emptcp.download_time, seed
+
+    def test_fig6_ordering_holds_for_every_seed(self):
+        """Bad WiFi: TCP/WiFi is far slower than MPTCP and eMPTCP."""
+        scenario = static_scenario(False, download_bytes=mib(8))
+        for seed in SEEDS:
+            mptcp = run_scenario("mptcp", scenario, seed=seed)
+            emptcp = run_scenario("emptcp", scenario, seed=seed)
+            tcp = run_scenario("tcp-wifi", scenario, seed=seed)
+            assert tcp.download_time > 3 * mptcp.download_time, seed
+            assert emptcp.download_time < 2 * mptcp.download_time, seed
+
+    def test_fig8_paired_ordering_mostly_holds(self):
+        """Random bandwidth: per-seed (paired) comparisons — MPTCP is
+        fastest and eMPTCP is never slower than TCP/WiFi, in at least
+        7 of 8 draws."""
+        scenario = random_bw_scenario(download_bytes=mib(32))
+        fastest_wins = 0
+        emptcp_not_slower = 0
+        for seed in SEEDS:
+            mptcp = run_scenario("mptcp", scenario, seed=seed)
+            emptcp = run_scenario("emptcp", scenario, seed=seed)
+            tcp = run_scenario("tcp-wifi", scenario, seed=seed)
+            if mptcp.download_time <= emptcp.download_time:
+                fastest_wins += 1
+            if emptcp.download_time <= tcp.download_time * 1.02:
+                emptcp_not_slower += 1
+        assert fastest_wins >= 7
+        assert emptcp_not_slower >= 7
+
+    def test_determinism_same_seed_same_result(self):
+        scenario = random_bw_scenario(download_bytes=mib(8))
+        a = run_scenario("emptcp", scenario, seed=5)
+        b = run_scenario("emptcp", scenario, seed=5)
+        assert a.energy_j == b.energy_j
+        assert a.download_time == b.download_time
+        assert a.diagnostics == b.diagnostics

@@ -1,0 +1,169 @@
+"""Tests for parameter sweeps and power-model fitting."""
+
+import random
+
+import pytest
+
+from tests.helpers import rng
+from repro.energy.device import GALAXY_S3
+from repro.energy.fitting import (
+    AffineFit,
+    PowerSample,
+    fit_affine,
+    fit_profile_interface,
+    simulate_measurement_campaign,
+)
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError, EnergyModelError
+from repro.experiments.sensitivity import (
+    format_sweep,
+    sweep_config,
+    sweep_kappa,
+    sweep_safety_factor,
+)
+from repro.experiments.wild import environment_scenario
+from repro.net.host import WILD_SERVERS
+from repro.net.interface import InterfaceKind
+from repro.units import kib, mib
+from repro.workloads.wild import CLIENT_SITES, WildEnvironment
+
+
+def small_scenario(size, wifi=10.0, lte=10.0):
+    env = WildEnvironment(
+        site=CLIENT_SITES["campus"],
+        server=WILD_SERVERS["WDC"],
+        wifi_mbps=wifi,
+        lte_mbps=lte,
+    )
+    return environment_scenario(env, size, fluctuating=False)
+
+
+class TestSweeps:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config("bogus_knob", [1.0], small_scenario(mib(1)))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config("kappa_bytes", [], small_scenario(mib(1)))
+
+    def test_kappa_gates_establishment_with_tau_disabled(self):
+        """Isolating κ (τ pushed out of the way, slow WiFi so the
+        efficiency veto passes): a small κ lets LTE join mid-transfer,
+        a κ above the transfer size never does."""
+        import dataclasses
+
+        from repro.core.config import EMPTCPConfig
+
+        scenario = small_scenario(mib(4), wifi=2.0, lte=10.0)
+        scenario = dataclasses.replace(
+            scenario, emptcp_config=EMPTCPConfig(tau_seconds=300.0)
+        )
+        points = sweep_config(
+            "kappa_bytes", [256e3, 16e6], scenario, runs=1
+        )
+        small_kappa, huge_kappa = points
+        assert small_kappa.cell_established_frac == 1.0
+        assert huge_kappa.cell_established_frac == 0.0
+        # Establishing LTE on slow WiFi finishes the transfer sooner.
+        assert small_kappa.download_time < huge_kappa.download_time
+
+    def test_kappa_sweep_shape(self):
+        points = sweep_kappa(
+            small_scenario(mib(2), wifi=2.0), values=(256e3, 4e6), runs=1
+        )
+        assert [p.value for p in points] == [256e3, 4e6]
+        assert all(p.parameter == "kappa_bytes" for p in points)
+
+    def test_safety_factor_zero_switches_at_least_as_much(self):
+        from repro.experiments.random_bw import random_bw_scenario
+
+        scenario = random_bw_scenario(download_bytes=mib(32))
+        points = sweep_safety_factor(scenario, values=(0.0, 0.10), runs=2)
+        zero, default = points
+        assert zero.decision_switches >= default.decision_switches
+
+    def test_format_sweep_is_tabular(self):
+        points = sweep_kappa(small_scenario(mib(1)), values=(1e6,), runs=1)
+        text = format_sweep(points)
+        assert "energy (J)" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestAffineFit:
+    def test_exact_fit_recovers_parameters(self):
+        samples = [PowerSample(r, 0.5 + 0.1 * r) for r in (0.0, 2.0, 4.0, 8.0)]
+        fit = fit_affine(samples)
+        assert fit.base_w == pytest.approx(0.5, abs=1e-9)
+        assert fit.per_mbps_w == pytest.approx(0.1, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(EnergyModelError):
+            fit_affine([PowerSample(1.0, 1.0)])
+
+    def test_degenerate_rates_rejected(self):
+        with pytest.raises(EnergyModelError):
+            fit_affine([PowerSample(1.0, 1.0), PowerSample(1.0, 1.1)])
+
+    def test_noisy_campaign_recovers_profile_within_tolerance(self):
+        fit, samples = fit_profile_interface(
+            GALAXY_S3, InterfaceKind.LTE, rng(42), samples_per_rate=40
+        )
+        truth = GALAXY_S3.interfaces[InterfaceKind.LTE]
+        assert fit.base_w == pytest.approx(truth.base_w, rel=0.05)
+        assert fit.per_mbps_w == pytest.approx(truth.per_mbps_w, rel=0.15)
+        assert fit.r_squared > 0.95
+        assert len(samples) == 7 * 40
+
+    def test_upload_campaign_uses_upload_slope(self):
+        fit, _ = fit_profile_interface(
+            GALAXY_S3,
+            InterfaceKind.LTE,
+            rng(7),
+            direction=Direction.UP,
+            samples_per_rate=40,
+        )
+        truth = GALAXY_S3.interfaces[InterfaceKind.LTE]
+        assert fit.per_mbps_w == pytest.approx(truth.per_mbps_up_w, rel=0.15)
+
+    def test_fit_materialises_as_interface_power(self):
+        fit = AffineFit(base_w=0.5, per_mbps_w=0.1, r_squared=1.0, n_samples=10)
+        params = fit.to_interface_power(idle_w=0.01)
+        assert params.base_w == 0.5
+        assert params.idle_w == 0.01
+
+    def test_fitted_model_builds_a_working_eib(self):
+        """End-to-end: measure -> fit -> profile -> EIB, as §3.3 allows."""
+        import dataclasses
+
+        from repro.core.eib import EnergyInformationBase
+
+        fits = {}
+        for kind in (InterfaceKind.WIFI, InterfaceKind.LTE):
+            fit, _ = fit_profile_interface(
+                GALAXY_S3, kind, rng(11), samples_per_rate=40
+            )
+            fits[kind] = fit.to_interface_power(
+                idle_w=GALAXY_S3.interfaces[kind].idle_w
+            )
+        fitted_profile = dataclasses.replace(
+            GALAXY_S3,
+            interfaces={**dict(GALAXY_S3.interfaces), **fits},
+        )
+        eib = EnergyInformationBase(
+            fitted_profile, InterfaceKind.LTE, cell_grid_mbps=[1.0, 2.0]
+        )
+        truth = EnergyInformationBase(
+            GALAXY_S3, InterfaceKind.LTE, cell_grid_mbps=[1.0, 2.0]
+        )
+        for cell in (1.0, 2.0):
+            fitted_thr = eib.thresholds(cell)
+            true_thr = truth.thresholds(cell)
+            assert fitted_thr[1] == pytest.approx(true_thr[1], rel=0.15)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(EnergyModelError):
+            simulate_measurement_campaign(
+                GALAXY_S3, InterfaceKind.WIFI, [1.0], random.Random(0), noise_w=-1.0
+            )

@@ -1,0 +1,111 @@
+"""Tests for device-profile serialisation and the report generator."""
+
+import pytest
+
+from repro.energy.device import GALAXY_S3, NEXUS_5
+from repro.energy.serialization import (
+    profile_from_dict,
+    profile_from_json,
+    profile_to_dict,
+    profile_to_json,
+)
+from repro.errors import ConfigurationError, EnergyModelError
+from repro.net.interface import InterfaceKind
+
+
+class TestProfileSerialization:
+    @pytest.mark.parametrize("profile", [GALAXY_S3, NEXUS_5])
+    def test_round_trip_preserves_model(self, profile):
+        restored = profile_from_json(profile_to_json(profile))
+        assert restored.name == profile.name
+        assert restored.overlap_saving_w == profile.overlap_saving_w
+        assert restored.baseline_w == profile.baseline_w
+        for kind in profile.interfaces:
+            a, b = profile.interfaces[kind], restored.interfaces[kind]
+            assert (a.base_w, a.per_mbps_w, a.per_mbps_up_w, a.idle_w) == (
+                b.base_w,
+                b.per_mbps_w,
+                b.per_mbps_up_w,
+                b.idle_w,
+            )
+        for kind in profile.rrc:
+            assert (
+                restored.rrc[kind].fixed_overhead_joules
+                == profile.rrc[kind].fixed_overhead_joules
+            )
+        assert restored.spec == profile.spec
+
+    def test_round_trip_builds_identical_eib(self):
+        from repro.core.eib import EnergyInformationBase
+
+        restored = profile_from_json(profile_to_json(GALAXY_S3))
+        grid = [0.5, 1.0, 2.0]
+        original = EnergyInformationBase(GALAXY_S3, cell_grid_mbps=grid)
+        rebuilt = EnergyInformationBase(restored, cell_grid_mbps=grid)
+        for cell in grid:
+            assert original.thresholds(cell) == pytest.approx(
+                rebuilt.thresholds(cell)
+            )
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(EnergyModelError):
+            profile_from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(EnergyModelError):
+            profile_from_dict({"name": "x"})
+
+    def test_unknown_interface_kind_rejected(self):
+        data = profile_to_dict(GALAXY_S3)
+        data["interfaces"]["zigbee"] = data["interfaces"]["wifi"]
+        with pytest.raises(EnergyModelError):
+            profile_from_dict(data)
+
+    def test_loaded_profile_usable_in_a_run(self):
+        import dataclasses
+
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.static_bw import static_scenario
+        from repro.units import mib
+
+        restored = profile_from_json(profile_to_json(NEXUS_5))
+        scenario = dataclasses.replace(
+            static_scenario(True, download_bytes=mib(1)), profile=restored
+        )
+        result = run_scenario("emptcp", scenario)
+        assert result.energy_j > 0
+
+
+class TestReportGenerator:
+    def test_smoke_report_contains_all_sections(self):
+        from repro.experiments.report_all import generate_report
+
+        text = generate_report("smoke")
+        for section in (
+            "Table 2",
+            "Figure 1",
+            "Figure 5",
+            "Figure 6",
+            "Figure 8",
+            "Figure 10",
+            "Figure 13",
+            "Figure 15",
+            "Figure 16",
+            "Figure 17",
+            "§4.6",
+        ):
+            assert section in text, section
+
+    def test_unknown_scale_rejected(self):
+        from repro.experiments.report_all import generate_report
+
+        with pytest.raises(ConfigurationError):
+            generate_report("galactic")
+
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        code = main(["report", "--scale", "smoke", "--output", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("# Reproduction report")

@@ -1,0 +1,124 @@
+"""Tests for timers and periodic processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_rearms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run(until=1.0)
+        timer.start(3.0)  # re-arm at t=1
+        sim.run()
+        assert fired == [4.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_fires_once_per_arm(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        sim.run(until=10.0)
+        assert fired == [1.0]
+
+
+class TestPeriodicProcess:
+    def test_ticks_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, 2.0, lambda: ticks.append(sim.now))
+        proc.start()
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_immediate_start(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, 2.0, lambda: ticks.append(sim.now))
+        proc.start(immediate=True)
+        sim.run(until=3.0)
+        assert ticks == [0.0, 2.0]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        proc.start()
+        sim.run(until=2.5)
+        proc.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_interval_change_applies_to_next_tick(self):
+        sim = Simulator()
+        ticks = []
+        proc = PeriodicProcess(sim, 1.0, lambda: ticks.append(sim.now))
+        proc.start()
+        sim.run(until=1.5)
+        proc.interval = 5.0
+        sim.run(until=12.0)
+        # The tick pending at start keeps its old schedule (t=2), then 5s gaps.
+        assert ticks == [1.0, 2.0, 7.0, 12.0]
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            PeriodicProcess(sim, 0.0, lambda: None)
+        proc = PeriodicProcess(sim, 1.0, lambda: None)
+        with pytest.raises(ConfigurationError):
+            proc.interval = -1.0
+
+    def test_running_property(self):
+        sim = Simulator()
+        proc = PeriodicProcess(sim, 1.0, lambda: None)
+        assert not proc.running
+        proc.start()
+        assert proc.running
+        proc.stop()
+        assert not proc.running
+
+    def test_callback_can_stop_its_own_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                proc.stop()
+
+        proc = PeriodicProcess(sim, 1.0, tick)
+        proc.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]

@@ -1,0 +1,48 @@
+"""Tests for named, seeded random streams."""
+
+from repro.sim.rng import RandomStreams, hash_seed
+
+
+def test_same_name_same_stream_object():
+    streams = RandomStreams(1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_reproducible_across_factories():
+    a = RandomStreams(42).stream("wifi").random()
+    b = RandomStreams(42).stream("wifi").random()
+    assert a == b
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(42)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(7)
+    s1.stream("x")
+    first = s1.stream("y").random()
+    s2 = RandomStreams(7)
+    second = s2.stream("y").random()  # "x" never created here
+    assert first == second
+
+
+def test_different_master_seeds_differ():
+    assert RandomStreams(1).stream("a").random() != RandomStreams(2).stream("a").random()
+
+
+def test_spawn_is_independent_of_parent():
+    parent = RandomStreams(3)
+    child = parent.spawn("child")
+    assert parent.stream("a").random() != child.stream("a").random()
+
+
+def test_hash_seed_stable():
+    # Regression guard: the derivation must never change, or seeds
+    # recorded in EXPERIMENTS.md become unreproducible.
+    assert hash_seed(0, "a") == hash_seed(0, "a")
+    assert hash_seed(0, "a") != hash_seed(1, "a")
+    assert hash_seed(0, "a") != hash_seed(0, "b")

@@ -1,0 +1,128 @@
+"""Tests for time-series recording and step-trace integration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.trace import StepTrace, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_non_monotonic_time_rejected(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 0.0)
+        with pytest.raises(SimulationError):
+            ts.record(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_value_at_step_semantics(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 10.0)
+        ts.record(5.0, 20.0)
+        assert ts.value_at(0.0) == 10.0
+        assert ts.value_at(4.999) == 10.0
+        assert ts.value_at(5.0) == 20.0
+        assert ts.value_at(100.0) == 20.0
+
+    def test_value_before_first_sample_raises(self):
+        ts = TimeSeries("x")
+        ts.record(1.0, 10.0)
+        with pytest.raises(SimulationError):
+            ts.value_at(0.5)
+
+    def test_last(self):
+        ts = TimeSeries("x")
+        assert ts.last is None
+        ts.record(1.0, 2.0)
+        assert ts.last == (1.0, 2.0)
+
+    def test_window(self):
+        ts = TimeSeries("x")
+        for t in range(10):
+            ts.record(float(t), float(t))
+        win = ts.window(2.0, 5.0)
+        assert win.times == [2.0, 3.0, 4.0, 5.0]
+
+    def test_resample(self):
+        ts = TimeSeries("x")
+        ts.record(0.0, 1.0)
+        ts.record(10.0, 2.0)
+        res = ts.resample([0.0, 5.0, 10.0])
+        assert res.values == [1.0, 1.0, 2.0]
+
+
+class TestStepTrace:
+    def test_integral_of_constant(self):
+        trace = StepTrace("p", initial=2.0)
+        assert trace.integral(0.0, 5.0) == pytest.approx(10.0)
+
+    def test_integral_across_steps(self):
+        trace = StepTrace("p", initial=1.0)
+        trace.set(2.0, 3.0)
+        # 2s at 1 + 3s at 3 = 11
+        assert trace.integral(0.0, 5.0) == pytest.approx(11.0)
+
+    def test_integral_partial_segment(self):
+        trace = StepTrace("p", initial=1.0)
+        trace.set(2.0, 3.0)
+        assert trace.integral(1.0, 3.0) == pytest.approx(1.0 + 3.0)
+
+    def test_same_time_set_overwrites(self):
+        trace = StepTrace("p", initial=1.0)
+        trace.set(2.0, 5.0)
+        trace.set(2.0, 3.0)
+        assert trace.value_at(2.0) == 3.0
+        assert trace.integral(0.0, 4.0) == pytest.approx(2.0 + 6.0)
+
+    def test_empty_interval_is_zero(self):
+        trace = StepTrace("p", initial=9.0)
+        assert trace.integral(3.0, 3.0) == 0.0
+
+    def test_reversed_interval_raises(self):
+        trace = StepTrace("p")
+        with pytest.raises(SimulationError):
+            trace.integral(5.0, 1.0)
+
+    def test_value_at(self):
+        trace = StepTrace("p", initial=1.0)
+        trace.set(1.0, 2.0)
+        trace.set(2.0, 4.0)
+        assert trace.value_at(0.5) == 1.0
+        assert trace.value_at(1.5) == 2.0
+        assert trace.value_at(2.0) == 4.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=100.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_integral_additivity(self, increments):
+        """integral(a, c) == integral(a, b) + integral(b, c)."""
+        trace = StepTrace("p", initial=1.0)
+        t = 0.0
+        for dt, value in increments:
+            t += dt
+            trace.set(t, value)
+        end = t + 1.0
+        mid = end / 2
+        whole = trace.integral(0.0, end)
+        split = trace.integral(0.0, mid) + trace.integral(mid, end)
+        assert whole == pytest.approx(split, rel=1e-9, abs=1e-9)

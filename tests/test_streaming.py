@@ -1,0 +1,113 @@
+"""Tests for the video-streaming workload and experiment."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments.streaming import run_streaming
+from repro.sim.engine import Simulator
+from repro.workloads.streaming import VideoSession
+from repro.workloads.web import ObjectQueueSource
+
+
+class InstantNetwork:
+    """Delivers pushed bytes after a fixed delay — a fake connection."""
+
+    def __init__(self, sim, source, session_ref, delay=0.5):
+        self.sim = sim
+        self.source = source
+        self.session_ref = session_ref
+        self.delay = delay
+
+    def notify(self):
+        pending = self.source.remaining
+        if pending > 0:
+            taken = self.source.take(pending)
+            self.sim.schedule(self.delay, self._deliver, taken)
+
+    def _deliver(self, nbytes):
+        self.session_ref[0].on_delivery(nbytes)
+
+
+def make_session(sim, delay=0.5, **kwargs):
+    source = ObjectQueueSource()
+    holder = [None]
+    net = InstantNetwork(sim, source, holder, delay=delay)
+    session = VideoSession(sim, source, notify_data=net.notify, **kwargs)
+    holder[0] = session
+    return session
+
+
+class TestVideoSession:
+    def test_plays_through_with_fast_network(self):
+        sim = Simulator()
+        session = make_session(sim, delay=0.2, media_seconds=40.0)
+        session.start()
+        sim.run(until=120.0)
+        assert session.done
+        assert session.rebuffer_events == 0
+        assert session.media_played == pytest.approx(40.0, abs=0.5)
+        assert session.started_at is not None
+
+    def test_startup_requires_buffer(self):
+        sim = Simulator()
+        session = make_session(sim, delay=1.0, media_seconds=40.0)
+        session.start()
+        sim.run(until=0.9)
+        assert not session.playing
+        sim.run(until=5.0)
+        assert session.playing
+
+    def test_slow_network_rebuffers(self):
+        sim = Simulator()
+        # Each 4 s chunk takes 6 s to arrive: the player must stall.
+        session = make_session(sim, delay=6.0, media_seconds=60.0)
+        session.start()
+        sim.run(until=300.0)
+        assert session.rebuffer_events > 0
+        assert session.rebuffer_time > 0
+
+    def test_fetch_pauses_at_target_buffer(self):
+        sim = Simulator()
+        session = make_session(sim, delay=0.05, media_seconds=400.0)
+        session.start()
+        sim.run(until=30.0)
+        # Buffer must hover near the target, not grow unboundedly.
+        assert session.buffer_seconds <= session.target_buffer + session.chunk_seconds
+
+    def test_invalid_params_rejected(self):
+        sim = Simulator()
+        source = ObjectQueueSource()
+        with pytest.raises(WorkloadError):
+            VideoSession(sim, source, lambda: None, media_seconds=0.0)
+        with pytest.raises(WorkloadError):
+            VideoSession(
+                sim, source, lambda: None, startup_buffer=20.0, target_buffer=10.0
+            )
+
+
+class TestStreamingExperiment:
+    def test_good_wifi_stream_never_stalls(self):
+        for protocol in ("mptcp", "emptcp", "tcp-wifi"):
+            result = run_streaming(
+                protocol, media_seconds=40.0, seed=0, steady_wifi=10.0
+            )
+            assert result.finished, protocol
+            assert result.rebuffer_events == 0, protocol
+
+    def test_emptcp_stays_on_wifi_when_it_sustains_the_bitrate(self):
+        emptcp = run_streaming("emptcp", media_seconds=40.0, seed=0, steady_wifi=10.0)
+        tcp = run_streaming("tcp-wifi", media_seconds=40.0, seed=0, steady_wifi=10.0)
+        assert emptcp.energy_j == pytest.approx(tcp.energy_j, rel=0.1)
+
+    def test_mptcp_pays_tail_for_bursty_chunks(self):
+        mptcp = run_streaming("mptcp", media_seconds=40.0, seed=0, steady_wifi=10.0)
+        emptcp = run_streaming("emptcp", media_seconds=40.0, seed=0, steady_wifi=10.0)
+        assert mptcp.energy_j > 1.3 * emptcp.energy_j
+
+    def test_below_bitrate_wifi_forces_lte_help(self):
+        """WiFi pinned below the media bitrate: single-path streaming
+        stalls; eMPTCP brings LTE up and stalls less."""
+        tcp = run_streaming("tcp-wifi", media_seconds=60.0, seed=0, steady_wifi=1.2)
+        emptcp = run_streaming("emptcp", media_seconds=60.0, seed=0, steady_wifi=1.2)
+        assert tcp.rebuffer_time > 0
+        assert emptcp.rebuffer_time < tcp.rebuffer_time

@@ -1,0 +1,134 @@
+"""Tests for the Reno congestion controller."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tcp.congestion import DEFAULT_MSS, RenoCongestionControl
+
+
+def test_initial_window_is_ten_segments():
+    cc = RenoCongestionControl()
+    assert cc.cwnd == pytest.approx(10 * DEFAULT_MSS)
+    assert cc.in_slow_start
+
+
+def test_slow_start_doubles_per_window():
+    cc = RenoCongestionControl()
+    start = cc.cwnd
+    cc.on_ack(start)  # one full window acked
+    assert cc.cwnd == pytest.approx(2 * start)
+
+
+def test_slow_start_capped_at_ssthresh():
+    cc = RenoCongestionControl()
+    cc.ssthresh = cc.cwnd * 1.5
+    cc.on_ack(cc.cwnd)  # would double past ssthresh
+    assert cc.cwnd == pytest.approx(cc.ssthresh)
+
+
+def test_congestion_avoidance_adds_one_mss_per_rtt():
+    cc = RenoCongestionControl()
+    cc.on_loss()  # enter CA
+    assert not cc.in_slow_start
+    w = cc.cwnd
+    cc.on_ack(w)  # one full window of acks
+    assert cc.cwnd == pytest.approx(w + cc.mss)
+
+
+def test_coupled_increase_scales_ca_growth():
+    cc = RenoCongestionControl()
+    cc.on_loss()
+    w = cc.cwnd
+    cc.on_ack(w, coupling=0.5)
+    assert cc.cwnd == pytest.approx(w + 0.5 * cc.mss)
+
+
+def test_slow_start_is_never_coupled():
+    cc = RenoCongestionControl()
+    w = cc.cwnd
+    cc.on_ack(w, coupling=0.0)
+    assert cc.cwnd == pytest.approx(2 * w)
+
+
+def test_loss_halves_window():
+    cc = RenoCongestionControl()
+    cc.cwnd = 100 * cc.mss
+    cc.on_loss()
+    assert cc.cwnd == pytest.approx(50 * cc.mss)
+    assert cc.ssthresh == pytest.approx(50 * cc.mss)
+    assert cc.losses == 1
+
+
+def test_window_floor_is_two_mss():
+    cc = RenoCongestionControl()
+    cc.cwnd = 1 * cc.mss
+    cc.on_loss()
+    assert cc.cwnd == pytest.approx(2 * cc.mss)
+
+
+def test_timeout_collapses_to_initial_window():
+    cc = RenoCongestionControl()
+    cc.cwnd = 100 * cc.mss
+    cc.on_timeout()
+    assert cc.cwnd == pytest.approx(cc.init_cwnd)
+    assert cc.ssthresh == pytest.approx(50 * cc.mss)
+    assert cc.timeouts == 1
+
+
+def test_idle_reset_rfc2861():
+    cc = RenoCongestionControl()
+    cc.cwnd = 100 * cc.mss
+    cc.ssthresh = math.inf
+    cc.reset_after_idle()
+    assert cc.cwnd == pytest.approx(cc.init_cwnd)
+
+
+def test_max_cwnd_cap():
+    cc = RenoCongestionControl(max_cwnd=20 * DEFAULT_MSS)
+    for _ in range(10):
+        cc.on_ack(cc.cwnd)
+    assert cc.cwnd <= 20 * DEFAULT_MSS
+
+
+def test_zero_ack_is_noop():
+    cc = RenoCongestionControl()
+    w = cc.cwnd
+    cc.on_ack(0.0)
+    assert cc.cwnd == w
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ConfigurationError):
+        RenoCongestionControl(mss=0)
+    with pytest.raises(ConfigurationError):
+        RenoCongestionControl(init_cwnd_segments=0)
+    with pytest.raises(ConfigurationError):
+        RenoCongestionControl().on_ack(-1.0)
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("ack"), st.floats(min_value=1.0, max_value=1e6)),
+            st.tuples(st.just("loss"), st.just(0.0)),
+            st.tuples(st.just("timeout"), st.just(0.0)),
+        ),
+        max_size=200,
+    )
+)
+def test_property_window_always_positive_and_finite(events):
+    cc = RenoCongestionControl()
+    for kind, arg in events:
+        if kind == "ack":
+            cc.on_ack(arg)
+        elif kind == "loss":
+            cc.on_loss()
+        else:
+            cc.on_timeout()
+        assert cc.cwnd > 0
+        assert math.isfinite(cc.cwnd)
+        assert cc.cwnd <= cc.max_cwnd

@@ -1,0 +1,303 @@
+"""Tests for the fluid TCP connection."""
+
+import math
+
+import pytest
+
+from tests.helpers import make_path, rng
+from repro.errors import ProtocolError
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.tcp.connection import (
+    FiniteSource,
+    InfiniteSource,
+    TcpConnection,
+    TcpState,
+)
+from repro.units import mbps_to_bytes_per_sec
+
+
+def make_conn(sim, path, size=1_000_000.0, **kwargs):
+    source = FiniteSource(size)
+    conn = TcpConnection(sim, path, source, rng=rng(), **kwargs)
+    return conn, source
+
+
+class TestSources:
+    def test_finite_source_grants_up_to_remaining(self):
+        src = FiniteSource(100.0)
+        assert src.take(60.0) == 60.0
+        assert src.take(60.0) == 40.0
+        assert src.take(60.0) == 0.0
+        assert src.exhausted
+
+    def test_finite_source_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            FiniteSource(0.0)
+
+    def test_infinite_source_never_exhausts(self):
+        src = InfiniteSource()
+        assert src.take(1e9) == 1e9
+        assert not src.exhausted
+        assert src.remaining == math.inf
+
+
+class TestHandshake:
+    def test_establishes_after_one_rtt(self):
+        sim = Simulator()
+        path = make_path(sim, rtt=0.08)
+        conn, _ = make_conn(sim, path)
+        conn.connect()
+        assert conn.state is TcpState.CONNECTING
+        sim.run(until=0.08)
+        assert conn.established
+        assert conn.established_at == pytest.approx(0.08)
+        assert conn.handshake_rtt == pytest.approx(0.08)
+
+    def test_extra_delay_postpones_establishment(self):
+        sim = Simulator()
+        path = make_path(sim, rtt=0.08)
+        conn, _ = make_conn(sim, path)
+        conn.connect(extra_delay=1.0)
+        sim.run(until=1.0)
+        assert not conn.established
+        sim.run(until=1.1)
+        assert conn.established
+
+    def test_double_connect_rejected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        conn, _ = make_conn(sim, path)
+        conn.connect()
+        with pytest.raises(ProtocolError):
+            conn.connect()
+
+    def test_established_listener_fires(self):
+        sim = Simulator()
+        path = make_path(sim)
+        conn, _ = make_conn(sim, path)
+        seen = []
+        conn.on_established(seen.append)
+        conn.connect()
+        sim.run(until=1.0)
+        assert seen == [conn]
+
+
+class TestTransfer:
+    def test_transfer_completes_all_bytes(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0, rtt=0.05)
+        conn, source = make_conn(sim, path, size=2_000_000.0)
+        conn.connect()
+        sim.run(until=60.0)
+        assert source.exhausted
+        assert conn.bytes_delivered == pytest.approx(2_000_000.0)
+
+    def test_throughput_approaches_capacity(self):
+        """A long transfer on a clean 8 Mbps path should take roughly
+        size/capacity once slow start finishes."""
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0, rtt=0.05)
+        size = 10_000_000.0  # 10 MB at 1 MB/s -> ~10 s
+        conn, source = make_conn(sim, path, size=size)
+        done = []
+        conn.on_delivery(
+            lambda c, _d: done.append(sim.now) if source.exhausted else None
+        )
+        conn.connect()
+        sim.run(until=120.0)
+        assert source.exhausted
+        finish = done[-1]
+        ideal = size / mbps_to_bytes_per_sec(8.0)
+        assert ideal <= finish < ideal * 1.35
+
+    def test_slow_start_ramp_visible(self):
+        """Early rounds deliver far less than capacity."""
+        sim = Simulator()
+        path = make_path(sim, mbps=50.0, rtt=0.1)
+        conn, _ = make_conn(sim, path, size=50_000_000.0)
+        rates = []
+        conn.on_rate_change(lambda t, r: rates.append((t, r)))
+        conn.connect()
+        sim.run(until=0.45)
+        first_rates = [r for _t, r in rates if r > 0]
+        assert first_rates, "no sending observed"
+        assert first_rates[0] < mbps_to_bytes_per_sec(50.0) / 4
+
+    def test_delivery_listener_sees_all_bytes(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0)
+        conn, _ = make_conn(sim, path, size=500_000.0)
+        total = []
+        conn.on_delivery(lambda _c, d: total.append(d))
+        conn.connect()
+        sim.run(until=30.0)
+        assert sum(total) == pytest.approx(500_000.0)
+
+    def test_rate_zero_after_completion(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0)
+        conn, _ = make_conn(sim, path, size=100_000.0)
+        conn.connect()
+        sim.run(until=30.0)
+        assert conn.current_rate == 0.0
+        assert not conn.sending
+
+    def test_shared_source_drained_by_two_connections(self):
+        sim = Simulator()
+        path_a = make_path(sim, mbps=8.0)
+        path_b = make_path(sim, mbps=4.0, kind=InterfaceKind.LTE)
+        source = FiniteSource(3_000_000.0)
+        conn_a = TcpConnection(sim, path_a, source, rng=rng(1))
+        conn_b = TcpConnection(sim, path_b, source, rng=rng(2))
+        conn_a.connect()
+        conn_b.connect()
+        sim.run(until=60.0)
+        assert source.exhausted
+        assert conn_a.bytes_delivered > 0
+        assert conn_b.bytes_delivered > 0
+        assert conn_a.bytes_delivered + conn_b.bytes_delivered == pytest.approx(
+            3_000_000.0
+        )
+
+
+class TestLossBehaviour:
+    def test_random_loss_reduces_throughput(self):
+        size = 4_000_000.0
+
+        def finish_time(loss):
+            sim = Simulator()
+            path = make_path(sim, mbps=20.0, rtt=0.05, loss=loss)
+            conn, source = make_conn(sim, path, size=size)
+            conn.connect()
+            sim.run(until=600.0)
+            assert source.exhausted
+            return conn.last_activity
+
+        assert finish_time(0.005) > finish_time(0.0)
+
+    def test_losses_counted_on_lossy_path(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=20.0, loss=0.01)
+        conn, _ = make_conn(sim, path, size=4_000_000.0)
+        conn.connect()
+        sim.run(until=600.0)
+        assert conn.cc.losses > 0
+
+    def test_buffer_overflow_triggers_backoff(self):
+        """With a tiny buffer the window cannot grow unboundedly."""
+        sim = Simulator()
+        path = make_path(sim, mbps=2.0, rtt=0.05, buffer_bytes=10_000.0)
+        conn, _ = make_conn(sim, path, size=3_000_000.0)
+        conn.connect()
+        sim.run(until=30.0)
+        assert conn.cc.losses > 0
+        bdp = mbps_to_bytes_per_sec(2.0) * 0.05
+        assert conn.cc.cwnd < bdp + 10_000.0 + conn.cc.mss * 20
+
+
+class TestStall:
+    def test_zero_capacity_stalls_then_recovers(self):
+        sim = Simulator()
+        from repro.net.bandwidth import PiecewiseTraceCapacity
+        from repro.net.interface import NetworkInterface
+        from repro.net.path import NetworkPath
+
+        cap = PiecewiseTraceCapacity([(0.0, 0.0), (5.0, 500_000.0)])
+        path = NetworkPath(NetworkInterface(InterfaceKind.WIFI), cap, base_rtt=0.05)
+        path.attach(sim)
+        conn, source = make_conn(sim, path, size=200_000.0)
+        conn.connect()
+        sim.run(until=4.9)
+        assert conn.bytes_delivered == 0.0
+        sim.run(until=20.0)
+        assert source.exhausted
+
+
+class TestPauseResume:
+    def _running_conn(self, sim, idle_reset=True):
+        path = make_path(sim, mbps=8.0)
+        conn, source = make_conn(
+            sim, path, size=50_000_000.0, rfc2861_idle_reset=idle_reset
+        )
+        conn.connect()
+        sim.run(until=2.0)
+        return conn, source
+
+    def test_pause_stops_sending(self):
+        sim = Simulator()
+        conn, _ = self._running_conn(sim)
+        delivered_before = conn.bytes_delivered
+        conn.pause()
+        sim.run(until=4.0)
+        # At most one in-flight round completes after pause.
+        assert conn.bytes_delivered <= delivered_before + conn.cc.cwnd
+        assert conn.current_rate == 0.0
+
+    def test_resume_continues(self):
+        sim = Simulator()
+        conn, _ = self._running_conn(sim)
+        conn.pause()
+        sim.run(until=4.0)
+        delivered = conn.bytes_delivered
+        conn.resume()
+        sim.run(until=6.0)
+        assert conn.bytes_delivered > delivered
+
+    def test_rfc2861_reset_after_long_idle(self):
+        sim = Simulator()
+        conn, _ = self._running_conn(sim, idle_reset=True)
+        conn.pause()
+        big = conn.cc.cwnd
+        sim.run(until=30.0)  # idle far beyond RTO
+        conn.resume()
+        assert conn.cc.cwnd == pytest.approx(conn.cc.init_cwnd)
+        assert conn.cc.cwnd < big
+
+    def test_emptcp_disables_idle_reset(self):
+        sim = Simulator()
+        conn, _ = self._running_conn(sim, idle_reset=False)
+        conn.pause()
+        sim.run(until=30.0)  # idle far beyond RTO; in-flight round settles
+        big = conn.cc.cwnd
+        conn.resume()
+        assert conn.cc.cwnd == pytest.approx(big)
+        assert big > conn.cc.init_cwnd
+
+    def test_resume_with_rtt_reset(self):
+        sim = Simulator()
+        conn, _ = self._running_conn(sim)
+        conn.pause()
+        sim.run(until=3.0)
+        conn.resume(reset_rtt=True)
+        assert conn.srtt == 0.0
+
+    def test_resume_unestablished_rejected(self):
+        sim = Simulator()
+        path = make_path(sim)
+        conn, _ = make_conn(sim, path)
+        with pytest.raises(ProtocolError):
+            conn.resume()
+
+
+class TestClose:
+    def test_close_stops_everything(self):
+        sim = Simulator()
+        path = make_path(sim, mbps=8.0)
+        conn, _ = make_conn(sim, path, size=50_000_000.0)
+        conn.connect()
+        sim.run(until=2.0)
+        conn.close()
+        delivered = conn.bytes_delivered
+        sim.run(until=10.0)
+        assert conn.bytes_delivered == delivered
+        assert conn.state is TcpState.CLOSED
+        assert conn.current_rate == 0.0
+
+    def test_close_is_idempotent(self):
+        sim = Simulator()
+        path = make_path(sim)
+        conn, _ = make_conn(sim, path)
+        conn.connect()
+        conn.close()
+        conn.close()

@@ -1,0 +1,80 @@
+"""Tests for the RTT estimator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tcp.rtt import RttEstimator
+
+
+def test_first_sample_initializes():
+    est = RttEstimator()
+    est.observe(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    assert est.initialized
+
+
+def test_smoothing_follows_rfc6298():
+    est = RttEstimator()
+    est.observe(0.1)
+    est.observe(0.2)
+    assert est.rttvar == pytest.approx(0.75 * 0.05 + 0.25 * 0.1)
+    assert est.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+
+def test_rto_before_initialization_is_one_second():
+    assert RttEstimator().rto == 1.0
+
+
+def test_rto_clamped_to_min():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(100):
+        est.observe(0.01)
+    assert est.rto == 0.2
+
+
+def test_rto_clamped_to_max():
+    est = RttEstimator(max_rto=60.0)
+    est.observe(100.0)
+    assert est.rto == 60.0
+
+
+def test_reset_to_zero_for_reuse():
+    est = RttEstimator()
+    est.observe(0.3)
+    est.reset_to_zero()
+    assert est.srtt == 0.0
+    assert not est.initialized
+    est.observe(0.2)
+    assert est.srtt == pytest.approx(0.2)
+
+
+def test_invalid_sample_rejected():
+    with pytest.raises(ConfigurationError):
+        RttEstimator().observe(0.0)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigurationError):
+        RttEstimator(min_rto=0.0)
+    with pytest.raises(ConfigurationError):
+        RttEstimator(min_rto=1.0, max_rto=0.5)
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=10.0), min_size=1, max_size=100))
+def test_property_srtt_stays_within_sample_range(samples):
+    est = RttEstimator()
+    for s in samples:
+        est.observe(s)
+    assert min(samples) <= est.srtt <= max(samples) + 1e-12
+
+
+@given(st.floats(min_value=1e-3, max_value=5.0))
+def test_property_constant_samples_converge_exactly(value):
+    est = RttEstimator()
+    for _ in range(50):
+        est.observe(value)
+    assert est.srtt == pytest.approx(value)
+    assert est.rttvar == pytest.approx(0.0, abs=value)

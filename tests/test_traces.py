@@ -1,0 +1,72 @@
+"""Tests for CSV trace loading."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec
+from repro.workloads.traces import (
+    capacity_from_csv,
+    dump_bandwidth_csv,
+    parse_bandwidth_csv,
+)
+
+
+class TestParse:
+    def test_basic_rows(self):
+        rows = parse_bandwidth_csv("0,5\n10,1.5\n20,8\n")
+        assert rows == [
+            (0.0, mbps_to_bytes_per_sec(5.0)),
+            (10.0, mbps_to_bytes_per_sec(1.5)),
+            (20.0, mbps_to_bytes_per_sec(8.0)),
+        ]
+
+    def test_header_and_comments_skipped(self):
+        rows = parse_bandwidth_csv("time_s,mbps\n# note\n\n0,5\n1,6\n")
+        assert len(rows) == 2
+
+    def test_non_numeric_body_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_bandwidth_csv("0,5\nbad,row\n")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_bandwidth_csv("0,-1\n")
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_bandwidth_csv("0,5\n0,6\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_bandwidth_csv("time_s,mbps\n")
+
+    def test_short_row_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_bandwidth_csv("0\n")
+
+
+class TestRoundTrip:
+    def test_dump_then_parse(self):
+        trace = [(0.0, mbps_to_bytes_per_sec(5.0)), (7.5, mbps_to_bytes_per_sec(0.8))]
+        text = dump_bandwidth_csv(trace)
+        rows = parse_bandwidth_csv(text)
+        assert rows[0][0] == 0.0
+        assert rows[1][1] == pytest.approx(mbps_to_bytes_per_sec(0.8), rel=1e-3)
+
+    def test_capacity_from_csv(self, tmp_path):
+        f = tmp_path / "trace.csv"
+        f.write_text("time_s,mbps\n0,5\n2,1\n")
+        cap = capacity_from_csv(f)
+        sim = Simulator()
+        cap.attach(sim)
+        assert cap.rate == mbps_to_bytes_per_sec(5.0)
+        sim.run(until=3.0)
+        assert cap.rate == mbps_to_bytes_per_sec(1.0)
+
+    def test_mobility_trace_exports(self):
+        from repro.experiments.mobility import mobility_capacity_trace
+
+        text = dump_bandwidth_csv(mobility_capacity_trace())
+        rows = parse_bandwidth_csv(text)
+        assert len(rows) > 200

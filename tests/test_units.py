@@ -1,0 +1,34 @@
+"""Unit-conversion sanity tests — a factor-of-8 bug here would silently
+skew every figure."""
+
+import pytest
+
+from repro import units
+
+
+def test_mbps_round_trip():
+    assert units.bytes_per_sec_to_mbps(units.mbps_to_bytes_per_sec(7.3)) == pytest.approx(7.3)
+
+
+def test_one_mbps_is_125000_bytes_per_sec():
+    assert units.mbps_to_bytes_per_sec(1.0) == pytest.approx(125_000.0)
+
+
+def test_kbps():
+    assert units.kbps_to_bytes_per_sec(1000.0) == pytest.approx(
+        units.mbps_to_bytes_per_sec(1.0)
+    )
+
+
+def test_milliwatts():
+    assert units.milliwatts_to_watts(1500.0) == pytest.approx(1.5)
+    assert units.watts_to_milliwatts(1.5) == pytest.approx(1500.0)
+
+
+def test_mib_and_kib():
+    assert units.mib(1) == 1024 * 1024
+    assert units.kib(256) == 256 * 1024
+
+
+def test_joules_per_bit():
+    assert units.joules_per_byte_to_joules_per_bit(8.0) == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Tests for upload-direction support (§7 future-work extension)."""
+
+import pytest
+
+from repro.core.eib import cached_eib
+from repro.energy.device import GALAXY_S3
+from repro.energy.efficiency import Strategy, per_byte_energy, strategy_power
+from repro.energy.meter import EnergyMeter
+from repro.energy.power import Direction, InterfacePower
+from repro.errors import EnergyModelError
+from repro.experiments.runner import run_scenario
+from repro.experiments.upload import run_upload, upload_eib_rows, upload_scenario
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+class TestInterfacePowerDirections:
+    def test_upload_slope_defaults_to_download(self):
+        p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
+        assert p.per_mbps_up_w == p.per_mbps_w
+        assert p.active_power_mbps(4.0, Direction.UP) == p.active_power_mbps(4.0)
+
+    def test_distinct_upload_slope(self):
+        p = InterfacePower(base_w=0.5, per_mbps_w=0.1, per_mbps_up_w=0.4)
+        assert p.active_power_mbps(4.0, Direction.UP) == pytest.approx(0.5 + 1.6)
+        assert p.active_power_mbps(4.0, Direction.DOWN) == pytest.approx(0.5 + 0.4)
+
+    def test_negative_upload_slope_rejected(self):
+        with pytest.raises(EnergyModelError):
+            InterfacePower(base_w=0.5, per_mbps_w=0.1, per_mbps_up_w=-0.1)
+
+    def test_profiles_have_steeper_upload_slopes(self):
+        for kind in (InterfaceKind.WIFI, InterfaceKind.LTE, InterfaceKind.THREEG):
+            params = GALAXY_S3.interfaces[kind]
+            assert params.per_mbps_up_w > params.per_mbps_w
+
+
+class TestDirectionalEfficiency:
+    def test_upload_costs_more_per_byte(self):
+        down = per_byte_energy(GALAXY_S3, Strategy.CELLULAR_ONLY, 0.0, 8.0)
+        up = per_byte_energy(
+            GALAXY_S3, Strategy.CELLULAR_ONLY, 0.0, 8.0, direction=Direction.UP
+        )
+        assert up > down
+
+    def test_strategy_power_direction(self):
+        down = strategy_power(GALAXY_S3, Strategy.BOTH, 5.0, 5.0)
+        up = strategy_power(
+            GALAXY_S3, Strategy.BOTH, 5.0, 5.0, direction=Direction.UP
+        )
+        assert up > down
+
+    def test_upload_eib_thresholds_lower(self):
+        """LTE upload is so much costlier that WiFi-only wins earlier."""
+        down_rows = cached_eib(GALAXY_S3).table_rows([1.0, 2.0])
+        up_rows = upload_eib_rows(lte_rows=[1.0, 2.0])
+        for d, u in zip(down_rows, up_rows):
+            assert u.wifi_only_above < d.wifi_only_above
+
+    def test_eib_cache_keyed_by_direction(self):
+        down = cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.DOWN)
+        up = cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.UP)
+        assert down is not up
+        assert up is cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.UP)
+
+
+class TestDirectionalMeter:
+    def test_meter_uses_upload_slope(self):
+        rate = mbps_to_bytes_per_sec(5.0)
+        sim_d = Simulator()
+        down = EnergyMeter(sim_d, GALAXY_S3, direction=Direction.DOWN)
+        down.set_rate(InterfaceKind.LTE, rate)
+        sim_u = Simulator()
+        up = EnergyMeter(sim_u, GALAXY_S3, direction=Direction.UP)
+        up.set_rate(InterfaceKind.LTE, rate)
+        assert up.power > down.power
+
+
+class TestUploadScenarios:
+    def test_upload_run_costs_more_than_download(self):
+        down = upload_scenario(True, upload_bytes=mib(8))
+        down.direction = Direction.DOWN
+        down_result = run_scenario("mptcp", down, seed=0)
+        up = upload_scenario(True, upload_bytes=mib(8))
+        up_result = run_scenario("mptcp", up, seed=0)
+        assert up_result.energy_j > down_result.energy_j
+        # Same fluid dynamics, so identical transfer time.
+        assert up_result.download_time == pytest.approx(down_result.download_time)
+
+    def test_emptcp_tracks_wifi_only_on_good_wifi_upload(self):
+        results = run_upload(True, runs=1, upload_bytes=mib(8))
+        e = {p: rs[0].energy_j for p, rs in results.items()}
+        assert e["emptcp"] == pytest.approx(e["tcp-wifi"], rel=0.05)
+        assert e["mptcp"] > 1.2 * e["emptcp"]
+
+    def test_bad_wifi_upload_uses_lte(self):
+        results = run_upload(False, runs=1, upload_bytes=mib(8))
+        emptcp = results["emptcp"][0]
+        assert emptcp.diagnostics["cell_established"] == 1.0
+        assert emptcp.download_time < results["tcp-wifi"][0].download_time

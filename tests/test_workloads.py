@@ -1,0 +1,194 @@
+"""Tests for workload generators: background traffic, mobility, web,
+wild environments."""
+
+import random
+
+import pytest
+
+from repro.analysis.categorize import Category, categorize
+from repro.errors import WorkloadError
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.contention import WiFiChannel
+from repro.sim.engine import Simulator
+from repro.units import kib
+from repro.workloads.background import OnOffUdpNode, make_interferers
+from repro.workloads.mobility import (
+    MobilityRoute,
+    Waypoint,
+    default_route,
+    route_capacity_trace,
+    wifi_rate_at_distance,
+)
+from repro.workloads.web import ObjectQueueSource, WebPage, cnn_like_page
+from repro.workloads.wild import MAX_MBPS, MIN_MBPS, WildSampler
+
+
+class TestOnOffUdpNode:
+    def test_starts_in_requested_state(self):
+        sim = Simulator()
+        node = OnOffUdpNode(sim, 0.05, 0.05, random.Random(0), start_on=True)
+        assert node.active
+        assert node.rate > 0
+
+    def test_silent_node_offers_no_load(self):
+        sim = Simulator()
+        node = OnOffUdpNode(sim, 0.05, 0.05, random.Random(0), start_on=False)
+        assert not node.active
+        assert node.rate == 0.0
+
+    def test_transitions_happen(self):
+        sim = Simulator()
+        node = OnOffUdpNode(sim, 0.05, 0.05, random.Random(1))
+        sim.run(until=1000.0)
+        assert node.transitions > 5
+
+    def test_mean_on_dwell_matches_lambda_off(self):
+        """While on, the node turns off at rate λ_off: mean dwell 1/λ_off."""
+        sim = Simulator()
+        node = OnOffUdpNode(sim, 0.05, 0.025, random.Random(7), start_on=True)
+        transitions = []
+        orig_flip = node._flip
+
+        def tracking_flip():
+            transitions.append((sim.now, node.active))
+            orig_flip()
+
+        node._flip = tracking_flip
+        sim.run(until=200_000.0)
+        on_dwells = []
+        last_on_start = 0.0
+        for t, was_active_before in transitions:
+            if was_active_before:  # flipping off: end of an on-period
+                on_dwells.append(t - last_on_start)
+            else:
+                last_on_start = t
+        mean_on = sum(on_dwells) / len(on_dwells)
+        assert mean_on == pytest.approx(40.0, rel=0.2)
+
+    def test_invalid_params_rejected(self):
+        sim = Simulator()
+        with pytest.raises(Exception):
+            OnOffUdpNode(sim, 0.0, 0.05, random.Random(0))
+        with pytest.raises(Exception):
+            OnOffUdpNode(sim, 0.05, 0.05, random.Random(0), rate_bytes_per_sec=0.0)
+
+    def test_make_interferers_attaches_n_nodes(self):
+        sim = Simulator()
+        channel = WiFiChannel(ConstantCapacity(1e6))
+        nodes = make_interferers(sim, channel, 3, 0.05, 0.025, random.Random(0))
+        assert len(nodes) == 3
+        assert len(channel.interferers) == 3
+
+
+class TestMobility:
+    def test_route_position_interpolates(self):
+        route = MobilityRoute([Waypoint(0, 0, 0), Waypoint(10, 10, 0)])
+        assert route.position(5) == (5.0, 0.0)
+        assert route.position(-1) == (0.0, 0.0)
+        assert route.position(99) == (10.0, 0.0)
+
+    def test_route_validation(self):
+        with pytest.raises(WorkloadError):
+            MobilityRoute([Waypoint(0, 0, 0)])
+        with pytest.raises(WorkloadError):
+            MobilityRoute([Waypoint(0, 0, 0), Waypoint(0, 1, 1)])
+
+    def test_rate_decreases_with_distance(self):
+        near = wifi_rate_at_distance(1.0, 1000.0, 30.0)
+        mid = wifi_rate_at_distance(20.0, 1000.0, 30.0)
+        far = wifi_rate_at_distance(60.0, 1000.0, 30.0)
+        assert near > mid > far
+
+    def test_rate_negligible_beyond_usable_range(self):
+        rate = wifi_rate_at_distance(45.0, 1000.0, 30.0)
+        assert rate < 50.0  # < 5% of max
+
+    def test_floor_rate_keeps_association(self):
+        rate = wifi_rate_at_distance(100.0, 1000.0, 30.0, floor_rate=10.0)
+        assert rate == 10.0
+
+    def test_trace_covers_route_duration(self):
+        route = default_route()
+        trace = route_capacity_trace(route, (5.0, 5.0), 1000.0, 30.0, step=1.0)
+        assert trace[0][0] == 0.0
+        assert trace[-1][0] >= route.duration - 1.0
+        assert all(r >= 0 for _t, r in trace)
+
+    def test_default_route_goes_out_of_range(self):
+        """The Figure 11 route must include in-range and out-of-range
+        stretches for the Figure 12 dynamics to exist."""
+        trace = route_capacity_trace(
+            default_route(), (5.0, 5.0), 1000.0, 30.0, step=1.0
+        )
+        rates = [r for _t, r in trace]
+        assert max(rates) > 900.0  # near AP
+        assert min(rates) < 50.0  # well out of range
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(WorkloadError):
+            wifi_rate_at_distance(-1.0, 1000.0, 30.0)
+
+
+class TestWebPage:
+    def test_cnn_like_page_shape(self):
+        page = cnn_like_page()
+        assert len(page) == 107
+        assert all(s < kib(256) for s in page.object_sizes)
+        assert page.total_bytes > 500_000  # a real page, not crumbs
+
+    def test_deterministic_by_seed(self):
+        assert cnn_like_page(seed=1).object_sizes == cnn_like_page(seed=1).object_sizes
+        assert cnn_like_page(seed=1).object_sizes != cnn_like_page(seed=2).object_sizes
+
+    def test_empty_page_rejected(self):
+        with pytest.raises(WorkloadError):
+            WebPage([])
+        with pytest.raises(WorkloadError):
+            WebPage([0.0])
+
+    def test_queue_source_object_boundaries(self):
+        src = ObjectQueueSource()
+        assert src.exhausted
+        src.push(100.0)
+        assert not src.exhausted
+        assert src.take(60.0) == 60.0
+        assert src.take(60.0) == 40.0
+        assert src.exhausted
+        src.push(50.0)
+        assert not src.exhausted
+
+    def test_queue_source_is_not_final(self):
+        assert ObjectQueueSource.final is False
+
+    def test_queue_source_rejects_empty_object(self):
+        with pytest.raises(WorkloadError):
+            ObjectQueueSource().push(0.0)
+
+
+class TestWildSampler:
+    def test_deterministic_by_seed(self):
+        a = [e.name for e in WildSampler(seed=1).environments(10)]
+        b = [e.name for e in WildSampler(seed=1).environments(10)]
+        assert a == b
+
+    def test_throughputs_clamped(self):
+        for env in WildSampler(seed=3).environments(200):
+            assert MIN_MBPS <= env.wifi_mbps <= MAX_MBPS
+            assert MIN_MBPS <= env.lte_mbps <= MAX_MBPS
+
+    def test_all_categories_occur(self):
+        """Figure 14 shows traces in all four quadrants."""
+        cats = {
+            categorize(e.wifi_mbps, e.lte_mbps)
+            for e in WildSampler(seed=185).environments(120)
+        }
+        assert cats == set(Category)
+
+    def test_rtt_includes_server_component(self):
+        for env in WildSampler(seed=2).environments(30):
+            assert env.wifi_rtt > env.site.wifi_access_rtt - 1e-12
+            assert env.lte_rtt > env.wifi_rtt  # LTE access latency higher
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            WildSampler().environments(0)
