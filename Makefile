@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-verbose report report-paper examples clean
+.PHONY: install test bench bench-smoke bench-verbose report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -15,6 +15,10 @@ bench:
 
 bench-verbose:  ## print every figure's rows
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+bench-smoke:  ## smoke-scale report through the parallel runtime
+	PYTHONPATH=src $(PY) -m repro.cli report --scale smoke --jobs 2 \
+		--output SMOKE_REPORT.md
 
 report:  ## full evaluation at default scale -> REPORT.md
 	$(PY) -m repro.cli report --scale default --output REPORT.md

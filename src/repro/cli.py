@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.report import format_table, print_protocol_summary, relative_to
 from repro.analysis.stats import mean
+from repro.errors import ConfigurationError, ExecutionError
 from repro.experiments import background as bg
 from repro.experiments import comparisons, mobility, random_bw, regions, static_bw
 from repro.experiments import overheads as ovh
@@ -30,6 +32,10 @@ from repro.experiments import streaming as stream_exp
 from repro.experiments import upload as upload_exp
 from repro.experiments import web as web_exp
 from repro.experiments import wild as wild_exp
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import use_runtime
+from repro.runtime.manifest import RunManifest, format_summary, summarize
+from repro.runtime.progress import auto_reporter
 from repro.units import mib
 
 
@@ -275,6 +281,24 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    sub = args.subcommand or "stats"
+    if sub == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats.root}")
+        print(f"entries:    {stats.entries}")
+        print(f"size:       {stats.total_bytes / 1e6:.2f} MB")
+        return 0
+    if sub == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(f"unknown cache subcommand {sub!r}; choose stats or clear",
+          file=sys.stderr)
+    return 2
+
+
 def _cmd_validate(args) -> int:
     specs = [
         ("wifi-good 12Mbps/40ms", pv.PathSpec(12.0, 0.04)),
@@ -328,6 +352,7 @@ def _cmd_streaming(args) -> int:
 
 _COMMANDS = {
     "list": (_cmd_list, "list available experiments"),
+    "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
     "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
@@ -361,6 +386,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Regenerate tables/figures of the eMPTCP paper (CoNEXT'15).",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment id")
+    parser.add_argument(
+        "subcommand", nargs="?", default=None,
+        help="cache subcommand: stats (default) or clear",
+    )
     parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
     parser.add_argument(
         "--size-mb", type=float, default=32.0, help="download size in MiB"
@@ -375,12 +404,82 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", default="", help="write the report to a file (report command)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiment runs (1 = in-process serial)",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="reuse/store results in the on-disk cache "
+             "(default: on for report, off elsewhere)",
+    )
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="always execute; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache location (default: {ResultCache().root})",
+    )
+    parser.add_argument(
+        "--manifest", default=None,
+        help="write a JSONL run manifest to this path "
+             "(default for report: <cache-dir>/last-run.jsonl)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock limit in seconds (parallel runs)",
+    )
+    progress_group = parser.add_mutually_exclusive_group()
+    progress_group.add_argument(
+        "--progress", dest="progress", action="store_true", default=None,
+        help="live run counters on stderr (default: on for interactive report)",
+    )
+    progress_group.add_argument(
+        "--no-progress", dest="progress", action="store_false",
+        help="suppress the live progress line",
+    )
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command][0]
+
+    cache_dir = args.cache_dir or str(ResultCache().root)
+    args.cache_dir = cache_dir
+    use_cache = args.cache if args.cache is not None else args.command == "report"
+    cache = ResultCache(cache_dir) if use_cache else None
+    manifest_path = args.manifest
+    if manifest_path is None and args.command == "report":
+        manifest_path = str(Path(cache_dir) / "last-run.jsonl")
+    show_progress = args.progress
+    if show_progress is None:
+        show_progress = args.command == "report" and sys.stderr.isatty()
+
+    manifest = RunManifest(manifest_path) if manifest_path else None
     try:
-        return handler(args)
+        with use_runtime(
+            jobs=args.jobs,
+            cache=cache,
+            manifest=manifest,
+            progress=auto_reporter(show_progress),
+            timeout_s=args.timeout,
+        ):
+            status = handler(args)
     except BrokenPipeError:  # piped into `head` etc.
         return 0
+    except (ConfigurationError, ExecutionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if manifest is not None:
+            manifest.close()
+    if manifest_path and args.command == "report":
+        try:
+            entries = RunManifest.read(manifest_path)
+        except ConfigurationError:  # e.g. the report needed no runs
+            entries = []
+        if entries:
+            print(format_summary(summarize(entries)), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

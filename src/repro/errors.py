@@ -40,3 +40,9 @@ class EnergyModelError(ReproError):
 class WorkloadError(ReproError):
     """Raised when a workload description is invalid (empty web page,
     non-positive file size, malformed mobility route...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution runtime when one or more runs could not
+    be completed (simulation failure, worker crash, or per-run timeout
+    after the bounded retries were exhausted)."""

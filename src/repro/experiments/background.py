@@ -16,11 +16,12 @@ import random as _random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.experiments.static_bw import LAB_LTE_MBPS
 from repro.net.bandwidth import ConstantCapacity
 from repro.net.contention import WiFiChannel
+from repro.runtime.executor import run_specs
+from repro.runtime.spec import RunSpec
 from repro.sim.engine import Simulator
 from repro.units import mbps_to_bytes_per_sec, mib
 from repro.workloads.background import make_interferers
@@ -76,22 +77,50 @@ class NormalizedRow:
     time_pct: float
 
 
+def background_specs(
+    configs: Sequence[Tuple[float, int]] = FIGURE10_CONFIGS,
+    runs: int = 5,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[RunSpec]:
+    """Declarative specs covering every Figure 10 configuration."""
+    return [
+        RunSpec(
+            protocol=protocol,
+            builder="background",
+            kwargs={
+                "n_interferers": n,
+                "lambda_off": lambda_off,
+                "download_bytes": download_bytes,
+            },
+            seed=seed,
+        )
+        for lambda_off, n in configs
+        for protocol in protocols
+        for seed in range(runs)
+    ]
+
+
 def run_background(
     configs: Sequence[Tuple[float, int]] = FIGURE10_CONFIGS,
     runs: int = 5,
     download_bytes: float = DEFAULT_DOWNLOAD,
     protocols: Sequence[str] = PROTOCOLS,
 ) -> Dict[Tuple[float, int], Dict[str, List[RunResult]]]:
-    """All Figure 10 configurations, ``runs`` repetitions each."""
+    """All Figure 10 configurations, ``runs`` repetitions each.
+
+    Every (configuration, protocol, seed) run is an independent spec,
+    so one ``use_runtime(jobs=N)`` context parallelises the whole sweep
+    rather than one configuration at a time.
+    """
+    specs = background_specs(
+        configs=configs, runs=runs, download_bytes=download_bytes,
+        protocols=protocols,
+    )
     out: Dict[Tuple[float, int], Dict[str, List[RunResult]]] = {}
-    for lambda_off, n in configs:
-        scenario = background_scenario(n, lambda_off, download_bytes)
-        out[(lambda_off, n)] = {
-            protocol: [
-                run_scenario(protocol, scenario, seed=seed) for seed in range(runs)
-            ]
-            for protocol in protocols
-        }
+    for spec, result in zip(specs, run_specs(specs)):
+        key = (spec.kwargs["lambda_off"], spec.kwargs["n_interferers"])
+        out.setdefault(key, {}).setdefault(spec.protocol, []).append(result)
     return out
 
 
@@ -127,8 +156,17 @@ def example_traces(
 ) -> Dict[str, RunResult]:
     """Figure 9: per-interface throughput traces of MPTCP and eMPTCP
     under (n=2, λ_on=0.05, λ_off=0.025)."""
-    scenario = background_scenario(2, 0.025, download_bytes)
-    return {
-        protocol: run_scenario(protocol, scenario, seed=seed)
+    specs = [
+        RunSpec(
+            protocol=protocol,
+            builder="background",
+            kwargs={
+                "n_interferers": 2,
+                "lambda_off": 0.025,
+                "download_bytes": download_bytes,
+            },
+            seed=seed,
+        )
         for protocol in ("mptcp", "emptcp")
-    }
+    ]
+    return {spec.protocol: r for spec, r in zip(specs, run_specs(specs))}

@@ -15,12 +15,12 @@ from typing import Dict, List, Sequence
 
 from repro.baselines.mdp import MdpAction
 from repro.energy.device import GALAXY_S3, DeviceProfile
-from repro.experiments.mobility import mobility_scenario
+from repro.experiments.mobility import mobility_specs
 from repro.experiments.protocols import mdp_policy_for
-from repro.experiments.random_bw import random_bw_scenario
-from repro.experiments.runner import run_scenario
+from repro.experiments.random_bw import random_bw_specs
 from repro.experiments.scenario import RunResult
 from repro.net.interface import InterfaceKind
+from repro.runtime.executor import group_results, run_specs
 from repro.units import mib
 
 PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp")
@@ -35,11 +35,8 @@ def run_mobility_comparison(
     runs: int = 3, protocols: Sequence[str] = PROTOCOLS
 ) -> Dict[str, List[RunResult]]:
     """All five strategies on the §4.5 mobility walk."""
-    scenario = mobility_scenario()
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    specs = mobility_specs(runs=runs, protocols=protocols)
+    return group_results(specs, run_specs(specs))
 
 
 def run_random_bw_comparison(
@@ -48,8 +45,7 @@ def run_random_bw_comparison(
     protocols: Sequence[str] = PROTOCOLS,
 ) -> Dict[str, List[RunResult]]:
     """All five strategies under random WiFi bandwidth changes."""
-    scenario = random_bw_scenario(download_bytes=download_bytes)
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    specs = random_bw_specs(
+        runs=runs, download_bytes=download_bytes, protocols=protocols
+    )
+    return group_results(specs, run_specs(specs))

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.net.bandwidth import ConstantCapacity, PiecewiseTraceCapacity
+from repro.runtime.executor import group_results, run_specs
+from repro.runtime.spec import RunSpec
 from repro.units import mbps_to_bytes_per_sec
 from repro.workloads.mobility import (
     DEFAULT_AP_POSITION,
@@ -69,23 +70,43 @@ def mobility_scenario(duration: float = DURATION) -> Scenario:
     )
 
 
+def mobility_specs(
+    runs: int = 5,
+    duration: float = DURATION,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[RunSpec]:
+    """Declarative specs for Figure 13."""
+    return [
+        RunSpec(
+            protocol=protocol,
+            builder="mobility",
+            kwargs={"duration": duration},
+            seed=seed,
+        )
+        for protocol in protocols
+        for seed in range(runs)
+    ]
+
+
 def run_mobility(
     runs: int = 5,
     duration: float = DURATION,
     protocols: Sequence[str] = PROTOCOLS,
 ) -> Dict[str, List[RunResult]]:
     """Figure 13: ``runs`` repetitions per protocol over the same route."""
-    scenario = mobility_scenario(duration)
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    specs = mobility_specs(runs=runs, duration=duration, protocols=protocols)
+    return group_results(specs, run_specs(specs))
 
 
 def example_traces(duration: float = DURATION, seed: int = 2) -> Dict[str, RunResult]:
     """Figure 12: accumulated-energy traces over one walk."""
-    scenario = mobility_scenario(duration)
-    return {
-        protocol: run_scenario(protocol, scenario, seed=seed)
+    specs = [
+        RunSpec(
+            protocol=protocol,
+            builder="mobility",
+            kwargs={"duration": duration},
+            seed=seed,
+        )
         for protocol in PROTOCOLS
-    }
+    ]
+    return {spec.protocol: r for spec, r in zip(specs, run_specs(specs))}

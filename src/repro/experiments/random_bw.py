@@ -14,10 +14,11 @@ from __future__ import annotations
 import random as _random
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.experiments.static_bw import LAB_LTE_MBPS
 from repro.net.bandwidth import ConstantCapacity, TwoStateMarkovCapacity
+from repro.runtime.executor import group_results, run_specs
+from repro.runtime.spec import RunSpec
 from repro.units import mbps_to_bytes_per_sec, mib
 
 #: On/off AP rates, Mbps (paper: >= 10 and <= 1).
@@ -57,6 +58,24 @@ def random_bw_scenario(
     )
 
 
+def random_bw_specs(
+    runs: int = 10,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[RunSpec]:
+    """Declarative specs for Figure 8."""
+    return [
+        RunSpec(
+            protocol=protocol,
+            builder="random-bw",
+            kwargs={"download_bytes": download_bytes},
+            seed=seed,
+        )
+        for protocol in protocols
+        for seed in range(runs)
+    ]
+
+
 def run_random_bw(
     runs: int = 10,
     download_bytes: float = DEFAULT_DOWNLOAD,
@@ -64,11 +83,10 @@ def run_random_bw(
 ) -> Dict[str, List[RunResult]]:
     """Figure 8: ``runs`` repetitions per protocol, paired seeds so
     every protocol experiences the same bandwidth sample paths."""
-    scenario = random_bw_scenario(download_bytes=download_bytes)
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    specs = random_bw_specs(
+        runs=runs, download_bytes=download_bytes, protocols=protocols
+    )
+    return group_results(specs, run_specs(specs))
 
 
 def example_trace(
@@ -76,8 +94,13 @@ def example_trace(
 ) -> Dict[str, RunResult]:
     """Figure 7: one run per protocol over the same bandwidth sample
     path; each result carries its accumulated-energy time series."""
-    scenario = random_bw_scenario(download_bytes=download_bytes)
-    return {
-        protocol: run_scenario(protocol, scenario, seed=seed)
+    specs = [
+        RunSpec(
+            protocol=protocol,
+            builder="random-bw",
+            kwargs={"download_bytes": download_bytes},
+            seed=seed,
+        )
         for protocol in PROTOCOLS
-    }
+    ]
+    return {spec.protocol: r for spec, r in zip(specs, run_specs(specs))}

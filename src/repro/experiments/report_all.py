@@ -12,7 +12,7 @@ numbers in that file were produced this way.  Scales:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.stats import mean
 from repro.errors import ConfigurationError
@@ -21,6 +21,10 @@ from repro.experiments import comparisons, mobility, random_bw, regions, static_
 from repro.experiments import overheads as ovh
 from repro.experiments import web as web_exp
 from repro.experiments import wild as wild_exp
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import use_runtime
+from repro.runtime.manifest import RunManifest
+from repro.runtime.progress import ProgressReporter
 from repro.units import mib
 
 
@@ -56,11 +60,39 @@ def _protocol_block(results) -> List[str]:
     return lines
 
 
-def generate_report(scale: str = "smoke") -> str:
-    """Run the full evaluation at the given scale; return markdown."""
+def generate_report(
+    scale: str = "smoke",
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[RunManifest] = None,
+    progress: Optional[ProgressReporter] = None,
+) -> str:
+    """Run the full evaluation at the given scale; return markdown.
+
+    The runtime keywords override the ambient
+    :class:`~repro.runtime.executor.RuntimeContext` for the duration of
+    the report; ``None`` inherits whatever ``use_runtime`` (or the CLI)
+    has already established.
+    """
     if scale not in SCALES:
         raise ConfigurationError(f"unknown scale {scale!r}; choose {sorted(SCALES)}")
-    s = SCALES[scale]
+    overrides = {
+        key: value
+        for key, value in (
+            ("jobs", jobs),
+            ("cache", cache),
+            ("manifest", manifest),
+            ("progress", progress),
+        )
+        if value is not None
+    }
+    with use_runtime(**overrides):
+        return _generate_report_body(SCALES[scale])
+
+
+def _generate_report_body(s: ReportScale) -> str:
+    """The report proper; runs inside the resolved runtime context."""
     size = mib(s.download_mib)
     out: List[str] = [
         f"# Reproduction report (scale: {s.name})",

@@ -22,6 +22,7 @@ from repro.energy.rrc import RrcMachine
 from repro.errors import SimulationError
 from repro.experiments.protocols import build_protocol
 from repro.experiments.scenario import RunResult, Scenario
+from repro.mptcp.options import MpPrio
 from repro.net.contention import WiFiChannel
 from repro.net.interface import InterfaceKind, NetworkInterface
 from repro.net.path import NetworkPath
@@ -177,9 +178,16 @@ def run_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
 
 
 def _mean_mbps(series: TimeSeries) -> float:
+    """Time-weighted mean of a sampled rate series, in Mbps.
+
+    The step integral weights each sample by how long it held, so
+    unevenly spaced samples (a truncated final interval, a tracer
+    restart) do not bias the measured bandwidth the way a plain average
+    of the raw samples would.
+    """
     if len(series) == 0:
         return 0.0
-    return bytes_per_sec_to_mbps(sum(series.values) / len(series))
+    return bytes_per_sec_to_mbps(series.time_weighted_mean())
 
 
 def _diagnostics(conn) -> dict:
@@ -189,7 +197,7 @@ def _diagnostics(conn) -> dict:
     if mptcp is not None and hasattr(mptcp, "subflows"):
         diag["subflows"] = float(len(mptcp.subflows))
         diag["mp_prio_events"] = float(
-            sum(1 for opt in mptcp.option_log if type(opt).__name__ == "MpPrio")
+            sum(1 for opt in mptcp.option_log if isinstance(opt, MpPrio))
         )
         for sf in mptcp.subflows:
             key = sf.interface_kind.value

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.config import EMPTCPConfig
 from repro.energy.device import GALAXY_S3, DeviceProfile
@@ -113,6 +113,52 @@ class RunResult:
         if not self.download_time:
             return 0.0
         return bytes_per_sec_to_mbps(self.bytes_received / self.download_time)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form, keyed by field name.
+
+        This is the wire format of the execution runtime: results cross
+        process boundaries and land in the on-disk cache this way, so a
+        round trip through :meth:`from_dict` must reproduce every field
+        exactly (floats survive JSON's repr round trip bit-for-bit).
+        """
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "download_time": self.download_time,
+            "bytes_received": self.bytes_received,
+            "energy_j": self.energy_j,
+            "energy_at_completion_j": self.energy_at_completion_j,
+            "energy_series": self.energy_series.to_dict(),
+            "wifi_rate_series": self.wifi_rate_series.to_dict(),
+            "cell_rate_series": self.cell_rate_series.to_dict(),
+            "measured_wifi_mbps": self.measured_wifi_mbps,
+            "measured_cell_mbps": self.measured_cell_mbps,
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                protocol=data["protocol"],
+                scenario=data["scenario"],
+                seed=data["seed"],
+                download_time=data["download_time"],
+                bytes_received=data["bytes_received"],
+                energy_j=data["energy_j"],
+                energy_at_completion_j=data["energy_at_completion_j"],
+                energy_series=TimeSeries.from_dict(data["energy_series"]),
+                wifi_rate_series=TimeSeries.from_dict(data["wifi_rate_series"]),
+                cell_rate_series=TimeSeries.from_dict(data["cell_rate_series"]),
+                measured_wifi_mbps=data["measured_wifi_mbps"],
+                measured_cell_mbps=data["measured_cell_mbps"],
+                diagnostics=dict(data["diagnostics"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed RunResult data: {exc}") from exc
 
 
 def summarize_runs(results: List[RunResult]) -> Dict[str, float]:

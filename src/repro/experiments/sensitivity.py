@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 from repro.analysis.stats import mean
 from repro.core.config import EMPTCPConfig
 from repro.errors import ConfigurationError
 from repro.experiments.runner import run_scenario
-from repro.experiments.scenario import Scenario
+from repro.experiments.scenario import RunResult, Scenario
+from repro.runtime.executor import run_specs
+from repro.runtime.spec import ScenarioRef
 
 
 @dataclass(frozen=True)
@@ -33,10 +35,35 @@ class SweepPoint:
     cell_established_frac: float
 
 
+def _sweep_point_results(
+    scenario: Union[Scenario, ScenarioRef],
+    parameter: str,
+    value: float,
+    runs: int,
+    protocol: str,
+) -> List[RunResult]:
+    """One sweep value's runs.
+
+    A :class:`ScenarioRef` routes through the execution runtime (so the
+    sweep parallelises and caches under ``use_runtime``); a built
+    :class:`Scenario` — which holds unpicklable closures — runs
+    in-process exactly as before.
+    """
+    if isinstance(scenario, ScenarioRef):
+        specs = [
+            scenario.spec(protocol, seed=seed, config={parameter: value})
+            for seed in range(runs)
+        ]
+        return run_specs(specs)
+    config = dataclasses.replace(scenario.emptcp_config, **{parameter: value})
+    swept = dataclasses.replace(scenario, emptcp_config=config)
+    return [run_scenario(protocol, swept, seed=seed) for seed in range(runs)]
+
+
 def sweep_config(
     parameter: str,
     values: Sequence[float],
-    scenario: Scenario,
+    scenario: Union[Scenario, ScenarioRef],
     runs: int = 3,
     protocol: str = "emptcp",
 ) -> List[SweepPoint]:
@@ -44,6 +71,9 @@ def sweep_config(
 
     ``parameter`` must be a field of :class:`EMPTCPConfig`; the
     scenario's config is replaced field-wise for each sweep value.
+    ``scenario`` may be a built :class:`Scenario` or a
+    :class:`~repro.runtime.spec.ScenarioRef` naming a registered
+    builder (the latter runs through the parallel runtime).
     """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
@@ -55,9 +85,7 @@ def sweep_config(
         )
     points: List[SweepPoint] = []
     for value in values:
-        config = dataclasses.replace(scenario.emptcp_config, **{parameter: value})
-        swept = dataclasses.replace(scenario, emptcp_config=config)
-        results = [run_scenario(protocol, swept, seed=seed) for seed in range(runs)]
+        results = _sweep_point_results(scenario, parameter, value, runs, protocol)
         points.append(
             SweepPoint(
                 parameter=parameter,

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.net.bandwidth import ConstantCapacity
+from repro.runtime.executor import group_results, run_specs
+from repro.runtime.spec import RunSpec
 from repro.units import mbps_to_bytes_per_sec, mib
 
 #: The paper's static WiFi operating points, Mbps.
@@ -51,15 +52,35 @@ def static_scenario(
     )
 
 
+def static_specs(
+    good_wifi: bool,
+    runs: int = 5,
+    download_bytes: float = DEFAULT_DOWNLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+    lte_mbps: float = LAB_LTE_MBPS,
+) -> List[RunSpec]:
+    """Declarative specs for Figures 5/6 (protocol-major, seed-minor)."""
+    kwargs = {
+        "good_wifi": good_wifi,
+        "download_bytes": download_bytes,
+        "lte_mbps": lte_mbps,
+    }
+    return [
+        RunSpec(protocol=protocol, builder="static", kwargs=dict(kwargs), seed=seed)
+        for protocol in protocols
+        for seed in range(runs)
+    ]
+
+
 def run_static(
     good_wifi: bool,
     runs: int = 5,
     download_bytes: float = DEFAULT_DOWNLOAD,
     protocols: Sequence[str] = PROTOCOLS,
 ) -> Dict[str, List[RunResult]]:
-    """Figures 5/6: ``runs`` repetitions per protocol."""
-    scenario = static_scenario(good_wifi, download_bytes=download_bytes)
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    """Figures 5/6: ``runs`` repetitions per protocol, through the
+    execution runtime (parallel/cached under ``use_runtime``)."""
+    specs = static_specs(
+        good_wifi, runs=runs, download_bytes=download_bytes, protocols=protocols
+    )
+    return group_results(specs, run_specs(specs))

@@ -16,10 +16,11 @@ from typing import Dict, List, Sequence
 from repro.core.eib import EibEntry, cached_eib
 from repro.energy.device import GALAXY_S3, DeviceProfile
 from repro.energy.power import Direction
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.net.bandwidth import ConstantCapacity
 from repro.net.interface import InterfaceKind
+from repro.runtime.executor import group_results, run_specs
+from repro.runtime.spec import RunSpec
 from repro.units import mbps_to_bytes_per_sec, mib
 
 PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi")
@@ -49,6 +50,25 @@ def upload_scenario(
     )
 
 
+def upload_specs(
+    good_wifi: bool,
+    runs: int = 3,
+    upload_bytes: float = DEFAULT_UPLOAD,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[RunSpec]:
+    """Declarative specs for the upload comparison."""
+    return [
+        RunSpec(
+            protocol=protocol,
+            builder="upload",
+            kwargs={"good_wifi": good_wifi, "upload_bytes": upload_bytes},
+            seed=seed,
+        )
+        for protocol in protocols
+        for seed in range(runs)
+    ]
+
+
 def run_upload(
     good_wifi: bool,
     runs: int = 3,
@@ -56,11 +76,10 @@ def run_upload(
     protocols: Sequence[str] = PROTOCOLS,
 ) -> Dict[str, List[RunResult]]:
     """Compare strategies on a bulk upload."""
-    scenario = upload_scenario(good_wifi, upload_bytes=upload_bytes)
-    return {
-        protocol: [run_scenario(protocol, scenario, seed=seed) for seed in range(runs)]
-        for protocol in protocols
-    }
+    specs = upload_specs(
+        good_wifi, runs=runs, upload_bytes=upload_bytes, protocols=protocols
+    )
+    return group_results(specs, run_specs(specs))
 
 
 def upload_eib_rows(

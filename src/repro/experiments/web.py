@@ -236,8 +236,26 @@ def run_web_comparison(
     runs: int = 10,
     **kwargs,
 ) -> Dict[str, List[WebResult]]:
-    """Figure 17: averaged over ``runs`` page loads per protocol."""
-    return {
-        protocol: [run_web(protocol, seed=seed, **kwargs) for seed in range(runs)]
-        for protocol in protocols
-    }
+    """Figure 17: averaged over ``runs`` page loads per protocol.
+
+    Page loads go through the execution runtime (parallelism + caching)
+    when every keyword argument is JSON-serialisable; passing rich
+    objects such as ``page=`` or ``profile=`` falls back to direct
+    in-process calls.
+    """
+    from repro.errors import ConfigurationError
+    from repro.runtime.executor import group_results, run_specs
+    from repro.runtime.spec import RunSpec
+
+    try:
+        specs = [
+            RunSpec(protocol=protocol, builder="web", kwargs=dict(kwargs), seed=seed)
+            for protocol in protocols
+            for seed in range(runs)
+        ]
+    except ConfigurationError:
+        return {
+            protocol: [run_web(protocol, seed=seed, **kwargs) for seed in range(runs)]
+            for protocol in protocols
+        }
+    return group_results(specs, run_specs(specs))

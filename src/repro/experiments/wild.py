@@ -25,9 +25,10 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.categorize import Category, categorize
 from repro.analysis.stats import WhiskerSummary, whisker_summary
-from repro.experiments.runner import run_scenario
 from repro.experiments.scenario import RunResult, Scenario
 from repro.net.bandwidth import ConstantCapacity, TwoStateMarkovCapacity
+from repro.runtime.executor import run_specs
+from repro.runtime.spec import RunSpec
 from repro.units import kib, mbps_to_bytes_per_sec, mib
 from repro.workloads.wild import WildEnvironment, WildSampler
 
@@ -100,6 +101,54 @@ class WildTrace:
     results: Dict[str, RunResult] = field(default_factory=dict)
 
 
+def environment_spec(
+    env: WildEnvironment, protocol: str, download_bytes: float, seed: int
+) -> RunSpec:
+    """The declarative form of one wild run.
+
+    The spec carries only site/server names plus the sampled link
+    qualities, so it stays JSON-serialisable and hashable; the ``wild``
+    builder rebuilds the :class:`WildEnvironment` on the worker side.
+    """
+    return RunSpec(
+        protocol=protocol,
+        builder="wild",
+        kwargs={
+            "site": env.site.name,
+            "server": env.server.name,
+            "wifi_mbps": env.wifi_mbps,
+            "lte_mbps": env.lte_mbps,
+            "download_bytes": download_bytes,
+        },
+        seed=seed,
+    )
+
+
+def _run_protocol_sets(
+    envs: Sequence[WildEnvironment],
+    seeds: Sequence[int],
+    download_bytes: float,
+    protocols: Sequence[str],
+) -> List[WildTrace]:
+    """Run one protocol set per environment through the runtime."""
+    specs = [
+        environment_spec(env, protocol, download_bytes, seed)
+        for env, seed in zip(envs, seeds)
+        for protocol in protocols
+    ]
+    results = run_specs(specs)
+    traces: List[WildTrace] = []
+    for i, env in enumerate(envs):
+        trace = WildTrace(
+            environment=env,
+            category=categorize(env.wifi_mbps, env.lte_mbps),
+        )
+        for j, protocol in enumerate(protocols):
+            trace.results[protocol] = results[i * len(protocols) + j]
+        traces.append(trace)
+    return traces
+
+
 def collect_traces(
     download_bytes: float,
     n_environments: int = 40,
@@ -108,17 +157,10 @@ def collect_traces(
 ) -> List[WildTrace]:
     """Run one protocol set per sampled environment."""
     sampler = WildSampler(seed=seed)
-    traces: List[WildTrace] = []
-    for i, env in enumerate(sampler.environments(n_environments)):
-        scenario = environment_scenario(env, download_bytes)
-        trace = WildTrace(
-            environment=env,
-            category=categorize(env.wifi_mbps, env.lte_mbps),
-        )
-        for protocol in protocols:
-            trace.results[protocol] = run_scenario(protocol, scenario, seed=seed + i)
-        traces.append(trace)
-    return traces
+    envs = sampler.environments(n_environments)
+    return _run_protocol_sets(
+        envs, [seed + i for i in range(len(envs))], download_bytes, protocols
+    )
 
 
 def collect_traces_grid(
@@ -143,8 +185,7 @@ def collect_traces_grid(
     from repro.workloads.wild import CLIENT_SITES, LTE_MU, LTE_SIGMA, clamp_mbps
 
     rng = _random.Random(seed)
-    traces: List[WildTrace] = []
-    run_index = 0
+    envs: List[WildEnvironment] = []
     for site in CLIENT_SITES.values():
         for server in WILD_SERVERS.values():
             for _ in range(iterations):
@@ -152,21 +193,14 @@ def collect_traces_grid(
                     rng.lognormvariate(site.wifi_mu, site.wifi_sigma)
                 )
                 lte = clamp_mbps(rng.lognormvariate(LTE_MU, LTE_SIGMA))
-                env = WildEnvironment(
-                    site=site, server=server, wifi_mbps=wifi, lte_mbps=lte
-                )
-                scenario = environment_scenario(env, download_bytes)
-                trace = WildTrace(
-                    environment=env,
-                    category=categorize(env.wifi_mbps, env.lte_mbps),
-                )
-                for protocol in protocols:
-                    trace.results[protocol] = run_scenario(
-                        protocol, scenario, seed=seed + run_index
+                envs.append(
+                    WildEnvironment(
+                        site=site, server=server, wifi_mbps=wifi, lte_mbps=lte
                     )
-                run_index += 1
-                traces.append(trace)
-    return traces
+                )
+    return _run_protocol_sets(
+        envs, [seed + i for i in range(len(envs))], download_bytes, protocols
+    )
 
 
 def scatter_points(traces: Sequence[WildTrace]) -> List[Dict[str, float]]:

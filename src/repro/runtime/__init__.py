@@ -1,0 +1,78 @@
+"""repro.runtime — the parallel experiment execution runtime.
+
+Turns experiment execution into declarative, parallel, cached,
+observable jobs:
+
+* :mod:`repro.runtime.spec` — picklable :class:`RunSpec`s with stable
+  content hashes, plus the scenario-builder registry;
+* :mod:`repro.runtime.executor` — :func:`run_many` over a process
+  pool, with per-run timeouts, bounded retries, and serial fallback;
+* :mod:`repro.runtime.cache` — a content-addressed on-disk result
+  cache so re-running a report skips completed runs;
+* :mod:`repro.runtime.manifest` / :mod:`repro.runtime.progress` —
+  JSONL run manifests and live runs/sec + ETA reporting.
+
+Typical use::
+
+    from repro.runtime import ResultCache, run_many, use_runtime
+    from repro.experiments.static_bw import static_specs
+
+    specs = static_specs(good_wifi=True, runs=10)
+    with use_runtime(jobs=4, cache=ResultCache()):
+        results = run_many(specs)
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_ROOT, CacheStats, ResultCache
+from repro.runtime.executor import (
+    RuntimeContext,
+    current_context,
+    group_results,
+    run_many,
+    run_specs,
+    use_runtime,
+)
+from repro.runtime.manifest import (
+    ManifestEntry,
+    RunManifest,
+    format_summary,
+    summarize,
+)
+from repro.runtime.progress import ProgressReporter, ProgressSnapshot
+from repro.runtime.spec import (
+    BuilderEntry,
+    RunSpec,
+    ScenarioRef,
+    build_scenario,
+    code_salt,
+    get_builder,
+    register_builder,
+    register_scenario_builder,
+    registered_builders,
+)
+
+__all__ = [
+    "BuilderEntry",
+    "CacheStats",
+    "DEFAULT_CACHE_ROOT",
+    "ManifestEntry",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "ResultCache",
+    "RunManifest",
+    "RunSpec",
+    "RuntimeContext",
+    "ScenarioRef",
+    "build_scenario",
+    "code_salt",
+    "current_context",
+    "format_summary",
+    "get_builder",
+    "group_results",
+    "register_builder",
+    "register_scenario_builder",
+    "registered_builders",
+    "run_many",
+    "run_specs",
+    "summarize",
+    "use_runtime",
+]

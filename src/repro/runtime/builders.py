@@ -1,0 +1,69 @@
+"""Stock builder registrations: one per experiment family.
+
+Imported lazily by :func:`repro.runtime.spec.load_default_builders`
+(never at :mod:`repro.runtime` import time — the experiment modules
+import the executor, so an eager import here would be circular).  Each
+registration maps a builder name to the scenario factory the
+corresponding experiment module already exposes; the wild and web
+entries adapt factories whose natural arguments are not primitives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.experiments import background as _background
+from repro.experiments import mobility as _mobility
+from repro.experiments import random_bw as _random_bw
+from repro.experiments import static_bw as _static_bw
+from repro.experiments import upload as _upload
+from repro.experiments import web as _web
+from repro.experiments.wild import environment_scenario
+from repro.net.host import WILD_SERVERS
+from repro.runtime.spec import RunSpec, register_builder, register_scenario_builder
+from repro.workloads.wild import CLIENT_SITES, WildEnvironment
+
+register_scenario_builder("static", _static_bw.static_scenario)
+register_scenario_builder("random-bw", _random_bw.random_bw_scenario)
+register_scenario_builder("background", _background.background_scenario)
+register_scenario_builder("mobility", _mobility.mobility_scenario)
+register_scenario_builder("upload", _upload.upload_scenario)
+
+
+def wild_scenario(
+    site: str,
+    server: str,
+    wifi_mbps: float,
+    lte_mbps: float,
+    download_bytes: float,
+    fluctuating: bool = True,
+):
+    """Rebuild a §5 wild-environment scenario from primitives.
+
+    ``WildEnvironment`` nests :class:`ClientSite`/:class:`Server`
+    objects; specs carry only their names so the payload stays JSON.
+    """
+    env = WildEnvironment(
+        site=CLIENT_SITES[site],
+        server=WILD_SERVERS[server],
+        wifi_mbps=wifi_mbps,
+        lte_mbps=lte_mbps,
+    )
+    return environment_scenario(env, download_bytes, fluctuating=fluctuating)
+
+
+register_scenario_builder("wild", wild_scenario)
+
+
+def _web_execute(spec: RunSpec):
+    return _web.run_web(spec.protocol, seed=spec.seed, **spec.kwargs)
+
+
+def _web_decode(data: Dict[str, Any]) -> Any:
+    return _web.WebResult(**data)
+
+
+register_builder(
+    "web", _web_execute, encode=dataclasses.asdict, decode=_web_decode
+)

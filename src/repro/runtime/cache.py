@@ -1,0 +1,128 @@
+"""Content-addressed on-disk result cache.
+
+Every :class:`~repro.runtime.spec.RunSpec` has a stable content hash
+(spec payload + code/version salt); one JSON file per hash under the
+cache root stores the spec alongside its encoded result, in the spirit
+of :mod:`repro.analysis.export` and
+:mod:`repro.energy.serialization` — boring, stable, human-greppable
+JSON.  Re-running a report therefore skips every run whose spec (and
+code version) is unchanged.
+
+Invalidation rules: the hash covers the protocol, the builder name and
+kwargs, the seed, any config overrides, and the salt.  Changing any of
+those — including bumping the package version or
+``RUNTIME_SCHEMA_VERSION`` — misses the cache; stale entries are
+removed with :meth:`ResultCache.clear` (CLI: ``emptcp-repro cache
+clear``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.runtime.spec import RunSpec, code_salt, get_builder
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_ROOT = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What ``emptcp-repro cache stats`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """A content-addressed store of run results.
+
+    Writes are atomic (temp file + rename), so concurrent runs — or a
+    run killed mid-write — can never leave a truncated entry that a
+    later read would trust; any unreadable entry is simply a miss.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_ROOT):
+        self.root = Path(root)
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where the given spec's result lives (whether or not cached)."""
+        return self.results_dir / f"{spec.content_hash()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[Any]:
+        """The decoded cached result, or None on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("salt") != code_salt():
+            return None
+        try:
+            return get_builder(spec.builder).decode(payload["result"])
+        except Exception:
+            return None
+
+    def put(self, spec: RunSpec, result: Any) -> Path:
+        """Store one result; returns the entry path."""
+        entry = get_builder(spec.builder)
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "salt": code_salt(),
+            "spec": spec.to_dict(),
+            "result": entry.encode(result),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _entries(self):
+        if not self.results_dir.is_dir():
+            return []
+        return sorted(self.results_dir.glob("*.json"))
+
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk footprint."""
+        entries = self._entries()
+        total = 0
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            root=str(self.root), entries=len(entries), total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

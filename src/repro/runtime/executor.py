@@ -1,0 +1,407 @@
+"""Parallel experiment execution with caching, retries, and manifests.
+
+:func:`run_many` takes a list of picklable
+:class:`~repro.runtime.spec.RunSpec`s and returns their results in
+order.  Each spec is first looked up in the result cache; the misses
+are executed either in-process (``jobs=1``) or on a
+``ProcessPoolExecutor``, with a per-run timeout (enforced inside the
+worker via ``SIGALRM`` where the platform has it), bounded retry with
+backoff when a worker crashes or times out, and graceful fallback to
+serial execution when a pool cannot be created at all.  Every terminal
+outcome is recorded in the run manifest and counted by the progress
+reporter.
+
+Experiment modules call :func:`run_specs`, which executes under the
+*ambient* :class:`RuntimeContext` — serial and uncached by default, so
+library behaviour is unchanged until a caller opts in::
+
+    with use_runtime(jobs=4, cache=ResultCache()):
+        results = run_static(True, runs=10)   # 30 parallel, cached runs
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from concurrent.futures import as_completed
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.runtime.cache import ResultCache
+from repro.runtime.manifest import RunManifest
+from repro.runtime.progress import ProgressReporter, auto_reporter
+from repro.runtime.spec import RunSpec, get_builder
+
+#: Sentinel distinguishing "inherit from the ambient context" from an
+#: explicit None (= disable).
+_INHERIT: Any = object()
+
+
+@dataclass
+class RuntimeContext:
+    """Everything :func:`run_many` needs beyond the specs themselves."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    manifest: Optional[RunManifest] = None
+    #: False/None, True (stderr), or a :class:`ProgressReporter`.
+    progress: Any = None
+    #: Per-run wall-clock budget, seconds (None = unlimited).
+    timeout_s: Optional[float] = None
+    #: Extra attempts after a crash or timeout (not after a
+    #: deterministic simulation failure, which would just fail again).
+    retries: int = 2
+    #: Base backoff between retry waves, seconds.
+    backoff_s: float = 0.5
+
+
+_ambient = RuntimeContext()
+_ambient_lock = threading.Lock()
+
+
+def current_context() -> RuntimeContext:
+    """The ambient runtime context (serial/uncached unless configured)."""
+    return _ambient
+
+
+@contextmanager
+def use_runtime(**overrides: Any):
+    """Temporarily replace fields of the ambient context.
+
+    Accepts any :class:`RuntimeContext` field, e.g.
+    ``use_runtime(jobs=4, cache=ResultCache())``.  Nesting composes:
+    inner overrides win, everything else is inherited.
+    """
+    global _ambient
+    with _ambient_lock:
+        previous = _ambient
+        _ambient = _dc_replace(previous, **overrides)
+    try:
+        yield _ambient
+    finally:
+        with _ambient_lock:
+            _ambient = previous
+
+
+def run_specs(specs: Sequence[RunSpec], **overrides: Any) -> List[Any]:
+    """Run specs under the ambient context (plus keyword overrides)."""
+    return run_many(specs, **overrides)
+
+
+def group_results(
+    specs: Sequence[RunSpec],
+    results: Sequence[Any],
+    key: Callable[[RunSpec], Any] = lambda spec: spec.protocol,
+) -> Dict[Any, List[Any]]:
+    """Regroup ordered results, by protocol unless told otherwise."""
+    grouped: Dict[Any, List[Any]] = {}
+    for spec, result in zip(specs, results):
+        grouped.setdefault(key(spec), []).append(result)
+    return grouped
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Any = _INHERIT,
+    manifest: Any = _INHERIT,
+    progress: Any = _INHERIT,
+    timeout_s: Any = _INHERIT,
+    retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
+) -> List[Any]:
+    """Execute every spec; return results in spec order.
+
+    Raises :class:`~repro.errors.ExecutionError` if any run ultimately
+    failed (all successful results up to that point are cached, so a
+    re-invocation resumes where it left off).
+    """
+    ctx = current_context()
+    jobs = ctx.jobs if jobs is None else jobs
+    cache = ctx.cache if cache is _INHERIT else cache
+    manifest = ctx.manifest if manifest is _INHERIT else manifest
+    progress = ctx.progress if progress is _INHERIT else progress
+    timeout_s = ctx.timeout_s if timeout_s is _INHERIT else timeout_s
+    retries = ctx.retries if retries is None else retries
+    backoff_s = ctx.backoff_s if backoff_s is None else backoff_s
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    specs = list(specs)
+    results: List[Any] = [None] * len(specs)
+    state = _BatchState(
+        specs=specs,
+        results=results,
+        cache=cache,
+        manifest=manifest,
+        reporter=auto_reporter(progress),
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+    )
+    if state.reporter is not None:
+        state.reporter.start(len(specs))
+
+    pending = state.consume_cache()
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            pool_ran = _run_pool(state, pending, jobs)
+            if not pool_ran:
+                _run_serial(state, pending)
+        else:
+            _run_serial(state, pending)
+
+    if state.reporter is not None:
+        state.reporter.finish()
+    if state.failures:
+        first_index, first_exc = state.failures[0]
+        raise ExecutionError(
+            f"{len(state.failures)} of {len(specs)} runs failed; first: "
+            f"{specs[first_index].label}: {first_exc}"
+        ) from first_exc
+    return results
+
+
+class _BatchState:
+    """Shared bookkeeping for one :func:`run_many` invocation."""
+
+    def __init__(
+        self,
+        specs: List[RunSpec],
+        results: List[Any],
+        cache: Optional[ResultCache],
+        manifest: Optional[RunManifest],
+        reporter: Optional[ProgressReporter],
+        timeout_s: Optional[float],
+        retries: int,
+        backoff_s: float,
+    ):
+        self.specs = specs
+        self.results = results
+        self.cache = cache
+        self.manifest = manifest
+        self.reporter = reporter
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.failures: List[Tuple[int, BaseException]] = []
+
+    def consume_cache(self) -> List[int]:
+        """Fill cached results; return the indices still to execute."""
+        pending: List[int] = []
+        for i, spec in enumerate(self.specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                self.results[i] = hit
+                self.record(spec, "cached", worker="cache")
+            else:
+                pending.append(i)
+        return pending
+
+    def record(
+        self,
+        spec: RunSpec,
+        outcome: str,
+        wall_time_s: float = 0.0,
+        worker: str = "local",
+        attempt: int = 1,
+    ) -> None:
+        if self.manifest is not None:
+            self.manifest.record(
+                spec, outcome, wall_time_s=wall_time_s, worker=worker,
+                attempt=attempt,
+            )
+        if self.reporter is not None:
+            self.reporter.update(outcome)
+
+    def succeed(
+        self, index: int, result: Any, wall: float, worker: str, attempt: int
+    ) -> None:
+        self.results[index] = result
+        spec = self.specs[index]
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        self.record(
+            spec, "executed", wall_time_s=wall, worker=worker, attempt=attempt
+        )
+
+    def fail(
+        self, index: int, exc: BaseException, wall: float, worker: str,
+        attempt: int,
+    ) -> None:
+        self.failures.append((index, exc))
+        self.record(
+            self.specs[index], "failed", wall_time_s=wall, worker=worker,
+            attempt=attempt,
+        )
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise ``TimeoutError`` if the body outlives ``seconds``.
+
+    Uses ``SIGALRM``, so it only engages on platforms that have it and
+    in the main thread of the process (always true for pool workers);
+    elsewhere the timeout is a silent no-op rather than a crash.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(_signum, _frame):
+        raise TimeoutError(f"run exceeded the {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker_run(
+    spec_dict: Dict[str, Any], timeout_s: Optional[float]
+) -> Tuple[Dict[str, Any], float, str]:
+    """Pool-side entry point: rebuild the spec, run it, encode the result.
+
+    Must stay a module-level function so it pickles under every
+    multiprocessing start method.
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    entry = get_builder(spec.builder)
+    start = time.perf_counter()
+    with _deadline(timeout_s):
+        result = spec.execute()
+    wall = time.perf_counter() - start
+    return entry.encode(result), wall, f"pid-{os.getpid()}"
+
+
+def _run_serial(state: _BatchState, pending: List[int]) -> None:
+    """In-process execution: the ``jobs=1`` path and the pool fallback."""
+    for i in pending:
+        spec = state.specs[i]
+        attempt = 0
+        while True:
+            attempt += 1
+            start = time.perf_counter()
+            try:
+                with _deadline(state.timeout_s):
+                    result = spec.execute()
+            except TimeoutError as exc:
+                wall = time.perf_counter() - start
+                if attempt <= state.retries:
+                    state.record(
+                        spec, "retried", wall_time_s=wall, attempt=attempt
+                    )
+                    time.sleep(state.backoff_s * attempt)
+                    continue
+                state.fail(i, exc, wall, "local", attempt)
+                break
+            except Exception as exc:
+                # Deterministic simulation failure: retrying would only
+                # reproduce it, so fail immediately.
+                state.fail(i, exc, time.perf_counter() - start, "local", attempt)
+                break
+            else:
+                state.succeed(
+                    i, result, time.perf_counter() - start, "local", attempt
+                )
+                break
+
+
+def _make_pool(jobs: int) -> ProcessPoolExecutor:
+    """A pool preferring ``fork`` (cheap, inherits the registry) while
+    degrading to the platform default start method."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        mp_context = None
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+
+
+def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
+    """Process-pool execution; returns False if no pool could be made
+    (the caller then falls back to serial execution)."""
+    try:
+        pool = _make_pool(jobs)
+    except (NotImplementedError, OSError, PermissionError, ValueError):
+        return False
+
+    attempts = {i: 0 for i in pending}
+    queue = list(pending)
+    try:
+        while queue:
+            futures = {}
+            for i in queue:
+                attempts[i] += 1
+                futures[
+                    pool.submit(
+                        _worker_run, state.specs[i].to_dict(), state.timeout_s
+                    )
+                ] = i
+            queue = []
+            try:
+                for future in as_completed(futures):
+                    i = futures[future]
+                    spec = state.specs[i]
+                    try:
+                        encoded, wall, worker = future.result()
+                    except BrokenProcessPool:
+                        raise  # handled by the outer except: pool is dead
+                    except TimeoutError as exc:
+                        if attempts[i] <= state.retries:
+                            state.record(spec, "retried", attempt=attempts[i])
+                            queue.append(i)
+                        else:
+                            state.fail(i, exc, 0.0, "pool", attempts[i])
+                    except Exception as exc:
+                        state.fail(i, exc, 0.0, "pool", attempts[i])
+                    else:
+                        result = get_builder(spec.builder).decode(encoded)
+                        state.succeed(i, result, wall, worker, attempts[i])
+            except BrokenProcessPool as exc:
+                # A worker died (OOM, hard crash).  Harvest any runs
+                # that finished before the pool collapsed, then requeue
+                # the rest onto a fresh pool, within the retry budget.
+                pool.shutdown(wait=False)
+                failed_indices = {j for j, _ in state.failures}
+                for future, i in futures.items():
+                    if (
+                        state.results[i] is not None
+                        or i in queue
+                        or i in failed_indices
+                    ):
+                        continue
+                    if future.done() and future.exception() is None:
+                        encoded, wall, worker = future.result()
+                        spec = state.specs[i]
+                        result = get_builder(spec.builder).decode(encoded)
+                        state.succeed(i, result, wall, worker, attempts[i])
+                    elif attempts[i] <= state.retries:
+                        state.record(
+                            state.specs[i], "retried", attempt=attempts[i],
+                            worker="pool",
+                        )
+                        queue.append(i)
+                    else:
+                        state.fail(i, exc, 0.0, "pool", attempts[i])
+                if queue:
+                    time.sleep(state.backoff_s * max(attempts[i] for i in queue))
+                    pool = _make_pool(jobs)
+    finally:
+        pool.shutdown(wait=True)
+    return True

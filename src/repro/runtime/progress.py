@@ -1,0 +1,141 @@
+"""Live progress/metrics reporting for the execution runtime.
+
+The executor calls :meth:`ProgressReporter.update` once per terminal
+run outcome; the reporter keeps counters (completed / cached / failed),
+derives throughput (runs/sec) and an ETA, and rewrites a single status
+line on its stream at a bounded rate.  The clock is injectable so the
+arithmetic is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """The reporter's counters and derived metrics at one instant."""
+
+    total: int
+    done: int
+    executed: int
+    cached: int
+    failed: int
+    elapsed_s: float
+    runs_per_sec: float
+    eta_s: Optional[float]
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+
+class ProgressReporter:
+    """Counts run outcomes and renders a throttled status line.
+
+    ``stream=None`` keeps the reporter silent (counters only), which is
+    what library callers use; the CLI hands it ``sys.stderr``.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self.clock = clock
+        self.total = 0
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self._started_at: Optional[float] = None
+        self._last_render = float("-inf")
+
+    def start(self, total: int) -> None:
+        """Begin (or restart) a batch of ``total`` runs."""
+        self.total = total
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self._started_at = self.clock()
+        self._last_render = float("-inf")
+
+    def update(self, outcome: str) -> None:
+        """Record one terminal outcome: executed / cached / failed."""
+        if outcome == "executed":
+            self.executed += 1
+        elif outcome == "cached":
+            self.cached += 1
+        elif outcome == "failed":
+            self.failed += 1
+        else:  # "retried" and friends don't finish a run
+            return
+        self._render()
+
+    def snapshot(self) -> ProgressSnapshot:
+        """Counters plus runs/sec and ETA right now."""
+        now = self.clock()
+        started = self._started_at if self._started_at is not None else now
+        elapsed = max(0.0, now - started)
+        done = self.executed + self.cached + self.failed
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - done
+        eta = remaining / rate if rate > 0 and remaining > 0 else (
+            0.0 if remaining == 0 else None
+        )
+        return ProgressSnapshot(
+            total=self.total,
+            done=done,
+            executed=self.executed,
+            cached=self.cached,
+            failed=self.failed,
+            elapsed_s=elapsed,
+            runs_per_sec=rate,
+            eta_s=eta,
+        )
+
+    def finish(self) -> ProgressSnapshot:
+        """Force a final render (with newline) and return the snapshot."""
+        snap = self.snapshot()
+        if self.stream is not None:
+            self.stream.write("\r" + self._format(snap) + "\n")
+            self.stream.flush()
+        return snap
+
+    def _render(self) -> None:
+        if self.stream is None:
+            return
+        now = self.clock()
+        if now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        self.stream.write("\r" + self._format(self.snapshot()))
+        self.stream.flush()
+
+    @staticmethod
+    def _format(snap: ProgressSnapshot) -> str:
+        eta = f"{snap.eta_s:.0f}s" if snap.eta_s is not None else "?"
+        return (
+            f"runs {snap.done}/{snap.total} "
+            f"({snap.executed} executed, {snap.cached} cached, "
+            f"{snap.failed} failed) "
+            f"{snap.runs_per_sec:.2f} runs/s eta {eta}"
+        )
+
+
+def auto_reporter(enabled: object) -> Optional[ProgressReporter]:
+    """Interpret a context's ``progress`` setting.
+
+    ``None``/``False`` → no reporter; ``True`` → stderr; a
+    :class:`ProgressReporter` instance is passed through.
+    """
+    if isinstance(enabled, ProgressReporter):
+        return enabled
+    if enabled:
+        return ProgressReporter(stream=sys.stderr)
+    return None

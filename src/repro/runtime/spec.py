@@ -1,0 +1,254 @@
+"""Declarative run specifications and the scenario-builder registry.
+
+A :class:`~repro.experiments.scenario.Scenario` holds capacity-process
+*closures* and therefore cannot cross a process boundary.  A
+:class:`RunSpec` is the picklable stand-in: it names a registered
+scenario builder plus the JSON-serialisable keyword arguments that
+rebuild the scenario on the other side, together with the protocol and
+seed.  Because the payload is canonical JSON, every spec also has a
+stable content hash that keys the on-disk result cache.
+
+Builders are registered by name; the stock registrations (one per
+experiment module, plus the web workload) live in
+:mod:`repro.runtime.builders` and are loaded lazily the first time a
+builder is looked up — in the parent process *and* in pool workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: Bump to invalidate every cached result after a change to the
+#: simulation code or the result schema.
+RUNTIME_SCHEMA_VERSION = 1
+
+
+def code_salt() -> str:
+    """The code/version salt mixed into every content hash.
+
+    A cached result is only reusable while the code that produced it is
+    equivalent; the package version plus the runtime schema version is
+    the coarse-but-safe proxy for that.
+    """
+    from repro import __version__
+
+    return f"repro-{__version__}/runtime-{RUNTIME_SCHEMA_VERSION}"
+
+
+@dataclass(frozen=True)
+class BuilderEntry:
+    """One registered way of executing a :class:`RunSpec`.
+
+    ``execute`` turns a spec into a result object; ``encode``/``decode``
+    are the lossless dict codec the pool and the cache use for it.
+    """
+
+    name: str
+    execute: Callable[["RunSpec"], Any]
+    encode: Callable[[Any], Dict[str, Any]]
+    decode: Callable[[Dict[str, Any]], Any]
+
+
+_REGISTRY: Dict[str, BuilderEntry] = {}
+_SCENARIO_FNS: Dict[str, Callable[..., Any]] = {}
+_DEFAULTS_LOADED = False
+
+
+def register_builder(
+    name: str,
+    execute: Callable[["RunSpec"], Any],
+    encode: Optional[Callable[[Any], Dict[str, Any]]] = None,
+    decode: Optional[Callable[[Dict[str, Any]], Any]] = None,
+    replace: bool = False,
+) -> BuilderEntry:
+    """Register an arbitrary executor under ``name``.
+
+    The default codec assumes the result has ``to_dict``/``from_dict``
+    (as :class:`~repro.experiments.scenario.RunResult` does).
+    """
+    if not replace and name in _REGISTRY:
+        raise ConfigurationError(f"builder {name!r} is already registered")
+    entry = BuilderEntry(
+        name=name,
+        execute=execute,
+        encode=encode or _run_result_encode,
+        decode=decode or _run_result_decode,
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def register_scenario_builder(
+    name: str, scenario_fn: Callable[..., Any], replace: bool = False
+) -> BuilderEntry:
+    """Register ``scenario_fn(**kwargs) -> Scenario`` under ``name``.
+
+    The spec's ``config`` overrides are applied field-wise to the
+    scenario's :class:`~repro.core.config.EMPTCPConfig` before the run
+    (this is how parameter sweeps ride through the runtime).
+    """
+
+    def _execute(spec: "RunSpec") -> Any:
+        from repro.experiments.runner import run_scenario
+
+        scenario = scenario_fn(**spec.kwargs)
+        if spec.config:
+            scenario = dataclasses.replace(
+                scenario,
+                emptcp_config=dataclasses.replace(
+                    scenario.emptcp_config, **spec.config
+                ),
+            )
+        return run_scenario(spec.protocol, scenario, seed=spec.seed)
+
+    _SCENARIO_FNS[name] = scenario_fn
+    return register_builder(name, _execute, replace=replace)
+
+
+def build_scenario(name: str, **kwargs: Any) -> Any:
+    """Materialise the :class:`Scenario` behind a scenario builder."""
+    load_default_builders()
+    if name not in _SCENARIO_FNS:
+        raise ConfigurationError(
+            f"{name!r} is not a scenario builder; known: {sorted(_SCENARIO_FNS)}"
+        )
+    return _SCENARIO_FNS[name](**kwargs)
+
+
+def _run_result_encode(result: Any) -> Dict[str, Any]:
+    return result.to_dict()
+
+
+def _run_result_decode(data: Dict[str, Any]) -> Any:
+    from repro.experiments.scenario import RunResult
+
+    return RunResult.from_dict(data)
+
+
+def load_default_builders() -> None:
+    """Import the stock registrations exactly once per process."""
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        _DEFAULTS_LOADED = True
+        import repro.runtime.builders  # noqa: F401  (registers on import)
+
+
+def get_builder(name: str) -> BuilderEntry:
+    """Look up a registered builder, loading the defaults on demand."""
+    load_default_builders()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown builder {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_builders() -> Dict[str, BuilderEntry]:
+    """A snapshot of the registry (defaults included)."""
+    load_default_builders()
+    return dict(_REGISTRY)
+
+
+@dataclass
+class RunSpec:
+    """One declarative (protocol, scenario, seed) run.
+
+    ``kwargs`` parameterise the named builder; ``config`` optionally
+    overrides :class:`~repro.core.config.EMPTCPConfig` fields.  Both
+    must be JSON-serialisable so the spec can cross process boundaries
+    and hash stably.
+    """
+
+    protocol: str
+    builder: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        try:
+            json.dumps([self.kwargs, self.config], sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"RunSpec kwargs/config must be JSON-serialisable: {exc}"
+            ) from exc
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for logs and manifests."""
+        return f"{self.builder}/{self.protocol}#s{self.seed}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": RUNTIME_SCHEMA_VERSION,
+            "protocol": self.protocol,
+            "builder": self.builder,
+            "kwargs": dict(self.kwargs),
+            "seed": self.seed,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        try:
+            return cls(
+                protocol=data["protocol"],
+                builder=data["builder"],
+                kwargs=dict(data.get("kwargs", {})),
+                seed=data.get("seed", 0),
+                config=dict(data.get("config", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed RunSpec data: {exc}") from exc
+
+    def canonical_json(self) -> str:
+        """Canonical (sorted, compact) JSON — the hash input."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the spec content plus the code salt."""
+        payload = f"{code_salt()}\n{self.canonical_json()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def execute(self) -> Any:
+        """Run this spec in-process and return its result object."""
+        return get_builder(self.builder).execute(self)
+
+
+@dataclass
+class ScenarioRef:
+    """A named, parameterised scenario — a picklable ``Scenario`` stand-in.
+
+    Where an API used to take a built :class:`Scenario`, accepting a
+    ``ScenarioRef`` instead lets the call route through the parallel
+    runtime (see :func:`repro.experiments.sensitivity.sweep_config`).
+    """
+
+    builder: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def spec(
+        self,
+        protocol: str,
+        seed: int = 0,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> RunSpec:
+        """Instantiate a :class:`RunSpec` against this scenario."""
+        return RunSpec(
+            protocol=protocol,
+            builder=self.builder,
+            kwargs=dict(self.kwargs),
+            seed=seed,
+            config=dict(config or {}),
+        )
+
+    def build(self) -> Any:
+        """Materialise the underlying :class:`Scenario` in-process."""
+        return build_scenario(self.builder, **self.kwargs)

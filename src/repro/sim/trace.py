@@ -12,7 +12,7 @@ Two flavours are used throughout the reproduction:
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -26,19 +26,93 @@ class TimeSeries:
         self.values: List[float] = []
 
     def record(self, time: float, value: float) -> None:
-        """Append a sample.  Times must be non-decreasing."""
+        """Append a sample.  Times must be non-decreasing.
+
+        Samples are stored as floats so a series is identical whether
+        it was recorded in-process or decoded from a worker/cache dict
+        (an int sample would otherwise serialise differently).
+        """
+        time = float(time)
         if self.times and time < self.times[-1]:
             raise SimulationError(
                 f"TimeSeries {self.name!r}: non-monotonic time {time} < {self.times[-1]}"
             )
         self.times.append(time)
-        self.values.append(value)
+        self.values.append(float(value))
 
     def __len__(self) -> int:
         return len(self.times)
 
     def __iter__(self) -> Iterator[Tuple[float, float]]:
         return iter(zip(self.times, self.values))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.times == other.times
+            and self.values == other.values
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimeSeries":
+        """Rebuild a series from :meth:`to_dict` output.
+
+        Floats survive both JSON and pickling exactly, so a round trip
+        reproduces the original series bit-for-bit.
+        """
+        try:
+            times = [float(t) for t in data["times"]]
+            values = [float(v) for v in data["values"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed TimeSeries data: {exc}") from exc
+        if len(times) != len(values):
+            raise SimulationError(
+                f"malformed TimeSeries data: {len(times)} times "
+                f"vs {len(values)} values"
+            )
+        out = cls(str(data.get("name", "")))
+        for t, v in zip(times, values):
+            out.record(t, v)
+        return out
+
+    def integral(self) -> float:
+        """Step-integral over the series' span.
+
+        Each sample holds until the next one (the final sample spans no
+        time), matching how the periodic tracer samples a
+        piecewise-constant signal.
+        """
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.values[i] * (self.times[i + 1] - self.times[i])
+        return total
+
+    def time_weighted_mean(self) -> float:
+        """Mean value weighted by how long each sample was in effect.
+
+        A plain average of the samples would over-weight any burst of
+        closely spaced samples; integrating the step function divides
+        out the actual span.  A single sample (or zero span) is its own
+        mean.
+        """
+        if not self.times:
+            raise SimulationError(
+                f"TimeSeries {self.name!r}: mean of an empty series"
+            )
+        span = self.times[-1] - self.times[0]
+        if span <= 0.0:
+            return self.values[-1]
+        return self.integral() / span
 
     @property
     def last(self) -> Optional[Tuple[float, float]]:

@@ -1,0 +1,317 @@
+"""The parallel execution runtime: specs, cache, manifest, executor.
+
+Everything here runs at tiny download sizes so the suite stays
+CI-sized; the runtime semantics (hash stability, cache equivalence,
+retry/failure bookkeeping) do not depend on scale.
+"""
+
+import io
+import json
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ExecutionError, SimulationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.sensitivity import sweep_config
+from repro.experiments.static_bw import static_scenario
+from repro.runtime import (
+    ProgressReporter,
+    ResultCache,
+    RunManifest,
+    RunSpec,
+    ScenarioRef,
+    build_scenario,
+    current_context,
+    format_summary,
+    group_results,
+    register_builder,
+    registered_builders,
+    run_many,
+    run_specs,
+    summarize,
+    use_runtime,
+)
+from repro.runtime import spec as spec_mod
+from repro.units import mib
+
+pytestmark = pytest.mark.runtime
+
+SMALL = mib(1)
+
+
+def small_spec(protocol="emptcp", seed=0, **overrides):
+    kwargs = {"good_wifi": True, "download_bytes": SMALL, "lte_mbps": 10.0}
+    kwargs.update(overrides)
+    return RunSpec(protocol=protocol, builder="static", kwargs=kwargs, seed=seed)
+
+
+@pytest.fixture
+def scratch_builder():
+    """Register throwaway builders; unregister them afterwards."""
+    names = []
+
+    def _register(name, execute, **kw):
+        names.append(name)
+        return register_builder(name, execute, **kw)
+
+    yield _register
+    for name in names:
+        spec_mod._REGISTRY.pop(name, None)
+
+
+class TestRunSpec:
+    def test_content_hash_is_stable_and_kwarg_order_insensitive(self):
+        a = RunSpec("emptcp", "static", {"good_wifi": True, "lte_mbps": 10.0})
+        b = RunSpec("emptcp", "static", {"lte_mbps": 10.0, "good_wifi": True})
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() == a.content_hash()
+
+    def test_content_hash_sees_every_field(self):
+        base = small_spec()
+        assert small_spec(protocol="mptcp").content_hash() != base.content_hash()
+        assert small_spec(seed=1).content_hash() != base.content_hash()
+        assert small_spec(lte_mbps=9.0).content_hash() != base.content_hash()
+        cfg = RunSpec(
+            "emptcp", "static", dict(base.kwargs), config={"tau_seconds": 6.0}
+        )
+        assert cfg.content_hash() != base.content_hash()
+
+    def test_non_json_kwargs_are_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec("emptcp", "static", {"capacity": object()})
+        with pytest.raises(ConfigurationError):
+            RunSpec("emptcp", "static", {}, config={"fn": lambda: None})
+
+    def test_round_trip_through_dict(self):
+        spec = small_spec(seed=3)
+        again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.content_hash() == spec.content_hash()
+
+    def test_default_registry_covers_every_experiment_family(self):
+        names = set(registered_builders())
+        assert {
+            "static", "random-bw", "background", "mobility", "upload",
+            "wild", "web",
+        } <= names
+
+    def test_unknown_builder_raises_with_suggestions(self):
+        spec = RunSpec("emptcp", "no-such-builder")
+        with pytest.raises(ConfigurationError, match="static"):
+            spec.execute()
+
+    def test_scenario_ref_builds_the_same_scenario(self):
+        ref = ScenarioRef("static", {"good_wifi": True, "download_bytes": SMALL})
+        scenario = ref.build()
+        assert scenario.name == static_scenario(True, SMALL).name
+        assert scenario.download_bytes == SMALL
+        spec = ref.spec("emptcp", seed=2, config={"tau_seconds": 6.0})
+        assert spec.builder == "static"
+        assert spec.seed == 2
+        assert spec.config == {"tau_seconds": 6.0}
+
+    def test_build_scenario_rejects_non_scenario_builders(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("web")
+
+
+class TestResultCache:
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        """Satellite: a cached result equals a fresh one field-for-field."""
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_spec()
+        fresh = spec.execute()
+        cache.put(spec, fresh)
+        cached = cache.get(spec)
+        assert cached is not None
+        assert cached.to_dict() == fresh.to_dict()
+        assert cached.energy_j == fresh.energy_j
+        assert cached.download_time == fresh.download_time
+        assert cached.bytes_received == fresh.bytes_received
+        assert cached.diagnostics == fresh.diagnostics
+        assert cached.energy_series == fresh.energy_series
+
+    def test_miss_on_unknown_spec_and_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_spec()
+        assert cache.get(spec) is None
+        cache.put(spec, spec.execute())
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_salt_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_spec()
+        cache.put(spec, spec.execute())
+        payload = json.loads(cache.path_for(spec).read_text())
+        payload["salt"] = "repro-0.0.0/runtime-0"
+        cache.path_for(spec).write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.stats().entries == 0
+        result = small_spec().execute()
+        cache.put(small_spec(), result)
+        cache.put(small_spec(seed=1), result)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+
+class TestManifest:
+    def test_write_read_summarize(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.record(small_spec(), "executed", wall_time_s=1.5)
+            manifest.record(small_spec(seed=1), "cached", worker="cache")
+            manifest.record(small_spec(seed=2), "retried", attempt=1)
+            manifest.record(small_spec(seed=2), "failed", attempt=2)
+        entries = RunManifest.read(path)
+        assert [e.outcome for e in entries] == [
+            "executed", "cached", "retried", "failed",
+        ]
+        assert entries[0].wall_time_s == 1.5
+        assert entries[0].spec_hash == small_spec().content_hash()
+        counts = summarize(entries)
+        assert counts["total"] == 3  # retried is not terminal
+        assert "1 executed, 1 cached, 1 failed" in format_summary(counts)
+
+    def test_rejects_unknown_outcomes(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        with pytest.raises(ConfigurationError):
+            manifest.record(small_spec(), "exploded")
+        # Nothing recorded: the file is never created.
+        assert not (tmp_path / "run.jsonl").exists()
+
+
+class TestProgressReporter:
+    def test_counters_rate_and_eta_with_fake_clock(self):
+        now = [100.0]
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            stream=stream, min_interval_s=0.0, clock=lambda: now[0]
+        )
+        reporter.start(4)
+        now[0] += 2.0
+        reporter.update("executed")
+        reporter.update("cached")
+        reporter.update("retried")  # intermediate: not counted
+        snap = reporter.snapshot()
+        assert (snap.done, snap.executed, snap.cached, snap.failed) == (2, 1, 1, 0)
+        assert snap.remaining == 2
+        assert snap.runs_per_sec == pytest.approx(1.0)
+        assert snap.eta_s == pytest.approx(2.0)
+        reporter.update("failed")
+        reporter.update("executed")
+        final = reporter.finish()
+        assert final.done == 4
+        assert final.eta_s == 0.0
+        assert "runs 4/4" in stream.getvalue()
+
+
+class TestRunMany:
+    def test_serial_matches_direct_run_scenario(self):
+        spec = small_spec(seed=7)
+        [via_runtime] = run_many([spec])
+        direct = run_scenario(
+            "emptcp", static_scenario(True, download_bytes=SMALL), seed=7
+        )
+        assert via_runtime.to_dict() == direct.to_dict()
+
+    def test_second_invocation_is_all_cached(self, tmp_path):
+        """The acceptance property at unit scale: warm cache, 0 executed."""
+        cache = ResultCache(tmp_path / "cache")
+        specs = [small_spec(protocol=p, seed=s)
+                 for p in ("emptcp", "tcp-wifi") for s in range(2)]
+        m1, m2 = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+        with RunManifest(m1) as manifest:
+            cold = run_many(specs, cache=cache, manifest=manifest)
+        with RunManifest(m2) as manifest:
+            warm = run_many(specs, cache=cache, manifest=manifest)
+        cold_counts = summarize(RunManifest.read(m1))
+        warm_counts = summarize(RunManifest.read(m2))
+        assert cold_counts["executed"] == len(specs)
+        assert warm_counts["executed"] == 0
+        assert warm_counts["cached"] == len(specs)
+        for a, b in zip(cold, warm):
+            assert a.to_dict() == b.to_dict()
+
+    def test_group_results_preserves_order_within_protocol(self):
+        specs = [small_spec(protocol=p, seed=s)
+                 for p in ("emptcp", "tcp-wifi") for s in range(2)]
+        grouped = group_results(specs, list(range(len(specs))))
+        assert grouped == {"emptcp": [0, 1], "tcp-wifi": [2, 3]}
+
+    def test_run_specs_inherits_ambient_context(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert current_context().cache is None
+        with use_runtime(cache=cache, jobs=1):
+            assert current_context().cache is cache
+            run_specs([small_spec()])
+        assert current_context().cache is None
+        assert cache.stats().entries == 1
+
+    def test_failure_raises_execution_error_and_is_recorded(
+        self, tmp_path, scratch_builder
+    ):
+        def boom(spec):
+            raise SimulationError("deliberate failure")
+
+        scratch_builder("boom-test", boom)
+        specs = [small_spec(), RunSpec("emptcp", "boom-test")]
+        manifest_path = tmp_path / "run.jsonl"
+        with RunManifest(manifest_path) as manifest:
+            with pytest.raises(ExecutionError, match="deliberate failure"):
+                run_many(specs, manifest=manifest)
+        counts = summarize(RunManifest.read(manifest_path))
+        # The healthy run still executed (and would be cached for resume).
+        assert counts["executed"] == 1
+        assert counts["failed"] == 1
+        assert counts["retried"] == 0  # deterministic errors never retry
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGALRM"), reason="needs SIGALRM timeouts"
+    )
+    def test_timeout_is_retried_then_failed(self, tmp_path, scratch_builder):
+        def sleepy(spec):
+            time.sleep(5.0)
+
+        scratch_builder("sleepy-test", sleepy)
+        manifest_path = tmp_path / "run.jsonl"
+        with RunManifest(manifest_path) as manifest:
+            with pytest.raises(ExecutionError, match="timeout"):
+                run_many(
+                    [RunSpec("emptcp", "sleepy-test")],
+                    manifest=manifest,
+                    timeout_s=0.05,
+                    retries=1,
+                    backoff_s=0.0,
+                )
+        outcomes = [e.outcome for e in RunManifest.read(manifest_path)]
+        assert outcomes == ["retried", "failed"]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_many([small_spec()], jobs=0)
+
+
+class TestSweepThroughRuntime:
+    def test_scenario_ref_sweep_matches_legacy_scenario_sweep(self):
+        values = (3.0, 6.0)
+        legacy = sweep_config(
+            "tau_seconds", values,
+            static_scenario(True, download_bytes=SMALL), runs=1,
+        )
+        via_ref = sweep_config(
+            "tau_seconds", values,
+            ScenarioRef("static", {"good_wifi": True, "download_bytes": SMALL}),
+            runs=1,
+        )
+        assert [(p.value, p.energy_j, p.download_time) for p in legacy] == [
+            (p.value, p.energy_j, p.download_time) for p in via_ref
+        ]

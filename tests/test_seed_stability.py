@@ -5,11 +5,14 @@ the *orderings* are not a seed lottery: across many seeds, the claimed
 relationships hold in (nearly) every draw.
 """
 
+import json
+
 import pytest
 
 from repro.experiments.runner import run_scenario
 from repro.experiments.random_bw import random_bw_scenario
 from repro.experiments.static_bw import static_scenario
+from repro.runtime import RunSpec, run_many
 from repro.units import mib
 
 SEEDS = range(8)
@@ -60,3 +63,24 @@ class TestSeedStability:
         assert a.energy_j == b.energy_j
         assert a.download_time == b.download_time
         assert a.diagnostics == b.diagnostics
+
+    @pytest.mark.runtime
+    def test_parallel_execution_is_byte_identical_to_serial(self):
+        """jobs=4 through the process pool must not perturb a single
+        bit of any result relative to in-process serial execution."""
+        specs = [
+            RunSpec(
+                protocol=protocol,
+                builder="static",
+                kwargs={"good_wifi": True, "download_bytes": mib(1)},
+                seed=seed,
+            )
+            for protocol in ("emptcp", "tcp-wifi")
+            for seed in range(2)
+        ]
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=4)
+        for s, p in zip(serial, parallel):
+            assert json.dumps(s.to_dict(), sort_keys=True) == json.dumps(
+                p.to_dict(), sort_keys=True
+            )
