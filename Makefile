@@ -2,13 +2,21 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-smoke bench-verbose report report-paper examples clean
+.PHONY: install test bench bench-smoke bench-verbose trace-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test:
-	$(PY) -m pytest tests/
+test: trace-smoke
+	PYTHONPATH=src $(PY) -m pytest tests/
+
+trace-smoke:  ## one traced smoke run; the exported JSONL must validate
+	rm -rf .trace-smoke
+	PYTHONPATH=src $(PY) -m repro.cli fig6 --runs 1 --size-mb 2 --trace \
+		--metrics --no-progress --cache-dir .trace-smoke > /dev/null
+	PYTHONPATH=src $(PY) -m repro.cli trace validate .trace-smoke/obs
+	PYTHONPATH=src $(PY) -m repro.cli trace summarize .trace-smoke/obs
+	rm -rf .trace-smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -30,5 +38,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

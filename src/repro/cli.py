@@ -32,6 +32,8 @@ from repro.experiments import streaming as stream_exp
 from repro.experiments import upload as upload_exp
 from repro.experiments import web as web_exp
 from repro.experiments import wild as wild_exp
+from repro.obs import ObsOptions, iter_trace_files, validate_trace_files
+from repro.obs.summarize import format_trace_summary, summarize_target
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import use_runtime
 from repro.runtime.manifest import RunManifest, format_summary, summarize
@@ -299,6 +301,39 @@ def _cmd_cache(args) -> int:
     return 2
 
 
+def _cmd_trace(args) -> int:
+    sub = args.subcommand or "summarize"
+    target = Path(args.target) if args.target else Path(args.cache_dir) / "obs"
+    if sub not in ("summarize", "validate"):
+        print(f"unknown trace subcommand {sub!r}; choose summarize or validate",
+              file=sys.stderr)
+        return 2
+    if not target.exists():
+        print(f"error: no traces at {target} (run with --trace first, or pass "
+              f"a trace file/directory)", file=sys.stderr)
+        return 2
+    if sub == "summarize":
+        try:
+            summary = summarize_target(target)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trace_summary(summary))
+        return 0
+    checked = len(list(iter_trace_files(target)))
+    failures = validate_trace_files(target)
+    for name in sorted(failures):
+        for problem in failures[name]:
+            print(f"{name}: {problem}", file=sys.stderr)
+    if failures:
+        total = sum(len(p) for p in failures.values())
+        print(f"{total} schema problem(s) in {len(failures)} of {checked} "
+              f"trace file(s)", file=sys.stderr)
+        return 1
+    print(f"{checked} trace file(s) validate against the event schema")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     specs = [
         ("wifi-good 12Mbps/40ms", pv.PathSpec(12.0, 0.04)),
@@ -353,6 +388,7 @@ def _cmd_streaming(args) -> int:
 _COMMANDS = {
     "list": (_cmd_list, "list available experiments"),
     "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
+    "trace": (_cmd_trace, "summarize or validate exported run traces"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
     "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
@@ -388,7 +424,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment id")
     parser.add_argument(
         "subcommand", nargs="?", default=None,
-        help="cache subcommand: stats (default) or clear",
+        help="cache subcommand: stats (default) or clear; "
+             "trace subcommand: summarize (default) or validate",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="trace file or directory (trace command; "
+             "default: <cache-dir>/obs)",
     )
     parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
     parser.add_argument(
@@ -431,6 +473,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--timeout", type=float, default=None,
         help="per-run wall-clock limit in seconds (parallel runs)",
     )
+    parser.add_argument(
+        "--trace", action="store_true", default=False,
+        help="capture a structured event trace per executed run "
+             "(exported as <obs-dir>/<spec-hash>.trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true", default=False,
+        help="capture counters/gauges/histograms per executed run "
+             "(exported as <obs-dir>/<spec-hash>.metrics.json)",
+    )
+    parser.add_argument(
+        "--obs-dir", default=None,
+        help="where per-run trace/metrics exports land "
+             "(default: <cache-dir>/obs)",
+    )
     progress_group = parser.add_mutually_exclusive_group()
     progress_group.add_argument(
         "--progress", dest="progress", action="store_true", default=None,
@@ -454,6 +511,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if show_progress is None:
         show_progress = args.command == "report" and sys.stderr.isatty()
 
+    obs_dir = args.obs_dir or str(Path(cache_dir) / "obs")
+    args.obs_dir = obs_dir
+    obs_options = (
+        ObsOptions(dir=obs_dir, trace=args.trace, metrics=args.metrics)
+        if (args.trace or args.metrics)
+        else None
+    )
+
     manifest = RunManifest(manifest_path) if manifest_path else None
     try:
         with use_runtime(
@@ -462,6 +527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             manifest=manifest,
             progress=auto_reporter(show_progress),
             timeout_s=args.timeout,
+            obs=obs_options,
         ):
             status = handler(args)
     except BrokenPipeError:  # piped into `head` etc.

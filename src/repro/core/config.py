@@ -32,17 +32,11 @@ class EMPTCPConfig:
     safety_factor: float = 0.10
 
     #: Assumed throughput for an interface that has never been activated
-    #: (§3.2), so its path gets probed at all.  Mbps.
+    #: (§3.2), so its path gets probed at all.  Mbps.  The floor applies
+    #: *only* before the first sample: a deactivated interface keeps
+    #: predicting from its old (possibly stale) observations, exactly as
+    #: §3.2 describes.
     initial_bandwidth_mbps: float = 5.0
-
-    #: After an interface has produced no samples for this long
-    #: (deactivated by the path controller), its prediction is floored
-    #: at the initial-bandwidth assumption again — the same probing
-    #: optimism §3.2 applies to never-activated interfaces.  Without
-    #: this, a subflow suspended during a transient dip is never
-    #: re-probed: its stale low estimate keeps the controller from ever
-    #: resuming it.  Seconds.
-    prediction_stale_after: float = 20.0
 
     #: φ — bandwidth samples required after WiFi stabilises before τ may
     #: fire (equation (1)).
@@ -92,8 +86,6 @@ class EMPTCPConfig:
             raise ConfigurationError("invalid Holt-Winters parameters")
         if self.delta_min <= 0 or self.delta_max < self.delta_min:
             raise ConfigurationError("invalid sampling-interval bounds")
-        if self.prediction_stale_after <= 0:
-            raise ConfigurationError("prediction_stale_after must be positive")
         if self.decision_interval <= 0:
             raise ConfigurationError("decision_interval must be positive")
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from typing import List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.core.config import EMPTCPConfig
 from repro.core.eib import EnergyInformationBase
 from repro.core.predictor import BandwidthPredictor
@@ -64,6 +65,14 @@ class PathUsageController:
         #: appended by :meth:`decide` when a time is provided.
         self.decision_log: List[Tuple[float, PathDecision]] = []
         self.wifi_prediction_series = TimeSeries("predicted-wifi-mbps")
+        self._trace = _obs.tracer_or_none()
+        metrics = _obs.metrics_or_none()
+        self._decision_counter = (
+            metrics.counter("controller.decisions") if metrics is not None else None
+        )
+        self._switch_counter = (
+            metrics.counter("controller.switches") if metrics is not None else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -89,12 +98,31 @@ class PathUsageController:
         # samples would act on slow-start noise (and then freeze the
         # untrusted estimate while the subflow is suspended).
         decision = self._require_samples(decision)
-        if decision is not self.current:
+        switched = decision is not self.current
+        if switched:
             self.switches += 1
             self.current = decision
         if now is not None:
             self.decision_log.append((now, decision))
             self.wifi_prediction_series.record(now, wifi)
+        if self._trace is not None:
+            cell_only_thr, wifi_only_thr = self.eib.thresholds(cell)
+            self._trace.emit(
+                "controller.decision",
+                t=now if now is not None else 0.0,
+                wifi_mbps=wifi,
+                cell_mbps=cell,
+                raw=self.raw_decision(wifi, cell).value,
+                decision=decision.value,
+                cell_only_thr_mbps=cell_only_thr,
+                wifi_only_thr_mbps=wifi_only_thr,
+                safety_factor=self.config.safety_factor,
+                switched=switched,
+            )
+        if self._decision_counter is not None:
+            self._decision_counter.inc()
+            if switched:
+                self._switch_counter.inc()
         return decision
 
     def _require_samples(self, decision: PathDecision) -> PathDecision:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from repro import obs as _obs
 from repro.core.config import EMPTCPConfig
 from repro.core.controller import PathUsageController
 from repro.core.predictor import BandwidthPredictor
@@ -90,6 +91,7 @@ class DelayedSubflowEstablishment:
         self.established_at: Optional[float] = None
         self.trigger: Optional[str] = None
         self._timer = Timer(sim, self._timer_expired)
+        self._trace = _obs.tracer_or_none()
 
     def start(self) -> None:
         """Arm the τ timer and begin watching WiFi deliveries."""
@@ -149,19 +151,36 @@ class DelayedSubflowEstablishment:
             # samples.  Establishing LTE costs an irreversible
             # promotion + tail, so an under-sampled (slow-start-biased)
             # WiFi estimate postpones rather than commits.
-            self.postponements += 1
-            if trigger == "tau":
-                self._timer.start(self.config.tau_seconds)
+            self._postpone(trigger)
             return
         if self._wifi_only_preferred():
-            self.postponements += 1
-            if trigger == "tau":
-                self._timer.start(self.config.tau_seconds)
+            self._postpone(trigger)
             return
         self.trigger = trigger
         self._timer.cancel()
         self.established_at = self.sim.now
+        if self._trace is not None:
+            self._trace.emit(
+                "delay.trigger",
+                t=self.sim.now,
+                trigger=trigger,
+                action="established",
+                wifi_bytes=self.wifi_bytes,
+            )
         self.established_subflow = self._establish()
+
+    def _postpone(self, trigger: str) -> None:
+        self.postponements += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "delay.trigger",
+                t=self.sim.now,
+                trigger=trigger,
+                action="postponed",
+                wifi_bytes=self.wifi_bytes,
+            )
+        if trigger == "tau":
+            self._timer.start(self.config.tau_seconds)
 
     def _wifi_only_preferred(self) -> bool:
         wifi = self.predictor.predict_mbps(InterfaceKind.WIFI)

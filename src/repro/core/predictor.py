@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro import obs as _obs
 from repro.core.config import EMPTCPConfig
 from repro.core.forecast import HoltWintersForecaster
 from repro.core.sampler import ThroughputSampler
@@ -36,6 +37,8 @@ class BandwidthPredictor:
         self._samplers: List[ThroughputSampler] = []
         self.samples_by_kind: Dict[InterfaceKind, int] = {}
         self._last_sample_time: Dict[InterfaceKind, float] = {}
+        self._trace = _obs.tracer_or_none()
+        self._metrics = _obs.metrics_or_none()
 
     # ------------------------------------------------------------------
     # wiring
@@ -60,9 +63,24 @@ class BandwidthPredictor:
                 alpha=self.config.hw_alpha, beta=self.config.hw_beta
             )
             self._forecasters[kind] = forecaster
-        forecaster.observe(bytes_per_sec_to_mbps(rate_bytes_per_sec))
+        sample_mbps = bytes_per_sec_to_mbps(rate_bytes_per_sec)
+        forecaster.observe(sample_mbps)
         self.samples_by_kind[kind] = self.samples_by_kind.get(kind, 0) + 1
         self._last_sample_time[kind] = self.sim.now
+        if self._trace is not None:
+            forecast = forecaster.forecast(1)
+            self._trace.emit(
+                "predictor.sample",
+                t=self.sim.now,
+                interface=kind.value,
+                sample_mbps=sample_mbps,
+                forecast_mbps=forecast if forecast is not None else sample_mbps,
+            )
+        if self._metrics is not None:
+            self._metrics.counter(f"predictor.samples.{kind.value}").inc()
+            self._metrics.histogram(
+                f"predictor.sample_mbps.{kind.value}"
+            ).observe(sample_mbps)
 
     def stop(self) -> None:
         """Stop all samplers (connection closed)."""
@@ -80,21 +98,20 @@ class BandwidthPredictor:
     def predict_mbps(self, kind: InterfaceKind) -> float:
         """Forecast throughput for an interface, Mbps.
 
-        Never-activated interfaces get the configured initial
-        bandwidth.  A deactivated interface keeps predicting from its
-        old samples (§3.2); once those are older than
-        ``prediction_stale_after`` the prediction is floored at the
-        initial bandwidth so a long-suspended path is eventually
-        re-probed rather than written off on a stale low estimate.
+        Only a *never-activated* interface gets the configured initial
+        bandwidth (§3.2's probing assumption).  A deactivated interface
+        keeps predicting from its old samples, however stale — the
+        paper retains old observations until new sampled throughputs
+        mix in after reactivation.  Flooring a stale forecast at the
+        initial bandwidth would silently over-predict a path last seen
+        well below 5 Mbps and hand the controller an estimate no
+        measurement ever supported.
         """
         forecaster = self._forecasters.get(kind)
         if forecaster is None or not forecaster.initialized:
             return self.config.initial_bandwidth_mbps
         forecast = forecaster.forecast(1)
         assert forecast is not None
-        age = self.sim.now - self._last_sample_time.get(kind, self.sim.now)
-        if age > self.config.prediction_stale_after:
-            return max(forecast, self.config.initial_bandwidth_mbps)
         return forecast
 
     def sample_age(self, kind: InterfaceKind) -> Optional[float]:

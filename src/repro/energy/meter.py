@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import obs as _obs
 from repro.energy.device import DeviceProfile
 from repro.energy.power import Direction
 from repro.energy.rrc import RrcState
@@ -46,6 +47,8 @@ class EnergyMeter:
         #: Cumulative energy sampled at every state change (Figs 7, 12).
         self.energy_series = TimeSeries("cumulative-energy-J")
         self.energy_series.record(sim.now, 0.0)
+        self._trace = _obs.tracer_or_none()
+        self._metrics = _obs.metrics_or_none()
 
     # ------------------------------------------------------------------
     # state updates
@@ -120,8 +123,19 @@ class EnergyMeter:
     def checkpoint(self) -> float:
         """Integrate up to now and return total energy (joules)."""
         self._integrate()
-        self.energy_series.record(self.sim.now, self.total_energy)
-        return self.total_energy
+        total = self.total_energy
+        self.energy_series.record(self.sim.now, total)
+        if self._trace is not None:
+            self._trace.emit(
+                "energy.checkpoint",
+                t=self.sim.now,
+                total_j=total,
+                power_w=self._power,
+            )
+        if self._metrics is not None:
+            self._metrics.gauge("energy.total_j").set(total)
+            self._metrics.gauge("energy.power_w").set(self._power)
+        return total
 
     def rate(self, kind: InterfaceKind) -> float:
         """Current aggregate transfer rate on an interface, bytes/s."""

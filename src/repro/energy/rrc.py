@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro import obs as _obs
 from repro.errors import EnergyModelError
 from repro.sim.engine import EventHandle, Simulator
 
@@ -92,6 +93,9 @@ class RrcMachine:
         self._listeners: List[StateListener] = []
         self._timer: Optional[EventHandle] = None
         self._promotion_ends: float = 0.0
+        self._entered_state_at = sim.now
+        self._trace = _obs.tracer_or_none()
+        self._metrics = _obs.metrics_or_none()
 
     def on_state_change(self, listener: StateListener) -> None:
         """Subscribe to state transitions (drives the energy meter)."""
@@ -100,7 +104,19 @@ class RrcMachine:
     def _transition(self, state: RrcState) -> None:
         if state is self.state:
             return
+        previous = self.state
+        dwell = self.sim.now - self._entered_state_at
         self.state = state
+        self._entered_state_at = self.sim.now
+        if self._trace is not None:
+            self._trace.emit(
+                "rrc.transition",
+                t=self.sim.now,
+                **{"from": previous.value, "to": state.value, "dwell_s": dwell},
+            )
+        if self._metrics is not None:
+            self._metrics.counter("rrc.transitions").inc()
+            self._metrics.counter(f"rrc.dwell_s.{previous.value}").inc(dwell)
         for listener in list(self._listeners):
             listener(self.sim.now, state)
 

@@ -21,6 +21,7 @@ import enum
 import random as _random
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro import obs as _obs
 from repro.errors import ProtocolError
 from repro.mptcp.coupled import LiaCoupling
 from repro.mptcp.olia import OliaCoupling
@@ -113,6 +114,11 @@ class MPTCPConnection:
         self._established_listeners: List[Callable[[Subflow], None]] = []
         self._single_path_monitor: Optional[PeriodicProcess] = None
         self._single_path_cursor = 0
+        self._trace = _obs.tracer_or_none()
+        metrics = _obs.metrics_or_none()
+        self._prio_counter = (
+            metrics.counter("mptcp.mp_prio") if metrics is not None else None
+        )
 
     # ------------------------------------------------------------------
     # listeners
@@ -242,6 +248,12 @@ class MPTCPConnection:
         if subflow not in self.subflows:
             raise ProtocolError(f"unknown subflow {subflow.name}")
         self.option_log.append(MpPrio(self.sim.now, subflow.name, low=low))
+        if self._trace is not None:
+            self._trace.emit(
+                "mptcp.mp_prio", t=self.sim.now, subflow=subflow.name, low=low
+            )
+        if self._prio_counter is not None:
+            self._prio_counter.inc()
         if low:
             subflow.suspend()
         else:

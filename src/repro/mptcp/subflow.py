@@ -12,6 +12,7 @@ import enum
 import random as _random
 from typing import Callable, Optional
 
+from repro import obs as _obs
 from repro.errors import ProtocolError
 from repro.net.interface import InterfaceKind
 from repro.net.path import NetworkPath
@@ -64,6 +65,13 @@ class Subflow:
         self._delivery_listeners: list = []
         self.suspend_count = 0
         self.resume_count = 0
+        self._trace = _obs.tracer_or_none()
+        metrics = _obs.metrics_or_none()
+        self._bytes_counter = (
+            metrics.counter(f"subflow.bytes.{self.interface_kind.value}")
+            if metrics is not None
+            else None
+        )
 
     def on_delivery(self, listener: Callable[["Subflow", float], None]) -> None:
         """Subscribe to per-round delivered bytes on this subflow."""
@@ -91,6 +99,13 @@ class Subflow:
             return
         self.priority = SubflowPriority.LOW
         self.suspend_count += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "subflow.suspend",
+                t=self.sim.now,
+                subflow=self.name,
+                interface=self.interface_kind.value,
+            )
         self._conn.pause()
 
     def resume(self, reset_rtt: bool = False) -> None:
@@ -108,6 +123,13 @@ class Subflow:
             return
         self.priority = SubflowPriority.NORMAL
         self.resume_count += 1
+        if self._trace is not None:
+            self._trace.emit(
+                "subflow.resume",
+                t=self.sim.now,
+                subflow=self.name,
+                interface=self.interface_kind.value,
+            )
         self._conn.resume(reset_rtt=reset_rtt)
 
     # ------------------------------------------------------------------
@@ -116,6 +138,8 @@ class Subflow:
     def _on_delivery(self, conn: TcpConnection, delivered: float) -> None:
         self.bytes_delivered += delivered
         self.delivery_series.record(self.sim.now, delivered)
+        if self._bytes_counter is not None:
+            self._bytes_counter.inc(delivered)
         for listener in list(self._delivery_listeners):
             listener(self, delivered)
 

@@ -1,0 +1,163 @@
+"""repro.obs — structured tracing and metrics for simulation runs.
+
+The observability layer has three pieces:
+
+* :class:`~repro.obs.trace.Tracer` — a ring-buffered recorder of typed
+  events (JSONL-exportable; schema in :mod:`repro.obs.events`);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms for cheap aggregates;
+* a process-ambient **capture session** that turns both on.
+
+Instrumented components look the session up *once, at construction*::
+
+    self._trace = obs.tracer_or_none()      # None while disabled
+
+and guard every hot emission with a plain identity check, so a run
+outside a capture session pays one ``is not None`` per decision point
+and nothing else — no call, no allocation, no formatting.
+
+Capturing a run::
+
+    with obs.capture() as session:
+        result = run_scenario("emptcp", scenario)
+    session.tracer.to_jsonl("run.trace.jsonl")
+    session.metrics.to_dict()
+
+The parallel runtime (:mod:`repro.runtime.executor`) wraps every
+executed :class:`~repro.runtime.spec.RunSpec` in its own session when
+tracing is requested (CLI ``--trace`` / ``--metrics``) and files the
+exports next to the run manifest, keyed by the spec's content hash.
+
+Sessions are per-process and not thread-safe by design: simulation
+runs are single-threaded, and the process pool gives each worker its
+own ambient slot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import DEFAULT_RING_SIZE, Tracer, iter_trace_files, read_jsonl
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    validate_event,
+    validate_events,
+    validate_trace_files,
+)
+
+__all__ = [
+    "Tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsSession",
+    "ObsOptions",
+    "capture",
+    "current",
+    "tracer_or_none",
+    "metrics_or_none",
+    "EVENT_SCHEMA",
+    "validate_event",
+    "validate_events",
+    "validate_trace_files",
+    "read_jsonl",
+    "iter_trace_files",
+    "DEFAULT_RING_SIZE",
+]
+
+
+@dataclass
+class ObsSession:
+    """One active capture: a tracer and/or a metrics registry."""
+
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """How the execution runtime should capture runs.
+
+    ``dir`` is where per-run exports land (``<hash>.trace.jsonl`` /
+    ``<hash>.metrics.json``); ``trace``/``metrics`` choose what is
+    collected.  The dataclass is picklable so it crosses the process
+    boundary to pool workers unchanged.
+    """
+
+    dir: str
+    trace: bool = True
+    metrics: bool = False
+    ring_size: int = DEFAULT_RING_SIZE
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dir": self.dir,
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "ring_size": self.ring_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsOptions":
+        return cls(
+            dir=data["dir"],
+            trace=bool(data.get("trace", True)),
+            metrics=bool(data.get("metrics", False)),
+            ring_size=int(data.get("ring_size", DEFAULT_RING_SIZE)),
+        )
+
+
+#: The process-ambient session; None means observability is off.
+_current: Optional[ObsSession] = None
+
+
+def current() -> Optional[ObsSession]:
+    """The active capture session, if any."""
+    return _current
+
+
+def tracer_or_none() -> Optional[Tracer]:
+    """The active tracer, or None when disabled.
+
+    Components call this once at construction and keep the result, so
+    a run started inside a capture session traces for its whole life
+    while disabled runs carry no tracer at all.
+    """
+    return _current.tracer if _current is not None else None
+
+
+def metrics_or_none() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or None when disabled."""
+    return _current.metrics if _current is not None else None
+
+
+@contextmanager
+def capture(
+    trace: bool = True,
+    metrics: bool = True,
+    ring_size: int = DEFAULT_RING_SIZE,
+) -> Iterator[ObsSession]:
+    """Activate observability for the dynamic extent of the block.
+
+    Nested captures shadow the outer session (components constructed
+    inside see the innermost one) and restore it on exit.
+    """
+    global _current
+    session = ObsSession(
+        tracer=Tracer(ring_size) if trace else None,
+        metrics=MetricsRegistry() if metrics else None,
+    )
+    previous = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = previous

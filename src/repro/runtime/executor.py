@@ -4,12 +4,15 @@
 :class:`~repro.runtime.spec.RunSpec`s and returns their results in
 order.  Each spec is first looked up in the result cache; the misses
 are executed either in-process (``jobs=1``) or on a
-``ProcessPoolExecutor``, with a per-run timeout (enforced inside the
-worker via ``SIGALRM`` where the platform has it), bounded retry with
-backoff when a worker crashes or times out, and graceful fallback to
-serial execution when a pool cannot be created at all.  Every terminal
-outcome is recorded in the run manifest and counted by the progress
-reporter.
+``ProcessPoolExecutor``, with a per-run timeout (pre-emptive via
+``SIGALRM`` where available, a post-hoc wall-clock check elsewhere —
+see :func:`_deadline`), bounded retry with backoff when a worker
+crashes or times out, and graceful fallback to serial execution when a
+pool cannot be created at all.  Every terminal outcome is recorded in
+the run manifest and counted by the progress reporter.  With
+:class:`~repro.obs.ObsOptions` set, each executed run captures its own
+trace/metrics session, exported next to the manifest keyed by the
+spec's content hash.
 
 Experiment modules call :func:`run_specs`, which executes under the
 *ambient* :class:`RuntimeContext` — serial and uncached by default, so
@@ -21,6 +24,7 @@ library behaviour is unchanged until a caller opts in::
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import signal
@@ -31,8 +35,10 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, replace as _dc_replace
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError, ExecutionError
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest
@@ -60,6 +66,8 @@ class RuntimeContext:
     retries: int = 2
     #: Base backoff between retry waves, seconds.
     backoff_s: float = 0.5
+    #: Per-run trace/metrics capture (None = observability off).
+    obs: Optional[_obs.ObsOptions] = None
 
 
 _ambient = RuntimeContext()
@@ -116,6 +124,7 @@ def run_many(
     timeout_s: Any = _INHERIT,
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
+    obs: Any = _INHERIT,
 ) -> List[Any]:
     """Execute every spec; return results in spec order.
 
@@ -131,6 +140,7 @@ def run_many(
     timeout_s = ctx.timeout_s if timeout_s is _INHERIT else timeout_s
     retries = ctx.retries if retries is None else retries
     backoff_s = ctx.backoff_s if backoff_s is None else backoff_s
+    obs = ctx.obs if obs is _INHERIT else obs
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
@@ -145,6 +155,7 @@ def run_many(
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
+        obs=obs,
     )
     if state.reporter is not None:
         state.reporter.start(len(specs))
@@ -182,6 +193,7 @@ class _BatchState:
         timeout_s: Optional[float],
         retries: int,
         backoff_s: float,
+        obs: Optional[_obs.ObsOptions] = None,
     ):
         self.specs = specs
         self.results = results
@@ -191,6 +203,7 @@ class _BatchState:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.obs = obs
         self.failures: List[Tuple[int, BaseException]] = []
 
     def consume_cache(self) -> List[int]:
@@ -212,24 +225,27 @@ class _BatchState:
         wall_time_s: float = 0.0,
         worker: str = "local",
         attempt: int = 1,
+        trace: str = "",
     ) -> None:
         if self.manifest is not None:
             self.manifest.record(
                 spec, outcome, wall_time_s=wall_time_s, worker=worker,
-                attempt=attempt,
+                attempt=attempt, trace=trace,
             )
         if self.reporter is not None:
             self.reporter.update(outcome)
 
     def succeed(
-        self, index: int, result: Any, wall: float, worker: str, attempt: int
+        self, index: int, result: Any, wall: float, worker: str, attempt: int,
+        trace: str = "",
     ) -> None:
         self.results[index] = result
         spec = self.specs[index]
         if self.cache is not None:
             self.cache.put(spec, result)
         self.record(
-            spec, "executed", wall_time_s=wall, worker=worker, attempt=attempt
+            spec, "executed", wall_time_s=wall, worker=worker, attempt=attempt,
+            trace=trace,
         )
 
     def fail(
@@ -243,22 +259,46 @@ class _BatchState:
         )
 
 
+def _sigalrm_usable() -> bool:
+    """True when a pre-emptive ``SIGALRM`` deadline can be armed here.
+
+    Split out (rather than inlined in :func:`_deadline`) so tests can
+    monkeypatch it to exercise the wall-clock fallback on platforms
+    that *do* have ``SIGALRM``.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]):
     """Raise ``TimeoutError`` if the body outlives ``seconds``.
 
-    Uses ``SIGALRM``, so it only engages on platforms that have it and
-    in the main thread of the process (always true for pool workers);
-    elsewhere the timeout is a silent no-op rather than a crash.
+    Where ``SIGALRM`` is available and we are on the main thread
+    (always true for pool workers), the timeout is pre-emptive: the
+    run is interrupted mid-flight.  Everywhere else — Windows, or a
+    caller driving the runtime from a secondary thread — the deadline
+    degrades to a post-hoc wall-clock check: the run completes, but if
+    it overshot the budget its result is discarded and ``TimeoutError``
+    is raised so ``--timeout`` is honoured on every platform rather
+    than silently becoming a no-op.
     """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if seconds is None or seconds <= 0:
         yield
+        return
+
+    if not _sigalrm_usable():
+        start = time.monotonic()
+        yield
+        elapsed = time.monotonic() - start
+        if elapsed > seconds:
+            raise TimeoutError(
+                f"run exceeded the {seconds}s timeout "
+                f"(finished after {elapsed:.2f}s; SIGALRM unavailable, so "
+                f"the run could not be interrupted mid-flight)"
+            )
         return
 
     def _expired(_signum, _frame):
@@ -273,9 +313,51 @@ def _deadline(seconds: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
+def _export_session(
+    spec: RunSpec, options: _obs.ObsOptions, session: _obs.ObsSession
+) -> str:
+    """File one run's capture under ``options.dir``; return the trace
+    path ("" when only metrics were collected)."""
+    out_dir = Path(options.dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = spec.content_hash()
+    trace_path = ""
+    if session.tracer is not None:
+        trace_path = str(out_dir / f"{stem}.trace.jsonl")
+        session.tracer.to_jsonl(trace_path)
+    if session.metrics is not None:
+        metrics_path = out_dir / f"{stem}.metrics.json"
+        metrics_path.write_text(
+            json.dumps(session.metrics.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    return trace_path
+
+
+def _execute_observed(
+    spec: RunSpec, options: Optional[_obs.ObsOptions]
+) -> Tuple[Any, str]:
+    """Run one spec, inside its own capture session when requested.
+
+    Returns ``(result, trace_path)``; the trace path is "" when
+    observability is off.
+    """
+    if options is None or not options.enabled:
+        return spec.execute(), ""
+    with _obs.capture(
+        trace=options.trace,
+        metrics=options.metrics,
+        ring_size=options.ring_size,
+    ) as session:
+        result = spec.execute()
+    return result, _export_session(spec, options, session)
+
+
 def _worker_run(
-    spec_dict: Dict[str, Any], timeout_s: Optional[float]
-) -> Tuple[Dict[str, Any], float, str]:
+    spec_dict: Dict[str, Any],
+    timeout_s: Optional[float],
+    obs_dict: Optional[Dict[str, Any]] = None,
+) -> Tuple[Dict[str, Any], float, str, str]:
     """Pool-side entry point: rebuild the spec, run it, encode the result.
 
     Must stay a module-level function so it pickles under every
@@ -283,11 +365,14 @@ def _worker_run(
     """
     spec = RunSpec.from_dict(spec_dict)
     entry = get_builder(spec.builder)
+    options = (
+        _obs.ObsOptions.from_dict(obs_dict) if obs_dict is not None else None
+    )
     start = time.perf_counter()
     with _deadline(timeout_s):
-        result = spec.execute()
+        result, trace = _execute_observed(spec, options)
     wall = time.perf_counter() - start
-    return entry.encode(result), wall, f"pid-{os.getpid()}"
+    return entry.encode(result), wall, f"pid-{os.getpid()}", trace
 
 
 def _run_serial(state: _BatchState, pending: List[int]) -> None:
@@ -300,7 +385,7 @@ def _run_serial(state: _BatchState, pending: List[int]) -> None:
             start = time.perf_counter()
             try:
                 with _deadline(state.timeout_s):
-                    result = spec.execute()
+                    result, trace = _execute_observed(spec, state.obs)
             except TimeoutError as exc:
                 wall = time.perf_counter() - start
                 if attempt <= state.retries:
@@ -318,7 +403,8 @@ def _run_serial(state: _BatchState, pending: List[int]) -> None:
                 break
             else:
                 state.succeed(
-                    i, result, time.perf_counter() - start, "local", attempt
+                    i, result, time.perf_counter() - start, "local", attempt,
+                    trace=trace,
                 )
                 break
 
@@ -343,6 +429,11 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
 
     attempts = {i: 0 for i in pending}
     queue = list(pending)
+    obs_dict = (
+        state.obs.to_dict()
+        if state.obs is not None and state.obs.enabled
+        else None
+    )
     try:
         while queue:
             futures = {}
@@ -350,7 +441,10 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                 attempts[i] += 1
                 futures[
                     pool.submit(
-                        _worker_run, state.specs[i].to_dict(), state.timeout_s
+                        _worker_run,
+                        state.specs[i].to_dict(),
+                        state.timeout_s,
+                        obs_dict,
                     )
                 ] = i
             queue = []
@@ -359,7 +453,7 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     i = futures[future]
                     spec = state.specs[i]
                     try:
-                        encoded, wall, worker = future.result()
+                        encoded, wall, worker, trace = future.result()
                     except BrokenProcessPool:
                         raise  # handled by the outer except: pool is dead
                     except TimeoutError as exc:
@@ -372,7 +466,9 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                         state.fail(i, exc, 0.0, "pool", attempts[i])
                     else:
                         result = get_builder(spec.builder).decode(encoded)
-                        state.succeed(i, result, wall, worker, attempts[i])
+                        state.succeed(
+                            i, result, wall, worker, attempts[i], trace=trace
+                        )
             except BrokenProcessPool as exc:
                 # A worker died (OOM, hard crash).  Harvest any runs
                 # that finished before the pool collapsed, then requeue
@@ -387,10 +483,12 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     ):
                         continue
                     if future.done() and future.exception() is None:
-                        encoded, wall, worker = future.result()
+                        encoded, wall, worker, trace = future.result()
                         spec = state.specs[i]
                         result = get_builder(spec.builder).decode(encoded)
-                        state.succeed(i, result, wall, worker, attempts[i])
+                        state.succeed(
+                            i, result, wall, worker, attempts[i], trace=trace
+                        )
                     elif attempts[i] <= state.retries:
                         state.record(
                             state.specs[i], "retried", attempt=attempts[i],

@@ -44,6 +44,9 @@ class ManifestEntry:
     worker: str
     attempt: int
     timestamp: float
+    #: Path of the run's exported trace file ("" when tracing was off;
+    #: defaulted so manifests written before the obs layer still parse).
+    trace: str = ""
 
 
 class RunManifest:
@@ -66,6 +69,7 @@ class RunManifest:
         wall_time_s: float = 0.0,
         worker: str = "local",
         attempt: int = 1,
+        trace: str = "",
     ) -> ManifestEntry:
         """Write one line for ``spec`` and return the entry."""
         if outcome not in OUTCOMES:
@@ -83,6 +87,7 @@ class RunManifest:
             worker=worker,
             attempt=attempt,
             timestamp=time.time(),
+            trace=trace,
         )
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -18,6 +18,7 @@ import heapq
 import math
 from typing import Any, Callable, List, Optional
 
+from repro import obs as _obs
 from repro.errors import SimulationError
 
 Callback = Callable[..., Any]
@@ -81,6 +82,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        metrics = _obs.metrics_or_none()
+        self._dispatch_counter = (
+            metrics.counter("sim.events") if metrics is not None else None
+        )
 
     @property
     def now(self) -> float:
@@ -137,6 +142,8 @@ class Simulator:
         handle.args = ()
         callback(*args)
         self.events_processed += 1
+        if self._dispatch_counter is not None:
+            self._dispatch_counter.inc()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

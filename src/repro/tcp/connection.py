@@ -30,6 +30,7 @@ import math
 import random as _random
 from typing import Callable, List, Optional, Protocol
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError, ProtocolError
 from repro.net.path import NetworkPath
 from repro.sim.engine import EventHandle, Simulator
@@ -174,6 +175,13 @@ class TcpConnection:
         self._delivery_listeners: List[DeliveryListener] = []
         self._established_listeners: List[Callable[["TcpConnection"], None]] = []
         self._stall_retry: Optional[EventHandle] = None
+        self._trace = _obs.tracer_or_none()
+        metrics = _obs.metrics_or_none()
+        self._loss_counter = (
+            metrics.counter(f"tcp.losses.{path.interface.kind.value}")
+            if metrics is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # listeners
@@ -387,6 +395,15 @@ class TcpConnection:
             rrc.on_activity(self.sim.now)
         if overflow or self._random_loss(granted):
             self.cc.on_loss()
+            if self._trace is not None:
+                self._trace.emit(
+                    "tcp.loss",
+                    t=self.sim.now,
+                    conn=self.name,
+                    interface=self.path.interface.kind.value,
+                )
+            if self._loss_counter is not None:
+                self._loss_counter.inc()
         else:
             factor = self.coupling() if self.coupling is not None else 1.0
             self.cc.on_ack(granted, coupling=factor)

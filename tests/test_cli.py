@@ -107,3 +107,97 @@ def test_report_smoke_to_stdout(capsys):
     code, out = run_cli(capsys, "report", "--scale", "smoke")
     assert code == 0
     assert "# Reproduction report" in out
+
+
+class TestCacheDirOption:
+    """``cache stats``/``cache clear`` must operate on a non-default
+    ``--cache-dir``, not silently fall back to the default root."""
+
+    def test_stats_and_clear_respect_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "custom-cache"
+        code, _ = run_cli(
+            capsys, "fig5", "--runs", "1", "--size-mb", "1",
+            "--cache", "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        assert (cache_dir / "results").is_dir()
+        entries = len(list((cache_dir / "results").glob("*.json")))
+        assert entries == 3  # one per protocol
+
+        code, out = run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert str(cache_dir) in out
+        assert f"entries:    {entries}" in out
+
+        code, out = run_cli(capsys, "cache", "clear", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert f"removed {entries} cached result(s)" in out
+        assert str(cache_dir) in out
+        assert not list((cache_dir / "results").glob("*.json"))
+
+        code, out = run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert "entries:    0" in out
+
+    def test_clear_on_missing_dir_is_a_noop(self, tmp_path, capsys):
+        code, out = run_cli(
+            capsys, "cache", "clear", "--cache-dir", str(tmp_path / "nope")
+        )
+        assert code == 0
+        assert "removed 0" in out
+
+    def test_unknown_cache_subcommand_rejected(self, tmp_path, capsys):
+        code = main(["cache", "frobnicate", "--cache-dir", str(tmp_path)])
+        assert code == 2
+
+
+class TestTraceCommand:
+    def test_trace_flags_export_and_summarize(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code, _ = run_cli(
+            capsys, "fig6", "--runs", "1", "--size-mb", "2",
+            "--trace", "--metrics", "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        obs_dir = cache_dir / "obs"
+        assert len(list(obs_dir.glob("*.trace.jsonl"))) == 3
+        assert len(list(obs_dir.glob("*.metrics.json"))) == 3
+
+        # explicit target
+        code, out = run_cli(capsys, "trace", "summarize", str(obs_dir))
+        assert code == 0
+        assert "events across 3 trace file(s)" in out
+        assert "predictor[" in out
+
+        # default target is <cache-dir>/obs
+        code, out = run_cli(capsys, "trace", "--cache-dir", str(cache_dir))
+        assert code == 0
+        assert "events across 3 trace file(s)" in out
+
+        code, out = run_cli(capsys, "trace", "validate", str(obs_dir))
+        assert code == 0
+        assert "3 trace file(s) validate" in out
+
+    def test_trace_obs_dir_override(self, tmp_path, capsys):
+        obs_dir = tmp_path / "elsewhere"
+        code, _ = run_cli(
+            capsys, "fig5", "--runs", "1", "--size-mb", "1",
+            "--trace", "--obs-dir", str(obs_dir),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert list(obs_dir.glob("*.trace.jsonl"))
+
+    def test_trace_validate_flags_schema_problems(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace.jsonl"
+        bad.write_text('{"t": 1.0, "type": "not.a.known.type"}\n')
+        code = main(["trace", "validate", str(bad)])
+        assert code == 1
+
+    def test_trace_missing_target_errors(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_unknown_trace_subcommand_rejected(self, tmp_path, capsys):
+        code = main(["trace", "frobnicate", str(tmp_path)])
+        assert code == 2

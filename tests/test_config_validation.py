@@ -29,7 +29,6 @@ class TestEMPTCPConfigValidation:
             {"delta_min": 0.0},
             {"delta_min": 2.0, "delta_max": 1.0},
             {"decision_interval": 0.0},
-            {"prediction_stale_after": 0.0},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):

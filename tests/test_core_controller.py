@@ -105,6 +105,80 @@ class TestHysteresis:
         feed(predictor, wifi_thr * 1.01, 1.0)
         assert controller.decide() is PathDecision.WIFI_ONLY
 
+    def test_widened_edges_are_exact(self):
+        """Both widened transition edges sit at exactly ±10% of the EIB
+        thresholds.  ``_decide_with_hysteresis`` is driven directly —
+        Holt-Winters forecasts only converge approximately, and these
+        tests pin the edge itself."""
+        lte = 1.0
+        controller, _, _ = make_controller(initial=PathDecision.BOTH)
+        _, wifi_thr = self._thresholds(controller, lte)
+        sf = controller.config.safety_factor
+        assert sf == 0.10
+
+        # suspend edge (BOTH -> WIFI_ONLY): fires at exactly thr*(1+sf)
+        edge_up = wifi_thr * (1 + sf)
+        eps = wifi_thr * 1e-9
+        assert (
+            controller._decide_with_hysteresis(edge_up - eps, lte)
+            is PathDecision.BOTH
+        )
+        assert (
+            controller._decide_with_hysteresis(edge_up, lte)
+            is PathDecision.WIFI_ONLY
+        )
+
+        # resume edge (WIFI_ONLY -> BOTH): fires strictly below thr*(1-sf)
+        controller, _, _ = make_controller(initial=PathDecision.WIFI_ONLY)
+        edge_down = wifi_thr * (1 - sf)
+        assert (
+            controller._decide_with_hysteresis(edge_down, lte)
+            is PathDecision.WIFI_ONLY
+        )
+        assert (
+            controller._decide_with_hysteresis(edge_down - eps, lte)
+            is PathDecision.BOTH
+        )
+
+    @pytest.mark.parametrize(
+        "initial,wifi_factor,expected",
+        [
+            # From BOTH: anything in [thr*0.9, thr*1.1) stays BOTH.
+            (PathDecision.BOTH, 0.90, PathDecision.BOTH),
+            (PathDecision.BOTH, 1.00, PathDecision.BOTH),
+            (PathDecision.BOTH, 1.09, PathDecision.BOTH),
+            (PathDecision.BOTH, 1.10, PathDecision.WIFI_ONLY),
+            (PathDecision.BOTH, 1.25, PathDecision.WIFI_ONLY),
+            # From WIFI_ONLY: anything in [thr*0.9, thr*1.1) stays put.
+            (PathDecision.WIFI_ONLY, 1.10, PathDecision.WIFI_ONLY),
+            (PathDecision.WIFI_ONLY, 1.00, PathDecision.WIFI_ONLY),
+            (PathDecision.WIFI_ONLY, 0.91, PathDecision.WIFI_ONLY),
+            (PathDecision.WIFI_ONLY, 0.90, PathDecision.WIFI_ONLY),
+            (PathDecision.WIFI_ONLY, 0.89, PathDecision.BOTH),
+        ],
+    )
+    def test_wifi_only_band_parametrized(self, initial, wifi_factor, expected):
+        lte = 1.0
+        controller, _, _ = make_controller(initial=initial)
+        _, wifi_thr = self._thresholds(controller, lte)
+        decision = controller._decide_with_hysteresis(
+            wifi_thr * wifi_factor, lte
+        )
+        assert decision is expected
+
+    def test_no_oscillation_straddling_the_threshold(self):
+        """A bandwidth alternating across the raw threshold (but inside
+        the ±10% hysteresis band) never flips the decision — from
+        either starting state."""
+        lte = 1.0
+        for initial in (PathDecision.BOTH, PathDecision.WIFI_ONLY):
+            controller, _, _ = make_controller(initial=initial)
+            _, wifi_thr = self._thresholds(controller, lte)
+            for i in range(100):
+                wifi = wifi_thr * (1.0 + 0.08 * (-1) ** i)  # ±8%: straddles
+                decision = controller._decide_with_hysteresis(wifi, lte)
+                assert decision is initial
+
     def test_cellular_only_exits_with_hysteresis(self):
         controller, predictor, _ = make_controller(
             initial=PathDecision.CELLULAR_ONLY, allow_cellular_only=True

@@ -89,27 +89,46 @@ class TestSchedulerUtilization:
 
 
 class TestPredictionStaleness:
-    def test_stale_prediction_floored_at_initial_bandwidth(self):
+    def test_stale_low_forecast_is_retained(self):
+        """Regression: §3.2 keeps old observations for a *deactivated*
+        interface until new samples mix in after reactivation.  A stale
+        low forecast must NOT be floored up to the initial-bandwidth
+        probing assumption — that floor is reserved for interfaces that
+        never produced a sample."""
         sim = Simulator()
-        config = EMPTCPConfig(prediction_stale_after=10.0)
+        config = EMPTCPConfig()
         predictor = BandwidthPredictor(sim, config)
-        # Observe a low rate, then go silent past the staleness horizon.
+        # Observe a low rate, then go silent for a long time (the
+        # subflow was suspended by the path controller).
         predictor.observe(InterfaceKind.LTE, mbps_to_bytes_per_sec(0.5))
         assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(0.5)
-        sim.run(until=11.0)
+        sim.run(until=60.0)
+        assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(0.5)
+        assert predictor.predict_mbps(InterfaceKind.LTE) < (
+            config.initial_bandwidth_mbps
+        )
+
+    def test_never_activated_interface_uses_initial_bandwidth(self):
+        """An interface with no samples at all gets the probing
+        assumption (default 5 Mbps), no matter how much time passed."""
+        sim = Simulator()
+        config = EMPTCPConfig()
+        predictor = BandwidthPredictor(sim, config)
+        assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(
+            config.initial_bandwidth_mbps
+        )
+        sim.run(until=60.0)
         assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(
             config.initial_bandwidth_mbps
         )
 
     def test_fresh_high_prediction_not_floored_down(self):
-        """The floor is a maximum with the forecast — a stale *high*
-        estimate is kept."""
+        """A stale *high* estimate is likewise kept as-is."""
         sim = Simulator()
-        config = EMPTCPConfig(prediction_stale_after=10.0)
-        predictor = BandwidthPredictor(sim, config)
+        predictor = BandwidthPredictor(sim, EMPTCPConfig())
         for _ in range(5):
             predictor.observe(InterfaceKind.LTE, mbps_to_bytes_per_sec(15.0))
-        sim.run(until=11.0)
+        sim.run(until=60.0)
         assert predictor.predict_mbps(InterfaceKind.LTE) == pytest.approx(
             15.0, rel=0.05
         )

@@ -300,6 +300,74 @@ class TestRunMany:
             run_many([small_spec()], jobs=0)
 
 
+class TestWallClockTimeoutFallback:
+    """``--timeout`` must hold even where ``SIGALRM`` cannot be armed
+    (Windows, or a caller driving the runtime from a worker thread).
+    There the deadline degrades to a post-hoc wall-clock check: the
+    run completes but an overshoot is still reported as a timeout."""
+
+    def test_timeout_enforced_without_sigalrm(
+        self, tmp_path, scratch_builder, monkeypatch
+    ):
+        from repro.runtime import executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "_sigalrm_usable", lambda: False)
+
+        def sleepy(spec):
+            time.sleep(0.2)
+
+        scratch_builder("sleepy-wall-test", sleepy)
+        manifest_path = tmp_path / "run.jsonl"
+        with RunManifest(manifest_path) as manifest:
+            with pytest.raises(ExecutionError, match="timeout"):
+                run_many(
+                    [RunSpec("emptcp", "sleepy-wall-test")],
+                    manifest=manifest,
+                    timeout_s=0.05,
+                    retries=1,
+                    backoff_s=0.0,
+                )
+        outcomes = [e.outcome for e in RunManifest.read(manifest_path)]
+        assert outcomes == ["retried", "failed"]
+
+    def test_timeout_enforced_off_main_thread(self, scratch_builder):
+        import threading
+
+        def sleepy(spec):
+            time.sleep(0.2)
+
+        scratch_builder("sleepy-thread-test", sleepy)
+        caught = []
+
+        def body():
+            try:
+                run_many(
+                    [RunSpec("emptcp", "sleepy-thread-test")],
+                    timeout_s=0.05,
+                    retries=0,
+                    backoff_s=0.0,
+                )
+            except ExecutionError as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert caught and "timeout" in str(caught[0])
+
+    def test_fast_run_passes_wallclock_check(
+        self, scratch_builder, monkeypatch
+    ):
+        from repro.runtime import executor as executor_mod
+
+        monkeypatch.setattr(executor_mod, "_sigalrm_usable", lambda: False)
+        scratch_builder("quick-wall-test", lambda spec: 42)
+        results = run_many(
+            [RunSpec("emptcp", "quick-wall-test")], timeout_s=30.0
+        )
+        assert results == [42]
+
+
 class TestSweepThroughRuntime:
     def test_scenario_ref_sweep_matches_legacy_scenario_sweep(self):
         values = (3.0, 6.0)
