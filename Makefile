@@ -2,19 +2,32 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-smoke bench-verbose trace-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: trace-smoke
+test: check trace-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
+
+check:  ## static tiers: custom lint vs baseline + config verification
+	PYTHONPATH=src $(PY) -m repro.cli check lint
+	PYTHONPATH=src $(PY) -m repro.cli check config
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src tests \
+		|| echo "ruff not installed; skipping (CI runs it)"
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy \
+		|| echo "mypy not installed; skipping (CI runs it)"
+
+lint: check
 
 trace-smoke:  ## one traced smoke run; the exported JSONL must validate
 	rm -rf .trace-smoke
 	PYTHONPATH=src $(PY) -m repro.cli fig6 --runs 1 --size-mb 2 --trace \
 		--metrics --no-progress --cache-dir .trace-smoke > /dev/null
 	PYTHONPATH=src $(PY) -m repro.cli trace validate .trace-smoke/obs
+	PYTHONPATH=src $(PY) -m repro.cli check trace .trace-smoke/obs
 	PYTHONPATH=src $(PY) -m repro.cli trace summarize .trace-smoke/obs
 	rm -rf .trace-smoke
 

@@ -1,6 +1,18 @@
 """Statistics and reporting helpers used by the evaluation harness."""
 
 from repro.analysis.categorize import Category, categorize, categorize_run
+from repro.analysis.export import (
+    results_to_csv,
+    results_to_json,
+    run_result_to_dict,
+    timeseries_to_csv,
+)
+from repro.analysis.report import (
+    format_table,
+    print_protocol_summary,
+    protocol_summary_rows,
+    relative_to,
+)
 from repro.analysis.stats import (
     WhiskerSummary,
     mean,
@@ -15,9 +27,17 @@ __all__ = [
     "WhiskerSummary",
     "categorize",
     "categorize_run",
+    "format_table",
     "mean",
+    "print_protocol_summary",
+    "protocol_summary_rows",
     "quartiles",
+    "relative_to",
+    "results_to_csv",
+    "results_to_json",
+    "run_result_to_dict",
     "sample_std",
     "sem",
+    "timeseries_to_csv",
     "whisker_summary",
 ]

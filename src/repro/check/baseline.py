@@ -1,0 +1,87 @@
+"""The committed lint baseline.
+
+A growing codebase cannot adopt new lint rules atomically: the first
+run of a new rule flags pre-existing code that is not worth churning
+(public API parameter names, say).  The baseline records those known
+violations — keyed by line-number-free fingerprints with a count per
+fingerprint — so ``repro check lint`` fails only on *new* violations
+while the recorded debt is paid down incrementally.
+
+Workflow::
+
+    repro check lint                      # fails on findings not in baseline
+    repro check lint --update-baseline    # re-record current findings
+    repro check lint --no-baseline        # show everything, baseline ignored
+
+The file (default ``.repro-check-baseline.json``) is sorted JSON so
+diffs stay reviewable; shrinking it is always safe, growing it is a
+reviewed decision.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.check.findings import Finding
+from repro.errors import ConfigurationError
+
+#: Default baseline location, resolved against the CWD (the repo root
+#: for ``make check`` and CI).
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+
+def fingerprint_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    """Findings collapsed to ``{fingerprint: count}``."""
+    return dict(Counter(f.fingerprint for f in findings))
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file; an absent file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ConfigurationError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in data.items()
+    ):
+        raise ConfigurationError(
+            f"baseline {path} must map fingerprint strings to counts"
+        )
+    return data
+
+
+def write_baseline(path: Union[str, Path], findings: Iterable[Finding]) -> int:
+    """Record the given findings as the new baseline; returns the entry
+    count."""
+    counts = fingerprint_counts(findings)
+    payload = json.dumps(dict(sorted(counts.items())), indent=2, sort_keys=True)
+    Path(path).write_text(payload + "\n")
+    return len(counts)
+
+
+def new_findings(
+    findings: Iterable[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new, stale)``: ``new`` are findings beyond the
+    baselined count for their fingerprint (these fail the check);
+    ``stale`` are baseline fingerprints that no longer occur at their
+    recorded count (fixed debt — safe to re-record).
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        left = remaining.get(finding.fingerprint, 0)
+        if left > 0:
+            remaining[finding.fingerprint] = left - 1
+        else:
+            new.append(finding)
+    stale = sorted(fp for fp, count in remaining.items() if count > 0)
+    return new, stale

@@ -1,0 +1,483 @@
+"""Tier 2: static config / scenario verification.
+
+The paper's mechanisms come with algebraic preconditions — the EIB must
+carve the WiFi axis into three gap-free, monotone regions (§3.3,
+Table 2), the hysteresis safety factor must actually hysterese (§3.4),
+τ must respect equation (1)'s lower bound (§3.5), and the power model
+must be physically sane (non-negative coefficients).  Violating any of
+them does not crash a run; it silently produces wrong energy numbers.
+This module checks them *before* simulation time is spent:
+
+* :func:`check_run_spec` is the cheap pre-dispatch gate the execution
+  runtime applies to every :class:`~repro.runtime.spec.RunSpec`
+  (disable with ``use_runtime(verify=False)``);
+* :func:`check_defaults` is the deep sweep behind ``repro check
+  config``: default config, every shipped device profile, and every
+  EIB table in both transfer directions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.check.findings import Finding, Report, Severity
+from repro.errors import ConfigurationError, EnergyModelError, ReproError
+
+#: Numerical slack for monotonicity comparisons: EIB thresholds come
+#: out of an 80-step bisection, so neighbouring rows can jitter by the
+#: bisection resolution without being genuinely non-monotone.
+_EIB_TOLERANCE = 1e-6
+
+
+def _config_fields() -> Dict[str, Any]:
+    from repro.core.config import EMPTCPConfig
+
+    return {f.name: f for f in dataclasses.fields(EMPTCPConfig)}
+
+
+# ---------------------------------------------------------------------------
+# EMPTCPConfig
+
+
+def check_config_dict(
+    overrides: Dict[str, Any], context: str = "config"
+) -> List[Finding]:
+    """Validate a raw override dict (a ``RunSpec.config`` payload).
+
+    CHK202: unknown key; CHK203: the merged config fails its own
+    dataclass validation.  Valid dicts then flow into
+    :func:`check_emptcp_config` for the semantic rules.
+    """
+    from repro.core.config import EMPTCPConfig
+
+    findings: List[Finding] = []
+    fields = _config_fields()
+    unknown = sorted(set(overrides) - set(fields))
+    for key in unknown:
+        findings.append(
+            Finding(
+                rule="CHK202",
+                message=f"unknown EMPTCPConfig key {key!r} "
+                f"(known: {', '.join(sorted(fields))})",
+                context=f"{context}.{key}",
+            )
+        )
+    if unknown:
+        return findings
+    try:
+        cfg = EMPTCPConfig(**overrides)
+    except (ConfigurationError, TypeError) as exc:
+        findings.append(
+            Finding(
+                rule="CHK203",
+                message=f"config overrides do not form a valid EMPTCPConfig: "
+                f"{exc}",
+                context=context,
+            )
+        )
+        return findings
+    findings.extend(check_emptcp_config(cfg, context=context))
+    return findings
+
+
+def check_emptcp_config(cfg: Any, context: str = "config") -> List[Finding]:
+    """Semantic rules on a constructed :class:`EMPTCPConfig`.
+
+    CHK201: the hysteresis safety factor must lie in (0, 1) — at 0 the
+    controller ping-pongs on threshold noise (warning, since ablations
+    legitimately disable it); at or above 1 the WiFi-only transition
+    can never fire.
+    """
+    findings: List[Finding] = []
+    sf = cfg.safety_factor
+    if sf < 0 or sf >= 1:
+        findings.append(
+            Finding(
+                rule="CHK201",
+                message=f"hysteresis safety_factor {sf} outside (0, 1)",
+                context=f"{context}.safety_factor",
+            )
+        )
+    elif sf == 0:
+        findings.append(
+            Finding(
+                rule="CHK201",
+                message="hysteresis disabled (safety_factor = 0): controller "
+                "decisions will oscillate on threshold noise",
+                severity=Severity.WARNING,
+                context=f"{context}.safety_factor",
+            )
+        )
+    if cfg.delta_min > cfg.delta_max:
+        findings.append(
+            Finding(
+                rule="CHK203",
+                message=f"sampling bounds inverted: delta_min {cfg.delta_min} "
+                f"> delta_max {cfg.delta_max}",
+                context=f"{context}.delta_min",
+            )
+        )
+    return findings
+
+
+def check_tau_bound(
+    cfg: Any,
+    wifi_bandwidth_bytes_per_sec: float,
+    wifi_rtt: float,
+    context: str = "config",
+) -> List[Finding]:
+    """CHK204: τ against equation (1)'s lower bound at an operating
+    point (§3.5) — the timer must outlast slow start plus φ samples,
+    or the establishment decision fires on meaningless estimates."""
+    from repro.core.delay import minimum_tau
+
+    findings: List[Finding] = []
+    if wifi_bandwidth_bytes_per_sec <= 0 or wifi_rtt <= 0:
+        return findings
+    bound = minimum_tau(
+        wifi_bandwidth_bytes_per_sec, wifi_rtt, cfg.required_samples
+    )
+    if cfg.tau_seconds < bound:
+        findings.append(
+            Finding(
+                rule="CHK204",
+                message=f"tau_seconds {cfg.tau_seconds:.3f} violates "
+                f"equation (1): minimum {bound:.3f}s at "
+                f"{wifi_bandwidth_bytes_per_sec:.0f} B/s, "
+                f"RTT {wifi_rtt * 1e3:.0f} ms",
+                context=f"{context}.tau_seconds",
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# EIB
+
+
+def check_eib_entries(entries: Sequence[Any], context: str = "eib") -> List[Finding]:
+    """Structural rules on an EIB table (rows of ``EibEntry`` shape).
+
+    CHK211: rows must be sorted by cellular rate with no duplicates;
+    CHK212: both thresholds must be monotone non-decreasing in the
+    cellular rate (more LTE throughput never makes WiFi *less*
+    attractive under an affine power model);
+    CHK213: thresholds must be non-negative, non-NaN, and must not
+    cross (``cellular_only_below <= wifi_only_above`` keeps the three
+    regions gap-free).
+    """
+    findings: List[Finding] = []
+    previous = None
+    for i, entry in enumerate(entries):
+        where = f"{context}[{i}]@{entry.cell_mbps:g}Mbps"
+        for label, value in (
+            ("cellular_only_below", entry.cellular_only_below),
+            ("wifi_only_above", entry.wifi_only_above),
+        ):
+            if math.isnan(value) or value < 0:
+                findings.append(
+                    Finding(
+                        rule="CHK213",
+                        message=f"{label} is {value} (must be a non-negative "
+                        f"number)",
+                        context=where,
+                    )
+                )
+        if entry.cellular_only_below > entry.wifi_only_above + _EIB_TOLERANCE:
+            findings.append(
+                Finding(
+                    rule="CHK213",
+                    message=f"thresholds cross: cellular_only_below "
+                    f"{entry.cellular_only_below:.4f} > wifi_only_above "
+                    f"{entry.wifi_only_above:.4f} (no gap-free BOTH region)",
+                    context=where,
+                )
+            )
+        if previous is not None:
+            if entry.cell_mbps <= previous.cell_mbps:
+                findings.append(
+                    Finding(
+                        rule="CHK211",
+                        message=f"cell grid not strictly increasing: "
+                        f"{previous.cell_mbps:g} -> {entry.cell_mbps:g} Mbps",
+                        context=where,
+                    )
+                )
+            if (
+                entry.cellular_only_below
+                < previous.cellular_only_below - _EIB_TOLERANCE
+            ):
+                findings.append(
+                    Finding(
+                        rule="CHK212",
+                        message=f"cellular-only threshold not monotone: "
+                        f"{previous.cellular_only_below:.4f} -> "
+                        f"{entry.cellular_only_below:.4f} Mbps",
+                        context=where,
+                    )
+                )
+            if entry.wifi_only_above < previous.wifi_only_above - _EIB_TOLERANCE:
+                findings.append(
+                    Finding(
+                        rule="CHK212",
+                        message=f"WiFi-only threshold not monotone: "
+                        f"{previous.wifi_only_above:.4f} -> "
+                        f"{entry.wifi_only_above:.4f} Mbps",
+                        context=where,
+                    )
+                )
+        previous = entry
+    return findings
+
+
+def check_eib(eib: Any, context: str = "eib") -> List[Finding]:
+    """Apply :func:`check_eib_entries` to a built
+    :class:`~repro.core.eib.EnergyInformationBase`."""
+    return check_eib_entries(eib._entries, context=context)
+
+
+# ---------------------------------------------------------------------------
+# Device profiles
+
+
+def check_device_profile(profile: Any) -> List[Finding]:
+    """CHK221: every power-model coefficient non-negative, for every
+    interface and RRC parameter set of a device profile."""
+    findings: List[Finding] = []
+    context = f"profile.{profile.name}"
+
+    def non_negative(value: float, what: str) -> None:
+        if math.isnan(value) or value < 0:
+            findings.append(
+                Finding(
+                    rule="CHK221",
+                    message=f"{what} is {value} (must be >= 0)",
+                    context=f"{context}.{what}",
+                )
+            )
+
+    non_negative(profile.baseline_w, "baseline_w")
+    non_negative(profile.overlap_saving_w, "overlap_saving_w")
+    non_negative(profile.wifi_activation_j, "wifi_activation_j")
+    for kind, power in profile.interfaces.items():
+        for field_name in ("base_w", "per_mbps_w", "per_mbps_up_w", "idle_w"):
+            non_negative(
+                getattr(power, field_name), f"{kind.value}.{field_name}"
+            )
+    for kind, rrc in profile.rrc.items():
+        for field_name in (
+            "promotion_time",
+            "promotion_power_w",
+            "tail_time",
+            "tail_power_w",
+            "active_hold",
+        ):
+            non_negative(getattr(rrc, field_name), f"{kind.value}.{field_name}")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Scenarios and RunSpecs
+
+
+def check_scenario(scenario: Any, context: str = "") -> List[Finding]:
+    """Semantic checks on a built
+    :class:`~repro.experiments.scenario.Scenario` (CHK231 path
+    parameters, CHK204 τ at the scenario's initial WiFi operating
+    point, CHK221 via its device profile)."""
+    import random as _random
+
+    context = context or f"scenario.{scenario.name}"
+    findings: List[Finding] = []
+    for label, value in (("wifi_rtt", scenario.wifi_rtt), ("cell_rtt", scenario.cell_rtt)):
+        if value <= 0:
+            findings.append(
+                Finding(
+                    rule="CHK231",
+                    message=f"{label} must be positive, got {value}",
+                    context=f"{context}.{label}",
+                )
+            )
+    for label, value in (
+        ("wifi_loss", scenario.wifi_loss),
+        ("cell_loss", scenario.cell_loss),
+    ):
+        if not 0 <= value < 1:
+            findings.append(
+                Finding(
+                    rule="CHK231",
+                    message=f"{label} must be in [0, 1), got {value}",
+                    context=f"{context}.{label}",
+                )
+            )
+    findings.extend(
+        check_emptcp_config(scenario.emptcp_config, context=context)
+    )
+    if scenario.wifi_rtt > 0:
+        try:
+            initial_rate = scenario.wifi_capacity(_random.Random(0)).rate
+        except ReproError:
+            initial_rate = 0.0
+        findings.extend(
+            check_tau_bound(
+                scenario.emptcp_config,
+                initial_rate,
+                scenario.wifi_rtt,
+                context=context,
+            )
+        )
+    findings.extend(check_device_profile(scenario.profile))
+    return findings
+
+
+#: RunSpec kwarg-key fragments that denote an on-disk input.
+_FILE_KEY_HINTS = ("path", "file", "csv", "trace_dir")
+
+
+def _check_spec_files(spec: Any) -> List[Finding]:
+    """CHK234: workload trace files named by a spec must resolve now —
+    a missing CSV should fail in the parent, not inside a pool worker
+    after minutes of queueing."""
+    findings: List[Finding] = []
+    for key, value in spec.kwargs.items():
+        if not isinstance(value, str):
+            continue
+        if not any(hint in key.lower() for hint in _FILE_KEY_HINTS):
+            continue
+        if not Path(value).exists():
+            findings.append(
+                Finding(
+                    rule="CHK234",
+                    message=f"kwarg {key!r} names a file that does not exist: "
+                    f"{value}",
+                    context=f"{spec.label}.{key}",
+                )
+            )
+    return findings
+
+
+def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
+    """The pre-dispatch gate for one :class:`RunSpec`.
+
+    Cheap by default: builder known (CHK241), config overrides are
+    valid EMPTCPConfig fields/values, referenced files exist.  With
+    ``build=True`` the scenario is materialised and the deep scenario/
+    profile checks run too (``repro check config`` does this; the
+    executor does not, to keep dispatch overhead off the hot path).
+    """
+    from repro.runtime.spec import (
+        _SCENARIO_FNS,
+        load_default_builders,
+        registered_builders,
+    )
+
+    findings: List[Finding] = []
+    load_default_builders()
+    builders = registered_builders()
+    if spec.builder not in builders:
+        findings.append(
+            Finding(
+                rule="CHK241",
+                message=f"unknown builder {spec.builder!r} "
+                f"(registered: {', '.join(sorted(builders))})",
+                context=spec.label,
+            )
+        )
+        return findings
+    config_findings = check_config_dict(spec.config, context=spec.label)
+    if spec.builder not in _SCENARIO_FNS:
+        # Custom builders are free to interpret `config` however they
+        # like, so EMPTCPConfig mismatches are only advisory there.
+        config_findings = [
+            dataclasses.replace(f, severity=Severity.WARNING)
+            for f in config_findings
+        ]
+    findings.extend(config_findings)
+    findings.extend(_check_spec_files(spec))
+    if build:
+        from repro.runtime.spec import _SCENARIO_FNS, build_scenario
+
+        if spec.builder in _SCENARIO_FNS:
+            try:
+                scenario = build_scenario(spec.builder, **spec.kwargs)
+            except (ReproError, TypeError) as exc:
+                findings.append(
+                    Finding(
+                        rule="CHK242",
+                        message=f"scenario cannot be built: {exc}",
+                        context=spec.label,
+                    )
+                )
+            else:
+                findings.extend(
+                    check_scenario(scenario, context=spec.label)
+                )
+    return findings
+
+
+def verify_specs(specs: Sequence[Any]) -> Report:
+    """Verify a batch of specs (the executor's pre-dispatch hook)."""
+    report = Report(tier="config")
+    for spec in specs:
+        report.extend(check_run_spec(spec))
+        report.checked += 1
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The deep default sweep behind `repro check config`
+
+
+def check_defaults() -> Report:
+    """Verify everything the repo ships: the default
+    :class:`EMPTCPConfig`, every device profile, and every (device,
+    cellular kind, direction) EIB table."""
+    from repro.core.config import EMPTCPConfig
+    from repro.core.eib import cached_eib
+    from repro.energy.device import DEVICES
+    from repro.energy.power import Direction
+    from repro.net.interface import InterfaceKind
+    from repro.units import mbps_to_bytes_per_sec
+
+    report = Report(tier="config")
+    cfg = EMPTCPConfig()
+    report.extend(check_emptcp_config(cfg, context="default-config"))
+    # Equation (1) at the paper's §4 operating points: good WiFi
+    # (12 Mbps / 40 ms) and bad WiFi (0.8 Mbps / 50 ms).
+    for label, mbps, rtt in (("good-wifi", 12.0, 0.040), ("bad-wifi", 0.8, 0.050)):
+        report.extend(
+            check_tau_bound(
+                cfg,
+                mbps_to_bytes_per_sec(mbps),
+                rtt,
+                context=f"default-config@{label}",
+            )
+        )
+    report.checked += 1
+    for profile in DEVICES.values():
+        report.extend(check_device_profile(profile))
+        report.checked += 1
+        for direction in (Direction.DOWN, Direction.UP):
+            for kind in profile.rrc:
+                try:
+                    eib = cached_eib(profile, kind, direction=direction)
+                except EnergyModelError as exc:
+                    report.add(
+                        "CHK213",
+                        f"EIB for {profile.name}/{kind.value}/"
+                        f"{direction.value} cannot be built: {exc}",
+                        context=f"eib.{profile.name}.{kind.value}",
+                    )
+                    continue
+                report.extend(
+                    check_eib(
+                        eib,
+                        context=f"eib.{profile.name}.{kind.value}."
+                        f"{direction.value}",
+                    )
+                )
+                report.checked += 1
+    return report

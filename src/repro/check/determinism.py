@@ -1,0 +1,119 @@
+"""Tier 3b: the determinism detector.
+
+Every simulation run is supposed to be a pure function of its
+:class:`~repro.runtime.spec.RunSpec` — same builder, kwargs, protocol,
+config, and seed must give the same result, byte for byte.  That
+property is what makes the result cache sound, sweeps reproducible,
+and the paper's figures regenerable.  It silently breaks the moment
+somebody reaches for the global ``random`` module or wall-clock time
+inside the simulation (the lint rules REP101/REP102 catch the obvious
+textual cases; this detector catches the rest empirically).
+
+:func:`check_determinism` replays a spec N times (default twice) under
+a fresh trace capture each time and diffs both the encoded result and
+the full event streams.  The first divergent event is reported with
+its index and differing fields — in practice the earliest divergence
+points straight at the non-deterministic component.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro import obs
+from repro.check.findings import Report
+from repro.errors import ReproError
+
+
+def replay(spec: Any) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Execute a spec once under trace capture.
+
+    Returns the captured event list and the encoded (JSON-shaped)
+    result, both in the forms the detector diffs.
+    """
+    from repro.runtime.spec import get_builder
+
+    entry = get_builder(spec.builder)
+    with obs.capture(trace=True, metrics=False) as session:
+        result = entry.execute(spec)
+    assert session.tracer is not None
+    return session.tracer.events(), entry.encode(result)
+
+
+def _first_divergence(
+    a: List[Dict[str, Any]], b: List[Dict[str, Any]]
+) -> Tuple[int, str]:
+    """Index and description of the first differing event pair."""
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            fields = sorted(
+                key
+                for key in set(ea) | set(eb)
+                if ea.get(key) != eb.get(key)
+            )
+            detail = ", ".join(
+                f"{key}: {ea.get(key)!r} != {eb.get(key)!r}" for key in fields
+            )
+            return i, f"{ea.get('type', '?')} ({detail})"
+    return min(len(a), len(b)), "one stream ended"
+
+
+def check_determinism(spec: Any, runs: int = 2) -> Report:
+    """Replay ``spec`` ``runs`` times and diff every pair against the
+    first run.
+
+    CHK401: the run raised (a crash is trivially non-reproducible
+    evidence, reported rather than propagated);
+    CHK402: encoded results differ;
+    CHK403: event streams differ (count, or first divergent event).
+    """
+    if runs < 2:
+        raise ValueError(f"determinism needs at least 2 runs, got {runs}")
+    report = Report(tier="determinism")
+    reference_events: List[Dict[str, Any]] = []
+    reference_result: Dict[str, Any] = {}
+    for run in range(runs):
+        try:
+            events, encoded = replay(spec)
+        except ReproError as exc:
+            report.add(
+                "CHK401",
+                f"run {run + 1} failed: {exc}",
+                context=spec.label,
+            )
+            return report
+        report.checked += 1
+        if run == 0:
+            reference_events, reference_result = events, encoded
+            continue
+        if json.dumps(encoded, sort_keys=True) != json.dumps(
+            reference_result, sort_keys=True
+        ):
+            keys = sorted(
+                key
+                for key in set(encoded) | set(reference_result)
+                if encoded.get(key) != reference_result.get(key)
+            )
+            report.add(
+                "CHK402",
+                f"result differs between run 1 and run {run + 1} "
+                f"(fields: {', '.join(keys)})",
+                context=spec.label,
+            )
+        if len(events) != len(reference_events):
+            report.add(
+                "CHK403",
+                f"event count differs between run 1 and run {run + 1}: "
+                f"{len(reference_events)} vs {len(events)}",
+                context=spec.label,
+            )
+        if events != reference_events:
+            index, detail = _first_divergence(reference_events, events)
+            report.add(
+                "CHK403",
+                f"traces diverge at event {index + 1}: {detail}",
+                context=spec.label,
+                line=index + 1,
+            )
+    return report

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.report import format_table, print_protocol_summary, relative_to
 from repro.analysis.stats import mean
@@ -27,7 +27,7 @@ from repro.experiments import background as bg
 from repro.experiments import comparisons, mobility, random_bw, regions, static_bw
 from repro.experiments import overheads as ovh
 from repro.experiments import handover as handover_exp
-from repro.packet import validate as pv
+from repro.check import packet as pv
 from repro.experiments import streaming as stream_exp
 from repro.experiments import upload as upload_exp
 from repro.experiments import web as web_exp
@@ -191,7 +191,7 @@ def _cmd_fig14(args) -> int:
     traces = wild_exp.collect_traces(
         wild_exp.LARGE_BYTES, n_environments=args.envs
     )
-    counts: dict = {}
+    counts: Dict[str, int] = {}
     for point in wild_exp.scatter_points(traces):
         counts[point["category"]] = counts.get(point["category"], 0) + 1
     print(format_table(["category", "traces"], sorted(counts.items())))
@@ -334,6 +334,88 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _check_lint(args) -> int:
+    """``repro check lint`` — Tier 1 with the baseline workflow."""
+    from repro.check import baseline as bl
+    from repro.check.lint import lint_paths
+
+    target = args.target or "src/repro"
+    report = lint_paths([target])
+    baseline_path = args.baseline or bl.DEFAULT_BASELINE
+    if args.update_baseline:
+        entries = bl.write_baseline(baseline_path, report.findings)
+        print(f"baseline {baseline_path}: recorded {entries} fingerprint(s) "
+              f"covering {len(report.findings)} finding(s)")
+        return 0
+    if args.no_baseline:
+        print(report.format())
+        return 0 if report.ok else 1
+    baseline = bl.load_baseline(baseline_path)
+    new, stale = bl.new_findings(report.sorted_findings(), baseline)
+    for finding in new:
+        print(finding.format())
+    if stale:
+        print(f"note: {len(stale)} baselined violation(s) no longer occur; "
+              f"run `repro check lint --update-baseline` to shrink "
+              f"{baseline_path}", file=sys.stderr)
+    failing = [f for f in new if f.severity.value == "error"]
+    if failing:
+        print(f"lint: {len(failing)} new error(s) not in baseline "
+              f"({len(report.findings)} total, "
+              f"{len(report.findings) - len(new)} baselined)")
+        return 1
+    print(f"lint: OK ({report.checked} files checked, "
+          f"{len(report.findings)} baselined finding(s))")
+    return 0
+
+
+def _check_determinism_spec(args):
+    from repro.runtime.spec import RunSpec
+
+    # The detector replays the run, so default to a small transfer
+    # (the CLI-wide 32 MiB default is sized for figure regeneration).
+    size_mb = args.size_mb if args.size_mb != 32.0 else 2.0
+    return RunSpec(
+        protocol="emptcp",
+        builder="static",
+        kwargs={"good_wifi": True, "download_bytes": mib(size_mb)},
+        seed=0,
+    )
+
+
+def _cmd_check(args) -> int:
+    from repro import check as chk
+
+    sub = args.subcommand or "all"
+    if sub not in ("lint", "config", "trace", "determinism", "all"):
+        print(f"unknown check subcommand {sub!r}; choose lint, config, trace, "
+              f"determinism, or all", file=sys.stderr)
+        return 2
+    status = 0
+    if sub in ("lint", "all"):
+        status = max(status, _check_lint(args))
+    if sub in ("config", "all"):
+        report = chk.check_defaults()
+        print(report.format())
+        status = max(status, 0 if report.ok else 1)
+    if sub in ("trace", "all"):
+        target = Path(args.target) if args.target else Path(args.cache_dir) / "obs"
+        if not target.exists():
+            if sub == "trace":
+                print(f"error: no traces at {target} (run with --trace first, "
+                      f"or pass a trace file/directory)", file=sys.stderr)
+                return 2
+        else:
+            report = chk.check_traces(target)
+            print(report.format())
+            status = max(status, 0 if report.ok else 1)
+    if sub == "determinism":
+        report = chk.check_determinism(_check_determinism_spec(args))
+        print(report.format())
+        status = max(status, 0 if report.ok else 1)
+    return status
+
+
 def _cmd_validate(args) -> int:
     specs = [
         ("wifi-good 12Mbps/40ms", pv.PathSpec(12.0, 0.04)),
@@ -389,6 +471,7 @@ _COMMANDS = {
     "list": (_cmd_list, "list available experiments"),
     "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
     "trace": (_cmd_trace, "summarize or validate exported run traces"),
+    "check": (_cmd_check, "static lint / config / trace-invariant checks"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
     "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
@@ -425,12 +508,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "subcommand", nargs="?", default=None,
         help="cache subcommand: stats (default) or clear; "
-             "trace subcommand: summarize (default) or validate",
+             "trace subcommand: summarize (default) or validate; "
+             "check subcommand: lint, config, trace, determinism, "
+             "or all (default)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="trace file or directory (trace command; "
-             "default: <cache-dir>/obs)",
+        help="trace file or directory (trace/check commands; "
+             "default: <cache-dir>/obs), or the path to lint "
+             "(check lint; default: src/repro)",
     )
     parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
     parser.add_argument(
@@ -487,6 +573,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--obs-dir", default=None,
         help="where per-run trace/metrics exports land "
              "(default: <cache-dir>/obs)",
+    )
+    baseline_group = parser.add_mutually_exclusive_group()
+    baseline_group.add_argument(
+        "--baseline", default=None,
+        help="lint baseline file (check lint; default: "
+             ".repro-check-baseline.json)",
+    )
+    baseline_group.add_argument(
+        "--no-baseline", action="store_true", default=False,
+        help="report every lint finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true", default=False,
+        help="re-record the current lint findings as the baseline",
     )
     progress_group = parser.add_mutually_exclusive_group()
     progress_group.add_argument(

@@ -22,11 +22,25 @@ from repro.energy.efficiency import (
     per_byte_energy,
     strategy_power,
 )
+from repro.energy.fitting import (
+    AffineFit,
+    PowerSample,
+    fit_affine,
+    fit_profile_interface,
+    simulate_measurement_campaign,
+)
 from repro.energy.meter import EnergyMeter
 from repro.energy.power import Direction, InterfacePower
 from repro.energy.rrc import RrcMachine, RrcParams, RrcState
+from repro.energy.serialization import (
+    profile_from_dict,
+    profile_from_json,
+    profile_to_dict,
+    profile_to_json,
+)
 
 __all__ = [
+    "AffineFit",
     "DEVICES",
     "DeviceProfile",
     "Direction",
@@ -34,6 +48,7 @@ __all__ = [
     "GALAXY_S3",
     "InterfacePower",
     "NEXUS_5",
+    "PowerSample",
     "RrcMachine",
     "RrcParams",
     "RrcState",
@@ -41,7 +56,14 @@ __all__ = [
     "best_strategy",
     "download_energy",
     "efficiency_heatmap",
+    "fit_affine",
+    "fit_profile_interface",
     "operating_region",
     "per_byte_energy",
+    "profile_from_dict",
+    "profile_from_json",
+    "profile_to_dict",
+    "profile_to_json",
+    "simulate_measurement_campaign",
     "strategy_power",
 ]

@@ -10,6 +10,7 @@ small idle power otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import EnergyModelError
 from repro.units import bytes_per_sec_to_mbps
@@ -49,7 +50,9 @@ class InterfacePower:
     base_w: float
     per_mbps_w: float
     idle_w: float = 0.0
-    per_mbps_up_w: float = None  # type: ignore[assignment]
+    #: None means "reuse the download slope" (normalised in
+    #: ``__post_init__``, so reads always see a float).
+    per_mbps_up_w: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.per_mbps_up_w is None:

@@ -14,8 +14,9 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro import obs as _obs
 from repro.energy.meter import EnergyMeter
 from repro.energy.power import Direction
 from repro.energy.rrc import RrcMachine
@@ -149,6 +150,7 @@ def run_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
 
     bytes_received = conn.bytes_received
     energy_at_completion = meter.checkpoint()
+    _checkpoint_subflows(sim, conn, bytes_received)
 
     # --- drain the residual cellular tail --------------------------------
     tracer.stop()
@@ -190,9 +192,33 @@ def _mean_mbps(series: TimeSeries) -> float:
     return bytes_per_sec_to_mbps(series.time_weighted_mean())
 
 
-def _diagnostics(conn) -> dict:
+def _checkpoint_subflows(sim: Simulator, conn, conn_bytes: float) -> None:
+    """Emit one ``subflow.checkpoint`` per subflow at completion.
+
+    The trace analyzer (CHK306) checks byte conservation from these:
+    no subflow above the connection total, and the subflows summing to
+    it.  Single-path connections have no subflows and emit nothing.
+    """
+    trace = _obs.tracer_or_none()
+    if trace is None:
+        return
+    mptcp = getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
+    if mptcp is None or not hasattr(mptcp, "subflows"):
+        return
+    for sf in mptcp.subflows:
+        trace.emit(
+            "subflow.checkpoint",
+            t=sim.now,
+            subflow=sf.name,
+            interface=sf.interface_kind.value,
+            delivered_bytes=sf.bytes_delivered,
+            conn_bytes=conn_bytes,
+        )
+
+
+def _diagnostics(conn) -> Dict[str, float]:
     """Pull per-protocol counters off whatever connection type ran."""
-    diag: dict = {}
+    diag: Dict[str, float] = {}
     mptcp = getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
     if mptcp is not None and hasattr(mptcp, "subflows"):
         diag["subflows"] = float(len(mptcp.subflows))

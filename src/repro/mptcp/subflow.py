@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import random as _random
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro import obs as _obs
 from repro.errors import ProtocolError
@@ -62,7 +62,7 @@ class Subflow:
             name=self.name,
         )
         self._conn.on_delivery(self._on_delivery)
-        self._delivery_listeners: list = []
+        self._delivery_listeners: List[Callable[["Subflow", float], None]] = []
         self.suspend_count = 0
         self.resume_count = 0
         self._trace = _obs.tracer_or_none()

@@ -70,6 +70,16 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "total_j": _NUM,
         "power_w": _NUM,
     },
+    # experiments.runner — per-subflow byte accounting at transfer
+    # completion; lets the trace analyzer check byte conservation
+    # (each subflow <= the connection total, and the subflows sum to
+    # it).
+    "subflow.checkpoint": {
+        "subflow": _STR,
+        "interface": _STR,
+        "delivered_bytes": _NUM,
+        "conn_bytes": _NUM,
+    },
 }
 
 

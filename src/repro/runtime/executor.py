@@ -68,6 +68,10 @@ class RuntimeContext:
     backoff_s: float = 0.5
     #: Per-run trace/metrics capture (None = observability off).
     obs: Optional[_obs.ObsOptions] = None
+    #: Statically verify every spec before dispatch (repro.check Tier
+    #: 2): unknown builders, bad config overrides, missing input files
+    #: fail here instead of inside a pool worker.
+    verify: bool = True
 
 
 _ambient = RuntimeContext()
@@ -125,12 +129,15 @@ def run_many(
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
     obs: Any = _INHERIT,
+    verify: Optional[bool] = None,
 ) -> List[Any]:
     """Execute every spec; return results in spec order.
 
     Raises :class:`~repro.errors.ExecutionError` if any run ultimately
     failed (all successful results up to that point are cached, so a
-    re-invocation resumes where it left off).
+    re-invocation resumes where it left off), and
+    :class:`~repro.errors.ConfigurationError` if pre-dispatch
+    verification rejects a spec (disable with ``verify=False``).
     """
     ctx = current_context()
     jobs = ctx.jobs if jobs is None else jobs
@@ -141,10 +148,13 @@ def run_many(
     retries = ctx.retries if retries is None else retries
     backoff_s = ctx.backoff_s if backoff_s is None else backoff_s
     obs = ctx.obs if obs is _INHERIT else obs
+    verify = ctx.verify if verify is None else verify
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
     specs = list(specs)
+    if verify:
+        _verify_before_dispatch(specs)
     results: List[Any] = [None] * len(specs)
     state = _BatchState(
         specs=specs,
@@ -178,6 +188,24 @@ def run_many(
             f"{specs[first_index].label}: {first_exc}"
         ) from first_exc
     return results
+
+
+def _verify_before_dispatch(specs: Sequence[RunSpec]) -> None:
+    """Apply the Tier-2 static verifier to a batch before any run.
+
+    Only error-severity findings refuse the batch; warnings (e.g.
+    EMPTCPConfig-shaped overrides on a custom builder) are ignored
+    here and surfaced by ``repro check config`` instead.
+    """
+    from repro.check.config import verify_specs
+
+    report = verify_specs(specs)
+    if not report.ok:
+        raise ConfigurationError(
+            "pre-dispatch verification failed:\n"
+            + "\n".join(f.format() for f in report.sorted_findings()
+                        if f.severity.value == "error")
+        )
 
 
 class _BatchState:

@@ -10,6 +10,12 @@ from repro.workloads.mobility import (
     wifi_rate_at_distance,
 )
 from repro.workloads.streaming import VideoSession
+from repro.workloads.traces import (
+    capacity_from_csv,
+    dump_bandwidth_csv,
+    load_bandwidth_trace,
+    parse_bandwidth_csv,
+)
 from repro.workloads.web import ObjectQueueSource, WebPage, cnn_like_page
 from repro.workloads.wild import WildEnvironment, WildSampler
 
@@ -21,9 +27,13 @@ __all__ = [
     "WebPage",
     "WildEnvironment",
     "WildSampler",
+    "capacity_from_csv",
     "cnn_like_page",
     "default_route",
+    "dump_bandwidth_csv",
+    "load_bandwidth_trace",
     "make_interferers",
+    "parse_bandwidth_csv",
     "route_capacity_trace",
     "wifi_rate_at_distance",
 ]

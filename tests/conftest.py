@@ -1,0 +1,17 @@
+"""Shared pytest fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository checkout root (parent of tests/)."""
+    return Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="session")
+def test_data_dir() -> Path:
+    """Committed fixture files (golden traces etc.)."""
+    return Path(__file__).resolve().parent / "data"

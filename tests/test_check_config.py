@@ -1,0 +1,350 @@
+"""Tier-2 config/scenario verification (repro.check.config): one
+passing and one failing fixture per rule, plus the executor's
+pre-dispatch gate."""
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.check.config import (
+    check_config_dict,
+    check_defaults,
+    check_device_profile,
+    check_eib,
+    check_eib_entries,
+    check_emptcp_config,
+    check_run_spec,
+    check_scenario,
+    check_tau_bound,
+    verify_specs,
+)
+from repro.check.findings import Severity
+from repro.core.config import EMPTCPConfig
+from repro.core.eib import EibEntry, cached_eib
+from repro.energy.device import GALAXY_S3
+from repro.errors import ConfigurationError
+from repro.experiments.static_bw import static_scenario
+from repro.runtime.spec import RunSpec, _REGISTRY, register_builder
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CHK201: hysteresis safety factor
+
+
+def test_chk201_default_config_passes():
+    assert check_emptcp_config(EMPTCPConfig()) == []
+
+
+def test_chk201_safety_factor_out_of_range():
+    cfg = SimpleNamespace(safety_factor=1.2, delta_min=1.0, delta_max=2.0)
+    findings = check_emptcp_config(cfg)
+    assert rules(findings) == ["CHK201"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_chk201_disabled_hysteresis_is_a_warning():
+    cfg = SimpleNamespace(safety_factor=0.0, delta_min=1.0, delta_max=2.0)
+    findings = check_emptcp_config(cfg)
+    assert rules(findings) == ["CHK201"]
+    assert findings[0].severity is Severity.WARNING
+
+
+# ---------------------------------------------------------------------------
+# CHK202/CHK203: override dicts
+
+
+def test_chk202_valid_override_dict_passes():
+    assert check_config_dict({"tau_seconds": 2.0}) == []
+
+
+def test_chk202_unknown_key():
+    findings = check_config_dict({"tau_secondz": 2.0})
+    assert rules(findings) == ["CHK202"]
+    assert "tau_secondz" in findings[0].message
+
+
+def test_chk203_invalid_value():
+    findings = check_config_dict({"tau_seconds": -1.0})
+    assert rules(findings) == ["CHK203"]
+
+
+def test_chk203_inverted_sampling_bounds():
+    cfg = SimpleNamespace(safety_factor=0.1, delta_min=3.0, delta_max=1.0)
+    assert rules(check_emptcp_config(cfg)) == ["CHK203"]
+
+
+# ---------------------------------------------------------------------------
+# CHK204: tau against equation (1)
+
+
+def test_chk204_default_tau_passes_at_paper_operating_point():
+    cfg = EMPTCPConfig()
+    findings = check_tau_bound(
+        cfg, mbps_to_bytes_per_sec(12.0), wifi_rtt=0.040
+    )
+    assert findings == []
+
+
+def test_chk204_tiny_tau_fails():
+    cfg = EMPTCPConfig(tau_seconds=0.01)
+    findings = check_tau_bound(
+        cfg, mbps_to_bytes_per_sec(12.0), wifi_rtt=0.040
+    )
+    assert rules(findings) == ["CHK204"]
+    assert "equation (1)" in findings[0].message
+
+
+def test_chk204_skips_degenerate_operating_points():
+    cfg = EMPTCPConfig(tau_seconds=0.01)
+    assert check_tau_bound(cfg, 0.0, wifi_rtt=0.040) == []
+    assert check_tau_bound(cfg, 1e6, wifi_rtt=0.0) == []
+
+
+# ---------------------------------------------------------------------------
+# CHK211/212/213: EIB tables
+
+
+def good_eib_rows():
+    return [
+        EibEntry(cell_mbps=1.0, cellular_only_below=0.2, wifi_only_above=1.5),
+        EibEntry(cell_mbps=2.0, cellular_only_below=0.3, wifi_only_above=2.0),
+        EibEntry(cell_mbps=4.0, cellular_only_below=0.5, wifi_only_above=3.0),
+    ]
+
+
+def test_eib_good_table_passes():
+    assert check_eib_entries(good_eib_rows()) == []
+
+
+def test_chk211_unsorted_cell_grid():
+    rows = good_eib_rows()
+    rows[1], rows[2] = rows[2], rows[1]
+    assert "CHK211" in rules(check_eib_entries(rows))
+
+
+def test_chk212_decreasing_threshold():
+    rows = good_eib_rows()
+    rows[2] = dataclasses.replace(rows[2], wifi_only_above=0.5)
+    findings = check_eib_entries(rows)
+    assert rules(findings) == ["CHK212"]
+    assert "WiFi-only" in findings[0].message
+
+
+def test_chk213_crossing_thresholds():
+    rows = [
+        EibEntry(cell_mbps=1.0, cellular_only_below=2.0, wifi_only_above=1.0)
+    ]
+    findings = check_eib_entries(rows)
+    assert rules(findings) == ["CHK213"]
+    assert "cross" in findings[0].message
+
+
+def test_chk213_negative_and_nan_thresholds():
+    rows = [
+        EibEntry(
+            cell_mbps=1.0,
+            cellular_only_below=-0.5,
+            wifi_only_above=float("nan"),
+        )
+    ]
+    assert rules(check_eib_entries(rows)) == ["CHK213", "CHK213"]
+
+
+def test_built_default_eib_passes():
+    eib = cached_eib(GALAXY_S3, next(iter(GALAXY_S3.rrc)))
+    assert check_eib(eib) == []
+
+
+# ---------------------------------------------------------------------------
+# CHK221: device power model
+
+
+def test_chk221_shipped_profile_passes():
+    assert check_device_profile(GALAXY_S3) == []
+
+
+def test_chk221_negative_coefficient():
+    kind = next(iter(GALAXY_S3.interfaces))
+    bad_power = SimpleNamespace(
+        base_w=-0.5, per_mbps_w=0.01, per_mbps_up_w=0.02, idle_w=0.01
+    )
+    profile = SimpleNamespace(
+        name="broken",
+        baseline_w=0.3,
+        overlap_saving_w=0.0,
+        wifi_activation_j=1.0,
+        interfaces={kind: bad_power},
+        rrc={},
+    )
+    findings = check_device_profile(profile)
+    assert rules(findings) == ["CHK221"]
+    assert "base_w" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# CHK231: scenario path parameters
+
+
+def test_chk231_stock_scenario_passes():
+    scenario = static_scenario(good_wifi=True, download_bytes=mib(2))
+    assert check_scenario(scenario) == []
+
+
+def test_chk231_negative_rtt_and_bad_loss():
+    scenario = static_scenario(good_wifi=True, download_bytes=mib(2))
+    broken = dataclasses.replace(scenario, wifi_rtt=-0.01, cell_loss=1.5)
+    assert rules(check_scenario(broken)) == ["CHK231", "CHK231"]
+
+
+def test_chk204_scenario_with_tiny_tau():
+    scenario = static_scenario(good_wifi=True, download_bytes=mib(2))
+    broken = dataclasses.replace(
+        scenario, emptcp_config=EMPTCPConfig(tau_seconds=0.01)
+    )
+    assert "CHK204" in rules(check_scenario(broken))
+
+
+# ---------------------------------------------------------------------------
+# CHK234/CHK241/CHK242: RunSpecs
+
+
+def good_spec(**overrides):
+    base = dict(
+        protocol="emptcp",
+        builder="static",
+        kwargs={"good_wifi": True, "download_bytes": mib(2)},
+        seed=0,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def test_run_spec_good_passes_deep_check():
+    assert check_run_spec(good_spec(), build=True) == []
+
+
+def test_chk241_unknown_builder():
+    findings = check_run_spec(good_spec(builder="no-such-builder"))
+    assert rules(findings) == ["CHK241"]
+
+
+def test_chk234_missing_trace_file():
+    spec = good_spec(
+        kwargs={
+            "good_wifi": True,
+            "download_bytes": mib(2),
+            "csv_path": "/nonexistent/bandwidth.csv",
+        }
+    )
+    findings = check_run_spec(spec)
+    assert rules(findings) == ["CHK234"]
+
+
+def test_chk234_existing_file_passes(tmp_path):
+    csv = tmp_path / "bw.csv"
+    csv.write_text("0,1.0\n")
+    spec = good_spec(
+        kwargs={
+            "good_wifi": True,
+            "download_bytes": mib(2),
+            "csv_path": str(csv),
+        }
+    )
+    assert check_run_spec(spec) == []
+
+
+def test_chk242_unbuildable_scenario():
+    spec = good_spec(kwargs={"no_such_kwarg": True})
+    findings = check_run_spec(spec, build=True)
+    assert rules(findings) == ["CHK242"]
+
+
+def test_config_findings_on_stock_builders_are_errors():
+    spec = good_spec(config={"tau_secondz": 1.0})
+    findings = check_run_spec(spec)
+    assert rules(findings) == ["CHK202"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_config_findings_on_custom_builders_are_warnings():
+    name = "test-check-config-custom"
+    register_builder(name, execute=lambda spec: {}, replace=True)
+    try:
+        spec = RunSpec(
+            protocol="emptcp", builder=name, config={"whatever": 1}
+        )
+        findings = check_run_spec(spec)
+        assert rules(findings) == ["CHK202"]
+        assert findings[0].severity is Severity.WARNING
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+def test_verify_specs_counts_and_aggregates():
+    report = verify_specs([good_spec(), good_spec(builder="missing")])
+    assert report.tier == "config"
+    assert report.checked == 2
+    assert rules(report.findings) == ["CHK241"]
+    assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# the executor's pre-dispatch gate
+
+
+def test_run_many_refuses_invalid_spec():
+    from repro.runtime.executor import run_many
+
+    with pytest.raises(ConfigurationError, match="pre-dispatch"):
+        run_many([good_spec(builder="no-such-builder")], jobs=1)
+
+
+def test_run_many_verify_can_be_disabled():
+    from repro.runtime.executor import run_many
+
+    # With verify off the bad builder surfaces as the builder lookup
+    # error instead of the pre-dispatch gate.
+    with pytest.raises(Exception) as excinfo:
+        run_many(
+            [good_spec(builder="no-such-builder")], jobs=1, verify=False
+        )
+    assert "pre-dispatch" not in str(excinfo.value)
+
+
+def test_run_many_warnings_do_not_block():
+    """A custom builder with a non-EMPTCPConfig config payload is
+    advisory only — dispatch must proceed."""
+    from repro.runtime.executor import run_many
+
+    name = "test-check-config-warn"
+    register_builder(
+        name,
+        execute=lambda spec: {"ok": True},
+        encode=lambda result: result,
+        decode=lambda payload: payload,
+        replace=True,
+    )
+    try:
+        specs = [
+            RunSpec(protocol="emptcp", builder=name, config={"custom": 1})
+        ]
+        results = run_many(specs, jobs=1)
+        assert results == [{"ok": True}]
+    finally:
+        _REGISTRY.pop(name, None)
+
+
+# ---------------------------------------------------------------------------
+# the deep default sweep
+
+
+def test_check_defaults_is_clean():
+    report = check_defaults()
+    assert report.ok, report.format()
+    assert report.checked > 0

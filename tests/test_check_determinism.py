@@ -1,0 +1,124 @@
+"""Tier-3b determinism detector (repro.check.determinism): a clean
+deterministic spec passes; seeded nondeterminism (an unseeded global
+RNG, exactly what lint rule REP102 forbids textually) is caught
+empirically."""
+
+import random
+
+import pytest
+
+from repro.check.determinism import check_determinism, replay
+from repro.errors import SimulationError
+from repro.runtime.spec import RunSpec, _REGISTRY, register_builder
+from repro.units import mib
+
+from repro import obs
+
+
+def small_spec():
+    return RunSpec(
+        protocol="emptcp",
+        builder="static",
+        kwargs={"good_wifi": True, "download_bytes": mib(1)},
+        seed=0,
+    )
+
+
+@pytest.fixture
+def custom_builder():
+    """Register a throwaway builder; always unregister afterwards."""
+    registered = []
+
+    def _register(name, execute):
+        register_builder(
+            name,
+            execute=execute,
+            encode=lambda result: result,
+            decode=lambda payload: payload,
+            replace=True,
+        )
+        registered.append(name)
+        return name
+
+    yield _register
+    for name in registered:
+        _REGISTRY.pop(name, None)
+
+
+def test_runs_below_two_is_an_error():
+    with pytest.raises(ValueError):
+        check_determinism(small_spec(), runs=1)
+
+
+def test_default_spec_is_deterministic():
+    report = check_determinism(small_spec())
+    assert report.ok, report.format()
+    assert report.tier == "determinism"
+    assert report.checked == 2
+
+
+def test_replay_captures_events_and_result():
+    events, encoded = replay(small_spec())
+    assert events, "a traced run must emit events"
+    assert isinstance(encoded, dict) and encoded
+
+
+def test_unseeded_rng_is_caught(custom_builder):
+    """The empirical complement of lint rule REP102: a builder drawing
+    from the global random module diverges between replays in both the
+    result and the event stream."""
+
+    def execute(spec):
+        noise = random.random()
+        tracer = obs.tracer_or_none()
+        assert tracer is not None
+        tracer.emit(
+            "predictor.sample",
+            t=0.0,
+            interface="wifi",
+            sample_mbps=noise,
+            forecast_mbps=noise,
+        )
+        return {"noise": noise}
+
+    name = custom_builder("test-check-det-unseeded", execute)
+    spec = RunSpec(protocol="emptcp", builder=name)
+    report = check_determinism(spec)
+    assert not report.ok
+    found = set(f.rule for f in report.findings)
+    assert found == {"CHK402", "CHK403"}
+    # The first divergent event is named with its differing fields.
+    diverge = [f for f in report.findings if f.rule == "CHK403"]
+    assert any("predictor.sample" in f.message for f in diverge)
+
+
+def test_event_count_divergence_is_reported(custom_builder):
+    calls = []
+
+    def execute(spec):
+        calls.append(None)
+        tracer = obs.tracer_or_none()
+        for i in range(len(calls)):
+            tracer.emit(
+                "delay.trigger",
+                t=float(i),
+                trigger="tau",
+                action="postponed",
+                wifi_bytes=0.0,
+            )
+        return {"ok": True}
+
+    name = custom_builder("test-check-det-growing", execute)
+    report = check_determinism(RunSpec(protocol="emptcp", builder=name))
+    counts = [f for f in report.findings if "event count differs" in f.message]
+    assert len(counts) == 1
+
+
+def test_crashing_run_is_chk401(custom_builder):
+    def execute(spec):
+        raise SimulationError("boom")
+
+    name = custom_builder("test-check-det-crash", execute)
+    report = check_determinism(RunSpec(protocol="emptcp", builder=name))
+    assert [f.rule for f in report.findings] == ["CHK401"]
+    assert not report.ok

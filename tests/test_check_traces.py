@@ -1,0 +1,178 @@
+"""Tier-3 trace invariants (repro.check.traces): the golden-file test
+over a handcrafted known-bad trace, plus targeted per-rule fixtures."""
+
+from repro.check.traces import (
+    LEGAL_RRC_TRANSITIONS,
+    check_events,
+    check_trace_file,
+    check_traces,
+)
+from repro.obs.trace import read_jsonl
+
+
+def rules(report):
+    return sorted(f.rule for f in report.findings)
+
+
+def decision(t, wifi, decision_value, raw=None, switched=True, sf=0.1):
+    return {
+        "type": "controller.decision",
+        "t": t,
+        "wifi_mbps": wifi,
+        "cell_mbps": 2.0,
+        "raw": raw or decision_value,
+        "decision": decision_value,
+        "cell_only_thr_mbps": 0.5,
+        "wifi_only_thr_mbps": 2.0,
+        "safety_factor": sf,
+        "switched": switched,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the golden file: one known-bad trace, every finding diffed verbatim
+
+
+def test_known_bad_trace_matches_golden_output(test_data_dir):
+    events = read_jsonl(test_data_dir / "bad.trace.jsonl")
+    report = check_events(events, path="bad.trace.jsonl")
+    expected = (test_data_dir / "bad.trace.expected").read_text()
+    assert report.format() + "\n" == expected
+    # The seeded violations cover every trace rule.
+    assert set(rules(report)) == {
+        "CHK301",
+        "CHK302",
+        "CHK303",
+        "CHK304",
+        "CHK305",
+        "CHK306",
+        "CHK307",
+    }
+
+
+def test_check_trace_file_reads_the_golden_fixture(test_data_dir):
+    report = check_trace_file(test_data_dir / "bad.trace.jsonl")
+    assert not report.ok
+    assert report.checked == 14
+
+
+# ---------------------------------------------------------------------------
+# a legal trace passes everything
+
+
+def test_clean_trace_passes():
+    events = [
+        {"type": "energy.checkpoint", "t": 1.0, "total_j": 1.0, "power_w": 0.5},
+        {"type": "rrc.transition", "t": 1.5, "from": "idle", "to": "promoting", "dwell_s": 1.5},
+        {"type": "rrc.transition", "t": 2.0, "from": "promoting", "to": "active", "dwell_s": 0.5},
+        {"type": "subflow.suspend", "t": 2.5, "subflow": "sf-lte", "interface": "lte"},
+        {"type": "subflow.resume", "t": 3.0, "subflow": "sf-lte", "interface": "lte"},
+        {"type": "subflow.suspend", "t": 3.5, "subflow": "sf-lte", "interface": "lte"},
+        {"type": "rrc.transition", "t": 4.0, "from": "active", "to": "tail", "dwell_s": 2.0},
+        {"type": "rrc.transition", "t": 5.0, "from": "tail", "to": "idle", "dwell_s": 1.0},
+        {"type": "energy.checkpoint", "t": 5.0, "total_j": 2.5, "power_w": 0.4},
+        {"type": "subflow.checkpoint", "t": 6.0, "subflow": "sf-wifi", "interface": "wifi", "delivered_bytes": 750000.0, "conn_bytes": 1000000.0},
+        {"type": "subflow.checkpoint", "t": 6.0, "subflow": "sf-lte", "interface": "lte", "delivered_bytes": 250000.0, "conn_bytes": 1000000.0},
+    ]
+    report = check_events(events)
+    assert report.ok, report.format()
+    assert report.checked == len(events)
+
+
+def test_equal_timestamps_are_monotone():
+    events = [
+        {"type": "predictor.sample", "t": 1.0, "interface": "wifi", "sample_mbps": 1.0, "forecast_mbps": 1.0},
+        {"type": "predictor.sample", "t": 1.0, "interface": "wifi", "sample_mbps": 2.0, "forecast_mbps": 1.5},
+    ]
+    assert check_events(events).ok
+
+
+def test_sources_have_independent_clocks():
+    # Interleaved emitters may step backwards relative to each other.
+    events = [
+        {"type": "predictor.sample", "t": 5.0, "interface": "wifi", "sample_mbps": 1.0, "forecast_mbps": 1.0},
+        {"type": "predictor.sample", "t": 4.0, "interface": "lte", "sample_mbps": 1.0, "forecast_mbps": 1.0},
+    ]
+    assert check_events(events).ok
+
+
+# ---------------------------------------------------------------------------
+# CHK307 edge cases mirroring the controller's hysteresis semantics
+
+
+def test_chk307_first_decision_is_never_flagged():
+    events = [decision(1.0, 1.9, "both")]
+    assert check_events(events).ok
+
+
+def test_chk307_unswitched_decisions_inside_band_are_legal():
+    events = [
+        decision(1.0, 3.0, "wifi-only"),
+        decision(2.0, 1.9, "wifi-only", switched=False),
+    ]
+    assert check_events(events).ok
+
+
+def test_chk307_switch_outside_band_is_legal():
+    events = [
+        decision(1.0, 3.0, "wifi-only"),
+        # 1.7 < 2.0 * (1 - 0.1): a legitimate demotion to BOTH.
+        decision(2.0, 1.7, "both"),
+    ]
+    assert check_events(events).ok
+
+
+def test_chk307_switch_inside_band_is_flagged():
+    events = [
+        decision(1.0, 3.0, "wifi-only"),
+        decision(2.0, 1.9, "both"),
+    ]
+    assert rules(check_events(events)) == ["CHK307"]
+
+
+def test_chk307_sample_guard_demotion_is_exempt():
+    # The required-samples guard (raw wifi-only, decision both) can
+    # legally land inside the band — hysteresis did not drive it.
+    events = [
+        decision(1.0, 3.0, "wifi-only"),
+        decision(2.0, 1.9, "both", raw="wifi-only"),
+    ]
+    assert check_events(events).ok
+
+
+def test_chk307_disabled_hysteresis_skips_the_check():
+    events = [
+        decision(1.0, 3.0, "wifi-only", sf=0.0),
+        decision(2.0, 1.9, "both", sf=0.0),
+    ]
+    assert check_events(events).ok
+
+
+# ---------------------------------------------------------------------------
+# directory-level entry points
+
+
+def test_check_traces_on_directory(test_data_dir):
+    report = check_traces(test_data_dir)
+    assert report.checked == 1  # only *.trace.jsonl files count
+    assert not report.ok
+
+
+def test_check_traces_warns_when_empty(tmp_path):
+    report = check_traces(tmp_path)
+    assert report.ok  # warning only
+    assert rules(report) == ["CHK300"]
+
+
+def test_malformed_jsonl_is_a_finding(tmp_path):
+    bad = tmp_path / "corrupt.trace.jsonl"
+    bad.write_text('{"type": "energy.checkpoint"\n')
+    report = check_trace_file(bad)
+    assert rules(report) == ["CHK301"]
+
+
+def test_legal_rrc_edges_match_the_machine():
+    # The edge set mirrors repro.energy.rrc.RrcMachine; a promotion
+    # aborted back to idle is not a legal edge there either.
+    assert ("promoting", "idle") not in LEGAL_RRC_TRANSITIONS
+    assert ("idle", "promoting") in LEGAL_RRC_TRANSITIONS

@@ -201,3 +201,50 @@ class TestTraceCommand:
     def test_unknown_trace_subcommand_rejected(self, tmp_path, capsys):
         code = main(["trace", "frobnicate", str(tmp_path)])
         assert code == 2
+
+
+class TestCheckCommand:
+    def test_check_config_is_clean(self, capsys):
+        code, out = run_cli(capsys, "check", "config")
+        assert code == 0
+        assert "config: OK" in out
+
+    def test_check_lint_clean_file(self, capsys, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(energy_j: float):\n    return energy_j\n")
+        code, out = run_cli(
+            capsys, "check", "lint", str(target), "--no-baseline"
+        )
+        assert code == 0
+        assert "lint: OK" in out
+
+    def test_check_lint_flags_violations(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        init = pkg / "__init__.py"
+        init.write_text("__all__ = ['ghost']\n")
+        code, out = run_cli(
+            capsys, "check", "lint", str(init), "--no-baseline"
+        )
+        assert code == 1
+        assert "REP107" in out
+
+    def test_check_trace_reports_bad_trace(self, capsys):
+        code, out = run_cli(
+            capsys, "check", "trace", "tests/data/bad.trace.jsonl"
+        )
+        assert code == 1
+        assert "CHK304" in out and "CHK307" in out
+
+    def test_check_trace_missing_target_is_usage_error(self, capsys):
+        code, _ = run_cli(capsys, "check", "trace", "/nonexistent/traces")
+        assert code == 2
+
+    def test_check_unknown_subcommand(self, capsys):
+        code, _ = run_cli(capsys, "check", "bogus")
+        assert code == 2
+
+    def test_check_determinism_small(self, capsys):
+        code, out = run_cli(capsys, "check", "determinism", "--size-mb", "1")
+        assert code == 0
+        assert "determinism: OK" in out

@@ -10,7 +10,7 @@ from repro.net.interface import InterfaceKind
 from repro.packet.link import PacketLink, Segment
 from repro.packet.mptcp import DsnReassembly, PacketMptcpConnection, single_path_connection
 from repro.packet.tcp import MSS, SubflowReceiver
-from repro.packet.validate import PathSpec, packet_mptcp_time, packet_single_path_time
+from repro.check.packet import PathSpec, packet_mptcp_time, packet_single_path_time
 from repro.sim.engine import Simulator
 from repro.tcp.connection import FiniteSource
 from repro.units import mbps_to_bytes_per_sec, mib

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.interface import InterfaceKind
-from repro.packet.validate import (
+from repro.check.packet import (
     ModelComparison,
     PathSpec,
     compare_single_path,
@@ -94,7 +94,23 @@ class TestOnOffAgreement:
         """Under the §4.3 on/off WiFi modulation (the Figure 7/8
         condition) the two engines agree within 10% on paired sample
         paths."""
-        from repro.packet.validate import compare_onoff_single_path
+        from repro.check.packet import compare_onoff_single_path
 
         for c in compare_onoff_single_path(size_bytes=mib(16), seeds=(1, 2)):
             assert 0.9 < c.ratio < 1.1, c.label
+
+
+class TestDeprecationShim:
+    def test_old_import_path_warns_and_reexports(self):
+        """repro.packet.validate moved to repro.check.packet; the shim
+        keeps old imports working with a DeprecationWarning."""
+        import importlib
+
+        import repro.check.packet as new
+        import repro.packet.validate as shim
+
+        with pytest.warns(DeprecationWarning, match="repro.check.packet"):
+            shim = importlib.reload(shim)
+        assert shim.PathSpec is new.PathSpec
+        assert shim.compare_single_path is new.compare_single_path
+        assert sorted(shim.__all__) == shim.__all__
