@@ -2,12 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: check trace-smoke
+test: check trace-smoke packet-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
 check:  ## static tiers: custom lint vs baseline + config verification
@@ -31,6 +31,16 @@ trace-smoke:  ## one traced smoke run; the exported JSONL must validate
 	PYTHONPATH=src $(PY) -m repro.cli trace summarize .trace-smoke/obs
 	rm -rf .trace-smoke
 
+packet-smoke:  ## emptcp end-to-end on the packet engine, traced + cached
+	rm -rf .packet-smoke
+	PYTHONPATH=src $(PY) -m repro.cli run emptcp good --engine packet \
+		--runs 1 --size-mb 2 --trace --cache --cache-dir .packet-smoke \
+		--manifest .packet-smoke/manifest.jsonl --no-progress > /dev/null
+	test -s .packet-smoke/manifest.jsonl
+	PYTHONPATH=src $(PY) -m repro.cli check trace .packet-smoke/obs
+	PYTHONPATH=src $(PY) -m repro.cli validate --size-mb 2 --no-progress
+	rm -rf .packet-smoke
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -51,5 +61,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

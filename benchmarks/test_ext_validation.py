@@ -8,7 +8,7 @@ reproduced figure tracks a segment-level implementation.
 from conftest import banner, once
 
 from repro.net.interface import InterfaceKind
-from repro.packet.validate import (
+from repro.check.packet import (
     PathSpec,
     compare_onoff_single_path,
     compare_single_path,

@@ -12,7 +12,7 @@ Run:  python examples/two_engines.py
 """
 
 from repro.net.interface import InterfaceKind
-from repro.packet.validate import (
+from repro.check.packet import (
     PathSpec,
     compare_single_path,
     fluid_mptcp_time,

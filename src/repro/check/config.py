@@ -132,7 +132,7 @@ def check_tau_bound(
     """CHK204: τ against equation (1)'s lower bound at an operating
     point (§3.5) — the timer must outlast slow start plus φ samples,
     or the establishment decision fires on meaningless estimates."""
-    from repro.core.delay import minimum_tau
+    from repro.control.delay import minimum_tau
 
     findings: List[Finding] = []
     if wifi_bandwidth_bytes_per_sec <= 0 or wifi_rtt <= 0:
@@ -396,6 +396,7 @@ def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
             for f in config_findings
         ]
     findings.extend(config_findings)
+    findings.extend(_check_engine(spec))
     findings.extend(_check_spec_files(spec))
     if build:
         from repro.runtime.spec import _SCENARIO_FNS, build_scenario
@@ -415,6 +416,59 @@ def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
                 findings.extend(
                     check_scenario(scenario, context=spec.label)
                 )
+                if (
+                    getattr(spec, "engine", "fluid") == "packet"
+                    and scenario.interferers is not None
+                ):
+                    findings.append(
+                        Finding(
+                            rule="CHK243",
+                            message="scenario uses WiFi interferers, which "
+                            "the packet engine does not model",
+                            context=spec.label,
+                        )
+                    )
+    return findings
+
+
+def _check_engine(spec: Any) -> List[Finding]:
+    """CHK243: the spec's engine exists and supports its protocol."""
+    from repro.experiments.protocols import ENGINES, PACKET_PROTOCOLS
+    from repro.runtime.spec import _SCENARIO_FNS
+
+    engine = getattr(spec, "engine", "fluid")
+    findings: List[Finding] = []
+    if engine not in ENGINES:
+        findings.append(
+            Finding(
+                rule="CHK243",
+                message=f"unknown engine {engine!r} "
+                f"(available: {', '.join(ENGINES)})",
+                context=spec.label,
+            )
+        )
+        return findings
+    if engine == "packet":
+        if spec.builder in _SCENARIO_FNS and spec.protocol not in PACKET_PROTOCOLS:
+            findings.append(
+                Finding(
+                    rule="CHK243",
+                    message=f"protocol {spec.protocol!r} is not available on "
+                    f"the packet engine "
+                    f"(supported: {', '.join(PACKET_PROTOCOLS)})",
+                    context=spec.label,
+                )
+            )
+        elif spec.builder not in _SCENARIO_FNS:
+            findings.append(
+                Finding(
+                    rule="CHK243",
+                    message=f"custom builder {spec.builder!r} may ignore "
+                    f"engine={engine!r}",
+                    severity=Severity.WARNING,
+                    context=spec.label,
+                )
+            )
     return findings
 
 

@@ -309,30 +309,120 @@ def agreement_report(
     return report
 
 
+#: Protocols compared across engines by default.  Plain MPTCP is
+#: deliberately excluded: its aggregate completion time is dominated by
+#: scheduler/coupling details the two engines model differently, so it
+#: sits outside the ±30% band (see EXPERIMENTS.md).
+AGREEMENT_PROTOCOLS = ("tcp-wifi", "emptcp")
+
+
+def engine_agreement_specs(
+    size_bytes: float = mib(2),
+    protocols: Sequence[str] = AGREEMENT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+) -> List[Tuple[str, "RunSpec", "RunSpec"]]:
+    """Matched (label, fluid spec, packet spec) triples.
+
+    Each pair names the *same* static-bandwidth scenario (§4.2 good and
+    bad WiFi) and differs only in ``engine`` — the whole comparison
+    rides through the unified runner, so caching, manifests, and traces
+    apply to agreement runs like any other experiment.
+    """
+    from repro.experiments.static_bw import LAB_LTE_MBPS
+    from repro.runtime.spec import RunSpec
+
+    triples: List[Tuple[str, RunSpec, RunSpec]] = []
+    for good, wifi_label in ((True, "good-wifi"), (False, "bad-wifi")):
+        kwargs = {
+            "good_wifi": good,
+            "download_bytes": size_bytes,
+            "lte_mbps": LAB_LTE_MBPS,
+        }
+        for protocol in protocols:
+            for seed in seeds:
+                triples.append(
+                    (
+                        f"{protocol} on {wifi_label} seed {seed}",
+                        RunSpec(
+                            protocol=protocol,
+                            builder="static",
+                            kwargs=dict(kwargs),
+                            seed=seed,
+                            engine="fluid",
+                        ),
+                        RunSpec(
+                            protocol=protocol,
+                            builder="static",
+                            kwargs=dict(kwargs),
+                            seed=seed,
+                            engine="packet",
+                        ),
+                    )
+                )
+    return triples
+
+
+def run_engine_agreement(
+    size_bytes: float = mib(2),
+    protocols: Sequence[str] = AGREEMENT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+    tolerance: float = AGREEMENT_TOLERANCE,
+) -> Tuple[Report, List[ModelComparison]]:
+    """Run matched fluid/packet scenarios through the unified runner.
+
+    Returns the CHK501 report plus the raw comparisons (for the CLI's
+    table and the golden-file test).  Raises
+    :class:`~repro.errors.ExecutionError` if a run dies outright.
+    """
+    from repro.runtime.executor import run_specs
+
+    triples = engine_agreement_specs(
+        size_bytes=size_bytes, protocols=protocols, seeds=seeds
+    )
+    specs = [spec for _label, fluid, packet in triples for spec in (fluid, packet)]
+    results = run_specs(specs)
+    comparisons: List[ModelComparison] = []
+    for i, (label, _fluid, _packet) in enumerate(triples):
+        fluid_res, packet_res = results[2 * i], results[2 * i + 1]
+        comparisons.append(
+            ModelComparison(
+                label=label,
+                size_bytes=size_bytes,
+                fluid_time=fluid_res.download_time,
+                packet_time=packet_res.download_time,
+            )
+        )
+    return agreement_report(comparisons, tolerance=tolerance), comparisons
+
+
 def run_agreement_checks(
-    specs: Optional[Sequence[Tuple[str, PathSpec]]] = None,
     size_bytes: float = mib(2),
     seed: int = 0,
     tolerance: float = AGREEMENT_TOLERANCE,
+    protocols: Sequence[str] = AGREEMENT_PROTOCOLS,
 ) -> Report:
-    """Run the default single-path agreement suite as a checker tier.
+    """Run the fluid/packet agreement suite as a checker tier.
 
-    Also verifies the head-of-line collapse reproduces (CHK503): with a
+    End-to-end protocol runs (including eMPTCP's full control plane)
+    go through the unified experiment runner on both engines (CHK501);
+    the head-of-line collapse must also reproduce (CHK503): with a
     small receive buffer and a bad second path, packet MPTCP must be
     *slower* than the fast path alone, or the packet engine has lost
     the effect the Bad/Bad analysis depends on.
     """
-    specs = specs or (
-        ("wifi-good 12Mbps/40ms", PathSpec(12.0, 0.04)),
-        ("wifi-bad 0.8Mbps/50ms", PathSpec(0.8, 0.05)),
-    )
+    from repro.errors import ExecutionError
+
     try:
-        comparisons = compare_single_path(specs, size_bytes=size_bytes, seed=seed)
-    except SimulationError as exc:
+        report, _comparisons = run_engine_agreement(
+            size_bytes=size_bytes,
+            protocols=protocols,
+            seeds=(seed,),
+            tolerance=tolerance,
+        )
+    except (ExecutionError, SimulationError) as exc:
         report = Report(tier="packet")
         report.add("CHK502", f"agreement run failed: {exc}")
         return report
-    report = agreement_report(comparisons, tolerance=tolerance)
     try:
         alone, together = hol_goodput_collapse(size_bytes=size_bytes, seed=seed)
     except SimulationError as exc:

@@ -111,10 +111,41 @@ def _cmd_fig4(_args) -> int:
 
 def _run_static(args, good: bool, fig: str) -> int:
     results = static_bw.run_static(
-        good, runs=args.runs, download_bytes=mib(args.size_mb)
+        good, runs=args.runs, download_bytes=mib(args.size_mb),
+        engine=args.engine,
     )
     print(print_protocol_summary(f"Figure {fig} ({'good' if good else 'bad'} WiFi, "
                                  f"{args.size_mb} MiB x {args.runs} runs)", results))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """One protocol on the §4.2 static scenario, on either engine."""
+    from repro.experiments.protocols import PACKET_PROTOCOLS, PROTOCOLS
+    from repro.runtime.executor import group_results, run_specs
+
+    protocol = args.subcommand or "emptcp"
+    wifi = args.target or "good"
+    if wifi not in ("good", "bad"):
+        print(f"unknown WiFi quality {wifi!r}; choose good or bad",
+              file=sys.stderr)
+        return 2
+    known = PACKET_PROTOCOLS if args.engine == "packet" else PROTOCOLS
+    if protocol not in known:
+        print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
+              f"choose one of {', '.join(known)}", file=sys.stderr)
+        return 2
+    specs = static_bw.static_specs(
+        wifi == "good",
+        runs=args.runs,
+        download_bytes=mib(args.size_mb),
+        protocols=(protocol,),
+        engine=args.engine,
+    )
+    results = group_results(specs, run_specs(specs))
+    print(print_protocol_summary(
+        f"{protocol} on {wifi} WiFi ({args.engine} engine, "
+        f"{args.size_mb} MiB x {args.runs} runs)", results))
     return 0
 
 
@@ -417,20 +448,26 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    specs = [
-        ("wifi-good 12Mbps/40ms", pv.PathSpec(12.0, 0.04)),
-        ("wifi-bad 0.8Mbps/50ms", pv.PathSpec(0.8, 0.05)),
-        ("high-rtt 6Mbps/200ms", pv.PathSpec(6.0, 0.20)),
-    ]
+    report, comparisons = pv.run_engine_agreement(size_bytes=mib(args.size_mb))
     rows = []
-    for c in pv.compare_single_path(specs, size_bytes=mib(args.size_mb)):
+    for c in comparisons:
         rows.append([c.label, f"{c.fluid_time:7.2f} s", f"{c.packet_time:7.2f} s",
                      f"{c.ratio:5.2f}"])
-    print(format_table(["path", "fluid", "packet", "ratio"], rows))
+    print(format_table(["scenario", "fluid", "packet", "ratio"], rows))
     alone, together = pv.hol_goodput_collapse()
     print(f"HoL pathology: fast alone {alone:.2f} s vs MPTCP+slow path "
           f"{together:.2f} s (64 KB receive buffer)")
-    return 0
+    report.checked += 1
+    if together <= alone:
+        report.add(
+            "CHK503",
+            f"head-of-line collapse not reproduced: MPTCP with a bad second "
+            f"path finished in {together:.2f}s, faster than the fast path "
+            f"alone ({alone:.2f}s)",
+            context="hol-collapse",
+        )
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_handover(args) -> int:
@@ -472,6 +509,7 @@ _COMMANDS = {
     "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
     "trace": (_cmd_trace, "summarize or validate exported run traces"),
     "check": (_cmd_check, "static lint / config / trace-invariant checks"),
+    "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet)"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
     "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
@@ -510,13 +548,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cache subcommand: stats (default) or clear; "
              "trace subcommand: summarize (default) or validate; "
              "check subcommand: lint, config, trace, determinism, "
-             "or all (default)",
+             "or all (default); run: the protocol (default emptcp)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="trace file or directory (trace/check commands; "
-             "default: <cache-dir>/obs), or the path to lint "
-             "(check lint; default: src/repro)",
+             "default: <cache-dir>/obs), the path to lint "
+             "(check lint; default: src/repro), or the WiFi quality "
+             "good|bad (run command; default good)",
+    )
+    parser.add_argument(
+        "--engine", choices=("fluid", "packet"), default="fluid",
+        help="transport engine for experiment runs (run/fig5/fig6/validate)",
     )
     parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
     parser.add_argument(

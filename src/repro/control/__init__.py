@@ -1,0 +1,41 @@
+"""repro.control — the engine-agnostic eMPTCP control plane.
+
+The paper's four mechanisms (§3.2 bandwidth predictor, §3.3 energy
+information base, §3.4 path-usage controller, §3.5 delayed subflow
+establishment) never touch packets: they consume throughput samples
+and idle/byte queries and emit join/suspend/resume commands.  This
+package holds the one copy of that logic, driven through the small
+:class:`~repro.control.port.DataPlanePort` protocol:
+
+* :mod:`repro.control.port` — the seam: what a data plane must expose
+  (:class:`SubflowLike` views, join-cellular, MP_PRIO-style usage
+  toggles, idle/exhausted/completed queries);
+* :mod:`repro.control.delay` — §3.5 delayed establishment (κ bytes /
+  τ timer / efficiency + idle vetoes) and equation (1)'s
+  :func:`minimum_tau`;
+* :mod:`repro.control.plane` — :class:`ControlPlane`, composing
+  predictor + EIB + controller + delayed establishment over a port.
+
+Two data planes implement the port: the fluid-model
+:class:`~repro.core.emptcp.EMPTCPConnection` and the segment-level
+:class:`~repro.packet.emptcp.PacketEmptcp`.
+"""
+
+from repro.control.delay import DelayedEstablishment, minimum_tau
+from repro.control.plane import ControlPlane
+from repro.control.port import (
+    DataPlanePort,
+    DelayPort,
+    DeliveryListener,
+    SubflowLike,
+)
+
+__all__ = [
+    "ControlPlane",
+    "DataPlanePort",
+    "DelayPort",
+    "DelayedEstablishment",
+    "DeliveryListener",
+    "SubflowLike",
+    "minimum_tau",
+]

@@ -1,0 +1,153 @@
+"""The assembled eMPTCP control plane (the paper's Figure 2, engine-free).
+
+:class:`ControlPlane` owns the four §3 components and drives a
+:class:`~repro.control.port.DataPlanePort`:
+
+* the **bandwidth predictor** samples each subflow the data plane
+  reports established (via the shared
+  :class:`~repro.core.sampler.ThroughputSampler`);
+* the **delayed-establishment module** decides when the port's
+  ``join_cellular`` fires (κ bytes / τ timer / efficiency + idle
+  vetoes);
+* once the cellular subflow is up, the **path-usage controller** runs
+  every ``decision_interval``, consulting predictor + **EIB**, and
+  applies its hysteresis decisions through ``set_subflow_usage``.
+
+The data plane stays in charge of transport mechanics (scheduling,
+retransmission, the §3.6 re-use tweaks on resume) and of telling the
+plane when subflows come up; the plane stays in charge of *policy*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.control.delay import DelayedEstablishment
+from repro.control.port import DataPlanePort, SubflowLike
+from repro.core.config import EMPTCPConfig
+from repro.core.controller import PathDecision, PathUsageController
+from repro.core.eib import EnergyInformationBase, cached_eib
+from repro.core.predictor import BandwidthPredictor
+from repro.energy.device import DeviceProfile
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class ControlPlane:
+    """One copy of the paper's control logic, over any data plane."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        port: DataPlanePort,
+        config: Optional[EMPTCPConfig],
+        profile: DeviceProfile,
+        cell_kind: InterfaceKind = InterfaceKind.LTE,
+        direction: Direction = Direction.DOWN,
+        eib: Optional[EnergyInformationBase] = None,
+    ):
+        if not cell_kind.is_cellular:
+            raise ConfigurationError("cell_kind must be cellular")
+        self.sim = sim
+        self.port = port
+        self.config = config or EMPTCPConfig()
+        self.profile = profile
+        self.cell_kind = cell_kind
+        self.direction = direction
+        self.predictor = BandwidthPredictor(sim, self.config)
+        self.eib = eib or cached_eib(profile, cell_kind, direction)
+        self.controller = PathUsageController(
+            self.config,
+            self.eib,
+            self.predictor,
+            cell_kind=cell_kind,
+            initial=PathDecision.WIFI_ONLY,
+        )
+        self.delayed = DelayedEstablishment(
+            sim,
+            port,
+            self.config,
+            self.predictor,
+            self.controller,
+            cell_kind=cell_kind,
+        )
+        self._decision_loop = PeriodicProcess(
+            sim, self.config.decision_interval, self._control_tick
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Arm §3.5; the decision loop waits for the cellular join."""
+        self.delayed.start()
+
+    def stop(self) -> None:
+        """Halt decisions, sampling, and the τ timer."""
+        self._decision_loop.stop()
+        self.predictor.stop()
+        self.delayed.stop()
+
+    @property
+    def decision(self) -> PathDecision:
+        """The controller's current decision."""
+        return self.controller.current
+
+    # ------------------------------------------------------------------
+    # data-plane notifications
+
+    def subflow_established(self, subflow: SubflowLike) -> None:
+        """The data plane reports a subflow up: start sampling it; a
+        cellular subflow additionally starts the periodic decisions."""
+        self.predictor.attach_subflow(subflow)
+        if subflow.interface_kind.is_cellular:
+            # Both interfaces are in play from here on; start the
+            # periodic path-usage decisions.
+            self.controller.current = PathDecision.BOTH
+            self._decision_loop.start()
+
+    # ------------------------------------------------------------------
+    # the §3.4 decision loop
+
+    def _control_tick(self) -> None:
+        if self.port.completed:
+            self._decision_loop.stop()
+            return
+        if (
+            self.predictor.sample_count(self.cell_kind)
+            < self.config.required_samples
+        ):
+            # The cellular subflow was just established: keep probing
+            # it until φ samples exist (equation (1)'s requirement)
+            # instead of suspending it on the initial-bandwidth guess.
+            decision = PathDecision.BOTH
+            self.controller.current = decision
+        else:
+            decision = self.controller.decide(now=self.sim.now)
+        self._apply(decision)
+
+    def _apply(self, decision: PathDecision) -> None:
+        wifi_sf = self.port.subflow(InterfaceKind.WIFI)
+        cell_sf = self.port.subflow(self.cell_kind)
+        if wifi_sf is None or cell_sf is None:
+            return
+        if not (wifi_sf.established and cell_sf.established):
+            return
+        want_wifi = decision in (PathDecision.WIFI_ONLY, PathDecision.BOTH)
+        want_cell = decision in (PathDecision.CELLULAR_ONLY, PathDecision.BOTH)
+        self._set_usage(wifi_sf, InterfaceKind.WIFI, want_wifi)
+        self._set_usage(cell_sf, self.cell_kind, want_cell)
+
+    def _set_usage(
+        self, subflow: SubflowLike, kind: InterfaceKind, in_use: bool
+    ) -> None:
+        if in_use and subflow.suspended:
+            self.port.set_subflow_usage(kind, True)
+        elif not in_use and not subflow.suspended:
+            self.port.set_subflow_usage(kind, False)
+
+
+__all__ = ["ControlPlane"]

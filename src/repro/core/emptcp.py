@@ -1,17 +1,13 @@
-"""The eMPTCP connection: the paper's architecture (Figure 2) wired up.
+"""The eMPTCP connection over the fluid engine.
 
-:class:`EMPTCPConnection` composes a standard
-:class:`~repro.mptcp.connection.MPTCPConnection` (WiFi primary,
-auto-join disabled) with the four eMPTCP components:
-
-* the **bandwidth predictor** starts sampling each subflow as soon as
-  it establishes;
-* the **delayed-subflow module** owns the decision of when the cellular
-  subflow is joined (κ bytes / τ timer / efficiency + idle vetoes);
-* once the cellular subflow is up, the **path usage controller** runs
-  periodically, consulting predictor + **EIB**, and applies its
-  decisions through MP_PRIO suspension/resumption with the §3.6 re-use
-  tweaks (no RFC 2861 window reset, zeroed RTT).
+:class:`EMPTCPConnection` is a thin data-plane adapter: it composes a
+standard :class:`~repro.mptcp.connection.MPTCPConnection` (WiFi
+primary, auto-join disabled, the §3.6 re-use tweaks applied on
+resume) and implements the
+:class:`~repro.control.port.DataPlanePort` protocol for the shared
+:class:`~repro.control.plane.ControlPlane`, which owns all policy:
+predictor sampling, EIB consultation, the hysteresis controller, and
+κ/τ delayed establishment.
 
 No application involvement is required: the connection exposes the same
 open/complete surface as plain MPTCP.
@@ -22,18 +18,20 @@ from __future__ import annotations
 import random as _random
 from typing import Callable, List, Optional
 
+from repro.control.delay import DelayedEstablishment
+from repro.control.plane import ControlPlane
 from repro.core.config import EMPTCPConfig
 from repro.core.controller import PathDecision, PathUsageController
-from repro.core.delay import DelayedSubflowEstablishment
-from repro.core.eib import EnergyInformationBase, cached_eib
+from repro.core.eib import EnergyInformationBase
 from repro.core.predictor import BandwidthPredictor
 from repro.energy.device import DeviceProfile
+from repro.energy.power import Direction
 from repro.errors import ConfigurationError
 from repro.mptcp.connection import MptcpMode, MPTCPConnection
 from repro.mptcp.subflow import Subflow
+from repro.net.interface import InterfaceKind
 from repro.net.path import NetworkPath
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess
 from repro.tcp.connection import ByteSource
 
 
@@ -50,6 +48,7 @@ class EMPTCPConnection:
         config: Optional[EMPTCPConfig] = None,
         rng: Optional[_random.Random] = None,
         eib: Optional[EnergyInformationBase] = None,
+        direction: Direction = Direction.DOWN,
         name: str = "emptcp",
     ):
         if not wifi_path.interface.kind.is_wifi:
@@ -78,26 +77,14 @@ class EMPTCPConnection:
             reuse_reset_rtt=self.config.reuse_reset_rtt,
             name=name,
         )
-        self.predictor = BandwidthPredictor(sim, self.config)
-        self.eib = eib or cached_eib(profile, self.cell_kind)
-        self.controller = PathUsageController(
-            self.config,
-            self.eib,
-            self.predictor,
-            cell_kind=self.cell_kind,
-            initial=PathDecision.WIFI_ONLY,
-        )
-        self.delayed = DelayedSubflowEstablishment(
+        self.control = ControlPlane(
             sim,
-            self.mptcp,
-            self.config,
-            self.predictor,
-            self.controller,
-            establish=self._join_cellular,
+            port=self,
+            config=self.config,
+            profile=profile,
             cell_kind=self.cell_kind,
-        )
-        self._decision_loop = PeriodicProcess(
-            sim, self.config.decision_interval, self._control_tick
+            direction=direction,
+            eib=eib,
         )
         self._complete_listeners: List[Callable[["EMPTCPConnection"], None]] = []
         self.mptcp.on_subflow_established(self._subflow_up)
@@ -109,11 +96,11 @@ class EMPTCPConnection:
     def open(self) -> None:
         """Open the connection: WiFi subflow first, τ timer armed."""
         self.mptcp.open()
-        self.delayed.start()
+        self.control.start()
 
     def close(self) -> None:
         """Close all subflows and stop the control plane."""
-        self._stop_control_plane()
+        self.control.stop()
         self.mptcp.close()
 
     def on_complete(self, listener: Callable[["EMPTCPConnection"], None]) -> None:
@@ -121,63 +108,78 @@ class EMPTCPConnection:
         self._complete_listeners.append(listener)
 
     def _on_mptcp_complete(self, _conn: MPTCPConnection) -> None:
-        self._stop_control_plane()
+        self.control.stop()
         for listener in list(self._complete_listeners):
             listener(self)
 
-    def _stop_control_plane(self) -> None:
-        self._decision_loop.stop()
-        self.predictor.stop()
-        self.delayed.stop()
+    def _subflow_up(self, subflow: Subflow) -> None:
+        self.control.subflow_established(subflow)
 
     # ------------------------------------------------------------------
-    # wiring
+    # DataPlanePort implementation (what the control plane drives)
 
-    def _subflow_up(self, subflow: Subflow) -> None:
-        self.predictor.attach_subflow(subflow)
-        if subflow.interface_kind.is_cellular:
-            # Both interfaces are in play from here on; start the
-            # periodic path-usage decisions.
-            self.controller.current = PathDecision.BOTH
-            self._decision_loop.start()
+    def subflow(self, kind: InterfaceKind) -> Optional[Subflow]:
+        """Port: the subflow over ``kind``, if joined."""
+        return self.mptcp.subflow_for(kind)
 
-    def _join_cellular(self) -> Subflow:
+    def join_cellular(self) -> Subflow:
+        """Port: establish the cellular subflow (§3.5 commit)."""
         return self.mptcp.add_subflow(self.cellular_path)
 
-    def _control_tick(self) -> None:
-        if (
-            self.predictor.sample_count(self.cell_kind)
-            < self.config.required_samples
-        ):
-            # The cellular subflow was just established: keep probing
-            # it until φ samples exist (equation (1)'s requirement)
-            # instead of suspending it on the initial-bandwidth guess.
-            decision = PathDecision.BOTH
-            self.controller.current = decision
-        else:
-            decision = self.controller.decide(now=self.sim.now)
-        self._apply(decision)
-
-    def _apply(self, decision: PathDecision) -> None:
-        wifi_sf = self.mptcp.subflow_for(self.wifi_path.interface.kind)
-        cell_sf = self.mptcp.subflow_for(self.cell_kind)
-        if wifi_sf is None or cell_sf is None:
+    def set_subflow_usage(self, kind: InterfaceKind, in_use: bool) -> None:
+        """Port: MP_PRIO suspension/resumption with the §3.6 re-use
+        tweaks (no RFC 2861 window reset, zeroed RTT) handled by the
+        MPTCP layer."""
+        target = self.mptcp.subflow_for(kind)
+        if target is None:
             return
-        if not (wifi_sf.established and cell_sf.established):
-            return
-        want_wifi = decision in (PathDecision.WIFI_ONLY, PathDecision.BOTH)
-        want_cell = decision in (PathDecision.CELLULAR_ONLY, PathDecision.BOTH)
-        self._set_usage(wifi_sf, want_wifi)
-        self._set_usage(cell_sf, want_cell)
+        self.mptcp.set_low_priority(target, low=not in_use)
 
-    def _set_usage(self, subflow: Subflow, in_use: bool) -> None:
-        if in_use and subflow.suspended:
-            self.mptcp.set_low_priority(subflow, low=False)
-        elif not in_use and not subflow.suspended:
-            self.mptcp.set_low_priority(subflow, low=True)
+    def on_delivery(self, listener: Callable[[InterfaceKind, float], None]) -> None:
+        """Port: delivery events as (interface kind, bytes)."""
+        self.mptcp.on_delivery(
+            lambda subflow, delivered: listener(
+                subflow.interface_kind, delivered
+            )
+        )
+
+    @property
+    def is_idle(self) -> bool:
+        """Port: no data moving for roughly one RTT."""
+        return self.mptcp.is_idle
+
+    @property
+    def source_exhausted(self) -> bool:
+        """Port: the application queued no further bytes."""
+        return self.mptcp.source.exhausted
+
+    @property
+    def completed(self) -> bool:
+        """Port: the transfer has finished."""
+        return self.mptcp.completed_at is not None
 
     # ------------------------------------------------------------------
-    # views (delegating to the underlying MPTCP connection)
+    # views (delegating to the control plane / MPTCP connection)
+
+    @property
+    def predictor(self) -> BandwidthPredictor:
+        """The §3.2 bandwidth predictor."""
+        return self.control.predictor
+
+    @property
+    def controller(self) -> PathUsageController:
+        """The §3.4 path-usage controller."""
+        return self.control.controller
+
+    @property
+    def delayed(self) -> DelayedEstablishment:
+        """The §3.5 delayed-establishment module."""
+        return self.control.delayed
+
+    @property
+    def eib(self) -> EnergyInformationBase:
+        """The §3.3 energy information base consulted for decisions."""
+        return self.control.eib
 
     @property
     def completed_at(self) -> Optional[float]:
@@ -202,7 +204,7 @@ class EMPTCPConnection:
     @property
     def decision(self) -> PathDecision:
         """The controller's current decision."""
-        return self.controller.current
+        return self.control.decision
 
     def notify_data(self) -> None:
         """Wake idle subflows after new application data was queued

@@ -1,16 +1,18 @@
 """Protocol factory: one uniform constructor for every strategy the
-paper compares.
+paper compares, on either engine.
 
 Every returned object exposes ``open()``, ``close()``,
-``on_complete(cb)``, ``completed_at`` and ``bytes_received``; energy
-flows through the paths' aggregate-rate listeners, so the runner does
-not need to know which protocol it is driving.
+``on_complete(cb)``, ``completed_at`` and ``bytes_received``.  On the
+fluid engine energy flows through the paths' aggregate-rate listeners;
+on the packet engine the runner (or the eMPTCP adapter) probes
+delivered rates — either way the runner does not need to know which
+protocol it is driving.
 """
 
 from __future__ import annotations
 
 import random as _random
-from typing import Optional
+from typing import Any, Optional
 
 from repro.baselines.mdp import MdpPolicy, MdpScheduledConnection
 from repro.baselines.single_path import SinglePathTcp
@@ -22,12 +24,18 @@ from repro.energy.device import DeviceProfile
 from repro.energy.power import Direction
 from repro.errors import ConfigurationError
 from repro.mptcp.connection import MptcpMode, MPTCPConnection
-from repro.net.path import NetworkPath
+from repro.net.interface import InterfaceKind
 from repro.sim.engine import Simulator
 from repro.tcp.connection import ByteSource
 
-#: Every strategy the harness can run.
+#: Every strategy the harness can run (fluid engine).
 PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp", "single-path-mode")
+
+#: The subset available at segment granularity.
+PACKET_PROTOCOLS = ("emptcp", "mptcp", "tcp-wifi")
+
+#: The transport engines experiments can run on.
+ENGINES = ("fluid", "packet")
 
 #: Default throughput levels (Mbps) for the MDP scheduler's state space.
 MDP_LEVELS = (0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
@@ -35,10 +43,17 @@ MDP_LEVELS = (0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
 _POLICY_CACHE = {}
 
 
-def mdp_policy_for(profile: DeviceProfile, cell_kind) -> MdpPolicy:
+def mdp_policy_for(
+    profile: DeviceProfile, cell_kind, direction: Direction = Direction.DOWN
+) -> MdpPolicy:
     """Build (and cache) the offline MDP policy for a device profile —
     the stand-in for Pluntke et al.'s cloud-computed schedule."""
-    key = (profile.name, cell_kind)
+    if direction is not Direction.DOWN:
+        raise ConfigurationError(
+            "the offline MDP policy is computed for downloads only; "
+            f"direction {direction.value!r} has no precomputed schedule"
+        )
+    key = (profile.name, cell_kind, direction)
     if key not in _POLICY_CACHE:
         _POLICY_CACHE[key] = MdpPolicy(
             profile, MDP_LEVELS, MDP_LEVELS, cell_kind=cell_kind
@@ -49,16 +64,44 @@ def mdp_policy_for(profile: DeviceProfile, cell_kind) -> MdpPolicy:
 def build_protocol(
     protocol: str,
     sim: Simulator,
-    wifi_path: NetworkPath,
-    cellular_path: NetworkPath,
+    wifi_path: Any,
+    cellular_path: Any,
     source: ByteSource,
     profile: DeviceProfile,
     config: Optional[EMPTCPConfig] = None,
     rng: Optional[_random.Random] = None,
     direction: Direction = Direction.DOWN,
+    engine: str = "fluid",
+    cell_kind: Optional[InterfaceKind] = None,
+    meter=None,
+    rrc=None,
 ):
-    """Construct a connection object for the named protocol."""
+    """Construct a connection object for the named protocol.
+
+    ``engine="fluid"`` expects :class:`~repro.net.path.NetworkPath`
+    arguments; ``engine="packet"`` expects
+    :class:`~repro.packet.link.PacketLink` ones (plus ``cell_kind``,
+    and optionally the runner-owned ``meter``/``rrc`` for eMPTCP).
+    """
     rng = rng or _random.Random(0)
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose one of {ENGINES}"
+        )
+    if engine == "packet":
+        return _build_packet_protocol(
+            protocol,
+            sim,
+            wifi_path,
+            cellular_path,
+            source,
+            profile,
+            config=config,
+            direction=direction,
+            cell_kind=cell_kind or InterfaceKind.LTE,
+            meter=meter,
+            rrc=rrc,
+        )
     if protocol == "tcp-wifi":
         return SinglePathTcp(sim, wifi_path, source, rng=rng)
     if protocol == "mptcp":
@@ -92,14 +135,56 @@ def build_protocol(
             config=config,
             rng=rng,
             eib=cached_eib(profile, cellular_path.interface.kind, direction),
+            direction=direction,
         )
     if protocol == "wifi-first":
         return WiFiFirstConnection(sim, wifi_path, cellular_path, source, rng=rng)
     if protocol == "mdp":
-        policy = mdp_policy_for(profile, cellular_path.interface.kind)
+        policy = mdp_policy_for(profile, cellular_path.interface.kind, direction)
         return MdpScheduledConnection(
             sim, wifi_path, cellular_path, source, policy, rng=rng
         )
     raise ConfigurationError(
         f"unknown protocol {protocol!r}; choose one of {PROTOCOLS}"
+    )
+
+
+def _build_packet_protocol(
+    protocol: str,
+    sim: Simulator,
+    wifi_link,
+    cellular_link,
+    source: ByteSource,
+    profile: DeviceProfile,
+    config: Optional[EMPTCPConfig],
+    direction: Direction,
+    cell_kind: InterfaceKind,
+    meter,
+    rrc,
+):
+    from repro.packet.emptcp import PacketEmptcp
+    from repro.packet.mptcp import PacketMptcpConnection, single_path_connection
+
+    if protocol == "emptcp":
+        return PacketEmptcp(
+            sim,
+            wifi_link,
+            cellular_link,
+            source,
+            profile=profile,
+            config=config,
+            cell_kind=cell_kind,
+            meter=meter,
+            direction=direction,
+            rrc=rrc,
+        )
+    if protocol == "mptcp":
+        return PacketMptcpConnection(
+            sim, [wifi_link, cellular_link], source, name="pmptcp"
+        )
+    if protocol == "tcp-wifi":
+        return single_path_connection(sim, wifi_link, source)
+    raise ConfigurationError(
+        f"protocol {protocol!r} is not available on the packet engine; "
+        f"choose one of {PACKET_PROTOCOLS}"
     )

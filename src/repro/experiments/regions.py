@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.eib import EibEntry, cached_eib
 from repro.energy.device import GALAXY_S3, DeviceProfile
 from repro.energy.efficiency import efficiency_heatmap, region_boundaries
+from repro.energy.power import Direction
 from repro.net.interface import InterfaceKind
 from repro.units import mib
 
@@ -35,9 +36,15 @@ FIGURE4_SIZES = {"1MB": mib(1), "4MB": mib(4), "16MB": mib(16)}
 def table2_rows(
     profile: DeviceProfile = GALAXY_S3,
     lte_rows: Sequence[float] = TABLE2_LTE_ROWS,
+    direction: Direction = Direction.DOWN,
 ) -> List[EibEntry]:
-    """Table 2: EIB thresholds for the requested LTE throughputs."""
-    eib = cached_eib(profile, InterfaceKind.LTE)
+    """Table 2: EIB thresholds for the requested LTE throughputs.
+
+    The published table is the download direction; pass
+    ``direction=Direction.UP`` for the upload variant's (steeper
+    transmit slope) thresholds.
+    """
+    eib = cached_eib(profile, InterfaceKind.LTE, direction)
     return eib.table_rows(lte_rows)
 
 

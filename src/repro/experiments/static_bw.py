@@ -58,6 +58,7 @@ def static_specs(
     download_bytes: float = DEFAULT_DOWNLOAD,
     protocols: Sequence[str] = PROTOCOLS,
     lte_mbps: float = LAB_LTE_MBPS,
+    engine: str = "fluid",
 ) -> List[RunSpec]:
     """Declarative specs for Figures 5/6 (protocol-major, seed-minor)."""
     kwargs = {
@@ -66,7 +67,13 @@ def static_specs(
         "lte_mbps": lte_mbps,
     }
     return [
-        RunSpec(protocol=protocol, builder="static", kwargs=dict(kwargs), seed=seed)
+        RunSpec(
+            protocol=protocol,
+            builder="static",
+            kwargs=dict(kwargs),
+            seed=seed,
+            engine=engine,
+        )
         for protocol in protocols
         for seed in range(runs)
     ]
@@ -77,10 +84,15 @@ def run_static(
     runs: int = 5,
     download_bytes: float = DEFAULT_DOWNLOAD,
     protocols: Sequence[str] = PROTOCOLS,
+    engine: str = "fluid",
 ) -> Dict[str, List[RunResult]]:
     """Figures 5/6: ``runs`` repetitions per protocol, through the
     execution runtime (parallel/cached under ``use_runtime``)."""
     specs = static_specs(
-        good_wifi, runs=runs, download_bytes=download_bytes, protocols=protocols
+        good_wifi,
+        runs=runs,
+        download_bytes=download_bytes,
+        protocols=protocols,
+        engine=engine,
     )
     return group_results(specs, run_specs(specs))

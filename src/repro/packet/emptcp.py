@@ -1,31 +1,40 @@
-"""eMPTCP over the packet engine.
+"""eMPTCP over the packet engine — a thin data-plane adapter.
 
-The control-plane components of the reproduction — the Holt-Winters
-:class:`~repro.core.predictor.BandwidthPredictor`, the
-:class:`~repro.core.eib.EnergyInformationBase`, and the hysteresis
-:class:`~repro.core.controller.PathUsageController` — are engine-
-agnostic: they consume throughput samples and emit path decisions.
-This module drives them from segment-level subflows, with a compact
-delayed-establishment gate (κ bytes / τ timer / efficiency veto, the
-§3.5 logic), demonstrating that the paper's contribution works
-unchanged on a high-fidelity transport.
+All policy (the Holt-Winters predictor, EIB consultation, the
+hysteresis path-usage controller, and §3.5 delayed establishment)
+lives in the shared :class:`~repro.control.plane.ControlPlane`; this
+module only implements the
+:class:`~repro.control.port.DataPlanePort` over segment-level
+subflows: :class:`_PacketSubflowView` presents each
+:class:`~repro.packet.tcp.PacketTcpConnection` with the fluid
+subflow's vocabulary (``bytes_delivered``, ``suspended``,
+``sending``, ``handshake_rtt``), so the same
+:class:`~repro.core.sampler.ThroughputSampler` drives the predictor
+on both engines.
 
 Energy is metered exactly as in the fluid runner: a periodic rate
 probe reports each interface's delivered rate to the
 :class:`~repro.energy.meter.EnergyMeter`, and the cellular RRC machine
-is fed activity so promotion/tail costs accrue.
+is fed activity so promotion/tail costs accrue.  When the experiment
+runner owns the meter and RRC machine (``rrc=`` passed), the adapter
+skips that wiring and only reports rates/activity.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro import obs as _obs
+from repro.control.delay import DelayedEstablishment
+from repro.control.plane import ControlPlane
+from repro.control.port import DeliveryListener
 from repro.core.config import EMPTCPConfig
 from repro.core.controller import PathDecision, PathUsageController
-from repro.core.eib import cached_eib
+from repro.core.eib import EnergyInformationBase
 from repro.core.predictor import BandwidthPredictor
 from repro.energy.device import GALAXY_S3, DeviceProfile
 from repro.energy.meter import EnergyMeter
+from repro.energy.power import Direction
 from repro.energy.rrc import RrcMachine
 from repro.errors import ConfigurationError
 from repro.net.interface import InterfaceKind
@@ -33,8 +42,59 @@ from repro.packet.link import PacketLink
 from repro.packet.mptcp import PacketMptcpConnection
 from repro.packet.tcp import PacketTcpConnection
 from repro.sim.engine import Simulator
-from repro.sim.process import PeriodicProcess, Timer
-from repro.tcp.connection import ByteSource
+from repro.sim.process import PeriodicProcess
+
+
+class _PacketSubflowView:
+    """A :class:`~repro.control.port.SubflowLike` face over one packet
+    subflow, crediting only unique DSN bytes (reinjected duplicates are
+    excluded, keeping per-subflow byte conservation exact)."""
+
+    def __init__(
+        self,
+        mptcp: PacketMptcpConnection,
+        index: int,
+        kind: InterfaceKind,
+        link: PacketLink,
+    ):
+        self._mptcp = mptcp
+        self._index = index
+        self._kind = kind
+        self.name = mptcp.subflows[index].name
+        self._handshake_rtt = 2.0 * link.one_way_delay
+        self.suspend_count = 0
+        self.resume_count = 0
+
+    @property
+    def raw(self) -> PacketTcpConnection:
+        """The underlying packet subflow."""
+        return self._mptcp.subflows[self._index]
+
+    @property
+    def interface_kind(self) -> InterfaceKind:
+        return self._kind
+
+    @property
+    def established(self) -> bool:
+        # Packet subflows carry data as soon as they are started; the
+        # handshake is folded into the link's first RTT.
+        return True
+
+    @property
+    def suspended(self) -> bool:
+        return self.raw.paused
+
+    @property
+    def sending(self) -> bool:
+        return self.raw.flight_size > 0
+
+    @property
+    def bytes_delivered(self) -> float:
+        return self._mptcp.subflow_delivered[self._index]
+
+    @property
+    def handshake_rtt(self) -> Optional[float]:
+        return self._handshake_rtt
 
 
 class PacketEmptcp:
@@ -45,12 +105,15 @@ class PacketEmptcp:
         sim: Simulator,
         wifi_link: PacketLink,
         cellular_link: PacketLink,
-        source: ByteSource,
+        source,
         profile: DeviceProfile = GALAXY_S3,
         config: Optional[EMPTCPConfig] = None,
         cell_kind: InterfaceKind = InterfaceKind.LTE,
         meter: Optional[EnergyMeter] = None,
         probe_interval: float = 0.25,
+        direction: Direction = Direction.DOWN,
+        rrc: Optional[RrcMachine] = None,
+        eib: Optional[EnergyInformationBase] = None,
         name: str = "pemptcp",
     ):
         if not cell_kind.is_cellular:
@@ -60,58 +123,79 @@ class PacketEmptcp:
         self.profile = profile
         self.cell_kind = cell_kind
         self.cellular_link = cellular_link
+        self.direction = direction
         self.name = name
 
         self.mptcp = PacketMptcpConnection(sim, [wifi_link], source, name=name)
-        self.wifi_subflow = self.mptcp.subflows[0]
-        self.cell_subflow: Optional[PacketTcpConnection] = None
-
-        self.predictor = BandwidthPredictor(sim, self.config)
-        self.controller = PathUsageController(
-            self.config,
-            cached_eib(profile, cell_kind),
-            self.predictor,
-            cell_kind=cell_kind,
-            initial=PathDecision.WIFI_ONLY,
-        )
-        self.cell_established_at: Optional[float] = None
+        self._views: Dict[InterfaceKind, Optional[_PacketSubflowView]] = {
+            InterfaceKind.WIFI: _PacketSubflowView(
+                self.mptcp, 0, InterfaceKind.WIFI, wifi_link
+            ),
+            cell_kind: None,
+        }
         self.suspend_count = 0
 
-        # Energy wiring.
-        self.meter = meter or EnergyMeter(sim, profile)
-        self.rrc = RrcMachine(sim, profile.rrc[cell_kind])
-        self.rrc.on_state_change(
-            lambda _t, state: self.meter.set_rrc_state(cell_kind, state)
+        self.control = ControlPlane(
+            sim,
+            port=self,
+            config=self.config,
+            profile=profile,
+            cell_kind=cell_kind,
+            direction=direction,
+            eib=eib,
         )
-        self.meter.add_one_shot(profile.wifi_activation_j)
 
-        self._last_bytes: Dict[InterfaceKind, float] = {
+        # Energy wiring.  When the caller (the unified experiment
+        # runner) owns the RRC machine, it has already wired state
+        # changes into the meter and charged the WiFi activation shot;
+        # the adapter then only reports rates and activity.
+        self.meter = meter or EnergyMeter(sim, profile, direction=direction)
+        self._owns_rrc = rrc is None
+        self.rrc = rrc or RrcMachine(sim, profile.rrc[cell_kind])
+        if self._owns_rrc:
+            self.rrc.on_state_change(
+                lambda _t, state: self.meter.set_rrc_state(cell_kind, state)
+            )
+            self.meter.add_one_shot(profile.wifi_activation_j)
+
+        self._delivery_listeners: List[DeliveryListener] = []
+        self._delivery_cursor: Dict[InterfaceKind, float] = {
             InterfaceKind.WIFI: 0.0,
             cell_kind: 0.0,
         }
+        self._energy_cursor: Dict[InterfaceKind, float] = {
+            InterfaceKind.WIFI: 0.0,
+            cell_kind: 0.0,
+        }
+        self._last_delivery = 0.0
         self._probe = PeriodicProcess(sim, probe_interval, self._probe_tick)
-        self._decisions = PeriodicProcess(
-            sim, self.config.decision_interval, self._control_tick
-        )
-        self._tau = Timer(sim, self._tau_expired)
+        self._trace = _obs.tracer_or_none()
+        self.mptcp.on_complete(lambda _c: self.control.stop())
 
     # ------------------------------------------------------------------
     # lifecycle
 
     def open(self) -> None:
         """Open the WiFi subflow; arm the τ timer; start probing."""
+        self._last_delivery = self.sim.now
         self.mptcp.open()
         self._probe.start()
-        self._tau.start(self.config.tau_seconds)
+        wifi_view = self._views[InterfaceKind.WIFI]
+        assert wifi_view is not None
+        self.control.subflow_established(wifi_view)
+        self.control.start()
 
     def close(self) -> None:
         """Stop everything (tails may still drain in the meter)."""
         self._probe.stop()
-        self._decisions.stop()
-        self._tau.cancel()
+        self.control.stop()
         self.mptcp.close()
         self.meter.set_rate(InterfaceKind.WIFI, 0.0)
         self.meter.set_rate(self.cell_kind, 0.0)
+
+    def on_complete(self, listener) -> None:
+        """Subscribe to transfer completion."""
+        self.mptcp.on_complete(lambda _mp: listener(self))
 
     @property
     def completed_at(self) -> Optional[float]:
@@ -123,103 +207,160 @@ class PacketEmptcp:
         """In-order bytes delivered."""
         return self.mptcp.bytes_received
 
-    # ------------------------------------------------------------------
-    # sampling + energy probe
-
-    def _probe_tick(self) -> None:
-        interval = self._probe.interval
-        for kind, subflow in self._subflows_by_kind().items():
-            if subflow is None:
-                continue
-            delivered = subflow.bytes_acked_total
-            rate = (delivered - self._last_bytes[kind]) / interval
-            self._last_bytes[kind] = delivered
-            self.meter.set_rate(kind, max(0.0, rate))
-            if kind.is_cellular and rate > 0:
-                self.rrc.on_activity(self.sim.now)
-            if subflow.paused:
-                continue  # deactivated interfaces keep old samples (§3.2)
-            if rate <= 0 and subflow.flight_size <= 0:
-                continue  # app-limited idle window
-            self.predictor.observe(kind, rate)
-        # κ trigger (§3.5): once κ bytes arrived over WiFi, evaluate
-        # establishment on every probe until the veto clears.
-        if (
-            self.cell_subflow is None
-            and self.completed_at is None
-            and self.wifi_subflow.bytes_acked_total >= self.config.kappa_bytes
-            and not self._establishment_vetoed()
-        ):
-            self._tau.cancel()
-            self._establish_cellular()
-
-    def _subflows_by_kind(self) -> Dict[InterfaceKind, Optional[PacketTcpConnection]]:
+    def bytes_by_kind(self) -> Dict[InterfaceKind, float]:
+        """Unique delivered bytes per interface (for tracing)."""
         return {
-            InterfaceKind.WIFI: self.wifi_subflow,
-            self.cell_kind: self.cell_subflow,
+            kind: (view.bytes_delivered if view is not None else 0.0)
+            for kind, view in self._views.items()
         }
 
     # ------------------------------------------------------------------
-    # delayed establishment (§3.5, compact form)
+    # DataPlanePort implementation (what the control plane drives)
 
-    def _tau_expired(self) -> None:
-        if self.cell_subflow is not None or self.completed_at is not None:
-            return
-        if self._establishment_vetoed():
-            self._tau.start(self.config.tau_seconds)
-            return
-        self._establish_cellular()
+    def subflow(self, kind: InterfaceKind) -> Optional[_PacketSubflowView]:
+        """Port: the subflow view over ``kind``, if joined."""
+        return self._views.get(kind)
 
-    def _establishment_vetoed(self) -> bool:
-        phi = max(1, self.config.required_samples // 2)
-        if self.predictor.sample_count(InterfaceKind.WIFI) < phi:
-            return True
-        wifi = self.predictor.predict_mbps(InterfaceKind.WIFI)
-        cell = self.predictor.predict_mbps(self.cell_kind)
-        _cell_thr, wifi_thr = self.controller.eib.thresholds(cell)
-        return wifi >= wifi_thr
-
-    def _establish_cellular(self) -> None:
-        self.cell_established_at = self.sim.now
+    def join_cellular(self) -> _PacketSubflowView:
+        """Port: establish the cellular subflow (§3.5 commit)."""
         self.rrc.on_activity(self.sim.now)  # promotion begins
-        self.cell_subflow = self.mptcp.add_subflow(self.cellular_link)
-        self.controller.current = PathDecision.BOTH
-        self._decisions.start()
+        self.mptcp.add_subflow(self.cellular_link)
+        view = _PacketSubflowView(
+            self.mptcp,
+            len(self.mptcp.subflows) - 1,
+            self.cell_kind,
+            self.cellular_link,
+        )
+        self._views[self.cell_kind] = view
+        self.control.subflow_established(view)
+        return view
+
+    def set_subflow_usage(self, kind: InterfaceKind, in_use: bool) -> None:
+        """Port: pause/resume the ``kind`` subflow (the packet engine's
+        MP_PRIO equivalent)."""
+        view = self._views.get(kind)
+        if view is None:
+            return
+        conn = view.raw
+        if in_use and conn.paused:
+            if kind.is_cellular:
+                self.rrc.on_activity(self.sim.now)
+            conn.resume()
+            view.resume_count += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "subflow.resume",
+                    t=self.sim.now,
+                    subflow=view.name,
+                    interface=kind.value,
+                )
+        elif not in_use and not conn.paused:
+            conn.pause()
+            view.suspend_count += 1
+            if kind.is_cellular:
+                self.suspend_count += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "subflow.suspend",
+                    t=self.sim.now,
+                    subflow=view.name,
+                    interface=kind.value,
+                )
+
+    def on_delivery(self, listener: DeliveryListener) -> None:
+        """Port: delivery events as (interface kind, bytes); reported
+        at probe granularity."""
+        self._delivery_listeners.append(listener)
+
+    @property
+    def is_idle(self) -> bool:
+        """Port: nothing in flight and no delivery for over a probe
+        period (the §3.5 idle veto)."""
+        for view in self._views.values():
+            if view is not None and view.raw.flight_size > 0:
+                return False
+        threshold = max(self._probe.interval, 0.05)
+        return self.sim.now - self._last_delivery > threshold
+
+    @property
+    def source_exhausted(self) -> bool:
+        """Port: the application queued no further bytes."""
+        return self.mptcp.source.exhausted
+
+    @property
+    def completed(self) -> bool:
+        """Port: the transfer has finished."""
+        return self.mptcp.completed_at is not None
 
     # ------------------------------------------------------------------
-    # path usage control
+    # energy + delivery probe
 
-    def _control_tick(self) -> None:
-        if self.completed_at is not None:
-            self._decisions.stop()
-            return
-        # κ check rides on the decision cadence: bytes over WiFi.
-        if (
-            self.predictor.sample_count(self.cell_kind)
-            < self.config.required_samples
-        ):
-            decision = PathDecision.BOTH
-            self.controller.current = decision
-        else:
-            decision = self.controller.decide(now=self.sim.now)
-        self._apply(decision)
+    def _probe_tick(self) -> None:
+        interval = self._probe.interval
+        for kind, view in self._views.items():
+            if view is None:
+                continue
+            # Energy sees the raw delivered rate (duplicates included —
+            # the radio transmitted them either way).
+            acked = view.raw.bytes_acked_total
+            rate = (acked - self._energy_cursor[kind]) / interval
+            self._energy_cursor[kind] = acked
+            self.meter.set_rate(kind, max(0.0, rate))
+            if kind.is_cellular and rate > 0:
+                self.rrc.on_activity(self.sim.now)
+            # The control plane sees unique DSN bytes (drives κ).
+            delivered = view.bytes_delivered
+            delta = delivered - self._delivery_cursor[kind]
+            self._delivery_cursor[kind] = delivered
+            if delta > 0:
+                self._last_delivery = self.sim.now
+                for listener in list(self._delivery_listeners):
+                    listener(kind, delta)
 
-    def _apply(self, decision: PathDecision) -> None:
-        cell = self.cell_subflow
-        if cell is None:
-            return
-        want_cell = decision in (PathDecision.BOTH, PathDecision.CELLULAR_ONLY)
-        want_wifi = decision in (PathDecision.BOTH, PathDecision.WIFI_ONLY)
-        if want_cell and cell.paused:
-            self.rrc.on_activity(self.sim.now)
-            cell.resume()
-        elif not want_cell and not cell.paused:
-            self.suspend_count += 1
-            cell.pause()
-        if want_wifi and self.wifi_subflow.paused:
-            self.wifi_subflow.resume()
-        elif not want_wifi and not self.wifi_subflow.paused:
-            self.wifi_subflow.pause()
+    # ------------------------------------------------------------------
+    # views (delegating to the control plane / MPTCP connection)
+
+    @property
+    def predictor(self) -> BandwidthPredictor:
+        """The §3.2 bandwidth predictor."""
+        return self.control.predictor
+
+    @property
+    def controller(self) -> PathUsageController:
+        """The §3.4 path-usage controller."""
+        return self.control.controller
+
+    @property
+    def delayed(self) -> DelayedEstablishment:
+        """The §3.5 delayed-establishment module."""
+        return self.control.delayed
+
+    @property
+    def eib(self) -> EnergyInformationBase:
+        """The §3.3 energy information base consulted for decisions."""
+        return self.control.eib
+
+    @property
+    def decision(self) -> PathDecision:
+        """The controller's current decision."""
+        return self.control.decision
+
+    @property
+    def cell_established_at(self) -> Optional[float]:
+        """When the cellular subflow was joined (None if never)."""
+        return self.control.delayed.established_at
+
+    @property
+    def wifi_subflow(self) -> PacketTcpConnection:
+        """The raw WiFi packet subflow."""
+        return self.mptcp.subflows[0]
+
+    @property
+    def cell_subflow(self) -> Optional[PacketTcpConnection]:
+        """The raw cellular packet subflow (None until established)."""
+        view = self._views.get(self.cell_kind)
+        return view.raw if view is not None else None
+
 
 def run_packet_protocol(
     protocol: str,
@@ -237,6 +378,7 @@ def run_packet_protocol(
     import random as _random
 
     from repro.net.bandwidth import ConstantCapacity
+    from repro.packet.mptcp import PacketMptcpConnection as _Mptcp
     from repro.tcp.connection import FiniteSource
     from repro.units import mbps_to_bytes_per_sec
 
@@ -265,7 +407,7 @@ def run_packet_protocol(
         conn.open()
     elif protocol in ("mptcp", "tcp-wifi"):
         links = [wifi_link] if protocol == "tcp-wifi" else [wifi_link, cell_link]
-        conn = PacketMptcpConnection(sim, links, source)
+        conn = _Mptcp(sim, links, source)
         rrc = RrcMachine(sim, profile.rrc[InterfaceKind.LTE])
         rrc.on_state_change(
             lambda _t, s: meter.set_rrc_state(InterfaceKind.LTE, s)

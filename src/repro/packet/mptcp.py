@@ -13,7 +13,7 @@ utilization formula, reproduced here for validation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.packet.link import PacketLink
@@ -29,17 +29,30 @@ class DsnReassembly:
         self.dsn_next = 0.0
         self._ooo: Dict[float, float] = {}  # start -> size
         self.buffered_bytes = 0.0
+        #: Unique bytes the most recent :meth:`on_data` call absorbed
+        #: (0 for duplicates/reinjections).  Summed per subflow this is
+        #: exactly conservative: every DSN byte is credited once, to
+        #: whichever subflow landed it first.
+        self.last_accepted = 0.0
 
     def on_data(self, dsn: float, size: float) -> float:
         """Absorb one delivered chunk; return bytes newly in order."""
         if dsn + size <= self.dsn_next:
+            self.last_accepted = 0.0
             return 0.0  # duplicate
         before = self.dsn_next
         if dsn > self.dsn_next:
             if dsn not in self._ooo:
                 self._ooo[dsn] = size
                 self.buffered_bytes += size
+                self.last_accepted = size
+            else:
+                self.last_accepted = 0.0
             return 0.0
+        # In-order (possibly straddling dsn_next): the newly accepted
+        # bytes are the head advance before any buffered chunks pop —
+        # those were credited when they first arrived out of order.
+        self.last_accepted = dsn + size - before
         self.dsn_next = max(self.dsn_next, dsn + size)
         while self.dsn_next in self._ooo:
             chunk = self._ooo.pop(self.dsn_next)
@@ -76,6 +89,13 @@ class PacketMptcpConnection:
         self._reinjected: set = set()
         self.reinjections = 0
         self.subflows: List[PacketTcpConnection] = []
+        #: Unique DSN bytes credited to each subflow (reinjected
+        #: duplicates count once, for whichever copy arrived first) —
+        #: sums exactly to ``bytes_delivered`` plus reassembly buffer.
+        self.subflow_delivered: List[float] = []
+        self._complete_listeners: List[
+            Callable[["PacketMptcpConnection"], None]
+        ] = []
         self._opened = False
         for link in links:
             self.add_subflow(link)
@@ -90,10 +110,13 @@ class PacketMptcpConnection:
             self.sim,
             link,
             assigner=lambda max_bytes, idx=index: self._assign(max_bytes, idx),
-            deliver=self._on_subflow_delivery,
+            deliver=lambda dsn, size, idx=index: self._on_subflow_delivery(
+                dsn, size, idx
+            ),
             name=f"{self.name}/sf{index}",
         )
         self.subflows.append(subflow)
+        self.subflow_delivered.append(0.0)
         if self._opened:
             subflow.start()
         return subflow
@@ -151,10 +174,13 @@ class PacketMptcpConnection:
         self.reinjections += 1
         return (head, size)
 
-    def _on_subflow_delivery(self, dsn: float, size: float) -> None:
+    def _on_subflow_delivery(
+        self, dsn: float, size: float, subflow_idx: int = 0
+    ) -> None:
         self._outstanding.pop(dsn, None)
         self._reinjected.discard(dsn)
         in_order = self._reassembly.on_data(dsn, size)
+        self.subflow_delivered[subflow_idx] += self._reassembly.last_accepted
         if in_order > 0:
             self.bytes_delivered += in_order
             # The advancing receive window may unblock other subflows.
@@ -167,6 +193,15 @@ class PacketMptcpConnection:
             and self._reassembly.dsn_next >= self._dsn_next_assign - 1e-6
         ):
             self.completed_at = self.sim.now
+            for listener in list(self._complete_listeners):
+                listener(self)
+
+    def on_complete(
+        self, listener: Callable[["PacketMptcpConnection"], None]
+    ) -> None:
+        """Subscribe to transfer completion (fires once, at the instant
+        the last in-order byte arrives)."""
+        self._complete_listeners.append(listener)
 
     # ------------------------------------------------------------------
 

@@ -26,7 +26,7 @@ from repro.errors import ConfigurationError
 
 #: Bump to invalidate every cached result after a change to the
 #: simulation code or the result schema.
-RUNTIME_SCHEMA_VERSION = 1
+RUNTIME_SCHEMA_VERSION = 2
 
 
 def code_salt() -> str:
@@ -105,7 +105,9 @@ def register_scenario_builder(
                     scenario.emptcp_config, **spec.config
                 ),
             )
-        return run_scenario(spec.protocol, scenario, seed=spec.seed)
+        return run_scenario(
+            spec.protocol, scenario, seed=spec.seed, engine=spec.engine
+        )
 
     _SCENARIO_FNS[name] = scenario_fn
     return register_builder(name, _execute, replace=replace)
@@ -171,6 +173,8 @@ class RunSpec:
     kwargs: Dict[str, Any] = field(default_factory=dict)
     seed: int = 0
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Transport engine: "fluid" (default) or "packet".
+    engine: str = "fluid"
 
     def __post_init__(self) -> None:
         try:
@@ -183,7 +187,8 @@ class RunSpec:
     @property
     def label(self) -> str:
         """Short human-readable identifier for logs and manifests."""
-        return f"{self.builder}/{self.protocol}#s{self.seed}"
+        suffix = "" if self.engine == "fluid" else f"@{self.engine}"
+        return f"{self.builder}/{self.protocol}#s{self.seed}{suffix}"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -193,6 +198,7 @@ class RunSpec:
             "kwargs": dict(self.kwargs),
             "seed": self.seed,
             "config": dict(self.config),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -204,6 +210,7 @@ class RunSpec:
                 kwargs=dict(data.get("kwargs", {})),
                 seed=data.get("seed", 0),
                 config=dict(data.get("config", {})),
+                engine=data.get("engine", "fluid"),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(f"malformed RunSpec data: {exc}") from exc
@@ -239,6 +246,7 @@ class ScenarioRef:
         protocol: str,
         seed: int = 0,
         config: Optional[Dict[str, Any]] = None,
+        engine: str = "fluid",
     ) -> RunSpec:
         """Instantiate a :class:`RunSpec` against this scenario."""
         return RunSpec(
@@ -247,6 +255,7 @@ class ScenarioRef:
             kwargs=dict(self.kwargs),
             seed=seed,
             config=dict(config or {}),
+            engine=engine,
         )
 
     def build(self) -> Any:

@@ -171,6 +171,32 @@ def test_malformed_jsonl_is_a_finding(tmp_path):
     assert rules(report) == ["CHK301"]
 
 
+def test_packet_engine_trace_passes_every_invariant():
+    """A real packet-engine run satisfies the CHK3xx rules end to end
+    (the adapter emits the same standard events as the fluid engine)."""
+    from repro import obs
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.static_bw import static_scenario
+    from repro.units import mib
+
+    with obs.capture(trace=True, metrics=False) as session:
+        run_scenario(
+            "emptcp",
+            static_scenario(False, download_bytes=mib(8)),
+            seed=0,
+            engine="packet",
+        )
+    events = session.tracer.events()
+    types = {e["type"] for e in events}
+    # Bad WiFi: the cellular subflow joins, so the full event surface
+    # (samples, decisions, checkpoints, RRC activity) is present.
+    assert {"predictor.sample", "controller.decision", "delay.trigger",
+            "subflow.checkpoint", "energy.checkpoint",
+            "rrc.transition"} <= types
+    report = check_events(events, path="packet-engine")
+    assert report.ok, report.format()
+
+
 def test_legal_rrc_edges_match_the_machine():
     # The edge set mirrors repro.energy.rrc.RrcMachine; a promotion
     # aborted back to idle is not a legal edge there either.

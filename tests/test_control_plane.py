@@ -1,0 +1,219 @@
+"""The extracted control plane across both data planes.
+
+Covers the refactor's cross-cutting guarantees: direction threading
+into the EIB (the upload regression), the MDP direction guard, the
+engine field on RunSpec, the CHK243 engine gate, and — the headline —
+fluid/packet parity: the same control-plane decision sequence on the
+same scenario, whichever engine carries the bytes.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.check.config import check_run_spec
+from repro.check.findings import Severity
+from repro.core.eib import cached_eib
+from repro.core.emptcp import EMPTCPConnection
+from repro.energy.device import GALAXY_S3
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError
+from repro.experiments.protocols import mdp_policy_for
+from repro.experiments.regions import table2_rows
+from repro.experiments.runner import run_scenario
+from repro.experiments.static_bw import static_scenario
+from repro.net.bandwidth import ConstantCapacity
+from repro.net.interface import InterfaceKind
+from repro.packet.emptcp import PacketEmptcp
+from repro.packet.link import PacketLink
+from repro.runtime.spec import RunSpec, _REGISTRY, register_builder
+from repro.sim.engine import Simulator
+from repro.tcp.connection import FiniteSource
+from repro.units import mbps_to_bytes_per_sec, mib
+
+from tests.helpers import make_path, rng
+
+
+def make_packet_emptcp(sim, direction=Direction.DOWN):
+    wifi = PacketLink(
+        sim,
+        ConstantCapacity(mbps_to_bytes_per_sec(12.0)),
+        one_way_delay=0.02,
+        rng=random.Random(1),
+        name="wifi",
+    )
+    lte = PacketLink(
+        sim,
+        ConstantCapacity(mbps_to_bytes_per_sec(10.0)),
+        one_way_delay=0.035,
+        rng=random.Random(2),
+        name="lte",
+    )
+    return PacketEmptcp(sim, wifi, lte, FiniteSource(mib(1)), direction=direction)
+
+
+# ---------------------------------------------------------------------------
+# direction threading (the upload-EIB regression)
+
+
+class TestDirectionThreading:
+    def test_fluid_upload_consults_the_upload_eib(self):
+        sim = Simulator()
+        wifi = make_path(sim, InterfaceKind.WIFI)
+        lte = make_path(sim, InterfaceKind.LTE)
+        conn = EMPTCPConnection(
+            sim, wifi, lte, FiniteSource(mib(1)), GALAXY_S3,
+            rng=rng(), direction=Direction.UP,
+        )
+        assert conn.eib is cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.UP)
+        assert conn.eib is not cached_eib(
+            GALAXY_S3, InterfaceKind.LTE, Direction.DOWN
+        )
+
+    def test_packet_upload_consults_the_upload_eib(self):
+        sim = Simulator()
+        conn = make_packet_emptcp(sim, direction=Direction.UP)
+        assert conn.eib is cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.UP)
+        assert conn.meter.direction is Direction.UP
+        assert conn.control.direction is Direction.UP
+
+    def test_upload_and_download_thresholds_differ(self):
+        # The transmit power slope is steeper, so the upload EIB cannot
+        # share the download table (the bug this guards against).
+        down = table2_rows(GALAXY_S3, lte_rows=(10.0,))
+        up = table2_rows(GALAXY_S3, lte_rows=(10.0,), direction=Direction.UP)
+        assert down[0] != up[0]
+
+
+class TestMdpDirectionGuard:
+    def test_upload_policy_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            mdp_policy_for(GALAXY_S3, InterfaceKind.LTE, direction=Direction.UP)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec.engine
+
+
+class TestRunSpecEngine:
+    def test_defaults_to_fluid_with_plain_label(self):
+        spec = RunSpec(protocol="emptcp", builder="static")
+        assert spec.engine == "fluid"
+        assert "@" not in spec.label
+
+    def test_packet_label_and_roundtrip(self):
+        spec = RunSpec(protocol="emptcp", builder="static", engine="packet")
+        assert spec.label.endswith("@packet")
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_legacy_dicts_decode_as_fluid(self):
+        data = RunSpec(protocol="emptcp", builder="static").to_dict()
+        del data["engine"]
+        assert RunSpec.from_dict(data).engine == "fluid"
+
+    def test_engine_is_part_of_the_cache_key(self):
+        fluid = RunSpec(protocol="emptcp", builder="static")
+        packet = RunSpec(protocol="emptcp", builder="static", engine="packet")
+        assert fluid.content_hash() != packet.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# CHK243: the engine gate
+
+
+def chk_rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestChk243:
+    def test_supported_packet_spec_passes(self):
+        spec = RunSpec(protocol="emptcp", builder="static", engine="packet")
+        assert check_run_spec(spec) == []
+
+    def test_unknown_engine_is_an_error(self):
+        spec = RunSpec(protocol="emptcp", builder="static", engine="ns3")
+        findings = check_run_spec(spec)
+        assert chk_rules(findings) == ["CHK243"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_protocol_without_packet_support_is_an_error(self):
+        spec = RunSpec(protocol="mdp", builder="static", engine="packet")
+        assert chk_rules(check_run_spec(spec)) == ["CHK243"]
+
+    def test_custom_builder_only_warns(self):
+        register_builder("ctl-test-custom", lambda spec: None, replace=True)
+        try:
+            spec = RunSpec(
+                protocol="emptcp", builder="ctl-test-custom", engine="packet"
+            )
+            findings = check_run_spec(spec)
+            assert chk_rules(findings) == ["CHK243"]
+            assert findings[0].severity is Severity.WARNING
+        finally:
+            _REGISTRY.pop("ctl-test-custom", None)
+
+    def test_interferer_scenario_rejected_on_build(self):
+        spec = RunSpec(
+            protocol="emptcp",
+            builder="background",
+            kwargs={"n_interferers": 2, "lambda_off": 0.05,
+                    "download_bytes": mib(1)},
+            engine="packet",
+        )
+        assert check_run_spec(spec) == []  # cheap gate cannot see it
+        findings = check_run_spec(spec, build=True)
+        assert "CHK243" in chk_rules(findings)
+
+
+# ---------------------------------------------------------------------------
+# fluid/packet parity: one control plane, identical decisions
+
+
+def traced_run(engine, good_wifi, size=mib(2)):
+    scenario = static_scenario(good_wifi, download_bytes=size)
+    with obs.capture(trace=True, metrics=False) as session:
+        result = run_scenario("emptcp", scenario, seed=0, engine=engine)
+    return result, session.tracer
+
+
+def dedup(values):
+    return [v for i, v in enumerate(values) if i == 0 or values[i - 1] != v]
+
+
+class TestEngineParity:
+    def test_bad_wifi_same_decision_sequence(self):
+        # 8 MiB: long enough past the τ=3 s join for φ cellular samples
+        # to accumulate, so §3.4 decide() actually runs on both engines.
+        runs = {
+            engine: traced_run(engine, good_wifi=False, size=mib(8))
+            for engine in ("fluid", "packet")
+        }
+        sequences = {}
+        for engine, (result, tracer) in runs.items():
+            established = [
+                e for e in tracer.events("delay.trigger")
+                if e["action"] == "established"
+            ]
+            # Bad WiFi moves < κ bytes in τ seconds: the τ timer fires
+            # at exactly 3 s on either engine.
+            assert len(established) == 1, engine
+            assert established[0]["trigger"] == "tau", engine
+            assert established[0]["t"] == pytest.approx(3.0, abs=0.3), engine
+            sequences[engine] = dedup(
+                [e["decision"] for e in tracer.events("controller.decision")]
+            )
+            assert result.download_time is not None, engine
+        assert sequences["fluid"], "decision loop never ran"
+        assert sequences["fluid"] == sequences["packet"]
+
+    def test_good_wifi_neither_engine_establishes(self):
+        for engine in ("fluid", "packet"):
+            result, tracer = traced_run(engine, good_wifi=True)
+            assert result.download_time is not None, engine
+            assert not [
+                e for e in tracer.events("delay.trigger")
+                if e["action"] == "established"
+            ], engine
+            # No cellular subflow, no decision loop: §3.4 never ran.
+            assert tracer.events("controller.decision") == [], engine

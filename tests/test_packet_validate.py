@@ -114,3 +114,26 @@ class TestDeprecationShim:
         assert shim.PathSpec is new.PathSpec
         assert shim.compare_single_path is new.compare_single_path
         assert sorted(shim.__all__) == shim.__all__
+
+
+class TestEngineAgreementGolden:
+    def test_agreement_report_matches_golden(self, test_data_dir):
+        """The unified-runner agreement table (what `repro.cli validate`
+        prints) against a checked-in golden: labels and verdict exact,
+        ratios within a drift band."""
+        import json
+
+        from repro.check.packet import run_engine_agreement
+
+        golden = json.loads(
+            (test_data_dir / "engine_agreement.golden.json").read_text()
+        )
+        report, comparisons = run_engine_agreement(
+            size_bytes=mib(golden["size_mib"])
+        )
+        assert report.ok is golden["ok"]
+        assert [c.label for c in comparisons] == [
+            g["label"] for g in golden["comparisons"]
+        ]
+        for c, g in zip(comparisons, golden["comparisons"]):
+            assert c.ratio == pytest.approx(g["ratio"], abs=0.15), c.label
