@@ -2,12 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: check trace-smoke packet-smoke
+test: check trace-smoke packet-smoke perf-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
 check:  ## static tiers: custom lint vs baseline + config verification
@@ -41,6 +41,19 @@ packet-smoke:  ## emptcp end-to-end on the packet engine, traced + cached
 	PYTHONPATH=src $(PY) -m repro.cli validate --size-mb 2 --no-progress
 	rm -rf .packet-smoke
 
+perf-smoke:  ## tiny bench record, self-compare (0 regressions), profiler table
+	rm -rf .perf-smoke && mkdir -p .perf-smoke
+	PYTHONPATH=src $(PY) -m repro.cli perf record --size-mb 2 --runs 2 \
+		--output .perf-smoke/bench.json 2> /dev/null
+	PYTHONPATH=src $(PY) -m repro.cli check perf .perf-smoke/bench.json
+	PYTHONPATH=src $(PY) -m repro.cli perf compare \
+		.perf-smoke/bench.json .perf-smoke/bench.json
+	PYTHONPATH=src $(PY) -m repro.cli perf profile emptcp good --size-mb 2
+	PYTHONPATH=src $(PY) -c "from repro.runtime.bench import \
+		format_overhead, profiling_overhead; \
+		print(format_overhead(profiling_overhead(4.0)))"
+	rm -rf .perf-smoke
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -61,5 +74,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

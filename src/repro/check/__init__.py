@@ -17,9 +17,12 @@ Three tiers, one vocabulary (:class:`Finding` / :class:`Report`):
   that replays a spec and diffs the traces (CHK4xx).
 
 :mod:`repro.check.packet` (CHK5xx) folds the fluid-vs-packet model
-validation into the same vocabulary.
+validation into the same vocabulary, and :mod:`repro.check.perf`
+(CHK6xx) verifies perf telemetry — bench/perf record schema and
+consistency, span-tree well-formedness, and parent/child time
+conservation.
 
-CLI: ``repro check <lint|config|trace|determinism|all>``; ``make
+CLI: ``repro check <lint|config|trace|determinism|perf|all>``; ``make
 check`` runs the static tiers.  Rule catalog: ``CHECKS.md``.
 """
 
@@ -52,6 +55,12 @@ from repro.check.findings import (
     merge_reports,
 )
 from repro.check.lint import lint_paths, lint_source
+from repro.check.perf import (
+    check_bench_doc,
+    check_perf_record,
+    check_perf_target,
+    check_spans,
+)
 from repro.check.traces import check_events, check_trace_file, check_traces
 
 __all__ = [
@@ -80,4 +89,8 @@ __all__ = [
     "check_trace_file",
     "check_traces",
     "check_determinism",
+    "check_bench_doc",
+    "check_perf_record",
+    "check_perf_target",
+    "check_spans",
 ]

@@ -16,6 +16,7 @@ values so the CLI stays interactive; pass paper-scale values to match
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -33,10 +34,16 @@ from repro.experiments import upload as upload_exp
 from repro.experiments import web as web_exp
 from repro.experiments import wild as wild_exp
 from repro.obs import ObsOptions, iter_trace_files, validate_trace_files
-from repro.obs.summarize import format_trace_summary, summarize_target
+from repro.obs.summarize import (
+    build_timeline,
+    format_timeline,
+    format_trace_summary,
+    summarize_target,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import use_runtime
 from repro.runtime.manifest import RunManifest, format_summary, summarize
+from repro.runtime.perf import PerfStore
 from repro.runtime.progress import auto_reporter
 from repro.units import mib
 
@@ -333,12 +340,15 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    # Validate the subcommand before touching the filesystem: a typo
+    # like `trace summarise` must list the choices, not complain about
+    # (or create state under) the default trace directory.
     sub = args.subcommand or "summarize"
-    target = Path(args.target) if args.target else Path(args.cache_dir) / "obs"
-    if sub not in ("summarize", "validate"):
-        print(f"unknown trace subcommand {sub!r}; choose summarize or validate",
-              file=sys.stderr)
+    if sub not in ("summarize", "validate", "timeline"):
+        print(f"unknown trace subcommand {sub!r}; choose summarize, "
+              f"validate, or timeline", file=sys.stderr)
         return 2
+    target = Path(args.target) if args.target else Path(args.cache_dir) / "obs"
     if not target.exists():
         print(f"error: no traces at {target} (run with --trace first, or pass "
               f"a trace file/directory)", file=sys.stderr)
@@ -350,6 +360,22 @@ def _cmd_trace(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(format_trace_summary(summary))
+        return 0
+    if sub == "timeline":
+        if target.is_dir():
+            files = list(iter_trace_files(target))
+            if len(files) != 1:
+                print(f"error: trace timeline needs one trace file; {target} "
+                      f"holds {len(files)} (pass the file explicitly)",
+                      file=sys.stderr)
+                return 2
+            target = files[0]
+        try:
+            entries = build_timeline(target)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_timeline(entries))
         return 0
     checked = len(list(iter_trace_files(target)))
     failures = validate_trace_files(target)
@@ -363,6 +389,127 @@ def _cmd_trace(args) -> int:
         return 1
     print(f"{checked} trace file(s) validate against the event schema")
     return 0
+
+
+def _perf_size_mb(args) -> float:
+    """Benchmarks default to a small transfer; the CLI-wide 32 MiB
+    default is sized for figure regeneration."""
+    return args.size_mb if args.size_mb != 32.0 else 4.0
+
+
+def _perf_profile(args) -> int:
+    """``repro perf profile <protocol> <scenario>`` — run one static
+    download under the span profiler and print the hot-path table."""
+    from repro import obs
+    from repro.check.perf import check_spans
+    from repro.experiments.protocols import PACKET_PROTOCOLS, PROTOCOLS
+    from repro.obs import format_span_table
+    from repro.runtime.spec import RunSpec
+
+    protocol = args.target or "emptcp"
+    wifi = args.extra[0] if args.extra else "good"
+    if wifi not in ("good", "bad"):
+        print(f"unknown WiFi quality {wifi!r}; choose good or bad",
+              file=sys.stderr)
+        return 2
+    known = PACKET_PROTOCOLS if args.engine == "packet" else PROTOCOLS
+    if protocol not in known:
+        print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
+              f"choose one of {', '.join(known)}", file=sys.stderr)
+        return 2
+    spec = RunSpec(
+        protocol=protocol,
+        builder="static",
+        kwargs={"good_wifi": wifi == "good",
+                "download_bytes": mib(_perf_size_mb(args))},
+        seed=0,
+        engine=args.engine,
+    )
+    with obs.capture(trace=False, metrics=False, profile=True) as session:
+        spec.execute()
+    profile = session.profiler.to_dict()
+    print(f"{spec.label} ({_perf_size_mb(args):g} MiB)")
+    print(format_span_table(profile))
+    report = check_spans(profile, where=spec.label)
+    if not report.ok:
+        print(report.format(), file=sys.stderr)
+        return 1
+    print(f"perf: OK ({report.checked} span path(s) verified)")
+    return 0
+
+
+def _perf_record(args) -> int:
+    from repro.check.perf import check_bench_doc
+    from repro.runtime import bench as bn
+
+    doc = bn.run_bench(
+        size_mb=_perf_size_mb(args),
+        repeats=args.runs,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(bn.format_bench_table(doc))
+    report = check_bench_doc(doc)
+    if not report.ok:
+        print(report.format(), file=sys.stderr)
+        return 1
+    if args.output:
+        path = Path(args.output)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    else:
+        path = bn.write_bench(doc, ".")
+    print(f"bench record written to {path}")
+    return 0
+
+
+def _perf_compare(args) -> int:
+    from repro.runtime import bench as bn
+
+    if not args.target or not args.extra:
+        print("usage: repro perf compare <baseline.json> <current.json>",
+              file=sys.stderr)
+        return 2
+    baseline = bn.read_bench(args.target)
+    current = bn.read_bench(args.extra[0])
+    comparison = bn.compare_bench(baseline, current, threshold=args.threshold)
+    print(bn.format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _perf_check(args) -> int:
+    """Re-run the bench suite and compare against a baseline record
+    (``--baseline``, or the newest ``BENCH_*.json`` at the repo root)."""
+    from repro.runtime import bench as bn
+
+    baseline_path = args.baseline or bn.latest_bench(".")
+    if baseline_path is None:
+        print("error: no baseline bench record; run `repro perf record` "
+              "first or pass --baseline", file=sys.stderr)
+        return 2
+    baseline = bn.read_bench(baseline_path)
+    doc = bn.run_bench(
+        size_mb=float(baseline.get("size_mb", _perf_size_mb(args))),
+        repeats=args.runs,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    comparison = bn.compare_bench(baseline, doc, threshold=args.threshold)
+    print(f"baseline: {baseline_path}")
+    print(bn.format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_perf(args) -> int:
+    sub = args.subcommand or "record"
+    handlers = {
+        "profile": _perf_profile,
+        "record": _perf_record,
+        "compare": _perf_compare,
+        "check": _perf_check,
+    }
+    if sub not in handlers:
+        print(f"unknown perf subcommand {sub!r}; choose profile, record, "
+              f"compare, or check", file=sys.stderr)
+        return 2
+    return handlers[sub](args)
 
 
 def _check_lint(args) -> int:
@@ -418,9 +565,9 @@ def _cmd_check(args) -> int:
     from repro import check as chk
 
     sub = args.subcommand or "all"
-    if sub not in ("lint", "config", "trace", "determinism", "all"):
+    if sub not in ("lint", "config", "trace", "determinism", "perf", "all"):
         print(f"unknown check subcommand {sub!r}; choose lint, config, trace, "
-              f"determinism, or all", file=sys.stderr)
+              f"determinism, perf, or all", file=sys.stderr)
         return 2
     status = 0
     if sub in ("lint", "all"):
@@ -444,6 +591,30 @@ def _cmd_check(args) -> int:
         report = chk.check_determinism(_check_determinism_spec(args))
         print(report.format())
         status = max(status, 0 if report.ok else 1)
+    if sub in ("perf", "all"):
+        if args.target and sub == "perf":
+            targets = [Path(args.target)]
+        else:
+            # Default sweep: bench records at the repo root plus span
+            # exports under the obs dir (skipped silently in `all`
+            # when neither exists yet).
+            obs_dir = Path(args.cache_dir) / "obs"
+            targets = sorted(Path(".").glob("BENCH_*.json"))
+            if obs_dir.is_dir():
+                targets += sorted(obs_dir.glob("*.spans.json"))
+        if not targets and sub == "perf":
+            print("error: no BENCH_*.json at the repo root and no "
+                  "*.spans.json under the obs dir; run `repro perf record` "
+                  "or pass a file/directory", file=sys.stderr)
+            return 2
+        if targets:
+            from repro.check.findings import merge_reports
+
+            report = merge_reports(
+                "perf", [chk.check_perf_target(t) for t in targets]
+            )
+            print(report.format())
+            status = max(status, 0 if report.ok else 1)
     return status
 
 
@@ -507,8 +678,9 @@ def _cmd_streaming(args) -> int:
 _COMMANDS = {
     "list": (_cmd_list, "list available experiments"),
     "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
-    "trace": (_cmd_trace, "summarize or validate exported run traces"),
-    "check": (_cmd_check, "static lint / config / trace-invariant checks"),
+    "trace": (_cmd_trace, "summarize, validate, or timeline exported run traces"),
+    "check": (_cmd_check, "static lint / config / trace / perf-invariant checks"),
+    "perf": (_cmd_perf, "profile hot paths; record/compare perf benchmarks"),
     "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet)"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
@@ -546,16 +718,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "subcommand", nargs="?", default=None,
         help="cache subcommand: stats (default) or clear; "
-             "trace subcommand: summarize (default) or validate; "
-             "check subcommand: lint, config, trace, determinism, "
-             "or all (default); run: the protocol (default emptcp)",
+             "trace subcommand: summarize (default), validate, or timeline; "
+             "check subcommand: lint, config, trace, determinism, perf, "
+             "or all (default); perf subcommand: profile, record (default), "
+             "compare, or check; run: the protocol (default emptcp)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
         help="trace file or directory (trace/check commands; "
              "default: <cache-dir>/obs), the path to lint "
-             "(check lint; default: src/repro), or the WiFi quality "
-             "good|bad (run command; default good)",
+             "(check lint; default: src/repro), the WiFi quality "
+             "good|bad (run command; default good), the protocol "
+             "(perf profile; default emptcp), or the baseline bench "
+             "record (perf compare)",
+    )
+    parser.add_argument(
+        "extra", nargs="*", default=[],
+        help="remaining positionals: the WiFi quality good|bad "
+             "(perf profile) or the current bench record (perf compare)",
     )
     parser.add_argument(
         "--engine", choices=("fluid", "packet"), default="fluid",
@@ -603,6 +783,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="per-run wall-clock limit in seconds (parallel runs)",
     )
     parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="events/sec drop treated as a regression "
+             "(perf compare/check; fraction, default 0.10)",
+    )
+    parser.add_argument(
         "--trace", action="store_true", default=False,
         help="capture a structured event trace per executed run "
              "(exported as <obs-dir>/<spec-hash>.trace.jsonl)",
@@ -611,6 +796,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics", action="store_true", default=False,
         help="capture counters/gauges/histograms per executed run "
              "(exported as <obs-dir>/<spec-hash>.metrics.json)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true", default=False,
+        help="capture a hierarchical span profile per executed run "
+             "(exported as <obs-dir>/<spec-hash>.spans.json)",
     )
     parser.add_argument(
         "--obs-dir", default=None,
@@ -657,8 +847,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs_dir = args.obs_dir or str(Path(cache_dir) / "obs")
     args.obs_dir = obs_dir
     obs_options = (
-        ObsOptions(dir=obs_dir, trace=args.trace, metrics=args.metrics)
-        if (args.trace or args.metrics)
+        ObsOptions(dir=obs_dir, trace=args.trace, metrics=args.metrics,
+                   profile=args.profile)
+        if (args.trace or args.metrics or args.profile)
         else None
     )
 
@@ -671,6 +862,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=auto_reporter(show_progress),
             timeout_s=args.timeout,
             obs=obs_options,
+            perf_store=PerfStore(Path(cache_dir) / "perf"),
         ):
             status = handler(args)
     except BrokenPipeError:  # piped into `head` etc.

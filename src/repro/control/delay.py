@@ -95,6 +95,7 @@ class DelayedEstablishment:
         self.trigger: Optional[str] = None
         self._timer = Timer(sim, self._timer_expired)
         self._trace = _obs.tracer_or_none()
+        self._prof = _obs.profiler_or_none()
 
     def start(self) -> None:
         """Arm the τ timer and begin watching WiFi deliveries."""
@@ -145,6 +146,14 @@ class DelayedEstablishment:
     def _evaluate(self, trigger: str) -> None:
         """Common gate: establish unless WiFi-only is predicted to be
         more energy-efficient than using both interfaces."""
+        prof = self._prof
+        if prof is not None:
+            with prof.span("control.delay.evaluate"):
+                self._evaluate_inner(trigger)
+        else:
+            self._evaluate_inner(trigger)
+
+    def _evaluate_inner(self, trigger: str) -> None:
         if self.done:
             return
         if self.predictor.sample_count(InterfaceKind.WIFI) < max(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs as _obs
 from repro.control.delay import DelayedEstablishment
 from repro.control.port import DataPlanePort, SubflowLike
 from repro.core.config import EMPTCPConfig
@@ -77,6 +78,7 @@ class ControlPlane:
         self._decision_loop = PeriodicProcess(
             sim, self.config.decision_interval, self._control_tick
         )
+        self._prof = _obs.profiler_or_none()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,6 +115,14 @@ class ControlPlane:
     # the §3.4 decision loop
 
     def _control_tick(self) -> None:
+        prof = self._prof
+        if prof is not None:
+            with prof.span("control.decision"):
+                self._control_tick_inner()
+        else:
+            self._control_tick_inner()
+
+    def _control_tick_inner(self) -> None:
         if self.port.completed:
             self._decision_loop.stop()
             return

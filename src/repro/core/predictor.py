@@ -39,6 +39,7 @@ class BandwidthPredictor:
         self._last_sample_time: Dict[InterfaceKind, float] = {}
         self._trace = _obs.tracer_or_none()
         self._metrics = _obs.metrics_or_none()
+        self._prof = _obs.profiler_or_none()
 
     # ------------------------------------------------------------------
     # wiring
@@ -57,6 +58,14 @@ class BandwidthPredictor:
 
     def observe(self, kind: InterfaceKind, rate_bytes_per_sec: float) -> None:
         """Feed one throughput sample for an interface (bytes/s)."""
+        prof = self._prof
+        if prof is not None:
+            with prof.span("predictor.observe"):
+                self._observe_inner(kind, rate_bytes_per_sec)
+        else:
+            self._observe_inner(kind, rate_bytes_per_sec)
+
+    def _observe_inner(self, kind: InterfaceKind, rate_bytes_per_sec: float) -> None:
         forecaster = self._forecasters.get(kind)
         if forecaster is None:
             forecaster = HoltWintersForecaster(

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import Profiler, SpanStats, format_span_table
 from repro.obs.trace import DEFAULT_RING_SIZE, Tracer, iter_trace_files, read_jsonl
 from repro.obs.events import (
     EVENT_SCHEMA,
@@ -54,12 +55,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Profiler",
+    "SpanStats",
+    "format_span_table",
     "ObsSession",
     "ObsOptions",
     "capture",
     "current",
     "tracer_or_none",
     "metrics_or_none",
+    "profiler_or_none",
     "EVENT_SCHEMA",
     "validate_event",
     "validate_events",
@@ -72,10 +77,11 @@ __all__ = [
 
 @dataclass
 class ObsSession:
-    """One active capture: a tracer and/or a metrics registry."""
+    """One active capture: a tracer, metrics registry, and/or profiler."""
 
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    profiler: Optional[Profiler] = None
 
 
 @dataclass(frozen=True)
@@ -91,17 +97,19 @@ class ObsOptions:
     dir: str
     trace: bool = True
     metrics: bool = False
+    profile: bool = False
     ring_size: int = DEFAULT_RING_SIZE
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics
+        return self.trace or self.metrics or self.profile
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "dir": self.dir,
             "trace": self.trace,
             "metrics": self.metrics,
+            "profile": self.profile,
             "ring_size": self.ring_size,
         }
 
@@ -111,6 +119,7 @@ class ObsOptions:
             dir=data["dir"],
             trace=bool(data.get("trace", True)),
             metrics=bool(data.get("metrics", False)),
+            profile=bool(data.get("profile", False)),
             ring_size=int(data.get("ring_size", DEFAULT_RING_SIZE)),
         )
 
@@ -139,10 +148,16 @@ def metrics_or_none() -> Optional[MetricsRegistry]:
     return _current.metrics if _current is not None else None
 
 
+def profiler_or_none() -> Optional[Profiler]:
+    """The active span profiler, or None when disabled."""
+    return _current.profiler if _current is not None else None
+
+
 @contextmanager
 def capture(
     trace: bool = True,
     metrics: bool = True,
+    profile: bool = False,
     ring_size: int = DEFAULT_RING_SIZE,
 ) -> Iterator[ObsSession]:
     """Activate observability for the dynamic extent of the block.
@@ -154,6 +169,7 @@ def capture(
     session = ObsSession(
         tracer=Tracer(ring_size) if trace else None,
         metrics=MetricsRegistry() if metrics else None,
+        profiler=Profiler() if profile else None,
     )
     previous = _current
     _current = session

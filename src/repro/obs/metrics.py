@@ -11,7 +11,7 @@ registry exports to a flat JSON-ready dict.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 class Counter:
@@ -43,13 +43,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count/sum/min/max/mean.
+    """Summary of observed values: count/sum/min/max/mean/percentiles.
 
-    Deliberately bucket-free: the traces keep the raw sequence, so the
-    registry only needs the cheap aggregates.
+    Deliberately bucket-free: values are kept verbatim (a simulation
+    run observes thousands of values, not millions) and percentiles
+    are computed on demand from the sorted sequence, so the perf
+    tables get exact p50/p90/p99 rather than bucket-boundary
+    approximations.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_values", "_sorted")
 
     def __init__(self, name: str):
         self.name = name
@@ -57,6 +60,8 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._values: List[float] = []
+        self._sorted = True
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -66,20 +71,43 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self._sorted and self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0–100, linear interpolation between
+        closest ranks); 0.0 for an empty histogram."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        rank = (p / 100.0) * (len(self._values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(self._values) - 1)
+        frac = rank - lo
+        return self._values[lo] * (1.0 - frac) + self._values[hi] * frac
+
     def summary(self) -> Dict[str, float]:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
         }
 
 

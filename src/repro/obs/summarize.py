@@ -6,10 +6,16 @@ about: how often the controller decided what (and how often it
 switched), what the predictor saw versus what it forecast, when the
 delayed-establishment triggers fired, how the MP_PRIO suspensions
 landed, and how long the cellular radio dwelt in each RRC state.
+
+Also home to the ``trace timeline`` view, which merges a run's trace
+events with the spans of its sibling ``*.spans.json`` profile (when
+the run was captured with ``--profile``) into one chronological,
+sim-time-ordered listing.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Union
 
@@ -97,12 +103,24 @@ def summarize_target(target: Union[str, Path]) -> Dict[str, Any]:
     files = list(iter_trace_files(target))
     all_events: List[Mapping[str, Any]] = []
     per_file: Dict[str, int] = {}
+    skipped: List[str] = []
     for path in files:
+        # A zero-byte trace means the exporting run died before its
+        # first flush; skip it with a warning instead of folding an
+        # empty stream (or, worse, crashing) into the aggregate.
+        try:
+            if path.stat().st_size == 0:
+                skipped.append(path.name)
+                continue
+        except OSError:
+            skipped.append(path.name)
+            continue
         events = read_jsonl(path)
         per_file[path.name] = len(events)
         all_events.extend(events)
     summary = summarize_events(all_events)
     summary["files"] = per_file
+    summary["skipped"] = skipped
     return summary
 
 
@@ -115,6 +133,8 @@ def format_trace_summary(summary: Mapping[str, Any]) -> str:
         + (f" across {nfiles} trace file(s)" if nfiles else "")
         + f", spanning {summary['span_s']:.1f}s of simulated time"
     )
+    for name in summary.get("skipped", []):
+        lines.append(f"warning: skipped empty trace file {name}")
     if summary["by_type"]:
         lines.append("event counts:")
         for etype, count in summary["by_type"].items():
@@ -148,4 +168,89 @@ def format_trace_summary(summary: Mapping[str, Any]) -> str:
         lines.append(f"RRC: {rrc['transitions']} transition(s); dwell {dwell}")
     if summary.get("final_energy_j") is not None:
         lines.append(f"final energy checkpoint: {summary['final_energy_j']:.2f} J")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace timeline: events + spans, chronologically
+
+
+def spans_path_for(trace_path: Union[str, Path]) -> Path:
+    """The sibling ``*.spans.json`` a profiled run exports next to its
+    ``*.trace.jsonl`` (same stem, same directory)."""
+    path = Path(trace_path)
+    name = path.name
+    if name.endswith(".trace.jsonl"):
+        name = name[: -len(".trace.jsonl")]
+    else:
+        name = path.stem
+    return path.with_name(f"{name}.spans.json")
+
+
+def build_timeline(trace_path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Merge one run's trace events with its profile spans, ordered by
+    simulated time.
+
+    Each entry is ``{"t", "kind", "label", "detail"}`` where ``kind``
+    is ``"event"`` or ``"span"``.  A span is placed at the sim time it
+    was *first* entered and its detail carries the aggregate (count,
+    cumulative wall/sim).  Runs captured without ``--profile`` simply
+    yield an events-only timeline.
+    """
+    entries: List[Dict[str, Any]] = []
+    for event in read_jsonl(trace_path):
+        t = event.get("t")
+        detail = ", ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("t", "type")
+        )
+        entries.append(
+            {
+                "t": float(t) if isinstance(t, (int, float)) else 0.0,
+                "kind": "event",
+                "label": str(event.get("type", "?")),
+                "detail": detail,
+            }
+        )
+    spans_file = spans_path_for(trace_path)
+    if spans_file.is_file():
+        try:
+            profile = json.loads(spans_file.read_text())
+        except ValueError:
+            profile = {}
+        for span in profile.get("spans", []):
+            entries.append(
+                {
+                    "t": float(span.get("first_sim_t") or 0.0),
+                    "kind": "span",
+                    "label": str(span.get("path", "?")),
+                    "detail": (
+                        f"count={span.get('count', 0)}, "
+                        f"cum wall={span.get('wall_s', 0.0) * 1e3:.2f}ms, "
+                        f"cum sim={span.get('sim_s', 0.0):.3f}s"
+                    ),
+                }
+            )
+    # Stable sort: ties keep events before the spans they triggered
+    # only by insertion order, which already lists events first.
+    entries.sort(key=lambda entry: entry["t"])
+    return entries
+
+
+def format_timeline(entries: List[Dict[str, Any]]) -> str:
+    """Human-readable rendering of :func:`build_timeline` output."""
+    if not entries:
+        return "empty timeline (no events, no spans)"
+    label_width = min(40, max(len(e["label"]) for e in entries))
+    lines = []
+    for entry in entries:
+        lines.append(
+            f"t={entry['t']:>10.3f}s  {entry['kind']:<5}  "
+            f"{entry['label']:<{label_width}}  {entry['detail']}"
+        )
+    n_spans = sum(1 for e in entries if e["kind"] == "span")
+    lines.append(
+        f"{len(entries) - n_spans} event(s), {n_spans} span path(s)"
+    )
     return "\n".join(lines)

@@ -9,7 +9,7 @@ MPTCP data-sequence layer with a finite connection-level receive buffer
 (real head-of-line blocking instead of the fluid model's utilization
 formula).
 
-Its purpose is validation: `repro.packet.validate` runs matched
+Its purpose is validation: :mod:`repro.check.packet` runs matched
 fluid/packet scenarios and checks that the macroscopic quantities the
 reproduction relies on (throughput, completion time, loss response)
 agree — and documents where they do not (reordering pathologies the

@@ -170,6 +170,7 @@ class PacketEmptcp:
         self._last_delivery = 0.0
         self._probe = PeriodicProcess(sim, probe_interval, self._probe_tick)
         self._trace = _obs.tracer_or_none()
+        self._prof = _obs.profiler_or_none()
         self.mptcp.on_complete(lambda _c: self.control.stop())
 
     # ------------------------------------------------------------------
@@ -296,6 +297,14 @@ class PacketEmptcp:
     # energy + delivery probe
 
     def _probe_tick(self) -> None:
+        prof = self._prof
+        if prof is not None:
+            with prof.span("packet.probe"):
+                self._probe_tick_inner()
+        else:
+            self._probe_tick_inner()
+
+    def _probe_tick_inner(self) -> None:
         interval = self._probe.interval
         for kind, view in self._views.items():
             if view is None:

@@ -11,6 +11,7 @@ import random as _random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError
 from repro.net.bandwidth import CapacityProcess
 from repro.sim.engine import Simulator
@@ -59,6 +60,7 @@ class PacketLink:
         self.loss_rate = loss_rate
         self.rng = rng or _random.Random(0)
         self.name = name
+        self._prof = _obs.profiler_or_none()
         self._busy_until = 0.0
         self._queued_bytes = 0.0
         self.delivered = 0
@@ -85,6 +87,17 @@ class PacketLink:
         ``deliver`` fires when the segment reaches the far end
         (after queueing + serialisation + propagation).
         """
+        prof = self._prof
+        if prof is not None:
+            with prof.span("packet.link.send"):
+                return self._send_inner(segment, deliver)
+        return self._send_inner(segment, deliver)
+
+    def _send_inner(
+        self,
+        segment: Segment,
+        deliver: Callable[[Segment], None],
+    ) -> bool:
         now = self.sim.now
         rate = self.capacity.rate
         if rate <= 0:
@@ -111,4 +124,11 @@ class PacketLink:
 
     def _delivered(self, segment: Segment, deliver: Callable[[Segment], None]) -> None:
         self.delivered += 1
-        deliver(segment)
+        prof = self._prof
+        if prof is not None:
+            # ``deliver`` runs the receive path end-to-end: ACK
+            # processing, reassembly, and window updates.
+            with prof.span("packet.link.deliver"):
+                deliver(segment)
+        else:
+            deliver(segment)

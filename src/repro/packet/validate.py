@@ -1,50 +1,14 @@
-"""Deprecated shim — the cross-model validation moved to
+"""Removed — the cross-model validation lives in
 :mod:`repro.check.packet`.
 
-The implementation now lives in the checker subsystem so packet-level
-validation shares the :class:`~repro.check.findings.Report` vocabulary
-with the lint/config/trace tiers.  This module re-exports the public
-names so existing imports keep working; new code should import from
-``repro.check.packet`` directly.
+This module spent one release as a deprecated re-export shim (with a
+``DeprecationWarning``); that grace period is over.  Importing it now
+fails fast with a pointer to the new home rather than silently keeping
+a second import path alive.
 """
 
-from __future__ import annotations
-
-import warnings
-
-from repro.check.packet import (  # noqa: F401  (re-exports)
-    AGREEMENT_TOLERANCE,
-    ModelComparison,
-    PathSpec,
-    agreement_report,
-    compare_onoff_single_path,
-    compare_single_path,
-    fluid_mptcp_time,
-    fluid_single_path_time,
-    hol_goodput_collapse,
-    packet_mptcp_time,
-    packet_single_path_time,
-    run_agreement_checks,
-)
-
-__all__ = [
-    "AGREEMENT_TOLERANCE",
-    "ModelComparison",
-    "PathSpec",
-    "agreement_report",
-    "compare_onoff_single_path",
-    "compare_single_path",
-    "fluid_mptcp_time",
-    "fluid_single_path_time",
-    "hol_goodput_collapse",
-    "packet_mptcp_time",
-    "packet_single_path_time",
-    "run_agreement_checks",
-]
-
-warnings.warn(
-    "repro.packet.validate moved to repro.check.packet; "
-    "update imports (this shim will be removed)",
-    DeprecationWarning,
-    stacklevel=2,
+raise ImportError(
+    "repro.packet.validate was removed: the fluid-vs-packet validation "
+    "moved to repro.check.packet — import from there instead "
+    "(e.g. `from repro.check.packet import run_agreement_checks`)"
 )

@@ -10,7 +10,10 @@ observable jobs:
 * :mod:`repro.runtime.cache` — a content-addressed on-disk result
   cache so re-running a report skips completed runs;
 * :mod:`repro.runtime.manifest` / :mod:`repro.runtime.progress` —
-  JSONL run manifests and live runs/sec + ETA reporting.
+  JSONL run manifests and live runs/sec + ETA reporting;
+* :mod:`repro.runtime.perf` / :mod:`repro.runtime.bench` — per-run
+  performance records, the content-addressed perf store, and the
+  ``repro perf record/compare`` benchmark suite.
 
 Typical use::
 
@@ -37,6 +40,7 @@ from repro.runtime.manifest import (
     format_summary,
     summarize,
 )
+from repro.runtime.perf import PerfMeter, PerfRecord, PerfStore
 from repro.runtime.progress import ProgressReporter, ProgressSnapshot
 from repro.runtime.spec import (
     BuilderEntry,
@@ -55,6 +59,9 @@ __all__ = [
     "CacheStats",
     "DEFAULT_CACHE_ROOT",
     "ManifestEntry",
+    "PerfMeter",
+    "PerfRecord",
+    "PerfStore",
     "ProgressReporter",
     "ProgressSnapshot",
     "ResultCache",

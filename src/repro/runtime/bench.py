@@ -1,0 +1,390 @@
+"""The perf benchmark suite (``repro perf record/compare/check``).
+
+A *bench record* pins the figure scenarios the paper's evaluation
+leans on — the §4.2 static-bandwidth downloads behind Figures 5
+(good WiFi) and 6 (bad WiFi) — on both transport engines, and
+measures each with the per-run telemetry of
+:mod:`repro.runtime.perf`.  The resulting ``BENCH_<timestamp>.json``
+at the repo root is the unit of cross-run regression analysis:
+``repro perf compare old.json new.json`` diffs two of them and fails
+(non-zero exit) on any events/sec drop beyond the threshold.
+
+Noise handling: every scenario is executed ``repeats`` times
+in-process and the *best* repeat (max events/sec) represents it —
+min-of-N wall time is the standard way to strip scheduler noise from
+a deterministic workload, and because the simulation is deterministic
+the repeats differ only in wall time, never in sim time or event
+count.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Histogram
+from repro.runtime.perf import PerfMeter, PerfRecord
+from repro.runtime.spec import RunSpec
+from repro.units import mib
+
+#: Bump when the BENCH_*.json layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: File-name prefix of bench records at the repo root.
+BENCH_PREFIX = "BENCH_"
+
+#: Default regression threshold: fail when events/sec drops by more
+#: than this fraction versus the baseline.
+DEFAULT_THRESHOLD = 0.10
+
+#: The benchmark scenarios: (scenario key, good_wifi flag).  The keys
+#: name the figures they back so a bench record reads like the paper.
+SCENARIOS: Tuple[Tuple[str, bool], ...] = (
+    ("fig05-static-good", True),
+    ("fig06-static-bad", False),
+)
+
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("emptcp",)
+DEFAULT_ENGINES: Tuple[str, ...] = ("fluid", "packet")
+
+
+def bench_specs(
+    size_mb: float = 4.0,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+) -> List[Tuple[str, RunSpec]]:
+    """The suite as ``(key, spec)`` pairs, deterministic order."""
+    pairs: List[Tuple[str, RunSpec]] = []
+    for scenario, good_wifi in SCENARIOS:
+        for protocol in protocols:
+            for engine in engines:
+                key = f"{scenario}/{protocol}@{engine}"
+                pairs.append(
+                    (
+                        key,
+                        RunSpec(
+                            protocol=protocol,
+                            builder="static",
+                            kwargs={
+                                "good_wifi": good_wifi,
+                                "download_bytes": mib(size_mb),
+                            },
+                            seed=0,
+                            engine=engine,
+                        ),
+                    )
+                )
+    return pairs
+
+
+def measure_spec(
+    spec: RunSpec, repeats: int = 3
+) -> Tuple[PerfRecord, Histogram]:
+    """Execute ``spec`` ``repeats`` times; return the best repeat's
+    record (max events/sec) plus the throughput distribution across
+    repeats (for the p50 noise column of the bench table)."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    best: Optional[PerfRecord] = None
+    dist = Histogram("events_per_sec")
+    for _ in range(repeats):
+        meter = PerfMeter(spec)
+        start = time.perf_counter()
+        spec.execute()
+        record = meter.finish(time.perf_counter() - start)
+        dist.observe(record.events_per_sec)
+        if best is None or record.events_per_sec > best.events_per_sec:
+            best = record
+    assert best is not None
+    return best, dist
+
+
+def run_bench(
+    size_mb: float = 4.0,
+    repeats: int = 3,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the suite; return a JSON-ready bench document."""
+    records: List[Dict[str, Any]] = []
+    for key, spec in bench_specs(size_mb, protocols, engines):
+        if progress is not None:
+            progress(f"bench {key} ({size_mb:g} MiB x {repeats})")
+        best, dist = measure_spec(spec, repeats)
+        entry = best.to_dict()
+        entry.update(
+            {
+                "key": key,
+                "repeats": repeats,
+                "size_mb": size_mb,
+                "events_per_sec_p50": dist.percentile(50),
+            }
+        )
+        records.append(entry)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "size_mb": size_mb,
+        "repeats": repeats,
+        "records": records,
+    }
+
+
+def write_bench(doc: Dict[str, Any], directory: Union[str, Path] = ".") -> Path:
+    """Write ``doc`` as ``BENCH_<timestamp>.json`` under ``directory``."""
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = Path(directory) / f"{BENCH_PREFIX}{stamp}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse a bench record, failing loudly on a non-bench file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read bench record: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(f"{path}: not JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "records" not in doc:
+        raise ConfigurationError(
+            f"{path}: not a bench record (no 'records' key)"
+        )
+    return doc
+
+
+def latest_bench(directory: Union[str, Path] = ".") -> Optional[Path]:
+    """The newest ``BENCH_*.json`` under ``directory`` (by timestamped
+    name, which sorts chronologically), or None."""
+    candidates = sorted(Path(directory).glob(f"{BENCH_PREFIX}*.json"))
+    return candidates[-1] if candidates else None
+
+
+def profiling_overhead(
+    size_mb: float = 4.0, repeats: int = 3, engine: str = "packet"
+) -> Dict[str, Any]:
+    """Measure the cost of the profiler on one static-bw emptcp run.
+
+    Two modes, min-of-``repeats`` each:
+
+    * *disabled* (twice, independently) — every instrumented component
+      carries only the ``is not None`` guard; the A/B delta bounds the
+      measurement noise, demonstrating that the guard's cost is not
+      distinguishable from run-to-run jitter (< a few percent);
+    * *enabled* — the same run inside ``obs.capture(profile=True)``,
+      showing what turning the profiler on actually costs.
+
+    The packet engine is the default subject: its per-segment dispatch
+    loop is the instrumented hot path and runs long enough (tens of
+    ms) for percentages to mean something; the fluid run finishes in
+    ~1 ms at this size and drowns in timer noise.
+    """
+    from repro import obs
+
+    spec = RunSpec(
+        protocol="emptcp",
+        builder="static",
+        kwargs={"good_wifi": True, "download_bytes": mib(size_mb)},
+        seed=0,
+        engine=engine,
+    )
+
+    def min_wall(profile: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            if profile:
+                with obs.capture(trace=False, metrics=False, profile=True):
+                    start = time.perf_counter()
+                    spec.execute()
+                    wall = time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                spec.execute()
+                wall = time.perf_counter() - start
+            best = min(best, wall)
+        return best
+
+    off_a = min_wall(False)
+    off_b = min_wall(False)
+    on = min_wall(True)
+    return {
+        "engine": engine,
+        "size_mb": size_mb,
+        "repeats": repeats,
+        "disabled_a_s": off_a,
+        "disabled_b_s": off_b,
+        "disabled_delta": abs(off_b - off_a) / off_a if off_a > 0 else 0.0,
+        "enabled_s": on,
+        "enabled_overhead": (on - off_a) / off_a if off_a > 0 else 0.0,
+    }
+
+
+def format_overhead(measure: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`profiling_overhead`."""
+    return "\n".join(
+        [
+            f"profiler overhead on {measure['size_mb']:g} MiB static-bw "
+            f"emptcp@{measure.get('engine', 'packet')} "
+            f"(min of {int(measure['repeats'])}):",
+            f"  disabled (guard only), run A: "
+            f"{measure['disabled_a_s'] * 1e3:8.2f} ms",
+            f"  disabled (guard only), run B: "
+            f"{measure['disabled_b_s'] * 1e3:8.2f} ms   "
+            f"A/B delta {measure['disabled_delta']:.1%}",
+            f"  profiling enabled:            "
+            f"{measure['enabled_s'] * 1e3:8.2f} ms   "
+            f"overhead {measure['enabled_overhead']:+.1%}",
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One key's baseline-vs-current comparison."""
+
+    key: str
+    baseline_eps: float
+    current_eps: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline events per second (1.0 = unchanged)."""
+        if self.baseline_eps <= 0:
+            return 1.0
+        return self.current_eps / self.baseline_eps
+
+
+@dataclass
+class BenchComparison:
+    """The result of diffing two bench documents."""
+
+    threshold: float
+    deltas: List[BenchDelta] = field(default_factory=list)
+    #: Keys present in only one of the two documents.
+    only_baseline: List[str] = field(default_factory=list)
+    only_current: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.ratio < 1.0 - self.threshold]
+
+    @property
+    def improvements(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.ratio > 1.0 + self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _records_by_key(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    by_key: Dict[str, Dict[str, Any]] = {}
+    for record in doc.get("records", []):
+        key = record.get("key") or record.get("label", "?")
+        by_key[str(key)] = record
+    return by_key
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Diff two bench documents on dispatch throughput per key."""
+    if not 0 <= threshold < 1:
+        raise ConfigurationError(
+            f"threshold must be in [0, 1), got {threshold}"
+        )
+    base = _records_by_key(baseline)
+    cur = _records_by_key(current)
+    comparison = BenchComparison(threshold=threshold)
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            comparison.only_baseline.append(key)
+        elif key not in base:
+            comparison.only_current.append(key)
+        else:
+            comparison.deltas.append(
+                BenchDelta(
+                    key=key,
+                    baseline_eps=float(base[key].get("events_per_sec", 0.0)),
+                    current_eps=float(cur[key].get("events_per_sec", 0.0)),
+                )
+            )
+    return comparison
+
+
+def format_bench_table(doc: Dict[str, Any]) -> str:
+    """Human-readable rendering of one bench document."""
+    lines = [
+        f"{'scenario':<32} {'wall s':>8} {'sim s':>8} {'events':>9} "
+        f"{'events/s':>10} {'p50 e/s':>10} {'RSS MB':>7}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for record in doc.get("records", []):
+        lines.append(
+            f"{record.get('key', record.get('label', '?')):<32} "
+            f"{record['wall_s']:>8.3f} {record['sim_s']:>8.1f} "
+            f"{record['events']:>9d} {record['events_per_sec']:>10.0f} "
+            f"{record.get('events_per_sec_p50', record['events_per_sec']):>10.0f} "
+            f"{record.get('peak_rss_kb', 0) / 1024:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: BenchComparison) -> str:
+    """Human-readable rendering of a :class:`BenchComparison`."""
+    lines = [
+        f"{'scenario':<32} {'baseline/s':>11} {'current/s':>11} "
+        f"{'ratio':>6}  verdict"
+    ]
+    lines.append("-" * len(lines[0]))
+    for delta in comparison.deltas:
+        if delta.ratio < 1.0 - comparison.threshold:
+            verdict = "REGRESSION"
+        elif delta.ratio > 1.0 + comparison.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{delta.key:<32} {delta.baseline_eps:>11.0f} "
+            f"{delta.current_eps:>11.0f} {delta.ratio:>6.2f}  {verdict}"
+        )
+    for key in comparison.only_baseline:
+        lines.append(f"{key:<32} (missing from current record)")
+    for key in comparison.only_current:
+        lines.append(f"{key:<32} (new; no baseline)")
+    n = len(comparison.regressions)
+    lines.append(
+        f"{n} regression(s) beyond {comparison.threshold:.0%} "
+        f"across {len(comparison.deltas)} compared scenario(s)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_PREFIX",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_ENGINES",
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_THRESHOLD",
+    "SCENARIOS",
+    "BenchComparison",
+    "BenchDelta",
+    "bench_specs",
+    "compare_bench",
+    "format_bench_table",
+    "format_comparison",
+    "format_overhead",
+    "latest_bench",
+    "measure_spec",
+    "profiling_overhead",
+    "read_bench",
+    "run_bench",
+    "write_bench",
+]

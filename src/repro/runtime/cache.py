@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from repro import obs as _obs
 from repro.runtime.spec import RunSpec, code_salt, get_builder
 
 #: Default cache location, relative to the working directory.
@@ -61,6 +62,13 @@ class ResultCache:
 
     def get(self, spec: RunSpec) -> Optional[Any]:
         """The decoded cached result, or None on any kind of miss."""
+        prof = _obs.profiler_or_none()
+        if prof is not None:
+            with prof.span("runtime.cache.get"):
+                return self._get_inner(spec)
+        return self._get_inner(spec)
+
+    def _get_inner(self, spec: RunSpec) -> Optional[Any]:
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
@@ -75,6 +83,13 @@ class ResultCache:
 
     def put(self, spec: RunSpec, result: Any) -> Path:
         """Store one result; returns the entry path."""
+        prof = _obs.profiler_or_none()
+        if prof is not None:
+            with prof.span("runtime.cache.put"):
+                return self._put_inner(spec, result)
+        return self._put_inner(spec, result)
+
+    def _put_inner(self, spec: RunSpec, result: Any) -> Path:
         entry = get_builder(spec.builder)
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)

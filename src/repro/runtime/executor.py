@@ -42,6 +42,7 @@ from repro import obs as _obs
 from repro.errors import ConfigurationError, ExecutionError
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest
+from repro.runtime.perf import PerfMeter, PerfRecord, PerfStore
 from repro.runtime.progress import ProgressReporter, auto_reporter
 from repro.runtime.spec import RunSpec, get_builder
 
@@ -68,6 +69,10 @@ class RuntimeContext:
     backoff_s: float = 0.5
     #: Per-run trace/metrics capture (None = observability off).
     obs: Optional[_obs.ObsOptions] = None
+    #: Where per-run :class:`~repro.runtime.perf.PerfRecord`s
+    #: accumulate (None = manifest-only; records are computed either
+    #: way, they just aren't persisted per spec hash).
+    perf_store: Optional[PerfStore] = None
     #: Statically verify every spec before dispatch (repro.check Tier
     #: 2): unknown builders, bad config overrides, missing input files
     #: fail here instead of inside a pool worker.
@@ -130,6 +135,7 @@ def run_many(
     backoff_s: Optional[float] = None,
     obs: Any = _INHERIT,
     verify: Optional[bool] = None,
+    perf_store: Any = _INHERIT,
 ) -> List[Any]:
     """Execute every spec; return results in spec order.
 
@@ -149,6 +155,7 @@ def run_many(
     backoff_s = ctx.backoff_s if backoff_s is None else backoff_s
     obs = ctx.obs if obs is _INHERIT else obs
     verify = ctx.verify if verify is None else verify
+    perf_store = ctx.perf_store if perf_store is _INHERIT else perf_store
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
@@ -166,6 +173,7 @@ def run_many(
         retries=retries,
         backoff_s=backoff_s,
         obs=obs,
+        perf_store=perf_store,
     )
     if state.reporter is not None:
         state.reporter.start(len(specs))
@@ -222,6 +230,7 @@ class _BatchState:
         retries: int,
         backoff_s: float,
         obs: Optional[_obs.ObsOptions] = None,
+        perf_store: Optional[PerfStore] = None,
     ):
         self.specs = specs
         self.results = results
@@ -232,6 +241,7 @@ class _BatchState:
         self.retries = retries
         self.backoff_s = backoff_s
         self.obs = obs
+        self.perf_store = perf_store
         self.failures: List[Tuple[int, BaseException]] = []
 
     def consume_cache(self) -> List[int]:
@@ -254,26 +264,32 @@ class _BatchState:
         worker: str = "local",
         attempt: int = 1,
         trace: str = "",
+        perf: Optional[Dict[str, Any]] = None,
     ) -> None:
         if self.manifest is not None:
             self.manifest.record(
                 spec, outcome, wall_time_s=wall_time_s, worker=worker,
-                attempt=attempt, trace=trace,
+                attempt=attempt, trace=trace, perf=perf,
             )
         if self.reporter is not None:
             self.reporter.update(outcome)
 
     def succeed(
         self, index: int, result: Any, wall: float, worker: str, attempt: int,
-        trace: str = "",
+        trace: str = "", perf: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.results[index] = result
         spec = self.specs[index]
         if self.cache is not None:
             self.cache.put(spec, result)
+        if perf and self.perf_store is not None:
+            try:
+                self.perf_store.record(PerfRecord.from_dict(perf))
+            except (KeyError, TypeError, ValueError, OSError):
+                pass  # telemetry must never fail the run it measured
         self.record(
             spec, "executed", wall_time_s=wall, worker=worker, attempt=attempt,
-            trace=trace,
+            trace=trace, perf=perf,
         )
 
     def fail(
@@ -359,6 +375,12 @@ def _export_session(
             json.dumps(session.metrics.to_dict(), indent=2, sort_keys=True)
             + "\n"
         )
+    if session.profiler is not None:
+        spans_path = out_dir / f"{stem}.spans.json"
+        spans_path.write_text(
+            json.dumps(session.profiler.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
     return trace_path
 
 
@@ -375,6 +397,7 @@ def _execute_observed(
     with _obs.capture(
         trace=options.trace,
         metrics=options.metrics,
+        profile=options.profile,
         ring_size=options.ring_size,
     ) as session:
         result = spec.execute()
@@ -385,7 +408,7 @@ def _worker_run(
     spec_dict: Dict[str, Any],
     timeout_s: Optional[float],
     obs_dict: Optional[Dict[str, Any]] = None,
-) -> Tuple[Dict[str, Any], float, str, str]:
+) -> Tuple[Dict[str, Any], float, str, str, Dict[str, Any]]:
     """Pool-side entry point: rebuild the spec, run it, encode the result.
 
     Must stay a module-level function so it pickles under every
@@ -396,11 +419,13 @@ def _worker_run(
     options = (
         _obs.ObsOptions.from_dict(obs_dict) if obs_dict is not None else None
     )
+    meter = PerfMeter(spec)
     start = time.perf_counter()
     with _deadline(timeout_s):
         result, trace = _execute_observed(spec, options)
     wall = time.perf_counter() - start
-    return entry.encode(result), wall, f"pid-{os.getpid()}", trace
+    perf = meter.finish(wall).to_dict()
+    return entry.encode(result), wall, f"pid-{os.getpid()}", trace, perf
 
 
 def _run_serial(state: _BatchState, pending: List[int]) -> None:
@@ -410,6 +435,7 @@ def _run_serial(state: _BatchState, pending: List[int]) -> None:
         attempt = 0
         while True:
             attempt += 1
+            meter = PerfMeter(spec)
             start = time.perf_counter()
             try:
                 with _deadline(state.timeout_s):
@@ -430,9 +456,10 @@ def _run_serial(state: _BatchState, pending: List[int]) -> None:
                 state.fail(i, exc, time.perf_counter() - start, "local", attempt)
                 break
             else:
+                wall = time.perf_counter() - start
                 state.succeed(
-                    i, result, time.perf_counter() - start, "local", attempt,
-                    trace=trace,
+                    i, result, wall, "local", attempt,
+                    trace=trace, perf=meter.finish(wall).to_dict(),
                 )
                 break
 
@@ -481,7 +508,7 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     i = futures[future]
                     spec = state.specs[i]
                     try:
-                        encoded, wall, worker, trace = future.result()
+                        encoded, wall, worker, trace, perf = future.result()
                     except BrokenProcessPool:
                         raise  # handled by the outer except: pool is dead
                     except TimeoutError as exc:
@@ -495,7 +522,8 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     else:
                         result = get_builder(spec.builder).decode(encoded)
                         state.succeed(
-                            i, result, wall, worker, attempts[i], trace=trace
+                            i, result, wall, worker, attempts[i], trace=trace,
+                            perf=perf,
                         )
             except BrokenProcessPool as exc:
                 # A worker died (OOM, hard crash).  Harvest any runs
@@ -511,11 +539,12 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     ):
                         continue
                     if future.done() and future.exception() is None:
-                        encoded, wall, worker, trace = future.result()
+                        encoded, wall, worker, trace, perf = future.result()
                         spec = state.specs[i]
                         result = get_builder(spec.builder).decode(encoded)
                         state.succeed(
-                            i, result, wall, worker, attempts[i], trace=trace
+                            i, result, wall, worker, attempts[i], trace=trace,
+                            perf=perf,
                         )
                     elif attempts[i] <= state.retries:
                         state.record(

@@ -20,7 +20,7 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Dict, Iterable, List, Optional, Union
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
 
@@ -47,6 +47,10 @@ class ManifestEntry:
     #: Path of the run's exported trace file ("" when tracing was off;
     #: defaulted so manifests written before the obs layer still parse).
     trace: str = ""
+    #: The run's :class:`~repro.runtime.perf.PerfRecord` as a dict
+    #: (None for cached/retried/failed lines and for manifests written
+    #: before the perf-telemetry layer).
+    perf: Optional[Dict[str, Any]] = None
 
 
 class RunManifest:
@@ -70,6 +74,7 @@ class RunManifest:
         worker: str = "local",
         attempt: int = 1,
         trace: str = "",
+        perf: Optional[Dict[str, Any]] = None,
     ) -> ManifestEntry:
         """Write one line for ``spec`` and return the entry."""
         if outcome not in OUTCOMES:
@@ -88,6 +93,7 @@ class RunManifest:
             attempt=attempt,
             timestamp=time.time(),
             trace=trace,
+            perf=dict(perf) if perf else None,
         )
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -24,6 +24,38 @@ from repro.errors import SimulationError
 Callback = Callable[..., Any]
 
 
+class DispatchStats:
+    """Process-wide dispatch totals, accumulated by every
+    :meth:`Simulator.run` regardless of observability state.
+
+    The perf-telemetry layer (:mod:`repro.runtime.perf`) snapshots the
+    totals around a run to attribute events dispatched and simulated
+    seconds to that run without requiring a capture session — the
+    accumulation cost is two additions per ``run()`` call, not per
+    event.
+    """
+
+    __slots__ = ("events", "sim_s")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.sim_s = 0.0
+
+    def snapshot(self) -> "DispatchSnapshot":
+        return (self.events, self.sim_s)
+
+
+#: ``(events, sim seconds)`` pair returned by :meth:`DispatchStats.snapshot`.
+DispatchSnapshot = tuple
+
+_DISPATCH_STATS = DispatchStats()
+
+
+def dispatch_stats() -> DispatchStats:
+    """The process-wide dispatch accumulator."""
+    return _DISPATCH_STATS
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -86,6 +118,11 @@ class Simulator:
         self._dispatch_counter = (
             metrics.counter("sim.events") if metrics is not None else None
         )
+        self._prof = _obs.profiler_or_none()
+        if self._prof is not None:
+            # First simulator in the capture wins; its virtual clock
+            # makes the profiler's sim-time column deterministic.
+            self._prof.bind_clock(lambda: self._now)
 
     @property
     def now(self) -> float:
@@ -140,7 +177,12 @@ class Simulator:
         # handle is harmless.
         handle.callback = None
         handle.args = ()
-        callback(*args)
+        prof = self._prof
+        if prof is not None:
+            with prof.span("sim.dispatch"):
+                callback(*args)
+        else:
+            callback(*args)
         self.events_processed += 1
         if self._dispatch_counter is not None:
             self._dispatch_counter.inc()
@@ -163,6 +205,10 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        started_at = self._now
+        prof = self._prof
+        if prof is not None:
+            prof.begin("sim.run")
         try:
             while not self._stopped:
                 self._drop_cancelled()
@@ -180,6 +226,10 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            _DISPATCH_STATS.events += processed
+            _DISPATCH_STATS.sim_s += self._now - started_at
+            if prof is not None:
+                prof.end()
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro import obs as _obs
 from repro.errors import ConfigurationError
 from repro.sim.engine import EventHandle, Simulator
 
@@ -27,6 +28,7 @@ class Timer:
         self._sim = sim
         self._callback = callback
         self._handle: Optional[EventHandle] = None
+        self._prof = _obs.profiler_or_none()
 
     @property
     def armed(self) -> bool:
@@ -46,7 +48,12 @@ class Timer:
 
     def _fire(self) -> None:
         self._handle = None
-        self._callback()
+        prof = self._prof
+        if prof is not None:
+            with prof.span("sim.timer"):
+                self._callback()
+        else:
+            self._callback()
 
 
 class PeriodicProcess:
@@ -70,6 +77,7 @@ class PeriodicProcess:
         self._interval = interval
         self._callback = callback
         self._handle: Optional[EventHandle] = None
+        self._prof = _obs.profiler_or_none()
 
     @property
     def interval(self) -> float:
@@ -101,4 +109,9 @@ class PeriodicProcess:
 
     def _tick(self) -> None:
         self._handle = self._sim.schedule(self._interval, self._tick)
-        self._callback()
+        prof = self._prof
+        if prof is not None:
+            with prof.span("sim.periodic"):
+                self._callback()
+        else:
+            self._callback()

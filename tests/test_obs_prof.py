@@ -1,0 +1,232 @@
+"""The span profiler: nesting, aggregation, sim-time determinism,
+export, and the instrumented-run integration."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.experiments.runner import run_scenario
+from repro.experiments.static_bw import static_scenario
+from repro.obs.prof import MAX_DEPTH, Profiler, format_span_table
+from repro.units import mib
+
+
+class FakeClock:
+    """A settable sim clock for unit tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestProfilerCore:
+    def test_spans_aggregate_by_path(self):
+        prof = Profiler()
+        for _ in range(3):
+            with prof.span("outer"):
+                with prof.span("inner"):
+                    pass
+        paths = {tuple(node.path): node.count for node in prof.records()}
+        assert paths == {("outer",): 3, ("outer", "inner"): 3}
+
+    def test_sibling_spans_do_not_merge(self):
+        prof = Profiler()
+        with prof.span("a"):
+            with prof.span("x"):
+                pass
+        with prof.span("b"):
+            with prof.span("x"):
+                pass
+        paths = sorted(tuple(n.path) for n in prof.records())
+        assert ("a", "x") in paths and ("b", "x") in paths
+
+    def test_sim_time_attribution(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        with prof.span("outer"):
+            clock.t = 2.0
+            with prof.span("inner"):
+                clock.t = 5.0
+        nodes = {tuple(n.path): n for n in prof.records()}
+        assert nodes[("outer",)].sim_s == pytest.approx(5.0)
+        assert nodes[("outer", "inner")].sim_s == pytest.approx(3.0)
+        self_wall, self_sim = prof.self_times(("outer",))
+        assert self_sim == pytest.approx(2.0)
+        assert self_wall >= 0.0
+
+    def test_first_sim_t_records_entry_time(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        clock.t = 7.5
+        with prof.span("late"):
+            pass
+        clock.t = 9.0
+        with prof.span("late"):
+            pass
+        (node,) = prof.records()
+        assert node.first_sim_t == pytest.approx(7.5)
+
+    def test_bind_clock_first_wins(self):
+        prof = Profiler()
+        first, second = FakeClock(), FakeClock()
+        prof.bind_clock(first)
+        prof.bind_clock(second)
+        assert prof.clock is first
+
+    def test_end_without_begin_is_noop(self):
+        prof = Profiler()
+        prof.end()
+        assert prof.records() == []
+
+    def test_unwind_closes_open_spans(self):
+        prof = Profiler()
+        prof.begin("a")
+        prof.begin("b")
+        assert prof.open_spans == 2
+        prof.unwind()
+        assert prof.open_spans == 0
+        assert {tuple(n.path) for n in prof.records()} == {("a",), ("a", "b")}
+
+    def test_depth_collapses_at_limit(self):
+        prof = Profiler()
+        for i in range(MAX_DEPTH + 8):
+            prof.begin(f"s{i}")
+        prof.unwind()
+        assert max(node.depth for node in prof.records()) <= MAX_DEPTH
+
+
+class TestExport:
+    def test_to_dict_self_cumulative_consistency(self):
+        clock = FakeClock()
+        prof = Profiler(clock=clock)
+        with prof.span("outer"):
+            clock.t = 1.0
+            with prof.span("inner"):
+                clock.t = 4.0
+        profile = prof.to_dict()
+        assert profile["clock_bound"] is True
+        by_path = {s["path"]: s for s in profile["spans"]}
+        outer, inner = by_path["outer"], by_path["outer/inner"]
+        assert outer["self_sim_s"] == pytest.approx(
+            outer["sim_s"] - inner["sim_s"]
+        )
+        assert inner["depth"] == 2 and inner["name"] == "inner"
+        json.dumps(profile)  # JSON-ready
+
+    def test_to_dict_unwinds_open_spans(self):
+        prof = Profiler()
+        prof.begin("dangling")
+        profile = prof.to_dict()
+        assert [s["path"] for s in profile["spans"]] == ["dangling"]
+        assert prof.open_spans == 0
+
+    def test_format_span_table(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        table = format_span_table(prof.to_dict())
+        assert "outer" in table and "  inner" in table
+        assert "cum ms" in table and "self sim s" in table
+
+    def test_format_empty_profile(self):
+        assert "no spans" in format_span_table(Profiler().to_dict())
+
+
+class TestCaptureIntegration:
+    def test_profile_capture_populates_session(self):
+        with obs.capture(trace=False, metrics=False, profile=True) as session:
+            assert session.tracer is None
+            assert session.profiler is not None
+            assert obs.profiler_or_none() is session.profiler
+        assert obs.profiler_or_none() is None
+
+    def test_instrumented_run_builds_span_tree(self):
+        scenario = static_scenario(True, download_bytes=mib(1))
+        with obs.capture(trace=False, metrics=False, profile=True) as session:
+            run_scenario("emptcp", scenario, seed=0)
+        profile = session.profiler.to_dict()
+        paths = {s["path"] for s in profile["spans"]}
+        assert profile["clock_bound"] is True
+        assert any(p.endswith("sim.dispatch") for p in paths)
+        assert any(p == "sim.run" for p in paths)
+        # children never exceed their parent (the CHK603 invariant)
+        by_path = {s["path"]: s for s in profile["spans"]}
+        for path, span in by_path.items():
+            kids = [
+                s for p, s in by_path.items()
+                if p.startswith(path + "/") and p.count("/") == path.count("/") + 1
+            ]
+            assert sum(k["sim_s"] for k in kids) <= span["sim_s"] + 1e-9
+
+    def test_sim_time_column_is_deterministic(self):
+        scenario_args = dict(download_bytes=mib(1))
+
+        def profile_once():
+            with obs.capture(trace=False, metrics=False, profile=True) as s:
+                run_scenario("emptcp", static_scenario(True, **scenario_args),
+                             seed=0)
+            return {
+                span["path"]: (span["count"], span["sim_s"])
+                for span in s.profiler.to_dict()["spans"]
+            }
+
+        assert profile_once() == profile_once()
+
+    def test_unprofiled_components_carry_no_profiler(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        assert sim._prof is None
+
+
+class TestHistogramPercentiles:
+    def test_percentile_exact_ranks(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("h")
+        for value in [30, 10, 20, 40, 50]:  # unsorted on purpose
+            hist.observe(value)
+        assert hist.percentile(0) == 10
+        assert hist.percentile(50) == 30
+        assert hist.percentile(100) == 50
+        assert hist.percentile(75) == pytest.approx(40)
+
+    def test_summary_includes_percentiles(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p90"] == pytest.approx(90.1)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_empty_histogram_edge_case(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("h")
+        assert hist.percentile(50) == 0.0
+        summary = hist.summary()
+        assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                           "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_percentile_range_validated(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_observe_after_percentile_resorts(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram("h")
+        hist.observe(10)
+        hist.observe(30)
+        assert hist.percentile(100) == 30
+        hist.observe(20)
+        assert hist.percentile(50) == 20

@@ -100,20 +100,12 @@ class TestOnOffAgreement:
             assert 0.9 < c.ratio < 1.1, c.label
 
 
-class TestDeprecationShim:
-    def test_old_import_path_warns_and_reexports(self):
-        """repro.packet.validate moved to repro.check.packet; the shim
-        keeps old imports working with a DeprecationWarning."""
-        import importlib
-
-        import repro.check.packet as new
-        import repro.packet.validate as shim
-
-        with pytest.warns(DeprecationWarning, match="repro.check.packet"):
-            shim = importlib.reload(shim)
-        assert shim.PathSpec is new.PathSpec
-        assert shim.compare_single_path is new.compare_single_path
-        assert sorted(shim.__all__) == shim.__all__
+class TestRemovedShim:
+    def test_old_import_path_raises_with_pointer(self):
+        """repro.packet.validate spent one release as a deprecation
+        shim; it now fails fast, pointing at repro.check.packet."""
+        with pytest.raises(ImportError, match="repro.check.packet"):
+            import repro.packet.validate  # noqa: F401
 
 
 class TestEngineAgreementGolden:
