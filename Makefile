@@ -2,12 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke fleet-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: check trace-smoke packet-smoke perf-smoke
+test: check trace-smoke packet-smoke perf-smoke fleet-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
 check:  ## static tiers: custom lint vs baseline + config verification
@@ -54,6 +54,18 @@ perf-smoke:  ## tiny bench record, self-compare (0 regressions), profiler table
 		print(format_overhead(profiling_overhead(4.0)))"
 	rm -rf .perf-smoke
 
+fleet-smoke:  ## 1k-session flow-tier fleet under a time budget, obs-sampled
+	rm -rf .fleet-smoke && mkdir -p .fleet-smoke
+	timeout 120 env PYTHONPATH=src $(PY) -m repro.cli fleet run \
+		--sessions 1000 --duration-s 60 --trace \
+		--obs-dir .fleet-smoke/obs --no-progress
+	PYTHONPATH=src $(PY) -m repro.cli trace validate .fleet-smoke/obs
+	PYTHONPATH=src $(PY) -m repro.cli fleet sweep 100 1000 --duration-s 20 \
+		--no-progress > /dev/null
+	timeout 120 env PYTHONPATH=src $(PY) -m repro.cli validate \
+		--engine flow --size-mb 2 --no-progress
+	rm -rf .fleet-smoke
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -74,5 +86,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke .fleet-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -17,7 +17,8 @@ Three tiers, one vocabulary (:class:`Finding` / :class:`Report`):
   that replays a spec and diffs the traces (CHK4xx).
 
 :mod:`repro.check.packet` (CHK5xx) folds the fluid-vs-packet model
-validation into the same vocabulary, and :mod:`repro.check.perf`
+validation into the same vocabulary, :mod:`repro.check.flow` does the
+same for the analytic flow tier (CHK504/CHK505), and :mod:`repro.check.perf`
 (CHK6xx) verifies perf telemetry — bench/perf record schema and
 consistency, span-tree well-formedness, and parent/child time
 conservation.
@@ -54,6 +55,14 @@ from repro.check.findings import (
     filter_noqa,
     merge_reports,
 )
+from repro.check.flow import (
+    FLOW_AGREEMENT_PROTOCOLS,
+    FlowComparison,
+    flow_agreement_report,
+    flow_agreement_specs,
+    run_flow_agreement,
+    run_flow_checks,
+)
 from repro.check.lint import lint_paths, lint_source
 from repro.check.perf import (
     check_bench_doc,
@@ -89,6 +98,12 @@ __all__ = [
     "check_trace_file",
     "check_traces",
     "check_determinism",
+    "FLOW_AGREEMENT_PROTOCOLS",
+    "FlowComparison",
+    "flow_agreement_report",
+    "flow_agreement_specs",
+    "run_flow_agreement",
+    "run_flow_checks",
     "check_bench_doc",
     "check_perf_record",
     "check_perf_target",

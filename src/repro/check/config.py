@@ -416,15 +416,13 @@ def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
                 findings.extend(
                     check_scenario(scenario, context=spec.label)
                 )
-                if (
-                    getattr(spec, "engine", "fluid") == "packet"
-                    and scenario.interferers is not None
-                ):
+                engine = getattr(spec, "engine", "fluid")
+                if engine in ("packet", "flow") and scenario.interferers is not None:
                     findings.append(
                         Finding(
                             rule="CHK243",
-                            message="scenario uses WiFi interferers, which "
-                            "the packet engine does not model",
+                            message=f"scenario uses WiFi interferers, which "
+                            f"the {engine} engine does not model",
                             context=spec.label,
                         )
                     )
@@ -433,7 +431,7 @@ def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
 
 def _check_engine(spec: Any) -> List[Finding]:
     """CHK243: the spec's engine exists and supports its protocol."""
-    from repro.experiments.protocols import ENGINES, PACKET_PROTOCOLS
+    from repro.experiments.protocols import ENGINE_PROTOCOLS, ENGINES
     from repro.runtime.spec import _SCENARIO_FNS
 
     engine = getattr(spec, "engine", "fluid")
@@ -448,14 +446,15 @@ def _check_engine(spec: Any) -> List[Finding]:
             )
         )
         return findings
-    if engine == "packet":
-        if spec.builder in _SCENARIO_FNS and spec.protocol not in PACKET_PROTOCOLS:
+    if engine != "fluid":
+        supported = ENGINE_PROTOCOLS[engine]
+        if spec.builder in _SCENARIO_FNS and spec.protocol not in supported:
             findings.append(
                 Finding(
                     rule="CHK243",
                     message=f"protocol {spec.protocol!r} is not available on "
-                    f"the packet engine "
-                    f"(supported: {', '.join(PACKET_PROTOCOLS)})",
+                    f"the {engine} engine "
+                    f"(supported: {', '.join(supported)})",
                     context=spec.label,
                 )
             )

@@ -1,0 +1,189 @@
+"""Cross-model validation: fluid vs analytic flow tier (CHK5xx).
+
+The flow tier replaces discrete transport events with closed-form
+throughput (slow-start ramp + Mathis cap) and vectorizes the whole
+eMPTCP control plane, so everything the population-scale results rest
+on — completion time *and* energy at completion — must agree with the
+fluid reference on matched static single-user scenarios.  CHK504 flags
+a comparison whose time or energy ratio leaves the agreement band;
+CHK505 records a run that crashed outright.
+
+Structure mirrors :mod:`repro.check.packet` (the fluid/packet suite):
+matched :class:`~repro.runtime.spec.RunSpec` pairs differing only in
+``engine`` ride through the unified runner, so caching and manifests
+apply to agreement runs like any other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.check.findings import Report
+from repro.check.packet import AGREEMENT_TOLERANCE
+from repro.errors import SimulationError
+from repro.units import mib
+
+#: Protocols compared fluid-vs-flow by default.  Unlike the packet
+#: suite, plain MPTCP stays *in*: the analytic tier aggregates both
+#: paths the way the fluid rate model does, so it sits inside the band.
+FLOW_AGREEMENT_PROTOCOLS = ("tcp-wifi", "mptcp", "emptcp")
+
+
+@dataclass(frozen=True)
+class FlowComparison:
+    """Completion time and energy of both tiers on one matched scenario."""
+
+    label: str
+    size_bytes: float
+    fluid_time: float
+    flow_time: float
+    fluid_energy_j: float
+    flow_energy_j: float
+
+    @property
+    def time_ratio(self) -> float:
+        """flow / fluid completion time (1.0 = perfect agreement)."""
+        return self.flow_time / self.fluid_time
+
+    @property
+    def energy_ratio(self) -> float:
+        """flow / fluid energy at completion (1.0 = perfect agreement)."""
+        return self.flow_energy_j / self.fluid_energy_j
+
+
+def flow_agreement_specs(
+    size_bytes: float = mib(2),
+    protocols: Sequence[str] = FLOW_AGREEMENT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+) -> List[Tuple[str, "RunSpec", "RunSpec"]]:
+    """Matched (label, fluid spec, flow spec) triples.
+
+    Each pair names the *same* static-bandwidth scenario (§4.2 good and
+    bad WiFi) and differs only in ``engine="flow"`` — which also makes
+    the pair a live test that the engine field reaches the cache key.
+    """
+    from repro.experiments.static_bw import LAB_LTE_MBPS
+    from repro.runtime.spec import RunSpec
+
+    triples: List[Tuple[str, RunSpec, RunSpec]] = []
+    for good, wifi_label in ((True, "good-wifi"), (False, "bad-wifi")):
+        kwargs = {
+            "good_wifi": good,
+            "download_bytes": size_bytes,
+            "lte_mbps": LAB_LTE_MBPS,
+        }
+        for protocol in protocols:
+            for seed in seeds:
+                triples.append(
+                    (
+                        f"{protocol} on {wifi_label} seed {seed}",
+                        RunSpec(
+                            protocol=protocol,
+                            builder="static",
+                            kwargs=dict(kwargs),
+                            seed=seed,
+                            engine="fluid",
+                        ),
+                        RunSpec(
+                            protocol=protocol,
+                            builder="static",
+                            kwargs=dict(kwargs),
+                            seed=seed,
+                            engine="flow",
+                        ),
+                    )
+                )
+    return triples
+
+
+def flow_agreement_report(
+    comparisons: Sequence[FlowComparison],
+    tolerance: float = AGREEMENT_TOLERANCE,
+) -> Report:
+    """Fold flow comparisons into the shared checker vocabulary.
+
+    CHK504: a matched scenario whose fluid/flow completion-time *or*
+    energy ratio leaves the agreement band.
+    """
+    report = Report(tier="flow")
+    lo, hi = 1 - tolerance, 1 + tolerance
+    for comparison in comparisons:
+        report.checked += 1
+        for what, ratio in (
+            ("completion time", comparison.time_ratio),
+            ("energy", comparison.energy_ratio),
+        ):
+            if not lo <= ratio <= hi:
+                report.add(
+                    "CHK504",
+                    f"fluid/flow {what} disagreement on {comparison.label}: "
+                    f"ratio {ratio:.2f} outside band {lo:.2f}..{hi:.2f}",
+                    context=comparison.label,
+                )
+    return report
+
+
+def run_flow_agreement(
+    size_bytes: float = mib(2),
+    protocols: Sequence[str] = FLOW_AGREEMENT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+    tolerance: float = AGREEMENT_TOLERANCE,
+) -> Tuple[Report, List[FlowComparison]]:
+    """Run matched fluid/flow scenarios through the unified runner.
+
+    Returns the CHK504 report plus the raw comparisons (for the CLI's
+    table and the agreement tests).  Raises
+    :class:`~repro.errors.ExecutionError` if a run dies outright.
+    """
+    from repro.runtime.executor import run_specs
+
+    triples = flow_agreement_specs(
+        size_bytes=size_bytes, protocols=protocols, seeds=seeds
+    )
+    specs = [spec for _label, fluid, flow in triples for spec in (fluid, flow)]
+    results = run_specs(specs)
+    comparisons: List[FlowComparison] = []
+    for i, (label, _fluid, _flow) in enumerate(triples):
+        fluid_res, flow_res = results[2 * i], results[2 * i + 1]
+        if fluid_res.download_time is None or flow_res.download_time is None:
+            raise SimulationError(f"agreement run did not complete: {label}")
+        comparisons.append(
+            FlowComparison(
+                label=label,
+                size_bytes=size_bytes,
+                fluid_time=fluid_res.download_time,
+                flow_time=flow_res.download_time,
+                fluid_energy_j=fluid_res.energy_at_completion_j,
+                flow_energy_j=flow_res.energy_at_completion_j,
+            )
+        )
+    return flow_agreement_report(comparisons, tolerance=tolerance), comparisons
+
+
+def run_flow_checks(
+    size_bytes: float = mib(2),
+    seed: int = 0,
+    tolerance: float = AGREEMENT_TOLERANCE,
+    protocols: Sequence[str] = FLOW_AGREEMENT_PROTOCOLS,
+) -> Report:
+    """Run the fluid/flow agreement suite as a checker tier.
+
+    Full protocol runs (including eMPTCP's delayed establishment and
+    hysteresis) go through the unified experiment runner on both tiers;
+    any time/energy ratio outside the band is CHK504, a crashed run is
+    CHK505.
+    """
+    from repro.errors import ExecutionError
+
+    try:
+        report, _comparisons = run_flow_agreement(
+            size_bytes=size_bytes,
+            protocols=protocols,
+            seeds=(seed,),
+            tolerance=tolerance,
+        )
+    except (ExecutionError, SimulationError) as exc:
+        report = Report(tier="flow")
+        report.add("CHK505", f"flow agreement run failed: {exc}")
+    return report

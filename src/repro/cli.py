@@ -127,8 +127,8 @@ def _run_static(args, good: bool, fig: str) -> int:
 
 
 def _cmd_run(args) -> int:
-    """One protocol on the §4.2 static scenario, on either engine."""
-    from repro.experiments.protocols import PACKET_PROTOCOLS, PROTOCOLS
+    """One protocol on the §4.2 static scenario, on any engine."""
+    from repro.experiments.protocols import ENGINE_PROTOCOLS
     from repro.runtime.executor import group_results, run_specs
 
     protocol = args.subcommand or "emptcp"
@@ -137,7 +137,7 @@ def _cmd_run(args) -> int:
         print(f"unknown WiFi quality {wifi!r}; choose good or bad",
               file=sys.stderr)
         return 2
-    known = PACKET_PROTOCOLS if args.engine == "packet" else PROTOCOLS
+    known = ENGINE_PROTOCOLS[args.engine]
     if protocol not in known:
         print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
               f"choose one of {', '.join(known)}", file=sys.stderr)
@@ -402,7 +402,7 @@ def _perf_profile(args) -> int:
     download under the span profiler and print the hot-path table."""
     from repro import obs
     from repro.check.perf import check_spans
-    from repro.experiments.protocols import PACKET_PROTOCOLS, PROTOCOLS
+    from repro.experiments.protocols import ENGINE_PROTOCOLS
     from repro.obs import format_span_table
     from repro.runtime.spec import RunSpec
 
@@ -412,7 +412,7 @@ def _perf_profile(args) -> int:
         print(f"unknown WiFi quality {wifi!r}; choose good or bad",
               file=sys.stderr)
         return 2
-    known = PACKET_PROTOCOLS if args.engine == "packet" else PROTOCOLS
+    known = ENGINE_PROTOCOLS[args.engine]
     if protocol not in known:
         print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
               f"choose one of {', '.join(known)}", file=sys.stderr)
@@ -619,6 +619,8 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    if args.engine == "flow":
+        return _validate_flow(args)
     report, comparisons = pv.run_engine_agreement(size_bytes=mib(args.size_mb))
     rows = []
     for c in comparisons:
@@ -639,6 +641,121 @@ def _cmd_validate(args) -> int:
         )
     print(report.format())
     return 0 if report.ok else 1
+
+
+def _validate_flow(args) -> int:
+    """``repro validate --engine flow`` — fluid-vs-flow agreement."""
+    from repro.check import flow as fv
+
+    report, comparisons = fv.run_flow_agreement(size_bytes=mib(args.size_mb))
+    rows = []
+    for c in comparisons:
+        rows.append([
+            c.label,
+            f"{c.fluid_time:7.2f} s", f"{c.flow_time:7.2f} s",
+            f"{c.time_ratio:5.2f}",
+            f"{c.fluid_energy_j:7.2f} J", f"{c.flow_energy_j:7.2f} J",
+            f"{c.energy_ratio:5.2f}",
+        ])
+    print(format_table(
+        ["scenario", "fluid t", "flow t", "t ratio",
+         "fluid E", "flow E", "E ratio"], rows))
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _fleet_spec(args, sessions=None):
+    from repro.flow.fleet import FleetSpec
+
+    return FleetSpec(
+        sessions=int(sessions if sessions is not None else args.sessions),
+        duration_s=args.duration_s,
+        cells=args.cells,
+        cell_capacity_mbps=args.cell_capacity_mbps,
+        device=args.device,
+        seed=args.seed,
+    )
+
+
+def _print_fleet_result(result, wall_s: float) -> None:
+    rate = result.session_steps / wall_s if wall_s > 0 else float("inf")
+    print(f"fleet {result.spec_hash}: {result.sessions} sessions, "
+          f"sim {result.sim_t_end_s:.1f}s in {result.epochs} epochs")
+    print(f"  completed: {result.completed}/{result.sessions}  "
+          f"goodput {result.goodput_mbps:.1f} Mbps  "
+          f"energy {result.energy_total_j:.0f} J")
+    print(f"  wall: {wall_s:.2f}s  "
+          f"{result.session_steps} session-steps  "
+          f"{rate:,.0f} sessions-stepped/s")
+    if result.per_stratum:
+        rows = []
+        for name, s in sorted(result.per_stratum.items()):
+            dt = s["download_time_mean_s"]
+            rows.append([
+                name, int(s["sessions"]), int(s["completed"]),
+                f"{s['bytes_mean'] / 1e6:6.1f} MB",
+                f"{s['energy_j_mean']:7.1f} J",
+                "-" if dt != dt else f"{dt:6.1f} s",
+                f"{s['cell_established_frac'] * 100:5.1f}%",
+            ])
+        print(format_table(
+            ["stratum", "n", "done", "bytes", "energy",
+             "time", "cell est."], rows))
+
+
+def _cmd_fleet(args) -> int:
+    """Population-scale runs on the analytic flow tier."""
+    import time as _time
+
+    from repro import obs
+    from repro.flow.fleet import run_fleet, sweep_fleet
+
+    sub = args.subcommand or "run"
+    if sub not in ("run", "sweep"):
+        print(f"unknown fleet subcommand {sub!r}; choose run or sweep",
+              file=sys.stderr)
+        return 2
+    if sub == "run":
+        spec = _fleet_spec(args)
+        if args.trace:
+            with obs.capture(trace=True, metrics=False, profile=False) as ses:
+                t0 = _time.perf_counter()
+                result = run_fleet(spec)
+                wall = _time.perf_counter() - t0
+            out = Path(args.obs_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = ses.tracer.to_jsonl(
+                out / f"fleet-{result.spec_hash}.trace.jsonl"
+            )
+            print(f"trace written to {path}", file=sys.stderr)
+        else:
+            t0 = _time.perf_counter()
+            result = run_fleet(spec)
+            wall = _time.perf_counter() - t0
+        _print_fleet_result(result, wall)
+        return 0
+    counts = [int(c) for c in ([args.target] if args.target else []) + args.extra]
+    counts = counts or [100, 1_000, 10_000]
+    spec = _fleet_spec(args, sessions=counts[0])
+    t0 = _time.perf_counter()
+    results = sweep_fleet(spec, counts)
+    wall = _time.perf_counter() - t0
+    rows = []
+    for result in results:
+        rows.append([
+            result.sessions, result.completed,
+            f"{result.goodput_mbps:8.1f}",
+            f"{result.energy_total_j:10.0f}",
+            result.session_steps,
+        ])
+    print(format_table(
+        ["sessions", "done", "goodput Mbps", "energy J", "session-steps"],
+        rows))
+    steps = sum(r.session_steps for r in results)
+    print(f"sweep wall: {wall:.2f}s, "
+          f"{steps / wall if wall > 0 else float('inf'):,.0f} "
+          f"sessions-stepped/s")
+    return 0
 
 
 def _cmd_handover(args) -> int:
@@ -681,11 +798,13 @@ _COMMANDS = {
     "trace": (_cmd_trace, "summarize, validate, or timeline exported run traces"),
     "check": (_cmd_check, "static lint / config / trace / perf-invariant checks"),
     "perf": (_cmd_perf, "profile hot paths; record/compare perf benchmarks"),
-    "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet)"),
+    "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet|flow)"),
+    "fleet": (_cmd_fleet, "population-scale flow-tier runs (fleet run|sweep)"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
     "handover": (_cmd_handover, "Extension: WiFi-dissociation handover"),
-    "validate": (_cmd_validate, "Extension: fluid-vs-packet model validation"),
+    "validate": (_cmd_validate, "Extension: cross-engine model validation "
+                                "(--engine packet|flow)"),
     "report": (_cmd_report, "run the full evaluation; render a markdown report"),
     "table1": (_cmd_table1, "Table 1: device specifications"),
     "table2": (_cmd_table2, "Table 2: EIB thresholds vs paper"),
@@ -738,8 +857,9 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(perf profile) or the current bench record (perf compare)",
     )
     parser.add_argument(
-        "--engine", choices=("fluid", "packet"), default="fluid",
-        help="transport engine for experiment runs (run/fig5/fig6/validate)",
+        "--engine", default="fluid",
+        help="transport engine for experiment runs (run/fig5/fig6/validate); "
+             "one of the registered engines (fluid, packet, flow)",
     )
     parser.add_argument("--runs", type=int, default=3, help="repetitions per point")
     parser.add_argument(
@@ -830,8 +950,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-progress", dest="progress", action="store_false",
         help="suppress the live progress line",
     )
+    parser.add_argument(
+        "--sessions", type=int, default=1_000,
+        help="fleet population size (fleet command)",
+    )
+    parser.add_argument(
+        "--duration-s", type=float, default=60.0,
+        help="fleet measurement window in simulated seconds (fleet command)",
+    )
+    parser.add_argument(
+        "--cells", type=int, default=25,
+        help="shared LTE cells the fleet is spread over; 0 disables "
+             "contention (fleet command)",
+    )
+    parser.add_argument(
+        "--cell-capacity-mbps", type=float, default=150.0,
+        help="per-cell shared LTE capacity in Mbps (fleet command)",
+    )
+    parser.add_argument(
+        "--device", default="galaxy-s3",
+        help="device power profile (fleet command)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="population seed (fleet command)",
+    )
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command][0]
+
+    # Validate --engine here, once, against the live registry: a typo
+    # must exit with the list of engines, not fail deep inside a runner.
+    from repro.experiments.protocols import ENGINES
+
+    if args.engine not in ENGINES:
+        print(f"error: unknown engine {args.engine!r}; choose one of "
+              f"{', '.join(ENGINES)}", file=sys.stderr)
+        return 2
 
     cache_dir = args.cache_dir or str(ResultCache().root)
     args.cache_dir = cache_dir

@@ -34,8 +34,18 @@ PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp", "single-path-mo
 #: The subset available at segment granularity.
 PACKET_PROTOCOLS = ("emptcp", "mptcp", "tcp-wifi")
 
+#: The subset available on the analytic flow tier.
+FLOW_PROTOCOLS = ("emptcp", "mptcp", "tcp-wifi")
+
 #: The transport engines experiments can run on.
-ENGINES = ("fluid", "packet")
+ENGINES = ("fluid", "packet", "flow")
+
+#: Which protocols each engine supports (the CLI's validation source).
+ENGINE_PROTOCOLS = {
+    "fluid": PROTOCOLS,
+    "packet": PACKET_PROTOCOLS,
+    "flow": FLOW_PROTOCOLS,
+}
 
 #: Default throughput levels (Mbps) for the MDP scheduler's state space.
 MDP_LEVELS = (0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
@@ -87,6 +97,12 @@ def build_protocol(
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose one of {ENGINES}"
+        )
+    if engine == "flow":
+        raise ConfigurationError(
+            "the flow engine advances whole fleets vectorized and has no "
+            "per-connection objects; use repro.flow.single.run_flow_scenario "
+            "(via run_scenario(..., engine='flow')) instead of build_protocol"
         )
     if engine == "packet":
         return _build_packet_protocol(

@@ -98,12 +98,18 @@ def run_scenario(
     ``engine="fluid"`` is the rate-based model used throughout §4/§5;
     ``engine="packet"`` replays the same scenario at segment
     granularity (supported protocols:
-    :data:`~repro.experiments.protocols.PACKET_PROTOCOLS`).  Both
+    :data:`~repro.experiments.protocols.PACKET_PROTOCOLS`);
+    ``engine="flow"`` uses the analytic vectorized tier
+    (:data:`~repro.experiments.protocols.FLOW_PROTOCOLS`).  All three
     produce the same :class:`RunResult` shape, flow through the same
     caching/trace machinery, and emit the same observability events.
     """
     if engine == "packet":
         return _run_packet_scenario(protocol, scenario, seed)
+    if engine == "flow":
+        from repro.flow.single import run_flow_scenario
+
+        return run_flow_scenario(protocol, scenario, seed)
     if engine != "fluid":
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose one of {ENGINES}"
@@ -205,7 +211,8 @@ def _mean_mbps(series: TimeSeries) -> float:
     """
     if len(series) == 0:
         return 0.0
-    return bytes_per_sec_to_mbps(series.time_weighted_mean())
+    mean = series.time_weighted_mean()
+    return bytes_per_sec_to_mbps(mean) if mean is not None else 0.0
 
 
 def _checkpoint_subflows(sim: Simulator, conn, conn_bytes: float) -> None:

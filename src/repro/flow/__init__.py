@@ -1,0 +1,71 @@
+"""``repro.flow`` — the third engine tier: analytic, vectorized, huge.
+
+Where the fluid tier models one connection with rate events and the
+packet tier with individual segments, the flow tier computes throughput
+in closed form (slow-start ramp + Mathis square-root cap + capacity
+share) and advances *every* session's control state — Holt-Winters
+predictor, EIB thresholds, hysteresis controller, delayed cellular
+establishment, RRC machine, energy accounting — as numpy arrays in
+fixed epochs.  That trades per-connection fidelity for scale: a single
+process steps fleets of 10⁴–10⁶ concurrent eMPTCP sessions, which is
+what the population-scale questions (aggregate energy saved, shared-cell
+contention) need.
+
+Entry points:
+
+* ``run_scenario(..., engine="flow")`` — one paper scenario on the flow
+  tier (:mod:`repro.flow.single`), CHK5xx-comparable against fluid;
+* :func:`~repro.flow.fleet.run_fleet` /
+  :func:`~repro.flow.fleet.sweep_fleet` — population runs from a
+  :class:`~repro.flow.fleet.FleetSpec` (CLI: ``emptcp-repro fleet``).
+"""
+
+from repro.flow.contention import cell_share_bytes_per_sec
+from repro.flow.dataplane import FlowDataPlane, FlowSubflowView
+from repro.flow.engine import FleetEngine
+from repro.flow.fleet import (
+    DEFAULT_MIX,
+    FleetResult,
+    FleetScenario,
+    FleetSpec,
+    build_fleet,
+    run_fleet,
+    summarize_fleet,
+    sweep_fleet,
+)
+from repro.flow.models import (
+    INITIAL_WINDOW_BYTES,
+    EibTable,
+    epoch_rate_bytes_per_sec,
+    holt_winters_forecast_mbps,
+    holt_winters_update,
+    mathis_rate_bytes_per_sec,
+    ramp_bytes,
+)
+from repro.flow.single import run_flow_scenario
+from repro.flow.state import FleetState, SessionParams
+
+__all__ = [
+    "DEFAULT_MIX",
+    "EibTable",
+    "FleetEngine",
+    "FleetResult",
+    "FleetScenario",
+    "FleetSpec",
+    "FleetState",
+    "FlowDataPlane",
+    "FlowSubflowView",
+    "INITIAL_WINDOW_BYTES",
+    "SessionParams",
+    "build_fleet",
+    "cell_share_bytes_per_sec",
+    "epoch_rate_bytes_per_sec",
+    "holt_winters_forecast_mbps",
+    "holt_winters_update",
+    "mathis_rate_bytes_per_sec",
+    "ramp_bytes",
+    "run_fleet",
+    "run_flow_scenario",
+    "summarize_fleet",
+    "sweep_fleet",
+]

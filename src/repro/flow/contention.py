@@ -1,0 +1,46 @@
+"""Shared-cell LTE contention for fleet runs.
+
+The paper measures one device against an uncontended eNodeB; the fleet
+layer asks what happens when many eMPTCP users share a cell.  The model
+here is proportional-fair in its long-run steady state: every session
+actively sending on a cell receives an equal share of that cell's
+capacity, and a session's effective cellular capacity is the minimum of
+its own radio-limited rate and its share.
+
+This is deliberately a scheduling *abstraction* — there are no per-TTI
+queues — but it preserves the first-order coupling the population
+questions need: as more users establish their cellular subflow, each
+one's share (and hence the EIB's view of the cellular path) degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cell_share_bytes_per_sec(
+    cell_id: np.ndarray,
+    sending: np.ndarray,
+    cell_capacity_bytes_per_sec: np.ndarray,
+    n_cells: int,
+) -> np.ndarray:
+    """Equal-share cell capacity for every session, bytes/second.
+
+    ``cell_id`` maps sessions to cells (-1 = private/uncontended, gets
+    ``inf`` so the session's own link capacity binds); ``sending`` marks
+    the sessions actively transmitting on cellular this epoch;
+    ``cell_capacity_bytes_per_sec`` is indexed by cell.  Idle cells
+    divide by one, so a newly joining sender sees the full cell.
+    """
+    share = np.full(cell_id.shape, np.inf)
+    if n_cells <= 0:
+        return share
+    contended = sending & (cell_id >= 0)
+    counts = np.bincount(cell_id[contended], minlength=n_cells)
+    per_cell = cell_capacity_bytes_per_sec / np.maximum(counts, 1)
+    on_cell = cell_id >= 0
+    share[on_cell] = per_cell[cell_id[on_cell]]
+    return share
+
+
+__all__ = ["cell_share_bytes_per_sec"]

@@ -1,0 +1,144 @@
+"""Per-session views of the fleet arrays satisfying the PR 4 seam.
+
+The flow tier advances its control state vectorized — it does not call
+the scalar controller per session.  :class:`FlowDataPlane` exposes one
+session of a :class:`~repro.flow.state.FleetState` through the exact
+:class:`~repro.control.port.DataPlanePort` /
+:class:`~repro.control.port.SubflowLike` protocols, in both directions:
+
+* reads (``established``, ``bytes_delivered``, ``completed``…) come
+  straight from the fleet arrays, so external tooling and tests can
+  inspect any session with the same interface they use against the
+  fluid and packet engines;
+* commands (``join_cellular``, ``set_subflow_usage``) write the arrays,
+  so the scalar control plane *can* drive a flow session — the batch
+  control path is an optimisation, not a different semantic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.control.port import DeliveryListener
+from repro.errors import ConfigurationError
+from repro.flow.state import FleetState
+from repro.net.interface import InterfaceKind
+
+
+class FlowSubflowView:
+    """One lane of one session, shaped like a fluid Subflow."""
+
+    def __init__(self, state: FleetState, index: int, kind: InterfaceKind):
+        self._state = state
+        self._index = index
+        self._kind = kind
+        self._wifi = kind is InterfaceKind.WIFI
+        self.name = f"s{index}-{kind.value}"
+
+    @property
+    def interface_kind(self) -> InterfaceKind:
+        return self._kind
+
+    @property
+    def established(self) -> bool:
+        st, i = self._state, self._index
+        return bool(st.wifi_established[i] if self._wifi else st.cell_established[i])
+
+    @property
+    def suspended(self) -> bool:
+        st, i = self._state, self._index
+        return bool(st.wifi_suspended[i] if self._wifi else st.cell_suspended[i])
+
+    @property
+    def sending(self) -> bool:
+        st, i = self._state, self._index
+        if st.done[i] or not st.started[i]:
+            return False
+        return self.established and not self.suspended
+
+    @property
+    def bytes_delivered(self) -> float:
+        st, i = self._state, self._index
+        return float(
+            st.wifi_delivered_bytes[i] if self._wifi else st.cell_delivered_bytes[i]
+        )
+
+    @property
+    def handshake_rtt(self) -> Optional[float]:
+        if not self.established:
+            return None
+        st, i = self._state, self._index
+        return float(st.wifi_rtt_s[i] if self._wifi else st.cell_rtt_s[i])
+
+
+class FlowDataPlane:
+    """DataPlanePort over one session of the vectorized fleet."""
+
+    def __init__(self, state: FleetState, index: int):
+        if not 0 <= index < state.n:
+            raise ConfigurationError(
+                f"session index {index} out of range for fleet of {state.n}"
+            )
+        self._state = state
+        self._index = index
+        self._wifi = FlowSubflowView(state, index, InterfaceKind.WIFI)
+        self._cell = FlowSubflowView(state, index, InterfaceKind.LTE)
+        self._listeners: List[DeliveryListener] = []
+
+    # -- DelayPort ------------------------------------------------------
+
+    def join_cellular(self) -> FlowSubflowView:
+        st, i = self._state, self._index
+        if not st.cell_allowed[i]:
+            raise ConfigurationError(
+                f"session {i} runs single-path TCP; no cellular lane to join"
+            )
+        st.cell_established[i] = True
+        return self._cell
+
+    def on_delivery(self, listener: DeliveryListener) -> None:
+        # The batch engine does not call back per delivery event (that
+        # is the point of the flow tier); listeners are retained so a
+        # scalar driver can poll-and-notify at epoch granularity.
+        self._listeners.append(listener)
+
+    @property
+    def delivery_listeners(self) -> List[DeliveryListener]:
+        return list(self._listeners)
+
+    @property
+    def is_idle(self) -> bool:
+        st, i = self._state, self._index
+        return bool(st.done[i]) or not bool(st.started[i])
+
+    @property
+    def source_exhausted(self) -> bool:
+        return bool(self._state.done[self._index])
+
+    @property
+    def completed(self) -> bool:
+        return bool(self._state.done[self._index])
+
+    # -- DataPlanePort --------------------------------------------------
+
+    def subflow(self, kind: InterfaceKind) -> Optional[FlowSubflowView]:
+        if kind is InterfaceKind.WIFI:
+            return self._wifi
+        if not self._cell.established:
+            return None
+        return self._cell
+
+    def set_subflow_usage(self, kind: InterfaceKind, in_use: bool) -> None:
+        st, i = self._state, self._index
+        if kind is InterfaceKind.WIFI:
+            suspended, count = st.wifi_suspended, st.wifi_suspend_count
+        else:
+            suspended, count = st.cell_suspended, st.cell_suspend_count
+        if bool(suspended[i]) == (not in_use):
+            return
+        if not in_use:
+            count[i] += 1
+        suspended[i] = not in_use
+
+
+__all__ = ["FlowDataPlane", "FlowSubflowView"]

@@ -1,0 +1,537 @@
+"""The vectorized fleet engine: one epoch loop over numpy arrays.
+
+:class:`FleetEngine` advances every session in a :class:`FleetState`
+through fixed epochs of the control plane's decision interval (0.25 s by
+default).  Each :meth:`step` performs, across the whole fleet at once:
+
+1. session starts (WiFi activation energy, sampling windows);
+2. RRC state-machine transitions (promotion, hold, tail, demotion);
+3. per-lane rates from the analytic models under capacity, Mathis and
+   proportional-fair cell-share bounds;
+4. byte delivery with sub-epoch completion interpolation;
+5. two-phase energy accrual (transfer power until the completion
+   instant, idle/tail power for the remainder, baseline throughout,
+   overlap saving when both radios are hot) plus the post-completion
+   drain window the fluid engine also accounts;
+6. Holt-Winters throughput sampling at each lane's δ;
+7. delayed cellular establishment (κ/τ triggers, §3.5);
+8. vectorized EIB + hysteresis + veto + φ-gate decisions (§3.3–3.4).
+
+The semantics deliberately mirror the scalar fluid control plane — the
+CHK5xx flow-agreement report quantifies how closely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.core.eib import cached_eib
+from repro.energy.device import GALAXY_S3, DeviceProfile
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError, SimulationError
+from repro.flow.contention import cell_share_bytes_per_sec
+from repro.flow.models import (
+    EibTable,
+    epoch_rate_bytes_per_sec,
+    holt_winters_forecast_mbps,
+    holt_winters_update,
+)
+from repro.flow.state import (
+    DEC_BOTH,
+    DEC_CELL_ONLY,
+    DEC_WIFI_ONLY,
+    PROTO_EMPTCP,
+    RRC_ACTIVE,
+    RRC_IDLE,
+    RRC_PROMOTING,
+    RRC_TAIL,
+    PROTOCOL_CODES,
+    FleetState,
+)
+
+_CODE_TO_PROTOCOL = {code: name for name, code in PROTOCOL_CODES.items()}
+from repro.net.interface import InterfaceKind
+from repro.units import BITS_PER_BYTE
+
+_EPS = 1e-9
+
+#: Mbps per byte-per-second (vectorized unit conversion).
+_MBPS_PER_BYTES_PER_SEC = BITS_PER_BYTE / 1e6
+
+#: Idle margin used by DeviceProfile.total_power to call a radio "hot".
+_HOT_MARGIN_W = 1e-12
+
+
+class FleetEngine:
+    """Advance a whole fleet of sessions in vectorized epochs."""
+
+    def __init__(
+        self,
+        state: FleetState,
+        profile: DeviceProfile = GALAXY_S3,
+        cell_kind: InterfaceKind = InterfaceKind.LTE,
+        direction: Direction = Direction.DOWN,
+        epoch_s: Optional[float] = None,
+        shared_cell_capacity_bytes_per_sec: Optional[np.ndarray] = None,
+        obs_epoch_every: int = 4,
+        obs_session_limit: int = 32,
+    ):
+        if not cell_kind.is_cellular:
+            raise ConfigurationError(f"cell_kind must be cellular, got {cell_kind}")
+        if cell_kind not in profile.interfaces:
+            raise ConfigurationError(
+                f"{profile.name} has no {cell_kind} interface"
+            )
+        self.state = state
+        self.profile = profile
+        self.cell_kind = cell_kind
+        self.direction = direction
+        self.epoch_s = float(epoch_s or state.config.decision_interval)
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch_s must be positive")
+        self.shared_cell_capacity_bytes_per_sec = (
+            None
+            if shared_cell_capacity_bytes_per_sec is None
+            else np.asarray(shared_cell_capacity_bytes_per_sec, dtype=float)
+        )
+        self.obs_epoch_every = max(1, int(obs_epoch_every))
+        self.obs_session_limit = int(obs_session_limit)
+
+        self.eib_table = EibTable(cached_eib(profile, cell_kind, direction))
+        wifi_if = profile.interfaces[InterfaceKind.WIFI]
+        cell_if = profile.interfaces[cell_kind]
+        self._wifi_base_w = wifi_if.base_w
+        self._wifi_slope_w = wifi_if.slope(direction)
+        self._wifi_idle_w = wifi_if.idle_w
+        self._cell_base_w = cell_if.base_w
+        self._cell_slope_w = cell_if.slope(direction)
+        self._cell_idle_w = cell_if.idle_w
+        self._rrc = profile.rrc[cell_kind]
+        #: Post-completion accounting window, matching the fluid runner:
+        #: worst-case promotion + hold + tail plus one settling second.
+        self.drain_s = (
+            self._rrc.promotion_time
+            + self._rrc.active_hold
+            + self._rrc.tail_time
+            + 1.0
+        )
+
+        self._epoch = 0
+        #: Total session-epochs advanced (the flow tier's "events").
+        self.session_steps = 0
+        self._tracer = _obs.tracer_or_none()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Sim time at the last completed epoch boundary."""
+        return self._epoch * self.epoch_s
+
+    @property
+    def epochs(self) -> int:
+        return self._epoch
+
+    def all_closed(self) -> bool:
+        """True once every session completed and drained its energy tail."""
+        st = self.state
+        return bool(np.all(st.done) and np.all(st.closed_t_s <= self.now + _EPS))
+
+    def wifi_forecast_mbps(self) -> np.ndarray:
+        st = self.state
+        return holt_winters_forecast_mbps(
+            st.wifi_level_mbps, st.wifi_trend_mbps, st.wifi_hw_ready,
+            st.config.initial_bandwidth_mbps,
+        )
+
+    def cell_forecast_mbps(self) -> np.ndarray:
+        st = self.state
+        return holt_winters_forecast_mbps(
+            st.cell_level_mbps, st.cell_trend_mbps, st.cell_hw_ready,
+            st.config.initial_bandwidth_mbps,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_until(self, t_end_s: float, max_epochs: Optional[int] = None) -> None:
+        """Step until sim time reaches ``t_end_s`` or the fleet closes."""
+        budget = max_epochs if max_epochs is not None else int(1e9)
+        while self.now < t_end_s - _EPS and not self.all_closed():
+            if budget <= 0:
+                raise SimulationError(
+                    f"fleet engine exceeded {max_epochs} epochs before "
+                    f"reaching t={t_end_s}"
+                )
+            self.step()
+            budget -= 1
+
+    def step(self) -> None:
+        """Advance the whole fleet by one epoch."""
+        st = self.state
+        dt = self.epoch_s
+        t0 = self._epoch * dt
+        t1 = t0 + dt
+        self._epoch += 1
+
+        self._start_sessions(t0)
+        running = st.started & ~st.done
+        self.session_steps += int(np.count_nonzero(running))
+
+        cell_can_send = self._rrc_transitions(t0, t1, running)
+        wifi_send = running & st.wifi_established & ~st.wifi_suspended
+        wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec = self._lane_rates(
+            t0, t1, wifi_send, cell_can_send
+        )
+        frac, completing = self._deliver(
+            t0, dt, running, wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec
+        )
+        self._accrue_energy(
+            t0, dt, frac, completing,
+            wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec,
+        )
+        self._sample_predictors(t1, running)
+        wifi_fc = self.wifi_forecast_mbps()
+        cell_fc = self.cell_forecast_mbps()
+        cell_only_thr, wifi_only_thr = self.eib_table.thresholds_mbps(cell_fc)
+        self._delayed_establishment(t1, running, wifi_fc, wifi_only_thr)
+        self._decide(t1, running, wifi_fc, cell_only_thr, wifi_only_thr)
+        self._emit_obs(
+            t1, running, completing,
+            wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _start_sessions(self, t0: float) -> None:
+        st = self.state
+        starting = ~st.started & (st.start_s <= t0 + _EPS)
+        if not starting.any():
+            return
+        st.started[starting] = True
+        # WiFi is the primary subflow: established after one handshake
+        # RTT, which is also where its slow-start ramp begins.
+        st.wifi_established[starting] = True
+        st.wifi_ramp_origin_s[starting] = (
+            st.start_s[starting] + st.wifi_rtt_s[starting]
+        )
+        st.wifi_sample_from_s[starting] = st.start_s[starting]
+        st.wifi_sample_due_s[starting] = (
+            st.start_s[starting] + st.wifi_delta_s[starting]
+        )
+        st.energy_j[starting] += self.profile.wifi_activation_j
+        # Plain MPTCP opens the cellular subflow immediately.
+        auto = starting & st.cell_auto
+        st.cell_established[auto] = True
+        st.cell_established_t_s[auto] = st.start_s[auto]
+
+    def _rrc_transitions(
+        self, t0: float, t1: float, running: np.ndarray
+    ) -> np.ndarray:
+        """Advance every session's RRC machine; return who may send on
+        cellular this epoch."""
+        st = self.state
+        rrc, until = st.rrc, st.rrc_until_s
+        want_cell = running & st.cell_established & ~st.cell_suspended
+        # Demotions (checked against the timer armed in earlier epochs).
+        tail_done = (rrc == RRC_TAIL) & (until <= t0 + _EPS)
+        rrc[tail_done] = RRC_IDLE
+        until[tail_done] = np.inf
+        hold_done = (rrc == RRC_ACTIVE) & ~want_cell & (until <= t0 + _EPS)
+        rrc[hold_done] = RRC_TAIL
+        until[hold_done] = until[hold_done] + self._rrc.tail_time
+        # Promotions completing: the lane may now ramp (first time only),
+        # and its throughput sampler starts observing.
+        prom_done = (rrc == RRC_PROMOTING) & (until <= t0 + _EPS)
+        first = prom_done & np.isinf(st.cell_ramp_origin_s)
+        st.cell_ramp_origin_s[first] = until[first] + st.cell_rtt_s[first]
+        st.cell_sample_from_s[first] = until[first]
+        st.cell_sample_from_bytes[first] = st.cell_delivered_bytes[first]
+        st.cell_sample_due_s[first] = until[first] + st.cell_delta_s[first]
+        rrc[prom_done] = RRC_ACTIVE
+        until[prom_done] = t1 + self._rrc.active_hold
+        # Activity-driven transitions.
+        promote = want_cell & (rrc == RRC_IDLE)
+        rrc[promote] = RRC_PROMOTING
+        until[promote] = t0 + self._rrc.promotion_time
+        st.rrc_promotions[promote] += 1
+        revive = want_cell & (rrc == RRC_TAIL)
+        rrc[revive] = RRC_ACTIVE
+        rearm = want_cell & (rrc == RRC_ACTIVE)
+        until[rearm] = t1 + self._rrc.active_hold
+        return want_cell & (rrc == RRC_ACTIVE)
+
+    def _lane_rates(self, t0, t1, wifi_send, cell_send):
+        st = self.state
+        cell_cap = st.cell_capacity_bytes_per_sec
+        if self.shared_cell_capacity_bytes_per_sec is not None:
+            share = cell_share_bytes_per_sec(
+                st.cell_id,
+                cell_send,
+                self.shared_cell_capacity_bytes_per_sec,
+                len(self.shared_cell_capacity_bytes_per_sec),
+            )
+            cell_cap = np.minimum(cell_cap, share)
+        wifi_rate_bytes_per_sec = epoch_rate_bytes_per_sec(
+            t0, t1, st.wifi_ramp_origin_s, st.wifi_rtt_s, st.wifi_loss,
+            st.wifi_capacity_bytes_per_sec, wifi_send,
+        )
+        cell_rate_bytes_per_sec = epoch_rate_bytes_per_sec(
+            t0, t1, st.cell_ramp_origin_s, st.cell_rtt_s, st.cell_loss,
+            cell_cap, cell_send,
+        )
+        return wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec
+
+    def _deliver(
+        self, t0, dt, running, wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec
+    ):
+        st = self.state
+        total_rate_bytes_per_sec = (
+            wifi_rate_bytes_per_sec + cell_rate_bytes_per_sec
+        )
+        epoch_bytes = total_rate_bytes_per_sec * dt
+        remaining = st.download_bytes - st.delivered_bytes
+        frac = np.ones(st.n)
+        completing = running & (
+            (remaining <= _EPS)
+            | ((total_rate_bytes_per_sec > 0.0) & (remaining <= epoch_bytes))
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            part = np.where(
+                total_rate_bytes_per_sec > 0.0,
+                remaining / np.maximum(epoch_bytes, _EPS),
+                0.0,
+            )
+        frac[completing] = np.clip(part[completing], 0.0, 1.0)
+        st.wifi_delivered_bytes += wifi_rate_bytes_per_sec * frac * dt
+        st.cell_delivered_bytes += cell_rate_bytes_per_sec * frac * dt
+        st.done_t_s[completing] = t0 + frac[completing] * dt
+        st.done[completing] = True
+        st.closed_t_s[completing] = st.done_t_s[completing] + self.drain_s
+        return frac, completing
+
+    def _accrue_energy(
+        self, t0, dt, frac, completing,
+        wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec,
+    ):
+        st = self.state
+        wifi_power_w = np.where(
+            wifi_rate_bytes_per_sec > 0.0,
+            self._wifi_base_w
+            + self._wifi_slope_w * wifi_rate_bytes_per_sec * _MBPS_PER_BYTES_PER_SEC,
+            self._wifi_idle_w,
+        )
+        cell_idle_power_w = np.select(
+            [st.rrc == RRC_PROMOTING, (st.rrc == RRC_ACTIVE) | (st.rrc == RRC_TAIL)],
+            [self._rrc.promotion_power_w, self._rrc.tail_power_w],
+            self._cell_idle_w,
+        )
+        cell_power_w = np.where(
+            cell_rate_bytes_per_sec > 0.0,
+            self._cell_base_w
+            + self._cell_slope_w * cell_rate_bytes_per_sec * _MBPS_PER_BYTES_PER_SEC,
+            cell_idle_power_w,
+        )
+        hot = (
+            (wifi_power_w > self._wifi_idle_w + _HOT_MARGIN_W).astype(np.int8)
+            + (cell_power_w > self._cell_idle_w + _HOT_MARGIN_W).astype(np.int8)
+        )
+        overlap_w = np.where(hot >= 2, self.profile.overlap_saving_w, 0.0)
+        transfer_power_w = (
+            np.maximum(wifi_power_w + cell_power_w - overlap_w, 0.0)
+            + self.profile.baseline_w
+        )
+        # Post-completion power for the rest of the epoch: both radios
+        # quiescent, cellular still in whatever RRC state it holds.
+        settle_power_w = (
+            np.maximum(self._wifi_idle_w + cell_idle_power_w, 0.0)
+            + self.profile.baseline_w
+        )
+        alive_s = np.clip(st.closed_t_s - t0, 0.0, dt)
+        alive_s[~st.started] = 0.0
+        transfer_s = np.minimum(frac * dt, alive_s)
+        settle_s = np.clip(alive_s - frac * dt, 0.0, dt)
+        st.energy_j += transfer_power_w * transfer_s
+        st.energy_at_completion_j[completing] = st.energy_j[completing]
+        st.energy_j += settle_power_w * settle_s
+
+    def _sample_predictors(self, t1: float, running: np.ndarray) -> None:
+        st = self.state
+        cfg = st.config
+        emptcp = st.protocol == PROTO_EMPTCP
+        for (established, suspended, due_s, from_s, from_bytes, delivered,
+             level, trend, ready, count, delta_s) in (
+            (st.wifi_established, st.wifi_suspended, st.wifi_sample_due_s,
+             st.wifi_sample_from_s, st.wifi_sample_from_bytes,
+             st.wifi_delivered_bytes, st.wifi_level_mbps, st.wifi_trend_mbps,
+             st.wifi_hw_ready, st.wifi_sample_count, st.wifi_delta_s),
+            (st.cell_established, st.cell_suspended, st.cell_sample_due_s,
+             st.cell_sample_from_s, st.cell_sample_from_bytes,
+             st.cell_delivered_bytes, st.cell_level_mbps, st.cell_trend_mbps,
+             st.cell_hw_ready, st.cell_sample_count, st.cell_delta_s),
+        ):
+            due = (
+                emptcp & running & established & ~suspended
+                & (due_s <= t1 + _EPS)
+            )
+            if not due.any():
+                continue
+            span_s = np.maximum(t1 - from_s, _EPS)
+            sample_mbps = (
+                (delivered - from_bytes) / span_s * _MBPS_PER_BYTES_PER_SEC
+            )
+            holt_winters_update(
+                sample_mbps, level, trend, ready, due, cfg.hw_alpha, cfg.hw_beta
+            )
+            count[due] += 1
+            from_s[due] = t1
+            from_bytes[due] = delivered[due]
+            due_s[due] = t1 + delta_s[due]
+
+    def _delayed_establishment(
+        self, t1, running, wifi_fc, wifi_only_thr
+    ) -> None:
+        st = self.state
+        cfg = st.config
+        pending = st.emptcp & running & ~st.cell_established
+        if not pending.any():
+            return
+        kappa_hit = st.wifi_delivered_bytes >= cfg.kappa_bytes
+        tau_fired = st.tau_deadline_s <= t1 + _EPS
+        trigger = pending & ((kappa_hit & ~st.kappa_checked) | tau_fired)
+        if not trigger.any():
+            return
+        st.kappa_checked[trigger & kappa_hit] = True
+        # §3.5: postpone when WiFi hasn't produced enough samples yet, or
+        # when the predictor says WiFi alone beats using both paths.
+        few = st.wifi_sample_count < max(1, cfg.required_samples // 2)
+        wifi_preferred = wifi_fc >= wifi_only_thr
+        postpone = trigger & (few | wifi_preferred)
+        establish = trigger & ~postpone
+        # Only a τ expiry re-arms the timer (a κ postponement leaves the
+        # original τ deadline standing), mirroring control.delay.
+        rearm = postpone & tau_fired
+        st.tau_deadline_s[rearm] = t1 + cfg.tau_seconds
+        st.postponements[postpone] += 1
+        st.cell_established[establish] = True
+        st.cell_established_t_s[establish] = t1
+
+    def _decide(
+        self, t1, running, wifi_fc, cell_only_thr, wifi_only_thr
+    ) -> None:
+        st = self.state
+        cfg = st.config
+        mask = st.emptcp & running
+        if mask.any():
+            sf = cfg.safety_factor
+            cur = st.decision
+            new = cur.copy()
+            from_both = mask & (cur == DEC_BOTH)
+            new = np.where(
+                from_both & (wifi_fc >= wifi_only_thr * (1 + sf)),
+                DEC_WIFI_ONLY, new)
+            new = np.where(
+                from_both & (wifi_fc < cell_only_thr * (1 - sf)),
+                DEC_CELL_ONLY, new)
+            from_wifi = mask & (cur == DEC_WIFI_ONLY)
+            new = np.where(
+                from_wifi & (wifi_fc < cell_only_thr * (1 - sf)),
+                DEC_CELL_ONLY, new)
+            new = np.where(
+                from_wifi & (wifi_fc >= cell_only_thr * (1 - sf))
+                & (wifi_fc < wifi_only_thr * (1 - sf)),
+                DEC_BOTH, new)
+            from_cell = mask & (cur == DEC_CELL_ONLY)
+            new = np.where(
+                from_cell & (wifi_fc >= wifi_only_thr * (1 + sf)),
+                DEC_WIFI_ONLY, new)
+            new = np.where(
+                from_cell & (wifi_fc < wifi_only_thr * (1 + sf))
+                & (wifi_fc >= cell_only_thr * (1 + sf)),
+                DEC_BOTH, new)
+            new = new.astype(np.int8)
+            if not cfg.allow_cellular_only:
+                new[mask & (new == DEC_CELL_ONLY)] = DEC_BOTH
+            # φ-gates: never exclude a path on fewer than φ samples.
+            phi = cfg.required_samples
+            gate_wifi_only = (
+                mask & (new == DEC_WIFI_ONLY)
+                & (st.cell_sample_count > 0) & (st.cell_sample_count < phi)
+            )
+            new[gate_wifi_only] = DEC_BOTH
+            gate_cell_only = (
+                mask & (new == DEC_CELL_ONLY) & (st.wifi_sample_count < phi)
+            )
+            new[gate_cell_only] = DEC_BOTH
+            changed = mask & (new != cur)
+            st.decision_switches[changed] += 1
+            st.decision[mask] = new[mask]
+        # Apply decisions as lane suspensions (eMPTCP only).
+        want_wifi_susp = st.emptcp & (st.decision == DEC_CELL_ONLY)
+        want_cell_susp = (
+            st.emptcp & (st.decision == DEC_WIFI_ONLY) & st.cell_established
+        )
+        self._apply_suspension(
+            t1, want_wifi_susp, st.wifi_suspended, st.wifi_suspend_count,
+            st.wifi_sample_from_s, st.wifi_sample_from_bytes,
+            st.wifi_sample_due_s, st.wifi_delivered_bytes, st.wifi_delta_s,
+        )
+        self._apply_suspension(
+            t1, want_cell_susp, st.cell_suspended, st.cell_suspend_count,
+            st.cell_sample_from_s, st.cell_sample_from_bytes,
+            st.cell_sample_due_s, st.cell_delivered_bytes, st.cell_delta_s,
+        )
+
+    @staticmethod
+    def _apply_suspension(
+        t1, want, suspended, count, from_s, from_bytes, due_s, delivered,
+        delta_s,
+    ) -> None:
+        newly = want & ~suspended
+        count[newly] += 1
+        resume = suspended & ~want
+        # Restart the sampling window so the first post-resume sample
+        # does not average over the suspension gap.
+        from_s[resume] = t1
+        from_bytes[resume] = delivered[resume]
+        due_s[resume] = t1 + delta_s[resume]
+        suspended[:] = want
+
+    def _emit_obs(
+        self, t1, running, completing,
+        wifi_rate_bytes_per_sec, cell_rate_bytes_per_sec,
+    ) -> None:
+        if self._tracer is None:
+            return
+        st = self.state
+        if self._epoch % self.obs_epoch_every == 0:
+            total_bytes_per_sec = float(
+                wifi_rate_bytes_per_sec.sum() + cell_rate_bytes_per_sec.sum()
+            )
+            self._tracer.emit(
+                "fleet.epoch",
+                t=t1,
+                sessions=int(st.n),
+                active=int(np.count_nonzero(running)),
+                completed=int(np.count_nonzero(st.done)),
+                energy_j=float(st.energy_j.sum()),
+                goodput_mbps=total_bytes_per_sec * _MBPS_PER_BYTES_PER_SEC,
+            )
+        if self.obs_session_limit > 0 and completing.any():
+            sampled = np.nonzero(completing)[0]
+            for idx in sampled[sampled < self.obs_session_limit]:
+                i = int(idx)
+                self._tracer.emit(
+                    "fleet.session",
+                    t=float(st.done_t_s[i]),
+                    conn=f"s{i}",
+                    protocol=_CODE_TO_PROTOCOL[int(st.protocol[i])],
+                    bytes=float(st.delivered_bytes[i]),
+                    energy_j=float(st.energy_at_completion_j[i]),
+                    completed=True,
+                )
+
+
+__all__ = ["FleetEngine"]

@@ -1,0 +1,319 @@
+"""Population-scale fleet experiments (the ROADMAP's north star).
+
+A :class:`FleetSpec` describes a *population*: how many sessions, the
+per-user scenario/workload mix (:class:`FleetScenario` entries with
+weights), how many shared LTE cells the population is spread over and
+each cell's capacity, the device profile, and the measurement window.
+:func:`run_fleet` materializes it — deterministically from the seed —
+into a :class:`~repro.flow.state.FleetState`, advances it with the
+vectorized :class:`~repro.flow.engine.FleetEngine`, and summarizes into
+a JSON-ready :class:`FleetResult`.
+
+Everything here is sim-side and deterministic; wall-clock measurement
+(sessions stepped per second) belongs to the caller (CLI / bench).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import EMPTCPConfig
+from repro.energy.device import DEVICES
+from repro.errors import ConfigurationError
+from repro.flow.engine import FleetEngine
+from repro.flow.state import (
+    PROTOCOL_CODES,
+    FleetState,
+    SessionParams,
+)
+from repro.net.interface import InterfaceKind
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One user-population stratum: a protocol plus its radio situation.
+
+    ``download_mb`` is the per-session transfer size in MiB; ``None``
+    means an open-ended session that runs for the whole window (a
+    streaming stand-in).
+    """
+
+    name: str
+    protocol: str = "emptcp"
+    weight: float = 1.0
+    wifi_mbps: float = 12.0
+    cell_mbps: float = 10.0
+    wifi_rtt_s: float = 0.050
+    cell_rtt_s: float = 0.070
+    wifi_loss: float = 0.0
+    cell_loss: float = 0.0
+    download_mb: Optional[float] = 4.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOL_CODES:
+            raise ConfigurationError(
+                f"fleet stratum {self.name!r}: unknown protocol "
+                f"{self.protocol!r}; choose from {sorted(PROTOCOL_CODES)}"
+            )
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"fleet stratum {self.name!r}: weight must be positive"
+            )
+        if self.download_mb is not None and self.download_mb <= 0:
+            raise ConfigurationError(
+                f"fleet stratum {self.name!r}: download_mb must be positive"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+#: A default metro-area-flavoured population: mostly eMPTCP users split
+#: between good and poor WiFi, with MPTCP and single-path TCP cohorts
+#: as baselines (the paper's §4.2 operating points).
+DEFAULT_MIX: Tuple[FleetScenario, ...] = (
+    FleetScenario("good-wifi-emptcp", "emptcp", weight=0.40,
+                  wifi_mbps=12.0, cell_mbps=10.0, download_mb=4.0),
+    FleetScenario("bad-wifi-emptcp", "emptcp", weight=0.30,
+                  wifi_mbps=0.8, cell_mbps=10.0, download_mb=4.0),
+    FleetScenario("mptcp-baseline", "mptcp", weight=0.15,
+                  wifi_mbps=12.0, cell_mbps=10.0, download_mb=4.0),
+    FleetScenario("tcp-wifi-baseline", "tcp-wifi", weight=0.15,
+                  wifi_mbps=12.0, cell_mbps=10.0, download_mb=4.0),
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A reproducible population-scale experiment."""
+
+    sessions: int = 1_000
+    duration_s: float = 60.0
+    mix: Tuple[FleetScenario, ...] = DEFAULT_MIX
+    #: Number of shared LTE cells the population is scattered over; 0
+    #: disables contention (every session gets a private cell).
+    cells: int = 25
+    cell_capacity_mbps: float = 150.0
+    device: str = "galaxy-s3"
+    cell_kind: str = "lte"
+    seed: int = 0
+    #: Sessions start uniformly over this window (staggered arrivals).
+    arrival_window_s: float = 10.0
+    #: Epoch length; defaults to the control plane's decision interval.
+    epoch_s: Optional[float] = None
+    config: EMPTCPConfig = field(default_factory=EMPTCPConfig)
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ConfigurationError("sessions must be >= 1")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if not self.mix:
+            raise ConfigurationError("mix must contain at least one stratum")
+        if self.cells < 0:
+            raise ConfigurationError("cells must be >= 0")
+        if self.cell_capacity_mbps <= 0:
+            raise ConfigurationError("cell_capacity_mbps must be positive")
+        if self.device not in DEVICES:
+            raise ConfigurationError(
+                f"unknown device {self.device!r}; choose from {sorted(DEVICES)}"
+            )
+        if self.arrival_window_s < 0:
+            raise ConfigurationError("arrival_window_s must be >= 0")
+        kind = InterfaceKind(self.cell_kind)
+        if not kind.is_cellular:
+            raise ConfigurationError("cell_kind must be cellular")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["mix"] = [s.to_dict() for s in self.mix]
+        out["config"] = dataclasses.asdict(self.config)
+        return out
+
+    def content_hash(self) -> str:
+        """Stable identity of this spec (cache keys, bench labels)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class FleetResult:
+    """Aggregates of one fleet run (JSON-ready via :meth:`to_dict`)."""
+
+    spec_hash: str
+    sessions: int
+    duration_s: float
+    sim_t_end_s: float
+    epochs: int
+    #: Total session-epochs advanced — the flow tier's event count.
+    session_steps: int
+    completed: int
+    bytes_total: float
+    energy_total_j: float
+    #: Aggregate delivered goodput over the window, Mbps.
+    goodput_mbps: float
+    per_stratum: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "spec_hash": self.spec_hash,
+            "sessions": self.sessions,
+            "duration_s": self.duration_s,
+            "sim_t_end_s": self.sim_t_end_s,
+            "epochs": self.epochs,
+            "session_steps": self.session_steps,
+            "completed": self.completed,
+            "bytes_total": self.bytes_total,
+            "energy_total_j": self.energy_total_j,
+            "goodput_mbps": self.goodput_mbps,
+            "per_stratum": {k: dict(v) for k, v in self.per_stratum.items()},
+        }
+
+
+def build_fleet(spec: FleetSpec) -> Tuple[FleetState, FleetEngine, np.ndarray]:
+    """Materialize a spec into state + engine (+ stratum assignment).
+
+    All randomness (stratum assignment, cell placement, arrival times)
+    comes from one seeded generator, so the same spec always builds the
+    same fleet.
+    """
+    rng = np.random.default_rng(spec.seed)
+    weights = np.array([s.weight for s in spec.mix], dtype=float)
+    weights = weights / weights.sum()
+    assignment = rng.choice(len(spec.mix), size=spec.sessions, p=weights)
+    cell_ids = (
+        rng.integers(0, spec.cells, size=spec.sessions)
+        if spec.cells > 0
+        else np.full(spec.sessions, -1, dtype=np.int64)
+    )
+    epoch_s = spec.epoch_s or spec.config.decision_interval
+    arrivals = rng.uniform(0.0, spec.arrival_window_s, size=spec.sessions)
+    # Quantize arrivals to the epoch grid the engine steps on.
+    arrival_epochs = np.floor(arrivals / epoch_s).astype(np.int64)
+
+    params: List[SessionParams] = []
+    for i in range(spec.sessions):
+        stratum = spec.mix[int(assignment[i])]
+        params.append(
+            SessionParams(
+                protocol=stratum.protocol,
+                wifi_capacity_bytes_per_sec=mbps_to_bytes_per_sec(
+                    stratum.wifi_mbps),
+                cell_capacity_bytes_per_sec=mbps_to_bytes_per_sec(
+                    stratum.cell_mbps),
+                wifi_rtt_s=stratum.wifi_rtt_s,
+                cell_rtt_s=stratum.cell_rtt_s,
+                wifi_loss=stratum.wifi_loss,
+                cell_loss=stratum.cell_loss,
+                download_bytes=(
+                    mib(stratum.download_mb)
+                    if stratum.download_mb is not None
+                    else float("inf")
+                ),
+                start_s=float(arrival_epochs[i]) * epoch_s,
+                cell_id=int(cell_ids[i]),
+            )
+        )
+    state = FleetState(params, spec.config)
+    shared = (
+        np.full(spec.cells, mbps_to_bytes_per_sec(spec.cell_capacity_mbps))
+        if spec.cells > 0
+        else None
+    )
+    engine = FleetEngine(
+        state,
+        profile=DEVICES[spec.device],
+        cell_kind=InterfaceKind(spec.cell_kind),
+        epoch_s=epoch_s,
+        shared_cell_capacity_bytes_per_sec=shared,
+    )
+    return state, engine, assignment
+
+
+def run_fleet(spec: FleetSpec) -> FleetResult:
+    """Build and run one fleet to its measurement horizon."""
+    state, engine, assignment = build_fleet(spec)
+    max_epochs = int(np.ceil(spec.duration_s / engine.epoch_s)) + 8
+    engine.run_until(spec.duration_s, max_epochs=max_epochs)
+    return summarize_fleet(spec, state, engine, assignment)
+
+
+def summarize_fleet(
+    spec: FleetSpec,
+    state: FleetState,
+    engine: FleetEngine,
+    assignment: np.ndarray,
+) -> FleetResult:
+    """Aggregate a finished (or cut) fleet run into a result."""
+    per_stratum: Dict[str, Dict[str, float]] = {}
+    for idx, stratum in enumerate(spec.mix):
+        members = assignment == idx
+        count = int(np.count_nonzero(members))
+        if count == 0:
+            continue
+        done = state.done & members
+        n_done = int(np.count_nonzero(done))
+        times = state.done_t_s[done] - state.start_s[done]
+        established = state.cell_established & members
+        per_stratum[stratum.name] = {
+            "sessions": float(count),
+            "completed": float(n_done),
+            "bytes_mean": float(state.delivered_bytes[members].mean()),
+            "energy_j_mean": float(state.energy_j[members].mean()),
+            "download_time_mean_s": (
+                float(times.mean()) if n_done else float("nan")
+            ),
+            "cell_established_frac": (
+                float(np.count_nonzero(established)) / count
+            ),
+        }
+    bytes_total = float(state.delivered_bytes.sum())
+    sim_t_end = engine.now
+    goodput_mbps = (
+        bytes_total * 8.0 / 1e6 / sim_t_end if sim_t_end > 0 else 0.0
+    )
+    return FleetResult(
+        spec_hash=spec.content_hash(),
+        sessions=spec.sessions,
+        duration_s=spec.duration_s,
+        sim_t_end_s=sim_t_end,
+        epochs=engine.epochs,
+        session_steps=engine.session_steps,
+        completed=int(np.count_nonzero(state.done)),
+        bytes_total=bytes_total,
+        energy_total_j=float(state.energy_j.sum()),
+        goodput_mbps=goodput_mbps,
+        per_stratum=per_stratum,
+    )
+
+
+def sweep_fleet(
+    spec: FleetSpec, session_counts: Sequence[int]
+) -> List[FleetResult]:
+    """Run the same population recipe at several fleet sizes."""
+    if not session_counts:
+        raise ConfigurationError("sweep needs at least one session count")
+    return [
+        run_fleet(dataclasses.replace(spec, sessions=int(n)))
+        for n in session_counts
+    ]
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FleetResult",
+    "FleetScenario",
+    "FleetSpec",
+    "build_fleet",
+    "run_fleet",
+    "summarize_fleet",
+    "sweep_fleet",
+]

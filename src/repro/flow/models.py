@@ -1,0 +1,208 @@
+"""Analytic per-connection throughput models (the flow tier's physics).
+
+Where the fluid engine advances congestion windows event-by-event and
+the packet engine moves individual segments, the flow tier computes
+each connection's rate in closed form, vectorized over the whole fleet:
+
+* **slow-start ramp** — a connection that started sending at ``origin``
+  ramps exponentially from the initial window, doubling once per RTT
+  (:func:`ramp_bytes` integrates the ramp analytically over an epoch so
+  coarse epochs do not under-count the doubling inside them);
+* **square-root loss cap** — on a lossy path the steady-state rate is
+  bounded by the Mathis/PFTK relation ``(MSS/RTT)·sqrt(3/(2p))``
+  (:func:`mathis_rate_bytes_per_sec`), the classic closed-form TCP
+  throughput model (in the style of fs's ``tcpmodels``);
+* **capacity share** — the path (or the proportional-fair cell share,
+  :mod:`repro.flow.contention`) bounds the rate from above.
+
+The effective epoch rate is the minimum of the three.  All functions
+take and return numpy arrays so one call serves 10⁴–10⁶ sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.eib import EnergyInformationBase
+from repro.tcp.congestion import DEFAULT_INIT_CWND_SEGMENTS, DEFAULT_MSS
+
+#: Initial congestion window in bytes (RFC 6928's IW10, matching the
+#: event engines' default).
+INITIAL_WINDOW_BYTES = float(DEFAULT_INIT_CWND_SEGMENTS) * DEFAULT_MSS
+
+#: Stand-in for an infinite threshold/rate in vectorized math (np.interp
+#: cannot carry ``inf`` through interpolation meaningfully).
+_HUGE_MBPS = 1e9
+
+#: Exponent clamp for ``exp2`` so a long-running ramp cannot overflow.
+_MAX_EXP2 = 60.0
+
+_LN2 = float(np.log(2.0))
+
+
+def mathis_rate_bytes_per_sec(
+    rtt_s: np.ndarray, loss: np.ndarray, mss_bytes: float = DEFAULT_MSS
+) -> np.ndarray:
+    """Loss-limited steady-state TCP rate, bytes/second.
+
+    The square-root model: ``MSS/RTT · sqrt(3/(2p))``.  Lossless paths
+    (``p == 0``) return a huge sentinel so the capacity bound wins the
+    ``min`` downstream.
+    """
+    rtt_s = np.asarray(rtt_s, dtype=float)
+    loss = np.asarray(loss, dtype=float)
+    safe = np.where(loss > 0.0, loss, 1.0)
+    capped = (mss_bytes / np.maximum(rtt_s, 1e-9)) * np.sqrt(1.5 / safe)
+    return np.where(loss > 0.0, capped, np.inf)
+
+
+def ramp_bytes(
+    t0: float,
+    t1: float,
+    origin_s: np.ndarray,
+    rtt_s: np.ndarray,
+    cap_bytes_per_sec: np.ndarray,
+    init_window_bytes: float = INITIAL_WINDOW_BYTES,
+) -> np.ndarray:
+    """Bytes a slow-starting connection moves during ``[t0, t1]``.
+
+    The instantaneous rate is ``r0·2^((u-origin)/RTT)`` (``r0`` = one
+    initial window per RTT) until it reaches the path cap, then the cap.
+    Integrating the exponential analytically keeps the model exact even
+    when an epoch spans several doublings.  Lanes whose ``origin`` lies
+    beyond ``t1`` (not yet ramping) contribute zero.
+    """
+    origin_s = np.asarray(origin_s, dtype=float)
+    rtt_s = np.maximum(np.asarray(rtt_s, dtype=float), 1e-9)
+    cap = np.asarray(cap_bytes_per_sec, dtype=float)
+    start_rate = init_window_bytes / rtt_s
+    finite_cap = np.minimum(cap, np.exp2(_MAX_EXP2) * start_rate)
+    # When the ramp's starting rate already exceeds the cap, the ramp
+    # phase has zero length.
+    rounds_to_cap = np.log2(np.maximum(finite_cap, start_rate) / start_rate)
+    cap_reached_s = origin_s + rtt_s * rounds_to_cap
+    a = np.clip(origin_s, t0, t1)          # sending begins at origin
+    ramp_end = np.clip(cap_reached_s, a, t1)
+    ea = np.exp2(np.clip((a - origin_s) / rtt_s, -_MAX_EXP2, _MAX_EXP2))
+    eb = np.exp2(np.clip((ramp_end - origin_s) / rtt_s, -_MAX_EXP2, _MAX_EXP2))
+    exp_bytes = start_rate * rtt_s / _LN2 * (eb - ea)
+    flat_bytes = finite_cap * np.maximum(t1 - ramp_end, 0.0)
+    return np.maximum(exp_bytes + flat_bytes, 0.0)
+
+
+def epoch_rate_bytes_per_sec(
+    t0: float,
+    t1: float,
+    origin_s: np.ndarray,
+    rtt_s: np.ndarray,
+    loss: np.ndarray,
+    capacity_bytes_per_sec: np.ndarray,
+    sending: np.ndarray,
+) -> np.ndarray:
+    """Mean rate of every lane over one epoch, bytes/second.
+
+    The per-lane cap is ``min(capacity, Mathis)``; the slow-start ramp
+    is integrated under that cap; non-``sending`` lanes move nothing.
+    """
+    if t1 <= t0:
+        raise ValueError(f"empty epoch [{t0}, {t1}]")
+    cap = np.minimum(
+        np.asarray(capacity_bytes_per_sec, dtype=float),
+        mathis_rate_bytes_per_sec(rtt_s, loss),
+    )
+    moved = ramp_bytes(t0, t1, origin_s, rtt_s, cap)
+    return np.where(sending, moved / (t1 - t0), 0.0)
+
+
+class EibTable:
+    """The EIB's threshold curves as numpy arrays (vectorized lookup).
+
+    Built once from an :class:`~repro.core.eib.EnergyInformationBase`;
+    ``thresholds_mbps`` then answers a whole fleet's lookups with two
+    ``np.interp`` calls (which clamp at the grid edges, matching the
+    scalar ``EnergyInformationBase.thresholds``).  Infinite thresholds
+    (WiFi-only never wins) are carried as a huge finite sentinel, which
+    behaves identically under the controller's ``>=`` comparisons.
+    """
+
+    def __init__(
+        self,
+        eib: EnergyInformationBase,
+        cell_grid_mbps: Optional[Sequence[float]] = None,
+    ):
+        if cell_grid_mbps is None:
+            cell_grid_mbps = [0.1 * i for i in range(1, 301)]
+        rows = eib.table_rows(list(cell_grid_mbps))
+        self.cell_grid_mbps = np.array([r.cell_mbps for r in rows], dtype=float)
+        self.cell_only_mbps = np.array(
+            [min(r.cellular_only_below, _HUGE_MBPS) for r in rows], dtype=float
+        )
+        self.wifi_only_mbps = np.array(
+            [min(r.wifi_only_above, _HUGE_MBPS) for r in rows], dtype=float
+        )
+
+    def thresholds_mbps(
+        self, cell_mbps: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(cellular_only_below, wifi_only_above)`` per session."""
+        cell_mbps = np.asarray(cell_mbps, dtype=float)
+        return (
+            np.interp(cell_mbps, self.cell_grid_mbps, self.cell_only_mbps),
+            np.interp(cell_mbps, self.cell_grid_mbps, self.wifi_only_mbps),
+        )
+
+
+def holt_winters_update(
+    sample_mbps: np.ndarray,
+    level_mbps: np.ndarray,
+    trend_mbps: np.ndarray,
+    initialized: np.ndarray,
+    mask: np.ndarray,
+    alpha: float,
+    beta: float,
+) -> None:
+    """One vectorized Holt linear-trend step, in place, where ``mask``.
+
+    Exactly the scalar :class:`~repro.core.forecast.HoltWintersForecaster`
+    recurrence: the first sample seeds the level with zero trend; later
+    samples smooth level and trend with ``alpha``/``beta``.
+    """
+    first = mask & ~initialized
+    level_mbps[first] = sample_mbps[first]
+    trend_mbps[first] = 0.0
+    later = mask & initialized
+    prev = level_mbps[later]
+    new_level = alpha * sample_mbps[later] + (1.0 - alpha) * (
+        prev + trend_mbps[later]
+    )
+    level_mbps[later] = new_level
+    trend_mbps[later] = beta * (new_level - prev) + (1.0 - beta) * trend_mbps[later]
+    initialized[mask] = True
+
+
+def holt_winters_forecast_mbps(
+    level_mbps: np.ndarray,
+    trend_mbps: np.ndarray,
+    initialized: np.ndarray,
+    initial_bandwidth_mbps: float,
+) -> np.ndarray:
+    """One-step forecast per lane; the §3.2 initial-bandwidth assumption
+    stands in for never-sampled lanes."""
+    return np.where(
+        initialized,
+        np.maximum(level_mbps + trend_mbps, 0.0),
+        initial_bandwidth_mbps,
+    )
+
+
+__all__ = [
+    "INITIAL_WINDOW_BYTES",
+    "EibTable",
+    "epoch_rate_bytes_per_sec",
+    "holt_winters_forecast_mbps",
+    "holt_winters_update",
+    "mathis_rate_bytes_per_sec",
+    "ramp_bytes",
+]

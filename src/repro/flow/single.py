@@ -1,0 +1,211 @@
+"""Run one :class:`~repro.experiments.scenario.Scenario` on the flow
+engine and return the standard :class:`RunResult`.
+
+This is the ``engine="flow"`` entry point behind
+:func:`repro.experiments.runner.run_scenario` — a one-session fleet.
+The scenario's capacity-process factories are instantiated with the
+same seeded streams as the fluid engine and attached to a private
+event simulator that exists only to evolve the capacity processes; the
+flow engine samples their rates at each epoch boundary.  Everything
+else (workload, device profile, drain accounting, result shape) mirrors
+the fluid runner so the CHK5xx agreement report can compare the two
+tiers run-for-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import obs as _obs
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.scenario import RunResult, Scenario
+from repro.flow.engine import FleetEngine
+from repro.flow.state import PROTO_EMPTCP, FleetState, SessionParams
+from repro.net.interface import InterfaceKind
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import TimeSeries
+from repro.units import bytes_per_sec_to_mbps
+
+#: Sampling interval for the result's rate/capacity traces, seconds
+#: (the fluid runner's TRACE_INTERVAL).
+TRACE_INTERVAL_S = 1.0
+
+
+def run_flow_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
+    """Execute one (protocol, scenario, seed) run on the flow engine."""
+    from repro.experiments.protocols import FLOW_PROTOCOLS
+
+    if protocol not in FLOW_PROTOCOLS:
+        raise ConfigurationError(
+            f"protocol {protocol!r} is not supported by the flow engine; "
+            f"choose one of {FLOW_PROTOCOLS}"
+        )
+    if scenario.interferers is not None:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} uses WiFi interferers, which the "
+            "flow engine does not model; run it with engine='fluid'"
+        )
+
+    cap_sim = Simulator()
+    streams = RandomStreams(seed)
+    wifi_cap = scenario.wifi_capacity(streams.stream("wifi-capacity"))
+    cell_cap = scenario.cell_capacity(streams.stream("cell-capacity"))
+    wifi_cap.attach(cap_sim)
+    cell_cap.attach(cap_sim)
+
+    download_bytes = (
+        scenario.download_bytes
+        if scenario.download_bytes is not None
+        else float("inf")
+    )
+    state = FleetState(
+        [
+            SessionParams(
+                protocol=protocol,
+                wifi_capacity_bytes_per_sec=wifi_cap.rate,
+                cell_capacity_bytes_per_sec=cell_cap.rate,
+                wifi_rtt_s=scenario.wifi_rtt,
+                cell_rtt_s=scenario.cell_rtt,
+                wifi_loss=scenario.wifi_loss,
+                cell_loss=scenario.cell_loss,
+                download_bytes=download_bytes,
+            )
+        ],
+        scenario.emptcp_config,
+    )
+    engine = FleetEngine(
+        state,
+        profile=scenario.profile,
+        cell_kind=scenario.cell_kind,
+        direction=scenario.direction,
+    )
+
+    wifi_rates = TimeSeries("wifi-rate-Bps")
+    cell_rates = TimeSeries("cell-rate-Bps")
+    wifi_avail = TimeSeries("wifi-available-Bps")
+    cell_avail = TimeSeries("cell-available-Bps")
+    energy_series = TimeSeries("energy-J")
+    epochs_per_trace = max(1, round(TRACE_INTERVAL_S / engine.epoch_s))
+    cursor = {"wifi": 0.0, "cell": 0.0}
+
+    def trace_tick() -> None:
+        now = engine.now
+        delivered_w = float(state.wifi_delivered_bytes[0])
+        delivered_c = float(state.cell_delivered_bytes[0])
+        wifi_rates.record(now, (delivered_w - cursor["wifi"]) / TRACE_INTERVAL_S)
+        cell_rates.record(now, (delivered_c - cursor["cell"]) / TRACE_INTERVAL_S)
+        cursor["wifi"] = delivered_w
+        cursor["cell"] = delivered_c
+        wifi_avail.record(now, wifi_cap.rate)
+        cell_avail.record(now, cell_cap.rate)
+        energy_series.record(now, float(state.energy_j[0]))
+
+    # --- run -------------------------------------------------------------
+    download_time = None
+    energy_at_completion = None
+    finite = scenario.download_bytes is not None
+    horizon = scenario.max_sim_time if finite else scenario.duration
+    trace_tick()  # immediate first sample, like the fluid tracer
+    while True:
+        t0 = engine.now
+        if finite and bool(state.done[0]) and download_time is None:
+            download_time = float(state.done_t_s[0])
+            energy_at_completion = float(state.energy_at_completion_j[0])
+        if not finite and not bool(state.done[0]) and t0 >= horizon - 1e-9:
+            # Fixed measurement window: cut the run, then drain.
+            energy_at_completion = float(state.energy_j[0])
+            state.done[0] = True
+            state.done_t_s[0] = horizon
+            state.closed_t_s[0] = horizon + engine.drain_s
+        if engine.all_closed():
+            break
+        if finite and download_time is None and t0 >= horizon - 1e-9:
+            raise SimulationError(
+                f"{protocol} on {scenario.name} (flow engine): transfer did "
+                f"not complete within {scenario.max_sim_time}s"
+            )
+        # Evolve the capacity processes to this epoch and resample.
+        cap_sim.run(until=t0)
+        state.wifi_capacity_bytes_per_sec[0] = wifi_cap.rate
+        state.cell_capacity_bytes_per_sec[0] = cell_cap.rate
+        engine.step()
+        if engine.epochs % epochs_per_trace == 0 and download_time is None:
+            trace_tick()
+
+    energy_total = float(state.energy_j[0])
+    if energy_at_completion is None:
+        energy_at_completion = energy_total
+    _checkpoint_subflows(engine, protocol)
+
+    return RunResult(
+        protocol=protocol,
+        scenario=scenario.name,
+        seed=seed,
+        download_time=download_time,
+        bytes_received=float(state.delivered_bytes[0]),
+        energy_j=energy_total,
+        energy_at_completion_j=energy_at_completion,
+        energy_series=energy_series,
+        wifi_rate_series=wifi_rates,
+        cell_rate_series=cell_rates,
+        measured_wifi_mbps=_mean_mbps(wifi_avail),
+        measured_cell_mbps=_mean_mbps(cell_avail),
+        diagnostics=_diagnostics(engine, protocol),
+    )
+
+
+def _mean_mbps(series: TimeSeries) -> float:
+    if len(series) == 0:
+        return 0.0
+    mean = series.time_weighted_mean()
+    return bytes_per_sec_to_mbps(mean) if mean is not None else 0.0
+
+
+def _checkpoint_subflows(engine: FleetEngine, protocol: str) -> None:
+    """Flow twin of the fluid runner's ``subflow.checkpoint`` events
+    (CHK306 byte conservation)."""
+    trace = _obs.tracer_or_none()
+    if trace is None or protocol == "tcp-wifi":
+        return
+    st = engine.state
+    conn_bytes = float(st.delivered_bytes[0])
+    lanes = [("s0-wifi", InterfaceKind.WIFI, float(st.wifi_delivered_bytes[0]))]
+    if bool(st.cell_established[0]):
+        lanes.append(
+            ("s0-" + engine.cell_kind.value, engine.cell_kind,
+             float(st.cell_delivered_bytes[0]))
+        )
+    for name, kind, delivered in lanes:
+        trace.emit(
+            "subflow.checkpoint",
+            t=engine.now,
+            subflow=name,
+            interface=kind.value,
+            delivered_bytes=delivered,
+            conn_bytes=conn_bytes,
+        )
+
+
+def _diagnostics(engine: FleetEngine, protocol: str) -> Dict[str, float]:
+    """Mirror the fluid runner's diagnostic keys for one flow session."""
+    st = engine.state
+    diag: Dict[str, float] = {}
+    if protocol == "tcp-wifi":
+        return diag
+    cell_key = engine.cell_kind.value
+    diag["subflows"] = 1.0 + (1.0 if bool(st.cell_established[0]) else 0.0)
+    diag["wifi_bytes"] = float(st.wifi_delivered_bytes[0])
+    diag["wifi_suspends"] = float(st.wifi_suspend_count[0])
+    if bool(st.cell_established[0]):
+        diag[f"{cell_key}_bytes"] = float(st.cell_delivered_bytes[0])
+        diag[f"{cell_key}_suspends"] = float(st.cell_suspend_count[0])
+    if int(st.protocol[0]) == PROTO_EMPTCP:
+        diag["decision_switches"] = float(st.decision_switches[0])
+        diag["cell_established"] = 1.0 if bool(st.cell_established[0]) else 0.0
+        if bool(st.cell_established[0]):
+            diag["cell_established_at"] = float(st.cell_established_t_s[0])
+    return diag
+
+
+__all__ = ["TRACE_INTERVAL_S", "run_flow_scenario"]

@@ -1,0 +1,203 @@
+"""Vectorized per-session control/energy state for the flow tier.
+
+One :class:`FleetState` holds every per-session scalar the fluid tier
+keeps in objects (predictor, EIB decision, delayed establishment, RRC,
+energy meter) as a struct-of-arrays, so the engine can advance 10⁴–10⁶
+sessions with a handful of numpy operations per epoch.
+
+Lane convention: each session has two lanes, WiFi and cellular, stored
+as parallel ``wifi_*`` / ``cell_*`` arrays.  Decision, RRC, and protocol
+codes are small ints so masks stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import EMPTCPConfig
+from repro.errors import ConfigurationError
+
+# Protocol codes.
+PROTO_TCP_WIFI = 0
+PROTO_MPTCP = 1
+PROTO_EMPTCP = 2
+
+PROTOCOL_CODES = {
+    "tcp-wifi": PROTO_TCP_WIFI,
+    "mptcp": PROTO_MPTCP,
+    "emptcp": PROTO_EMPTCP,
+}
+
+# Path-usage decision codes (mirror core.controller.Decision).
+DEC_WIFI_ONLY = 0
+DEC_BOTH = 1
+DEC_CELL_ONLY = 2
+
+DECISION_NAMES = {DEC_WIFI_ONLY: "wifi-only", DEC_BOTH: "both",
+                  DEC_CELL_ONLY: "cellular-only"}
+
+# RRC codes (mirror energy.rrc.RrcState).
+RRC_IDLE = 0
+RRC_PROMOTING = 1
+RRC_ACTIVE = 2
+RRC_TAIL = 3
+
+
+@dataclass
+class SessionParams:
+    """Plain per-session inputs used to build a :class:`FleetState`.
+
+    ``download_bytes`` of ``inf`` means an open-ended (duration-bound)
+    session; ``cell_id`` groups sessions onto a shared cell for
+    proportional-fair contention (-1 = private, uncontended cell).
+    """
+
+    protocol: str
+    wifi_capacity_bytes_per_sec: float
+    cell_capacity_bytes_per_sec: float
+    wifi_rtt_s: float = 0.050
+    cell_rtt_s: float = 0.070
+    wifi_loss: float = 0.0
+    cell_loss: float = 0.0
+    download_bytes: float = float("inf")
+    start_s: float = 0.0
+    cell_id: int = -1
+
+
+class FleetState:
+    """Struct-of-arrays for a fleet of ``n`` eMPTCP/MPTCP/TCP sessions."""
+
+    def __init__(self, params: Sequence[SessionParams], config: EMPTCPConfig):
+        n = len(params)
+        if n == 0:
+            raise ConfigurationError("a fleet needs at least one session")
+        self.n = n
+        self.config = config
+
+        def farr(get):
+            return np.array([get(p) for p in params], dtype=float)
+
+        unknown = sorted({p.protocol for p in params} - set(PROTOCOL_CODES))
+        if unknown:
+            raise ConfigurationError(
+                f"flow engine does not support protocols {unknown}; "
+                f"choose from {sorted(PROTOCOL_CODES)}"
+            )
+        self.protocol = np.array(
+            [PROTOCOL_CODES[p.protocol] for p in params], dtype=np.int8
+        )
+        self.cell_id = np.array([p.cell_id for p in params], dtype=np.int64)
+
+        self.start_s = farr(lambda p: p.start_s)
+        self.download_bytes = farr(lambda p: p.download_bytes)
+
+        # --- lane link parameters -------------------------------------
+        self.wifi_capacity_bytes_per_sec = farr(
+            lambda p: p.wifi_capacity_bytes_per_sec)
+        self.cell_capacity_bytes_per_sec = farr(
+            lambda p: p.cell_capacity_bytes_per_sec)
+        self.wifi_rtt_s = farr(lambda p: p.wifi_rtt_s)
+        self.cell_rtt_s = farr(lambda p: p.cell_rtt_s)
+        self.wifi_loss = farr(lambda p: p.wifi_loss)
+        self.cell_loss = farr(lambda p: p.cell_loss)
+
+        # --- lane lifecycle -------------------------------------------
+        # WiFi is every protocol's primary subflow; it establishes at
+        # session start after one handshake RTT.  The cellular lane is
+        # open from the start for plain MPTCP, gated behind delayed
+        # establishment for eMPTCP, and absent for tcp-wifi.
+        self.wifi_established = np.zeros(n, dtype=bool)
+        self.cell_established = np.zeros(n, dtype=bool)
+        self.wifi_suspended = np.zeros(n, dtype=bool)
+        self.cell_suspended = np.zeros(n, dtype=bool)
+        self.cell_allowed = self.protocol != PROTO_TCP_WIFI
+        self.cell_auto = self.protocol == PROTO_MPTCP
+        #: slow-start origin per lane; inf until the lane starts ramping.
+        self.wifi_ramp_origin_s = np.full(n, np.inf)
+        self.cell_ramp_origin_s = np.full(n, np.inf)
+        self.wifi_delivered_bytes = np.zeros(n)
+        self.cell_delivered_bytes = np.zeros(n)
+        self.wifi_suspend_count = np.zeros(n, dtype=np.int64)
+        self.cell_suspend_count = np.zeros(n, dtype=np.int64)
+
+        # --- session lifecycle ----------------------------------------
+        self.started = np.zeros(n, dtype=bool)
+        self.done = np.zeros(n, dtype=bool)
+        self.done_t_s = np.full(n, np.inf)     # completion instant
+        self.closed_t_s = np.full(n, np.inf)   # completion + drain window
+        self.session_epochs = np.zeros(n, dtype=np.int64)
+
+        # --- predictor (Holt-Winters per lane) ------------------------
+        self.wifi_level_mbps = np.zeros(n)
+        self.wifi_trend_mbps = np.zeros(n)
+        self.wifi_hw_ready = np.zeros(n, dtype=bool)
+        self.wifi_sample_count = np.zeros(n, dtype=np.int64)
+        self.wifi_sample_due_s = np.full(n, np.inf)
+        self.wifi_sample_from_s = np.zeros(n)
+        self.wifi_sample_from_bytes = np.zeros(n)
+        self.cell_level_mbps = np.zeros(n)
+        self.cell_trend_mbps = np.zeros(n)
+        self.cell_hw_ready = np.zeros(n, dtype=bool)
+        self.cell_sample_count = np.zeros(n, dtype=np.int64)
+        self.cell_sample_due_s = np.full(n, np.inf)
+        self.cell_sample_from_s = np.zeros(n)
+        self.cell_sample_from_bytes = np.zeros(n)
+        #: per-lane sampling period δ = clamp(6·RTT, 0.5, 2.0) (§3.2).
+        self.wifi_delta_s = np.array(
+            [config.sampling_interval(p.wifi_rtt_s) for p in params])
+        self.cell_delta_s = np.array(
+            [config.sampling_interval(p.cell_rtt_s) for p in params])
+
+        # --- delayed establishment (§3.5, eMPTCP only) ----------------
+        self.tau_deadline_s = np.where(
+            self.protocol == PROTO_EMPTCP,
+            self.start_s + config.tau_seconds,
+            np.inf,
+        )
+        self.cell_established_t_s = np.full(n, np.inf)
+        self.postponements = np.zeros(n, dtype=np.int64)
+        #: κ triggers one evaluation when first crossed; afterwards only
+        #: the τ timer re-opens the question (mirrors control.delay).
+        self.kappa_checked = np.zeros(n, dtype=bool)
+
+        # --- path-usage controller (§3.3–3.4, eMPTCP only) ------------
+        self.decision = np.full(n, DEC_BOTH, dtype=np.int8)
+        self.decision_switches = np.zeros(n, dtype=np.int64)
+
+        # --- RRC + energy ---------------------------------------------
+        self.rrc = np.full(n, RRC_IDLE, dtype=np.int8)
+        self.rrc_until_s = np.full(n, np.inf)
+        self.rrc_promotions = np.zeros(n, dtype=np.int64)
+        self.energy_j = np.zeros(n)
+        self.energy_at_completion_j = np.full(n, np.nan)
+
+    # -- convenience views ---------------------------------------------
+    @property
+    def delivered_bytes(self) -> np.ndarray:
+        """Total delivered bytes per session (both lanes)."""
+        return self.wifi_delivered_bytes + self.cell_delivered_bytes
+
+    @property
+    def emptcp(self) -> np.ndarray:
+        return self.protocol == PROTO_EMPTCP
+
+
+__all__ = [
+    "DEC_BOTH",
+    "DEC_CELL_ONLY",
+    "DEC_WIFI_ONLY",
+    "DECISION_NAMES",
+    "FleetState",
+    "PROTO_EMPTCP",
+    "PROTO_MPTCP",
+    "PROTO_TCP_WIFI",
+    "PROTOCOL_CODES",
+    "RRC_ACTIVE",
+    "RRC_IDLE",
+    "RRC_PROMOTING",
+    "RRC_TAIL",
+    "SessionParams",
+]

@@ -80,6 +80,25 @@ EVENT_SCHEMA: Dict[str, Dict[str, Tuple[type, ...]]] = {
         "delivered_bytes": _NUM,
         "conn_bytes": _NUM,
     },
+    # flow.engine — sampled fleet-wide aggregates, one per obs epoch
+    # (large fleets cannot afford per-session events; this is the
+    # population-level heartbeat).
+    "fleet.epoch": {
+        "sessions": _NUM,
+        "active": _NUM,
+        "completed": _NUM,
+        "energy_j": _NUM,
+        "goodput_mbps": _NUM,
+    },
+    # flow.engine — per-session completion records for the first few
+    # sessions (a bounded sample; `conn` keys the trace source).
+    "fleet.session": {
+        "conn": _STR,
+        "protocol": _STR,
+        "bytes": _NUM,
+        "energy_j": _NUM,
+        "completed": _BOOL,
+    },
 }
 
 

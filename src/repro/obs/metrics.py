@@ -79,13 +79,14 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def percentile(self, p: float) -> float:
+    def percentile(self, p: float) -> Optional[float]:
         """The ``p``-th percentile (0–100, linear interpolation between
-        closest ranks); 0.0 for an empty histogram."""
+        closest ranks); ``None`` for an empty histogram — an absent
+        measurement, not a measured zero."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._values:
-            return 0.0
+            return None
         if not self._sorted:
             self._values.sort()
             self._sorted = True

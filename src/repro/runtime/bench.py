@@ -27,7 +27,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import Histogram
-from repro.runtime.perf import PerfMeter, PerfRecord
+from repro.runtime.perf import (
+    PERF_SCHEMA_VERSION,
+    PerfMeter,
+    PerfRecord,
+    peak_rss_kb,
+)
 from repro.runtime.spec import RunSpec
 from repro.units import mib
 
@@ -103,14 +108,79 @@ def measure_spec(
     return best, dist
 
 
+#: Fleet size of the flow-tier bench entry: big enough that the
+#: vectorized epoch loop dominates setup, small enough to stay
+#: interactive inside the suite.
+FLEET_BENCH_SESSIONS = 1_000
+FLEET_BENCH_DURATION_S = 30.0
+
+
+def measure_fleet(
+    sessions: int = FLEET_BENCH_SESSIONS,
+    duration_s: float = FLEET_BENCH_DURATION_S,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """One flow-tier fleet run as a bench record (best of ``repeats``).
+
+    The flow tier advances whole fleets per epoch instead of
+    dispatching simulator events, so its throughput metric is
+    *session-steps* per wall second (one session advanced by one
+    epoch = one "event"); the record is constructed directly with
+    ``events = session_steps`` so the CHK601 ``events/wall_s``
+    invariant holds exactly.
+    """
+    from repro.flow.fleet import FleetSpec, run_fleet
+
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    spec = FleetSpec(sessions=sessions, duration_s=duration_s)
+    best: Optional[Dict[str, Any]] = None
+    dist = Histogram("events_per_sec")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_fleet(spec)
+        wall = time.perf_counter() - start
+        eps = result.session_steps / wall if wall > 0 else 0.0
+        dist.observe(eps)
+        if best is None or eps > best["events_per_sec"]:
+            best = {
+                "schema": PERF_SCHEMA_VERSION,
+                "spec_hash": result.spec_hash,
+                "label": f"fleet-{sessions}",
+                "engine": "flow",
+                "wall_s": wall,
+                "sim_s": result.sim_t_end_s,
+                "events": result.session_steps,
+                "events_per_sec": eps,
+                "peak_rss_kb": peak_rss_kb(),
+            }
+    assert best is not None
+    best.update(
+        {
+            "key": f"fleet-{sessions}/flow",
+            "repeats": repeats,
+            "sessions": sessions,
+            "duration_s": duration_s,
+            "events_per_sec_p50": dist.percentile(50),
+        }
+    )
+    return best
+
+
 def run_bench(
     size_mb: float = 4.0,
     repeats: int = 3,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     engines: Sequence[str] = DEFAULT_ENGINES,
+    fleet_sessions: int = FLEET_BENCH_SESSIONS,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
-    """Run the suite; return a JSON-ready bench document."""
+    """Run the suite; return a JSON-ready bench document.
+
+    Alongside the per-figure download specs, the document carries one
+    flow-tier fleet entry (``fleet-<n>/flow``, sessions-stepped per
+    second); ``fleet_sessions=0`` skips it.
+    """
     records: List[Dict[str, Any]] = []
     for key, spec in bench_specs(size_mb, protocols, engines):
         if progress is not None:
@@ -126,6 +196,12 @@ def run_bench(
             }
         )
         records.append(entry)
+    if fleet_sessions > 0:
+        if progress is not None:
+            progress(f"bench fleet-{fleet_sessions}/flow (x {repeats})")
+        records.append(
+            measure_fleet(sessions=fleet_sessions, repeats=repeats)
+        )
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -373,6 +449,8 @@ __all__ = [
     "DEFAULT_ENGINES",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_THRESHOLD",
+    "FLEET_BENCH_DURATION_S",
+    "FLEET_BENCH_SESSIONS",
     "SCENARIOS",
     "BenchComparison",
     "BenchDelta",
@@ -382,6 +460,7 @@ __all__ = [
     "format_comparison",
     "format_overhead",
     "latest_bench",
+    "measure_fleet",
     "measure_spec",
     "profiling_overhead",
     "read_bench",

@@ -97,18 +97,17 @@ class TimeSeries:
             total += self.values[i] * (self.times[i + 1] - self.times[i])
         return total
 
-    def time_weighted_mean(self) -> float:
+    def time_weighted_mean(self) -> Optional[float]:
         """Mean value weighted by how long each sample was in effect.
 
         A plain average of the samples would over-weight any burst of
         closely spaced samples; integrating the step function divides
         out the actual span.  A single sample (or zero span) is its own
-        mean.
+        mean; an empty series has no mean and returns ``None`` (an
+        absent measurement, not a measured zero).
         """
         if not self.times:
-            raise SimulationError(
-                f"TimeSeries {self.name!r}: mean of an empty series"
-            )
+            return None
         span = self.times[-1] - self.times[0]
         if span <= 0.0:
             return self.values[-1]

@@ -1,0 +1,73 @@
+"""Empty-input guards: aggregation over nothing is an absent value.
+
+A histogram with no observations has no percentile and an empty time
+series has no mean — both used to pretend otherwise (0.0, or an
+exception deep inside a summary path).  These tests pin the contract:
+``None`` out, never a crash, and the call sites that fold the result
+into reports degrade gracefully.
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.sim.trace import TimeSeries
+
+
+class TestHistogramEmpty:
+    def test_percentile_of_empty_is_none(self):
+        hist = Histogram("h")
+        for p in (0, 50, 90, 99, 100):
+            assert hist.percentile(p) is None
+
+    def test_percentile_range_still_validated_when_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(-1)
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(100.5)
+
+    def test_summary_of_empty_is_all_zero(self):
+        assert Histogram("h").summary() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_one_observation_restores_percentiles(self):
+        hist = Histogram("h")
+        hist.observe(7.0)
+        assert hist.percentile(0) == 7.0
+        assert hist.percentile(100) == 7.0
+
+
+class TestTimeSeriesEmpty:
+    def test_time_weighted_mean_of_empty_is_none(self):
+        assert TimeSeries("s").time_weighted_mean() is None
+
+    def test_single_sample_is_its_own_mean(self):
+        series = TimeSeries("s")
+        series.record(1.0, 42.0)
+        assert series.time_weighted_mean() == 42.0
+
+    def test_zero_span_is_last_value(self):
+        series = TimeSeries("s")
+        series.record(1.0, 10.0)
+        series.record(1.0, 30.0)
+        assert series.time_weighted_mean() == 30.0
+
+    def test_weighted_mean_weights_by_dwell(self):
+        series = TimeSeries("s")
+        series.record(0.0, 10.0)   # holds 1 s
+        series.record(1.0, 20.0)   # holds 3 s
+        series.record(4.0, 99.0)   # final sample spans no time
+        assert series.time_weighted_mean() == pytest.approx((10 + 3 * 20) / 4)
+
+
+class TestAggregationCallSites:
+    def test_runner_mean_mbps_handles_empty(self):
+        from repro.experiments.runner import _mean_mbps
+
+        assert _mean_mbps(TimeSeries("empty")) == 0.0
+
+    def test_flow_mean_mbps_handles_empty(self):
+        from repro.flow.single import _mean_mbps
+
+        assert _mean_mbps(TimeSeries("empty")) == 0.0

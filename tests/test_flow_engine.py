@@ -1,0 +1,129 @@
+"""The vectorized fleet engine and its DataPlanePort adapter."""
+
+import numpy as np
+import pytest
+
+from repro.control.port import DataPlanePort, SubflowLike
+from repro.core.config import EMPTCPConfig
+from repro.errors import ConfigurationError
+from repro.experiments.protocols import build_protocol
+from repro.experiments.static_bw import static_scenario
+from repro.experiments.runner import run_scenario
+from repro.flow.dataplane import FlowDataPlane, FlowSubflowView
+from repro.flow.engine import FleetEngine
+from repro.flow.state import FleetState, SessionParams
+from repro.net.interface import InterfaceKind
+from repro.units import mbps_to_bytes_per_sec, mib
+
+
+def _single(protocol="emptcp", wifi_mbps=12.0, download_mb=2.0, **kw):
+    params = [
+        SessionParams(
+            protocol=protocol,
+            wifi_capacity_bytes_per_sec=mbps_to_bytes_per_sec(wifi_mbps),
+            cell_capacity_bytes_per_sec=mbps_to_bytes_per_sec(10.0),
+            download_bytes=mib(download_mb),
+            **kw,
+        )
+    ]
+    state = FleetState(params, EMPTCPConfig())
+    return state, FleetEngine(state)
+
+
+class TestPortConformance:
+    def test_dataplane_satisfies_port_protocols(self):
+        state, _engine = _single()
+        plane = FlowDataPlane(state, 0)
+        assert isinstance(plane, DataPlanePort)
+        wifi = plane.subflow(InterfaceKind.WIFI)
+        assert isinstance(wifi, FlowSubflowView)
+        assert isinstance(wifi, SubflowLike)
+
+    def test_cell_subflow_absent_until_established(self):
+        state, engine = _single(protocol="emptcp", wifi_mbps=0.8,
+                                download_mb=8.0)
+        plane = FlowDataPlane(state, 0)
+        assert plane.subflow(InterfaceKind.LTE) is None
+        engine.run_until(10.0, max_epochs=200)
+        assert bool(state.cell_established[0])
+        cell = plane.subflow(InterfaceKind.LTE)
+        assert cell is not None and cell.interface_kind is InterfaceKind.LTE
+
+    def test_tcp_wifi_cannot_join_cellular(self):
+        state, _engine = _single(protocol="tcp-wifi")
+        plane = FlowDataPlane(state, 0)
+        with pytest.raises(ConfigurationError):
+            plane.join_cellular()
+
+    def test_set_subflow_usage_counts_suspends(self):
+        state, engine = _single(protocol="mptcp")
+        engine.step()
+        plane = FlowDataPlane(state, 0)
+        plane.set_subflow_usage(InterfaceKind.WIFI, False)
+        assert bool(state.wifi_suspended[0])
+        assert int(state.wifi_suspend_count[0]) == 1
+        plane.set_subflow_usage(InterfaceKind.WIFI, False)  # idempotent
+        assert int(state.wifi_suspend_count[0]) == 1
+        plane.set_subflow_usage(InterfaceKind.WIFI, True)
+        assert not bool(state.wifi_suspended[0])
+
+
+class TestEngineBehavior:
+    def test_good_wifi_never_establishes_cell(self):
+        state, engine = _single(protocol="emptcp", wifi_mbps=12.0)
+        engine.run_until(30.0, max_epochs=300)
+        assert bool(state.done[0])
+        assert not bool(state.cell_established[0])
+
+    def test_bad_wifi_establishes_cell_at_tau(self):
+        state, engine = _single(protocol="emptcp", wifi_mbps=0.8,
+                                download_mb=8.0)
+        engine.run_until(30.0, max_epochs=300)
+        assert bool(state.cell_established[0])
+        cfg = EMPTCPConfig()
+        assert state.cell_established_t_s[0] == pytest.approx(
+            cfg.tau_seconds, abs=2 * engine.epoch_s
+        )
+
+    def test_all_closed_and_energy_recorded(self):
+        state, engine = _single(protocol="tcp-wifi")
+        engine.run_until(60.0, max_epochs=400)
+        assert engine.all_closed()
+        assert np.isfinite(state.energy_at_completion_j[0])
+        assert state.energy_j[0] > state.energy_at_completion_j[0] > 0
+
+    def test_step_budget_enforced(self):
+        from repro.errors import SimulationError
+
+        _state, engine = _single(download_mb=64.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1e6, max_epochs=4)
+
+
+class TestDeterminism:
+    def test_flow_scenario_is_deterministic(self):
+        scenario = static_scenario(False, download_bytes=mib(2))
+        a = run_scenario("emptcp", scenario, seed=3, engine="flow")
+        b = run_scenario("emptcp", scenario, seed=3, engine="flow")
+        assert a.download_time == b.download_time
+        assert a.energy_at_completion_j == b.energy_at_completion_j
+        assert a.diagnostics == b.diagnostics
+
+
+class TestEngineDispatch:
+    def test_build_protocol_rejects_flow(self):
+        scenario = static_scenario(True, download_bytes=mib(1))
+        with pytest.raises(ConfigurationError, match="flow"):
+            build_protocol(
+                "emptcp", None, None, None, None, scenario.profile,
+                engine="flow",
+            )
+
+    def test_run_scenario_rejects_unsupported_protocol(self):
+        scenario = static_scenario(True, download_bytes=mib(1))
+        with pytest.raises(ConfigurationError):
+            run_scenario("mdp", scenario, engine="flow")
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetState([], EMPTCPConfig())

@@ -1,0 +1,159 @@
+"""The flow tier's analytic physics (repro.flow.models)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import EMPTCPConfig
+from repro.core.eib import cached_eib
+from repro.core.forecast import HoltWintersForecaster
+from repro.energy.device import GALAXY_S3
+from repro.energy.power import Direction
+from repro.flow.models import (
+    INITIAL_WINDOW_BYTES,
+    EibTable,
+    epoch_rate_bytes_per_sec,
+    holt_winters_forecast_mbps,
+    holt_winters_update,
+    mathis_rate_bytes_per_sec,
+    ramp_bytes,
+)
+from repro.net.interface import InterfaceKind
+
+
+class TestMathis:
+    def test_lossless_is_uncapped(self):
+        rate = mathis_rate_bytes_per_sec(np.array([0.05]), np.array([0.0]))
+        assert np.isinf(rate[0])
+
+    def test_known_value(self):
+        # rate = (MSS / RTT) * sqrt(3/2 / p)
+        rtt, p, mss = 0.1, 0.01, 1448.0
+        rate = mathis_rate_bytes_per_sec(
+            np.array([rtt]), np.array([p]), mss_bytes=mss
+        )
+        assert rate[0] == pytest.approx((mss / rtt) * math.sqrt(1.5 / p))
+
+    def test_more_loss_is_slower(self):
+        rtt = np.array([0.05, 0.05])
+        loss = np.array([0.001, 0.01])
+        rates = mathis_rate_bytes_per_sec(rtt, loss)
+        assert rates[0] > rates[1]
+
+
+class TestRamp:
+    def test_before_origin_is_zero(self):
+        got = ramp_bytes(
+            np.array([0.0]), np.array([0.25]), np.array([1.0]),
+            np.array([0.05]), np.array([1e6]),
+        )
+        assert got[0] == 0.0
+
+    def test_unstarted_lane_is_zero(self):
+        got = ramp_bytes(
+            np.array([0.0]), np.array([0.25]), np.array([np.inf]),
+            np.array([0.05]), np.array([1e6]),
+        )
+        assert got[0] == 0.0
+
+    def test_long_window_approaches_capacity(self):
+        # Far past the ramp, an epoch transfers ~capacity * dt.
+        cap = 1.5e6
+        got = ramp_bytes(
+            np.array([100.0]), np.array([100.25]), np.array([0.0]),
+            np.array([0.05]), np.array([cap]),
+        )
+        assert got[0] == pytest.approx(cap * 0.25, rel=1e-6)
+
+    def test_integral_matches_numeric_quadrature(self):
+        # During the ramp the analytic integral must match brute force.
+        rtt, cap = 0.05, 1e7
+        t0, t1 = 0.1, 0.35
+        got = ramp_bytes(
+            np.array([t0]), np.array([t1]), np.array([0.0]),
+            np.array([rtt]), np.array([cap]),
+        )
+        r0 = INITIAL_WINDOW_BYTES / rtt
+        ts = np.linspace(t0, t1, 20001)
+        inst = np.minimum(cap, r0 * np.power(2.0, ts / rtt))
+        numeric = np.trapezoid(inst, ts)
+        assert got[0] == pytest.approx(numeric, rel=1e-3)
+
+
+class TestEpochRate:
+    def test_not_sending_is_zero(self):
+        rate = epoch_rate_bytes_per_sec(
+            0.0, 0.25, np.array([0.0]), np.array([0.05]),
+            np.array([0.0]), np.array([1e6]), np.array([False]),
+        )
+        assert rate[0] == 0.0
+
+    def test_loss_caps_below_capacity(self):
+        lossy = epoch_rate_bytes_per_sec(
+            100.0, 100.25, np.array([0.0]), np.array([0.1]),
+            np.array([0.05]), np.array([1e9]), np.array([True]),
+        )
+        mathis = mathis_rate_bytes_per_sec(np.array([0.1]), np.array([0.05]))
+        assert lossy[0] == pytest.approx(mathis[0], rel=1e-6)
+
+
+class TestEibTable:
+    def test_thresholds_match_scalar_eib(self):
+        eib = cached_eib(GALAXY_S3, InterfaceKind.LTE, Direction.DOWN)
+        table = EibTable(eib)
+        for cell_mbps in (0.5, 1.0, 5.0, 10.0, 25.0):
+            cell_only, wifi_only = table.thresholds_mbps(
+                np.array([cell_mbps])
+            )
+            expected_cell, expected_wifi = eib.thresholds(cell_mbps)
+            assert cell_only[0] == pytest.approx(
+                expected_cell, rel=1e-6, abs=1e-6
+            )
+            if math.isinf(expected_wifi):
+                assert wifi_only[0] >= 1e8
+            else:
+                assert wifi_only[0] == pytest.approx(
+                    expected_wifi, rel=1e-6, abs=1e-6
+                )
+
+
+class TestHoltWinters:
+    def test_matches_scalar_forecaster(self):
+        cfg = EMPTCPConfig()
+        scalar = HoltWintersForecaster(alpha=cfg.hw_alpha, beta=cfg.hw_beta)
+        n = 1
+        level = np.zeros(n)
+        trend = np.zeros(n)
+        ready = np.zeros(n, dtype=bool)
+        mask = np.ones(n, dtype=bool)
+        samples = [4.0, 6.0, 5.0, 8.0, 7.5]
+        for x in samples:
+            scalar.observe(x)
+            holt_winters_update(
+                np.array([x]), level, trend, ready, mask,
+                cfg.hw_alpha, cfg.hw_beta,
+            )
+        got = holt_winters_forecast_mbps(
+            level, trend, ready, cfg.initial_bandwidth_mbps
+        )
+        assert got[0] == pytest.approx(scalar.forecast(), rel=1e-9)
+
+    def test_pre_sample_fallback(self):
+        cfg = EMPTCPConfig()
+        got = holt_winters_forecast_mbps(
+            np.zeros(1), np.zeros(1), np.zeros(1, dtype=bool),
+            cfg.initial_bandwidth_mbps,
+        )
+        assert got[0] == cfg.initial_bandwidth_mbps
+
+    def test_update_respects_mask(self):
+        level = np.array([1.0, 1.0])
+        trend = np.array([0.0, 0.0])
+        ready = np.array([True, True])
+        mask = np.array([True, False])
+        holt_winters_update(
+            np.array([10.0, 10.0]), level, trend, ready, mask, 0.5, 0.5
+        )
+        assert level[0] != 1.0
+        assert level[1] == 1.0

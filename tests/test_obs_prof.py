@@ -210,7 +210,7 @@ class TestHistogramPercentiles:
         from repro.obs.metrics import Histogram
 
         hist = Histogram("h")
-        assert hist.percentile(50) == 0.0
+        assert hist.percentile(50) is None
         summary = hist.summary()
         assert summary == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                            "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}

@@ -148,8 +148,14 @@ class TestBench:
     def test_run_write_read_compare(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         doc = run_bench(size_mb=0.25, repeats=1,
-                        protocols=("emptcp",), engines=("fluid",))
-        assert len(doc["records"]) == 2
+                        protocols=("emptcp",), engines=("fluid",),
+                        fleet_sessions=100)
+        # fig05 + fig06 on the fluid engine, plus the fleet record
+        assert len(doc["records"]) == 3
+        fleet = doc["records"][-1]
+        assert fleet["key"] == "fleet-100/flow"
+        assert fleet["engine"] == "flow"
+        assert fleet["sessions"] == 100 and fleet["events"] > 0
         assert check_bench_doc(doc).ok
         path = write_bench(doc)
         assert path.name.startswith("BENCH_") and read_bench(path) == doc
@@ -160,7 +166,8 @@ class TestBench:
     def test_doctored_regression_detected(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         doc = run_bench(size_mb=0.25, repeats=1,
-                        protocols=("emptcp",), engines=("fluid",))
+                        protocols=("emptcp",), engines=("fluid",),
+                        fleet_sessions=0)
         doctored = copy.deepcopy(doc)
         doctored["records"][0]["events_per_sec"] *= 0.8  # >10% drop
         comparison = compare_bench(doc, doctored)
