@@ -416,58 +416,65 @@ def check_run_spec(spec: Any, build: bool = False) -> List[Finding]:
                 findings.extend(
                     check_scenario(scenario, context=spec.label)
                 )
-                engine = getattr(spec, "engine", "fluid")
-                if engine in ("packet", "flow") and scenario.interferers is not None:
-                    findings.append(
-                        Finding(
-                            rule="CHK243",
-                            message=f"scenario uses WiFi interferers, which "
-                            f"the {engine} engine does not model",
-                            context=spec.label,
-                        )
-                    )
     return findings
 
 
 def _check_engine(spec: Any) -> List[Finding]:
-    """CHK243: the spec's engine exists and supports its protocol."""
-    from repro.experiments.protocols import ENGINE_PROTOCOLS, ENGINES
+    """CHK243: the registry-driven engine gate.
+
+    The spec's engine must be registered, support the spec's protocol,
+    and model every feature its scenario needs — all read from the
+    :mod:`repro.engines` capability declarations, so a test-registered
+    fourth engine is covered without touching this code.  The feature
+    check materialises the scenario only for engines whose declared
+    set does not already cover everything derivable (the reference
+    engine's specs never pay the build), which is what turns the old
+    mid-run interferer crash into a pre-dispatch rejection with the
+    compiler's canonical message.
+    """
+    from repro import engines as _engines
     from repro.runtime.spec import _SCENARIO_FNS
 
-    engine = getattr(spec, "engine", "fluid")
+    engine = getattr(spec, "engine", _engines.DEFAULT_ENGINE)
     findings: List[Finding] = []
-    if engine not in ENGINES:
+    try:
+        eng = _engines.get_engine(engine)
+    except ConfigurationError as exc:
+        findings.append(
+            Finding(rule="CHK243", message=str(exc), context=spec.label)
+        )
+        return findings
+    if eng.name == _engines.DEFAULT_ENGINE and spec.builder not in _SCENARIO_FNS:
+        return findings
+    if spec.builder not in _SCENARIO_FNS:
         findings.append(
             Finding(
                 rule="CHK243",
-                message=f"unknown engine {engine!r} "
-                f"(available: {', '.join(ENGINES)})",
+                message=f"custom builder {spec.builder!r} may ignore "
+                f"engine={engine!r}",
+                severity=Severity.WARNING,
                 context=spec.label,
             )
         )
         return findings
-    if engine != "fluid":
-        supported = ENGINE_PROTOCOLS[engine]
-        if spec.builder in _SCENARIO_FNS and spec.protocol not in supported:
-            findings.append(
-                Finding(
-                    rule="CHK243",
-                    message=f"protocol {spec.protocol!r} is not available on "
-                    f"the {engine} engine "
-                    f"(supported: {', '.join(supported)})",
-                    context=spec.label,
+    message = _engines.protocol_error(eng, spec.protocol)
+    if message is not None:
+        findings.append(
+            Finding(rule="CHK243", message=message, context=spec.label)
+        )
+    if _engines.DERIVED_FEATURES - eng.features:
+        try:
+            scenario = _SCENARIO_FNS[spec.builder](**spec.kwargs)
+        except Exception:
+            pass  # unbuildable scenarios are CHK242's job (build=True)
+        else:
+            message = _engines.capability_error(eng, scenario)
+            if message is not None:
+                findings.append(
+                    Finding(
+                        rule="CHK243", message=message, context=spec.label
+                    )
                 )
-            )
-        elif spec.builder not in _SCENARIO_FNS:
-            findings.append(
-                Finding(
-                    rule="CHK243",
-                    message=f"custom builder {spec.builder!r} may ignore "
-                    f"engine={engine!r}",
-                    severity=Severity.WARNING,
-                    context=spec.label,
-                )
-            )
     return findings
 
 

@@ -57,44 +57,17 @@ def flow_agreement_specs(
     protocols: Sequence[str] = FLOW_AGREEMENT_PROTOCOLS,
     seeds: Sequence[int] = (0,),
 ) -> List[Tuple[str, "RunSpec", "RunSpec"]]:
-    """Matched (label, fluid spec, flow spec) triples.
-
-    Each pair names the *same* static-bandwidth scenario (§4.2 good and
-    bad WiFi) and differs only in ``engine="flow"`` — which also makes
-    the pair a live test that the engine field reaches the cache key.
+    """Matched (label, fluid spec, flow spec) triples — the flow
+    instantiation of
+    :func:`~repro.check.packet.cross_engine_agreement_specs`.  The
+    pair differing only in ``engine="flow"`` is also a live test that
+    the engine field reaches the cache key.
     """
-    from repro.experiments.static_bw import LAB_LTE_MBPS
-    from repro.runtime.spec import RunSpec
+    from repro.check.packet import cross_engine_agreement_specs
 
-    triples: List[Tuple[str, RunSpec, RunSpec]] = []
-    for good, wifi_label in ((True, "good-wifi"), (False, "bad-wifi")):
-        kwargs = {
-            "good_wifi": good,
-            "download_bytes": size_bytes,
-            "lte_mbps": LAB_LTE_MBPS,
-        }
-        for protocol in protocols:
-            for seed in seeds:
-                triples.append(
-                    (
-                        f"{protocol} on {wifi_label} seed {seed}",
-                        RunSpec(
-                            protocol=protocol,
-                            builder="static",
-                            kwargs=dict(kwargs),
-                            seed=seed,
-                            engine="fluid",
-                        ),
-                        RunSpec(
-                            protocol=protocol,
-                            builder="static",
-                            kwargs=dict(kwargs),
-                            seed=seed,
-                            engine="flow",
-                        ),
-                    )
-                )
-    return triples
+    return cross_engine_agreement_specs(
+        "flow", size_bytes=size_bytes, protocols=protocols, seeds=seeds
+    )
 
 
 def flow_agreement_report(

@@ -49,7 +49,7 @@ from repro.check.findings import Finding, Report, Severity, filter_noqa
 #: Subpackages of ``repro`` whose behaviour must be a pure function of
 #: (scenario, seed): anything here feeding on ambient entropy corrupts
 #: the result cache and the determinism detector.
-DETERMINISTIC_PACKAGES = ("sim", "core", "mptcp", "tcp", "flow")
+DETERMINISTIC_PACKAGES = ("sim", "core", "mptcp", "tcp", "flow", "engines")
 
 #: Wall-clock attributes of the ``time`` module (REP101).
 _WALLCLOCK_TIME_FNS = {

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.check.findings import Report
 from repro.errors import SimulationError
@@ -309,28 +309,38 @@ def agreement_report(
     return report
 
 
-#: Protocols compared across engines by default.  Plain MPTCP is
+#: Protocols compared fluid-vs-packet by default.  Plain MPTCP is
 #: deliberately excluded: its aggregate completion time is dominated by
 #: scheduler/coupling details the two engines model differently, so it
-#: sits outside the ±30% band (see EXPERIMENTS.md).
+#: sits outside the ±30% band (see EXPERIMENTS.md).  This is a live
+#: view of the packet engine's ``agreement_protocols`` declaration.
 AGREEMENT_PROTOCOLS = ("tcp-wifi", "emptcp")
 
 
-def engine_agreement_specs(
+def cross_engine_agreement_specs(
+    engine: str,
     size_bytes: float = mib(2),
-    protocols: Sequence[str] = AGREEMENT_PROTOCOLS,
+    protocols: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (0,),
 ) -> List[Tuple[str, "RunSpec", "RunSpec"]]:
-    """Matched (label, fluid spec, packet spec) triples.
+    """Matched (label, reference spec, ``engine`` spec) triples.
 
-    Each pair names the *same* static-bandwidth scenario (§4.2 good and
-    bad WiFi) and differs only in ``engine`` — the whole comparison
-    rides through the unified runner, so caching, manifests, and traces
-    apply to agreement runs like any other experiment.
+    The generic CHK5xx enumerator: each pair names the *same*
+    static-bandwidth scenario (§4.2 good and bad WiFi) and differs
+    only in ``engine``, so the whole comparison rides through the
+    unified runner — caching, manifests, and traces apply to agreement
+    runs like any other experiment.  ``protocols`` defaults to the
+    engine's registered ``agreement_protocols``; any engine added to
+    the :mod:`repro.engines` registry with a non-empty declaration is
+    enumerable here without further edits.
     """
+    from repro import engines as _engines
     from repro.experiments.static_bw import LAB_LTE_MBPS
     from repro.runtime.spec import RunSpec
 
+    eng = _engines.get_engine(engine)
+    if protocols is None:
+        protocols = eng.agreement_protocols
     triples: List[Tuple[str, RunSpec, RunSpec]] = []
     for good, wifi_label in ((True, "good-wifi"), (False, "bad-wifi")):
         kwargs = {
@@ -348,18 +358,49 @@ def engine_agreement_specs(
                             builder="static",
                             kwargs=dict(kwargs),
                             seed=seed,
-                            engine="fluid",
+                            engine=_engines.DEFAULT_ENGINE,
                         ),
                         RunSpec(
                             protocol=protocol,
                             builder="static",
                             kwargs=dict(kwargs),
                             seed=seed,
-                            engine="packet",
+                            engine=eng.name,
                         ),
                     )
                 )
     return triples
+
+
+def all_engine_agreement_specs(
+    size_bytes: float = mib(2), seeds: Sequence[int] = (0,)
+) -> Dict[str, List[Tuple[str, "RunSpec", "RunSpec"]]]:
+    """Agreement triples for *every* registered non-reference engine
+    that declares agreement protocols, keyed by engine name."""
+    from repro import engines as _engines
+
+    out: Dict[str, List[Tuple[str, "RunSpec", "RunSpec"]]] = {}
+    for name in _engines.engine_names():
+        if name == _engines.DEFAULT_ENGINE:
+            continue
+        if not _engines.get_engine(name).agreement_protocols:
+            continue
+        out[name] = cross_engine_agreement_specs(
+            name, size_bytes=size_bytes, seeds=seeds
+        )
+    return out
+
+
+def engine_agreement_specs(
+    size_bytes: float = mib(2),
+    protocols: Sequence[str] = AGREEMENT_PROTOCOLS,
+    seeds: Sequence[int] = (0,),
+) -> List[Tuple[str, "RunSpec", "RunSpec"]]:
+    """Matched (label, fluid spec, packet spec) triples — the packet
+    instantiation of :func:`cross_engine_agreement_specs`."""
+    return cross_engine_agreement_specs(
+        "packet", size_bytes=size_bytes, protocols=protocols, seeds=seeds
+    )
 
 
 def run_engine_agreement(

@@ -128,7 +128,7 @@ def _run_static(args, good: bool, fig: str) -> int:
 
 def _cmd_run(args) -> int:
     """One protocol on the §4.2 static scenario, on any engine."""
-    from repro.experiments.protocols import ENGINE_PROTOCOLS
+    from repro.engines import get_engine
     from repro.runtime.executor import group_results, run_specs
 
     protocol = args.subcommand or "emptcp"
@@ -137,7 +137,7 @@ def _cmd_run(args) -> int:
         print(f"unknown WiFi quality {wifi!r}; choose good or bad",
               file=sys.stderr)
         return 2
-    known = ENGINE_PROTOCOLS[args.engine]
+    known = get_engine(args.engine).protocols
     if protocol not in known:
         print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
               f"choose one of {', '.join(known)}", file=sys.stderr)
@@ -402,7 +402,7 @@ def _perf_profile(args) -> int:
     download under the span profiler and print the hot-path table."""
     from repro import obs
     from repro.check.perf import check_spans
-    from repro.experiments.protocols import ENGINE_PROTOCOLS
+    from repro.engines import get_engine
     from repro.obs import format_span_table
     from repro.runtime.spec import RunSpec
 
@@ -412,7 +412,7 @@ def _perf_profile(args) -> int:
         print(f"unknown WiFi quality {wifi!r}; choose good or bad",
               file=sys.stderr)
         return 2
-    known = ENGINE_PROTOCOLS[args.engine]
+    known = get_engine(args.engine).protocols
     if protocol not in known:
         print(f"unknown protocol {protocol!r} for engine {args.engine!r}; "
               f"choose one of {', '.join(known)}", file=sys.stderr)
@@ -980,11 +980,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # Validate --engine here, once, against the live registry: a typo
     # must exit with the list of engines, not fail deep inside a runner.
-    from repro.experiments.protocols import ENGINES
+    from repro.engines import engine_names
 
-    if args.engine not in ENGINES:
+    if args.engine not in engine_names():
         print(f"error: unknown engine {args.engine!r}; choose one of "
-              f"{', '.join(ENGINES)}", file=sys.stderr)
+              f"{', '.join(engine_names())}", file=sys.stderr)
         return 2
 
     cache_dir = args.cache_dir or str(ResultCache().root)

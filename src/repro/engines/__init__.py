@@ -1,0 +1,70 @@
+"""``repro.engines`` — the declared-capability seam between the
+experiment layer and the transport backends.
+
+Three backends reproduce the paper at different fidelities: the fluid
+rate model (the §4/§5 reference), the segment-level packet stack
+(validation), and the analytic vectorized flow tier (population
+scale).  Before this package, knowing what each could do meant five
+hand-maintained copies; now a backend is one :class:`Engine`
+registration — name, supported protocols, scenario features, obs
+fidelity, run/compile hooks — and the runner dispatch, CLI
+validation, CHK243 verify gate, ``build_protocol`` errors, and CHK5xx
+agreement-spec enumeration all read the registry.
+
+Registering a fourth engine (see ``tests/test_engines.py`` for a
+worked dummy) gets all of that for free.
+"""
+
+from repro.engines.base import (
+    ALL_FEATURES,
+    DEFAULT_ENGINE,
+    DERIVED_FEATURES,
+    FEATURE_BYTES,
+    FEATURE_DURATION,
+    FEATURE_INTERFERERS,
+    FEATURE_PER_CARRIER,
+    FEATURE_UPLOAD,
+    Engine,
+)
+from repro.engines.compiler import (
+    capability_error,
+    compile_scenario,
+    ensure_supported,
+    protocol_error,
+    required_features,
+    unsupported_features,
+    validate_run,
+)
+from repro.engines.registry import (
+    engine_names,
+    get_engine,
+    load_default_engines,
+    register_engine,
+    registered_engines,
+    unregister_engine,
+)
+
+__all__ = [
+    "ALL_FEATURES",
+    "DEFAULT_ENGINE",
+    "DERIVED_FEATURES",
+    "Engine",
+    "FEATURE_BYTES",
+    "FEATURE_DURATION",
+    "FEATURE_INTERFERERS",
+    "FEATURE_PER_CARRIER",
+    "FEATURE_UPLOAD",
+    "capability_error",
+    "compile_scenario",
+    "engine_names",
+    "ensure_supported",
+    "get_engine",
+    "load_default_engines",
+    "protocol_error",
+    "register_engine",
+    "registered_engines",
+    "required_features",
+    "unregister_engine",
+    "unsupported_features",
+    "validate_run",
+]

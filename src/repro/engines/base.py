@@ -1,0 +1,130 @@
+"""The :class:`Engine` capability record — the contract every backend
+declares once, instead of smearing engine knowledge across the
+experiment layer.
+
+An engine says what it *is* (name, description, observability
+fidelity), what it can *run* (supported protocols), and which scenario
+features it *models* (WiFi interferers, upload direction, duration-
+vs-bytes workloads, per-carrier cellular profiles).  Everything that
+used to special-case ``if engine == "packet"`` — the runner dispatch,
+the CLI's ``--engine`` validation, CHK243's pre-dispatch gate, the
+CHK5xx agreement-spec enumeration, ``build_protocol``'s error text —
+now reads this record from the registry, so a new backend is one
+registration, not five edits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The engine experiments run on unless told otherwise, and the
+#: reference side of every CHK5xx cross-engine agreement pair.
+DEFAULT_ENGINE = "fluid"
+
+# -- scenario features ------------------------------------------------------
+#
+# A feature names something a Scenario can ask for that not every
+# backend models.  The compiler derives the *required* set from a built
+# scenario (see :func:`repro.engines.compiler.required_features`) and
+# refuses the run at verify time when the engine's declared set does
+# not cover it.
+
+#: Markov on-off contenders on the WiFi channel (§4.4).
+FEATURE_INTERFERERS = "interferers"
+#: Upload direction (transmit-slope energy, direction-specific EIB).
+FEATURE_UPLOAD = "upload"
+#: Fixed measurement window instead of a finite transfer (§4.5).
+FEATURE_DURATION = "duration"
+#: Finite download of a known size (§4.2/§4.3 and the wild runs).
+FEATURE_BYTES = "bytes"
+#: Distinct capacity/power profiles per cellular carrier (future work;
+#: reserved so dual-LTE scenarios become one registration).
+FEATURE_PER_CARRIER = "per-carrier-profiles"
+
+#: Every feature an engine may declare.
+ALL_FEATURES = frozenset(
+    {
+        FEATURE_INTERFERERS,
+        FEATURE_UPLOAD,
+        FEATURE_DURATION,
+        FEATURE_BYTES,
+        FEATURE_PER_CARRIER,
+    }
+)
+
+#: The subset :func:`~repro.engines.compiler.required_features` can
+#: currently derive from a built :class:`Scenario`.  An engine that
+#: declares all of these never needs its scenarios built at verify
+#: time — nothing derivable could be unsupported.
+DERIVED_FEATURES = frozenset(
+    {FEATURE_INTERFERERS, FEATURE_UPLOAD, FEATURE_DURATION, FEATURE_BYTES}
+)
+
+#: ``run(protocol, scenario, seed) -> RunResult``.
+RunFn = Callable[[str, Any, int], Any]
+#: ``compile(scenario, sim, streams) -> backend-specific lowering``.
+CompileFn = Callable[[Any, Any, Any], Any]
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One transport backend, by declaration.
+
+    ``run`` executes a single (protocol, scenario, seed) and returns
+    the standard :class:`~repro.experiments.scenario.RunResult`;
+    ``compile`` lowers a :class:`~repro.experiments.scenario.Scenario`
+    to whatever the backend consumes (fluid ``NetworkPath`` pairs,
+    ``PacketLink`` pairs, flow state arrays).  Both are plain callables
+    so registrations can defer heavy imports inside closures.
+    """
+
+    name: str
+    #: Protocols this backend can run (``build_protocol``'s and the
+    #: CLI's validation source).
+    protocols: Tuple[str, ...]
+    #: Scenario features this backend models (⊆ :data:`ALL_FEATURES`).
+    features: FrozenSet[str]
+    run: RunFn
+    compile: CompileFn
+    #: "full" = per-event obs stream; "sampled" = periodic snapshots.
+    obs_fidelity: str = "full"
+    #: Per-connection constructor for ``build_protocol``; None means
+    #: the backend has no per-connection objects (the vectorized flow
+    #: tier) and ``build_protocol`` must refuse with a pointer to
+    #: ``run_scenario``.
+    protocol_factory: Optional[Callable[..., Any]] = None
+    #: Protocols whose fluid-vs-this agreement is checked by CHK5xx.
+    #: Empty for the reference engine itself (nothing to compare).
+    agreement_protocols: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an Engine needs a non-empty name")
+        if not self.protocols:
+            raise ConfigurationError(
+                f"engine {self.name!r} declares no protocols"
+            )
+        unknown = frozenset(self.features) - ALL_FEATURES
+        if unknown:
+            raise ConfigurationError(
+                f"engine {self.name!r} declares unknown features: "
+                f"{', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(ALL_FEATURES))})"
+            )
+        stray = set(self.agreement_protocols) - set(self.protocols)
+        if stray:
+            raise ConfigurationError(
+                f"engine {self.name!r} lists agreement protocols it does "
+                f"not support: {', '.join(sorted(stray))}"
+            )
+
+    def supports_protocol(self, protocol: str) -> bool:
+        return protocol in self.protocols
+
+    def missing_features(self, required: FrozenSet[str]) -> FrozenSet[str]:
+        """The subset of ``required`` this engine does not model."""
+        return frozenset(required) - self.features

@@ -1,0 +1,134 @@
+"""The scenario compiler: one :class:`Scenario`, lowered per backend.
+
+``required_features`` derives what a scenario actually asks for —
+interferers, upload direction, duration-vs-bytes workload — and the
+capability check compares that against the engine's declared feature
+set.  Rejections happen *here*, with one canonical message, at Tier-2
+verify time (CHK243, before any pool dispatch) and again defensively
+at the top of each backend's lowering; the three diverging runtime
+guards this replaces (``Scenario.packet_links``, ``flow/single.py``,
+``check/config.py``) are gone.
+
+``compile_scenario`` then hands the scenario to the engine's
+registered ``compile`` hook: fluid paths, ``PacketLink`` pairs, or
+flow state arrays — the runner never needs to know which.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional, Union
+
+from repro.engines.base import (
+    FEATURE_BYTES,
+    FEATURE_DURATION,
+    FEATURE_INTERFERERS,
+    FEATURE_UPLOAD,
+    Engine,
+)
+from repro.engines.registry import get_engine, registered_engines
+from repro.errors import ConfigurationError
+
+EngineRef = Union[str, Engine]
+
+
+def _resolve(engine: EngineRef) -> Engine:
+    return engine if isinstance(engine, Engine) else get_engine(engine)
+
+
+def required_features(scenario: Any) -> FrozenSet[str]:
+    """The features a built scenario needs from its engine.
+
+    Duck-typed on the :class:`~repro.experiments.scenario.Scenario`
+    fields so custom scenario-like objects participate: missing
+    attributes simply contribute nothing.
+    """
+    needed = set()
+    if getattr(scenario, "interferers", None) is not None:
+        needed.add(FEATURE_INTERFERERS)
+    direction = getattr(scenario, "direction", None)
+    if direction is not None and getattr(direction, "value", direction) != "down":
+        needed.add(FEATURE_UPLOAD)
+    if getattr(scenario, "duration", None) is not None:
+        needed.add(FEATURE_DURATION)
+    elif getattr(scenario, "download_bytes", None) is not None:
+        needed.add(FEATURE_BYTES)
+    return frozenset(needed)
+
+
+def unsupported_features(engine: EngineRef, scenario: Any) -> FrozenSet[str]:
+    """The scenario features this engine does not model (empty = runnable)."""
+    return _resolve(engine).missing_features(required_features(scenario))
+
+
+def capability_error(engine: EngineRef, scenario: Any) -> Optional[str]:
+    """The canonical capability-rejection message, or None if the
+    engine supports everything the scenario needs.
+
+    Every layer that refuses a (scenario, engine) pairing — CHK243,
+    the runner, each backend's lowering — formats it here, so the
+    message can never drift between copies again.
+    """
+    eng = _resolve(engine)
+    missing = eng.missing_features(required_features(scenario))
+    if not missing:
+        return None
+    name = getattr(scenario, "name", "<unnamed>")
+    able = sorted(
+        other.name
+        for other in registered_engines().values()
+        if not other.missing_features(frozenset(missing))
+    )
+    return (
+        f"scenario {name!r} needs {', '.join(sorted(missing))}, which the "
+        f"{eng.name!r} engine does not model; engines that do: "
+        f"{', '.join(able) if able else 'none registered'}"
+    )
+
+
+def protocol_error(engine: EngineRef, protocol: str) -> Optional[str]:
+    """The canonical unsupported-protocol message, or None if fine."""
+    eng = _resolve(engine)
+    if eng.supports_protocol(protocol):
+        return None
+    return (
+        f"protocol {protocol!r} is not supported by the {eng.name!r} "
+        f"engine (supported: {', '.join(eng.protocols)})"
+    )
+
+
+def ensure_supported(engine: EngineRef, scenario: Any) -> Engine:
+    """Raise the canonical error unless the engine models everything
+    the scenario needs; returns the resolved engine."""
+    eng = _resolve(engine)
+    message = capability_error(eng, scenario)
+    if message is not None:
+        raise ConfigurationError(message)
+    return eng
+
+
+def validate_run(
+    engine: EngineRef, protocol: str, scenario: Any
+) -> Engine:
+    """Full pre-run gate: engine exists, supports the protocol, and
+    models the scenario's features.  Raises
+    :class:`~repro.errors.ConfigurationError` with the canonical
+    message; returns the resolved engine on success."""
+    eng = _resolve(engine)
+    message = protocol_error(eng, protocol)
+    if message is not None:
+        raise ConfigurationError(message)
+    return ensure_supported(eng, scenario)
+
+
+def compile_scenario(
+    engine: EngineRef, scenario: Any, sim: Any, streams: Any
+) -> Any:
+    """Lower one scenario to the engine's native substrate.
+
+    Checks capabilities first, then delegates to the registered
+    ``compile`` hook — fluid ``(wifi_path, cell_path, channel)``,
+    packet ``(wifi_link, cell_link)``, or flow
+    ``(state, wifi_cap, cell_cap)``.
+    """
+    eng = ensure_supported(engine, scenario)
+    return eng.compile(scenario, sim, streams)

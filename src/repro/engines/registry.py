@@ -1,0 +1,77 @@
+"""The engine registry: the one place a backend is declared.
+
+Mirrors the scenario-builder registry in :mod:`repro.runtime.spec`:
+built-in engines are registered lazily on first lookup, tests may
+register (and unregister) extra engines, and every consumer — the
+runner, the CLI, CHK243, the agreement-spec enumeration — reads the
+live registry rather than a hand-maintained tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.engines.base import Engine
+from repro.errors import ConfigurationError
+
+_ENGINES: Dict[str, Engine] = {}
+_builtins_loaded = False
+
+
+def load_default_engines() -> None:
+    """Register the built-in backends (idempotent)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from repro.engines import builtin
+
+    builtin.register_builtin_engines()
+
+
+def register_engine(engine: Engine, replace: bool = False) -> Engine:
+    """Add an engine to the registry; returns it for chaining."""
+    load_default_engines()
+    if engine.name in _ENGINES and not replace:
+        raise ConfigurationError(
+            f"engine {engine.name!r} is already registered; "
+            "pass replace=True to override"
+        )
+    _ENGINES[engine.name] = engine
+    return engine
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (test cleanup); unknown names are a no-op."""
+    _ENGINES.pop(name, None)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names, the default engine first."""
+    load_default_engines()
+    from repro.engines.base import DEFAULT_ENGINE
+
+    names = sorted(_ENGINES)
+    if DEFAULT_ENGINE in names:
+        names.remove(DEFAULT_ENGINE)
+        names.insert(0, DEFAULT_ENGINE)
+    return tuple(names)
+
+
+def registered_engines() -> Dict[str, Engine]:
+    """A snapshot of the registry (name -> :class:`Engine`)."""
+    load_default_engines()
+    return dict(_ENGINES)
+
+
+def get_engine(name: str) -> Engine:
+    """Look an engine up, or refuse with the canonical unknown-engine
+    error (the same text the CLI and CHK243 surface)."""
+    load_default_engines()
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; choose one of "
+            f"{', '.join(engine_names())}"
+        ) from None

@@ -1,5 +1,5 @@
 """Protocol factory: one uniform constructor for every strategy the
-paper compares, on either engine.
+paper compares, on any registered engine.
 
 Every returned object exposes ``open()``, ``close()``,
 ``on_complete(cb)``, ``completed_at`` and ``bytes_received``.  On the
@@ -7,6 +7,14 @@ fluid engine energy flows through the paths' aggregate-rate listeners;
 on the packet engine the runner (or the eMPTCP adapter) probes
 delivered rates — either way the runner does not need to know which
 protocol it is driving.
+
+Engine dispatch goes through :mod:`repro.engines`: each registration
+carries its per-connection constructor (``protocol_factory``) and its
+supported-protocol tuple, so unsupported combinations fail with the
+registry's canonical error naming *that* engine's set.  The legacy
+module attributes (``ENGINES``, ``ENGINE_PROTOCOLS``,
+``PACKET_PROTOCOLS``, ``FLOW_PROTOCOLS``) are live views derived from
+the registrations — they can no longer drift apart.
 """
 
 from __future__ import annotations
@@ -28,29 +36,39 @@ from repro.net.interface import InterfaceKind
 from repro.sim.engine import Simulator
 from repro.tcp.connection import ByteSource
 
-#: Every strategy the harness can run (fluid engine).
+#: Every strategy the harness can run (the fluid engine's set — the
+#: reference engine registers exactly this tuple).
 PROTOCOLS = ("mptcp", "emptcp", "tcp-wifi", "wifi-first", "mdp", "single-path-mode")
-
-#: The subset available at segment granularity.
-PACKET_PROTOCOLS = ("emptcp", "mptcp", "tcp-wifi")
-
-#: The subset available on the analytic flow tier.
-FLOW_PROTOCOLS = ("emptcp", "mptcp", "tcp-wifi")
-
-#: The transport engines experiments can run on.
-ENGINES = ("fluid", "packet", "flow")
-
-#: Which protocols each engine supports (the CLI's validation source).
-ENGINE_PROTOCOLS = {
-    "fluid": PROTOCOLS,
-    "packet": PACKET_PROTOCOLS,
-    "flow": FLOW_PROTOCOLS,
-}
 
 #: Default throughput levels (Mbps) for the MDP scheduler's state space.
 MDP_LEVELS = (0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0)
 
 _POLICY_CACHE = {}
+
+
+def __getattr__(name: str):
+    """Live registry-derived views of the legacy tuple registries.
+
+    ``ENGINES``, ``ENGINE_PROTOCOLS``, ``PACKET_PROTOCOLS`` and
+    ``FLOW_PROTOCOLS`` used to be hand-maintained copies; deriving
+    them from the :mod:`repro.engines` registrations keeps old import
+    sites working while making drift impossible (a test-registered
+    fourth engine shows up in ``ENGINES`` automatically).
+    """
+    from repro import engines as _engines
+
+    if name == "ENGINES":
+        return _engines.engine_names()
+    if name == "ENGINE_PROTOCOLS":
+        return {
+            eng_name: eng.protocols
+            for eng_name, eng in _engines.registered_engines().items()
+        }
+    if name == "PACKET_PROTOCOLS":
+        return _engines.get_engine("packet").protocols
+    if name == "FLOW_PROTOCOLS":
+        return _engines.get_engine("flow").protocols
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def mdp_policy_for(
@@ -92,40 +110,67 @@ def build_protocol(
     arguments; ``engine="packet"`` expects
     :class:`~repro.packet.link.PacketLink` ones (plus ``cell_kind``,
     and optionally the runner-owned ``meter``/``rrc`` for eMPTCP).
+    Engines without per-connection objects (the vectorized flow tier)
+    refuse with a pointer to ``run_scenario``; protocols outside the
+    requested engine's registered set raise the canonical error naming
+    that engine's supported tuple.
     """
-    rng = rng or _random.Random(0)
-    if engine not in ENGINES:
+    from repro import engines as _engines
+
+    eng = _engines.get_engine(engine)
+    if eng.protocol_factory is None:
         raise ConfigurationError(
-            f"unknown engine {engine!r}; choose one of {ENGINES}"
+            f"the {eng.name!r} engine advances whole fleets vectorized and "
+            "has no per-connection objects; use "
+            f"run_scenario(..., engine={eng.name!r}) instead of build_protocol"
         )
-    if engine == "flow":
-        raise ConfigurationError(
-            "the flow engine advances whole fleets vectorized and has no "
-            "per-connection objects; use repro.flow.single.run_flow_scenario "
-            "(via run_scenario(..., engine='flow')) instead of build_protocol"
-        )
-    if engine == "packet":
-        return _build_packet_protocol(
-            protocol,
-            sim,
-            wifi_path,
-            cellular_path,
-            source,
-            profile,
-            config=config,
-            direction=direction,
-            cell_kind=cell_kind or InterfaceKind.LTE,
-            meter=meter,
-            rrc=rrc,
-        )
+    message = _engines.protocol_error(eng, protocol)
+    if message is not None:
+        raise ConfigurationError(message)
+    return eng.protocol_factory(
+        protocol,
+        sim=sim,
+        wifi=wifi_path,
+        cellular=cellular_path,
+        source=source,
+        profile=profile,
+        config=config,
+        rng=rng or _random.Random(0),
+        direction=direction,
+        cell_kind=cell_kind or InterfaceKind.LTE,
+        meter=meter,
+        rrc=rrc,
+    )
+
+
+def _build_fluid_protocol(
+    protocol: str,
+    sim: Simulator,
+    wifi: Any,
+    cellular: Any,
+    source: ByteSource,
+    profile: DeviceProfile,
+    config: Optional[EMPTCPConfig],
+    rng: _random.Random,
+    direction: Direction,
+    cell_kind: InterfaceKind,
+    meter,
+    rrc,
+):
+    """The fluid engine's registered ``protocol_factory``.
+
+    ``cell_kind``/``meter``/``rrc`` are part of the uniform factory
+    signature but unused here: fluid paths carry their interface kind
+    and the runner owns the energy wiring.
+    """
     if protocol == "tcp-wifi":
-        return SinglePathTcp(sim, wifi_path, source, rng=rng)
+        return SinglePathTcp(sim, wifi, source, rng=rng)
     if protocol == "mptcp":
         return MPTCPConnection(
             sim,
-            primary_path=wifi_path,
+            primary_path=wifi,
             source=source,
-            secondary_paths=[cellular_path],
+            secondary_paths=[cellular],
             mode=MptcpMode.FULL,
             rng=rng,
             auto_join=True,
@@ -134,9 +179,9 @@ def build_protocol(
     if protocol == "single-path-mode":
         return MPTCPConnection(
             sim,
-            primary_path=wifi_path,
+            primary_path=wifi,
             source=source,
-            secondary_paths=[cellular_path],
+            secondary_paths=[cellular],
             mode=MptcpMode.SINGLE_PATH,
             rng=rng,
             name="single-path",
@@ -144,22 +189,20 @@ def build_protocol(
     if protocol == "emptcp":
         return EMPTCPConnection(
             sim,
-            wifi_path,
-            cellular_path,
+            wifi,
+            cellular,
             source,
             profile=profile,
             config=config,
             rng=rng,
-            eib=cached_eib(profile, cellular_path.interface.kind, direction),
+            eib=cached_eib(profile, cellular.interface.kind, direction),
             direction=direction,
         )
     if protocol == "wifi-first":
-        return WiFiFirstConnection(sim, wifi_path, cellular_path, source, rng=rng)
+        return WiFiFirstConnection(sim, wifi, cellular, source, rng=rng)
     if protocol == "mdp":
-        policy = mdp_policy_for(profile, cellular_path.interface.kind, direction)
-        return MdpScheduledConnection(
-            sim, wifi_path, cellular_path, source, policy, rng=rng
-        )
+        policy = mdp_policy_for(profile, cellular.interface.kind, direction)
+        return MdpScheduledConnection(sim, wifi, cellular, source, policy, rng=rng)
     raise ConfigurationError(
         f"unknown protocol {protocol!r}; choose one of {PROTOCOLS}"
     )
@@ -168,24 +211,31 @@ def build_protocol(
 def _build_packet_protocol(
     protocol: str,
     sim: Simulator,
-    wifi_link,
-    cellular_link,
+    wifi: Any,
+    cellular: Any,
     source: ByteSource,
     profile: DeviceProfile,
     config: Optional[EMPTCPConfig],
+    rng: _random.Random,
     direction: Direction,
     cell_kind: InterfaceKind,
     meter,
     rrc,
 ):
+    """The packet engine's registered ``protocol_factory``.
+
+    ``rng`` is accepted for signature uniformity; packet links carry
+    their own seeded loss/serialization streams.
+    """
+    from repro import engines as _engines
     from repro.packet.emptcp import PacketEmptcp
     from repro.packet.mptcp import PacketMptcpConnection, single_path_connection
 
     if protocol == "emptcp":
         return PacketEmptcp(
             sim,
-            wifi_link,
-            cellular_link,
+            wifi,
+            cellular,
             source,
             profile=profile,
             config=config,
@@ -195,12 +245,10 @@ def _build_packet_protocol(
             rrc=rrc,
         )
     if protocol == "mptcp":
-        return PacketMptcpConnection(
-            sim, [wifi_link, cellular_link], source, name="pmptcp"
-        )
+        return PacketMptcpConnection(sim, [wifi, cellular], source, name="pmptcp")
     if protocol == "tcp-wifi":
-        return single_path_connection(sim, wifi_link, source)
+        return single_path_connection(sim, wifi, source)
     raise ConfigurationError(
-        f"protocol {protocol!r} is not available on the packet engine; "
-        f"choose one of {PACKET_PROTOCOLS}"
+        _engines.protocol_error("packet", protocol)
+        or f"the packet protocol factory has no constructor for {protocol!r}"
     )

@@ -1,6 +1,14 @@
 """Run one protocol on one scenario and measure what the paper measures.
 
-Responsibilities:
+``run_scenario`` is engine-agnostic: it resolves the named backend in
+the :mod:`repro.engines` registry, applies the capability gate
+(protocol supported, scenario features modelled — the same canonical
+check CHK243 runs pre-dispatch), and hands off to the engine's
+registered ``run`` hook.  No backend is special-cased here; adding an
+engine is a registration, not a runner edit.
+
+The rest of this module is the *fluid* backend's implementation —
+the rate-based reference model behind the §4/§5 results:
 
 * build fresh paths/capacity processes/interferers from the scenario's
   factories, with per-component seeded random streams;
@@ -20,8 +28,9 @@ from repro import obs as _obs
 from repro.energy.meter import EnergyMeter
 from repro.energy.power import Direction
 from repro.energy.rrc import RrcMachine
-from repro.errors import ConfigurationError, SimulationError
-from repro.experiments.protocols import ENGINES, build_protocol
+from repro.engines import DEFAULT_ENGINE, get_engine, validate_run
+from repro.errors import SimulationError
+from repro.experiments.protocols import build_protocol
 from repro.experiments.scenario import RunResult, Scenario
 from repro.mptcp.options import MpPrio
 from repro.net.contention import WiFiChannel
@@ -38,10 +47,33 @@ from repro.units import bytes_per_sec_to_mbps
 TRACE_INTERVAL = 1.0
 
 
+def run_scenario(
+    protocol: str, scenario: Scenario, seed: int = 0, engine: str = DEFAULT_ENGINE
+) -> RunResult:
+    """Execute one (protocol, scenario, seed) run on the chosen engine.
+
+    ``engine`` names any backend registered in :mod:`repro.engines`:
+    ``"fluid"`` is the rate-based model used throughout §4/§5,
+    ``"packet"`` replays the same scenario at segment granularity, and
+    ``"flow"`` uses the analytic vectorized tier.  All backends
+    produce the same :class:`RunResult` shape, flow through the same
+    caching/trace machinery, and emit the same observability events.
+
+    Unknown engines, unsupported protocols, and scenario features the
+    backend does not model all raise
+    :class:`~repro.errors.ConfigurationError` here — before any
+    simulation state exists — with the registry's canonical messages.
+    """
+    eng = get_engine(engine)
+    validate_run(eng, protocol, scenario)
+    return eng.run(protocol, scenario, seed)
+
+
 def build_paths(
     sim: Simulator, scenario: Scenario, streams: RandomStreams
 ) -> Tuple[NetworkPath, NetworkPath, Optional[WiFiChannel]]:
-    """Instantiate the WiFi and cellular paths for one run."""
+    """Instantiate the WiFi and cellular paths for one run (the fluid
+    engine's scenario lowering)."""
     wifi_cap = scenario.wifi_capacity(streams.stream("wifi-capacity"))
     cell_cap = scenario.cell_capacity(streams.stream("cell-capacity"))
     channel = WiFiChannel(wifi_cap) if scenario.interferers is not None else None
@@ -90,30 +122,8 @@ def setup_energy(
     return meter, rrc
 
 
-def run_scenario(
-    protocol: str, scenario: Scenario, seed: int = 0, engine: str = "fluid"
-) -> RunResult:
-    """Execute one (protocol, scenario, seed) run on the chosen engine.
-
-    ``engine="fluid"`` is the rate-based model used throughout §4/§5;
-    ``engine="packet"`` replays the same scenario at segment
-    granularity (supported protocols:
-    :data:`~repro.experiments.protocols.PACKET_PROTOCOLS`);
-    ``engine="flow"`` uses the analytic vectorized tier
-    (:data:`~repro.experiments.protocols.FLOW_PROTOCOLS`).  All three
-    produce the same :class:`RunResult` shape, flow through the same
-    caching/trace machinery, and emit the same observability events.
-    """
-    if engine == "packet":
-        return _run_packet_scenario(protocol, scenario, seed)
-    if engine == "flow":
-        from repro.flow.single import run_flow_scenario
-
-        return run_flow_scenario(protocol, scenario, seed)
-    if engine != "fluid":
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; choose one of {ENGINES}"
-        )
+def run_fluid_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
+    """Execute one (protocol, scenario, seed) run on the fluid engine."""
     sim = Simulator()
     streams = RandomStreams(seed)
     wifi_path, cell_path, _channel = build_paths(sim, scenario, streams)
@@ -237,215 +247,6 @@ def _checkpoint_subflows(sim: Simulator, conn, conn_bytes: float) -> None:
             delivered_bytes=sf.bytes_delivered,
             conn_bytes=conn_bytes,
         )
-
-
-def _run_packet_scenario(protocol: str, scenario: Scenario, seed: int) -> RunResult:
-    """The packet-engine twin of the fluid run path.
-
-    Links come from :meth:`Scenario.packet_links` (same capacity
-    factories, same seeded streams); the runner owns the energy meter
-    and RRC machine exactly as on the fluid engine, probing delivered
-    rates since packet links have no aggregate-rate listeners.
-    """
-    from repro.net.interface import InterfaceKind as _IK
-
-    sim = Simulator()
-    streams = RandomStreams(seed)
-    wifi_link, cell_link = scenario.packet_links(sim, streams)
-    profile = scenario.profile
-    cell_kind = scenario.cell_kind
-
-    meter = EnergyMeter(sim, profile, direction=scenario.direction)
-    rrc = RrcMachine(sim, profile.rrc[cell_kind])
-    rrc.on_state_change(lambda _t, state: meter.set_rrc_state(cell_kind, state))
-    meter.add_one_shot(profile.wifi_activation_j)
-
-    if scenario.download_bytes is not None:
-        source = FiniteSource(scenario.download_bytes)
-    else:
-        source = InfiniteSource()
-    conn = build_protocol(
-        protocol,
-        sim,
-        wifi_link,
-        cell_link,
-        source,
-        profile=profile,
-        config=scenario.emptcp_config,
-        direction=scenario.direction,
-        engine="packet",
-        cell_kind=cell_kind,
-        meter=meter,
-        rrc=rrc,
-    )
-
-    # The eMPTCP adapter probes rates into the shared meter itself;
-    # plain packet protocols need the runner's prober.
-    prober: Optional[PeriodicProcess] = None
-    if not hasattr(conn, "bytes_by_kind"):
-        acked_cursor: Dict[int, float] = {}
-
-        def probe() -> None:
-            for i, subflow in enumerate(conn.subflows):
-                kind = _IK.WIFI if i == 0 else cell_kind
-                acked = subflow.bytes_acked_total
-                rate = (acked - acked_cursor.get(i, 0.0)) / 0.25
-                acked_cursor[i] = acked
-                meter.set_rate(kind, max(0.0, rate))
-                if kind.is_cellular and rate > 0:
-                    rrc.on_activity(sim.now)
-
-        prober = PeriodicProcess(sim, 0.25, probe)
-        prober.start()
-
-    # --- tracing ---------------------------------------------------------
-    wifi_rates = TimeSeries("wifi-rate-Bps")
-    cell_rates = TimeSeries("cell-rate-Bps")
-    wifi_avail = TimeSeries("wifi-available-Bps")
-    cell_avail = TimeSeries("cell-available-Bps")
-    delivered_cursor = {_IK.WIFI: 0.0, cell_kind: 0.0}
-
-    def trace_tick() -> None:
-        now = sim.now
-        by_kind = _packet_bytes_by_kind(conn, cell_kind)
-        for kind, series in ((_IK.WIFI, wifi_rates), (cell_kind, cell_rates)):
-            delivered = by_kind.get(kind, 0.0)
-            series.record(
-                now, (delivered - delivered_cursor[kind]) / TRACE_INTERVAL
-            )
-            delivered_cursor[kind] = delivered
-        wifi_avail.record(now, wifi_link.capacity.rate)
-        cell_avail.record(now, cell_link.capacity.rate)
-
-    tracer = PeriodicProcess(sim, TRACE_INTERVAL, trace_tick)
-    tracer.start(immediate=True)
-
-    # --- run -------------------------------------------------------------
-    conn.open()
-    if scenario.download_bytes is not None:
-        conn.on_complete(lambda _c: sim.stop())
-        sim.run(until=scenario.max_sim_time)
-        if conn.completed_at is None:
-            raise SimulationError(
-                f"{protocol} on {scenario.name} (packet engine): transfer "
-                f"did not complete within {scenario.max_sim_time}s"
-            )
-        download_time = conn.completed_at
-    else:
-        sim.run(until=scenario.duration)
-        download_time = None
-
-    bytes_received = conn.bytes_received
-    energy_at_completion = meter.checkpoint()
-    _checkpoint_packet_subflows(sim, conn, cell_kind)
-
-    # --- drain the residual cellular tail --------------------------------
-    tracer.stop()
-    conn.close()
-    if prober is not None:
-        prober.stop()
-        meter.set_rate(_IK.WIFI, 0.0)
-        meter.set_rate(cell_kind, 0.0)
-    rrc_params = profile.rrc[cell_kind]
-    drain = (
-        rrc_params.promotion_time + rrc_params.active_hold + rrc_params.tail_time + 1.0
-    )
-    sim.run(until=sim.now + drain)
-    energy_total = meter.checkpoint()
-
-    return RunResult(
-        protocol=protocol,
-        scenario=scenario.name,
-        seed=seed,
-        download_time=download_time,
-        bytes_received=bytes_received,
-        energy_j=energy_total,
-        energy_at_completion_j=energy_at_completion,
-        energy_series=meter.energy_series,
-        wifi_rate_series=wifi_rates,
-        cell_rate_series=cell_rates,
-        measured_wifi_mbps=_mean_mbps(wifi_avail),
-        measured_cell_mbps=_mean_mbps(cell_avail),
-        diagnostics=_packet_diagnostics(conn, cell_kind),
-    )
-
-
-def _packet_mptcp_of(conn):
-    """The underlying PacketMptcpConnection of any packet protocol."""
-    return getattr(conn, "mptcp", conn if hasattr(conn, "subflows") else None)
-
-
-def _packet_bytes_by_kind(conn, cell_kind) -> Dict:
-    """Unique delivered bytes per interface for any packet protocol."""
-    if hasattr(conn, "bytes_by_kind"):
-        return conn.bytes_by_kind()
-    from repro.net.interface import InterfaceKind as _IK
-
-    out = {_IK.WIFI: 0.0, cell_kind: 0.0}
-    mp = _packet_mptcp_of(conn)
-    if mp is not None:
-        for i in range(len(mp.subflows)):
-            kind = _IK.WIFI if i == 0 else cell_kind
-            out[kind] = out.get(kind, 0.0) + mp.subflow_delivered[i]
-    return out
-
-
-def _checkpoint_packet_subflows(sim: Simulator, conn, cell_kind) -> None:
-    """Packet twin of :func:`_checkpoint_subflows` (same CHK306 events).
-
-    ``subflow_delivered`` counts unique DSN bytes, so the subflows sum
-    exactly to in-order delivery plus whatever still sits in the
-    reassembly buffer (zero at completion; nonzero only when a fixed
-    measurement window cut the run mid-flight).
-    """
-    trace = _obs.tracer_or_none()
-    if trace is None:
-        return
-    from repro.net.interface import InterfaceKind as _IK
-
-    mp = _packet_mptcp_of(conn)
-    if mp is None:
-        return
-    conn_bytes = mp.bytes_delivered + mp.reassembly_buffered
-    for i, sf in enumerate(mp.subflows):
-        kind = _IK.WIFI if i == 0 else cell_kind
-        trace.emit(
-            "subflow.checkpoint",
-            t=sim.now,
-            subflow=sf.name,
-            interface=kind.value,
-            delivered_bytes=mp.subflow_delivered[i],
-            conn_bytes=conn_bytes,
-        )
-
-
-def _packet_diagnostics(conn, cell_kind) -> Dict[str, float]:
-    """Pull counters off a packet-engine connection."""
-    from repro.net.interface import InterfaceKind as _IK
-
-    diag: Dict[str, float] = {}
-    mp = _packet_mptcp_of(conn)
-    if mp is not None:
-        diag["subflows"] = float(len(mp.subflows))
-        diag["reinjections"] = float(mp.reinjections)
-        for kind, total in _packet_bytes_by_kind(conn, cell_kind).items():
-            diag[f"{kind.value}_bytes"] = total
-    port_subflow = getattr(conn, "subflow", None)
-    if callable(port_subflow):
-        for kind in (_IK.WIFI, cell_kind):
-            view = port_subflow(kind)
-            diag[f"{kind.value}_suspends"] = float(
-                view.suspend_count if view is not None else 0.0
-            )
-    controller = getattr(conn, "controller", None)
-    if controller is not None:
-        diag["decision_switches"] = float(controller.switches)
-    delayed = getattr(conn, "delayed", None)
-    if delayed is not None:
-        diag["cell_established"] = 1.0 if delayed.done else 0.0
-        if delayed.established_at is not None:
-            diag["cell_established_at"] = delayed.established_at
-    return diag
 
 
 def _diagnostics(conn) -> Dict[str, float]:

@@ -65,42 +65,6 @@ class Scenario:
         if not self.cell_kind.is_cellular:
             raise ConfigurationError("cell_kind must be cellular")
 
-    def packet_links(self, sim: Simulator, streams) -> tuple:
-        """Materialize this scenario as segment-level links — the
-        packet engine's counterpart of the fluid paths.
-
-        Returns ``(wifi_link, cell_link)``.  The same capacity-process
-        factories feed both engines, so a scenario means the same
-        network on either; WiFi contention has no packet-level
-        counterpart yet, so scenarios with interferers are fluid-only.
-        """
-        from repro.packet.link import PacketLink
-
-        if self.interferers is not None:
-            raise ConfigurationError(
-                f"scenario {self.name!r} uses WiFi interferers, which the "
-                "packet engine does not model; run it with engine='fluid'"
-            )
-        wifi_link = PacketLink(
-            sim,
-            self.wifi_capacity(streams.stream("wifi-capacity")),
-            one_way_delay=self.wifi_rtt / 2,
-            loss_rate=self.wifi_loss,
-            rng=streams.stream("wifi-link"),
-            name="wifi",
-        )
-        cell_link = PacketLink(
-            sim,
-            self.cell_capacity(streams.stream("cell-capacity")),
-            one_way_delay=self.cell_rtt / 2,
-            loss_rate=self.cell_loss,
-            rng=streams.stream("cell-link"),
-            name=self.cell_kind.value,
-        )
-        wifi_link.attach(sim)
-        cell_link.attach(sim)
-        return wifi_link, cell_link
-
 
 @dataclass
 class RunResult:

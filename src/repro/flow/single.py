@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Dict
 
 from repro import obs as _obs
-from repro.errors import ConfigurationError, SimulationError
+from repro.engines.compiler import ensure_supported, validate_run
+from repro.errors import SimulationError
 from repro.experiments.scenario import RunResult, Scenario
 from repro.flow.engine import FleetEngine
 from repro.flow.state import PROTO_EMPTCP, FleetState, SessionParams
@@ -32,28 +33,27 @@ from repro.units import bytes_per_sec_to_mbps
 TRACE_INTERVAL_S = 1.0
 
 
-def run_flow_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
-    """Execute one (protocol, scenario, seed) run on the flow engine."""
-    from repro.experiments.protocols import FLOW_PROTOCOLS
+def compile_flow_scenario(
+    scenario: Scenario,
+    sim: Simulator,
+    streams: RandomStreams,
+    protocol: str = "emptcp",
+):
+    """Lower one scenario to flow-tier state: a one-session
+    :class:`~repro.flow.state.FleetState` plus the live capacity
+    processes, attached to ``sim`` (an event simulator that exists
+    only to evolve them between epochs).
 
-    if protocol not in FLOW_PROTOCOLS:
-        raise ConfigurationError(
-            f"protocol {protocol!r} is not supported by the flow engine; "
-            f"choose one of {FLOW_PROTOCOLS}"
-        )
-    if scenario.interferers is not None:
-        raise ConfigurationError(
-            f"scenario {scenario.name!r} uses WiFi interferers, which the "
-            "flow engine does not model; run it with engine='fluid'"
-        )
-
-    cap_sim = Simulator()
-    streams = RandomStreams(seed)
+    Returns ``(state, wifi_cap, cell_cap)``.  Capability mismatches
+    (WiFi contention has no analytic counterpart) are normally caught
+    at Tier-2 verify time; the check here is the defensive backstop
+    for direct callers, with the same canonical error.
+    """
+    ensure_supported("flow", scenario)
     wifi_cap = scenario.wifi_capacity(streams.stream("wifi-capacity"))
     cell_cap = scenario.cell_capacity(streams.stream("cell-capacity"))
-    wifi_cap.attach(cap_sim)
-    cell_cap.attach(cap_sim)
-
+    wifi_cap.attach(sim)
+    cell_cap.attach(sim)
     download_bytes = (
         scenario.download_bytes
         if scenario.download_bytes is not None
@@ -73,6 +73,18 @@ def run_flow_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunRe
             )
         ],
         scenario.emptcp_config,
+    )
+    return state, wifi_cap, cell_cap
+
+
+def run_flow_scenario(protocol: str, scenario: Scenario, seed: int = 0) -> RunResult:
+    """Execute one (protocol, scenario, seed) run on the flow engine."""
+    validate_run("flow", protocol, scenario)
+
+    cap_sim = Simulator()
+    streams = RandomStreams(seed)
+    state, wifi_cap, cell_cap = compile_flow_scenario(
+        scenario, cap_sim, streams, protocol=protocol
     )
     engine = FleetEngine(
         state,
@@ -208,4 +220,4 @@ def _diagnostics(engine: FleetEngine, protocol: str) -> Dict[str, float]:
     return diag
 
 
-__all__ = ["TRACE_INTERVAL_S", "run_flow_scenario"]
+__all__ = ["TRACE_INTERVAL_S", "compile_flow_scenario", "run_flow_scenario"]

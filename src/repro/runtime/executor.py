@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import random
 import signal
 import threading
 import time
@@ -67,6 +68,8 @@ class RuntimeContext:
     retries: int = 2
     #: Base backoff between retry waves, seconds.
     backoff_s: float = 0.5
+    #: Hard ceiling on any single retry delay, seconds.
+    max_backoff_s: float = 30.0
     #: Per-run trace/metrics capture (None = observability off).
     obs: Optional[_obs.ObsOptions] = None
     #: Where per-run :class:`~repro.runtime.perf.PerfRecord`s
@@ -133,6 +136,7 @@ def run_many(
     timeout_s: Any = _INHERIT,
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
+    max_backoff_s: Optional[float] = None,
     obs: Any = _INHERIT,
     verify: Optional[bool] = None,
     perf_store: Any = _INHERIT,
@@ -153,6 +157,7 @@ def run_many(
     timeout_s = ctx.timeout_s if timeout_s is _INHERIT else timeout_s
     retries = ctx.retries if retries is None else retries
     backoff_s = ctx.backoff_s if backoff_s is None else backoff_s
+    max_backoff_s = ctx.max_backoff_s if max_backoff_s is None else max_backoff_s
     obs = ctx.obs if obs is _INHERIT else obs
     verify = ctx.verify if verify is None else verify
     perf_store = ctx.perf_store if perf_store is _INHERIT else perf_store
@@ -172,6 +177,7 @@ def run_many(
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
+        max_backoff_s=max_backoff_s,
         obs=obs,
         perf_store=perf_store,
     )
@@ -196,6 +202,26 @@ def run_many(
             f"{specs[first_index].label}: {first_exc}"
         ) from first_exc
     return results
+
+
+def retry_delay_s(
+    base_s: float,
+    cap_s: float,
+    prev_s: float,
+    rng: random.Random,
+) -> float:
+    """One decorrelated-jitter retry delay (uniform in
+    ``[base, 3 * prev]``, capped at ``cap_s``).
+
+    A wave of workers killed by the same cause (OOM, a rebooted
+    license server) must not retry in lockstep: each delay is drawn
+    independently, and feeding the previous delay back in grows the
+    spread roughly exponentially while the cap bounds the worst case.
+    """
+    if base_s <= 0:
+        return 0.0
+    upper = max(base_s, 3.0 * prev_s)
+    return min(cap_s, rng.uniform(base_s, upper))
 
 
 def _verify_before_dispatch(specs: Sequence[RunSpec]) -> None:
@@ -229,6 +255,7 @@ class _BatchState:
         timeout_s: Optional[float],
         retries: int,
         backoff_s: float,
+        max_backoff_s: float = 30.0,
         obs: Optional[_obs.ObsOptions] = None,
         perf_store: Optional[PerfStore] = None,
     ):
@@ -240,9 +267,25 @@ class _BatchState:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
         self.obs = obs
         self.perf_store = perf_store
         self.failures: List[Tuple[int, BaseException]] = []
+        # Retry pacing: per-spec previous delay for decorrelated
+        # jitter.  Deliberately unseeded — these delays never touch
+        # simulation results, and sharing entropy across processes is
+        # exactly what the jitter exists to avoid.
+        self._retry_rng = random.Random()
+        self._retry_prev: Dict[int, float] = {}
+
+    def next_retry_delay(self, index: int) -> float:
+        """The jittered, capped backoff before retrying one spec."""
+        prev = self._retry_prev.get(index, self.backoff_s)
+        delay = retry_delay_s(
+            self.backoff_s, self.max_backoff_s, prev, self._retry_rng
+        )
+        self._retry_prev[index] = delay
+        return delay
 
     def consume_cache(self) -> List[int]:
         """Fill cached results; return the indices still to execute."""
@@ -446,7 +489,7 @@ def _run_serial(state: _BatchState, pending: List[int]) -> None:
                     state.record(
                         spec, "retried", wall_time_s=wall, attempt=attempt
                     )
-                    time.sleep(state.backoff_s * attempt)
+                    time.sleep(state.next_retry_delay(i))
                     continue
                 state.fail(i, exc, wall, "local", attempt)
                 break
@@ -555,7 +598,7 @@ def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
                     else:
                         state.fail(i, exc, 0.0, "pool", attempts[i])
                 if queue:
-                    time.sleep(state.backoff_s * max(attempts[i] for i in queue))
+                    time.sleep(max(state.next_retry_delay(i) for i in queue))
                     pool = _make_pool(jobs)
     finally:
         pool.shutdown(wait=True)

@@ -7,6 +7,7 @@ fluid/packet parity: the same control-plane decision sequence on the
 same scenario, whichever engine carries the bytes.
 """
 
+import dataclasses
 import random
 
 import pytest
@@ -153,7 +154,10 @@ class TestChk243:
         finally:
             _REGISTRY.pop("ctl-test-custom", None)
 
-    def test_interferer_scenario_rejected_on_build(self):
+    def test_interferer_scenario_rejected_by_cheap_gate(self):
+        # The capability check derives required features from the built
+        # scenario, so the cheap pre-dispatch gate already sees the
+        # interferers — no pool worker ever starts.
         spec = RunSpec(
             protocol="emptcp",
             builder="background",
@@ -161,9 +165,10 @@ class TestChk243:
                     "download_bytes": mib(1)},
             engine="packet",
         )
-        assert check_run_spec(spec) == []  # cheap gate cannot see it
-        findings = check_run_spec(spec, build=True)
+        findings = check_run_spec(spec)
         assert "CHK243" in chk_rules(findings)
+        assert "interferers" in findings[0].message
+        assert check_run_spec(dataclasses.replace(spec, engine="fluid")) == []
 
 
 # ---------------------------------------------------------------------------

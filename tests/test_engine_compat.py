@@ -1,0 +1,107 @@
+"""Property-style sweep over Scenario feature combinations (seeded,
+no hypothesis dependency).
+
+For every randomly generated feature combination and every registered
+engine, exactly one of two things must happen: the engine *compiles*
+the scenario (its registered lowering succeeds), or the pairing is
+*rejected at verify time* with the compiler's canonical
+ConfigurationError — and the two calls agree.  No combination may
+ever escape the gate and then blow up inside an engine, which is the
+drift mode this seam exists to kill.
+"""
+
+import random
+
+import pytest
+
+from repro import engines
+from repro.energy.power import Direction
+from repro.errors import ConfigurationError
+from repro.experiments.scenario import Scenario
+from repro.net.bandwidth import ConstantCapacity
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.units import mbps_to_bytes_per_sec, mib
+
+N_TRIALS = 30
+
+
+def make_scenario(rng: random.Random, index: int) -> Scenario:
+    """One random feature combination (network shape varies too, so
+    the lowerings are exercised on non-default parameters)."""
+    wifi_mbps = rng.choice((0.5, 2.0, 8.0, 20.0))
+    cell_mbps = rng.choice((1.0, 6.0, 12.0))
+    finite = rng.random() < 0.5
+    kwargs = {}
+    if finite:
+        kwargs["download_bytes"] = mib(rng.choice((1, 4, 16)))
+    else:
+        kwargs["duration"] = rng.choice((10.0, 60.0))
+    if rng.random() < 0.4:
+        kwargs["interferers"] = lambda sim, channel, _rng: []
+    if rng.random() < 0.3:
+        kwargs["direction"] = Direction.UP
+    return Scenario(
+        name=f"combo-{index}",
+        wifi_capacity=lambda r, m=wifi_mbps: ConstantCapacity(
+            mbps_to_bytes_per_sec(m)
+        ),
+        cell_capacity=lambda r, m=cell_mbps: ConstantCapacity(
+            mbps_to_bytes_per_sec(m)
+        ),
+        wifi_rtt=rng.choice((0.02, 0.05, 0.12)),
+        cell_rtt=rng.choice((0.05, 0.09)),
+        **kwargs,
+    )
+
+
+class TestEveryEngineCompilesOrRejects:
+    def test_sweep(self):
+        rng = random.Random(0xE7C)
+        rejections = 0
+        compilations = 0
+        for index in range(N_TRIALS):
+            scenario = make_scenario(rng, index)
+            for name in engines.engine_names():
+                expected = engines.capability_error(name, scenario)
+                if expected is None:
+                    # Must lower cleanly — a rejection the gate did not
+                    # predict, or any crash, fails the property.
+                    lowered = engines.compile_scenario(
+                        name, scenario, Simulator(), RandomStreams(0)
+                    )
+                    assert lowered is not None, (name, scenario.name)
+                    compilations += 1
+                else:
+                    with pytest.raises(ConfigurationError) as exc:
+                        engines.compile_scenario(
+                            name, scenario, Simulator(), RandomStreams(0)
+                        )
+                    assert str(exc.value) == expected, (name, scenario.name)
+                    rejections += 1
+        # The seed must actually exercise both outcomes.
+        assert compilations > 0 and rejections > 0
+
+    def test_validate_run_adds_protocol_gate(self):
+        rng = random.Random(0xE7C + 1)
+        all_protocols = sorted(
+            {
+                p
+                for eng in engines.registered_engines().values()
+                for p in eng.protocols
+            }
+        ) + ["not-a-protocol"]
+        for index in range(N_TRIALS):
+            scenario = make_scenario(rng, index)
+            protocol = rng.choice(all_protocols)
+            for name in engines.engine_names():
+                eng = engines.get_engine(name)
+                expected = engines.protocol_error(
+                    eng, protocol
+                ) or engines.capability_error(eng, scenario)
+                if expected is None:
+                    assert engines.validate_run(eng, protocol, scenario) is eng
+                else:
+                    with pytest.raises(ConfigurationError) as exc:
+                        engines.validate_run(eng, protocol, scenario)
+                    assert str(exc.value) == expected

@@ -383,3 +383,64 @@ class TestSweepThroughRuntime:
         assert [(p.value, p.energy_j, p.download_time) for p in legacy] == [
             (p.value, p.energy_j, p.download_time) for p in via_ref
         ]
+
+
+class TestRetryBackoff:
+    """Decorrelated-jitter retry delays (repro.runtime.executor)."""
+
+    def _rng(self, seed=7):
+        import random
+
+        return random.Random(seed)
+
+    def test_delay_stays_within_base_and_cap(self):
+        from repro.runtime.executor import retry_delay_s
+
+        rng = self._rng()
+        prev = 0.5
+        for _ in range(200):
+            delay = retry_delay_s(0.5, 30.0, prev, rng)
+            assert 0.5 <= delay <= 30.0
+            prev = delay
+
+    def test_single_step_growth_bounded_by_3x_previous(self):
+        from repro.runtime.executor import retry_delay_s
+
+        rng = self._rng(9)
+        for _ in range(100):
+            delay = retry_delay_s(1.0, 100.0, 4.0, rng)
+            assert 1.0 <= delay <= 12.0
+
+    def test_cap_binds(self):
+        from repro.runtime.executor import retry_delay_s
+
+        assert retry_delay_s(5.0, 2.0, 100.0, self._rng()) == 2.0
+
+    def test_zero_base_means_no_sleep(self):
+        from repro.runtime.executor import retry_delay_s
+
+        assert retry_delay_s(0.0, 30.0, 10.0, self._rng()) == 0.0
+
+    def test_delays_are_jittered_not_lockstep(self):
+        from repro.runtime.executor import retry_delay_s
+
+        rng = self._rng(3)
+        delays = [retry_delay_s(0.5, 30.0, 5.0, rng) for _ in range(50)]
+        assert len(set(delays)) > 10
+
+    def test_batch_state_tracks_previous_delay_per_spec(self):
+        from repro.runtime.executor import _BatchState
+
+        state = _BatchState(
+            specs=[], results=[], cache=None, manifest=None, reporter=None,
+            timeout_s=None, retries=2, backoff_s=0.5, max_backoff_s=4.0,
+        )
+        state._retry_rng = self._rng(11)
+        for _ in range(20):
+            assert 0.5 <= state.next_retry_delay(0) <= 4.0
+        # Per-spec state: spec 1 starts fresh from the base.
+        first = state.next_retry_delay(1)
+        assert 0.5 <= first <= 1.5
+
+    def test_context_exposes_max_backoff(self):
+        assert current_context().max_backoff_s == 30.0
