@@ -10,8 +10,9 @@ install:
 test: check trace-smoke packet-smoke perf-smoke fleet-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
-check:  ## static tiers: custom lint vs baseline + config verification
+check:  ## static tiers: lint + dataflow vs baselines + config verification
 	PYTHONPATH=src $(PY) -m repro.cli check lint
+	PYTHONPATH=src $(PY) -m repro.cli check dataflow
 	PYTHONPATH=src $(PY) -m repro.cli check config
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src tests \

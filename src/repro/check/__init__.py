@@ -7,6 +7,13 @@ Three tiers, one vocabulary (:class:`Finding` / :class:`Report`):
   schema agreement, and export hygiene (REP1xx), with ``# repro:
   noqa[RULE]`` escapes and a committed baseline
   (:mod:`repro.check.baseline`).
+* **Tier 1.5 — dataflow** (:mod:`repro.check.dataflow`): an
+  interprocedural abstract interpretation over ``src/repro/`` —
+  unit-dimension inference, determinism taint, and emit-payload
+  resolution (REP2xx) — catching the bugs whose cause and symptom
+  live in different functions.  Same noqa escapes; its own baseline
+  (``.repro-dataflow-baseline.json``).  Per-file findings for both
+  static tiers are cached incrementally (:mod:`repro.check.cache`).
 * **Tier 2 — config** (:mod:`repro.check.config`): algebraic
   preconditions on configs, EIB tables, device profiles, scenarios,
   and run specs (CHK2xx); the execution runtime applies the cheap
@@ -23,8 +30,8 @@ same for the analytic flow tier (CHK504/CHK505), and :mod:`repro.check.perf`
 consistency, span-tree well-formedness, and parent/child time
 conservation.
 
-CLI: ``repro check <lint|config|trace|determinism|perf|all>``; ``make
-check`` runs the static tiers.  Rule catalog: ``CHECKS.md``.
+CLI: ``repro check <lint|dataflow|config|trace|determinism|perf|all>``;
+``make check`` runs the static tiers.  Rule catalog: ``CHECKS.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +53,12 @@ from repro.check.config import (
     check_scenario,
     check_tau_bound,
     verify_specs,
+)
+from repro.check.cache import DEFAULT_CHECK_CACHE, CheckCache
+from repro.check.dataflow import (
+    DEFAULT_DATAFLOW_BASELINE,
+    analyze_paths,
+    analyze_sources,
 )
 from repro.check.determinism import check_determinism
 from repro.check.findings import (
@@ -85,6 +98,11 @@ __all__ = [
     "write_baseline",
     "lint_paths",
     "lint_source",
+    "DEFAULT_CHECK_CACHE",
+    "CheckCache",
+    "DEFAULT_DATAFLOW_BASELINE",
+    "analyze_paths",
+    "analyze_sources",
     "check_defaults",
     "check_device_profile",
     "check_eib",

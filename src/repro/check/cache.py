@@ -1,0 +1,134 @@
+"""Incremental analysis cache for the static tiers.
+
+Re-running ``repro check lint`` / ``repro check dataflow`` on an
+unchanged tree should cost file hashing, not re-analysis.  Findings
+are cached per file under ``.repro-cache/check/<tier>/`` keyed by a
+content-hash fingerprint:
+
+* **lint** — the rules are file-local, so the key is the file's own
+  bytes plus a salt (rule version, event schema, config fields);
+* **dataflow** — the rules are interprocedural, so the key also folds
+  in the content hashes of the file's *import closure* within the
+  analyzed set: a change to ``repro.units`` invalidates everything
+  that (transitively) imports it, and nothing else.
+
+A cache entry is a JSON list of finding dicts; ``--no-cache`` on the
+CLI bypasses reads and writes entirely.  Entries are content-addressed
+so stale files are never wrong, merely unused (``repro cache clear``
+or deleting ``.repro-cache/`` reclaims them).
+
+This module lives at the ``repro.check`` level (not inside
+``repro.check.dataflow``) because both tiers share it and the lint
+tier must not import the dataflow package (which itself imports lint
+helpers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.check.findings import Finding, Severity
+
+#: Default location, next to the result cache (satisfies the same
+#: lifecycle: disposable, never committed).
+DEFAULT_CHECK_CACHE = Path(".repro-cache") / "check"
+
+
+def content_hash(data: Union[str, bytes]) -> str:
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def combine_hashes(parts: Iterable[str]) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class CheckCache:
+    """Per-file findings, content-addressed under one tier directory."""
+
+    def __init__(
+        self,
+        tier: str,
+        root: Union[str, Path, None] = None,
+        enabled: bool = True,
+    ):
+        self.root = Path(root) if root is not None else DEFAULT_CHECK_CACHE
+        self.dir = self.root / tier
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key``, or None on miss/disabled."""
+        if not self.enabled:
+            return None
+        entry = self._entry(key)
+        try:
+            raw = json.loads(entry.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(
+                    rule=item["rule"],
+                    message=item["message"],
+                    path=item["path"],
+                    line=item["line"],
+                    severity=Severity(item["severity"]),
+                    context=item["context"],
+                )
+                for item in raw
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def store(self, key: str, findings: Sequence[Finding]) -> None:
+        if not self.enabled:
+            return
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps([f.to_dict() for f in findings])
+        tmp = self._entry(key).with_suffix(".tmp")
+        tmp.write_text(payload)
+        tmp.replace(self._entry(key))
+
+
+def closure_digests(
+    deps: Dict[str, List[str]], hashes: Dict[str, str], salt: str
+) -> Dict[str, str]:
+    """Per-node cache keys folding in each node's transitive deps.
+
+    ``deps`` maps node -> direct dependencies (nodes absent from
+    ``hashes`` are ignored: imports outside the analyzed set cannot
+    change analysis output).  Cycles are handled by treating the whole
+    strongly-connected neighbourhood as mutual dependencies.
+    """
+    keys: Dict[str, str] = {}
+    for node in deps:
+        seen = {node}
+        stack = list(deps.get(node, ()))
+        while stack:
+            dep = stack.pop()
+            if dep in seen or dep not in hashes:
+                continue
+            seen.add(dep)
+            stack.extend(deps.get(dep, ()))
+        keys[node] = combine_hashes(
+            [salt]
+            + [f"{name}={hashes[name]}" for name in sorted(seen) if name in hashes]
+        )
+    return keys

@@ -1,0 +1,320 @@
+"""repro.check.dataflow — the interprocedural dataflow tier (REP2xx).
+
+Where the Tier-1 linter (:mod:`repro.check.lint`) enforces unit
+discipline *syntactically* (name suffixes) and determinism *locally*
+(direct wall-clock / RNG calls), this tier follows values through
+assignments, arithmetic, and call boundaries:
+
+* **REP201 — unit-dimension inference.**  Abstract units seeded from
+  the REP105 suffix conventions, :data:`repro.units.UNIT_SIGNATURES`,
+  and function names propagate through ``+ - * / %``, comparisons,
+  and calls.  Adding seconds to milliseconds, comparing Mbps against
+  bytes/s, or assigning a ``power_mw * dt_s`` product (millijoules!)
+  to an ``..._j`` name are findings; conversions are legal only
+  through :mod:`repro.units`.
+* **REP202 — determinism taint.**  Wall-clock reads, unseeded RNG,
+  ``os.environ``, and set-iteration order are taint sources; any
+  tainted value that flows *through helper functions* into the
+  deterministic packages is a finding — the interprocedural
+  generalization of REP101/REP102, which only see direct calls.
+* **REP203 — emit-payload dataflow.**  ``Tracer.emit`` payload dicts
+  built incrementally or returned from helpers are statically
+  resolved and verified against ``EVENT_SCHEMA`` — the non-literal
+  cases REP104 cannot see.
+
+Architecture: per-module symbol tables (:mod:`.symbols`) -> a
+conservative project call graph (:mod:`.callgraph`) -> function
+summaries computed to a fixpoint and a forward abstract-interpretation
+check pass (:mod:`.interp`), with per-file incremental caching keyed
+on import-closure content hashes (:mod:`.cache`).
+
+Suppression and debt follow the lint tier exactly: ``# repro:
+noqa[REP201]`` comments, and a committed fingerprint baseline
+(default :data:`DEFAULT_DATAFLOW_BASELINE`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.check.cache import (
+    DEFAULT_CHECK_CACHE,
+    CheckCache,
+    closure_digests,
+    combine_hashes,
+    content_hash,
+)
+from repro.check.dataflow.callgraph import (
+    Resolver,
+    build_call_graph,
+    reverse_graph,
+)
+from repro.check.dataflow.interp import (
+    DETERMINISTIC_PACKAGES,
+    AnalysisContext,
+    FunctionInterp,
+    Summary,
+    seed_params,
+)
+from repro.check.dataflow.symbols import (
+    ModuleTable,
+    build_tables,
+    module_name_for_path,
+)
+from repro.check.findings import Finding, Report, filter_noqa
+from repro.check.lint import _noqa_lines, iter_python_files
+
+__all__ = [
+    "DEFAULT_CHECK_CACHE",
+    "DEFAULT_DATAFLOW_BASELINE",
+    "DETERMINISTIC_PACKAGES",
+    "AnalysisContext",
+    "CheckCache",
+    "Finding",
+    "FunctionInterp",
+    "ModuleTable",
+    "Report",
+    "Resolver",
+    "Summary",
+    "analyze_paths",
+    "analyze_sources",
+    "build_analysis",
+    "build_call_graph",
+    "build_tables",
+    "check_module",
+    "closure_digests",
+    "combine_hashes",
+    "compute_summaries",
+    "content_hash",
+    "filter_noqa",
+    "iter_python_files",
+    "module_name_for_path",
+    "reverse_graph",
+    "seed_params",
+]
+
+#: Committed debt ledger for the dataflow tier (kept separate from the
+#: lint baseline so `--update-baseline` on either tier cannot clobber
+#: the other's fingerprints).
+DEFAULT_DATAFLOW_BASELINE = ".repro-dataflow-baseline.json"
+
+#: Bump to invalidate every cache entry when rules change behaviour.
+_ANALYSIS_VERSION = "1"
+
+#: A function's summary is re-evaluated at most this many times before
+#: the fixpoint degrades it to unknown-unit (taint is kept — it only
+#: grows) to guarantee termination on non-monotone unit flows.
+_MAX_REVISITS = 8
+
+
+def _schema() -> Dict[str, Dict[str, tuple]]:
+    from repro.obs.events import EVENT_SCHEMA
+
+    return EVENT_SCHEMA
+
+
+def _signatures() -> Dict[str, Tuple[Tuple[str, ...], str]]:
+    from repro.units import UNIT_SIGNATURES
+
+    return UNIT_SIGNATURES
+
+
+def _salt() -> str:
+    """Everything the analysis output depends on besides the sources."""
+    schema = _schema()
+    return combine_hashes(
+        [_ANALYSIS_VERSION]
+        + [f"{k}:{sorted(v)}" for k, v in sorted(schema.items())]
+        + [f"{k}:{v}" for k, v in sorted(_signatures().items())]
+        + [",".join(DETERMINISTIC_PACKAGES)]
+    )
+
+
+def build_analysis(
+    sources: Dict[str, str]
+) -> Tuple[AnalysisContext, Dict[str, ModuleTable]]:
+    """Tables, resolver, and *fixpointed* summaries for path->source."""
+    named = {
+        path: (module_name_for_path(path), text)
+        for path, text in sources.items()
+    }
+    tables = build_tables(named)
+    resolver = Resolver(tables)
+    ctx = AnalysisContext(
+        tables=tables,
+        resolver=resolver,
+        summaries={},
+        schema=_schema(),
+        unit_signatures=_signatures(),
+    )
+    for qual, info in resolver.project.items():
+        ctx.summaries[qual] = seed_params(info, ctx)
+    compute_summaries(ctx)
+    return ctx, tables
+
+
+def compute_summaries(ctx: AnalysisContext) -> None:
+    """Worklist fixpoint over the call graph.
+
+    Each function is interpreted with its callees' current summaries;
+    when its return value changes, its callers re-enter the worklist.
+    After :data:`_MAX_REVISITS` revisits a function's return unit is
+    forced to unknown (taint, which grows monotonically, is kept), so
+    termination does not depend on the transfer being monotone.
+    """
+    graph = build_call_graph(ctx.tables, ctx.resolver)
+    callers = reverse_graph(graph)
+    worklist = deque(sorted(ctx.resolver.project))
+    queued: Set[str] = set(worklist)
+    visits: Dict[str, int] = {}
+    while worklist:
+        qual = worklist.popleft()
+        queued.discard(qual)
+        info = ctx.resolver.project[qual]
+        table = ctx.tables[info.module]
+        interp = FunctionInterp(ctx, table, info, sink=None)
+        returns = interp.run_function()
+        summary = ctx.summaries[qual]
+        if returns == summary.returns:
+            continue
+        visits[qual] = visits.get(qual, 0) + 1
+        if visits[qual] > _MAX_REVISITS:
+            from dataclasses import replace
+
+            returns = replace(
+                returns, unit=None, taint=returns.taint | summary.returns.taint
+            )
+            if returns == summary.returns:
+                continue
+        summary.returns = returns
+        for caller in sorted(callers.get(qual, ())):
+            if caller not in queued:
+                worklist.append(caller)
+                queued.add(caller)
+
+
+def check_module(ctx: AnalysisContext, table: ModuleTable) -> List[Finding]:
+    """The findings pass for one module (functions + top level)."""
+    findings: List[Finding] = []
+    FunctionInterp(ctx, table, None, sink=findings).run_module()
+    for info in table.functions.values():
+        FunctionInterp(ctx, table, info, sink=findings).run_function()
+    # A tainted helper called twice on one line (or re-joined control
+    # flow) must not double-report.
+    unique: List[Finding] = []
+    seen: Set[Tuple[str, str, int, str]] = set()
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line, finding.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(finding)
+    return unique
+
+
+def analyze_sources(sources: Dict[str, str]) -> Report:
+    """Analyze in-memory sources (path -> text); no caching.
+
+    Paths determine module names through their ``repro`` component, so
+    fixture trees like ``fixtures/repro/sim/mod.py`` behave exactly
+    like the real packages.
+    """
+    ctx, tables = build_analysis(sources)
+    report = Report(tier="dataflow")
+    for module in sorted(tables):
+        table = tables[module]
+        findings = check_module(ctx, table)
+        report.extend(filter_noqa(findings, _noqa_lines(sources[table.path])))
+        report.checked += 1
+    return report
+
+
+def analyze_paths(
+    targets: Sequence[Union[str, Path]],
+    rel_to: Optional[Path] = None,
+    cache: Optional[CheckCache] = None,
+) -> Report:
+    """Analyze every Python file under the given targets.
+
+    Findings carry paths relative to ``rel_to`` (default CWD) so
+    baselines are stable across checkouts.  With a :class:`CheckCache`,
+    per-file findings are reused when neither the file nor anything in
+    its import closure changed; the interprocedural fixpoint itself is
+    skipped entirely when every file hits.
+    """
+    rel_to = Path(rel_to) if rel_to is not None else Path.cwd()
+    sources: Dict[str, str] = {}
+    for target in targets:
+        for file in iter_python_files(target):
+            try:
+                rel = file.resolve().relative_to(rel_to.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            sources[rel] = file.read_text()
+
+    report = Report(tier="dataflow")
+    keys: Dict[str, str] = {}
+    cached: Dict[str, List[Finding]] = {}
+    if cache is not None and cache.enabled:
+        keys = _cache_keys(sources)
+        for path in sources:
+            hit = cache.load(keys[path])
+            if hit is not None:
+                cached[path] = hit
+        if len(cached) == len(sources):
+            for path in sorted(sources):
+                report.extend(cached[path])
+                report.checked += 1
+            return report
+
+    ctx, tables = build_analysis(sources)
+    by_path = {table.path: table for table in tables.values()}
+    for path in sorted(sources):
+        if path in cached:
+            report.extend(cached[path])
+            report.checked += 1
+            continue
+        table = by_path.get(path)
+        if table is None:  # unparseable: REP100 comes from the lint tier
+            report.checked += 1
+            continue
+        findings = filter_noqa(
+            check_module(ctx, table), _noqa_lines(sources[path])
+        )
+        report.extend(findings)
+        report.checked += 1
+        if cache is not None and cache.enabled:
+            cache.store(keys[path], findings)
+    return report
+
+
+def _cache_keys(sources: Dict[str, str]) -> Dict[str, str]:
+    """Per-file cache keys over the module import closure."""
+    named = {
+        path: (module_name_for_path(path), text)
+        for path, text in sources.items()
+    }
+    tables = build_tables(named)
+    hashes: Dict[str, str] = {}
+    deps: Dict[str, List[str]] = {}
+    path_module: Dict[str, str] = {}
+    for module, table in tables.items():
+        hashes[module] = content_hash(sources[table.path])
+        path_module[table.path] = module
+        referenced: Set[str] = set()
+        for target in table.module_aliases.values():
+            referenced.add(target)
+        for target in table.symbol_aliases.values():
+            referenced.add(target.rpartition(".")[0])
+            referenced.add(target)
+        deps[module] = sorted(r for r in referenced if r in tables and r != module)
+    digests = closure_digests(deps, hashes, _salt())
+    keys: Dict[str, str] = {}
+    for path in sources:
+        module = path_module.get(path)
+        if module is None:  # unparseable file: key on raw content
+            keys[path] = combine_hashes([_salt(), path, content_hash(sources[path])])
+        else:
+            keys[path] = combine_hashes([digests[module], path])
+    return keys

@@ -1,0 +1,130 @@
+"""Name resolution and the project call graph.
+
+The dataflow rules are interprocedural, so every ``Call`` node must be
+mapped — conservatively — to either a *project function* (one of the
+:class:`~repro.check.dataflow.symbols.FunctionInfo` records, whose
+summary then flows into the caller) or an *external dotted path*
+(``time.monotonic``, ``os.environ.get``, ``numpy.random.uniform``)
+that the taint rules classify.
+
+Resolution is deliberately narrow: bare names through the import
+table, dotted module attributes, and ``self.``/``cls.`` methods of the
+enclosing class.  Arbitrary ``obj.method()`` attribute calls stay
+unresolved (returning unknown values) rather than guessing — a wrong
+edge would poison unit and taint inference with false facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.check.dataflow.symbols import FunctionInfo, ModuleTable
+
+
+class Resolver:
+    """Maps AST call/attribute expressions to qualified names."""
+
+    def __init__(self, tables: Dict[str, ModuleTable]):
+        self.tables = tables
+        #: qualname -> FunctionInfo over every analyzed module.
+        self.project: Dict[str, FunctionInfo] = {}
+        for table in tables.values():
+            self.project.update(table.functions)
+
+    # -- dotted paths --------------------------------------------------
+
+    def flatten(self, node: ast.expr, table: ModuleTable) -> Optional[str]:
+        """Fully qualified dotted path of a Name/Attribute chain.
+
+        ``np.random.uniform`` -> ``numpy.random.uniform`` (through the
+        import aliases); ``self._payload`` -> ``self._payload``
+        (``self`` is kept literal for the method resolver).  Returns
+        ``None`` for chains rooted in calls/subscripts.
+        """
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        if root in ("self", "cls"):
+            mapped = root
+        else:
+            mapped = (
+                table.symbol_aliases.get(root)
+                or table.module_aliases.get(root)
+                or root
+            )
+        return ".".join([mapped] + list(reversed(parts)))
+
+    # -- call targets --------------------------------------------------
+
+    def resolve_call(
+        self, func: ast.expr, table: ModuleTable, cls: Optional[str]
+    ) -> Optional[str]:
+        """Qualname of the *project* function a call binds to, or None."""
+        if isinstance(func, ast.Name):
+            target = table.symbol_aliases.get(func.id)
+            if target is not None:
+                qual = self._qual_from_dotted(target)
+                if qual is not None:
+                    return qual
+                return None
+            return table.resolve_local(func.id)
+        if isinstance(func, ast.Attribute):
+            dotted = self.flatten(func, table)
+            if dotted is None:
+                return None
+            head, _, rest = dotted.partition(".")
+            if head in ("self", "cls") and cls is not None and "." not in rest:
+                methods = table.classes.get(cls, {})
+                return methods.get(rest)
+            return self._qual_from_dotted(dotted)
+        return None
+
+    def _qual_from_dotted(self, dotted: str) -> Optional[str]:
+        """``repro.units.mib`` -> ``repro.units:mib`` when analyzed."""
+        module, _, name = dotted.rpartition(".")
+        if not module or not name:
+            return None
+        qual = f"{module}:{name}"
+        if qual in self.project:
+            return qual
+        return None
+
+
+def function_callees(
+    info: FunctionInfo, table: ModuleTable, resolver: Resolver
+) -> Set[str]:
+    """Project functions a function's body may call (over-approximate:
+    nested defs are included)."""
+    callees: Set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            target = resolver.resolve_call(node.func, table, info.cls)
+            if target is not None:
+                callees.add(target)
+    return callees
+
+
+def build_call_graph(
+    tables: Dict[str, ModuleTable], resolver: Resolver
+) -> Dict[str, Set[str]]:
+    """{caller qualname -> callee qualnames} over every analyzed module."""
+    graph: Dict[str, Set[str]] = {}
+    for table in tables.values():
+        for qual, info in table.functions.items():
+            graph[qual] = function_callees(info, table, resolver)
+    return graph
+
+
+def reverse_graph(graph: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+    """{callee -> callers}, the worklist ordering for the fixpoint."""
+    reverse: Dict[str, Set[str]] = {}
+    for caller, callees in graph.items():
+        for callee in callees:
+            reverse.setdefault(callee, set()).add(caller)
+    return reverse

@@ -1,0 +1,167 @@
+"""Per-module symbol tables: the first layer of the dataflow tier.
+
+One :class:`ModuleTable` per analyzed file records what the
+interprocedural passes need to resolve names without re-walking the
+AST: the import environment (local alias -> fully qualified module or
+symbol), every function and method (qualified as ``module:func`` /
+``module:Class.method``), and the classes defined in the module.
+
+Module names are inferred from the path's ``repro`` component
+(``src/repro/sim/engine.py`` -> ``repro.sim.engine``), which also
+makes the test fixtures under ``tests/data/dataflow_fixtures/repro/``
+look like real packages to the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, as the interpreter sees it."""
+
+    qualname: str  #: ``repro.sim.engine:Engine.step``
+    module: str  #: ``repro.sim.engine``
+    node: ast.AST  #: the FunctionDef / AsyncFunctionDef
+    cls: Optional[str] = None  #: enclosing class name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+
+@dataclass
+class ModuleTable:
+    """Everything name resolution needs to know about one module."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    #: local alias -> fully qualified module name (``import x.y as z``).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> fully qualified symbol (``from x import f [as g]``).
+    symbol_aliases: Dict[str, str] = field(default_factory=dict)
+    #: function qualname -> info, for every def in the module.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> {method name -> qualname}.
+    classes: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: module-level names bound to numeric literals (``MEGABYTE = 1e6``)
+    #: — these evaluate as unit-free scalars, not physical quantities.
+    constants: Set[str] = field(default_factory=set)
+
+    def resolve_local(self, name: str) -> Optional[str]:
+        """Qualname of a module-level function referenced by bare name."""
+        qual = f"{self.module}:{name}"
+        return qual if qual in self.functions else None
+
+
+def module_name_for_path(path: str) -> str:
+    """``src/repro/sim/engine.py`` -> ``repro.sim.engine``.
+
+    Falls back to the stem for paths with no ``repro`` component (ad
+    hoc test sources), so every file still gets a distinct module name.
+    """
+    parts = Path(path).parts
+    try:
+        idx = parts.index("repro")
+    except ValueError:
+        return Path(path).stem
+    dotted = list(parts[idx:-1]) + [Path(path).stem]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def package_of(module: str) -> str:
+    """The ``repro`` subpackage a module lives in (``""`` at top level)."""
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return ""
+
+
+def build_module_table(tree: ast.Module, module: str, path: str) -> ModuleTable:
+    """One pass over a module's top level (plus class bodies)."""
+    table = ModuleTable(module=module, path=path, tree=tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds c -> a.b.
+                table.module_aliases[bound] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against this package
+                base = module.split(".")
+                up = node.level
+                base = base[: len(base) - up] if up <= len(base) else []
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table.symbol_aliases[bound] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if (
+            value is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    table.constants.add(target.id)
+    _collect_functions(tree.body, table, cls=None)
+    return table
+
+
+def _collect_functions(
+    body: List[ast.stmt], table: ModuleTable, cls: Optional[str]
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = (
+                f"{table.module}:{cls}.{node.name}"
+                if cls
+                else f"{table.module}:{node.name}"
+            )
+            table.functions[qual] = FunctionInfo(
+                qualname=qual, module=table.module, node=node, cls=cls
+            )
+            if cls:
+                table.classes.setdefault(cls, {})[node.name] = qual
+        elif isinstance(node, ast.ClassDef) and cls is None:
+            table.classes.setdefault(node.name, {})
+            _collect_functions(node.body, table, cls=node.name)
+
+
+def build_tables(
+    sources: Dict[str, Tuple[str, str]]
+) -> Dict[str, ModuleTable]:
+    """Parse and tabulate many modules.
+
+    ``sources`` maps path -> (module name, source text); returns
+    {module name -> table}.  Unparseable files are skipped here — the
+    lint tier owns REP100 syntax reporting.
+    """
+    tables: Dict[str, ModuleTable] = {}
+    for path, (module, text) in sources.items():
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue
+        tables[module] = build_module_table(tree, module, path)
+    return tables

@@ -1,0 +1,200 @@
+"""The abstract unit domain of the dataflow tier (REP201).
+
+The paper's headline numbers are unit conversions all the way down —
+Mbps vs bytes/s (a stray factor of 8), mW vs W, J vs J/bit — so the
+analysis models *units* rather than bare physical dimensions: seconds
+and milliseconds share a dimension but adding them is exactly the bug
+class we are hunting.
+
+The domain is a flat lattice over unit symbols plus three special
+elements:
+
+* ``None``           — unknown (top): compatible with everything;
+* :data:`SCALAR`     — a numeric literal: the identity of ``*``/``/``
+  and compatible with every unit under ``+``/``-``/comparison
+  (``t + 1.0`` is idiomatic, not a bug);
+* :data:`DIMENSIONLESS` — a *computed* pure ratio (``x_j / y_j``):
+  incompatible with physical units under ``+``/``-``/comparison.
+
+Multiplication and division follow a small closed algebra
+(:data:`MUL`, :data:`DIV`): ``w * s = j`` but ``mw * s = mj`` — so
+``energy_j = power_mw * dt_s`` infers ``mj`` flowing into a ``_j``
+name, which is precisely the milliwatt bug the analysis exists to
+catch.  Pairs outside the tables produce ``None`` (unknown), never a
+finding: the rules only fire on *known* incompatibilities.
+
+Unit spellings are seeded from identifier suffixes (the REP105
+conventions), from :data:`repro.units.UNIT_SIGNATURES`, and from
+function-name suffixes (``..._mbps()`` returns mbps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+#: Numeric literal: multiplicative identity, additively compatible
+#: with everything.
+SCALAR = "scalar"
+
+#: A computed pure ratio (``x / x``): additively *incompatible* with
+#: physical units.  Percent-family names (``_pct``, ``ratio``,
+#: ``fraction``) map here — scale factors of 100 between them are
+#: legal scalar multiplications.
+DIMENSIONLESS = "dimensionless"
+
+#: Physical unit symbols the algebra knows.
+PHYSICAL_UNITS = frozenset(
+    {
+        "s",
+        "ms",
+        "ns",
+        "bytes",
+        "bits",
+        "mbit",
+        "kbit",
+        "bytes_per_sec",
+        "mbps",
+        "kbps",
+        "bps",
+        "w",
+        "mw",
+        "j",
+        "mj",
+        "j_per_byte",
+        "j_per_bit",
+    }
+)
+
+#: Identifier suffix -> unit, longest suffix first (``_mw`` must win
+#: over ``_w``, ``_bytes_per_sec`` over ``_s``-free ``bytes``).
+SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_bytes_per_sec", "bytes_per_sec"),
+    ("joules_per_byte", "j_per_byte"),
+    ("joules_per_bit", "j_per_bit"),
+    ("j_per_byte", "j_per_byte"),
+    ("j_per_bit", "j_per_bit"),
+    ("_mbps", "mbps"),
+    ("_kbps", "kbps"),
+    ("_mbit", "mbit"),
+    ("_kbit", "kbit"),
+    ("_bytes", "bytes"),
+    ("_bits", "bits"),
+    ("_pct", DIMENSIONLESS),
+    ("_percent", DIMENSIONLESS),
+    ("_ratio", DIMENSIONLESS),
+    ("_fraction", DIMENSIONLESS),
+    ("_factor", DIMENSIONLESS),
+    ("_mj", "mj"),
+    ("_mw", "mw"),
+    ("_ms", "ms"),
+    ("_ns", "ns"),
+    ("_j", "j"),
+    ("_w", "w"),
+    ("_s", "s"),
+)
+
+#: Bare names conventionally carrying a unit in this code base (the
+#: simulation clock and its deltas are seconds everywhere).
+BARE_NAME_UNITS: Dict[str, str] = {
+    "t": "s",
+    "dt": "s",
+    "now": "s",
+    "elapsed": "s",
+}
+
+#: ``a * b`` for known unit pairs (symmetric; scalar/dimensionless
+#: handled in :func:`mul_units`).  Missing pair = unknown result.
+MUL: Dict[Tuple[str, str], str] = {
+    ("bytes_per_sec", "s"): "bytes",
+    ("mbps", "s"): "mbit",
+    ("kbps", "s"): "kbit",
+    ("bps", "s"): "bits",
+    ("w", "s"): "j",
+    ("mw", "s"): "mj",
+    ("j_per_byte", "bytes"): "j",
+    ("j_per_bit", "bits"): "j",
+}
+
+#: ``a / b`` for known unit pairs (ordered).  Missing pair = unknown.
+DIV: Dict[Tuple[str, str], str] = {
+    ("bytes", "s"): "bytes_per_sec",
+    ("bytes", "bytes_per_sec"): "s",
+    ("mbit", "s"): "mbps",
+    ("mbit", "mbps"): "s",
+    ("kbit", "s"): "kbps",
+    ("bits", "s"): "bps",
+    ("j", "s"): "w",
+    ("j", "w"): "s",
+    ("mj", "s"): "mw",
+    ("mj", "mw"): "s",
+    ("j", "bytes"): "j_per_byte",
+    ("j", "j_per_byte"): "bytes",
+    ("j", "bits"): "j_per_bit",
+    ("j", "j_per_bit"): "bits",
+}
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """The unit an identifier spelling declares, or ``None``.
+
+    ``wifi_mbps`` -> ``mbps``; ``energy_ratio`` -> dimensionless;
+    ``count`` -> ``None`` (no claim).
+    """
+    lowered = name.lower()
+    bare = BARE_NAME_UNITS.get(lowered)
+    if bare is not None:
+        return bare
+    for suffix, unit in SUFFIX_UNITS:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+def mul_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Abstract ``a * b``; ``None`` = unknown."""
+    if a is None or b is None:
+        return None
+    if a == SCALAR:
+        return b
+    if b == SCALAR:
+        return a
+    if a == DIMENSIONLESS:
+        return b
+    if b == DIMENSIONLESS:
+        return a
+    return MUL.get((a, b)) or MUL.get((b, a))
+
+
+def div_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Abstract ``a / b``; ``None`` = unknown."""
+    if a is None or b is None:
+        return None
+    if b in (SCALAR, DIMENSIONLESS):
+        return a
+    if a == b:
+        return DIMENSIONLESS
+    if a in (SCALAR, DIMENSIONLESS):
+        return None  # 1/x: reciprocal units are outside the vocabulary
+    return DIV.get((a, b))
+
+
+def additive_conflict(a: Optional[str], b: Optional[str]) -> bool:
+    """True when adding/subtracting/comparing ``a`` and ``b`` mixes two
+    *known, different* units (unknowns and literals never conflict)."""
+    if a is None or b is None:
+        return False
+    if a == SCALAR or b == SCALAR:
+        return False
+    return a != b
+
+
+def join_units(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Lattice join at control-flow merges: agree or give up."""
+    return a if a == b else None
+
+
+def format_unit(unit: Optional[str]) -> str:
+    """Human spelling for findings messages."""
+    if unit is None:
+        return "unknown"
+    return unit

@@ -44,7 +44,11 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.check.cache import CheckCache, combine_hashes, content_hash
 from repro.check.findings import Finding, Report, Severity, filter_noqa
+
+#: Bump to invalidate every lint cache entry when rules change.
+_LINT_VERSION = "1"
 
 #: Subpackages of ``repro`` whose behaviour must be a pure function of
 #: (scenario, seed): anything here feeding on ambient entropy corrupts
@@ -99,6 +103,15 @@ _UNIT_TOKENS = (
     "per_bit",
     "per_byte",
     "seconds",
+)
+
+#: Fragments that claim a name holds a *dimensionless* quantity (a
+#: pure ratio or percentage).  REP105 accepts them — a ratio genuinely
+#: has no unit — but the claim is load-bearing: the dataflow tier
+#: (REP201) cross-checks it and flags any value with a propagated
+#: physical dimension assigned to such a name, so ``energy_ratio =
+#: wifi_j - cell_j`` no longer hides behind the suffix.
+_DIMENSIONLESS_TOKENS = (
     "_pct",
     "percent",
     "fraction",
@@ -176,6 +189,8 @@ def _has_unit(name: str) -> bool:
     lowered = name.lower()
     if any(token in lowered for token in _UNIT_TOKENS):
         return True
+    if any(token in lowered for token in _DIMENSIONLESS_TOKENS):
+        return True  # dimensionless claim; REP201 verifies it holds
     return any(lowered.endswith(suffix) for suffix in _UNIT_SUFFIXES)
 
 
@@ -609,16 +624,37 @@ def iter_python_files(target: Union[str, Path]) -> List[Path]:
     return sorted(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
 
 
+def _lint_salt() -> str:
+    """Everything lint output depends on besides the file's own text:
+    rule version, the event schema (REP104), the config field set
+    (REP106), and the token vocabularies (REP105)."""
+    schema = _event_schema()
+    return combine_hashes(
+        [_LINT_VERSION]
+        + [f"{k}:{sorted(v)}" for k, v in sorted(schema.items())]
+        + sorted(_config_field_names())
+        + list(_UNIT_TOKENS)
+        + list(_DIMENSIONLESS_TOKENS)
+        + list(_UNIT_SUFFIXES)
+        + list(DETERMINISTIC_PACKAGES)
+    )
+
+
 def lint_paths(
-    targets: Sequence[Union[str, Path]], rel_to: Optional[Path] = None
+    targets: Sequence[Union[str, Path]],
+    rel_to: Optional[Path] = None,
+    cache: Optional[CheckCache] = None,
 ) -> Report:
     """Lint every Python file under the given targets.
 
     Paths in findings are made relative to ``rel_to`` (default: the
     current working directory) when possible, so baselines are stable
-    across checkouts.
+    across checkouts.  The rules are file-local, so with a
+    :class:`CheckCache` each unchanged file's findings are replayed
+    from disk, keyed on its own content plus the rule salt.
     """
     rel_to = Path(rel_to) if rel_to is not None else Path.cwd()
+    salt = _lint_salt() if cache is not None and cache.enabled else ""
     report = Report(tier="lint")
     for target in targets:
         for file in iter_python_files(target):
@@ -626,8 +662,19 @@ def lint_paths(
                 rel = file.resolve().relative_to(rel_to.resolve()).as_posix()
             except ValueError:
                 rel = file.as_posix()
-            report.extend(lint_source(file.read_text(), rel))
+            source = file.read_text()
             report.checked += 1
+            if cache is not None and cache.enabled:
+                key = combine_hashes([salt, rel, content_hash(source)])
+                hit = cache.load(key)
+                if hit is not None:
+                    report.extend(hit)
+                    continue
+                findings = lint_source(source, rel)
+                cache.store(key, findings)
+            else:
+                findings = lint_source(source, rel)
+            report.extend(findings)
     return report
 
 

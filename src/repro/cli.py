@@ -512,14 +512,27 @@ def _cmd_perf(args) -> int:
     return handlers[sub](args)
 
 
-def _check_lint(args) -> int:
-    """``repro check lint`` — Tier 1 with the baseline workflow."""
-    from repro.check import baseline as bl
-    from repro.check.lint import lint_paths
+def _check_cache(args, tier: str):
+    """The static-analysis findings cache for one tier.
 
-    target = args.target or "src/repro"
-    report = lint_paths([target])
-    baseline_path = args.baseline or bl.DEFAULT_BASELINE
+    Unlike the result cache (off unless ``report``-ing), the check
+    cache defaults *on*: re-linting an unchanged tree should cost file
+    hashing only.  ``--no-cache`` bypasses it.
+    """
+    from repro.check.cache import CheckCache
+
+    return CheckCache(
+        tier,
+        root=Path(args.cache_dir) / "check",
+        enabled=args.cache is not False,
+    )
+
+
+def _baseline_workflow(args, report, tier: str, default_baseline: str) -> int:
+    """The shared new/stale/update baseline protocol for a static tier."""
+    from repro.check import baseline as bl
+
+    baseline_path = args.baseline or default_baseline
     if args.update_baseline:
         entries = bl.write_baseline(baseline_path, report.findings)
         print(f"baseline {baseline_path}: recorded {entries} fingerprint(s) "
@@ -534,17 +547,38 @@ def _check_lint(args) -> int:
         print(finding.format())
     if stale:
         print(f"note: {len(stale)} baselined violation(s) no longer occur; "
-              f"run `repro check lint --update-baseline` to shrink "
+              f"run `repro check {tier} --update-baseline` to shrink "
               f"{baseline_path}", file=sys.stderr)
     failing = [f for f in new if f.severity.value == "error"]
     if failing:
-        print(f"lint: {len(failing)} new error(s) not in baseline "
+        print(f"{tier}: {len(failing)} new error(s) not in baseline "
               f"({len(report.findings)} total, "
               f"{len(report.findings) - len(new)} baselined)")
         return 1
-    print(f"lint: OK ({report.checked} files checked, "
+    print(f"{tier}: OK ({report.checked} files checked, "
           f"{len(report.findings)} baselined finding(s))")
     return 0
+
+
+def _check_lint(args) -> int:
+    """``repro check lint`` — Tier 1 with the baseline workflow."""
+    from repro.check import baseline as bl
+    from repro.check.lint import lint_paths
+
+    target = args.target or "src/repro"
+    report = lint_paths([target], cache=_check_cache(args, "lint"))
+    return _baseline_workflow(args, report, "lint", bl.DEFAULT_BASELINE)
+
+
+def _check_dataflow(args) -> int:
+    """``repro check dataflow`` — the interprocedural REP2xx tier."""
+    from repro.check.dataflow import DEFAULT_DATAFLOW_BASELINE, analyze_paths
+
+    target = args.target or "src/repro"
+    report = analyze_paths([target], cache=_check_cache(args, "dataflow"))
+    return _baseline_workflow(
+        args, report, "dataflow", DEFAULT_DATAFLOW_BASELINE
+    )
 
 
 def _check_determinism_spec(args):
@@ -565,13 +599,16 @@ def _cmd_check(args) -> int:
     from repro import check as chk
 
     sub = args.subcommand or "all"
-    if sub not in ("lint", "config", "trace", "determinism", "perf", "all"):
-        print(f"unknown check subcommand {sub!r}; choose lint, config, trace, "
-              f"determinism, perf, or all", file=sys.stderr)
+    if sub not in ("lint", "dataflow", "config", "trace", "determinism",
+                   "perf", "all"):
+        print(f"unknown check subcommand {sub!r}; choose lint, dataflow, "
+              f"config, trace, determinism, perf, or all", file=sys.stderr)
         return 2
     status = 0
     if sub in ("lint", "all"):
         status = max(status, _check_lint(args))
+    if sub in ("dataflow", "all"):
+        status = max(status, _check_dataflow(args))
     if sub in ("config", "all"):
         report = chk.check_defaults()
         print(report.format())
@@ -838,7 +875,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "subcommand", nargs="?", default=None,
         help="cache subcommand: stats (default) or clear; "
              "trace subcommand: summarize (default), validate, or timeline; "
-             "check subcommand: lint, config, trace, determinism, perf, "
+             "check subcommand: lint, dataflow, config, trace, determinism, perf, "
              "or all (default); perf subcommand: profile, record (default), "
              "compare, or check; run: the protocol (default emptcp)",
     )
@@ -930,16 +967,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     baseline_group = parser.add_mutually_exclusive_group()
     baseline_group.add_argument(
         "--baseline", default=None,
-        help="lint baseline file (check lint; default: "
-             ".repro-check-baseline.json)",
+        help="static-tier baseline file (check lint/dataflow; defaults: "
+             ".repro-check-baseline.json / .repro-dataflow-baseline.json)",
     )
     baseline_group.add_argument(
         "--no-baseline", action="store_true", default=False,
-        help="report every lint finding, ignoring the baseline",
+        help="report every lint/dataflow finding, ignoring the baseline",
     )
     parser.add_argument(
         "--update-baseline", action="store_true", default=False,
-        help="re-record the current lint findings as the baseline",
+        help="re-record the current lint/dataflow findings as the baseline",
     )
     progress_group = parser.add_mutually_exclusive_group()
     progress_group.add_argument(

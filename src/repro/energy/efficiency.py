@@ -47,10 +47,10 @@ def strategy_power(
     wifi = profile.interfaces[InterfaceKind.WIFI]
     cell = profile.interfaces[cell_kind]
     if strategy is Strategy.WIFI_ONLY:
-        return wifi.active_power_mbps(wifi_mbps, direction)
+        return wifi.active_power_w(wifi_mbps, direction)
     if strategy is Strategy.CELLULAR_ONLY:
-        return cell.active_power_mbps(cell_mbps, direction)
-    total = wifi.active_power_mbps(wifi_mbps, direction) + cell.active_power_mbps(
+        return cell.active_power_w(cell_mbps, direction)
+    total = wifi.active_power_w(wifi_mbps, direction) + cell.active_power_w(
         cell_mbps, direction
     )
     return total - profile.overlap_saving_w

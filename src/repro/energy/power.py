@@ -85,7 +85,7 @@ class InterfacePower:
             rate_bytes_per_sec
         )
 
-    def active_power_mbps(
+    def active_power_w(
         self, mbps: float, direction: Direction = Direction.DOWN
     ) -> float:
         """Power while transferring at ``mbps`` megabits/s, watts."""

@@ -21,7 +21,7 @@ from repro.net.contention import WiFiChannel
 from repro.net.interface import InterfaceKind
 from repro.sim.engine import Simulator
 from repro.sim.trace import TimeSeries
-from repro.units import bytes_per_sec_to_mbps
+from repro.units import bytes_per_sec_to_mbps, joules_per_byte_to_joules_per_bit
 
 CapacityFactory = Callable[[_random.Random], CapacityProcess]
 InterfererFactory = Callable[[Simulator, WiFiChannel, _random.Random], list]
@@ -105,7 +105,7 @@ class RunResult:
     @property
     def joules_per_bit(self) -> float:
         """Per-bit energy, as plotted in Figure 13."""
-        return self.joules_per_byte / 8.0
+        return joules_per_byte_to_joules_per_bit(self.joules_per_byte)
 
     @property
     def mean_goodput_mbps(self) -> float:

@@ -16,6 +16,8 @@ the two worlds go through this module so that a stray factor of 8 or
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 #: Number of bytes in a kilobyte / megabyte (decimal, as used for rates).
 KILOBYTE = 1_000.0
 MEGABYTE = 1_000_000.0
@@ -26,6 +28,30 @@ MIB = 1024.0 * 1024.0
 
 #: Bits per byte.
 BITS_PER_BYTE = 8.0
+
+
+#: Declared unit signatures of every conversion helper in this module:
+#: ``{function name: ((input unit, ...), output unit)}``.  The dataflow
+#: tier (``repro.check.dataflow``, rule REP201) seeds its abstract
+#: interpretation from this table, so these functions are the *only*
+#: blessed way to move a value between unit systems — an inline
+#: ``* 8 / 1e6`` elsewhere keeps its inferred input unit and is flagged
+#: when it lands in a name that claims the converted one.  Unit symbols
+#: are the identifier-suffix spellings (``mbps``, ``bytes_per_sec``,
+#: ``w``, ``mw``, ``j``, ``j_per_byte``...); ``scalar`` marks a bare
+#: count.
+UNIT_SIGNATURES: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "mbps_to_bytes_per_sec": (("mbps",), "bytes_per_sec"),
+    "bytes_per_sec_to_mbps": (("bytes_per_sec",), "mbps"),
+    "kbps_to_bytes_per_sec": (("kbps",), "bytes_per_sec"),
+    "milliwatts_to_watts": (("mw",), "w"),
+    "watts_to_milliwatts": (("w",), "mw"),
+    "joules_per_byte_to_joules_per_bit": (("j_per_byte",), "j_per_bit"),
+    "ms_to_s": (("ms",), "s"),
+    "s_to_ms": (("s",), "ms"),
+    "mib": (("scalar",), "bytes"),
+    "kib": (("scalar",), "bytes"),
+}
 
 
 def mbps_to_bytes_per_sec(mbps: float) -> float:
@@ -56,6 +82,16 @@ def watts_to_milliwatts(w: float) -> float:
 def joules_per_byte_to_joules_per_bit(jpb: float) -> float:
     """Convert joules/byte to joules/bit (Figure 13 reports J/b)."""
     return jpb / BITS_PER_BYTE
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds (RTTs are quoted in ms)."""
+    return ms / 1e3
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s * 1e3
 
 
 def mib(n: float) -> float:

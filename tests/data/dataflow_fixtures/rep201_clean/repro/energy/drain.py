@@ -1,0 +1,10 @@
+"""Clean twin of the REP201 fixture: the mW -> W conversion routed
+through :mod:`repro.units`, so watts times seconds is joules."""
+
+from repro.units import milliwatts_to_watts
+
+
+def drained_energy(power_mw: float, dt_s: float) -> float:
+    power_w = milliwatts_to_watts(power_mw)
+    energy_j = power_w * dt_s
+    return energy_j

@@ -1,0 +1,7 @@
+"""Seeded REP201 violation: milliwatt power times seconds is
+millijoules, landing in a ``_j`` name without a conversion."""
+
+
+def drained_energy(power_mw: float, dt_s: float) -> float:
+    energy_j = power_mw * dt_s
+    return energy_j

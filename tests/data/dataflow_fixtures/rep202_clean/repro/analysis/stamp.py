@@ -1,0 +1,5 @@
+"""Clean twin of the REP202 helper: a pure function of its input."""
+
+
+def logical_stamp(now: float) -> float:
+    return now

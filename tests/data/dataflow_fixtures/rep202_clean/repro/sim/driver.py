@@ -1,0 +1,9 @@
+"""Clean twin of the REP202 fixture: the deterministic package works
+from simulated time passed in by its caller."""
+
+from repro.analysis.stamp import logical_stamp
+
+
+def schedule_next(now: float) -> float:
+    deadline = logical_stamp(now) + 1.0
+    return deadline

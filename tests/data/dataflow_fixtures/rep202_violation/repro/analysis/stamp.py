@@ -1,0 +1,9 @@
+"""Helper outside the deterministic packages whose return value is
+wall-clock tainted — legal here, a REP202 finding wherever a
+deterministic package consumes it."""
+
+import time
+
+
+def wall_stamp() -> float:
+    return time.time()

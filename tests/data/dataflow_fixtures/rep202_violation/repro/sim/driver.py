@@ -1,0 +1,10 @@
+"""Seeded REP202 violation: a deterministic package consuming a
+wall-clock read laundered through a helper function — invisible to the
+local REP101 rule, which only sees direct ``time.time()`` calls."""
+
+from repro.analysis.stamp import wall_stamp
+
+
+def schedule_next() -> float:
+    deadline = wall_stamp() + 1.0
+    return deadline

@@ -1,0 +1,13 @@
+"""Clean twin of the REP203 fixture: the payload is still built
+incrementally (a subscript store REP104 cannot follow), but the
+resolved shape covers every declared ``energy.checkpoint`` field."""
+
+
+class Reporter:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def checkpoint(self, t: float, total_j: float, power_w: float) -> None:
+        payload = {"total_j": total_j}
+        payload["power_w"] = power_w
+        self.tracer.emit("energy.checkpoint", t, **payload)

@@ -1,0 +1,12 @@
+"""Seeded REP203 violation: an emit payload built as a dict variable
+and splatted — opaque to the literal-only REP104 rule — missing the
+``power_w`` field ``energy.checkpoint`` declares."""
+
+
+class Reporter:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def checkpoint(self, t: float, total_j: float, power_w: float) -> None:
+        payload = {"total_j": total_j}
+        self.tracer.emit("energy.checkpoint", t, **payload)

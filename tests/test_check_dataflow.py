@@ -1,0 +1,469 @@
+"""The REP2xx dataflow tier (repro.check.dataflow): unit algebra,
+interprocedural inference on in-memory snippets, the golden fixture
+trees, the incremental cache, and the self-check on the real tree."""
+
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.cache import CheckCache, closure_digests, combine_hashes
+from repro.check.dataflow import (
+    DETERMINISTIC_PACKAGES,
+    analyze_paths,
+    analyze_sources,
+)
+from repro.check.dataflow.unitalg import (
+    DIMENSIONLESS,
+    SCALAR,
+    additive_conflict,
+    div_units,
+    mul_units,
+    unit_of_name,
+)
+from repro.check.lint import lint_source
+
+FIXTURES = Path("tests/data/dataflow_fixtures")
+
+#: A path inside a deterministic package (REP202 applies).
+DET = "src/repro/sim/fixture.py"
+#: A path outside the deterministic packages (it does not).
+FREE = "src/repro/analysis/fixture.py"
+
+
+def rules(report):
+    return sorted(f.rule for f in report.findings)
+
+
+def analyze(source, path=FREE):
+    return analyze_sources({path: textwrap.dedent(source)})
+
+
+def analyze_two(det_source, free_source):
+    return analyze_sources(
+        {
+            DET: textwrap.dedent(det_source),
+            FREE: textwrap.dedent(free_source),
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# the unit algebra
+
+
+def test_unit_of_name_suffixes():
+    assert unit_of_name("wifi_mbps") == "mbps"
+    assert unit_of_name("rate_bytes_per_sec") == "bytes_per_sec"
+    assert unit_of_name("power_mw") == "mw"
+    assert unit_of_name("energy_j") == "j"
+    assert unit_of_name("joules_per_bit") == "j_per_bit"
+    assert unit_of_name("count") is None
+
+
+def test_unit_of_name_dimensionless_family():
+    assert unit_of_name("loss_pct") == DIMENSIONLESS
+    assert unit_of_name("energy_ratio") == DIMENSIONLESS
+    assert unit_of_name("safety_factor") == DIMENSIONLESS
+
+
+def test_mul_algebra_watts_and_milliwatts():
+    assert mul_units("w", "s") == "j"
+    assert mul_units("mw", "s") == "mj"  # the Figure-13 bug class
+    assert mul_units("mbps", "s") == "mbit"
+    assert mul_units(SCALAR, "j") == "j"
+    assert mul_units("j", "mbps") is None  # outside the algebra: unknown
+
+
+def test_div_algebra():
+    assert div_units("bytes", "s") == "bytes_per_sec"
+    assert div_units("j", "bytes") == "j_per_byte"
+    assert div_units("j", "j") == DIMENSIONLESS
+    assert div_units("j", SCALAR) == "j"
+
+
+def test_additive_conflict():
+    assert additive_conflict("s", "ms")
+    assert additive_conflict("mbps", "bytes_per_sec")
+    assert not additive_conflict("s", SCALAR)  # t + 1.0 is idiomatic
+    assert not additive_conflict("s", None)
+    assert additive_conflict("j", DIMENSIONLESS)
+
+
+# ---------------------------------------------------------------------------
+# REP201: unit inference through assignments, arithmetic, and calls
+
+
+def test_rep201_mixed_addition():
+    src = """
+        def total(elapsed_s: float, gap_ms: float) -> float:
+            return elapsed_s + gap_ms
+    """
+    assert rules(analyze(src)) == ["REP201"]
+
+
+def test_rep201_product_into_wrong_name():
+    src = """
+        def moved(rate_mbps: float, dt_s: float) -> float:
+            total_bytes = rate_mbps * dt_s
+            return total_bytes
+    """
+    assert rules(analyze(src)) == ["REP201"]
+
+
+def test_rep201_conversion_through_units_module_is_clean():
+    src = """
+        from repro.units import mbps_to_bytes_per_sec
+
+        def moved(rate_mbps: float, dt_s: float) -> float:
+            rate_bytes_per_sec = mbps_to_bytes_per_sec(rate_mbps)
+            total_bytes = rate_bytes_per_sec * dt_s
+            return total_bytes
+    """
+    assert rules(analyze(src)) == []
+
+
+def test_rep201_wrong_argument_unit_at_call():
+    src = """
+        from repro.units import mbps_to_bytes_per_sec
+
+        def convert(duration_s: float) -> float:
+            return mbps_to_bytes_per_sec(duration_s)
+    """
+    assert rules(analyze(src)) == ["REP201"]
+
+
+def test_rep201_interprocedural_return_unit():
+    src = """
+        def rate_mbps(raw: float) -> float:
+            return raw
+
+        def use(dt_s: float, raw: float) -> float:
+            return rate_mbps(raw) + dt_s
+    """
+    assert rules(analyze(src)) == ["REP201"]
+
+
+def test_rep201_physical_value_into_dimensionless_name():
+    # `ratio`/`fraction` names satisfy REP105, but the dataflow tier
+    # cross-checks the claim: a value with a propagated physical
+    # dimension assigned to one is a finding.
+    src = """
+        def spread(wifi_j: float, cell_j: float) -> float:
+            energy_ratio = wifi_j - cell_j
+            return energy_ratio
+    """
+    assert rules(analyze(src)) == ["REP201"]
+    assert not lint_source(textwrap.dedent(src), FREE)  # invisible to REP105
+
+
+def test_rep201_true_ratio_is_clean():
+    src = """
+        def spread(wifi_j: float, cell_j: float) -> float:
+            energy_ratio = wifi_j / cell_j
+            return energy_ratio
+    """
+    assert rules(analyze(src)) == []
+
+
+def test_rep201_branch_join_keeps_agreeing_unit():
+    src = """
+        def pick(fast_mbps: float, slow_mbps: float, fast: bool, dt_s: float) -> float:
+            if fast:
+                rate_mbps = fast_mbps
+            else:
+                rate_mbps = slow_mbps
+            return rate_mbps + dt_s
+    """
+    assert rules(analyze(src)) == ["REP201"]
+
+
+def test_rep201_noqa_suppresses():
+    src = """
+        def total(elapsed_s: float, gap_ms: float) -> float:
+            return elapsed_s + gap_ms  # repro: noqa[REP201]
+    """
+    assert rules(analyze(src)) == []
+
+
+# ---------------------------------------------------------------------------
+# REP202: taint through helpers into the deterministic packages
+
+
+def test_rep202_wallclock_through_helper():
+    free = """
+        import time
+
+        def wall_stamp() -> float:
+            return time.time()
+    """
+    det = """
+        from repro.analysis.fixture import wall_stamp
+
+        def schedule() -> float:
+            return wall_stamp() + 1.0
+    """
+    report = analyze_two(det, free)
+    assert rules(report) == ["REP202"]
+    assert report.findings[0].path == DET
+
+
+def test_rep202_unseeded_rng_through_helper():
+    free = """
+        import random
+
+        def jitter() -> float:
+            return random.random()
+    """
+    det = """
+        from repro.analysis.fixture import jitter
+
+        def perturb(dt: float) -> float:
+            return dt * jitter()
+    """
+    assert rules(analyze_two(det, free)) == ["REP202"]
+
+
+def test_rep202_seeded_rng_is_clean():
+    free = """
+        import random
+
+        def jitter(rng: random.Random) -> float:
+            return rng.random()
+    """
+    det = """
+        from repro.analysis.fixture import jitter
+
+        def perturb(dt: float, rng) -> float:
+            return dt * jitter(rng)
+    """
+    assert rules(analyze_two(det, free)) == []
+
+
+def test_rep202_sorted_launders_set_order():
+    src = """
+        def stable(items: set) -> list:
+            return [x for x in sorted(items)]
+    """
+    assert rules(analyze(src, path=DET)) == []
+
+
+def test_rep202_outside_det_packages_is_clean():
+    # The same laundered wall-clock read is fine in analysis code.
+    free = """
+        import time
+
+        def wall_stamp() -> float:
+            return time.time()
+
+        def elapsed() -> float:
+            return wall_stamp() - 0.0
+    """
+    assert rules(analyze(free)) == []
+
+
+def test_dataflow_det_packages_superset_of_lint():
+    from repro.check.lint import DETERMINISTIC_PACKAGES as LINT_PACKAGES
+
+    assert set(LINT_PACKAGES) <= set(DETERMINISTIC_PACKAGES)
+
+
+# ---------------------------------------------------------------------------
+# REP203: emit payloads REP104 cannot see
+
+
+def test_rep203_incremental_payload_missing_field():
+    src = """
+        def report(tracer, t: float, total_j: float) -> None:
+            payload = {"total_j": total_j}
+            tracer.emit("energy.checkpoint", t, **payload)
+    """
+    assert rules(analyze(src)) == ["REP203"]
+
+
+def test_rep203_helper_returned_payload():
+    src = """
+        def payload(total_j: float) -> dict:
+            return {"total_j": total_j}
+
+        def report(tracer, t: float, total_j: float) -> None:
+            tracer.emit("energy.checkpoint", t, **payload(total_j))
+    """
+    assert rules(analyze(src)) == ["REP203"]
+
+
+def test_rep203_complete_incremental_payload_is_clean():
+    src = """
+        def report(tracer, t: float, total_j: float, power_w: float) -> None:
+            payload = {"total_j": total_j}
+            payload["power_w"] = power_w
+            tracer.emit("energy.checkpoint", t, **payload)
+    """
+    assert rules(analyze(src)) == []
+
+
+def test_rep203_opaque_payload_stays_silent():
+    # A dict the analysis cannot resolve must not guess.
+    src = """
+        def report(tracer, t: float, fields: dict) -> None:
+            tracer.emit("energy.checkpoint", t, **fields)
+    """
+    assert rules(analyze(src)) == []
+
+
+# ---------------------------------------------------------------------------
+# golden fixtures: exact rule, file, line
+
+
+FIXTURE_CASES = [
+    (
+        "rep201_violation",
+        [("REP201", "repro/energy/drain.py", 6)],
+    ),
+    ("rep201_clean", []),
+    (
+        "rep202_violation",
+        [("REP202", "repro/sim/driver.py", 9)],
+    ),
+    ("rep202_clean", []),
+    (
+        "rep203_violation",
+        [("REP203", "repro/obs/report.py", 12)],
+    ),
+    ("rep203_clean", []),
+]
+
+
+@pytest.mark.parametrize("case,expected", FIXTURE_CASES)
+def test_golden_fixture(case, expected):
+    root = FIXTURES / case
+    report = analyze_paths([root])
+    got = [
+        (f.rule, Path(f.path).relative_to(root).as_posix(), f.line)
+        for f in report.sorted_findings()
+    ]
+    assert got == expected
+
+
+def test_every_seeded_violation_is_flagged():
+    # The acceptance bar: 100% of seeded fixture violations fire.
+    for case, expected in FIXTURE_CASES:
+        if not expected:
+            continue
+        report = analyze_paths([FIXTURES / case])
+        assert report.findings, f"{case} produced no findings"
+
+
+# ---------------------------------------------------------------------------
+# the incremental cache
+
+
+def test_cache_round_trip_and_invalidation(tmp_path):
+    src_dir = tmp_path / "repro" / "energy"
+    src_dir.mkdir(parents=True)
+    mod = src_dir / "drain.py"
+    mod.write_text(
+        (FIXTURES / "rep201_violation/repro/energy/drain.py").read_text()
+    )
+
+    cache = CheckCache("dataflow", root=tmp_path / "cache")
+    first = analyze_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(first) == ["REP201"]
+    assert cache.misses == 1 and cache.hits == 0
+
+    second = analyze_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(second) == ["REP201"]
+    assert cache.hits == 1
+    assert [f.fingerprint for f in first.findings] == [
+        f.fingerprint for f in second.findings
+    ]
+
+    # Editing the file invalidates its entry: the fixed source must
+    # re-analyze to zero findings, not replay the stale ones.
+    mod.write_text(
+        (FIXTURES / "rep201_clean/repro/energy/drain.py").read_text()
+    )
+    third = analyze_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(third) == []
+
+
+def test_cache_invalidated_by_import_closure(tmp_path):
+    helper = tmp_path / "repro" / "analysis"
+    sim = tmp_path / "repro" / "sim"
+    helper.mkdir(parents=True)
+    sim.mkdir(parents=True)
+    fixtures = FIXTURES / "rep202_clean"
+    (helper / "stamp.py").write_text(
+        (fixtures / "repro/analysis/stamp.py").read_text()
+    )
+    (sim / "driver.py").write_text(
+        (fixtures / "repro/sim/driver.py").read_text()
+    )
+
+    cache = CheckCache("dataflow", root=tmp_path / "cache")
+    assert rules(analyze_paths([tmp_path], rel_to=tmp_path, cache=cache)) == []
+
+    # Turning the *helper* tainted must invalidate the unchanged
+    # consumer in repro.sim: its cache key folds in the helper's hash.
+    (helper / "stamp.py").write_text(
+        "import time\n\n\ndef logical_stamp(now: float) -> float:\n"
+        "    return time.time()\n"
+    )
+    report = analyze_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(report) == ["REP202"]
+    assert "driver.py" in report.findings[0].path
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = CheckCache("dataflow", root=tmp_path / "cache", enabled=False)
+    analyze_paths([FIXTURES / "rep201_violation"], cache=cache)
+    assert not (tmp_path / "cache").exists()
+
+
+def test_closure_digest_handles_cycles():
+    deps = {"a": ["b"], "b": ["a"], "c": []}
+    hashes = {"a": "1", "b": "2", "c": "3"}
+    keys = closure_digests(deps, hashes, "salt")
+    assert keys["a"] != keys["c"]
+    # A change to either member of the cycle shifts both keys.
+    keys2 = closure_digests(deps, {"a": "1", "b": "9", "c": "3"}, "salt")
+    assert keys2["a"] != keys["a"] and keys2["b"] != keys["b"]
+    assert keys2["c"] == keys["c"]
+
+
+def test_lint_cache_round_trip(tmp_path):
+    from repro.check.lint import lint_paths
+
+    mod = tmp_path / "repro" / "sim" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("import time\n\n\ndef stamp():\n    return time.time()\n")
+    cache = CheckCache("lint", root=tmp_path / "cache")
+    first = lint_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(first) == ["REP101"]
+    second = lint_paths([tmp_path], rel_to=tmp_path, cache=cache)
+    assert rules(second) == ["REP101"]
+    assert cache.hits == 1 and cache.misses == 1
+    mod.write_text("def stamp(now: float) -> float:\n    return now\n")
+    assert rules(lint_paths([tmp_path], rel_to=tmp_path, cache=cache)) == []
+
+
+# ---------------------------------------------------------------------------
+# the tree itself
+
+
+def test_src_repro_is_dataflow_clean_and_fast():
+    start = time.monotonic()
+    report = analyze_paths(["src/repro"])
+    elapsed = time.monotonic() - start
+    assert report.checked > 100
+    assert not report.findings, [f.format() for f in report.findings]
+    # CI asserts < 10 s wall for the CLI run; leave headroom locally.
+    assert elapsed < 10.0
+
+
+def test_committed_dataflow_baseline_is_empty():
+    import json
+
+    entries = json.loads(Path(".repro-dataflow-baseline.json").read_text())
+    assert entries == {}

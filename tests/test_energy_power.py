@@ -15,13 +15,13 @@ from repro.units import mbps_to_bytes_per_sec
 class TestInterfacePower:
     def test_linear_in_throughput(self):
         p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
-        assert p.active_power_mbps(0.0) == pytest.approx(0.5)
-        assert p.active_power_mbps(10.0) == pytest.approx(1.5)
+        assert p.active_power_w(0.0) == pytest.approx(0.5)
+        assert p.active_power_w(10.0) == pytest.approx(1.5)
 
     def test_bytes_per_sec_matches_mbps(self):
         p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
         assert p.active_power(mbps_to_bytes_per_sec(4.0)) == pytest.approx(
-            p.active_power_mbps(4.0)
+            p.active_power_w(4.0)
         )
 
     def test_negative_params_rejected(self):

@@ -19,12 +19,12 @@ class TestInterfacePowerDirections:
     def test_upload_slope_defaults_to_download(self):
         p = InterfacePower(base_w=0.5, per_mbps_w=0.1)
         assert p.per_mbps_up_w == p.per_mbps_w
-        assert p.active_power_mbps(4.0, Direction.UP) == p.active_power_mbps(4.0)
+        assert p.active_power_w(4.0, Direction.UP) == p.active_power_w(4.0)
 
     def test_distinct_upload_slope(self):
         p = InterfacePower(base_w=0.5, per_mbps_w=0.1, per_mbps_up_w=0.4)
-        assert p.active_power_mbps(4.0, Direction.UP) == pytest.approx(0.5 + 1.6)
-        assert p.active_power_mbps(4.0, Direction.DOWN) == pytest.approx(0.5 + 0.4)
+        assert p.active_power_w(4.0, Direction.UP) == pytest.approx(0.5 + 1.6)
+        assert p.active_power_w(4.0, Direction.DOWN) == pytest.approx(0.5 + 0.4)
 
     def test_negative_upload_slope_rejected(self):
         with pytest.raises(EnergyModelError):
