@@ -2,12 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke fleet-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: check trace-smoke packet-smoke perf-smoke fleet-smoke
+test: check trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
 check:  ## static tiers: lint + dataflow vs baselines + config verification
@@ -67,6 +67,12 @@ fleet-smoke:  ## 1k-session flow-tier fleet under a time budget, obs-sampled
 		--engine flow --size-mb 2 --no-progress
 	rm -rf .fleet-smoke
 
+service-smoke:  ## HTTP service round trip: warm resubmit must be all hits
+	rm -rf .service-smoke
+	timeout 180 env PYTHONPATH=src $(PY) -m repro.cli service smoke \
+		--cache-dir .service-smoke --size-mb 1 --jobs 2
+	rm -rf .service-smoke
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -87,5 +93,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke .fleet-smoke
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke .fleet-smoke .service-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -52,6 +52,8 @@ from repro.check.dataflow.callgraph import (
     reverse_graph,
 )
 from repro.check.dataflow.interp import (
+    CLOCK_SEAM_MODULES,
+    DETERMINISTIC_MODULES,
     DETERMINISTIC_PACKAGES,
     AnalysisContext,
     FunctionInterp,
@@ -67,8 +69,10 @@ from repro.check.findings import Finding, Report, filter_noqa
 from repro.check.lint import _noqa_lines, iter_python_files
 
 __all__ = [
+    "CLOCK_SEAM_MODULES",
     "DEFAULT_CHECK_CACHE",
     "DEFAULT_DATAFLOW_BASELINE",
+    "DETERMINISTIC_MODULES",
     "DETERMINISTIC_PACKAGES",
     "AnalysisContext",
     "CheckCache",
@@ -129,6 +133,8 @@ def _salt() -> str:
         + [f"{k}:{sorted(v)}" for k, v in sorted(schema.items())]
         + [f"{k}:{v}" for k, v in sorted(_signatures().items())]
         + [",".join(DETERMINISTIC_PACKAGES)]
+        + [",".join(DETERMINISTIC_MODULES)]
+        + [",".join(sorted(CLOCK_SEAM_MODULES))]
     )
 
 

@@ -62,6 +62,20 @@ DETERMINISTIC_PACKAGES = (
     "control",
 )
 
+#: Individual modules held to the same standard even though their
+#: parent package (``runtime``) is not: the job queue, scheduler, and
+#: segment store journal timestamps and must be crash-replayable.
+DETERMINISTIC_MODULES = (
+    "repro.runtime.queue",
+    "repro.runtime.scheduler",
+    "repro.runtime.store",
+)
+
+#: The blessed wall-clock boundary.  Values returned by these modules
+#: are journaled/replayable instants, so wall-clock taint is laundered
+#: at the call edge instead of propagating into the callers above.
+CLOCK_SEAM_MODULES = frozenset({"repro.runtime.clock"})
+
 #: Modules exempt from REP201: ``repro.units`` is *the* blessed
 #: conversion boundary — inside it, values change unit by design.
 UNIT_EXEMPT_MODULES = frozenset({"repro.units"})
@@ -193,9 +207,13 @@ class AnalysisContext:
     schema: Dict[str, Dict[str, tuple]]
     unit_signatures: Dict[str, Tuple[Tuple[str, ...], str]]
     det_packages: Tuple[str, ...] = DETERMINISTIC_PACKAGES
+    det_modules: Tuple[str, ...] = DETERMINISTIC_MODULES
 
     def is_deterministic(self, module: str) -> bool:
-        return package_of(module) in self.det_packages
+        return (
+            package_of(module) in self.det_packages
+            or module in self.det_modules
+        )
 
 
 def seed_params(info: FunctionInfo, ctx: AnalysisContext) -> Summary:
@@ -868,6 +886,16 @@ class FunctionInterp(ast.NodeVisitor):
     ) -> AbsVal:
         info = self.ctx.resolver.project[target]
         summary = self.ctx.summaries.get(target) or seed_params(info, self.ctx)
+        if info.module in CLOCK_SEAM_MODULES and summary.returns.taint:
+            # The clock seam owns its wall-clock reads: replay swaps in
+            # recorded instants, so what it returns is deterministic
+            # from the caller's point of view.
+            cleaned = frozenset(
+                pair for pair in summary.returns.taint if pair[0] != WALLCLOCK
+            )
+            summary = replace(
+                summary, returns=replace(summary.returns, taint=cleaned)
+            )
         self.check_call_units(node, info, summary, args, kwargs)
         self.check_taint_flow(node, info, summary, args, kwargs)
 

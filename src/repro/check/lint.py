@@ -12,8 +12,10 @@ Rules
 ========  ==========================================================
 REP101    wall-clock reads (``time.time``/``monotonic``/``datetime.
           now``...) inside the deterministic packages (``sim``,
-          ``core``, ``mptcp``, ``tcp``) — simulations must depend on
-          simulated time only
+          ``core``, ``mptcp``, ``tcp``) or the journaled runtime
+          modules (queue/scheduler/store, which must read the
+          :mod:`repro.runtime.clock` seam) — simulations must depend
+          on simulated time only
 REP102    unseeded randomness in the deterministic packages: calls to
           the ``random`` module's *global* functions, or
           ``random.Random()`` with no seed argument
@@ -54,6 +56,17 @@ _LINT_VERSION = "1"
 #: (scenario, seed): anything here feeding on ambient entropy corrupts
 #: the result cache and the determinism detector.
 DETERMINISTIC_PACKAGES = ("sim", "core", "mptcp", "tcp", "flow", "engines")
+
+#: Individual modules outside those packages that the same rules cover:
+#: the runtime's queue, scheduler, and segment store journal/stamp
+#: timestamps, so every wall-clock read must go through the replayable
+#: :mod:`repro.runtime.clock` seam (never ``time.*`` directly), and any
+#: deliberate entropy (retry jitter) must carry an explicit noqa.
+DETERMINISTIC_MODULES = (
+    ("runtime", "queue.py"),
+    ("runtime", "scheduler.py"),
+    ("runtime", "store.py"),
+)
 
 #: Wall-clock attributes of the ``time`` module (REP101).
 _WALLCLOCK_TIME_FNS = {
@@ -123,8 +136,10 @@ _UNIT_SUFFIXES = ("_j", "_w", "_s", "_mw", "_ns", "_ms")
 #: Quantity roots that demand a unit suffix when they name a scalar.
 _QUANTITY_ROOTS = ("bandwidth", "throughput", "energy", "power", "rate")
 
-#: ``rate`` names that are probabilities/counters, not data rates.
-_RATE_EXEMPT = ("loss", "drop", "hit", "miss", "error", "sample_rate", "frame")
+#: ``rate`` names that are probabilities/counters, not data rates
+#: ("migrated" only contains "rate" by spelling accident).
+_RATE_EXEMPT = ("loss", "drop", "hit", "miss", "error", "sample_rate", "frame",
+                "migrated")
 
 #: Non-scalar shapes a quantity root may legitimately name.
 _NONSCALAR_HINTS = (
@@ -182,7 +197,9 @@ def _is_deterministic_path(path: str) -> bool:
         idx = parts.index("repro")
     except ValueError:
         return False
-    return len(parts) > idx + 1 and parts[idx + 1] in DETERMINISTIC_PACKAGES
+    if len(parts) > idx + 1 and parts[idx + 1] in DETERMINISTIC_PACKAGES:
+        return True
+    return tuple(parts[idx + 1:]) in DETERMINISTIC_MODULES
 
 
 def _has_unit(name: str) -> bool:
@@ -636,7 +653,9 @@ def _lint_salt() -> str:
         + list(_UNIT_TOKENS)
         + list(_DIMENSIONLESS_TOKENS)
         + list(_UNIT_SUFFIXES)
+        + list(_RATE_EXEMPT)
         + list(DETERMINISTIC_PACKAGES)
+        + ["/".join(parts) for parts in DETERMINISTIC_MODULES]
     )
 
 

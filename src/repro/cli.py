@@ -329,6 +329,10 @@ def _cmd_cache(args) -> int:
         print(f"cache root: {stats.root}")
         print(f"entries:    {stats.entries}")
         print(f"size:       {stats.total_bytes / 1e6:.2f} MB")
+        print(f"segments:   {stats.segments}")
+        if stats.legacy_entries:
+            print(f"legacy:     {stats.legacy_entries} per-run JSON blob(s) "
+                  f"(migrated to segments on next read)")
         return 0
     if sub == "clear":
         removed = cache.clear()
@@ -337,6 +341,134 @@ def _cmd_cache(args) -> int:
     print(f"unknown cache subcommand {sub!r}; choose stats or clear",
           file=sys.stderr)
     return 2
+
+
+def _cmd_service(args) -> int:
+    sub = args.subcommand or "serve"
+    if sub == "serve":
+        return _service_serve(args)
+    if sub == "smoke":
+        return _service_smoke(args)
+    print(f"unknown service subcommand {sub!r}; choose serve or smoke",
+          file=sys.stderr)
+    return 2
+
+
+def _service_serve(args) -> int:
+    from repro.runtime.service import ExperimentService, serve_http
+
+    port = int(args.target) if args.target else 0
+    with ExperimentService(
+        Path(args.cache_dir), jobs=args.jobs, timeout_s=args.timeout
+    ) as service:
+        server = serve_http(service, port=port)
+        host, bound = server.server_address[0], server.server_address[1]
+        print(f"experiment service on http://{host}:{bound} "
+              f"(jobs={args.jobs}, cache {args.cache_dir})")
+        print("routes: POST /v1/submit, /v1/sweep, /v1/shutdown; "
+              "GET /v1/status, /v1/stream/<batch>")
+        try:
+            server.serve_thread.join()
+        except KeyboardInterrupt:
+            print("\nshutting down", file=sys.stderr)
+            server.shutdown()
+    return 0
+
+
+def _service_smoke(args) -> int:
+    """End-to-end service check: real HTTP on an ephemeral port.
+
+    Submits the same 3-spec batch twice; the second submission must be
+    satisfied entirely from the cache / queue dedup (zero executions).
+    Streams both batches as JSONL and asserts a clean shutdown.
+    """
+    import urllib.request
+
+    from repro.runtime.service import ExperimentService, serve_http
+    from repro.runtime.spec import RunSpec
+
+    def fetch(method: str, url: str, payload=None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return json.loads(resp.read().decode())
+
+    def stream(url: str) -> list:
+        events = []
+        with urllib.request.urlopen(url, timeout=120) as resp:
+            for raw in resp:
+                raw = raw.strip()
+                if raw:
+                    events.append(json.loads(raw.decode()))
+        return events
+
+    specs = [
+        RunSpec(
+            protocol="emptcp",
+            builder="static",
+            kwargs={"good_wifi": True, "download_bytes": mib(args.size_mb)},
+            seed=seed,
+            engine="fluid",
+        ).to_dict()
+        for seed in range(3)
+    ]
+    failures: List[str] = []
+    with ExperimentService(
+        Path(args.cache_dir), jobs=args.jobs, timeout_s=args.timeout
+    ) as service:
+        server = serve_http(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        for phase in ("cold", "warm"):
+            summary = fetch("POST", f"{base}/v1/submit", {"specs": specs})
+            events = stream(f"{base}/v1/stream/{summary['batch']}")
+            jobs = [e for e in events if e.get("event") == "job"]
+            tail = events[-1] if events else {}
+            outcomes = tail.get("outcomes", {})
+            print(f"{phase}: batch {summary['batch']} outcomes {outcomes}")
+            if len(jobs) != len(specs):
+                failures.append(
+                    f"{phase}: streamed {len(jobs)} job events, "
+                    f"expected {len(specs)}"
+                )
+            if tail.get("event") != "summary" or not tail.get("done"):
+                failures.append(
+                    f"{phase}: stream did not end in a finished summary"
+                )
+            if any(e.get("result") is None for e in jobs):
+                failures.append(f"{phase}: a job event carried no result")
+            if phase == "warm":
+                executed = outcomes.get("executed", 0)
+                hits = outcomes.get("cached", 0) + outcomes.get("deduped", 0)
+                if executed:
+                    failures.append(
+                        f"warm resubmit executed {executed} run(s); "
+                        f"expected every run cache/dedup-satisfied"
+                    )
+                if hits != len(specs):
+                    failures.append(
+                        f"warm resubmit had {hits} cache/dedup hits, "
+                        f"expected {len(specs)}"
+                    )
+        status = fetch("GET", f"{base}/v1/status")
+        if status.get("open_jobs") != 0:
+            failures.append(
+                f"{status.get('open_jobs')} job(s) still open after "
+                f"both batches drained"
+            )
+        fetch("POST", f"{base}/v1/shutdown")
+        server.serve_thread.join(timeout=30)
+        if server.serve_thread.is_alive():
+            failures.append("HTTP thread still alive after /v1/shutdown")
+    if failures:
+        for failure in failures:
+            print(f"service smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke OK: cold batch executed, warm batch fully "
+          "cache/dedup-satisfied, stream and shutdown clean")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -836,6 +968,7 @@ _COMMANDS = {
     "check": (_cmd_check, "static lint / config / trace / perf-invariant checks"),
     "perf": (_cmd_perf, "profile hot paths; record/compare perf benchmarks"),
     "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet|flow)"),
+    "service": (_cmd_service, "HTTP experiment service (service serve [port] | smoke)"),
     "fleet": (_cmd_fleet, "population-scale flow-tier runs (fleet run|sweep)"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
@@ -877,7 +1010,8 @@ def main(argv: Optional[List[str]] = None) -> int:
              "trace subcommand: summarize (default), validate, or timeline; "
              "check subcommand: lint, dataflow, config, trace, determinism, perf, "
              "or all (default); perf subcommand: profile, record (default), "
-             "compare, or check; run: the protocol (default emptcp)",
+             "compare, or check; service subcommand: serve (default) or "
+             "smoke; run: the protocol (default emptcp)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -885,7 +1019,8 @@ def main(argv: Optional[List[str]] = None) -> int:
              "default: <cache-dir>/obs), the path to lint "
              "(check lint; default: src/repro), the WiFi quality "
              "good|bad (run command; default good), the protocol "
-             "(perf profile; default emptcp), or the baseline bench "
+             "(perf profile; default emptcp), the TCP port (service "
+             "serve; default: ephemeral), or the baseline bench "
              "record (perf compare)",
     )
     parser.add_argument(

@@ -1,14 +1,31 @@
-"""repro.runtime — the parallel experiment execution runtime.
+"""repro.runtime — the sharded experiment execution runtime.
 
 Turns experiment execution into declarative, parallel, cached,
-observable jobs:
+observable jobs.  Since the runtime split, four separable components
+sit behind the :func:`run_many` facade:
+
+* :mod:`repro.runtime.queue` — a persistent, crash-recoverable job
+  queue (JSONL journal) with priorities, dependency edges, and
+  spec-hash deduplication (one execution, many waiters);
+* :mod:`repro.runtime.scheduler` — an asyncio scheduler feeding warm
+  process pools with work stealing; timeouts, bounded retries, and
+  the serial fallback live here as strategy objects;
+* :mod:`repro.runtime.store` — the batched append-only segment store
+  behind the result cache, with metadata-only stats and
+  segment-granular eviction;
+* :mod:`repro.runtime.service` — the stdlib HTTP/JSONL experiment
+  service (submit/stream/status) plus the sweep-DAG planner.
+
+Supporting cast, unchanged in spirit:
 
 * :mod:`repro.runtime.spec` — picklable :class:`RunSpec`s with stable
   content hashes, plus the scenario-builder registry;
-* :mod:`repro.runtime.executor` — :func:`run_many` over a process
-  pool, with per-run timeouts, bounded retries, and serial fallback;
-* :mod:`repro.runtime.cache` — a content-addressed on-disk result
-  cache so re-running a report skips completed runs;
+* :mod:`repro.runtime.executor` — the facade: ambient
+  :class:`RuntimeContext`, :func:`run_many`/:func:`run_specs`;
+* :mod:`repro.runtime.cache` — the content-addressed result cache
+  (now over the segment store, with legacy-blob migration);
+* :mod:`repro.runtime.clock` — the journaled wall-clock seam the
+  determinism checks hold the queue/scheduler/store to;
 * :mod:`repro.runtime.manifest` / :mod:`repro.runtime.progress` —
   JSONL run manifests and live runs/sec + ETA reporting;
 * :mod:`repro.runtime.perf` / :mod:`repro.runtime.bench` — per-run
@@ -42,6 +59,14 @@ from repro.runtime.manifest import (
 )
 from repro.runtime.perf import PerfMeter, PerfRecord, PerfStore
 from repro.runtime.progress import ProgressReporter, ProgressSnapshot
+from repro.runtime.queue import Job, JobQueue, QueueStats
+from repro.runtime.scheduler import (
+    BatchSink,
+    RetryPolicy,
+    Scheduler,
+    TimeoutPolicy,
+)
+from repro.runtime.service import ExperimentService, SweepPlan, plan_sweep
 from repro.runtime.spec import (
     BuilderEntry,
     RunSpec,
@@ -53,28 +78,41 @@ from repro.runtime.spec import (
     register_scenario_builder,
     registered_builders,
 )
+from repro.runtime.store import SegmentStore, StoreTelemetry
 
 __all__ = [
+    "BatchSink",
     "BuilderEntry",
     "CacheStats",
     "DEFAULT_CACHE_ROOT",
+    "ExperimentService",
+    "Job",
+    "JobQueue",
     "ManifestEntry",
     "PerfMeter",
     "PerfRecord",
     "PerfStore",
     "ProgressReporter",
     "ProgressSnapshot",
+    "QueueStats",
     "ResultCache",
+    "RetryPolicy",
     "RunManifest",
     "RunSpec",
     "RuntimeContext",
     "ScenarioRef",
+    "Scheduler",
+    "SegmentStore",
+    "StoreTelemetry",
+    "SweepPlan",
+    "TimeoutPolicy",
     "build_scenario",
     "code_salt",
     "current_context",
     "format_summary",
     "get_builder",
     "group_results",
+    "plan_sweep",
     "register_builder",
     "register_scenario_builder",
     "registered_builders",

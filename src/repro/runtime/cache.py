@@ -1,32 +1,38 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed on-disk result cache over the segment store.
 
 Every :class:`~repro.runtime.spec.RunSpec` has a stable content hash
-(spec payload + code/version salt); one JSON file per hash under the
-cache root stores the spec alongside its encoded result, in the spirit
-of :mod:`repro.analysis.export` and
-:mod:`repro.energy.serialization` — boring, stable, human-greppable
-JSON.  Re-running a report therefore skips every run whose spec (and
-code version) is unchanged.
+(spec payload + code/version salt).  Entries live in the batched
+:class:`~repro.runtime.store.SegmentStore` under ``<root>/store/`` —
+append-only JSONL segments plus an index, so a sweep's worth of
+results is a handful of files instead of one blob per run, lookups are
+one seek, and ``stats`` is pure ``os.stat`` metadata.
 
-Invalidation rules: the hash covers the protocol, the builder name and
-kwargs, the seed, any config overrides, and the salt.  Changing any of
-those — including bumping the package version or
+Two generations coexist:
+
+* **segment entries** (current) — one indexed JSON line per result;
+* **legacy entries** (pre-segment) — ``<root>/results/<hash>.json``
+  blobs written by earlier releases.  A legacy entry is still a hit;
+  on first read it is transparently migrated into the segment store
+  and the blob removed, so an old cache converts itself as it is used.
+
+Invalidation rules are unchanged: the hash covers the protocol, the
+builder name and kwargs, the seed, any config overrides, and the salt.
+Changing any of those — including bumping the package version or
 ``RUNTIME_SCHEMA_VERSION`` — misses the cache; stale entries are
 removed with :meth:`ResultCache.clear` (CLI: ``emptcp-repro cache
-clear``).
+clear``) or aged out with :meth:`ResultCache.evict`.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro import obs as _obs
 from repro.runtime.spec import RunSpec, code_salt, get_builder
+from repro.runtime.store import SegmentStore, StoreTelemetry
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_ROOT = ".repro-cache"
@@ -34,30 +40,58 @@ DEFAULT_CACHE_ROOT = ".repro-cache"
 
 @dataclass(frozen=True)
 class CacheStats:
-    """What ``emptcp-repro cache stats`` reports."""
+    """What ``emptcp-repro cache stats`` reports.
+
+    Derived entirely from filesystem metadata (``os.stat`` on the
+    segments/index plus a directory listing of any legacy blobs) — no
+    entry is read or JSON-parsed, so stats on a huge cache stays
+    O(entries) in the index, not O(bytes).
+    """
 
     root: str
     entries: int
     total_bytes: int
+    #: Current-generation layout details.
+    segments: int = 0
+    legacy_entries: int = 0
 
 
 class ResultCache:
     """A content-addressed store of run results.
 
-    Writes are atomic (temp file + rename), so concurrent runs — or a
-    run killed mid-write — can never leave a truncated entry that a
-    later read would trust; any unreadable entry is simply a miss.
+    Segment and index writes are append-plus-flush, and the index is
+    rewritten atomically on eviction, so concurrent runs — or a run
+    killed mid-write — can never leave a truncated entry that a later
+    read would trust; any unreadable entry is simply a miss.
     """
 
-    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_ROOT):
+    def __init__(
+        self,
+        root: Union[str, Path] = DEFAULT_CACHE_ROOT,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        migrate_legacy: bool = True,
+    ):
         self.root = Path(root)
+        self.store = SegmentStore(self.root / "store")
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
+        self.migrate_legacy = migrate_legacy
+
+    @property
+    def telemetry(self) -> StoreTelemetry:
+        """Hit/miss/append/eviction counters (this instance's lifetime)."""
+        return self.store.telemetry
 
     @property
     def results_dir(self) -> Path:
+        """Where legacy per-run JSON blobs live(d)."""
         return self.root / "results"
 
     def path_for(self, spec: RunSpec) -> Path:
-        """Where the given spec's result lives (whether or not cached)."""
+        """Where the given spec's *legacy* entry lives (whether or not
+        cached) — current entries live inside segments and have no
+        per-spec path."""
         return self.results_dir / f"{spec.content_hash()}.json"
 
     def get(self, spec: RunSpec) -> Optional[Any]:
@@ -69,10 +103,11 @@ class ResultCache:
         return self._get_inner(spec)
 
     def _get_inner(self, spec: RunSpec) -> Optional[Any]:
-        path = self.path_for(spec)
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        spec_hash = spec.content_hash()
+        payload = self.store.get(spec_hash)
+        if payload is None:
+            payload = self._get_legacy(spec, spec_hash)
+        if payload is None:
             return None
         if payload.get("salt") != code_salt():
             return None
@@ -81,8 +116,28 @@ class ResultCache:
         except Exception:
             return None
 
+    def _get_legacy(
+        self, spec: RunSpec, spec_hash: str
+    ) -> Optional[Any]:
+        """Read a pre-segment blob; migrate it into the store on hit."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if self.migrate_legacy and payload.get("salt") == code_salt():
+            try:
+                self.store.put(spec_hash, payload)
+                path.unlink()
+                self.store.telemetry.migrated += 1
+            except OSError:
+                pass  # migration is best-effort; the blob stays a hit
+        return payload
+
     def put(self, spec: RunSpec, result: Any) -> Path:
-        """Store one result; returns the entry path."""
+        """Store one result; returns the segment it was appended to."""
         prof = _obs.profiler_or_none()
         if prof is not None:
             with prof.span("runtime.cache.put"):
@@ -91,50 +146,56 @@ class ResultCache:
 
     def _put_inner(self, spec: RunSpec, result: Any) -> Path:
         entry = get_builder(spec.builder)
-        path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "salt": code_salt(),
             "spec": spec.to_dict(),
             "result": entry.encode(result),
         }
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        self.store.put(spec.content_hash(), payload)
+        if self.max_bytes is not None or self.max_age_s is not None:
+            self.store.evict(self.max_bytes, self.max_age_s)
+        return self.store.root / self.store._segment_name
 
-    def _entries(self):
+    def _legacy_entries(self):
         if not self.results_dir.is_dir():
             return []
         return sorted(self.results_dir.glob("*.json"))
 
     def stats(self) -> CacheStats:
-        """Entry count and on-disk footprint."""
-        entries = self._entries()
-        total = 0
-        for path in entries:
+        """Entry count and on-disk footprint, from metadata only."""
+        legacy = self._legacy_entries()
+        legacy_bytes = 0
+        for path in legacy:
             try:
-                total += path.stat().st_size
+                legacy_bytes += path.stat().st_size
             except OSError:
                 pass
+        segments = self.store.segment_paths()
         return CacheStats(
-            root=str(self.root), entries=len(entries), total_bytes=total
+            root=str(self.root),
+            entries=self.store.entry_count() + len(legacy),
+            total_bytes=self.store.total_bytes() + legacy_bytes,
+            segments=len(segments),
+            legacy_entries=len(legacy),
+        )
+
+    def evict(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> int:
+        """Drop oldest segments past the size/age budget (instance
+        defaults unless overridden); returns entries evicted."""
+        return self.store.evict(
+            self.max_bytes if max_bytes is None else max_bytes,
+            self.max_age_s if max_age_s is None else max_age_s,
         )
 
     def clear(self) -> int:
-        """Delete every cached result; returns how many were removed."""
-        removed = 0
-        for path in self._entries():
+        """Delete every cached result (both generations); returns how
+        many entries were removed."""
+        removed = self.store.clear()
+        for path in self._legacy_entries():
             try:
                 path.unlink()
                 removed += 1

@@ -1,18 +1,16 @@
-"""Parallel experiment execution with caching, retries, and manifests.
+"""The runtime facade: ambient context + dispatch into the scheduler.
 
 :func:`run_many` takes a list of picklable
 :class:`~repro.runtime.spec.RunSpec`s and returns their results in
-order.  Each spec is first looked up in the result cache; the misses
-are executed either in-process (``jobs=1``) or on a
-``ProcessPoolExecutor``, with a per-run timeout (pre-emptive via
-``SIGALRM`` where available, a post-hoc wall-clock check elsewhere —
-see :func:`_deadline`), bounded retry with backoff when a worker
-crashes or times out, and graceful fallback to serial execution when a
-pool cannot be created at all.  Every terminal outcome is recorded in
-the run manifest and counted by the progress reporter.  With
-:class:`~repro.obs.ObsOptions` set, each executed run captures its own
-trace/metrics session, exported next to the manifest keyed by the
-spec's content hash.
+order.  Since the runtime split it is deliberately thin: it resolves
+the ambient :class:`RuntimeContext`, statically verifies the batch,
+submits every spec into a :class:`~repro.runtime.queue.JobQueue`
+(where identical spec hashes coalesce into one job with many waiters),
+and hands the queue to a :class:`~repro.runtime.scheduler.Scheduler`.
+Cache lookup, pool management, timeouts, retries, and the serial
+fallback all live behind the scheduler; manifest lines, progress
+counting, and result ordering live in the
+:class:`~repro.runtime.scheduler.BatchSink`.
 
 Experiment modules call :func:`run_specs`, which executes under the
 *ambient* :class:`RuntimeContext` — serial and uncached by default, so
@@ -24,28 +22,37 @@ library behaviour is unchanged until a caller opts in::
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import os
-import random
-import signal
 import threading
-import time
-from concurrent.futures import as_completed
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, replace as _dc_replace
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro import obs as _obs
 from repro.errors import ConfigurationError, ExecutionError
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest
-from repro.runtime.perf import PerfMeter, PerfRecord, PerfStore
-from repro.runtime.progress import ProgressReporter, auto_reporter
-from repro.runtime.spec import RunSpec, get_builder
+from repro.runtime.perf import PerfStore
+from repro.runtime.progress import auto_reporter
+from repro.runtime.queue import JobQueue
+from repro.runtime.scheduler import (
+    BatchSink,
+    RetryPolicy,
+    Scheduler,
+    TimeoutPolicy,
+    retry_delay_s,
+)
+from repro.runtime.spec import RunSpec
+
+__all__ = [
+    "RuntimeContext",
+    "current_context",
+    "group_results",
+    "retry_delay_s",
+    "run_many",
+    "run_specs",
+    "use_runtime",
+]
 
 #: Sentinel distinguishing "inherit from the ambient context" from an
 #: explicit None (= disable).
@@ -80,6 +87,11 @@ class RuntimeContext:
     #: 2): unknown builders, bad config overrides, missing input files
     #: fail here instead of inside a pool worker.
     verify: bool = True
+    #: Optional JSONL queue-journal path: every batch's submissions and
+    #: transitions append here, and a killed run's journal replays via
+    #: ``JobQueue.recover``.  None (the default) keeps batches
+    #: journal-free; the service always journals under its cache dir.
+    journal: Optional[Union[str, Path]] = None
 
 
 _ambient = RuntimeContext()
@@ -140,6 +152,7 @@ def run_many(
     obs: Any = _INHERIT,
     verify: Optional[bool] = None,
     perf_store: Any = _INHERIT,
+    journal: Any = _INHERIT,
 ) -> List[Any]:
     """Execute every spec; return results in spec order.
 
@@ -161,67 +174,44 @@ def run_many(
     obs = ctx.obs if obs is _INHERIT else obs
     verify = ctx.verify if verify is None else verify
     perf_store = ctx.perf_store if perf_store is _INHERIT else perf_store
+    journal = ctx.journal if journal is _INHERIT else journal
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
     specs = list(specs)
     if verify:
         _verify_before_dispatch(specs)
-    results: List[Any] = [None] * len(specs)
-    state = _BatchState(
-        specs=specs,
-        results=results,
-        cache=cache,
-        manifest=manifest,
-        reporter=auto_reporter(progress),
-        timeout_s=timeout_s,
-        retries=retries,
-        backoff_s=backoff_s,
-        max_backoff_s=max_backoff_s,
+
+    scheduler = Scheduler(
+        jobs=jobs,
+        retry=RetryPolicy(
+            retries=retries, backoff_s=backoff_s, max_backoff_s=max_backoff_s
+        ),
+        timeout=TimeoutPolicy(timeout_s),
         obs=obs,
+        cache=cache,
         perf_store=perf_store,
     )
-    if state.reporter is not None:
-        state.reporter.start(len(specs))
+    sink = BatchSink(
+        specs, manifest=manifest, reporter=auto_reporter(progress)
+    )
+    queue = JobQueue(journal=journal)
+    try:
+        for index, spec in enumerate(specs):
+            job, _ = queue.submit(spec, on_done=sink.on_terminal)
+            sink.register(index, job)
+        scheduler.run_batch(queue, sink)
+    finally:
+        queue.close()
 
-    pending = state.consume_cache()
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            pool_ran = _run_pool(state, pending, jobs)
-            if not pool_ran:
-                _run_serial(state, pending)
-        else:
-            _run_serial(state, pending)
-
-    if state.reporter is not None:
-        state.reporter.finish()
-    if state.failures:
-        first_index, first_exc = state.failures[0]
+    if sink.failures:
+        failures = sorted(sink.failures, key=lambda pair: pair[0])
+        first_index, first_exc = failures[0]
         raise ExecutionError(
-            f"{len(state.failures)} of {len(specs)} runs failed; first: "
+            f"{len(failures)} of {len(specs)} runs failed; first: "
             f"{specs[first_index].label}: {first_exc}"
         ) from first_exc
-    return results
-
-
-def retry_delay_s(
-    base_s: float,
-    cap_s: float,
-    prev_s: float,
-    rng: random.Random,
-) -> float:
-    """One decorrelated-jitter retry delay (uniform in
-    ``[base, 3 * prev]``, capped at ``cap_s``).
-
-    A wave of workers killed by the same cause (OOM, a rebooted
-    license server) must not retry in lockstep: each delay is drawn
-    independently, and feeding the previous delay back in grows the
-    spread roughly exponentially while the cap bounds the worst case.
-    """
-    if base_s <= 0:
-        return 0.0
-    upper = max(base_s, 3.0 * prev_s)
-    return min(cap_s, rng.uniform(base_s, upper))
+    return sink.results
 
 
 def _verify_before_dispatch(specs: Sequence[RunSpec]) -> None:
@@ -240,366 +230,3 @@ def _verify_before_dispatch(specs: Sequence[RunSpec]) -> None:
             + "\n".join(f.format() for f in report.sorted_findings()
                         if f.severity.value == "error")
         )
-
-
-class _BatchState:
-    """Shared bookkeeping for one :func:`run_many` invocation."""
-
-    def __init__(
-        self,
-        specs: List[RunSpec],
-        results: List[Any],
-        cache: Optional[ResultCache],
-        manifest: Optional[RunManifest],
-        reporter: Optional[ProgressReporter],
-        timeout_s: Optional[float],
-        retries: int,
-        backoff_s: float,
-        max_backoff_s: float = 30.0,
-        obs: Optional[_obs.ObsOptions] = None,
-        perf_store: Optional[PerfStore] = None,
-    ):
-        self.specs = specs
-        self.results = results
-        self.cache = cache
-        self.manifest = manifest
-        self.reporter = reporter
-        self.timeout_s = timeout_s
-        self.retries = retries
-        self.backoff_s = backoff_s
-        self.max_backoff_s = max_backoff_s
-        self.obs = obs
-        self.perf_store = perf_store
-        self.failures: List[Tuple[int, BaseException]] = []
-        # Retry pacing: per-spec previous delay for decorrelated
-        # jitter.  Deliberately unseeded — these delays never touch
-        # simulation results, and sharing entropy across processes is
-        # exactly what the jitter exists to avoid.
-        self._retry_rng = random.Random()
-        self._retry_prev: Dict[int, float] = {}
-
-    def next_retry_delay(self, index: int) -> float:
-        """The jittered, capped backoff before retrying one spec."""
-        prev = self._retry_prev.get(index, self.backoff_s)
-        delay = retry_delay_s(
-            self.backoff_s, self.max_backoff_s, prev, self._retry_rng
-        )
-        self._retry_prev[index] = delay
-        return delay
-
-    def consume_cache(self) -> List[int]:
-        """Fill cached results; return the indices still to execute."""
-        pending: List[int] = []
-        for i, spec in enumerate(self.specs):
-            hit = self.cache.get(spec) if self.cache is not None else None
-            if hit is not None:
-                self.results[i] = hit
-                self.record(spec, "cached", worker="cache")
-            else:
-                pending.append(i)
-        return pending
-
-    def record(
-        self,
-        spec: RunSpec,
-        outcome: str,
-        wall_time_s: float = 0.0,
-        worker: str = "local",
-        attempt: int = 1,
-        trace: str = "",
-        perf: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        if self.manifest is not None:
-            self.manifest.record(
-                spec, outcome, wall_time_s=wall_time_s, worker=worker,
-                attempt=attempt, trace=trace, perf=perf,
-            )
-        if self.reporter is not None:
-            self.reporter.update(outcome)
-
-    def succeed(
-        self, index: int, result: Any, wall: float, worker: str, attempt: int,
-        trace: str = "", perf: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        self.results[index] = result
-        spec = self.specs[index]
-        if self.cache is not None:
-            self.cache.put(spec, result)
-        if perf and self.perf_store is not None:
-            try:
-                self.perf_store.record(PerfRecord.from_dict(perf))
-            except (KeyError, TypeError, ValueError, OSError):
-                pass  # telemetry must never fail the run it measured
-        self.record(
-            spec, "executed", wall_time_s=wall, worker=worker, attempt=attempt,
-            trace=trace, perf=perf,
-        )
-
-    def fail(
-        self, index: int, exc: BaseException, wall: float, worker: str,
-        attempt: int,
-    ) -> None:
-        self.failures.append((index, exc))
-        self.record(
-            self.specs[index], "failed", wall_time_s=wall, worker=worker,
-            attempt=attempt,
-        )
-
-
-def _sigalrm_usable() -> bool:
-    """True when a pre-emptive ``SIGALRM`` deadline can be armed here.
-
-    Split out (rather than inlined in :func:`_deadline`) so tests can
-    monkeypatch it to exercise the wall-clock fallback on platforms
-    that *do* have ``SIGALRM``.
-    """
-    return (
-        hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-
-
-@contextmanager
-def _deadline(seconds: Optional[float]):
-    """Raise ``TimeoutError`` if the body outlives ``seconds``.
-
-    Where ``SIGALRM`` is available and we are on the main thread
-    (always true for pool workers), the timeout is pre-emptive: the
-    run is interrupted mid-flight.  Everywhere else — Windows, or a
-    caller driving the runtime from a secondary thread — the deadline
-    degrades to a post-hoc wall-clock check: the run completes, but if
-    it overshot the budget its result is discarded and ``TimeoutError``
-    is raised so ``--timeout`` is honoured on every platform rather
-    than silently becoming a no-op.
-    """
-    if seconds is None or seconds <= 0:
-        yield
-        return
-
-    if not _sigalrm_usable():
-        start = time.monotonic()
-        yield
-        elapsed = time.monotonic() - start
-        if elapsed > seconds:
-            raise TimeoutError(
-                f"run exceeded the {seconds}s timeout "
-                f"(finished after {elapsed:.2f}s; SIGALRM unavailable, so "
-                f"the run could not be interrupted mid-flight)"
-            )
-        return
-
-    def _expired(_signum, _frame):
-        raise TimeoutError(f"run exceeded the {seconds}s timeout")
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def _export_session(
-    spec: RunSpec, options: _obs.ObsOptions, session: _obs.ObsSession
-) -> str:
-    """File one run's capture under ``options.dir``; return the trace
-    path ("" when only metrics were collected)."""
-    out_dir = Path(options.dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    stem = spec.content_hash()
-    trace_path = ""
-    if session.tracer is not None:
-        trace_path = str(out_dir / f"{stem}.trace.jsonl")
-        session.tracer.to_jsonl(trace_path)
-    if session.metrics is not None:
-        metrics_path = out_dir / f"{stem}.metrics.json"
-        metrics_path.write_text(
-            json.dumps(session.metrics.to_dict(), indent=2, sort_keys=True)
-            + "\n"
-        )
-    if session.profiler is not None:
-        spans_path = out_dir / f"{stem}.spans.json"
-        spans_path.write_text(
-            json.dumps(session.profiler.to_dict(), indent=2, sort_keys=True)
-            + "\n"
-        )
-    return trace_path
-
-
-def _execute_observed(
-    spec: RunSpec, options: Optional[_obs.ObsOptions]
-) -> Tuple[Any, str]:
-    """Run one spec, inside its own capture session when requested.
-
-    Returns ``(result, trace_path)``; the trace path is "" when
-    observability is off.
-    """
-    if options is None or not options.enabled:
-        return spec.execute(), ""
-    with _obs.capture(
-        trace=options.trace,
-        metrics=options.metrics,
-        profile=options.profile,
-        ring_size=options.ring_size,
-    ) as session:
-        result = spec.execute()
-    return result, _export_session(spec, options, session)
-
-
-def _worker_run(
-    spec_dict: Dict[str, Any],
-    timeout_s: Optional[float],
-    obs_dict: Optional[Dict[str, Any]] = None,
-) -> Tuple[Dict[str, Any], float, str, str, Dict[str, Any]]:
-    """Pool-side entry point: rebuild the spec, run it, encode the result.
-
-    Must stay a module-level function so it pickles under every
-    multiprocessing start method.
-    """
-    spec = RunSpec.from_dict(spec_dict)
-    entry = get_builder(spec.builder)
-    options = (
-        _obs.ObsOptions.from_dict(obs_dict) if obs_dict is not None else None
-    )
-    meter = PerfMeter(spec)
-    start = time.perf_counter()
-    with _deadline(timeout_s):
-        result, trace = _execute_observed(spec, options)
-    wall = time.perf_counter() - start
-    perf = meter.finish(wall).to_dict()
-    return entry.encode(result), wall, f"pid-{os.getpid()}", trace, perf
-
-
-def _run_serial(state: _BatchState, pending: List[int]) -> None:
-    """In-process execution: the ``jobs=1`` path and the pool fallback."""
-    for i in pending:
-        spec = state.specs[i]
-        attempt = 0
-        while True:
-            attempt += 1
-            meter = PerfMeter(spec)
-            start = time.perf_counter()
-            try:
-                with _deadline(state.timeout_s):
-                    result, trace = _execute_observed(spec, state.obs)
-            except TimeoutError as exc:
-                wall = time.perf_counter() - start
-                if attempt <= state.retries:
-                    state.record(
-                        spec, "retried", wall_time_s=wall, attempt=attempt
-                    )
-                    time.sleep(state.next_retry_delay(i))
-                    continue
-                state.fail(i, exc, wall, "local", attempt)
-                break
-            except Exception as exc:
-                # Deterministic simulation failure: retrying would only
-                # reproduce it, so fail immediately.
-                state.fail(i, exc, time.perf_counter() - start, "local", attempt)
-                break
-            else:
-                wall = time.perf_counter() - start
-                state.succeed(
-                    i, result, wall, "local", attempt,
-                    trace=trace, perf=meter.finish(wall).to_dict(),
-                )
-                break
-
-
-def _make_pool(jobs: int) -> ProcessPoolExecutor:
-    """A pool preferring ``fork`` (cheap, inherits the registry) while
-    degrading to the platform default start method."""
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:
-        mp_context = None
-    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
-
-
-def _run_pool(state: _BatchState, pending: List[int], jobs: int) -> bool:
-    """Process-pool execution; returns False if no pool could be made
-    (the caller then falls back to serial execution)."""
-    try:
-        pool = _make_pool(jobs)
-    except (NotImplementedError, OSError, PermissionError, ValueError):
-        return False
-
-    attempts = {i: 0 for i in pending}
-    queue = list(pending)
-    obs_dict = (
-        state.obs.to_dict()
-        if state.obs is not None and state.obs.enabled
-        else None
-    )
-    try:
-        while queue:
-            futures = {}
-            for i in queue:
-                attempts[i] += 1
-                futures[
-                    pool.submit(
-                        _worker_run,
-                        state.specs[i].to_dict(),
-                        state.timeout_s,
-                        obs_dict,
-                    )
-                ] = i
-            queue = []
-            try:
-                for future in as_completed(futures):
-                    i = futures[future]
-                    spec = state.specs[i]
-                    try:
-                        encoded, wall, worker, trace, perf = future.result()
-                    except BrokenProcessPool:
-                        raise  # handled by the outer except: pool is dead
-                    except TimeoutError as exc:
-                        if attempts[i] <= state.retries:
-                            state.record(spec, "retried", attempt=attempts[i])
-                            queue.append(i)
-                        else:
-                            state.fail(i, exc, 0.0, "pool", attempts[i])
-                    except Exception as exc:
-                        state.fail(i, exc, 0.0, "pool", attempts[i])
-                    else:
-                        result = get_builder(spec.builder).decode(encoded)
-                        state.succeed(
-                            i, result, wall, worker, attempts[i], trace=trace,
-                            perf=perf,
-                        )
-            except BrokenProcessPool as exc:
-                # A worker died (OOM, hard crash).  Harvest any runs
-                # that finished before the pool collapsed, then requeue
-                # the rest onto a fresh pool, within the retry budget.
-                pool.shutdown(wait=False)
-                failed_indices = {j for j, _ in state.failures}
-                for future, i in futures.items():
-                    if (
-                        state.results[i] is not None
-                        or i in queue
-                        or i in failed_indices
-                    ):
-                        continue
-                    if future.done() and future.exception() is None:
-                        encoded, wall, worker, trace, perf = future.result()
-                        spec = state.specs[i]
-                        result = get_builder(spec.builder).decode(encoded)
-                        state.succeed(
-                            i, result, wall, worker, attempts[i], trace=trace,
-                            perf=perf,
-                        )
-                    elif attempts[i] <= state.retries:
-                        state.record(
-                            state.specs[i], "retried", attempt=attempts[i],
-                            worker="pool",
-                        )
-                        queue.append(i)
-                    else:
-                        state.fail(i, exc, 0.0, "pool", attempts[i])
-                if queue:
-                    time.sleep(max(state.next_retry_delay(i) for i in queue))
-                    pool = _make_pool(jobs)
-    finally:
-        pool.shutdown(wait=True)
-    return True

@@ -9,6 +9,8 @@ Outcomes:
 
 * ``executed`` — ran to completion in this invocation;
 * ``cached``   — satisfied from the result cache, nothing ran;
+* ``deduped``  — coalesced onto another spec with the same content
+  hash (queue dedup): one execution, this line's run just waited;
 * ``retried``  — one attempt crashed or timed out and was requeued;
 * ``failed``   — gave up (after bounded retries, where applicable).
 """
@@ -24,10 +26,10 @@ from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
 
-OUTCOMES = ("executed", "cached", "retried", "failed")
+OUTCOMES = ("executed", "cached", "deduped", "retried", "failed")
 
 #: Outcomes that terminate a run (``retried`` is an intermediate event).
-TERMINAL_OUTCOMES = ("executed", "cached", "failed")
+TERMINAL_OUTCOMES = ("executed", "cached", "deduped", "failed")
 
 
 @dataclass(frozen=True)
@@ -149,6 +151,8 @@ def format_summary(counts: Dict[str, int]) -> str:
         f"{counts.get(outcome, 0)} {outcome}"
         for outcome in ("executed", "cached", "failed")
     ]
+    if counts.get("deduped"):
+        parts.append(f"{counts['deduped']} deduped")
     if counts.get("retried"):
         parts.append(f"{counts['retried']} retried")
     return f"{counts.get('total', 0)} runs: " + ", ".join(parts)

@@ -31,6 +31,11 @@ from repro.sim.engine import dispatch_stats
 #: Bump when the record layout changes incompatibly.
 PERF_SCHEMA_VERSION = 1
 
+#: File under the perf root collecting result-store telemetry
+#: snapshots (hits/misses/evictions), one JSON object per line.  Kept
+#: apart from the ``<spec-hash>.jsonl`` histories.
+CACHE_TELEMETRY_FILE = "cache-telemetry.jsonl"
+
 
 def peak_rss_kb() -> int:
     """This process's peak resident set size in KiB (0 where the
@@ -171,10 +176,47 @@ class PerfStore:
         """Hashes with at least one recorded execution."""
         if not self.root.is_dir():
             return []
-        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+        return sorted(
+            p.stem
+            for p in self.root.glob("*.jsonl")
+            if p.name != CACHE_TELEMETRY_FILE
+        )
+
+    def cache_telemetry_path(self) -> Path:
+        return self.root / CACHE_TELEMETRY_FILE
+
+    def record_cache(self, counters: Dict[str, Any]) -> Path:
+        """Append one result-store telemetry snapshot (hits / misses /
+        evictions / …) so cache behaviour regresses visibly alongside
+        per-spec throughput."""
+        path = self.cache_telemetry_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(json.dumps(dict(counters), sort_keys=True) + "\n")
+        return path
+
+    def cache_telemetry(self) -> List[Dict[str, Any]]:
+        """Recorded cache snapshots, oldest first (bad lines skipped)."""
+        snapshots: List[Dict[str, Any]] = []
+        try:
+            lines = self.cache_telemetry_path().read_text().splitlines()
+        except OSError:
+            return snapshots
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict):
+                snapshots.append(doc)
+        return snapshots
 
 
 __all__ = [
+    "CACHE_TELEMETRY_FILE",
     "PERF_SCHEMA_VERSION",
     "PerfMeter",
     "PerfRecord",

@@ -27,6 +27,10 @@ class ProgressSnapshot:
     elapsed_s: float
     runs_per_sec: float
     eta_s: Optional[float]
+    #: Runs coalesced onto an identical spec hash (one execution, many
+    #: waiters); counted into ``done``.  Defaulted last so callers
+    #: constructing snapshots positionally keep working.
+    deduped: int = 0
 
     @property
     def remaining(self) -> int:
@@ -53,6 +57,7 @@ class ProgressReporter:
         self.executed = 0
         self.cached = 0
         self.failed = 0
+        self.deduped = 0
         self._started_at: Optional[float] = None
         self._last_render = float("-inf")
 
@@ -62,15 +67,19 @@ class ProgressReporter:
         self.executed = 0
         self.cached = 0
         self.failed = 0
+        self.deduped = 0
         self._started_at = self.clock()
         self._last_render = float("-inf")
 
     def update(self, outcome: str) -> None:
-        """Record one terminal outcome: executed / cached / failed."""
+        """Record one terminal outcome: executed / cached / deduped /
+        failed."""
         if outcome == "executed":
             self.executed += 1
         elif outcome == "cached":
             self.cached += 1
+        elif outcome == "deduped":
+            self.deduped += 1
         elif outcome == "failed":
             self.failed += 1
         else:  # "retried" and friends don't finish a run
@@ -82,7 +91,7 @@ class ProgressReporter:
         now = self.clock()
         started = self._started_at if self._started_at is not None else now
         elapsed = max(0.0, now - started)
-        done = self.executed + self.cached + self.failed
+        done = self.executed + self.cached + self.deduped + self.failed
         rate = done / elapsed if elapsed > 0 else 0.0
         remaining = self.total - done
         eta = remaining / rate if rate > 0 and remaining > 0 else (
@@ -97,6 +106,7 @@ class ProgressReporter:
             elapsed_s=elapsed,
             runs_per_sec=rate,
             eta_s=eta,
+            deduped=self.deduped,
         )
 
     def finish(self) -> ProgressSnapshot:
@@ -120,10 +130,11 @@ class ProgressReporter:
     @staticmethod
     def _format(snap: ProgressSnapshot) -> str:
         eta = f"{snap.eta_s:.0f}s" if snap.eta_s is not None else "?"
+        deduped = f", {snap.deduped} deduped" if snap.deduped else ""
         return (
             f"runs {snap.done}/{snap.total} "
             f"({snap.executed} executed, {snap.cached} cached, "
-            f"{snap.failed} failed) "
+            f"{snap.failed} failed{deduped}) "
             f"{snap.runs_per_sec:.2f} runs/s eta {eta}"
         )
 

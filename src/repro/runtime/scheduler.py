@@ -1,0 +1,881 @@
+"""The asyncio scheduler: warm worker pools fed from the job queue.
+
+This module is the execution half of the runtime split (the
+:mod:`~repro.runtime.queue` holds *what* to run; the scheduler decides
+*where and when*).  The moving parts:
+
+* **strategy objects** — :class:`RetryPolicy` (bounded retries with
+  decorrelated-jitter backoff) and :class:`TimeoutPolicy` (pre-emptive
+  ``SIGALRM`` deadline with a wall-clock fallback) carry the knobs that
+  used to be loose parameters threaded through ``executor.py``;
+* **worker pools** — :class:`ProcessWorkerPool` wraps a warm
+  ``ProcessPoolExecutor`` (fork-preferring, restartable after a worker
+  crash); :class:`InlineWorkerPool` executes in-process and is both the
+  ``jobs=1`` path and the graceful fallback when no pool can be
+  created;
+* **work stealing** — ready jobs are dealt round-robin across the
+  pools' local deques; an idle worker drains its own deque first, then
+  the central queue (DAG-released work), then steals from the tail of
+  the longest other deque, so one slow shard cannot strand work;
+* **the scheduler** — :meth:`Scheduler.run_batch` drives one queue to
+  completion synchronously (what the :func:`~repro.runtime.executor.run_many`
+  facade calls); :meth:`Scheduler.serve` runs forever on the service's
+  event loop with pools kept warm across batches.
+
+Warm pools are safe only where workers inherit every builder the specs
+name: the pools fork from the submitting process, so a *scratch*
+builder registered after the pool forked would be missing in the
+workers.  ``run_batch`` therefore builds pools per call (exactly the
+old behaviour), while the long-lived service — whose specs come in by
+name over HTTP and resolve against the default builders — keeps them
+warm.
+
+Determinism: the module is covered by REP101/REP202; every wall-clock
+read goes through the journaled :mod:`repro.runtime.clock` seam.  The
+retry RNG is deliberately unseeded — the jitter exists to decorrelate,
+and never touches simulation results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import multiprocessing
+import os
+import random
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro import obs as _obs
+from repro.runtime import clock
+from repro.runtime.cache import ResultCache
+from repro.runtime.manifest import RunManifest
+from repro.runtime.perf import PerfMeter, PerfRecord, PerfStore
+from repro.runtime.progress import ProgressReporter
+from repro.runtime.queue import PENDING, Job, JobQueue
+from repro.runtime.spec import RunSpec, get_builder
+
+
+def retry_delay_s(
+    base_s: float,
+    cap_s: float,
+    prev_s: float,
+    rng: random.Random,
+) -> float:
+    """One decorrelated-jitter retry delay (uniform in
+    ``[base, 3 * prev]``, capped at ``cap_s``).
+
+    A wave of workers killed by the same cause (OOM, a rebooted
+    license server) must not retry in lockstep: each delay is drawn
+    independently, and feeding the previous delay back in grows the
+    spread roughly exponentially while the cap bounds the worst case.
+    """
+    if base_s <= 0:
+        return 0.0
+    upper = max(base_s, 3.0 * prev_s)
+    return min(cap_s, rng.uniform(base_s, upper))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with decorrelated-jitter backoff."""
+
+    #: Extra attempts after a crash or timeout (not after a
+    #: deterministic simulation failure, which would just fail again).
+    retries: int = 2
+    #: Base backoff between attempts, seconds.
+    backoff_s: float = 0.5
+    #: Hard ceiling on any single retry delay, seconds.
+    max_backoff_s: float = 30.0
+
+    def should_retry(self, attempt: int) -> bool:
+        return attempt <= self.retries
+
+    def delay_s(self, prev_s: float, rng: random.Random) -> float:
+        return retry_delay_s(self.backoff_s, self.max_backoff_s, prev_s, rng)
+
+
+def _sigalrm_usable() -> bool:
+    """True when a pre-emptive ``SIGALRM`` deadline can be armed here.
+
+    Split out (rather than inlined in :meth:`TimeoutPolicy.deadline`)
+    so tests can monkeypatch it to exercise the wall-clock fallback on
+    platforms that *do* have ``SIGALRM``.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Per-run wall-clock budget (None/<=0 = unlimited)."""
+
+    timeout_s: Optional[float] = None
+
+    @contextmanager
+    def deadline(self):
+        """Raise ``TimeoutError`` if the body outlives the budget.
+
+        Where ``SIGALRM`` is available and we are on the main thread
+        (always true for pool workers), the timeout is pre-emptive:
+        the run is interrupted mid-flight.  Everywhere else — Windows,
+        or a caller driving the runtime from a secondary thread — the
+        deadline degrades to a post-hoc wall-clock check: the run
+        completes, but if it overshot the budget its result is
+        discarded and ``TimeoutError`` is raised so ``--timeout`` is
+        honoured on every platform rather than silently becoming a
+        no-op.
+        """
+        seconds = self.timeout_s
+        if seconds is None or seconds <= 0:
+            yield
+            return
+
+        if not _sigalrm_usable():
+            start = clock.monotonic()
+            yield
+            elapsed = clock.monotonic() - start
+            if elapsed > seconds:
+                raise TimeoutError(
+                    f"run exceeded the {seconds}s timeout "
+                    f"(finished after {elapsed:.2f}s; SIGALRM unavailable, "
+                    f"so the run could not be interrupted mid-flight)"
+                )
+            return
+
+        def _expired(_signum, _frame):
+            raise TimeoutError(f"run exceeded the {seconds}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, float(seconds))
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _export_session(
+    spec: RunSpec, options: _obs.ObsOptions, session: _obs.ObsSession
+) -> str:
+    """File one run's capture under ``options.dir``; return the trace
+    path ("" when only metrics were collected)."""
+    out_dir = Path(options.dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = spec.content_hash()
+    trace_path = ""
+    if session.tracer is not None:
+        trace_path = str(out_dir / f"{stem}.trace.jsonl")
+        session.tracer.to_jsonl(trace_path)
+    if session.metrics is not None:
+        metrics_path = out_dir / f"{stem}.metrics.json"
+        metrics_path.write_text(
+            json.dumps(session.metrics.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    if session.profiler is not None:
+        spans_path = out_dir / f"{stem}.spans.json"
+        spans_path.write_text(
+            json.dumps(session.profiler.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+    return trace_path
+
+
+def _execute_observed(
+    spec: RunSpec, options: Optional[_obs.ObsOptions]
+) -> Tuple[Any, str]:
+    """Run one spec, inside its own capture session when requested.
+
+    Returns ``(result, trace_path)``; the trace path is "" when
+    observability is off.
+    """
+    if options is None or not options.enabled:
+        return spec.execute(), ""
+    with _obs.capture(
+        trace=options.trace,
+        metrics=options.metrics,
+        profile=options.profile,
+        ring_size=options.ring_size,
+    ) as session:
+        result = spec.execute()
+    return result, _export_session(spec, options, session)
+
+
+def _worker_run(
+    spec_dict: Dict[str, Any],
+    timeout_s: Optional[float],
+    obs_dict: Optional[Dict[str, Any]] = None,
+) -> Tuple[Dict[str, Any], float, str, str, Dict[str, Any]]:
+    """Pool-side entry point: rebuild the spec, run it, encode the result.
+
+    Must stay a module-level function so it pickles under every
+    multiprocessing start method.
+    """
+    spec = RunSpec.from_dict(spec_dict)
+    entry = get_builder(spec.builder)
+    options = (
+        _obs.ObsOptions.from_dict(obs_dict) if obs_dict is not None else None
+    )
+    meter = PerfMeter(spec)
+    start = clock.perf()
+    with TimeoutPolicy(timeout_s).deadline():
+        result, trace = _execute_observed(spec, options)
+    wall = clock.perf() - start
+    perf = meter.finish(wall).to_dict()
+    return entry.encode(result), wall, f"pid-{os.getpid()}", trace, perf
+
+
+def _make_pool(jobs: int) -> ProcessPoolExecutor:
+    """A pool preferring ``fork`` (cheap, inherits the registry) while
+    degrading to the platform default start method."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:
+        mp_context = None
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+
+
+#: Exceptions meaning "no process pool can exist here" — the scheduler
+#: degrades to in-process execution rather than failing the batch.
+POOL_UNAVAILABLE = (NotImplementedError, OSError, PermissionError, ValueError)
+
+
+class InlineWorkerPool:
+    """In-process execution: the ``jobs=1`` path and the pool fallback.
+
+    With ``offload=True`` (the service) the run is pushed onto a
+    helper thread so the scheduler's event loop stays responsive; the
+    timeout then uses the wall-clock fallback since ``SIGALRM`` cannot
+    be armed off the main thread.
+    """
+
+    name = "local"
+    capacity = 1
+
+    def __init__(self, offload: bool = False):
+        self._offload = offload
+
+    async def execute(
+        self,
+        spec: RunSpec,
+        timeout: TimeoutPolicy,
+        options: Optional[_obs.ObsOptions],
+    ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
+        if self._offload:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, self._run, spec, timeout, options
+            )
+        return self._run(spec, timeout, options)
+
+    @staticmethod
+    def _run(
+        spec: RunSpec,
+        timeout: TimeoutPolicy,
+        options: Optional[_obs.ObsOptions],
+    ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
+        meter = PerfMeter(spec)
+        start = clock.perf()
+        with timeout.deadline():
+            result, trace = _execute_observed(spec, options)
+        wall = clock.perf() - start
+        return result, wall, "local", trace, meter.finish(wall).to_dict()
+
+    def restart(self, generation: int) -> None:  # pragma: no cover
+        pass  # nothing to restart in-process
+
+    @property
+    def generation(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessWorkerPool:
+    """A warm ``ProcessPoolExecutor`` shard.
+
+    ``restart`` is generation-guarded: when a worker crash breaks the
+    pool, every in-flight ``execute`` observes ``BrokenProcessPool``
+    and asks for a restart, but only the first request (per
+    generation) actually rebuilds the pool.
+    """
+
+    def __init__(self, workers: int, name: str = "pool-0"):
+        self.name = name
+        self.capacity = workers
+        self._workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = _make_pool(workers)
+        self._generation = 0
+        self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    async def execute(
+        self,
+        spec: RunSpec,
+        timeout: TimeoutPolicy,
+        options: Optional[_obs.ObsOptions],
+    ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
+        pool = self._pool
+        if pool is None:
+            raise BrokenProcessPool(f"{self.name} could not be rebuilt")
+        obs_dict = (
+            options.to_dict()
+            if options is not None and options.enabled
+            else None
+        )
+        loop = asyncio.get_running_loop()
+        encoded, wall, worker, trace, perf = await loop.run_in_executor(
+            pool, _worker_run, spec.to_dict(), timeout.timeout_s, obs_dict
+        )
+        result = get_builder(spec.builder).decode(encoded)
+        return result, wall, worker, trace, perf
+
+    def restart(self, generation: int) -> None:
+        """Rebuild the pool after a crash (no-op if another caller with
+        the same generation already did)."""
+        with self._lock:
+            if generation != self._generation:
+                return
+            self._generation += 1
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            try:
+                self._pool = _make_pool(self._workers)
+            except POOL_UNAVAILABLE:
+                self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def build_pools(
+    jobs: int, pending: int, offload_inline: bool = False
+) -> List[Any]:
+    """Shard ``jobs`` worker slots into pools sized to the work.
+
+    ``jobs <= 1`` (or a single pending run) stays in-process; four or
+    more slots are split into two process-pool shards so the scheduler
+    has somewhere to steal between; pool creation failure degrades to
+    in-process execution.
+    """
+    if jobs <= 1 or pending <= 1:
+        return [InlineWorkerPool(offload=offload_inline)]
+    slots = min(jobs, max(pending, 2))
+    shards = 2 if slots >= 4 else 1
+    per = [slots // shards + (1 if k < slots % shards else 0)
+           for k in range(shards)]
+    pools: List[Any] = []
+    try:
+        for k, workers in enumerate(per):
+            pools.append(ProcessWorkerPool(workers, name=f"pool-{k}"))
+    except POOL_UNAVAILABLE:
+        for pool in pools:
+            pool.close()
+        return [InlineWorkerPool(offload=offload_inline)]
+    return pools
+
+
+class BatchSink:
+    """Resolves job outcomes back onto one batch's spec indices.
+
+    Several indices of a batch may share one queue job (spec-hash
+    dedup): the first index records the job's own outcome
+    ("executed"/"cached"), every further index records "deduped", and
+    all of them receive the same result object.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        manifest: Optional[RunManifest] = None,
+        reporter: Optional[ProgressReporter] = None,
+    ):
+        self.specs = list(specs)
+        self.manifest = manifest
+        self.reporter = reporter
+        self.results: List[Any] = [None] * len(self.specs)
+        self.failures: List[Tuple[int, BaseException]] = []
+        self._indices: Dict[str, List[int]] = {}
+
+    def register(self, index: int, job: Job) -> None:
+        self._indices.setdefault(job.spec_hash, []).append(index)
+
+    def start(self) -> None:
+        if self.reporter is not None:
+            self.reporter.start(len(self.specs))
+
+    def finish(self) -> None:
+        if self.reporter is not None:
+            self.reporter.finish()
+
+    def _record(
+        self,
+        spec: RunSpec,
+        outcome: str,
+        wall_time_s: float = 0.0,
+        worker: str = "local",
+        attempt: int = 1,
+        trace: str = "",
+        perf: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if self.manifest is not None:
+            self.manifest.record(
+                spec, outcome, wall_time_s=wall_time_s, worker=worker,
+                attempt=attempt, trace=trace, perf=perf,
+            )
+        if self.reporter is not None:
+            self.reporter.update(outcome)
+
+    def on_retried(self, job: Job, wall_s: float = 0.0) -> None:
+        self._record(
+            job.spec, "retried", wall_time_s=wall_s,
+            worker=job.worker or "local", attempt=job.attempts,
+        )
+
+    def on_terminal(self, job: Job) -> None:
+        indices = self._indices.get(job.spec_hash, [])
+        if job.state == "done":
+            for order, index in enumerate(indices):
+                self.results[index] = job.result
+                if order == 0:
+                    self._record(
+                        self.specs[index], job.outcome,
+                        wall_time_s=job.wall_s, worker=job.worker or "local",
+                        attempt=max(1, job.attempts), trace=job.trace,
+                        perf=job.perf,
+                    )
+                else:
+                    self._record(
+                        self.specs[index], "deduped", worker="dedup",
+                    )
+        else:
+            error = job.error if job.error is not None else RuntimeError(
+                f"{job.spec.label} failed"
+            )
+            for index in indices:
+                self.failures.append((index, error))
+                self._record(
+                    self.specs[index], "failed", wall_time_s=job.wall_s,
+                    worker=job.worker or "local",
+                    attempt=max(1, job.attempts),
+                )
+
+
+class Scheduler:
+    """Drains a :class:`~repro.runtime.queue.JobQueue` through worker
+    pools; owns the result cache and perf telemetry on that path."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retry: RetryPolicy = RetryPolicy(),
+        timeout: TimeoutPolicy = TimeoutPolicy(),
+        obs: Optional[_obs.ObsOptions] = None,
+        cache: Optional[ResultCache] = None,
+        perf_store: Optional[PerfStore] = None,
+        offload_inline: bool = False,
+    ):
+        self.jobs = jobs
+        self.retry = retry
+        self.timeout = timeout
+        self.obs = obs
+        self.cache = cache
+        self.perf_store = perf_store
+        self.offload_inline = offload_inline
+        #: Retry pacing entropy.  Deliberately unseeded — these delays
+        #: never touch simulation results, and sharing entropy across
+        #: processes is exactly what the jitter exists to avoid.
+        self._retry_rng = random.Random()  # repro: noqa[REP102]
+        #: Service mode: workers re-check the cache on pop, because an
+        #: earlier batch may have produced the result since submission.
+        #: Batch mode resolves hits upfront instead (so a fully-cached
+        #: batch never forks a pool) and leaves this off.
+        self.worker_cache_check = False
+        self._pools: Optional[List[Any]] = None
+        self._kick: Optional[asyncio.Event] = None
+        self._stopping = False
+        #: Set by :meth:`serve`; worker threads use it to wake the loop.
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.on_retry: Optional[Callable[[Job, float], None]] = None
+
+    # -- cache ------------------------------------------------------
+
+    def resolve_cached(self, queue: JobQueue) -> int:
+        """Settle every untouched pending job with a cache hit before
+        any pool exists; returns the number of hits."""
+        if self.cache is None:
+            return 0
+        hits = 0
+        for job in queue.jobs():
+            if job.state == PENDING and job.attempts == 0:
+                hit = self.cache.get(job.spec)
+                if hit is not None:
+                    job.worker = "cache"
+                    queue.mark_done(job, "cached", hit)
+                    hits += 1
+        return hits
+
+    def flush_telemetry(self, queue: JobQueue) -> None:
+        """Push the result store's lifetime counters (plus queue
+        dedup/completion counts) into the perf store — one snapshot
+        line per batch."""
+        if self.cache is None or self.perf_store is None:
+            return
+        telemetry = getattr(self.cache, "telemetry", None)
+        if telemetry is None:
+            return
+        snapshot = dict(telemetry.to_dict())
+        snapshot.update({"queue": queue.stats.to_dict(), "t": clock.now()})
+        try:
+            self.perf_store.record_cache(snapshot)
+        except OSError:
+            pass  # telemetry must never fail the batch it measured
+
+    # -- batch entry points -----------------------------------------
+
+    def run_batch(
+        self, queue: JobQueue, sink: Optional[BatchSink] = None
+    ) -> None:
+        """Drive ``queue`` to completion, synchronously.
+
+        Pools are built per call, sized to the actual cache misses
+        (a fully-cached batch never forks a worker), and torn down
+        afterwards — see the module docstring for why warm pools are
+        reserved for the service.
+        """
+        if sink is not None:
+            sink.start()
+        try:
+            self.on_retry = sink.on_retried if sink is not None else None
+            self.resolve_cached(queue)
+            if queue.open_jobs() > 0:
+                drained = (
+                    self.jobs <= 1
+                    and not self.offload_inline
+                    and self._drain_inline(queue)
+                )
+                if not drained:
+                    _run_sync(self._drain(queue))
+        finally:
+            self.on_retry = None
+            self.flush_telemetry(queue)
+            if sink is not None:
+                sink.finish()
+
+    async def serve(self, queue: JobQueue) -> None:
+        """Run until :meth:`stop`: pools stay warm, workers sleep on a
+        kick event between submissions (the service kicks on submit)."""
+        self.loop = asyncio.get_running_loop()
+        self._stopping = False
+        self._pools = build_pools(
+            self.jobs, max(self.jobs, 2), offload_inline=True
+        )
+        try:
+            await self._drain(queue, serve=True)
+        finally:
+            pools, self._pools = self._pools or [], None
+            for pool in pools:
+                pool.close()
+            self.loop = None
+
+    def stop(self) -> None:
+        """Ask a serving scheduler to drain and exit (threadsafe)."""
+        self._stopping = True
+        self.kick_threadsafe()
+
+    def kick_threadsafe(self) -> None:
+        """Wake idle workers from another thread (service submit path)."""
+        loop, kick = self.loop, self._kick
+        if loop is not None and kick is not None:
+            loop.call_soon_threadsafe(kick.set)
+
+    # -- the drain --------------------------------------------------
+
+    async def _drain(self, queue: JobQueue, serve: bool = False) -> None:
+        self._kick = asyncio.Event()
+        pools = self._pools
+        own_pools = pools is None
+        if own_pools:
+            pools = build_pools(
+                self.jobs, queue.open_jobs(),
+                offload_inline=self.offload_inline,
+            )
+        assert pools is not None
+        deques: List[Any] = [collections.deque() for _ in pools]
+        if not serve:
+            # Deal the ready jobs round-robin across the pool shards;
+            # DAG-blocked jobs surface later via queue.pop().
+            slot = 0
+            while True:
+                job = queue.pop()
+                if job is None:
+                    break
+                deques[slot % len(deques)].append(job)
+                slot += 1
+        try:
+            workers = [
+                asyncio.ensure_future(
+                    self._worker(queue, pools, deques, k, serve)
+                )
+                for k, pool in enumerate(pools)
+                for _ in range(pool.capacity)
+            ]
+            await asyncio.gather(*workers)
+        finally:
+            if own_pools:
+                for pool in pools:
+                    pool.close()
+            self._kick = None
+
+    async def _worker(
+        self,
+        queue: JobQueue,
+        pools: List[Any],
+        deques: List[Any],
+        pool_index: int,
+        serve: bool,
+    ) -> None:
+        pool = pools[pool_index]
+        mine = deques[pool_index]
+        while True:
+            job: Optional[Job] = None
+            if mine:
+                job = mine.popleft()
+            if job is None:
+                job = queue.pop()
+            if job is None and len(deques) > 1:
+                victim = max(
+                    (d for k, d in enumerate(deques) if k != pool_index),
+                    key=len,
+                )
+                if victim:
+                    job = victim.pop()  # steal the coldest tail entry
+            if job is None:
+                if queue.open_jobs() == 0 and (not serve or self._stopping):
+                    return
+                kick = self._kick
+                assert kick is not None
+                try:
+                    await asyncio.wait_for(kick.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    pass
+                else:
+                    kick.clear()
+                continue
+            await self._run_job(job, pool, queue)
+            if self._kick is not None:
+                self._kick.set()  # a completion may have released deps
+
+    async def _run_job(self, job: Job, pool: Any, queue: JobQueue) -> None:
+        spec = job.spec
+        if (
+            self.worker_cache_check
+            and self.cache is not None
+            and job.attempts <= 1
+        ):
+            # Service mode: the job may have been satisfied by an
+            # earlier batch since it was submitted.
+            hit = self.cache.get(spec)
+            if hit is not None:
+                job.worker = "cache"
+                queue.mark_done(job, "cached", hit)
+                return
+        prev_delay = self.retry.backoff_s
+        while True:
+            start = clock.perf()
+            generation = pool.generation
+            try:
+                result, wall, worker, trace, perf = await pool.execute(
+                    spec, self.timeout, self.obs
+                )
+            except asyncio.CancelledError:
+                raise
+            except TimeoutError as exc:
+                wall = clock.perf() - start
+                job.worker = pool.name
+                if self.retry.should_retry(job.attempts):
+                    if self.on_retry is not None:
+                        self.on_retry(job, wall)
+                    queue.note_retry(job)
+                    prev_delay = self.retry.delay_s(
+                        prev_delay, self._retry_rng
+                    )
+                    await asyncio.sleep(prev_delay)
+                    continue
+                job.wall_s = wall
+                queue.mark_failed(job, exc)
+                return
+            except BrokenProcessPool as exc:
+                # A worker died (OOM, hard crash): rebuild the pool and
+                # retry the run within the ordinary budget.
+                pool.restart(generation)
+                job.worker = pool.name
+                if self.retry.should_retry(job.attempts):
+                    if self.on_retry is not None:
+                        self.on_retry(job, 0.0)
+                    queue.note_retry(job)
+                    prev_delay = self.retry.delay_s(
+                        prev_delay, self._retry_rng
+                    )
+                    await asyncio.sleep(prev_delay)
+                    continue
+                queue.mark_failed(job, exc)
+                return
+            except Exception as exc:
+                # Deterministic simulation failure: retrying would only
+                # reproduce it, so fail immediately.
+                job.wall_s = clock.perf() - start
+                job.worker = pool.name
+                queue.mark_failed(job, exc)
+                return
+            else:
+                self._finish_job(
+                    job, queue, result, wall, worker, trace, perf
+                )
+                return
+
+    def _finish_job(
+        self,
+        job: Job,
+        queue: JobQueue,
+        result: Any,
+        wall: float,
+        worker: str,
+        trace: str,
+        perf: Dict[str, Any],
+    ) -> None:
+        job.wall_s = wall
+        job.worker = worker
+        job.trace = trace
+        job.perf = perf
+        if self.cache is not None:
+            self.cache.put(job.spec, result)
+        if perf and self.perf_store is not None:
+            try:
+                self.perf_store.record(PerfRecord.from_dict(perf))
+            except (KeyError, TypeError, ValueError, OSError):
+                pass  # telemetry must never fail the run
+        queue.mark_done(job, "executed", result)
+
+    def _drain_inline(self, queue: JobQueue) -> bool:
+        """``jobs<=1`` fast path: the same retry/timeout semantics as
+        :meth:`_run_job`, with no event loop — per-batch asyncio setup
+        costs more than a small batch's entire bookkeeping.
+
+        Returns False (leaving the queue to the async drain) if the
+        queue stalls with open jobs that a lone inline worker cannot
+        release — which a dependency cycle would produce.
+        """
+        while True:
+            job = queue.pop()
+            if job is None:
+                return queue.open_jobs() == 0
+            spec = job.spec
+            if (
+                self.worker_cache_check
+                and self.cache is not None
+                and job.attempts <= 1
+            ):
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    job.worker = "cache"
+                    queue.mark_done(job, "cached", hit)
+                    continue
+            prev_delay = self.retry.backoff_s
+            while True:
+                start = clock.perf()
+                try:
+                    result, wall, worker, trace, perf = (
+                        InlineWorkerPool._run(spec, self.timeout, self.obs)
+                    )
+                except TimeoutError as exc:
+                    wall = clock.perf() - start
+                    job.worker = InlineWorkerPool.name
+                    if self.retry.should_retry(job.attempts):
+                        if self.on_retry is not None:
+                            self.on_retry(job, wall)
+                        queue.note_retry(job)
+                        prev_delay = self.retry.delay_s(
+                            prev_delay, self._retry_rng
+                        )
+                        clock.sleep(prev_delay)
+                        continue
+                    job.wall_s = wall
+                    queue.mark_failed(job, exc)
+                    break
+                except Exception as exc:
+                    # Deterministic simulation failure: retrying would
+                    # only reproduce it, so fail immediately.
+                    job.wall_s = clock.perf() - start
+                    job.worker = InlineWorkerPool.name
+                    queue.mark_failed(job, exc)
+                    break
+                else:
+                    self._finish_job(
+                        job, queue, result, wall, worker, trace, perf
+                    )
+                    break
+
+
+def _run_sync(coro: Any) -> Any:
+    """Drive ``coro`` to completion from synchronous code.
+
+    When the caller is already inside a running event loop (async code
+    calling the sync facade), the coroutine runs on a private loop on a
+    helper thread instead of deadlocking.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    box: Dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = asyncio.run(coro)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join()
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
+
+
+__all__ = [
+    "POOL_UNAVAILABLE",
+    "BatchSink",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "RetryPolicy",
+    "Scheduler",
+    "TimeoutPolicy",
+    "build_pools",
+    "retry_delay_s",
+]

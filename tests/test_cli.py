@@ -114,26 +114,30 @@ class TestCacheDirOption:
     ``--cache-dir``, not silently fall back to the default root."""
 
     def test_stats_and_clear_respect_cache_dir(self, tmp_path, capsys):
+        from repro.runtime.cache import ResultCache
+
         cache_dir = tmp_path / "custom-cache"
         code, _ = run_cli(
             capsys, "fig5", "--runs", "1", "--size-mb", "1",
             "--cache", "--cache-dir", str(cache_dir),
         )
         assert code == 0
-        assert (cache_dir / "results").is_dir()
-        entries = len(list((cache_dir / "results").glob("*.json")))
+        # Entries land in the segment store, not per-run JSON blobs.
+        assert (cache_dir / "store").is_dir()
+        entries = ResultCache(cache_dir).stats().entries
         assert entries == 3  # one per protocol
 
         code, out = run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir))
         assert code == 0
         assert str(cache_dir) in out
         assert f"entries:    {entries}" in out
+        assert "segments:   " in out
 
         code, out = run_cli(capsys, "cache", "clear", "--cache-dir", str(cache_dir))
         assert code == 0
         assert f"removed {entries} cached result(s)" in out
         assert str(cache_dir) in out
-        assert not list((cache_dir / "results").glob("*.json"))
+        assert ResultCache(cache_dir).stats().entries == 0
 
         code, out = run_cli(capsys, "cache", "stats", "--cache-dir", str(cache_dir))
         assert code == 0

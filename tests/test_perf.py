@@ -150,12 +150,16 @@ class TestBench:
         doc = run_bench(size_mb=0.25, repeats=1,
                         protocols=("emptcp",), engines=("fluid",),
                         fleet_sessions=100)
-        # fig05 + fig06 on the fluid engine, plus the fleet record
-        assert len(doc["records"]) == 3
-        fleet = doc["records"][-1]
+        # fig05 + fig06 on the fluid engine, the fleet record, and the
+        # batch-submit (scheduler facade) record
+        assert len(doc["records"]) == 4
+        fleet = doc["records"][-2]
         assert fleet["key"] == "fleet-100/flow"
         assert fleet["engine"] == "flow"
         assert fleet["sessions"] == 100 and fleet["events"] > 0
+        batch = doc["records"][-1]
+        assert batch["key"] == "batch-fig56/submit"
+        assert batch["batch_specs"] == 2 and batch["events"] > 0
         assert check_bench_doc(doc).ok
         path = write_bench(doc)
         assert path.name.startswith("BENCH_") and read_bench(path) == doc

@@ -138,17 +138,33 @@ class TestResultCache:
         spec = small_spec()
         assert cache.get(spec) is None
         cache.put(spec, spec.execute())
-        cache.path_for(spec).write_text("{not json")
+        # Scribble over the segment holding the entry: an unreadable
+        # entry is a miss, never an error.
+        for segment in cache.store.segment_paths():
+            segment.write_text("{not json\n")
         assert cache.get(spec) is None
+        # A corrupt legacy-generation blob is equally just a miss.
+        legacy = ResultCache(tmp_path / "legacy")
+        legacy.results_dir.mkdir(parents=True)
+        legacy.path_for(spec).write_text("{not json")
+        assert legacy.get(spec) is None
 
-    def test_salt_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+    def test_salt_mismatch_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         spec = small_spec()
         cache.put(spec, spec.execute())
-        payload = json.loads(cache.path_for(spec).read_text())
+        payload = cache.store.get(spec.content_hash())
         payload["salt"] = "repro-0.0.0/runtime-0"
-        cache.path_for(spec).write_text(json.dumps(payload))
+        cache.store.put(spec.content_hash(), payload)  # newest entry wins
         assert cache.get(spec) is None
+        # Legacy generation: a stale-salt blob is a miss and must NOT
+        # be migrated into the segment store.
+        legacy = ResultCache(tmp_path / "legacy")
+        legacy.results_dir.mkdir(parents=True)
+        legacy.path_for(spec).write_text(json.dumps(payload))
+        assert legacy.get(spec) is None
+        assert legacy.path_for(spec).exists()
+        assert legacy.store.entry_count() == 0
 
     def test_stats_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -309,9 +325,9 @@ class TestWallClockTimeoutFallback:
     def test_timeout_enforced_without_sigalrm(
         self, tmp_path, scratch_builder, monkeypatch
     ):
-        from repro.runtime import executor as executor_mod
+        from repro.runtime import scheduler as scheduler_mod
 
-        monkeypatch.setattr(executor_mod, "_sigalrm_usable", lambda: False)
+        monkeypatch.setattr(scheduler_mod, "_sigalrm_usable", lambda: False)
 
         def sleepy(spec):
             time.sleep(0.2)
@@ -358,9 +374,9 @@ class TestWallClockTimeoutFallback:
     def test_fast_run_passes_wallclock_check(
         self, scratch_builder, monkeypatch
     ):
-        from repro.runtime import executor as executor_mod
+        from repro.runtime import scheduler as scheduler_mod
 
-        monkeypatch.setattr(executor_mod, "_sigalrm_usable", lambda: False)
+        monkeypatch.setattr(scheduler_mod, "_sigalrm_usable", lambda: False)
         scratch_builder("quick-wall-test", lambda spec: 42)
         results = run_many(
             [RunSpec("emptcp", "quick-wall-test")], timeout_s=30.0
@@ -386,7 +402,8 @@ class TestSweepThroughRuntime:
 
 
 class TestRetryBackoff:
-    """Decorrelated-jitter retry delays (repro.runtime.executor)."""
+    """Decorrelated-jitter retry delays (repro.runtime.scheduler;
+    re-exported through the executor facade)."""
 
     def _rng(self, seed=7):
         import random
@@ -428,19 +445,48 @@ class TestRetryBackoff:
         delays = [retry_delay_s(0.5, 30.0, 5.0, rng) for _ in range(50)]
         assert len(set(delays)) > 10
 
-    def test_batch_state_tracks_previous_delay_per_spec(self):
-        from repro.runtime.executor import _BatchState
+    def test_retry_policy_chains_delays_and_bounds_attempts(self):
+        from repro.runtime.scheduler import RetryPolicy
 
-        state = _BatchState(
-            specs=[], results=[], cache=None, manifest=None, reporter=None,
-            timeout_s=None, retries=2, backoff_s=0.5, max_backoff_s=4.0,
-        )
-        state._retry_rng = self._rng(11)
+        policy = RetryPolicy(retries=2, backoff_s=0.5, max_backoff_s=4.0)
+        rng = self._rng(11)
+        prev = 0.0
         for _ in range(20):
-            assert 0.5 <= state.next_retry_delay(0) <= 4.0
-        # Per-spec state: spec 1 starts fresh from the base.
-        first = state.next_retry_delay(1)
-        assert 0.5 <= first <= 1.5
+            prev = policy.delay_s(prev, rng)
+            assert 0.5 <= prev <= 4.0
+        # A job's first retry starts fresh from the base.
+        assert 0.5 <= policy.delay_s(0.0, rng) <= 1.5
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
 
     def test_context_exposes_max_backoff(self):
         assert current_context().max_backoff_s == 30.0
+
+
+class TestFacadeEquivalence:
+    def test_run_many_byte_identical_to_direct_execution(self, tmp_path):
+        """The facade promise: routing the fig5/fig6 suite through the
+        queue + scheduler + store pipeline changes nothing about the
+        results — byte-identical to calling ``spec.execute()``."""
+        from repro.runtime.bench import bench_specs
+
+        specs = [
+            spec for _, spec in bench_specs(size_mb=0.5, engines=("fluid",))
+        ]
+        direct = [
+            json.dumps(spec.execute().to_dict(), sort_keys=True)
+            for spec in specs
+        ]
+        via_facade = run_many(
+            specs, jobs=2, cache=ResultCache(tmp_path / "cache")
+        )
+        assert [
+            json.dumps(result.to_dict(), sort_keys=True)
+            for result in via_facade
+        ] == direct
+        # And a warm re-run (all cache hits) is byte-identical too.
+        warm = run_many(specs, cache=ResultCache(tmp_path / "cache"))
+        assert [
+            json.dumps(result.to_dict(), sort_keys=True) for result in warm
+        ] == direct
