@@ -2,12 +2,12 @@
 
 PY ?= python
 
-.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke report report-paper examples clean
+.PHONY: install test check lint bench bench-smoke bench-verbose trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke obs-smoke report report-paper examples clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
-test: check trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke
+test: check trace-smoke packet-smoke perf-smoke fleet-smoke service-smoke obs-smoke
 	PYTHONPATH=src $(PY) -m pytest tests/
 
 check:  ## static tiers: lint + dataflow vs baselines + config verification
@@ -73,6 +73,14 @@ service-smoke:  ## HTTP service round trip: warm resubmit must be all hits
 		--cache-dir .service-smoke --size-mb 1 --jobs 2
 	rm -rf .service-smoke
 
+obs-smoke:  ## distributed-trace loop: sweep over HTTP, scrape /v1/metrics, reassemble + CHK7xx
+	rm -rf .obs-smoke
+	timeout 180 env PYTHONPATH=src $(PY) -m repro.cli service obs-smoke \
+		--cache-dir .obs-smoke --size-mb 2 --jobs 2
+	PYTHONPATH=src $(PY) -m repro.cli trace tree .obs-smoke/obs > /dev/null
+	PYTHONPATH=src $(PY) -m repro.cli check trace .obs-smoke/obs
+	rm -rf .obs-smoke
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -93,5 +101,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke .fleet-smoke .service-smoke
+	rm -rf .pytest_cache .benchmarks build *.egg-info src/*.egg-info .trace-smoke .packet-smoke .perf-smoke .fleet-smoke .service-smoke .obs-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -333,6 +333,26 @@ def _cmd_cache(args) -> int:
         if stats.legacy_entries:
             print(f"legacy:     {stats.legacy_entries} per-run JSON blob(s) "
                   f"(migrated to segments on next read)")
+        # Durable per-batch store telemetry (one snapshot per batch,
+        # appended to <cache>/perf/cache-telemetry.jsonl by the
+        # scheduler); the live counters die with each process, so this
+        # is the only place cache behaviour over time is visible.
+        snapshots = PerfStore(Path(args.cache_dir) / "perf").cache_telemetry()
+        if snapshots:
+            last = snapshots[-1]
+            hits = int(last.get("hits", 0))
+            misses = int(last.get("misses", 0))
+            lookups = hits + misses
+            ratio = hits / lookups if lookups else 0.0
+            print(f"telemetry:  {len(snapshots)} batch snapshot(s); latest: "
+                  f"{hits} hit(s) / {misses} miss(es) "
+                  f"(ratio {ratio:.2f}), "
+                  f"{int(last.get('appends', 0))} append(s), "
+                  f"{int(last.get('evictions', 0))} eviction(s), "
+                  f"{int(last.get('migrated', 0))} migrated")
+        else:
+            print("telemetry:  no batch snapshots yet "
+                  "(each batch appends one to perf/cache-telemetry.jsonl)")
         return 0
     if sub == "clear":
         removed = cache.clear()
@@ -349,9 +369,25 @@ def _cmd_service(args) -> int:
         return _service_serve(args)
     if sub == "smoke":
         return _service_smoke(args)
-    print(f"unknown service subcommand {sub!r}; choose serve or smoke",
-          file=sys.stderr)
+    if sub == "top":
+        return _service_top(args)
+    if sub == "obs-smoke":
+        return _service_obs_smoke(args)
+    print(f"unknown service subcommand {sub!r}; choose serve, smoke, top, "
+          f"or obs-smoke", file=sys.stderr)
     return 2
+
+
+def _service_obs_options(args) -> Optional[ObsOptions]:
+    """Per-run obs capture for the service, from the shared CLI flags.
+
+    Lifecycle spans and ``/v1/metrics`` are always on; this only governs
+    whether each executed run additionally exports trace/metrics/profile
+    files into the obs dir."""
+    if not (args.trace or args.metrics or args.profile):
+        return None
+    return ObsOptions(dir=args.obs_dir, trace=args.trace,
+                      metrics=args.metrics, profile=args.profile)
 
 
 def _service_serve(args) -> int:
@@ -359,14 +395,15 @@ def _service_serve(args) -> int:
 
     port = int(args.target) if args.target else 0
     with ExperimentService(
-        Path(args.cache_dir), jobs=args.jobs, timeout_s=args.timeout
+        Path(args.cache_dir), jobs=args.jobs, timeout_s=args.timeout,
+        obs=_service_obs_options(args),
     ) as service:
         server = serve_http(service, port=port)
         host, bound = server.server_address[0], server.server_address[1]
         print(f"experiment service on http://{host}:{bound} "
               f"(jobs={args.jobs}, cache {args.cache_dir})")
         print("routes: POST /v1/submit, /v1/sweep, /v1/shutdown; "
-              "GET /v1/status, /v1/stream/<batch>")
+              "GET /v1/status, /v1/metrics, /v1/stream/<batch>")
         try:
             server.serve_thread.join()
         except KeyboardInterrupt:
@@ -471,20 +508,209 @@ def _service_smoke(args) -> int:
     return 0
 
 
+def _top_value(series: Dict[str, list], name: str) -> float:
+    """The first sample of one Prometheus series (0.0 when absent)."""
+    samples = series.get(name, [])
+    return samples[0][1] if samples else 0.0
+
+
+def _format_top(series: Dict[str, list], status: dict) -> str:
+    """One refresh of the ``service top`` dashboard."""
+    lines = []
+    uptime = _top_value(series, "repro_uptime_seconds")
+    batches = int(_top_value(series, "repro_batches_total"))
+    spans = int(_top_value(series, "repro_spans_recorded_total"))
+    lines.append(f"-- experiment service · up {uptime:.1f}s · "
+                 f"{batches} batch(es) · {spans} span(s) --")
+    queue = status.get("queue", {})
+    lines.append(
+        f"queue: open {status.get('open_jobs', 0)}  "
+        f"submitted {queue.get('submitted', 0)}  "
+        f"done {queue.get('done', 0)}  "
+        f"failed {queue.get('failed', 0)}  "
+        f"deduped {queue.get('deduped', 0)}"
+    )
+    inflight = status.get("inflight", {})
+    busy = {k: v for k, v in sorted(inflight.items()) if v}
+    shard_bits = " ".join(f"{k}={v}" for k, v in busy.items()) or "idle"
+    lines.append(f"shards: {shard_bits} ({sum(inflight.values())} in flight)")
+    sched = status.get("scheduler", {})
+    lines.append(
+        "sched: " + "  ".join(
+            f"{key.split('.', 1)[-1]} {int(sched.get(key, 0))}"
+            for key in ("scheduler.jobs_done", "scheduler.jobs_failed",
+                        "scheduler.retries", "scheduler.steals",
+                        "scheduler.timeouts", "scheduler.cache_hits")
+        )
+    )
+    ratio = _top_value(series, "repro_cache_hit_ratio")
+    entries = int(_top_value(series, "repro_store_entries"))
+    size_mb = _top_value(series, "repro_store_bytes") / 1e6
+    lines.append(f"cache: hit ratio {ratio:.2f} · store {entries} "
+                 f"entries / {size_mb:.2f} MB")
+    ewma = status.get("events_per_sec_ewma")
+    if ewma:
+        lines.append(f"events/sec EWMA: {ewma:,.0f}")
+    return "\n".join(lines)
+
+
+def _service_top(args) -> int:
+    """``service top <host:port|port>`` — poll ``/v1/metrics`` and
+    ``/v1/status`` of a running service, ``--runs`` refreshes."""
+    import time as _time
+    import urllib.request
+
+    from repro.obs.prom import parse_prometheus
+
+    if not args.target:
+        print("usage: emptcp-repro service top <host:port | port> [--runs N]",
+              file=sys.stderr)
+        return 2
+    where = args.target if ":" in args.target else f"127.0.0.1:{args.target}"
+    base = f"http://{where}"
+    for cycle in range(max(1, args.runs)):
+        if cycle:
+            _time.sleep(1.0)
+        try:
+            with urllib.request.urlopen(f"{base}/v1/metrics",
+                                        timeout=10) as resp:
+                series = parse_prometheus(resp.read().decode())
+            with urllib.request.urlopen(f"{base}/v1/status",
+                                        timeout=10) as resp:
+                status = json.loads(resp.read().decode())
+        except OSError as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 2
+        print(_format_top(series, status))
+    return 0
+
+
+def _service_obs_smoke(args) -> int:
+    """End-to-end observability check over real HTTP.
+
+    Serves with tracing on, scrapes ``/v1/metrics`` cold, drives a
+    multi-job sweep batch through ``/v1/sweep``, then asserts the
+    queue/shard/cache series moved, the lifecycle export reassembles
+    into exactly one root span tree, and CHK7xx passes over the obs
+    dir.  Exercises the full submit → queue → shard → span → scrape →
+    reassemble loop the tracing layer exists for.
+    """
+    import urllib.request
+
+    from repro import check as chk
+    from repro.obs.dist import SPAN_BATCH
+    from repro.obs.prom import parse_prometheus
+    from repro.obs.tree import format_trace_forest, load_trace_forest
+    from repro.runtime.service import ExperimentService, serve_http
+
+    def fetch(method: str, url: str, payload=None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return json.loads(resp.read().decode())
+
+    def scrape(url: str) -> Dict[str, list]:
+        with urllib.request.urlopen(url, timeout=60) as resp:
+            return parse_prometheus(resp.read().decode())
+
+    failures: List[str] = []
+    obs_dir = Path(args.obs_dir)
+    obs = ObsOptions(dir=str(obs_dir), trace=True, metrics=False,
+                     profile=args.profile)
+    with ExperimentService(
+        Path(args.cache_dir), jobs=args.jobs, timeout_s=args.timeout, obs=obs,
+    ) as service:
+        server = serve_http(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        cold = scrape(f"{base}/v1/metrics")
+        sweep = fetch("POST", f"{base}/v1/sweep", {
+            "builder": "static",
+            "parameter": "tau_seconds",
+            "values": [3.0, 6.0],
+            "kwargs": {"good_wifi": True,
+                       "download_bytes": mib(_perf_size_mb(args))},
+        })
+        batch = sweep["batch"]
+        with urllib.request.urlopen(f"{base}/v1/stream/{batch}",
+                                    timeout=120) as resp:
+            events = [json.loads(raw) for raw in resp if raw.strip()]
+        tail = events[-1] if events else {}
+        if not tail.get("done"):
+            failures.append("stream did not end in a finished summary")
+        warm = scrape(f"{base}/v1/metrics")
+        for name in ("repro_queue_submitted_total",
+                     "repro_scheduler_jobs_done_total",
+                     "repro_batches_total"):
+            if not _top_value(warm, name) > _top_value(cold, name):
+                failures.append(
+                    f"{name} did not increase across the batch "
+                    f"({_top_value(cold, name)} -> {_top_value(warm, name)})"
+                )
+        status = fetch("GET", f"{base}/v1/status")
+        trace_id = ""
+        for doc in status.get("batches", {}).values():
+            if doc.get("batch") == batch:
+                trace_id = doc.get("trace_id", "")
+        if not trace_id:
+            failures.append(f"batch {batch} reported no trace id")
+        fetch("POST", f"{base}/v1/shutdown")
+        server.serve_thread.join(timeout=30)
+
+    trees = load_trace_forest(obs_dir, trace_id=trace_id or None)
+    if len(trees) != 1:
+        failures.append(f"expected 1 reassembled trace for {trace_id!r}, "
+                        f"got {len(trees)}")
+    for tree in trees:
+        if len(tree.roots) != 1 or tree.roots[0].span.name != SPAN_BATCH:
+            failures.append(
+                f"trace {tree.trace_id}: expected exactly one {SPAN_BATCH} "
+                f"root, got {[n.span.name for n in tree.roots]}"
+            )
+        if tree.orphans:
+            failures.append(f"trace {tree.trace_id}: {len(tree.orphans)} "
+                            f"orphan span(s)")
+    print(format_trace_forest(trees), end="")
+    report = chk.check_trace_topology(obs_dir)
+    print(report.format())
+    if not report.ok:
+        failures.append("CHK7xx trace-topology check failed")
+    if failures:
+        for failure in failures:
+            print(f"obs smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("obs smoke OK: metrics moved across the batch, one root span "
+          "tree reassembled, trace topology checks pass")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     # Validate the subcommand before touching the filesystem: a typo
     # like `trace summarise` must list the choices, not complain about
     # (or create state under) the default trace directory.
     sub = args.subcommand or "summarize"
-    if sub not in ("summarize", "validate", "timeline"):
+    if sub not in ("summarize", "validate", "timeline", "tree"):
         print(f"unknown trace subcommand {sub!r}; choose summarize, "
-              f"validate, or timeline", file=sys.stderr)
+              f"validate, timeline, or tree", file=sys.stderr)
         return 2
     target = Path(args.target) if args.target else Path(args.cache_dir) / "obs"
     if not target.exists():
         print(f"error: no traces at {target} (run with --trace first, or pass "
               f"a trace file/directory)", file=sys.stderr)
         return 2
+    if sub == "tree":
+        from repro.obs.tree import format_trace_forest, load_trace_forest
+
+        trace_prefix = args.extra[0] if args.extra else None
+        try:
+            trees = load_trace_forest(target, trace_id=trace_prefix)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trace_forest(trees), end="")
+        return 0 if trees else 1
     if sub == "summarize":
         try:
             summary = summarize_target(target)
@@ -753,7 +979,12 @@ def _cmd_check(args) -> int:
                       f"or pass a trace file/directory)", file=sys.stderr)
                 return 2
         else:
-            report = chk.check_traces(target)
+            from repro.check.findings import merge_reports as _merge
+
+            report = _merge("trace", [
+                chk.check_traces(target),
+                chk.check_trace_topology(target),
+            ])
             print(report.format())
             status = max(status, 0 if report.ok else 1)
     if sub == "determinism":
@@ -964,11 +1195,12 @@ def _cmd_streaming(args) -> int:
 _COMMANDS = {
     "list": (_cmd_list, "list available experiments"),
     "cache": (_cmd_cache, "inspect (stats) or empty (clear) the result cache"),
-    "trace": (_cmd_trace, "summarize, validate, or timeline exported run traces"),
+    "trace": (_cmd_trace, "summarize, validate, timeline, or tree exported traces"),
     "check": (_cmd_check, "static lint / config / trace / perf-invariant checks"),
     "perf": (_cmd_perf, "profile hot paths; record/compare perf benchmarks"),
     "run": (_cmd_run, "run one protocol on good|bad WiFi (--engine fluid|packet|flow)"),
-    "service": (_cmd_service, "HTTP experiment service (service serve [port] | smoke)"),
+    "service": (_cmd_service, "HTTP experiment service "
+                              "(serve [port] | smoke | top | obs-smoke)"),
     "fleet": (_cmd_fleet, "population-scale flow-tier runs (fleet run|sweep)"),
     "upload": (_cmd_upload, "Extension: bulk uploads (direction-aware EIB)"),
     "streaming": (_cmd_streaming, "Extension: 2.5 Mbps video streaming"),
@@ -1007,11 +1239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "subcommand", nargs="?", default=None,
         help="cache subcommand: stats (default) or clear; "
-             "trace subcommand: summarize (default), validate, or timeline; "
+             "trace subcommand: summarize (default), validate, timeline, "
+             "or tree; "
              "check subcommand: lint, dataflow, config, trace, determinism, perf, "
              "or all (default); perf subcommand: profile, record (default), "
-             "compare, or check; service subcommand: serve (default) or "
-             "smoke; run: the protocol (default emptcp)",
+             "compare, or check; service subcommand: serve (default), smoke, "
+             "top, or obs-smoke; run: the protocol (default emptcp)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -1020,13 +1253,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(check lint; default: src/repro), the WiFi quality "
              "good|bad (run command; default good), the protocol "
              "(perf profile; default emptcp), the TCP port (service "
-             "serve; default: ephemeral), or the baseline bench "
-             "record (perf compare)",
+             "serve; default: ephemeral), the host:port to poll "
+             "(service top), or the baseline bench record (perf compare)",
     )
     parser.add_argument(
         "extra", nargs="*", default=[],
         help="remaining positionals: the WiFi quality good|bad "
-             "(perf profile) or the current bench record (perf compare)",
+             "(perf profile), the current bench record (perf compare), "
+             "or a trace-id prefix filter (trace tree)",
     )
     parser.add_argument(
         "--engine", default="fluid",

@@ -48,6 +48,14 @@ from repro.obs.events import (
     validate_events,
     validate_trace_files,
 )
+from repro.obs.dist import (
+    LifecycleSpan,
+    SpanRecorder,
+    TraceContext,
+    derive_trace_id,
+    root_context,
+    span_id_for,
+)
 
 __all__ = [
     "Tracer",
@@ -72,6 +80,12 @@ __all__ = [
     "read_jsonl",
     "iter_trace_files",
     "DEFAULT_RING_SIZE",
+    "LifecycleSpan",
+    "SpanRecorder",
+    "TraceContext",
+    "derive_trace_id",
+    "root_context",
+    "span_id_for",
 ]
 
 

@@ -64,13 +64,24 @@ class Tracer:
         """Drop every buffered event (the emitted counter is kept)."""
         self._ring.clear()
 
-    def to_jsonl(self, path: Union[str, Path]) -> Path:
-        """Write the buffered events as one JSON object per line."""
+    def to_jsonl(
+        self,
+        path: Union[str, Path],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write the buffered events as one JSON object per line.
+
+        ``extra`` fields (e.g. the distributed-trace
+        ``trace_id``/``span_id`` stamp) are merged into every exported
+        line without mutating the in-memory ring; the event schema
+        permits extra fields, so stamped files still validate.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as fh:
             for event in self._ring:
-                fh.write(json.dumps(event, sort_keys=True) + "\n")
+                doc = {**event, **extra} if extra else event
+                fh.write(json.dumps(doc, sort_keys=True) + "\n")
         return path
 
 

@@ -30,6 +30,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro import obs as _obs
 from repro.errors import ConfigurationError, ExecutionError
+from repro.obs import dist as _dist
+from repro.runtime import clock
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest
 from repro.runtime.perf import PerfStore
@@ -195,13 +197,42 @@ def run_many(
     sink = BatchSink(
         specs, manifest=manifest, reporter=auto_reporter(progress)
     )
+    # Distributed tracing: one deterministic trace per batch content
+    # (no salt — re-running an identical batch reuses its trace and the
+    # recorder replaces the old lifecycle file).  Only active when obs
+    # capture is on, so the disabled path pays nothing.
+    hashes = [spec.content_hash() for spec in specs]
+    root_ctx: Optional[_dist.TraceContext] = None
+    if obs is not None and obs.enabled:
+        root_ctx = _dist.root_context(hashes)
+        scheduler.recorder = _dist.SpanRecorder(sink_dir=Path(obs.dir))
+        scheduler.flight_dir = (
+            manifest.path.parent if manifest is not None else Path(obs.dir)
+        )
+    batch_start = clock.now()
     queue = JobQueue(journal=journal)
     try:
         for index, spec in enumerate(specs):
-            job, _ = queue.submit(spec, on_done=sink.on_terminal)
+            ctx = (
+                root_ctx.child(_dist.SPAN_JOB, hashes[index])
+                if root_ctx is not None
+                else None
+            )
+            job, _ = queue.submit(spec, on_done=sink.on_terminal, ctx=ctx)
             sink.register(index, job)
         scheduler.run_batch(queue, sink)
     finally:
+        if root_ctx is not None and scheduler.recorder is not None:
+            scheduler.recorder.record(_dist.LifecycleSpan(
+                trace_id=root_ctx.trace_id,
+                span_id=root_ctx.span_id,
+                parent_span_id="",
+                name=_dist.SPAN_BATCH,
+                start_t=batch_start,
+                end_t=clock.now(),
+                status="failed" if sink.failures else "ok",
+                attrs={"jobs": len(specs)},
+            ))
         queue.close()
 
     if sink.failures:

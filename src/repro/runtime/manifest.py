@@ -53,6 +53,10 @@ class ManifestEntry:
     #: (None for cached/retried/failed lines and for manifests written
     #: before the perf-telemetry layer).
     perf: Optional[Dict[str, Any]] = None
+    #: Distributed-trace identity of the job that produced this line
+    #: ("" when tracing was off or the manifest predates the layer).
+    trace_id: str = ""
+    span_id: str = ""
 
 
 class RunManifest:
@@ -77,6 +81,8 @@ class RunManifest:
         attempt: int = 1,
         trace: str = "",
         perf: Optional[Dict[str, Any]] = None,
+        trace_id: str = "",
+        span_id: str = "",
     ) -> ManifestEntry:
         """Write one line for ``spec`` and return the entry."""
         if outcome not in OUTCOMES:
@@ -96,6 +102,8 @@ class RunManifest:
             timestamp=time.time(),
             trace=trace,
             perf=dict(perf) if perf else None,
+            trace_id=trace_id,
+            span_id=span_id,
         )
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

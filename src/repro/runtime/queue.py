@@ -82,6 +82,11 @@ class Job:
     worker: str = ""
     trace: str = ""
     perf: Optional[Dict[str, Any]] = None
+    #: Distributed-trace context (:class:`repro.obs.dist.TraceContext`)
+    #: for this job's span; None when tracing is off or the job was
+    #: recovered from a journal (ctx is not journalled — a recovered
+    #: job re-executes without spans rather than fabricating them).
+    ctx: Optional[Any] = None
     #: Callbacks fired (outside the queue lock) when the job reaches a
     #: terminal state; late subscribers to an already-terminal job fire
     #: immediately.
@@ -169,13 +174,16 @@ class JobQueue:
         priority: int = 0,
         after: Iterable[str] = (),
         on_done: Optional[Callable[[Job], None]] = None,
+        ctx: Optional[Any] = None,
     ) -> Tuple[Job, bool]:
         """Enqueue ``spec`` (or join the existing job for its hash).
 
         Returns ``(job, fresh)`` — ``fresh`` is False when the spec
         coalesced into an already-queued (or already-finished) job.
         ``on_done`` fires once the job is terminal; if it already is,
-        the callback fires before this call returns.
+        the callback fires before this call returns.  ``ctx`` attaches
+        a trace context; on dedup the first submitter's context wins
+        (its batch owns the span) unless none was attached yet.
         """
         spec_hash = spec.content_hash()
         fire_now: Optional[Job] = None
@@ -183,6 +191,8 @@ class JobQueue:
             job = self._jobs.get(spec_hash)
             if job is not None:
                 job.waiters += 1
+                if ctx is not None and job.ctx is None:
+                    job.ctx = ctx
                 self._stats["deduped"] += 1
                 self._journal("dedup", job)
                 if on_done is not None:
@@ -200,6 +210,7 @@ class JobQueue:
                     priority=priority,
                     after=tuple(dict.fromkeys(after)),
                     submitted_at=clock.now(),
+                    ctx=ctx,
                 )
                 if on_done is not None:
                     job.callbacks.append(on_done)

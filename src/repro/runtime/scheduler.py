@@ -34,6 +34,19 @@ Determinism: the module is covered by REP101/REP202; every wall-clock
 read goes through the journaled :mod:`repro.runtime.clock` seam.  The
 retry RNG is deliberately unseeded — the jitter exists to decorrelate,
 and never touches simulation results.
+
+Observability: when a :class:`~repro.obs.dist.SpanRecorder` is
+attached (``scheduler.recorder``), every job emits lifecycle spans —
+``queue.wait`` (submit→pop), one ``job.exec`` per attempt (annotated
+with pool/worker/status), and a terminal ``job`` span — all under the
+batch's deterministic trace id, with the per-run obs exports stamped
+with the executing attempt's ``(trace_id, span_id)``.  A
+:class:`~repro.obs.metrics.MetricsRegistry` on the scheduler counts
+retries/steals/timeouts/cache hits for the service's ``/v1/metrics``
+plane, and on terminal failure the recorder's flight ring is dumped
+into ``flight_dir``.  Both the asyncio drain and the ``jobs<=1``
+inline fast path go through the same helpers, so the two paths emit
+identical spans.
 """
 
 from __future__ import annotations
@@ -62,6 +75,8 @@ from typing import (
 )
 
 from repro import obs as _obs
+from repro.obs import dist as _dist
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import clock
 from repro.runtime.cache import ResultCache
 from repro.runtime.manifest import RunManifest
@@ -172,35 +187,59 @@ class TimeoutPolicy:
             signal.signal(signal.SIGALRM, previous)
 
 
+def _ctx_stamp(
+    ctx_dict: Optional[Dict[str, Any]]
+) -> Optional[Dict[str, str]]:
+    """The ``{trace_id, span_id}`` stamp for run exports, from a
+    wire-form :class:`~repro.obs.dist.TraceContext` dict (or None)."""
+    if not ctx_dict:
+        return None
+    trace_id = str(ctx_dict.get("trace_id", ""))
+    span_id = str(ctx_dict.get("span_id", ""))
+    if not trace_id:
+        return None
+    return {"trace_id": trace_id, "span_id": span_id}
+
+
 def _export_session(
-    spec: RunSpec, options: _obs.ObsOptions, session: _obs.ObsSession
+    spec: RunSpec,
+    options: _obs.ObsOptions,
+    session: _obs.ObsSession,
+    stamp: Optional[Dict[str, str]] = None,
 ) -> str:
     """File one run's capture under ``options.dir``; return the trace
-    path ("" when only metrics were collected)."""
+    path ("" when only metrics were collected).  ``stamp`` carries the
+    distributed-trace identity merged into every export."""
     out_dir = Path(options.dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     stem = spec.content_hash()
     trace_path = ""
     if session.tracer is not None:
         trace_path = str(out_dir / f"{stem}.trace.jsonl")
-        session.tracer.to_jsonl(trace_path)
+        session.tracer.to_jsonl(trace_path, extra=stamp)
     if session.metrics is not None:
+        metrics_doc = session.metrics.to_dict()
+        if stamp:
+            metrics_doc.update(stamp)
         metrics_path = out_dir / f"{stem}.metrics.json"
         metrics_path.write_text(
-            json.dumps(session.metrics.to_dict(), indent=2, sort_keys=True)
-            + "\n"
+            json.dumps(metrics_doc, indent=2, sort_keys=True) + "\n"
         )
     if session.profiler is not None:
+        spans_doc = session.profiler.to_dict()
+        if stamp:
+            spans_doc.update(stamp)
         spans_path = out_dir / f"{stem}.spans.json"
         spans_path.write_text(
-            json.dumps(session.profiler.to_dict(), indent=2, sort_keys=True)
-            + "\n"
+            json.dumps(spans_doc, indent=2, sort_keys=True) + "\n"
         )
     return trace_path
 
 
 def _execute_observed(
-    spec: RunSpec, options: Optional[_obs.ObsOptions]
+    spec: RunSpec,
+    options: Optional[_obs.ObsOptions],
+    stamp: Optional[Dict[str, str]] = None,
 ) -> Tuple[Any, str]:
     """Run one spec, inside its own capture session when requested.
 
@@ -216,18 +255,21 @@ def _execute_observed(
         ring_size=options.ring_size,
     ) as session:
         result = spec.execute()
-    return result, _export_session(spec, options, session)
+    return result, _export_session(spec, options, session, stamp=stamp)
 
 
 def _worker_run(
     spec_dict: Dict[str, Any],
     timeout_s: Optional[float],
     obs_dict: Optional[Dict[str, Any]] = None,
+    ctx_dict: Optional[Dict[str, Any]] = None,
 ) -> Tuple[Dict[str, Any], float, str, str, Dict[str, Any]]:
     """Pool-side entry point: rebuild the spec, run it, encode the result.
 
     Must stay a module-level function so it pickles under every
-    multiprocessing start method.
+    multiprocessing start method.  ``ctx_dict`` is the execution
+    attempt's trace context; its stamp lands on the run's exports so
+    they correlate back to the scheduler's lifecycle spans.
     """
     spec = RunSpec.from_dict(spec_dict)
     entry = get_builder(spec.builder)
@@ -237,7 +279,9 @@ def _worker_run(
     meter = PerfMeter(spec)
     start = clock.perf()
     with TimeoutPolicy(timeout_s).deadline():
-        result, trace = _execute_observed(spec, options)
+        result, trace = _execute_observed(
+            spec, options, stamp=_ctx_stamp(ctx_dict)
+        )
     wall = clock.perf() - start
     perf = meter.finish(wall).to_dict()
     return entry.encode(result), wall, f"pid-{os.getpid()}", trace, perf
@@ -256,6 +300,10 @@ def _make_pool(jobs: int) -> ProcessPoolExecutor:
 #: Exceptions meaning "no process pool can exist here" — the scheduler
 #: degrades to in-process execution rather than failing the batch.
 POOL_UNAVAILABLE = (NotImplementedError, OSError, PermissionError, ValueError)
+
+#: Smoothing weight of the events/sec EWMA exposed on ``/v1/metrics``
+#: (weight of the newest finished run).
+EWMA_ALPHA = 0.3
 
 
 class InlineWorkerPool:
@@ -278,24 +326,28 @@ class InlineWorkerPool:
         spec: RunSpec,
         timeout: TimeoutPolicy,
         options: Optional[_obs.ObsOptions],
+        ctx: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
         if self._offload:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
-                None, self._run, spec, timeout, options
+                None, self._run, spec, timeout, options, ctx
             )
-        return self._run(spec, timeout, options)
+        return self._run(spec, timeout, options, ctx)
 
     @staticmethod
     def _run(
         spec: RunSpec,
         timeout: TimeoutPolicy,
         options: Optional[_obs.ObsOptions],
+        ctx: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
         meter = PerfMeter(spec)
         start = clock.perf()
         with timeout.deadline():
-            result, trace = _execute_observed(spec, options)
+            result, trace = _execute_observed(
+                spec, options, stamp=_ctx_stamp(ctx)
+            )
         wall = clock.perf() - start
         return result, wall, "local", trace, meter.finish(wall).to_dict()
 
@@ -336,6 +388,7 @@ class ProcessWorkerPool:
         spec: RunSpec,
         timeout: TimeoutPolicy,
         options: Optional[_obs.ObsOptions],
+        ctx: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Any, float, str, str, Dict[str, Any]]:
         pool = self._pool
         if pool is None:
@@ -347,7 +400,8 @@ class ProcessWorkerPool:
         )
         loop = asyncio.get_running_loop()
         encoded, wall, worker, trace, perf = await loop.run_in_executor(
-            pool, _worker_run, spec.to_dict(), timeout.timeout_s, obs_dict
+            pool, _worker_run, spec.to_dict(), timeout.timeout_s, obs_dict,
+            ctx,
         )
         result = get_builder(spec.builder).decode(encoded)
         return result, wall, worker, trace, perf
@@ -441,23 +495,38 @@ class BatchSink:
         attempt: int = 1,
         trace: str = "",
         perf: Optional[Dict[str, Any]] = None,
+        trace_id: str = "",
+        span_id: str = "",
     ) -> None:
         if self.manifest is not None:
             self.manifest.record(
                 spec, outcome, wall_time_s=wall_time_s, worker=worker,
                 attempt=attempt, trace=trace, perf=perf,
+                trace_id=trace_id, span_id=span_id,
             )
         if self.reporter is not None:
             self.reporter.update(outcome)
 
+    @staticmethod
+    def _job_stamp(job: Job) -> Tuple[str, str]:
+        """The job span's ``(trace_id, span_id)`` for manifest lines
+        ("" pair when tracing is off)."""
+        ctx = job.ctx
+        trace_id = getattr(ctx, "trace_id", "") if ctx is not None else ""
+        span_id = getattr(ctx, "span_id", "") if ctx is not None else ""
+        return str(trace_id), str(span_id)
+
     def on_retried(self, job: Job, wall_s: float = 0.0) -> None:
+        trace_id, span_id = self._job_stamp(job)
         self._record(
             job.spec, "retried", wall_time_s=wall_s,
             worker=job.worker or "local", attempt=job.attempts,
+            trace_id=trace_id, span_id=span_id,
         )
 
     def on_terminal(self, job: Job) -> None:
         indices = self._indices.get(job.spec_hash, [])
+        trace_id, span_id = self._job_stamp(job)
         if job.state == "done":
             for order, index in enumerate(indices):
                 self.results[index] = job.result
@@ -466,11 +535,12 @@ class BatchSink:
                         self.specs[index], job.outcome,
                         wall_time_s=job.wall_s, worker=job.worker or "local",
                         attempt=max(1, job.attempts), trace=job.trace,
-                        perf=job.perf,
+                        perf=job.perf, trace_id=trace_id, span_id=span_id,
                     )
                 else:
                     self._record(
                         self.specs[index], "deduped", worker="dedup",
+                        trace_id=trace_id, span_id=span_id,
                     )
         else:
             error = job.error if job.error is not None else RuntimeError(
@@ -482,6 +552,7 @@ class BatchSink:
                     self.specs[index], "failed", wall_time_s=job.wall_s,
                     worker=job.worker or "local",
                     attempt=max(1, job.attempts),
+                    trace_id=trace_id, span_id=span_id,
                 )
 
 
@@ -521,6 +592,140 @@ class Scheduler:
         #: Set by :meth:`serve`; worker threads use it to wake the loop.
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self.on_retry: Optional[Callable[[Job, float], None]] = None
+        #: Lifecycle-span sink (None = tracing off).  The executor and
+        #: the service attach one; both drain paths emit through it.
+        self.recorder: Optional[_dist.SpanRecorder] = None
+        #: Where the flight ring is dumped on terminal failure/timeout
+        #: (the manifest directory, typically).
+        self.flight_dir: Optional[Path] = None
+        #: Live counters for the service metrics plane.  Pre-registered
+        #: so every scrape sees the full series set from the start.
+        self.metrics = MetricsRegistry()
+        for _name in (
+            "scheduler.retries",
+            "scheduler.steals",
+            "scheduler.timeouts",
+            "scheduler.crashes",
+            "scheduler.cache_hits",
+            "scheduler.jobs_done",
+            "scheduler.jobs_failed",
+        ):
+            self.metrics.counter(_name)
+        #: Jobs currently executing, per pool shard name.
+        self.inflight: Dict[str, int] = {}
+        #: Exponentially-weighted events/sec over finished runs.
+        self.events_ewma: Optional[float] = None
+
+    # -- lifecycle spans --------------------------------------------
+    #
+    # Shared by the asyncio drain and the inline fast path so both
+    # produce identical trace topology (the parity the CHK7xx tier
+    # checks).  All are no-ops when no recorder is attached.
+
+    def _job_ctx(self, job: Job) -> Optional[_dist.TraceContext]:
+        if self.recorder is None:
+            return None
+        ctx = job.ctx
+        return ctx if isinstance(ctx, _dist.TraceContext) else None
+
+    def _record_wait(self, job: Job) -> None:
+        """The queue-wait span: submission until the scheduler first
+        picked the job up (or resolved it from cache)."""
+        ctx = self._job_ctx(job)
+        if ctx is None:
+            return
+        end_t = clock.now()
+        self.recorder.record(_dist.LifecycleSpan(
+            trace_id=ctx.trace_id,
+            span_id=_dist.span_id_for(
+                ctx.trace_id, _dist.SPAN_WAIT, job.spec_hash
+            ),
+            parent_span_id=ctx.span_id,
+            name=_dist.SPAN_WAIT,
+            start_t=job.submitted_at or end_t,
+            end_t=end_t,
+            attrs={"hash": job.spec_hash, "priority": job.priority},
+        ))
+
+    def _exec_ctx(self, job: Job) -> Optional[_dist.TraceContext]:
+        """Context for the *current attempt's* execution span.  The ID
+        is content-derived, so it is known before dispatch and the
+        worker can stamp its exports without a round trip."""
+        ctx = self._job_ctx(job)
+        if ctx is None:
+            return None
+        return ctx.child(_dist.SPAN_EXEC, job.spec_hash, job.attempts)
+
+    def _record_exec(
+        self,
+        job: Job,
+        exec_ctx: Optional[_dist.TraceContext],
+        start_t: float,
+        status: str,
+        worker: str,
+        shard: str,
+    ) -> None:
+        if exec_ctx is None or self.recorder is None:
+            return
+        self.recorder.record(_dist.LifecycleSpan(
+            trace_id=exec_ctx.trace_id,
+            span_id=exec_ctx.span_id,
+            parent_span_id=exec_ctx.parent_span_id,
+            name=_dist.SPAN_EXEC,
+            start_t=start_t,
+            end_t=clock.now(),
+            status=status,
+            attrs={
+                "hash": job.spec_hash,
+                "attempt": job.attempts,
+                "worker": worker,
+                "shard": shard,
+            },
+        ))
+
+    def _record_job_span(self, job: Job, outcome: str, status: str) -> None:
+        """The per-job span, recorded just before the job turns
+        terminal (so batch-completion callbacks observe it)."""
+        ctx = self._job_ctx(job)
+        if ctx is None:
+            return
+        end_t = clock.now()
+        self.recorder.record(_dist.LifecycleSpan(
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_span_id=ctx.parent_span_id,
+            name=_dist.SPAN_JOB,
+            start_t=job.submitted_at or end_t,
+            end_t=end_t,
+            status=status,
+            attrs={
+                "hash": job.spec_hash,
+                "label": job.spec.label,
+                "outcome": outcome,
+                "attempts": job.attempts,
+                "worker": job.worker or "local",
+            },
+        ))
+
+    def _dump_flight(self, job: Job, reason: str) -> None:
+        """Snapshot the flight ring next to the manifest when a job
+        fails terminally — the black box for post-mortems."""
+        if self.recorder is None or self.flight_dir is None:
+            return
+        self.recorder.dump_flight(
+            self.flight_dir,
+            reason=f"{reason}-{job.spec_hash[:12]}",
+            t=clock.now(),
+        )
+
+    def _mark_cached(self, job: Job, hit: Any, queue: JobQueue) -> None:
+        """Settle a cache hit with the same span topology as an
+        executed job (wait + terminal; no exec span — nothing ran)."""
+        job.worker = "cache"
+        self.metrics.counter("scheduler.cache_hits").inc()
+        self._record_wait(job)
+        self._record_job_span(job, "cached", "ok")
+        queue.mark_done(job, "cached", hit)
 
     # -- cache ------------------------------------------------------
 
@@ -534,8 +739,7 @@ class Scheduler:
             if job.state == PENDING and job.attempts == 0:
                 hit = self.cache.get(job.spec)
                 if hit is not None:
-                    job.worker = "cache"
-                    queue.mark_done(job, "cached", hit)
+                    self._mark_cached(job, hit, queue)
                     hits += 1
         return hits
 
@@ -674,6 +878,7 @@ class Scheduler:
                 )
                 if victim:
                     job = victim.pop()  # steal the coldest tail entry
+                    self.metrics.counter("scheduler.steals").inc()
             if job is None:
                 if queue.open_jobs() == 0 and (not serve or self._stopping):
                     return
@@ -701,62 +906,99 @@ class Scheduler:
             # earlier batch since it was submitted.
             hit = self.cache.get(spec)
             if hit is not None:
-                job.worker = "cache"
-                queue.mark_done(job, "cached", hit)
+                self._mark_cached(job, hit, queue)
                 return
+        self._record_wait(job)
+        self.inflight[pool.name] = self.inflight.get(pool.name, 0) + 1
+        try:
+            await self._attempt_loop(job, pool, queue)
+        finally:
+            self.inflight[pool.name] = self.inflight.get(pool.name, 1) - 1
+
+    async def _attempt_loop(
+        self, job: Job, pool: Any, queue: JobQueue
+    ) -> None:
+        spec = job.spec
         prev_delay = self.retry.backoff_s
         while True:
+            exec_ctx = self._exec_ctx(job)
+            ctx_dict = exec_ctx.to_dict() if exec_ctx is not None else None
+            span_start = clock.now()
             start = clock.perf()
             generation = pool.generation
             try:
                 result, wall, worker, trace, perf = await pool.execute(
-                    spec, self.timeout, self.obs
+                    spec, self.timeout, self.obs, ctx_dict
                 )
             except asyncio.CancelledError:
                 raise
             except TimeoutError as exc:
                 wall = clock.perf() - start
                 job.worker = pool.name
+                self._record_exec(
+                    job, exec_ctx, span_start, "timeout", pool.name, pool.name
+                )
+                self.metrics.counter("scheduler.timeouts").inc()
                 if self.retry.should_retry(job.attempts):
                     if self.on_retry is not None:
                         self.on_retry(job, wall)
                     queue.note_retry(job)
+                    self.metrics.counter("scheduler.retries").inc()
                     prev_delay = self.retry.delay_s(
                         prev_delay, self._retry_rng
                     )
                     await asyncio.sleep(prev_delay)
                     continue
                 job.wall_s = wall
-                queue.mark_failed(job, exc)
+                self._fail_job(job, queue, exc, "timeout")
                 return
             except BrokenProcessPool as exc:
                 # A worker died (OOM, hard crash): rebuild the pool and
                 # retry the run within the ordinary budget.
                 pool.restart(generation)
                 job.worker = pool.name
+                self._record_exec(
+                    job, exec_ctx, span_start, "crashed", pool.name, pool.name
+                )
+                self.metrics.counter("scheduler.crashes").inc()
                 if self.retry.should_retry(job.attempts):
                     if self.on_retry is not None:
                         self.on_retry(job, 0.0)
                     queue.note_retry(job)
+                    self.metrics.counter("scheduler.retries").inc()
                     prev_delay = self.retry.delay_s(
                         prev_delay, self._retry_rng
                     )
                     await asyncio.sleep(prev_delay)
                     continue
-                queue.mark_failed(job, exc)
+                self._fail_job(job, queue, exc, "crash")
                 return
             except Exception as exc:
                 # Deterministic simulation failure: retrying would only
                 # reproduce it, so fail immediately.
                 job.wall_s = clock.perf() - start
                 job.worker = pool.name
-                queue.mark_failed(job, exc)
+                self._record_exec(
+                    job, exec_ctx, span_start, "error", pool.name, pool.name
+                )
+                self._fail_job(job, queue, exc, "error")
                 return
             else:
+                self._record_exec(
+                    job, exec_ctx, span_start, "ok", worker, pool.name
+                )
                 self._finish_job(
                     job, queue, result, wall, worker, trace, perf
                 )
                 return
+
+    def _fail_job(
+        self, job: Job, queue: JobQueue, exc: BaseException, reason: str
+    ) -> None:
+        self.metrics.counter("scheduler.jobs_failed").inc()
+        self._record_job_span(job, "failed", "failed")
+        self._dump_flight(job, reason)
+        queue.mark_failed(job, exc)
 
     def _finish_job(
         self,
@@ -779,6 +1021,16 @@ class Scheduler:
                 self.perf_store.record(PerfRecord.from_dict(perf))
             except (KeyError, TypeError, ValueError, OSError):
                 pass  # telemetry must never fail the run
+        events_per_sec = (perf or {}).get("events_per_sec")
+        if isinstance(events_per_sec, (int, float)) and events_per_sec > 0:
+            self.events_ewma = (
+                float(events_per_sec)
+                if self.events_ewma is None
+                else (1.0 - EWMA_ALPHA) * self.events_ewma
+                + EWMA_ALPHA * float(events_per_sec)
+            )
+        self.metrics.counter("scheduler.jobs_done").inc()
+        self._record_job_span(job, "executed", "ok")
         queue.mark_done(job, "executed", result)
 
     def _drain_inline(self, queue: JobQueue) -> bool:
@@ -790,6 +1042,7 @@ class Scheduler:
         queue stalls with open jobs that a lone inline worker cannot
         release — which a dependency cycle would produce.
         """
+        name = InlineWorkerPool.name
         while True:
             job = queue.pop()
             if job is None:
@@ -802,43 +1055,70 @@ class Scheduler:
             ):
                 hit = self.cache.get(spec)
                 if hit is not None:
-                    job.worker = "cache"
-                    queue.mark_done(job, "cached", hit)
+                    self._mark_cached(job, hit, queue)
                     continue
-            prev_delay = self.retry.backoff_s
-            while True:
-                start = clock.perf()
-                try:
-                    result, wall, worker, trace, perf = (
-                        InlineWorkerPool._run(spec, self.timeout, self.obs)
+            self._record_wait(job)
+            self.inflight[name] = self.inflight.get(name, 0) + 1
+            try:
+                self._inline_attempts(job, queue)
+            finally:
+                self.inflight[name] = self.inflight.get(name, 1) - 1
+
+    def _inline_attempts(self, job: Job, queue: JobQueue) -> None:
+        """One job's retry loop on the inline path — span-for-span the
+        same topology and counters as :meth:`_attempt_loop`."""
+        spec = job.spec
+        name = InlineWorkerPool.name
+        prev_delay = self.retry.backoff_s
+        while True:
+            exec_ctx = self._exec_ctx(job)
+            ctx_dict = exec_ctx.to_dict() if exec_ctx is not None else None
+            span_start = clock.now()
+            start = clock.perf()
+            try:
+                result, wall, worker, trace, perf = (
+                    InlineWorkerPool._run(
+                        spec, self.timeout, self.obs, ctx_dict
                     )
-                except TimeoutError as exc:
-                    wall = clock.perf() - start
-                    job.worker = InlineWorkerPool.name
-                    if self.retry.should_retry(job.attempts):
-                        if self.on_retry is not None:
-                            self.on_retry(job, wall)
-                        queue.note_retry(job)
-                        prev_delay = self.retry.delay_s(
-                            prev_delay, self._retry_rng
-                        )
-                        clock.sleep(prev_delay)
-                        continue
-                    job.wall_s = wall
-                    queue.mark_failed(job, exc)
-                    break
-                except Exception as exc:
-                    # Deterministic simulation failure: retrying would
-                    # only reproduce it, so fail immediately.
-                    job.wall_s = clock.perf() - start
-                    job.worker = InlineWorkerPool.name
-                    queue.mark_failed(job, exc)
-                    break
-                else:
-                    self._finish_job(
-                        job, queue, result, wall, worker, trace, perf
+                )
+            except TimeoutError as exc:
+                wall = clock.perf() - start
+                job.worker = name
+                self._record_exec(
+                    job, exec_ctx, span_start, "timeout", name, name
+                )
+                self.metrics.counter("scheduler.timeouts").inc()
+                if self.retry.should_retry(job.attempts):
+                    if self.on_retry is not None:
+                        self.on_retry(job, wall)
+                    queue.note_retry(job)
+                    self.metrics.counter("scheduler.retries").inc()
+                    prev_delay = self.retry.delay_s(
+                        prev_delay, self._retry_rng
                     )
-                    break
+                    clock.sleep(prev_delay)
+                    continue
+                job.wall_s = wall
+                self._fail_job(job, queue, exc, "timeout")
+                return
+            except Exception as exc:
+                # Deterministic simulation failure: retrying would
+                # only reproduce it, so fail immediately.
+                job.wall_s = clock.perf() - start
+                job.worker = name
+                self._record_exec(
+                    job, exec_ctx, span_start, "error", name, name
+                )
+                self._fail_job(job, queue, exc, "error")
+                return
+            else:
+                self._record_exec(
+                    job, exec_ctx, span_start, "ok", worker, name
+                )
+                self._finish_job(
+                    job, queue, result, wall, worker, trace, perf
+                )
+                return
 
 
 def _run_sync(coro: Any) -> Any:

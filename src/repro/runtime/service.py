@@ -20,7 +20,15 @@ one execution and two streamed results).
   (result payload included), then a summary line; the response is
   connection-close delimited, so ``curl -N`` tails it live;
 * ``GET /v1/status``   — queue/cache/scheduler counters;
+* ``GET /v1/metrics``  — the live metrics plane: Prometheus text
+  exposition (queue depth, per-shard in-flight, retry/steal/timeout
+  counters, cache hit ratio, events/sec EWMA, store gauges);
 * ``POST /v1/shutdown`` — drain and stop.
+
+Every batch gets a deterministic distributed-trace id (salted with the
+batch id); job/queue-wait/exec lifecycle spans land as
+``<trace_id>.lifecycle.jsonl`` under the obs dir, reassembled by
+``emptcp-repro trace tree`` — see docs/OBSERVABILITY.md.
 
 The sweep planner turns a ``sweep_config``-style request into a DAG:
 per seed, one *warm-up* run of the unmodified scenario, then every
@@ -41,6 +49,9 @@ from queue import Empty, Queue as _EventQueue
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs import ObsOptions
+from repro.obs import dist as _dist
+from repro.obs.prom import MetricFamily, registry_families, render_prometheus
 from repro.runtime import clock
 from repro.runtime.cache import DEFAULT_CACHE_ROOT, ResultCache
 from repro.runtime.perf import PerfStore
@@ -135,11 +146,14 @@ class _Batch:
     labels: List[str]
     hashes: List[str]
     created_t: float
+    trace_id: str = ""
     events: "_EventQueue[Dict[str, Any]]" = field(
         default_factory=_EventQueue
     )
     outcomes: Dict[str, int] = field(default_factory=dict)
     finished: int = 0
+    #: Guard so the batch-root lifecycle span is recorded exactly once.
+    root_recorded: bool = False
 
     @property
     def total(self) -> int:
@@ -156,6 +170,7 @@ class _Batch:
             "finished": self.finished,
             "outcomes": dict(self.outcomes),
             "done": self.done,
+            "trace_id": self.trace_id,
         }
 
 
@@ -177,6 +192,7 @@ class ExperimentService:
         retries: int = 2,
         verify: bool = True,
         journal: bool = True,
+        obs: Optional[ObsOptions] = None,
     ):
         self.cache_dir = Path(cache_dir)
         self.verify = verify
@@ -185,14 +201,26 @@ class ExperimentService:
         self.queue = JobQueue(
             journal=self.cache_dir / JOURNAL_NAME if journal else None
         )
+        self.obs = obs
+        #: Lifecycle spans are always on for the service (they are per
+        #: job, not per event — cheap); run-level obs capture follows
+        #: ``obs``.  Both land under the obs dir so ``trace tree`` sees
+        #: one correlated directory.
+        self.obs_dir = (
+            Path(obs.dir) if obs is not None else self.cache_dir / "obs"
+        )
+        self.recorder = _dist.SpanRecorder(sink_dir=self.obs_dir)
         self.scheduler = Scheduler(
             jobs=jobs,
             retry=RetryPolicy(retries=retries),
             timeout=TimeoutPolicy(timeout_s),
+            obs=obs,
             cache=self.cache,
             perf_store=self.perf_store,
         )
         self.scheduler.worker_cache_check = True
+        self.scheduler.recorder = self.recorder
+        self.scheduler.flight_dir = self.cache_dir / "flight"
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._lock = threading.Lock()
@@ -269,18 +297,27 @@ class ExperimentService:
     ) -> Dict[str, Any]:
         with self._lock:
             self._batch_seq += 1
+            batch_id = f"b{self._batch_seq:05d}"
+            hashes = [spec.content_hash() for spec in specs]
+            # Salted with the batch id: resubmitting the same specs in
+            # a later batch gets its own trace (cross-batch dedup means
+            # the later trace may have no exec spans — the first batch
+            # owns the execution).
+            root_ctx = _dist.root_context(hashes, salt=batch_id)
             batch = _Batch(
-                batch_id=f"b{self._batch_seq:05d}",
+                batch_id=batch_id,
                 labels=[spec.label for spec in specs],
-                hashes=[spec.content_hash() for spec in specs],
+                hashes=hashes,
                 created_t=clock.now(),
+                trace_id=root_ctx.trace_id,
             )
             self._batches[batch.batch_id] = batch
         fresh_count = 0
         for index, spec in enumerate(specs):
             deps = after[index] if after is not None else ()
             job, fresh = self.queue.submit(
-                spec, priority=priority, after=deps
+                spec, priority=priority, after=deps,
+                ctx=root_ctx.child(_dist.SPAN_JOB, batch.hashes[index]),
             )
             fresh_count += 1 if fresh else 0
             callback = self._make_callback(batch, index, fresh)
@@ -325,9 +362,40 @@ class ExperimentService:
             with self._lock:
                 batch.finished += 1
                 batch.outcomes[outcome] = batch.outcomes.get(outcome, 0) + 1
+                record_root = batch.done and not batch.root_recorded
+                if record_root:
+                    batch.root_recorded = True
+            # Close the root span and flush telemetry *before* the
+            # event that lets stream waiters observe completion, so a
+            # status()/scrape racing the last callback sees them.
+            if record_root:
+                self._record_batch_root(batch)
+                # One durable store-telemetry snapshot per batch, same
+                # as the batch runtime's run_batch() path.
+                self.scheduler.flush_telemetry(self.queue)
             batch.events.put(event)
 
         return _on_done
+
+    def _record_batch_root(self, batch: _Batch) -> None:
+        """Close the batch's root lifecycle span (submission → last
+        job terminal).  Job spans are recorded before their jobs turn
+        terminal, so the root always ends last."""
+        failed = batch.outcomes.get("failed", 0)
+        self.recorder.record(_dist.LifecycleSpan(
+            trace_id=batch.trace_id,
+            span_id=_dist.span_id_for(batch.trace_id, _dist.SPAN_BATCH),
+            parent_span_id="",
+            name=_dist.SPAN_BATCH,
+            start_t=batch.created_t,
+            end_t=clock.now(),
+            status="failed" if failed else "ok",
+            attrs={
+                "batch": batch.batch_id,
+                "jobs": batch.total,
+                "outcomes": dict(batch.outcomes),
+            },
+        ))
 
     def submit_batch(
         self, spec_dicts: List[Dict[str, Any]], priority: int = 0
@@ -405,11 +473,16 @@ class ExperimentService:
                 batch_id: batch.describe()
                 for batch_id, batch in self._batches.items()
             }
+        try:
+            snapshots = self.perf_store.cache_telemetry()
+        except (OSError, ValueError):
+            snapshots = []
         return {
             "uptime_s": max(0.0, clock.now() - self._started_t),
             "jobs": self.scheduler.jobs,
             "queue": self.queue.stats.to_dict(),
             "open_jobs": self.queue.open_jobs(),
+            "inflight": dict(self.scheduler.inflight),
             "cache": {
                 "root": stats.root,
                 "entries": stats.entries,
@@ -418,8 +491,108 @@ class ExperimentService:
                 "legacy_entries": stats.legacy_entries,
                 **self.cache.telemetry.to_dict(),
             },
+            "cache_telemetry": {
+                "snapshots": len(snapshots),
+                "last": snapshots[-1] if snapshots else None,
+            },
+            "scheduler": self.scheduler.metrics.to_dict()["counters"],
+            "spans_recorded": self.recorder.recorded,
+            "events_per_sec_ewma": self.scheduler.events_ewma,
             "batches": batches,
         }
+
+    # -- metrics plane ----------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition document for ``GET /v1/metrics``.
+
+        Series: queue lifetime counters and depth, per-shard in-flight
+        gauges, the scheduler's retry/steal/timeout/cache counters,
+        result-store telemetry with a derived hit ratio, store size
+        gauges, the events/sec EWMA, and recorder/batch totals.
+        """
+        families: List[MetricFamily] = []
+        for key, value in self.queue.stats.to_dict().items():
+            families.append(
+                MetricFamily(
+                    f"repro_queue_{key}_total",
+                    "counter",
+                    f"queue jobs {key} since start",
+                ).add(float(value))
+            )
+        families.append(
+            MetricFamily(
+                "repro_queue_open_jobs", "gauge", "jobs not yet terminal"
+            ).add(float(self.queue.open_jobs()))
+        )
+        inflight = MetricFamily(
+            "repro_jobs_in_flight", "gauge", "jobs executing per shard"
+        )
+        for shard, count in sorted(self.scheduler.inflight.items()):
+            inflight.add(float(count), shard=shard)
+        families.append(inflight)
+        families.extend(registry_families(self.scheduler.metrics))
+        telemetry = self.cache.telemetry.to_dict()
+        for key, value in telemetry.items():
+            families.append(
+                MetricFamily(
+                    f"repro_store_{key}_total",
+                    "counter",
+                    f"result store {key} since start",
+                ).add(float(value))
+            )
+        lookups = telemetry.get("hits", 0) + telemetry.get("misses", 0)
+        families.append(
+            MetricFamily(
+                "repro_cache_hit_ratio",
+                "gauge",
+                "store hits / lookups since start",
+            ).add(telemetry.get("hits", 0) / lookups if lookups else 0.0)
+        )
+        stats = self.cache.stats()
+        families.append(
+            MetricFamily(
+                "repro_store_entries", "gauge", "indexed store entries"
+            ).add(float(stats.entries))
+        )
+        families.append(
+            MetricFamily(
+                "repro_store_bytes", "gauge", "store size on disk"
+            ).add(float(stats.total_bytes))
+        )
+        families.append(
+            MetricFamily(
+                "repro_store_segments", "gauge", "store segment files"
+            ).add(float(stats.segments))
+        )
+        if self.scheduler.events_ewma is not None:
+            families.append(
+                MetricFamily(
+                    "repro_events_per_sec_ewma",
+                    "gauge",
+                    "EWMA of per-run simulated events per second",
+                ).add(self.scheduler.events_ewma)
+            )
+        with self._lock:
+            batch_count = len(self._batches)
+        families.append(
+            MetricFamily(
+                "repro_batches_total", "counter", "batches submitted"
+            ).add(float(batch_count))
+        )
+        families.append(
+            MetricFamily(
+                "repro_spans_recorded_total",
+                "counter",
+                "lifecycle spans recorded",
+            ).add(float(self.recorder.recorded))
+        )
+        families.append(
+            MetricFamily(
+                "repro_uptime_seconds", "gauge", "service uptime"
+            ).add(max(0.0, clock.now() - self._started_t))
+        )
+        return render_prometheus(families)
 
 
 # -- HTTP layer -----------------------------------------------------
@@ -477,6 +650,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/status":
                 self._send_json(200, self.service.status())
+            elif self.path == "/v1/metrics":
+                body = self.service.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
             elif self.path.startswith("/v1/stream/"):
                 self._stream(self.path[len("/v1/stream/"):])
             else:

@@ -115,3 +115,26 @@ class TestFleetObs:
         # Must run clean (and fast) with observability disabled.
         result = run_fleet(_small_spec(duration_s=10.0))
         assert result.epochs > 0
+
+    def test_trace_timeline_merges_sampled_fleet_events(self, tmp_path):
+        # `repro trace timeline` over an exported fleet trace: sampled
+        # fleet.epoch heartbeats and fleet.session completions land in
+        # one sim-time-ordered timeline (with spans, when profiled).
+        from repro.obs.summarize import build_timeline, format_timeline
+
+        spec = _small_spec()
+        with obs.capture(trace=True, metrics=False, profile=False) as ses:
+            result = run_fleet(spec)
+        path = ses.tracer.to_jsonl(
+            tmp_path / f"fleet-{result.spec_hash}.trace.jsonl"
+        )
+        entries = build_timeline(path)
+        assert entries, "fleet trace produced an empty timeline"
+        labels = {entry["label"] for entry in entries}
+        assert "fleet.epoch" in labels
+        assert "fleet.session" in labels
+        times = [entry["t"] for entry in entries]
+        assert times == sorted(times)
+        assert all(entry["kind"] == "event" for entry in entries)
+        text = format_timeline(entries)
+        assert "fleet.epoch" in text and "fleet.session" in text

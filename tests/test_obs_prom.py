@@ -1,0 +1,107 @@
+"""Prometheus text exposition (repro.obs.prom): a golden file pins the
+wire format, the parser round-trips what the renderer writes, and
+MetricsRegistry instruments map onto the right family kinds.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import (
+    MetricFamily,
+    parse_prometheus,
+    registry_families,
+    render_prometheus,
+    sanitize_name,
+)
+
+pytestmark = pytest.mark.runtime
+
+GOLDEN = Path("tests/data/metrics.golden.prom")
+
+
+def _golden_families():
+    return [
+        MetricFamily("repro_queue_submitted_total", "counter",
+                     "queue jobs submitted since start").add(7),
+        MetricFamily("repro_jobs_in_flight", "gauge",
+                     "jobs executing per shard")
+        .add(2, shard="pool-0").add(1, shard="pool-1"),
+        MetricFamily("repro_cache_hit_ratio", "gauge").add(0.75),
+        MetricFamily(
+            "repro_run_wall_seconds", "summary",
+            sum_count=(3.5, 4.0),
+        ).add(0.5, quantile="0.5").add(1.25, quantile="0.9"),
+    ]
+
+
+class TestRender:
+    def test_golden_file(self):
+        # Pin the exact bytes: scrapers are line-oriented and a silent
+        # format drift breaks every dashboard at once.  Regenerate with
+        # `python -c "from tests.test_obs_prom import *; \
+        #             GOLDEN.write_text(render_prometheus(_golden_families()))"`
+        assert render_prometheus(_golden_families()) == GOLDEN.read_text()
+
+    def test_families_sorted_and_terminated(self):
+        text = render_prometheus(list(reversed(_golden_families())))
+        assert text == render_prometheus(_golden_families())
+        assert text.endswith("\n")
+        names = [line.split()[2] for line in text.splitlines()
+                 if line.startswith("# TYPE")]
+        assert names == sorted(names)
+
+    def test_label_escaping(self):
+        fam = MetricFamily("m", "gauge").add(1.0, label='say "hi"\nnow')
+        line = [l for l in render_prometheus([fam]).splitlines()
+                if not l.startswith("#")][0]
+        assert '\\"hi\\"' in line and "\\n" in line
+        parsed = parse_prometheus(render_prometheus([fam]))
+        assert parsed["m"][0][0]["label"] == 'say "hi"\nnow'
+
+    def test_sanitize_name(self):
+        assert sanitize_name("scheduler.cache-hits") == "scheduler_cache_hits"
+
+
+class TestParse:
+    def test_roundtrip(self):
+        parsed = parse_prometheus(render_prometheus(_golden_families()))
+        assert parsed["repro_queue_submitted_total"] == [({}, 7.0)]
+        assert ({"shard": "pool-0"}, 2.0) in parsed["repro_jobs_in_flight"]
+        assert parsed["repro_run_wall_seconds_sum"] == [({}, 3.5)]
+        assert parsed["repro_run_wall_seconds_count"] == [({}, 4.0)]
+
+    def test_ignores_comments_and_junk(self):
+        parsed = parse_prometheus("# HELP x y\n\nnot-a-number oops\nm 1\n")
+        assert parsed == {"m": [({}, 1.0)]}
+
+
+class TestRegistryFamilies:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("scheduler.jobs_done").inc(3)
+        registry.gauge("queue.depth").set(5.0)
+        hist = registry.histogram("run.wall_s")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        families = {f.name: f for f in registry_families(registry)}
+        done = families["repro_scheduler_jobs_done_total"]
+        assert done.kind == "counter" and done.samples == [({}, 3.0)]
+        assert families["repro_queue_depth"].kind == "gauge"
+        summary = families["repro_run_wall_s"]
+        assert summary.kind == "summary"
+        assert summary.sum_count == (10.0, 4.0)
+        quantiles = {labels["quantile"] for labels, _ in summary.samples}
+        assert quantiles == {"0.5", "0.9", "0.99"}
+
+    def test_counter_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("events.total").inc()
+        families = [f.name for f in registry_families(registry)]
+        assert families == ["repro_events_total"]
+
+    def test_empty_histograms_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet.wall_s")
+        assert registry_families(registry) == []

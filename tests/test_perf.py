@@ -385,7 +385,7 @@ class TestPerfCli:
             capsys, "trace", "summarise",
             "--cache-dir", str(tmp_path / "nonexistent"))
         assert code == 2
-        assert "summarize, validate, or timeline" in err
+        assert "summarize, validate, timeline, or tree" in err
 
     def test_trace_timeline_cli(self, capsys, tmp_path):
         trace = tmp_path / "run.trace.jsonl"

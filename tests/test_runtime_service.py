@@ -179,3 +179,110 @@ class TestHTTPService:
         events = [json.loads(line) for line in journal.read_text().splitlines()]
         assert any(e["event"] == "submit" for e in events)
         assert any(e["event"] == "done" for e in events)
+
+
+class TestObservabilityPlane:
+    """The live metrics plane and trace propagation across the service
+    boundary: /v1/metrics Prometheus output, /v1/status telemetry, and
+    batch-salted lifecycle traces reassembling into one tree."""
+
+    def _scrape(self, base):
+        with urllib.request.urlopen(f"{base}/v1/metrics", timeout=60) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            return resp.read().decode()
+
+    def test_metrics_series_change_across_a_batch(self, tmp_path):
+        from repro.obs.prom import parse_prometheus
+
+        with ExperimentService(tmp_path / "cache", jobs=1) as svc:
+            server = serve_http(svc)
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            cold = parse_prometheus(self._scrape(base))
+            # Pre-registered series exist before any work arrives.
+            for name in ("repro_queue_submitted_total",
+                         "repro_scheduler_jobs_done_total",
+                         "repro_scheduler_retries_total",
+                         "repro_scheduler_cache_hits_total",
+                         "repro_queue_open_jobs",
+                         "repro_store_entries"):
+                assert name in cold, f"missing series {name}"
+            assert cold["repro_queue_submitted_total"][0][1] == 0.0
+
+            summary = fetch("POST", f"{base}/v1/submit",
+                            {"specs": [small_spec(seed=s).to_dict()
+                                       for s in range(2)]})
+            stream(f"{base}/v1/stream/{summary['batch']}")
+            warm = parse_prometheus(self._scrape(base))
+            assert warm["repro_queue_submitted_total"][0][1] == 2.0
+            assert warm["repro_scheduler_jobs_done_total"][0][1] == 2.0
+            assert warm["repro_batches_total"][0][1] == 1.0
+            assert warm["repro_spans_recorded_total"][0][1] > 0.0
+            assert warm["repro_store_entries"][0][1] == 2.0
+
+            # A same-process resubmission coalesces in the queue, not
+            # the store: the dedup counter moves, cache hits don't.
+            again = fetch("POST", f"{base}/v1/submit",
+                          {"specs": [small_spec(seed=s).to_dict()
+                                     for s in range(2)]})
+            stream(f"{base}/v1/stream/{again['batch']}")
+            final = parse_prometheus(self._scrape(base))
+            assert final["repro_queue_deduped_total"][0][1] == 2.0
+            assert final["repro_batches_total"][0][1] == 2.0
+            fetch("POST", f"{base}/v1/shutdown")
+            server.serve_thread.join(timeout=30)
+
+    def test_cache_hits_count_on_a_fresh_queue(self, tmp_path):
+        from repro.obs.prom import parse_prometheus
+
+        specs = [small_spec(seed=s).to_dict() for s in range(2)]
+        with ExperimentService(tmp_path / "cache", jobs=1) as svc:
+            list(svc.stream_batch(svc.submit_batch(specs)["batch"]))
+        # A new service over the warm store (fresh queue, no journal
+        # replay): the scheduler satisfies every job from the cache.
+        with ExperimentService(tmp_path / "cache", jobs=1,
+                               journal=False) as svc:
+            server = serve_http(svc)
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            summary = fetch("POST", f"{base}/v1/submit", {"specs": specs})
+            tail = stream(f"{base}/v1/stream/{summary['batch']}")[-1]
+            assert tail["outcomes"] == {"cached": 2}
+            doc = parse_prometheus(self._scrape(base))
+            assert doc["repro_scheduler_cache_hits_total"][0][1] == 2.0
+            assert doc["repro_cache_hit_ratio"][0][1] > 0.0
+            fetch("POST", f"{base}/v1/shutdown")
+            server.serve_thread.join(timeout=30)
+
+    def test_status_surfaces_telemetry_and_trace_ids(self, tmp_path):
+        with ExperimentService(tmp_path / "cache", jobs=1) as svc:
+            summary = svc.submit_batch([small_spec().to_dict()])
+            list(svc.stream_batch(summary["batch"]))
+            status = svc.status()
+            assert status["spans_recorded"] > 0
+            assert "inflight" in status and "scheduler" in status
+            assert status["scheduler"]["scheduler.jobs_done"] == 1
+            # One durable cache-telemetry snapshot per finished batch.
+            assert status["cache_telemetry"]["snapshots"] == 1
+            assert status["cache_telemetry"]["last"]["appends"] == 1
+            batch_doc = status["batches"][summary["batch"]]
+            assert batch_doc["trace_id"] == summary["trace_id"]
+            assert len(batch_doc["trace_id"]) == 16
+
+    def test_batch_salting_gives_fresh_traces_per_submission(self, tmp_path):
+        from repro.check.disttrace import check_trace_topology
+        from repro.obs.tree import load_trace_forest
+
+        with ExperimentService(tmp_path / "cache", jobs=1) as svc:
+            first = svc.submit_batch([small_spec().to_dict()])
+            list(svc.stream_batch(first["batch"]))
+            second = svc.submit_batch([small_spec().to_dict()])
+            list(svc.stream_batch(second["batch"]))
+            assert first["trace_id"] != second["trace_id"]
+        obs_dir = tmp_path / "cache" / "obs"
+        trees = {t.trace_id: t for t in load_trace_forest(obs_dir)}
+        assert set(trees) == {first["trace_id"], second["trace_id"]}
+        for tree in trees.values():
+            assert len(tree.roots) == 1 and not tree.orphans
+            assert tree.roots[0].span.name == "batch"
+        report = check_trace_topology(obs_dir)
+        assert report.ok, report.format()
